@@ -1,0 +1,232 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md's experiment index), plus ablations
+   and a Bechamel performance suite.
+
+   Usage: main.exe [experiment ...]
+   where experiment is one of: table1 table2 table3 table4 table5 fig7
+   fig8 fig9 stats ablate proxy perf all (default: all).
+
+   The synthetic sweep honours PRPART_SWEEP_COUNT (default 1000) and
+   PRPART_SWEEP_SEED (default 2013) so CI can run a reduced population. *)
+
+let section title =
+  Printf.printf "\n================ %s ================\n%!" title
+
+let sweep_count () =
+  match Sys.getenv_opt "PRPART_SWEEP_COUNT" with
+  | Some v -> (match int_of_string_opt v with Some n when n > 0 -> n | _ -> 1000)
+  | None -> 1000
+
+let sweep_seed () =
+  match Sys.getenv_opt "PRPART_SWEEP_SEED" with
+  | Some v -> (match int_of_string_opt v with Some n -> n | None -> 2013)
+  | None -> 2013
+
+(* The sweep feeds Figs. 7-9 and the stats block; run it once, lazily. *)
+let sweep_rows =
+  lazy
+    (let count = sweep_count () and seed = sweep_seed () in
+     Printf.printf "[sweep: %d synthetic designs, seed %d]\n%!" count seed;
+     let t0 = Sys.time () in
+     let rows = Experiments.Sweep.run ~count ~seed () in
+     Printf.printf "[sweep finished in %.1fs CPU]\n%!" (Sys.time () -. t0);
+     (rows, count - List.length rows))
+
+let table1 () =
+  section "Table I: base partitions of the running example";
+  let t = Experiments.Case_study.Table1.run () in
+  print_string (Experiments.Case_study.Table1.render t)
+
+let table2 () =
+  section "Table II: video receiver resource utilisation";
+  let d = Experiments.Case_study.Table2.run () in
+  print_string (Experiments.Case_study.Table2.render d)
+
+let table3_4 = lazy (Experiments.Case_study.Table3_4.run ())
+
+let table3 () =
+  section "Table III: partitions determined by the algorithm";
+  print_string
+    (Experiments.Case_study.Table3_4.render_partitions (Lazy.force table3_4))
+
+let table4 () =
+  section "Table IV: properties of the partitioning schemes";
+  print_string
+    (Experiments.Case_study.Table3_4.render_comparison (Lazy.force table3_4))
+
+let table5 () =
+  section "Table V: partitions for the modified configurations";
+  print_string (Experiments.Case_study.Table5.render (Experiments.Case_study.Table5.run ()))
+
+let fig7 () =
+  section "Fig. 7: total reconfiguration time by target FPGA";
+  let rows, _ = Lazy.force sweep_rows in
+  print_string (Experiments.Sweep.render_fig ~metric:`Total rows)
+
+let fig8 () =
+  section "Fig. 8: worst-case reconfiguration time by target FPGA";
+  let rows, _ = Lazy.force sweep_rows in
+  print_string (Experiments.Sweep.render_fig ~metric:`Worst rows)
+
+let fig9 () =
+  section "Fig. 9: percentage-change histograms";
+  let rows, _ = Lazy.force sweep_rows in
+  print_string (Experiments.Sweep.render_fig9 rows)
+
+let stats () =
+  section "Headline statistics (paper Section V)";
+  let rows, skipped = Lazy.force sweep_rows in
+  print_string
+    (Experiments.Sweep.render_summary (Experiments.Sweep.summarise ~skipped rows))
+
+let ablate () =
+  section "Ablation: frequency-weight rule";
+  print_string
+    (Experiments.Ablation.render_variants ~header:"support vs min-edge"
+       (Experiments.Ablation.frequency_rule ()));
+  section "Ablation: static promotion";
+  print_string
+    (Experiments.Ablation.render_variants ~header:"promotion on vs off"
+       (Experiments.Ablation.static_promotion ()));
+  section "Ablation: allocator restart budget";
+  print_string
+    (Experiments.Ablation.render_variants ~header:"restart budget"
+       (Experiments.Ablation.restart_budget ()))
+
+let proxy () =
+  section "Ablation: pairwise metric vs runtime simulation";
+  print_string
+    (Experiments.Ablation.render_proxy
+       (Experiments.Ablation.proxy_vs_simulation ()))
+
+let sensitivity () =
+  section "Sensitivity: workload-recipe parameters";
+  print_string
+    (Experiments.Sensitivity.render ~title:"absence probability"
+       (Experiments.Sensitivity.absence_probability ()));
+  print_newline ();
+  print_string
+    (Experiments.Sensitivity.render ~title:"design size"
+       (Experiments.Sensitivity.design_size ()));
+  print_newline ();
+  print_string
+    (Experiments.Sensitivity.render ~title:"configuration count"
+       (Experiments.Sensitivity.configuration_count ()))
+
+let cache () =
+  section "Ablation: bitstream fetch path and on-chip cache";
+  print_string
+    (Experiments.Ablation.render_cache (Experiments.Ablation.fetch_cache ()))
+
+let arch () =
+  section "What-if: neighbouring architecture generations";
+  print_string
+    (Experiments.Ablation.render_arch
+       (Experiments.Ablation.cross_architecture ()))
+
+let gap () =
+  section "Ablation: greedy vs exact allocation (optimality gap)";
+  print_string
+    (Experiments.Ablation.render_gap (Experiments.Ablation.optimality_gap ()))
+
+let weighted () =
+  section "Extension: transition-probability-weighted objective";
+  print_string
+    (Experiments.Ablation.render_weighted
+       (Experiments.Ablation.weighted_objective ()))
+
+(* Bechamel performance suite: one Test.make per regenerated artefact. *)
+let perf () =
+  section "Performance (Bechamel; the paper's Python took seconds-minutes)";
+  let open Bechamel in
+  let receiver = Prdesign.Design_library.video_receiver in
+  let budget = Prdesign.Design_library.case_study_budget in
+  let synth_designs =
+    lazy (List.map snd (Synth.Generator.batch ~seed:99 ~count:10 ()))
+  in
+  let solve design target () =
+    match Prcore.Engine.solve ~target design with
+    | Ok _ -> ()
+    | Error _ -> ()
+  in
+  let tests =
+    [ Test.make ~name:"table1-clustering"
+        (Staged.stage (fun () ->
+             ignore (Cluster.Agglomerative.run Prdesign.Design_library.running_example)));
+      Test.make ~name:"table2-receiver-clustering"
+        (Staged.stage (fun () -> ignore (Cluster.Agglomerative.run receiver)));
+      Test.make ~name:"table3/4-case-study-solve"
+        (Staged.stage (solve receiver (Prcore.Engine.Budget budget)));
+      Test.make ~name:"table5-alt-solve"
+        (Staged.stage
+           (solve Prdesign.Design_library.video_receiver_alt
+              (Prcore.Engine.Budget budget)));
+      Test.make ~name:"fig7/8/9-sweep-of-10"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun d -> solve d Prcore.Engine.Auto ())
+               (Lazy.force synth_designs)));
+      Test.make ~name:"baseline-evaluation"
+        (Staged.stage (fun () ->
+             ignore (Baselines.Schemes.all receiver))) ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ])
+      in
+      let analysed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let nanos =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ v ] -> v
+            | Some _ | None -> nan
+          in
+          Printf.printf "%-32s %12.1f ns/run (%8.3f ms)\n" name nanos
+            (nanos /. 1e6))
+        analysed)
+    tests
+
+let experiments =
+  [ ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("table5", table5);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("stats", stats);
+    ("ablate", ablate);
+    ("proxy", proxy);
+    ("sensitivity", sensitivity);
+    ("cache", cache);
+    ("arch", arch);
+    ("gap", gap);
+    ("weighted", weighted);
+    ("perf", perf) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: ([ _ ] as args) when args = [ "all" ] -> List.map fst experiments
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; known: %s\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 2)
+    requested

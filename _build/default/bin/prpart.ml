@@ -1,0 +1,390 @@
+(* prpart: automated partitioning for partial reconfiguration designs.
+
+   Subcommands: partition, baselines, simulate, synth, devices, designs.
+   A DESIGN argument is either the name of a built-in paper design (see
+   `prpart designs`) or a path to an XML design description. *)
+
+open Cmdliner
+
+let load_design spec =
+  match Prdesign.Design_library.find spec with
+  | Some design -> Ok design
+  | None ->
+    if Sys.file_exists spec then
+      try Ok (Prdesign.Design_xml.load_file spec) with
+      | Prdesign.Design_xml.Malformed message ->
+        Error (Printf.sprintf "%s: %s" spec message)
+      | Xmllite.Xml.Parse_error { line; column; message } ->
+        Error
+          (Printf.sprintf "%s:%d:%d: %s" spec line column message)
+    else
+      Error
+        (Printf.sprintf
+           "%s is neither a built-in design nor an existing file" spec)
+
+let design_arg =
+  let doc = "Built-in design name or path to an XML design description." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let budget_conv =
+  let parse s =
+    match List.map int_of_string_opt (String.split_on_char ',' s) with
+    | [ Some clb ] -> Ok (Fpga.Resource.make clb)
+    | [ Some clb; Some bram ] -> Ok (Fpga.Resource.make ~bram clb)
+    | [ Some clb; Some bram; Some dsp ] -> Ok (Fpga.Resource.make ~bram ~dsp clb)
+    | _ -> Error (`Msg "expected CLB[,BRAM[,DSP]]")
+  in
+  let print ppf (r : Fpga.Resource.t) =
+    Format.fprintf ppf "%d,%d,%d" r.clb r.bram r.dsp
+  in
+  Arg.conv (parse, print)
+
+let budget_arg =
+  let doc = "Resource budget as CLB[,BRAM[,DSP]]." in
+  Arg.(value & opt (some budget_conv) None & info [ "budget" ] ~docv:"B" ~doc)
+
+let device_arg =
+  let doc = "Target a specific device from the catalogue (e.g. FX70T)." in
+  Arg.(value & opt (some string) None & info [ "device" ] ~docv:"DEV" ~doc)
+
+let freq_rule_arg =
+  let doc =
+    "Frequency-weight rule: $(b,support) (reproduces the paper's Table I) \
+     or $(b,min-edge) (the paper's literal formula)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("support", Cluster.Agglomerative.Support);
+                  ("min-edge", Cluster.Agglomerative.Min_edge) ])
+        Cluster.Agglomerative.Support
+    & info [ "freq-rule" ] ~docv:"RULE" ~doc)
+
+let no_promote_arg =
+  let doc = "Disable static promotion (pure region allocation)." in
+  Arg.(value & flag & info [ "no-promote" ] ~doc)
+
+let max_sets_arg =
+  let doc = "Maximum candidate partition sets to explore." in
+  Arg.(value & opt int 32 & info [ "max-sets" ] ~docv:"N" ~doc)
+
+let restarts_arg =
+  let doc = "Allocator restart budget." in
+  Arg.(value & opt int 8 & info [ "restarts" ] ~docv:"N" ~doc)
+
+let floorplan_arg =
+  let doc = "Validate the result with the columnar floorplanner." in
+  Arg.(value & flag & info [ "floorplan" ] ~doc)
+
+let save_scheme_arg =
+  let doc = "Save the chosen scheme as XML to this path." in
+  Arg.(value & opt (some string) None & info [ "save-scheme" ] ~docv:"FILE" ~doc)
+
+let options ~freq_rule ~no_promote ~max_sets ~restarts =
+  { Prcore.Engine.default_options with
+    freq_rule;
+    max_candidate_sets = max_sets;
+    allocator =
+      { Prcore.Allocator.max_restarts = restarts;
+        promote_static = not no_promote } }
+
+let target ~budget ~device =
+  match (budget, device) with
+  | Some _, Some _ -> Error "--budget and --device are mutually exclusive"
+  | Some b, None -> Ok (Prcore.Engine.Budget b)
+  | None, Some name ->
+    (match Fpga.Device.find name with
+     | Some d -> Ok (Prcore.Engine.Fixed d)
+     | None -> Error (Printf.sprintf "unknown device %S" name))
+  | None, None -> Ok Prcore.Engine.Auto
+
+let run_floorplan scheme device =
+  let layout = Floorplan.Layout.make device in
+  let demands =
+    Array.init
+      (scheme.Prcore.Scheme.region_count + 1)
+      (fun i ->
+        if i < scheme.Prcore.Scheme.region_count then
+          Floorplan.Placer.demand_of_resources
+            (Prcore.Scheme.region_resources scheme i)
+        else
+          Floorplan.Placer.demand_of_resources
+            (Prcore.Scheme.static_resources scheme))
+  in
+  let outcome = Floorplan.Placer.place layout demands in
+  Format.printf "Floorplan on %a:@." Fpga.Device.pp device;
+  Array.iteri
+    (fun i rect ->
+      let label =
+        if i < scheme.Prcore.Scheme.region_count then
+          Printf.sprintf "PRR%d" (i + 1)
+        else "static"
+      in
+      match rect with
+      | Some r ->
+        Format.printf "  %-7s %a@." label Floorplan.Placer.pp_rect r
+      | None -> Format.printf "  %-7s could not be placed@." label)
+    outcome.placements;
+  if outcome.failed <> [] then
+    Format.printf
+      "  -> floorplanning feedback: pick a larger device or re-partition@."
+
+let partition_cmd =
+  let run spec budget device freq_rule no_promote max_sets restarts floorplan
+      save_scheme =
+    match load_design spec with
+    | Error message -> `Error (false, message)
+    | Ok design ->
+      (match target ~budget ~device with
+       | Error message -> `Error (false, message)
+       | Ok target ->
+         let options = options ~freq_rule ~no_promote ~max_sets ~restarts in
+         (match Prcore.Engine.solve ~options ~target design with
+          | Error message -> `Error (false, message)
+          | Ok outcome ->
+            Format.printf "Design: %s@." (Prdesign.Design.summary design);
+            (match outcome.device with
+             | Some d ->
+               Format.printf "Device: %a (escalations %d)@." Fpga.Device.pp d
+                 outcome.escalations
+             | None ->
+               Format.printf "Budget: %a@." Fpga.Resource.pp outcome.budget);
+            Format.printf "%s" (Prcore.Scheme.describe outcome.scheme);
+            Format.printf "%a@." Prcore.Cost.pp_evaluation outcome.evaluation;
+            Format.printf
+              "(%d base partitions, %d candidate sets explored)@."
+              outcome.base_partitions outcome.candidate_sets;
+            if floorplan then begin
+              let device =
+                match outcome.device with
+                | Some d -> d
+                | None ->
+                  (match
+                     Fpga.Device.smallest_fitting
+                       outcome.evaluation.Prcore.Cost.used
+                   with
+                   | Some d -> d
+                   | None -> Fpga.Device.find_exn "FX200T")
+              in
+              run_floorplan outcome.scheme device
+            end;
+            (match save_scheme with
+             | Some path ->
+               Prcore.Scheme_xml.save_file path outcome.scheme;
+               Format.printf "scheme saved to %s@." path
+             | None -> ());
+            `Ok ()))
+  in
+  let doc = "Partition a design, minimising total reconfiguration time." in
+  Cmd.v
+    (Cmd.info "partition" ~doc)
+    Term.(
+      ret
+        (const run $ design_arg $ budget_arg $ device_arg $ freq_rule_arg
+         $ no_promote_arg $ max_sets_arg $ restarts_arg $ floorplan_arg
+         $ save_scheme_arg))
+
+let baselines_cmd =
+  let run spec =
+    match load_design spec with
+    | Error message -> `Error (false, message)
+    | Ok design ->
+      Format.printf "Design: %s@.@." (Prdesign.Design.summary design);
+      List.iter
+        (fun (l : Baselines.Schemes.labelled) ->
+          Format.printf "== %s ==@.%s%a@.@." l.label
+            (Prcore.Scheme.describe l.scheme)
+            Prcore.Cost.pp_evaluation l.evaluation)
+        (Baselines.Schemes.all design);
+      `Ok ()
+  in
+  let doc = "Evaluate the static, single-region and modular schemes." in
+  Cmd.v (Cmd.info "baselines" ~doc) Term.(ret (const run $ design_arg))
+
+let simulate_cmd =
+  let steps_arg =
+    Arg.(value & opt int 1000 & info [ "steps" ] ~docv:"N"
+           ~doc:"Length of the random adaptation walk.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Walk RNG seed.")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Replay a recorded trace instead of a random walk.")
+  in
+  let save_trace_arg =
+    Arg.(value & opt (some string) None & info [ "save-trace" ] ~docv:"FILE"
+           ~doc:"Record the walk as a trace file for later replay.")
+  in
+  let run spec budget device steps seed trace save_trace =
+    match load_design spec with
+    | Error message -> `Error (false, message)
+    | Ok design ->
+      (match target ~budget ~device with
+       | Error message -> `Error (false, message)
+       | Ok target ->
+         (match Prcore.Engine.solve ~target design with
+          | Error message -> `Error (false, message)
+          | Ok outcome ->
+            let configs = Prdesign.Design.configuration_count design in
+            if configs < 2 then
+              `Error (false, "need at least two configurations to simulate")
+            else begin
+              let trace_result =
+                match trace with
+                | Some path -> Runtime.Trace.load_file design path
+                | None ->
+                  let rng = Synth.Rng.make seed in
+                  Ok
+                    (Runtime.Trace.record design ~initial:0
+                       ~sequence:
+                         (Runtime.Manager.random_walk
+                            ~rand:(fun n -> Synth.Rng.int rng n)
+                            ~configs ~steps ~initial:0))
+              in
+              match trace_result with
+              | Error message -> `Error (false, message)
+              | Ok walk ->
+                let stats = Runtime.Trace.simulate outcome.scheme walk in
+                Format.printf "%s" (Prcore.Scheme.describe outcome.scheme);
+                Format.printf "%a@." Runtime.Manager.pp_stats stats;
+                Array.iteri
+                  (fun r loads ->
+                    Format.printf "  PRR%d reconfigured %d times@." (r + 1)
+                      loads)
+                  stats.region_loads;
+                (match save_trace with
+                 | Some path ->
+                   Runtime.Trace.save_file design path walk;
+                   Format.printf "trace saved to %s@." path
+                 | None -> ());
+                `Ok ()
+            end))
+  in
+  let doc =
+    "Partition a design and replay an adaptation walk (random or recorded)."
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      ret
+        (const run $ design_arg $ budget_arg $ device_arg $ steps_arg
+         $ seed_arg $ trace_arg $ save_trace_arg))
+
+let synth_cmd =
+  let count_arg =
+    Arg.(value & opt int 10 & info [ "count" ] ~docv:"N"
+           ~doc:"Number of designs to generate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2013 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write each design as XML into this directory.")
+  in
+  let run count seed out =
+    let designs = Synth.Generator.batch ~seed ~count () in
+    (match out with
+     | Some dir ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       List.iter
+         (fun (_, d) ->
+           Prdesign.Design_xml.save_file
+             (Filename.concat dir (d.Prdesign.Design.name ^ ".xml"))
+             d)
+         designs;
+       Format.printf "wrote %d designs to %s@." count dir
+     | None ->
+       List.iter
+         (fun (cls, d) ->
+           Format.printf "%-12s %s@."
+             (Synth.Generator.class_name cls)
+             (Prdesign.Design.summary d))
+         designs);
+    `Ok ()
+  in
+  let doc = "Generate synthetic adaptive designs (paper Section V recipe)." in
+  Cmd.v
+    (Cmd.info "synth" ~doc)
+    Term.(ret (const run $ count_arg $ seed_arg $ out_arg))
+
+let lint_cmd =
+  let run spec =
+    match load_design spec with
+    | Error message -> `Error (false, message)
+    | Ok design ->
+      Format.printf "Design: %s@." (Prdesign.Design.summary design);
+      print_string (Prdesign.Lint.render (Prdesign.Lint.check design));
+      `Ok ()
+  in
+  let doc = "Lint a design description for partitioning pitfalls." in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(ret (const run $ design_arg))
+
+let flow_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write wrappers, bitstreams and the report into DIR.")
+  in
+  let run spec budget device out =
+    match load_design spec with
+    | Error message -> `Error (false, message)
+    | Ok design ->
+      (match target ~budget ~device with
+       | Error message -> `Error (false, message)
+       | Ok target ->
+         (match Flow.Tool_flow.run ~target design with
+          | Error message -> `Error (false, message)
+          | Ok report ->
+            print_string (Flow.Tool_flow.render_summary report);
+            (match out with
+             | None -> ()
+             | Some dir ->
+               let written = Flow.Tool_flow.write_outputs ~dir report in
+               Format.printf "wrote %d files to %s@." (List.length written)
+                 dir);
+            `Ok ()))
+  in
+  let doc =
+    "Run the whole tool flow: partition, wrap, floorplan (with feedback), \
+     generate bitstreams."
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc)
+    Term.(ret (const run $ design_arg $ budget_arg $ device_arg $ out_arg))
+
+let devices_cmd =
+  let run () =
+    List.iter
+      (fun (d : Fpga.Device.t) ->
+        let r = Fpga.Device.resources d in
+        Format.printf "%-10s %-4s rows=%2d  clb=%6d bram=%4d dsp=%4d  (%d frames)@."
+          d.name
+          (Fpga.Device.family_name d.family)
+          d.rows r.clb r.bram r.dsp
+          (Fpga.Device.total_frames d))
+      Fpga.Device.catalogue;
+    `Ok ()
+  in
+  let doc = "List the modelled Virtex-5 device catalogue." in
+  Cmd.v (Cmd.info "devices" ~doc) Term.(ret (const run $ const ()))
+
+let designs_cmd =
+  let run () =
+    List.iter
+      (fun (name, d) ->
+        Format.printf "%-20s %s@." name (Prdesign.Design.summary d))
+      Prdesign.Design_library.all;
+    `Ok ()
+  in
+  let doc = "List the built-in paper designs." in
+  Cmd.v (Cmd.info "designs" ~doc) Term.(ret (const run $ const ()))
+
+let () =
+  let doc = "automated partitioning for partial reconfiguration designs" in
+  let info = Cmd.info "prpart" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ partition_cmd; baselines_cmd; simulate_cmd; synth_cmd; flow_cmd;
+            lint_cmd; devices_cmd; designs_cmd ]))

@@ -1,0 +1,1 @@
+examples/cognitive_radio.ml: Array Baselines Format Fpga List Prcore Prdesign Runtime Synth

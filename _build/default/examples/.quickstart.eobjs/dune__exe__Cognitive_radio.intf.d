@@ -1,0 +1,1 @@
+examples/cognitive_radio.mli:

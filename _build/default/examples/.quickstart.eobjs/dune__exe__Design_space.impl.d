@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Format Fpga List Prcore Prdesign Runtime Synth Sys

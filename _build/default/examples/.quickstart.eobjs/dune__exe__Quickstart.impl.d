@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Cluster Format Fpga List Prcore Prdesign Prgraph Runtime

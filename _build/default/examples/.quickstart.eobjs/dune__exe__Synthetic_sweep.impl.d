@@ -1,0 +1,1 @@
+examples/synthetic_sweep.ml: Array Experiments Format List Sys

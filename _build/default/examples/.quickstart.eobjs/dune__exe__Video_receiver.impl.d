@@ -1,0 +1,1 @@
+examples/video_receiver.ml: Array Floorplan Format Fpga Prcore Prdesign Printf Runtime

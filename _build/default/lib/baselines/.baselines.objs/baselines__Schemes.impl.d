@@ -1,0 +1,1 @@
+lib/baselines/schemes.ml: Prcore

@@ -1,0 +1,1 @@
+lib/baselines/schemes.mli: Prcore Prdesign

@@ -1,0 +1,24 @@
+module Scheme = Prcore.Scheme
+module Cost = Prcore.Cost
+
+type labelled = {
+  label : string;
+  scheme : Scheme.t;
+  evaluation : Cost.evaluation;
+}
+
+let labelled label scheme =
+  { label; scheme; evaluation = Cost.evaluate scheme }
+
+let fully_static design = labelled "Static" (Scheme.fully_static design)
+let single_region design = labelled "Single region" (Scheme.single_region design)
+
+let one_module_per_region design =
+  labelled "1 Module/Region" (Scheme.one_module_per_region design)
+
+let all design =
+  [ fully_static design; one_module_per_region design; single_region design ]
+
+let percent_change ~proposed ~baseline =
+  if baseline = 0 then 0.
+  else float_of_int (baseline - proposed) /. float_of_int baseline *. 100.

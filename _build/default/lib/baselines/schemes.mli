@@ -1,0 +1,28 @@
+(** The reference partitioning schemes the paper compares against
+    (§IV-A, §V), evaluated with the identical cost model as the proposed
+    algorithm. *)
+
+type labelled = {
+  label : string;
+  scheme : Prcore.Scheme.t;
+  evaluation : Prcore.Cost.evaluation;
+}
+
+val fully_static : Prdesign.Design.t -> labelled
+(** All modes always resident; zero reconfiguration time, maximum area. *)
+
+val single_region : Prdesign.Design.t -> labelled
+(** One region holding whole configurations; minimum area, every
+    transition reconfigures everything. *)
+
+val one_module_per_region : Prdesign.Design.t -> labelled
+(** The "modular" scheme: a region per module sized for its largest
+    mode. *)
+
+val all : Prdesign.Design.t -> labelled list
+(** The three references in the order of the paper's Table IV. *)
+
+val percent_change : proposed:int -> baseline:int -> float
+(** Improvement of [proposed] over [baseline] in percent, positive when
+    the proposed value is smaller (the orientation of the paper's
+    Fig. 9). [0.] when the baseline is zero. *)

@@ -1,0 +1,1 @@
+lib/bitgen/bitstream.ml: Buffer Bytes Char Crc32 Fpga Int32 Printf String

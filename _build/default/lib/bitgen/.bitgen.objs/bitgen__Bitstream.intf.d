@@ -1,0 +1,1 @@
+lib/bitgen/bitstream.mli:

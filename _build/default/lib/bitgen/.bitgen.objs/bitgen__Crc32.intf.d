@@ -1,0 +1,1 @@
+lib/bitgen/crc32.mli:

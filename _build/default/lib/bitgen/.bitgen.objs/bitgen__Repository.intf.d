@@ -1,0 +1,1 @@
+lib/bitgen/repository.mli: Bitstream Floorplan Fpga Prcore

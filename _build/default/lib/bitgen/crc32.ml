@@ -1,0 +1,36 @@
+let polynomial = 0xEDB88320l
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor polynomial (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let initial = 0xFFFFFFFFl
+let finalise crc = Int32.logxor crc 0xFFFFFFFFl
+
+let update crc buffer ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buffer then
+    invalid_arg "Crc32.update: slice out of range";
+  let table = Lazy.force table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    let index =
+      Int32.to_int
+        (Int32.logand
+           (Int32.logxor !crc (Int32.of_int (Char.code (Bytes.get buffer i))))
+           0xFFl)
+    in
+    crc := Int32.logxor table.(index) (Int32.shift_right_logical !crc 8)
+  done;
+  !crc
+
+let digest buffer =
+  finalise (update initial buffer ~pos:0 ~len:(Bytes.length buffer))
+
+let string_digest s = digest (Bytes.of_string s)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), as used to
+    protect configuration bitstreams. Table-driven, dependency-free. *)
+
+val digest : bytes -> int32
+(** CRC of a whole buffer. *)
+
+val update : int32 -> bytes -> pos:int -> len:int -> int32
+(** Incremental interface: feed a slice into a running CRC (start from
+    {!initial}). @raise Invalid_argument on an out-of-range slice. *)
+
+val initial : int32
+val finalise : int32 -> int32
+
+val string_digest : string -> int32

@@ -1,0 +1,93 @@
+module Scheme = Prcore.Scheme
+module Base_partition = Cluster.Base_partition
+
+type entry = {
+  region : int;
+  partition : int;
+  label : string;
+  bitstream : Bitstream.t;
+}
+
+type t = {
+  scheme : Scheme.t;
+  device : Fpga.Device.t;
+  full : Bitstream.t;
+  entries : entry list;
+}
+
+let build ?placement ~device (scheme : Scheme.t) =
+  let design = scheme.Scheme.design in
+  let far_of_region r =
+    match placement with
+    | Some rects when r < Array.length rects -> (
+      match rects.(r) with
+      | Some (rect : Floorplan.Placer.rect) ->
+        Bitstream.far_of_origin ~row:rect.row ~major:rect.col
+      | None -> Bitstream.far_of_origin ~row:0 ~major:r)
+    | Some _ | None -> Bitstream.far_of_origin ~row:0 ~major:r
+  in
+  let entries =
+    List.concat
+      (List.init scheme.Scheme.region_count (fun r ->
+           let frames = Scheme.region_frames scheme r in
+           List.map
+             (fun p ->
+               let label =
+                 Base_partition.label design scheme.Scheme.partitions.(p)
+               in
+               { region = r;
+                 partition = p;
+                 label;
+                 bitstream =
+                   Bitstream.generate
+                     { design = design.Prdesign.Design.name;
+                       variant = label;
+                       region = r;
+                       far = far_of_region r;
+                       frames } })
+             (Scheme.region_members scheme r)))
+  in
+  let full =
+    Bitstream.generate
+      { design = design.Prdesign.Design.name;
+        variant = "full";
+        region = 0xFFFF;
+        far = 0;
+        frames = Fpga.Device.total_frames device }
+  in
+  { scheme; device; full; entries }
+
+let find t ~region ~partition =
+  List.find_opt
+    (fun e -> e.region = region && e.partition = partition)
+    t.entries
+
+let partial_bytes t =
+  List.fold_left (fun acc e -> acc + Bitstream.size_bytes e.bitstream) 0 t.entries
+
+let total_bytes t = partial_bytes t + Bitstream.size_bytes t.full
+
+let load_seconds ?(icap = Fpga.Icap.default) entry =
+  Fpga.Icap.seconds_of_frames icap entry.bitstream.Bitstream.header.frames
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "bitstream repository for %s on %s\n"
+       t.scheme.Scheme.design.Prdesign.Design.name t.device.Fpga.Device.name);
+  Buffer.add_string buf
+    (Printf.sprintf "  full bitstream: %d frames, %d bytes\n"
+       t.full.Bitstream.header.frames
+       (Bitstream.size_bytes t.full));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  PRR%d %-24s %6d frames %8d bytes (%.2f ms)\n"
+           (e.region + 1) e.label e.bitstream.Bitstream.header.frames
+           (Bitstream.size_bytes e.bitstream)
+           (1e3 *. load_seconds e)))
+    t.entries;
+  Buffer.add_string buf
+    (Printf.sprintf "  total storage: %d bytes (%d partial)\n" (total_bytes t)
+       (partial_bytes t));
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** The bitstream repository of a partitioned design: one partial
+    bitstream per (region, hosted cluster) plus the initial full
+    bitstream — what the configuration-management software keeps in
+    external memory and streams through the ICAP at mode switches. *)
+
+type entry = {
+  region : int;
+  partition : int;  (** Index into the scheme's partition array. *)
+  label : string;  (** Cluster label, e.g. ["{A3, B2}"]. *)
+  bitstream : Bitstream.t;
+}
+
+type t = private {
+  scheme : Prcore.Scheme.t;
+  device : Fpga.Device.t;
+  full : Bitstream.t;  (** Whole-device initial bitstream. *)
+  entries : entry list;  (** Region-major, priority order within. *)
+}
+
+val build :
+  ?placement:Floorplan.Placer.rect option array ->
+  device:Fpga.Device.t ->
+  Prcore.Scheme.t ->
+  t
+(** Partial bitstreams take their region's tile-quantised frame count;
+    frame addresses come from [placement] (the floorplanner's rectangles,
+    regions first) when given, otherwise from a region-index placeholder.
+    The full bitstream covers the whole device. *)
+
+val find : t -> region:int -> partition:int -> entry option
+
+val total_bytes : t -> int
+(** Storage for all partial bitstreams plus the full one. *)
+
+val partial_bytes : t -> int
+(** Storage for the partial bitstreams only. *)
+
+val load_seconds : ?icap:Fpga.Icap.t -> entry -> float
+(** ICAP time to load one partial bitstream. *)
+
+val render : t -> string
+(** Human-readable inventory table. *)

@@ -1,0 +1,1 @@
+lib/cluster/agglomerative.mli: Base_partition Prdesign

@@ -1,0 +1,1 @@
+lib/cluster/base_partition.ml: Format Fpga Int List Prdesign String

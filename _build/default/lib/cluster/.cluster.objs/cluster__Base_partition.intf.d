@@ -1,0 +1,1 @@
+lib/cluster/base_partition.mli: Format Fpga Prdesign

@@ -1,0 +1,65 @@
+module Design = Prdesign.Design
+module Conn_matrix = Prgraph.Conn_matrix
+module Wgraph = Prgraph.Wgraph
+module Clique = Prgraph.Clique
+
+type freq_rule = Support | Min_edge
+
+let graph_of_matrix matrix =
+  Wgraph.create
+    ~n:(Conn_matrix.modes matrix)
+    ~weight:(fun i j -> Conn_matrix.edge_weight matrix i j)
+
+(* Run the clustering loop and feed every discovered (link, cliques) pair
+   to [emit]. Shared by [run] and [trace]. *)
+let iterate ~freq_rule ~clique_limit design emit =
+  let matrix = Conn_matrix.make design in
+  let graph = graph_of_matrix matrix in
+  let keep =
+    match freq_rule with
+    | Support -> fun modes -> Conn_matrix.supported matrix modes
+    | Min_edge -> fun _ -> true
+  in
+  let freq_of modes =
+    match freq_rule with
+    | Support -> Conn_matrix.support matrix modes
+    | Min_edge -> Wgraph.min_internal_weight graph modes
+  in
+  List.iter
+    (fun (i, j, w) ->
+      Wgraph.link graph i j;
+      let cliques =
+        Clique.new_cliques_after_link ~keep ~limit:clique_limit graph i j
+      in
+      let partitions =
+        List.map
+          (fun modes -> Base_partition.make design ~modes ~freq:(freq_of modes))
+          cliques
+      in
+      emit (i, j, w) partitions)
+    (Wgraph.positive_pairs_desc graph);
+  matrix
+
+let singletons matrix design =
+  List.map
+    (fun mode ->
+      Base_partition.make design ~modes:[ mode ]
+        ~freq:(Conn_matrix.node_weight matrix mode))
+    (Conn_matrix.active_modes matrix)
+
+let run ?(freq_rule = Support) ?(clique_limit = 100_000) design =
+  let acc = ref [] in
+  let matrix =
+    iterate ~freq_rule ~clique_limit design (fun _link partitions ->
+        acc := List.rev_append partitions !acc)
+  in
+  List.sort Base_partition.compare_priority
+    (singletons matrix design @ List.rev !acc)
+
+let trace ?(freq_rule = Support) ?(clique_limit = 100_000) design =
+  let acc = ref [] in
+  let (_ : Conn_matrix.t) =
+    iterate ~freq_rule ~clique_limit design (fun link partitions ->
+        acc := (link, partitions) :: !acc)
+  in
+  List.rev !acc

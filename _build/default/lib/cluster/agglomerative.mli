@@ -1,0 +1,38 @@
+(** The paper's modified hierarchical clustering with agglomerative
+    strategy (§IV-C): starting from disconnected mode nodes, links are
+    added in descending edge-weight order; every sub-graph that becomes
+    complete is recorded as a base partition with a frequency weight.
+
+    Two frequency rules are provided (see DESIGN.md):
+
+    - [Support] (default): a newly complete sub-graph is kept only when
+      its modes co-occur in at least one configuration, and its frequency
+      weight is that co-occurrence count. This reproduces the paper's
+      Table I exactly.
+    - [Min_edge]: the paper's literal rule — every newly complete
+      sub-graph is kept and weighted by its minimum internal edge weight
+      (node weight for singletons). Kept for the ablation study. *)
+
+type freq_rule = Support | Min_edge
+
+val run :
+  ?freq_rule:freq_rule ->
+  ?clique_limit:int ->
+  Prdesign.Design.t ->
+  Base_partition.t list
+(** All base partitions of the design, sorted with
+    {!Base_partition.compare_priority} (the covering-list order).
+    Singletons cover every mode used by at least one configuration; modes
+    used by no configuration (paper's "mode 0") are excluded.
+    [clique_limit] bounds enumeration per added link (default 100_000,
+    only reachable under [Min_edge]). *)
+
+val trace :
+  ?freq_rule:freq_rule ->
+  ?clique_limit:int ->
+  Prdesign.Design.t ->
+  ((int * int * int) * Base_partition.t list) list
+(** The clustering history: for each link added — [(mode_i, mode_j,
+    edge_weight)] in addition order — the base partitions discovered by
+    that link. Singleton partitions are not part of the trace (they exist
+    before any link is added). *)

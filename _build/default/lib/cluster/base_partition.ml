@@ -1,0 +1,46 @@
+module Design = Prdesign.Design
+
+type t = {
+  modes : int list;
+  freq : int;
+  resources : Fpga.Resource.t;
+  frames : int;
+}
+
+let make design ~modes ~freq =
+  if modes = [] then invalid_arg "Base_partition.make: empty mode list";
+  if freq <= 0 then invalid_arg "Base_partition.make: non-positive frequency";
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+      if a >= b then
+        invalid_arg "Base_partition.make: modes must be strictly ascending";
+      check_sorted rest
+    | [ _ ] | [] -> ()
+  in
+  check_sorted modes;
+  let resources =
+    Fpga.Resource.sum (List.map (Design.mode_resources design) modes)
+  in
+  { modes; freq; resources; frames = Fpga.Tile.frames_of_resources resources }
+
+let cardinal t = List.length t.modes
+let mem mode t = List.mem mode t.modes
+let equal_modes a b = a.modes = b.modes
+let overlaps a b = List.exists (fun m -> List.mem m b.modes) a.modes
+
+let compare_priority a b =
+  match Int.compare (cardinal a) (cardinal b) with
+  | 0 -> (
+    match Int.compare a.freq b.freq with
+    | 0 -> (
+      match Int.compare a.frames b.frames with
+      | 0 -> compare a.modes b.modes
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let label design t =
+  "{" ^ String.concat ", " (List.map (Design.mode_label design) t.modes) ^ "}"
+
+let pp design ppf t =
+  Format.fprintf ppf "%s (freq %d, %d frames)" (label design t) t.freq t.frames

@@ -1,0 +1,35 @@
+(** A base partition: a cluster of modes that occur together in at least
+    one configuration and are therefore implemented {e simultaneously}
+    when loaded into a region (paper §IV-C). Its area is the sum of its
+    modes' areas; its frequency weight measures how often the whole
+    cluster occurs across the configurations. *)
+
+type t = private {
+  modes : int list;  (** Flat mode ids, ascending, non-empty, no dupes. *)
+  freq : int;  (** Frequency weight. *)
+  resources : Fpga.Resource.t;  (** Sum of the member modes' resources. *)
+  frames : int;
+      (** Tile-quantised configuration size of a region holding exactly
+          this cluster (paper eq. 1/6). *)
+}
+
+val make : Prdesign.Design.t -> modes:int list -> freq:int -> t
+(** @raise Invalid_argument on an empty, unsorted or duplicated mode list,
+    a mode id out of range, or a non-positive frequency. *)
+
+val cardinal : t -> int
+val mem : int -> t -> bool
+val equal_modes : t -> t -> bool
+
+val overlaps : t -> t -> bool
+(** True when the two clusters share a mode. *)
+
+val compare_priority : t -> t -> int
+(** The paper's covering-list order: ascending mode count, then ascending
+    frequency weight, then ascending area (frames), then mode ids as a
+    deterministic tiebreak. *)
+
+val label : Prdesign.Design.t -> t -> string
+(** E.g. ["{A3, B2}"] using {!Prdesign.Design.mode_label} names. *)
+
+val pp : Prdesign.Design.t -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/anneal.ml: Array Cluster Compatibility Float Fpga Fun Hashtbl Int Int64 List Prdesign Scheme

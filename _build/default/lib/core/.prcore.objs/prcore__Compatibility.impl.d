@@ -1,0 +1,1 @@
+lib/core/compatibility.ml: Array Cluster List Prdesign

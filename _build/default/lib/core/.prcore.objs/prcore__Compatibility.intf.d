@@ -1,0 +1,1 @@
+lib/core/compatibility.mli: Cluster Prdesign

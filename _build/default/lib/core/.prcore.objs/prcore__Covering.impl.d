@@ -1,0 +1,1 @@
+lib/core/covering.ml: Array Cluster List Prdesign

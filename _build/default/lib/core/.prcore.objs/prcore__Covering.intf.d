@@ -1,0 +1,1 @@
+lib/core/covering.mli: Cluster Prdesign

@@ -1,0 +1,1 @@
+lib/core/design_space.ml: Buffer Cost Engine Fpga Int List Prdesign Printf Scheme

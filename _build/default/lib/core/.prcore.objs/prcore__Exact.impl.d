@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Cluster Compatibility Fpga List Option Prdesign Scheme

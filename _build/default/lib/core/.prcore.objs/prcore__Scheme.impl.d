@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Array Buffer Cluster Compatibility Format Fpga Int List Prdesign Prgraph Printf String

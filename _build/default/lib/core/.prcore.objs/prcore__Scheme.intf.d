@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Cluster Compatibility Format Fpga Prdesign

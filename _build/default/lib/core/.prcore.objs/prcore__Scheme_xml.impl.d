@@ -1,0 +1,1 @@
+lib/core/scheme_xml.ml: Array Cluster Fun Int List Prdesign Printf Scheme String Xmllite

@@ -1,0 +1,1 @@
+lib/core/scheme_xml.mli: Prdesign Scheme Xmllite

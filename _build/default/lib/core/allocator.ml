@@ -1,0 +1,338 @@
+module Design = Prdesign.Design
+module Base_partition = Cluster.Base_partition
+module Resource = Fpga.Resource
+module Tile = Fpga.Tile
+
+type options = { max_restarts : int; promote_static : bool }
+
+let default_options = { max_restarts = 8; promote_static = true }
+
+(* Scalar area in frame-equivalents, used for deficits and tie-breaks:
+   frames contributed per primitive of each kind. *)
+let frames_per_clb = float_of_int (Tile.frames_per_tile Clb) /. 20.
+let frames_per_bram = float_of_int (Tile.frames_per_tile Bram) /. 4.
+let frames_per_dsp = float_of_int (Tile.frames_per_tile Dsp) /. 8.
+
+let scalar (r : Resource.t) =
+  (float_of_int r.clb *. frames_per_clb)
+  +. (float_of_int r.bram *. frames_per_bram)
+  +. (float_of_int r.dsp *. frames_per_dsp)
+
+let deficit ~budget (used : Resource.t) =
+  let over a b = max 0 (a - b) in
+  scalar
+    { Resource.clb = over used.clb budget.Resource.clb;
+      bram = over used.bram budget.Resource.bram;
+      dsp = over used.dsp budget.Resource.dsp }
+
+(* A live region: its member partitions (priority order), the resident
+   partition per configuration (-1 = don't care), and cached area/cost. *)
+type region = {
+  mutable members : int list;
+  mutable column : int array;
+  mutable resources : Resource.t;
+  mutable quantized : Resource.t;
+  mutable frames : int;
+  mutable conflicts : float;  (* weighted count of reconfiguring pairs *)
+  mutable alive : bool;
+}
+
+type state = {
+  design : Design.t;
+  partitions : Base_partition.t array;
+  regions : region array;  (* indexed by founding partition *)
+  mutable statics : int list;  (* partitions promoted to static *)
+  pair_weight : int -> int -> float;
+}
+
+(* Weighted sum over unordered config pairs with two distinct
+   non-don't-care residents. With the default unit weight this is the
+   paper's conflict count (eq. 8's decision variable summed over pairs). *)
+let conflicts_of_column ~pair_weight column =
+  let n = Array.length column in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let a = column.(i) in
+    if a >= 0 then
+      for j = i + 1 to n - 1 do
+        let b = column.(j) in
+        if b >= 0 && a <> b then acc := !acc +. pair_weight i j
+      done
+  done;
+  !acc
+
+let refresh_cost ~pair_weight region =
+  region.quantized <- Tile.quantize region.resources;
+  region.frames <- Tile.frames_of_resources region.resources;
+  region.conflicts <- conflicts_of_column ~pair_weight region.column
+
+let initial_state ~pair_weight design partitions analysis =
+  let configs = Design.configuration_count design in
+  let regions =
+    Array.mapi
+      (fun p (bp : Base_partition.t) ->
+        let column =
+          Array.init configs (fun c ->
+              if Compatibility.active analysis ~bp:p ~config:c then p else -1)
+        in
+        let region =
+          { members = [ p ];
+            column;
+            resources = bp.resources;
+            quantized = Resource.zero;
+            frames = 0;
+            conflicts = 0.;
+            alive = true }
+        in
+        refresh_cost ~pair_weight region;
+        region)
+      partitions
+  in
+  { design; partitions; regions; statics = []; pair_weight }
+
+let copy_state state =
+  { state with
+    regions =
+      Array.map
+        (fun r -> { r with column = Array.copy r.column })
+        state.regions;
+    statics = state.statics }
+
+let static_resources state =
+  List.fold_left
+    (fun acc p ->
+      Resource.add acc state.partitions.(p).Base_partition.resources)
+    state.design.Design.static_overhead state.statics
+
+let used_resources state =
+  Array.fold_left
+    (fun acc r -> if r.alive then Resource.add acc r.quantized else acc)
+    (static_resources state) state.regions
+
+
+(* Two regions may merge iff no configuration needs both. *)
+let mergeable a b =
+  let ok = ref true in
+  Array.iteri
+    (fun c va -> if va >= 0 && b.column.(c) >= 0 then ok := false)
+    a.column;
+  !ok
+
+let merged_column a b =
+  Array.init (Array.length a.column) (fun c ->
+      if a.column.(c) >= 0 then a.column.(c) else b.column.(c))
+
+type move = Merge of int * int | Promote of int
+
+(* Evaluate a move against the current state: the reconfiguration-time
+   delta and the resulting resource usage. *)
+let evaluate_move state used move =
+  match move with
+  | Merge (i, j) ->
+    let a = state.regions.(i) and b = state.regions.(j) in
+    let column = merged_column a b in
+    let resources = Resource.max a.resources b.resources in
+    let quantized = Tile.quantize resources in
+    let frames = Tile.frames_of_resources resources in
+    let conflicts = conflicts_of_column ~pair_weight:state.pair_weight column in
+    let dtime =
+      (float_of_int frames *. conflicts)
+      -. (float_of_int a.frames *. a.conflicts)
+      -. (float_of_int b.frames *. b.conflicts)
+    in
+    let new_used =
+      Resource.add
+        (Resource.sub (Resource.sub used a.quantized) b.quantized)
+        quantized
+    in
+    (dtime, new_used)
+  | Promote i ->
+    let r = state.regions.(i) in
+    let raw =
+      List.fold_left
+        (fun acc p ->
+          Resource.add acc state.partitions.(p).Base_partition.resources)
+        Resource.zero r.members
+    in
+    ( -.(float_of_int r.frames *. r.conflicts),
+      Resource.add (Resource.sub used r.quantized) raw )
+
+let apply_move state move =
+  match move with
+  | Merge (i, j) ->
+    let a = state.regions.(i) and b = state.regions.(j) in
+    a.members <- a.members @ b.members;
+    a.column <- merged_column a b;
+    a.resources <- Resource.max a.resources b.resources;
+    refresh_cost ~pair_weight:state.pair_weight a;
+    b.alive <- false
+  | Promote i ->
+    let r = state.regions.(i) in
+    state.statics <- state.statics @ r.members;
+    r.alive <- false
+
+let candidate_moves ~promote_static state =
+  let n = Array.length state.regions in
+  let moves = ref [] in
+  for i = 0 to n - 1 do
+    if state.regions.(i).alive then begin
+      if promote_static then moves := Promote i :: !moves;
+      for j = i + 1 to n - 1 do
+        if
+          state.regions.(j).alive
+          && mergeable state.regions.(i) state.regions.(j)
+        then moves := Merge (i, j) :: !moves
+      done
+    end
+  done;
+  !moves
+
+(* One greedy descent. Over budget: minimise the deficit, then added time,
+   then area. Within budget: apply time-reducing promotions only. *)
+let greedy ~options ~budget state =
+  let continue_ = ref true in
+  while !continue_ do
+    let used = used_resources state in
+    let current_deficit = deficit ~budget used in
+    let moves = candidate_moves ~promote_static:options.promote_static state in
+    let scored =
+      List.map
+        (fun m ->
+          let dtime, new_used = evaluate_move state used m in
+          (m, dtime, new_used, deficit ~budget new_used))
+        moves
+    in
+    let best =
+      if current_deficit > 0. then
+        (* Progress = not increasing the deficit; merges always shrink
+           area so ties are allowed, promotions must strictly help. *)
+        let eligible =
+          List.filter
+            (fun (m, _, _, d) ->
+              match m with
+              | Merge _ -> d <= current_deficit
+              | Promote _ -> d < current_deficit)
+            scored
+        in
+        let better (_, t1, u1, d1) (_, t2, u2, d2) =
+          match compare d1 d2 with
+          | 0 -> (
+            match compare t1 t2 with
+            | 0 -> compare (scalar u1) (scalar u2)
+            | c -> c)
+          | c -> c
+        in
+        (match List.sort better eligible with m :: _ -> Some m | [] -> None)
+      else
+        let eligible =
+          List.filter
+            (fun (m, dtime, _, d) ->
+              d = 0.
+              && dtime < 0.
+              && match m with Promote _ -> true | Merge _ -> false)
+            scored
+        in
+        let better (_, t1, u1, _) (_, t2, u2, _) =
+          match compare t1 t2 with
+          | 0 -> compare (scalar u1) (scalar u2)
+          | c -> c
+        in
+        (match List.sort better eligible with m :: _ -> Some m | [] -> None)
+    in
+    match best with
+    | Some (m, _, _, _) -> apply_move state m
+    | None -> continue_ := false
+  done;
+  if deficit ~budget (used_resources state) > 0. then None else Some state
+
+let scheme_of_state state =
+  let next = ref 0 in
+  let region_ids = Array.make (Array.length state.regions) (-1) in
+  Array.iteri
+    (fun i r ->
+      if r.alive then begin
+        region_ids.(i) <- !next;
+        incr next
+      end)
+    state.regions;
+  let placement = Array.make (Array.length state.partitions) Scheme.Static in
+  Array.iteri
+    (fun i r ->
+      if r.alive then
+        List.iter
+          (fun p -> placement.(p) <- Scheme.Region region_ids.(i))
+          r.members)
+    state.regions;
+  List.iter (fun p -> placement.(p) <- Scheme.Static) state.statics;
+  Scheme.make_exn state.design
+    (List.mapi
+       (fun p bp -> (bp, placement.(p)))
+       (Array.to_list state.partitions))
+
+(* Rank restart results by the weighted objective (the greedy state's
+   summed contributions), then the paper's worst case, then area. *)
+let better_scheme a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some ((_, va, ea) as a'), Some ((_, vb, eb) as b') ->
+    let key value (e : Cost.evaluation) =
+      (value, e.worst_frames, scalar e.used)
+    in
+    if key va ea <= key vb eb then Some a' else Some b'
+
+let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
+    ~budget design partitions =
+  match partitions with
+  | [] -> None
+  | _ ->
+    let parts = Array.of_list partitions in
+    let analysis = Compatibility.analyse design parts in
+    if not (Compatibility.covers_design analysis) then None
+    else begin
+      let base = initial_state ~pair_weight design parts analysis in
+      let run first_move =
+        let state = copy_state base in
+        Option.iter (apply_move state) first_move;
+        match greedy ~options ~budget state with
+        | None -> None
+        | Some state ->
+          let weighted_value =
+            Array.fold_left
+              (fun acc r ->
+                if r.alive then acc +. (float_of_int r.frames *. r.conflicts)
+                else acc)
+              0. state.regions
+          in
+          let scheme = scheme_of_state state in
+          Some (scheme, weighted_value, Cost.evaluate scheme)
+      in
+      (* Alternative first moves: the initial state's candidate moves
+         ranked by (time delta, area), truncated to the restart budget. *)
+      let restarts =
+        let used = used_resources base in
+        let ranked =
+          List.sort
+            (fun (_, t1, u1) (_, t2, u2) ->
+              match compare t1 t2 with
+              | 0 -> compare (scalar u1) (scalar u2)
+              | c -> c)
+            (List.map
+               (fun m ->
+                 let dtime, new_used = evaluate_move base used m in
+                 (m, dtime, new_used))
+               (candidate_moves ~promote_static:options.promote_static base))
+        in
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | (m, _, _) :: rest -> Some m :: take (n - 1) rest
+        in
+        None :: take options.max_restarts ranked
+      in
+      let best =
+        List.fold_left
+          (fun best first_move -> better_scheme best (run first_move))
+          None restarts
+      in
+      Option.map (fun (scheme, _, _) -> scheme) best
+    end

@@ -1,0 +1,47 @@
+(** Region allocation search (paper §IV-C, second half).
+
+    Starting from the candidate partition set with every base partition in
+    its own region — the static-equivalent allocation with minimum
+    reconfiguration time — the search repeatedly applies one of two moves:
+
+    - {b merge} two compatible regions (always shrinks area, never reduces
+      reconfiguration time), used to squeeze the design into the budget;
+    - {b promote} a region's partitions to the static area (eliminates
+      that region's reconfiguration cost, usually at an area cost), the
+      paper's "move modes into the static region when possible".
+
+    While over budget the search picks the move that most reduces the
+    resource deficit (ties broken by least added reconfiguration time);
+    once within budget it keeps applying time-reducing promotions. The
+    greedy pass is restarted from each of the most promising first moves
+    and the best feasible scheme wins. *)
+
+type options = {
+  max_restarts : int;
+      (** Number of alternative first moves to try in addition to the pure
+          greedy pass. Default 8. *)
+  promote_static : bool;
+      (** Enable static promotion (disable for the ablation). Default
+          [true]. *)
+}
+
+val default_options : options
+
+val allocate :
+  ?options:options ->
+  ?pair_weight:(int -> int -> float) ->
+  budget:Fpga.Resource.t ->
+  Prdesign.Design.t ->
+  Cluster.Base_partition.t list ->
+  Scheme.t option
+(** Best feasible scheme found for one candidate partition set (priority
+    order preserved), or [None] when no explored allocation fits the
+    budget. Schemes are compared by total reconfiguration frames, then
+    worst-case frames, then area.
+
+    [pair_weight i j] weights the cost of configurations [i] and [j]
+    requiring different region contents (unordered pairs, [i < j]). The
+    default unit weight yields the paper's total reconfiguration time;
+    passing long-run transition rates (see [Runtime.Markov.edge_rates],
+    symmetrised) optimises the expected reconfiguration rate instead —
+    the paper's future-work extension. *)

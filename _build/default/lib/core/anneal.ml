@@ -1,0 +1,213 @@
+module Design = Prdesign.Design
+module Base_partition = Cluster.Base_partition
+module Resource = Fpga.Resource
+module Tile = Fpga.Tile
+
+type options = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  seed : int;
+  promote_static : bool;
+}
+
+let default_options =
+  { iterations = 60_000;
+    initial_temperature = 20_000.;
+    cooling = 0.9998;
+    seed = 1;
+    promote_static = true }
+
+(* A self-contained SplitMix64 stream so prcore does not depend on the
+   workload-generator library. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let mix z =
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let make seed = { state = mix (Int64.of_int seed) }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    mix t.state
+
+  let int t bound =
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+  let float t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11)
+    /. 9007199254740992.
+end
+
+(* Scalar area in frame-equivalents, matching the greedy allocator. *)
+let scalar (r : Resource.t) =
+  (float_of_int r.clb *. 1.8)
+  +. (float_of_int r.bram *. 7.5)
+  +. (float_of_int r.dsp *. 3.5)
+
+let deficit ~budget (used : Resource.t) =
+  let over a b = max 0 (a - b) in
+  scalar
+    { Resource.clb = over used.clb budget.Resource.clb;
+      bram = over used.bram budget.Resource.bram;
+      dsp = over used.dsp budget.Resource.dsp }
+
+(* Energy of a placement: total reconfiguration frames plus a soft
+   penalty per frame-equivalent of budget overrun — steep enough that
+   feasible states win, shallow enough that the walk can cross short
+   infeasible ridges at moderate temperatures. Evaluates the whole state;
+   n and c are small. Returns (energy, feasible, total). *)
+let evaluate ~budget ~design ~parts ~activity placement =
+  let n = Array.length parts in
+  let configs = Design.configuration_count design in
+  let region_ids =
+    List.sort_uniq Int.compare
+      (List.filter (fun r -> r >= 0) (Array.to_list placement))
+  in
+  let static_res = ref design.Design.static_overhead in
+  Array.iteri
+    (fun p r ->
+      if r = -1 then
+        static_res := Resource.add !static_res parts.(p).Base_partition.resources)
+    placement;
+  let used = ref !static_res in
+  let total = ref 0 in
+  let valid = ref true in
+  List.iter
+    (fun region ->
+      let members = ref [] in
+      for p = n - 1 downto 0 do
+        if placement.(p) = region then members := p :: !members
+      done;
+      let resources =
+        List.fold_left
+          (fun acc p -> Resource.max acc parts.(p).Base_partition.resources)
+          Resource.zero !members
+      in
+      used := Resource.add !used (Tile.quantize resources);
+      let frames = Tile.frames_of_resources resources in
+      (* Resident per configuration; two active members in one config make
+         the placement invalid. *)
+      let column = Array.make configs (-1) in
+      List.iter
+        (fun p ->
+          for c = 0 to configs - 1 do
+            if activity.(p).(c) then
+              if column.(c) >= 0 then valid := false else column.(c) <- p
+          done)
+        !members;
+      let conflicts = ref 0 in
+      for i = 0 to configs - 1 do
+        for j = i + 1 to configs - 1 do
+          if column.(i) >= 0 && column.(j) >= 0 && column.(i) <> column.(j)
+          then incr conflicts
+        done
+      done;
+      total := !total + (frames * !conflicts))
+    region_ids;
+  if not !valid then (infinity, false, max_int)
+  else begin
+    let d = deficit ~budget !used in
+    let energy = float_of_int !total +. (200. *. d) in
+    (energy, d = 0., !total)
+  end
+
+let scheme_of_placement design parts placement =
+  (* Renumber regions densely in order of first appearance. *)
+  let mapping = Hashtbl.create 8 in
+  let next = ref 0 in
+  let resolved =
+    Array.map
+      (fun r ->
+        if r = -1 then Scheme.Static
+        else begin
+          let id =
+            match Hashtbl.find_opt mapping r with
+            | Some id -> id
+            | None ->
+              let id = !next in
+              Hashtbl.add mapping r id;
+              incr next;
+              id
+          in
+          Scheme.Region id
+        end)
+      placement
+  in
+  Scheme.make design
+    (List.mapi (fun p bp -> (bp, resolved.(p))) (Array.to_list parts))
+
+let allocate ?(options = default_options) ~budget design partitions =
+  match partitions with
+  | [] -> None
+  | _ ->
+    let parts = Array.of_list partitions in
+    let n = Array.length parts in
+    let analysis = Compatibility.analyse design parts in
+    if not (Compatibility.covers_design analysis) then None
+    else begin
+      let configs = Design.configuration_count design in
+      let activity =
+        Array.init n (fun p ->
+            Array.init configs (fun c ->
+                Compatibility.active analysis ~bp:p ~config:c))
+      in
+      let rng = Rng.make options.seed in
+      (* Start all-separate: region id = partition index. *)
+      let placement = Array.init n Fun.id in
+      let eval placement = evaluate ~budget ~design ~parts ~activity placement in
+      let energy, feasible, total = eval placement in
+      let current_energy = ref energy in
+      let best = ref (if feasible then Some (Array.copy placement, total) else None)
+      in
+      let temperature = ref options.initial_temperature in
+      for _ = 1 to options.iterations do
+        let p = Rng.int rng n in
+        let old_region = placement.(p) in
+        (* Candidate target: another partition's region, a fresh region
+           (its own index), or static. *)
+        let choice = Rng.int rng (n + if options.promote_static then 2 else 1) in
+        let target =
+          if choice < n then placement.(Rng.int rng n)
+          else if choice = n then p
+          else -1
+        in
+        if target <> old_region then begin
+          placement.(p) <- target;
+          let energy, feasible, total = eval placement in
+          let delta = energy -. !current_energy in
+          let accept =
+            delta < 0.
+            || (Float.is_finite delta
+                && Rng.float rng < Float.exp (-.delta /. !temperature))
+          in
+          if accept then begin
+            current_energy := energy;
+            if feasible then
+              match !best with
+              | Some (_, best_total) when best_total <= total -> ()
+              | Some _ | None -> best := Some (Array.copy placement, total)
+          end
+          else placement.(p) <- old_region
+        end;
+        temperature := !temperature *. options.cooling
+      done;
+      match !best with
+      | None -> None
+      | Some (placement, _) ->
+        (match scheme_of_placement design parts placement with
+         | Ok scheme -> Some scheme
+         | Error _ -> None)
+    end

@@ -1,0 +1,28 @@
+(** Simulated-annealing region allocation — the search strategy of the
+    related work the paper compares against (Montone et al. use simulated
+    annealing for PR partitioning/floorplanning). Provided as an
+    alternative to the greedy {!Allocator} over the same solution space
+    (cluster → region/static assignments, identical cost model), so the
+    two heuristics and the exact optimum ({!Exact}) can be compared like
+    for like. *)
+
+type options = {
+  iterations : int;  (** Metropolis steps. Default 60_000. *)
+  initial_temperature : float;  (** In frames; default 20_000. *)
+  cooling : float;  (** Geometric factor per step, in (0, 1). Default
+                        0.9998. *)
+  seed : int;  (** Deterministic RNG seed. Default 1. *)
+  promote_static : bool;  (** Allow the static move. Default [true]. *)
+}
+
+val default_options : options
+
+val allocate :
+  ?options:options ->
+  budget:Fpga.Resource.t ->
+  Prdesign.Design.t ->
+  Cluster.Base_partition.t list ->
+  Scheme.t option
+(** Best {e feasible} scheme encountered during the anneal (infeasible
+    states are explored via an area-deficit penalty but never returned),
+    or [None] when none was found. Deterministic in [options.seed]. *)

@@ -1,0 +1,103 @@
+module Design = Prdesign.Design
+module Base_partition = Cluster.Base_partition
+
+type t = {
+  design : Design.t;
+  partitions : Base_partition.t array;
+  activity : bool array array;  (* bp index x config index *)
+  covers : bool;
+}
+
+(* Greedy best-coverage resolution of one configuration: pick the
+   partition covering the most uncovered modes (earliest on ties), until
+   no partition covers anything new. *)
+let resolve partitions config_modes mark =
+  let uncovered = ref config_modes in
+  let continue_ = ref true in
+  while !continue_ && !uncovered <> [] do
+    let best = ref None in
+    Array.iteri
+      (fun p (bp : Base_partition.t) ->
+        let covered =
+          List.length (List.filter (fun m -> Base_partition.mem m bp) !uncovered)
+        in
+        match !best with
+        | Some (_, best_covered) when covered <= best_covered -> ()
+        | Some _ | None -> if covered > 0 then best := Some (p, covered))
+      partitions;
+    match !best with
+    | None -> continue_ := false
+    | Some (p, _) ->
+      mark p;
+      uncovered :=
+        List.filter
+          (fun m -> not (Base_partition.mem m partitions.(p)))
+          !uncovered
+  done;
+  !uncovered = []
+
+let analyse design partitions =
+  let modes = Design.mode_count design in
+  Array.iter
+    (fun (bp : Base_partition.t) ->
+      List.iter
+        (fun mode ->
+          if mode < 0 || mode >= modes then
+            invalid_arg "Compatibility.analyse: mode id out of range")
+        bp.modes)
+    partitions;
+  let configs = Design.configuration_count design in
+  let activity = Array.make_matrix (Array.length partitions) configs false in
+  let covers = ref true in
+  for c = 0 to configs - 1 do
+    let full =
+      resolve partitions
+        (Design.config_mode_ids design c)
+        (fun p -> activity.(p).(c) <- true)
+    in
+    if not full then covers := false
+  done;
+  { design; partitions; activity; covers = !covers }
+
+let design t = t.design
+let partitions t = t.partitions
+let covers_design t = t.covers
+
+let check_bp t p =
+  if p < 0 || p >= Array.length t.partitions then
+    invalid_arg "Compatibility: partition index out of range"
+
+let active t ~bp ~config =
+  check_bp t bp;
+  if config < 0 || config >= Design.configuration_count t.design then
+    invalid_arg "Compatibility.active: configuration index out of range";
+  t.activity.(bp).(config)
+
+let active_configs t p =
+  check_bp t p;
+  let acc = ref [] in
+  for c = Array.length t.activity.(p) - 1 downto 0 do
+    if t.activity.(p).(c) then acc := c :: !acc
+  done;
+  !acc
+
+let compatible t p q =
+  check_bp t p;
+  check_bp t q;
+  if p = q then Array.for_all not t.activity.(p)
+  else begin
+    let configs = Array.length t.activity.(p) in
+    let rec scan c =
+      if c >= configs then true
+      else if t.activity.(p).(c) && t.activity.(q).(c) then false
+      else scan (c + 1)
+    in
+    scan 0
+  end
+
+let compatible_all t group =
+  let rec pairs = function
+    | [] -> true
+    | p :: rest -> List.for_all (fun q -> compatible t p q) rest && pairs rest
+  in
+  pairs group

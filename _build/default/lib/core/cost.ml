@@ -1,0 +1,124 @@
+module Design = Prdesign.Design
+module Resource = Fpga.Resource
+
+type evaluation = {
+  region_frames : int array;
+  region_conflicts : int array;
+  total_frames : int;
+  worst_frames : int;
+  reconfigurable : Resource.t;
+  static : Resource.t;
+  used : Resource.t;
+}
+
+(* Resident partition per (config, region): partition index or -1 for a
+   don't-care. *)
+let residency (s : Scheme.t) =
+  let configs = Design.configuration_count s.design in
+  Array.init configs (fun c ->
+      Array.init s.region_count (fun r ->
+          match Scheme.active_partition s ~config:c ~region:r with
+          | Some p -> p
+          | None -> -1))
+
+let conflicts_of_column residency_matrix r =
+  let configs = Array.length residency_matrix in
+  let count = ref 0 in
+  for i = 0 to configs - 1 do
+    for j = i + 1 to configs - 1 do
+      let a = residency_matrix.(i).(r) and b = residency_matrix.(j).(r) in
+      if a >= 0 && b >= 0 && a <> b then incr count
+    done
+  done;
+  !count
+
+let evaluate (s : Scheme.t) =
+  let resid = residency s in
+  let region_frames = Array.init s.region_count (Scheme.region_frames s) in
+  let region_conflicts =
+    Array.init s.region_count (conflicts_of_column resid)
+  in
+  let total_frames =
+    let acc = ref 0 in
+    Array.iteri (fun r f -> acc := !acc + (f * region_conflicts.(r))) region_frames;
+    !acc
+  in
+  let configs = Design.configuration_count s.design in
+  let worst_frames =
+    let worst = ref 0 in
+    for i = 0 to configs - 1 do
+      for j = i + 1 to configs - 1 do
+        let cost = ref 0 in
+        for r = 0 to s.region_count - 1 do
+          let a = resid.(i).(r) and b = resid.(j).(r) in
+          if a >= 0 && b >= 0 && a <> b then cost := !cost + region_frames.(r)
+        done;
+        if !cost > !worst then worst := !cost
+      done
+    done;
+    !worst
+  in
+  let reconfigurable = Scheme.reconfigurable_resources s in
+  let static = Scheme.static_resources s in
+  { region_frames;
+    region_conflicts;
+    total_frames;
+    worst_frames;
+    reconfigurable;
+    static;
+    used = Resource.add reconfigurable static }
+
+let fits evaluation ~budget = Resource.fits evaluation.used ~within:budget
+
+let pairwise_frames (s : Scheme.t) i j =
+  let configs = Design.configuration_count s.design in
+  if i < 0 || i >= configs || j < 0 || j >= configs then
+    invalid_arg "Cost.pairwise_frames: configuration index out of range";
+  let cost = ref 0 in
+  for r = 0 to s.region_count - 1 do
+    let a =
+      match Scheme.active_partition s ~config:i ~region:r with
+      | Some p -> p
+      | None -> -1
+    and b =
+      match Scheme.active_partition s ~config:j ~region:r with
+      | Some p -> p
+      | None -> -1
+    in
+    if a >= 0 && b >= 0 && a <> b then cost := !cost + Scheme.region_frames s r
+  done;
+  !cost
+
+let transition_matrix (s : Scheme.t) =
+  let configs = Design.configuration_count s.design in
+  let m = Array.make_matrix configs configs 0 in
+  for i = 0 to configs - 1 do
+    for j = i + 1 to configs - 1 do
+      let c = pairwise_frames s i j in
+      m.(i).(j) <- c;
+      m.(j).(i) <- c
+    done
+  done;
+  m
+
+let weighted_total (s : Scheme.t) ~weights =
+  let configs = Design.configuration_count s.design in
+  if
+    Array.length weights <> configs
+    || Array.exists (fun row -> Array.length row <> configs) weights
+  then invalid_arg "Cost.weighted_total: weight matrix shape mismatch";
+  let acc = ref 0. in
+  for i = 0 to configs - 1 do
+    for j = i + 1 to configs - 1 do
+      let w = weights.(i).(j) +. weights.(j).(i) in
+      if w <> 0. then
+        acc := !acc +. (w *. float_of_int (pairwise_frames s i j))
+    done
+  done;
+  !acc
+
+let pp_evaluation ppf e =
+  Format.fprintf ppf
+    "total %d frames, worst %d frames, used %a (reconfigurable %a + static %a)"
+    e.total_frames e.worst_frames Resource.pp e.used Resource.pp
+    e.reconfigurable Resource.pp e.static

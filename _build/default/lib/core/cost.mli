@@ -1,0 +1,44 @@
+(** The paper's reconfiguration-time cost model (eqs. 7–11), in frames.
+
+    A region must be reconfigured between configurations [i] and [j] when
+    both configurations use the region and require different resident
+    partitions; a configuration that does not use a region leaves its
+    content as a don't-care (so a region hosting a single cluster is never
+    reconfigured — the "equivalent to static" anchor of §IV-C). Total
+    reconfiguration time sums the transition cost over all unordered
+    configuration pairs; worst-case is the maximum single transition. *)
+
+type evaluation = {
+  region_frames : int array;  (** Frames per region (tile-quantised). *)
+  region_conflicts : int array;
+      (** Per region: number of unordered configuration pairs requiring
+          its reconfiguration. *)
+  total_frames : int;  (** Paper eq. 10. *)
+  worst_frames : int;  (** Paper eq. 11. *)
+  reconfigurable : Fpga.Resource.t;
+  static : Fpga.Resource.t;
+  used : Fpga.Resource.t;
+}
+
+val evaluate : Scheme.t -> evaluation
+
+val fits : evaluation -> budget:Fpga.Resource.t -> bool
+
+val pairwise_frames : Scheme.t -> int -> int -> int
+(** [pairwise_frames s i j] — frames written when transitioning between
+    configurations [i] and [j] (symmetric, the paper's [t_{con i,j}]).
+    @raise Invalid_argument on out-of-range configuration indices. *)
+
+val transition_matrix : Scheme.t -> int array array
+(** All pairwise transition costs; entry [(i, j)] is
+    [pairwise_frames s i j], diagonal zero. *)
+
+val weighted_total : Scheme.t -> weights:float array array -> float
+(** [weighted_total s ~weights] is [Σ_{i≠j} weights.(i).(j) *
+    pairwise_frames s i j] — the paper's future-work metric where
+    transition statistics are known. With [weights.(i).(j) = 1] for
+    [i < j] (0 otherwise) this equals [total_frames]. @raise
+    Invalid_argument when the matrix does not match the configuration
+    count. *)
+
+val pp_evaluation : Format.formatter -> evaluation -> unit

@@ -1,0 +1,47 @@
+module Design = Prdesign.Design
+module Base_partition = Cluster.Base_partition
+
+let cover design partitions =
+  let configs = Design.configuration_count design in
+  (* uncovered.(c) holds the modes of configuration [c] not yet provided. *)
+  let uncovered = Array.init configs (fun c -> Design.config_mode_ids design c) in
+  let remaining = ref (Array.fold_left (fun n l -> n + List.length l) 0 uncovered) in
+  let selected = ref [] in
+  let consider (bp : Base_partition.t) =
+    if !remaining > 0 then begin
+      let covered_new = ref false in
+      for c = 0 to configs - 1 do
+        let before = List.length uncovered.(c) in
+        let after =
+          List.filter (fun m -> not (Base_partition.mem m bp)) uncovered.(c)
+        in
+        let removed = before - List.length after in
+        if removed > 0 then begin
+          uncovered.(c) <- after;
+          remaining := !remaining - removed;
+          covered_new := true
+        end
+      done;
+      if !covered_new then selected := bp :: !selected
+    end
+  in
+  List.iter consider partitions;
+  if !remaining = 0 then Some (List.rev !selected) else None
+
+let candidate_sets ?(max_sets = 32) design partitions =
+  let rec loop remaining_list seen acc count =
+    if count >= max_sets then List.rev acc
+    else
+      match cover design remaining_list with
+      | None -> List.rev acc
+      | Some set ->
+        let key = List.map (fun (bp : Base_partition.t) -> bp.modes) set in
+        let acc, count, seen =
+          if List.mem key seen then (acc, count, seen)
+          else (set :: acc, count + 1, key :: seen)
+        in
+        (match remaining_list with
+         | [] -> List.rev acc
+         | _ :: tail -> loop tail seen acc count)
+  in
+  loop partitions [] [] 0

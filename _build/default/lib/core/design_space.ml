@@ -1,0 +1,106 @@
+module Design = Prdesign.Design
+module Resource = Fpga.Resource
+module Tile = Fpga.Tile
+
+type point = {
+  budget : Resource.t;
+  total_frames : int;
+  worst_frames : int;
+  used : Resource.t;
+  used_frames : int;
+  regions : int;
+  statics : int;
+}
+
+let scaled_budgets ?(steps = 8) design =
+  if steps < 2 then invalid_arg "Design_space.scaled_budgets: need >= 2 steps";
+  let lo =
+    Resource.add
+      (Tile.quantize (Design.min_region_requirement design))
+      design.Design.static_overhead
+  in
+  let hi =
+    Resource.add (Design.static_requirement design)
+      design.Design.static_overhead
+  in
+  let lerp a b i =
+    a + ((b - a) * i / (steps - 1))
+  in
+  List.init steps (fun i ->
+      { Resource.clb = lerp lo.Resource.clb hi.Resource.clb i;
+        bram = lerp lo.Resource.bram hi.Resource.bram i;
+        dsp = lerp lo.Resource.dsp hi.Resource.dsp i })
+
+let sweep ?options design ~budgets =
+  List.map
+    (fun budget ->
+      match Engine.solve ?options ~target:(Engine.Budget budget) design with
+      | Error _ -> (budget, None)
+      | Ok outcome ->
+        let e = outcome.Engine.evaluation in
+        ( budget,
+          Some
+            { budget;
+              total_frames = e.Cost.total_frames;
+              worst_frames = e.Cost.worst_frames;
+              used = e.Cost.used;
+              used_frames = Tile.frames_of_resources e.Cost.used;
+              regions = outcome.Engine.scheme.Scheme.region_count;
+              statics =
+                List.length (Scheme.static_members outcome.Engine.scheme) } ))
+    budgets
+
+let frontier points =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Int.compare a.used_frames b.used_frames with
+        | 0 -> Int.compare a.total_frames b.total_frames
+        | c -> c)
+      points
+  in
+  let rec keep best_time = function
+    | [] -> []
+    | p :: rest ->
+      if p.total_frames < best_time then p :: keep p.total_frames rest
+      else keep best_time rest
+  in
+  keep max_int sorted
+
+let suggest_device design =
+  List.find_opt
+    (fun device ->
+      match Engine.solve ~target:(Engine.Fixed device) design with
+      | Ok _ -> true
+      | Error _ -> false)
+    (List.sort Fpga.Device.compare_capacity Fpga.Device.sweep)
+
+let render results =
+  let rows =
+    List.map
+      (fun (budget, point) ->
+        match point with
+        | None ->
+          [ Resource.to_string budget; "-"; "-"; "-"; "-"; "infeasible" ]
+        | Some p ->
+          [ Resource.to_string budget;
+            string_of_int p.total_frames;
+            string_of_int p.worst_frames;
+            string_of_int p.used_frames;
+            string_of_int p.regions;
+            string_of_int p.statics ])
+      results
+  in
+  let buf = Buffer.create 256 in
+  let widths = [ 34; 10; 8; 10; 7; 7 ] in
+  let emit cells =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf
+          (Printf.sprintf "%*s  " (List.nth widths i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit [ "budget"; "total"; "worst"; "area(f)"; "regions"; "static" ];
+  List.iter emit rows;
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Design-space exploration on top of the engine.
+
+    The paper notes the tool "can be used to find the best partition for a
+    given FPGA or can suggest the smallest FPGA suitable to implement the
+    given design"; this module adds the systematic version: sweep budgets
+    between the single-region lower bound and the fully static upper
+    bound, partition at each, and report the area/reconfiguration-time
+    trade-off curve. *)
+
+type point = {
+  budget : Fpga.Resource.t;
+  total_frames : int;
+  worst_frames : int;
+  used : Fpga.Resource.t;
+  used_frames : int;  (** Scalar area of [used], in frame-equivalents. *)
+  regions : int;
+  statics : int;
+}
+
+val scaled_budgets : ?steps:int -> Prdesign.Design.t -> Fpga.Resource.t list
+(** [steps] budgets (default 8) interpolated component-wise between the
+    tile-quantised single-region requirement (plus static overhead) and
+    the fully static requirement (plus overhead), inclusive. *)
+
+val sweep :
+  ?options:Engine.options ->
+  Prdesign.Design.t ->
+  budgets:Fpga.Resource.t list ->
+  (Fpga.Resource.t * point option) list
+(** Solve at every budget; [None] marks infeasible budgets. *)
+
+val frontier : point list -> point list
+(** Pareto-optimal points under (smaller area, smaller total time),
+    sorted by ascending area. Duplicate-area points keep the best time. *)
+
+val suggest_device : Prdesign.Design.t -> Fpga.Device.t option
+(** Smallest catalogued device whose full resources admit a feasible
+    partitioning — the paper's "suggest the smallest FPGA". *)
+
+val render : (Fpga.Resource.t * point option) list -> string

@@ -1,0 +1,214 @@
+module Design = Prdesign.Design
+module Resource = Fpga.Resource
+module Agglomerative = Cluster.Agglomerative
+
+type target = Budget of Resource.t | Fixed of Fpga.Device.t | Auto
+
+type objective = Total_frames | Weighted of float array array
+
+type options = {
+  freq_rule : Agglomerative.freq_rule;
+  clique_limit : int;
+  max_candidate_sets : int;
+  allocator : Allocator.options;
+  objective : objective;
+  worst_limit : int option;
+}
+
+let default_options =
+  { freq_rule = Agglomerative.Support;
+    clique_limit = 100_000;
+    max_candidate_sets = 32;
+    allocator = Allocator.default_options;
+    objective = Total_frames;
+    worst_limit = None }
+
+let meets_worst_limit ~options (e : Cost.evaluation) =
+  match options.worst_limit with
+  | None -> true
+  | Some limit -> e.Cost.worst_frames <= limit
+
+type outcome = {
+  design : Design.t;
+  scheme : Scheme.t;
+  evaluation : Cost.evaluation;
+  device : Fpga.Device.t option;
+  budget : Resource.t;
+  base_partitions : int;
+  candidate_sets : int;
+  escalations : int;
+}
+
+let is_single_region_like (s : Scheme.t) =
+  s.Scheme.region_count = 1 && Scheme.static_members s = []
+
+(* Scheme ranking under the selected objective: objective value first,
+   then the paper's worst case, then area. *)
+let scheme_key ~objective scheme (e : Cost.evaluation) =
+  let value =
+    match objective with
+    | Total_frames -> float_of_int e.Cost.total_frames
+    | Weighted weights -> Cost.weighted_total scheme ~weights
+  in
+  (value, e.Cost.worst_frames, Fpga.Tile.frames_of_resources e.Cost.used)
+
+let better ~objective a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (sa, ea), Some (sb, eb) ->
+    if scheme_key ~objective sa ea <= scheme_key ~objective sb eb then
+      Some (sa, ea)
+    else Some (sb, eb)
+
+let pair_weight_of_objective ~configs = function
+  | Total_frames -> Ok (fun _ _ -> 1.)
+  | Weighted weights ->
+    if
+      Array.length weights <> configs
+      || Array.exists (fun row -> Array.length row <> configs) weights
+    then Error "objective weight matrix does not match the configurations"
+    else Ok (fun i j -> weights.(i).(j) +. weights.(j).(i))
+
+(* Solve for a fixed budget. The single-region scheme is the universal
+   fallback: the feasibility precondition guarantees it fits. *)
+let solve_budget ~options ~budget design =
+  let single = Scheme.single_region design in
+  let single_eval = Cost.evaluate single in
+  if not (Cost.fits single_eval ~budget) then
+    Error
+      (Format.asprintf
+         "design %s does not fit the budget %a even as a single region \
+          (needs %a)"
+         design.Design.name Resource.pp budget Resource.pp
+         single_eval.Cost.used)
+  else begin
+    match
+      pair_weight_of_objective
+        ~configs:(Design.configuration_count design)
+        options.objective
+    with
+    | Error message -> Error message
+    | Ok pair_weight ->
+      let objective = options.objective in
+      let partitions =
+        Agglomerative.run ~freq_rule:options.freq_rule
+          ~clique_limit:options.clique_limit design
+      in
+      let sets =
+        Covering.candidate_sets ~max_sets:options.max_candidate_sets design
+          partitions
+      in
+      (* Second textbook fallback: when everything fits statically, zero
+         reconfiguration time is trivially optimal (paper §IV-A). *)
+      let static_candidate =
+        let scheme = Scheme.fully_static design in
+        let evaluation = Cost.evaluate scheme in
+        if Cost.fits evaluation ~budget then Some (scheme, evaluation)
+        else None
+      in
+      let admissible candidate =
+        match candidate with
+        | Some (_, e) when not (meets_worst_limit ~options e) -> None
+        | Some _ | None -> candidate
+      in
+      let best =
+        List.fold_left
+          (fun best set ->
+            match
+              Allocator.allocate ~options:options.allocator ~pair_weight
+                ~budget design set
+            with
+            | None -> best
+            | Some scheme ->
+              better ~objective best
+                (admissible (Some (scheme, Cost.evaluate scheme))))
+          (better ~objective
+             (admissible (Some (single, single_eval)))
+             (admissible static_candidate))
+          sets
+      in
+      (match best with
+       | Some (scheme, evaluation) ->
+         Ok (scheme, evaluation, List.length partitions, List.length sets)
+       | None ->
+         Error
+           (Format.asprintf
+              "no explored scheme for %s meets the worst-case limit of %d \
+               frames"
+              design.Design.name
+              (Option.value ~default:0 options.worst_limit)))
+  end
+
+let outcome ~design ~device ~budget ~escalations
+    (scheme, evaluation, base_partitions, candidate_sets) =
+  { design;
+    scheme;
+    evaluation;
+    device;
+    budget;
+    base_partitions;
+    candidate_sets;
+    escalations }
+
+let solve ?(options = default_options) ~target design =
+  match target with
+  | Budget budget ->
+    Result.map
+      (outcome ~design ~device:None ~budget ~escalations:0)
+      (solve_budget ~options ~budget design)
+  | Fixed device ->
+    let budget = Fpga.Device.resources device in
+    Result.map
+      (outcome ~design ~device:(Some device) ~budget ~escalations:0)
+      (solve_budget ~options ~budget design)
+  | Auto ->
+    (* Smallest device fitting the single-region lower bound, then escalate
+       while the partitioner cannot beat a single region. *)
+    let lower_bound =
+      Resource.add
+        (Fpga.Tile.quantize (Design.min_region_requirement design))
+        design.Design.static_overhead
+    in
+    (match Fpga.Device.smallest_fitting lower_bound with
+     | None ->
+       Error
+         (Format.asprintf
+            "design %s does not fit any catalogued device (needs %a)"
+            design.Design.name Resource.pp lower_bound)
+     | Some first ->
+       let rec attempt device escalations best =
+         let budget = Fpga.Device.resources device in
+         let best =
+           match solve_budget ~options ~budget design with
+           | Error _ -> best
+           | Ok result ->
+             let candidate =
+               outcome ~design ~device:(Some device) ~budget ~escalations
+                 result
+             in
+             (match best with
+              | Some b
+                when (b.evaluation.Cost.total_frames,
+                      b.evaluation.Cost.worst_frames)
+                     <= (candidate.evaluation.Cost.total_frames,
+                         candidate.evaluation.Cost.worst_frames) ->
+                Some b
+              | Some _ | None -> Some candidate)
+         in
+         let should_escalate =
+           match best with
+           | None -> true
+           | Some b -> is_single_region_like b.scheme
+         in
+         if should_escalate then
+           match Fpga.Device.next_larger device with
+           | Some next -> attempt next (escalations + 1) best
+           | None -> best
+         else best
+       in
+       (match attempt first 0 None with
+        | Some outcome -> Ok outcome
+        | None ->
+          Error
+            (Format.asprintf "design %s could not be partitioned on any device"
+               design.Design.name)))

@@ -1,0 +1,64 @@
+(** Top-level partitioning driver (paper Fig. 6): feasibility check,
+    clustering, candidate-set iteration, region-allocation search, and —
+    in automatic device mode — escalation to the next larger FPGA when
+    nothing better than a single region fits (paper §V). *)
+
+type target =
+  | Budget of Fpga.Resource.t
+      (** A raw resource budget, like the case study's 6800 CLB / 50 BRAM
+          / 150 DSP. *)
+  | Fixed of Fpga.Device.t  (** The whole of a specific device. *)
+  | Auto
+      (** Pick the smallest device of {!Fpga.Device.sweep} that fits the
+          single-region lower bound, escalating when partitioning finds
+          nothing better than a single region. *)
+
+type objective =
+  | Total_frames
+      (** The paper's metric: unweighted sum over all configuration
+          pairs (eq. 10). *)
+  | Weighted of float array array
+      (** Expected reconfiguration rate under known transition statistics
+          (the paper's future-work extension): entry [(i, j)] weights the
+          [i -> j] transition, e.g. [Runtime.Markov.edge_rates]. Must be a
+          square matrix over the design's configurations. *)
+
+type options = {
+  freq_rule : Cluster.Agglomerative.freq_rule;
+  clique_limit : int;
+  max_candidate_sets : int;
+  allocator : Allocator.options;
+  objective : objective;
+  worst_limit : int option;
+      (** Hard ceiling on the worst-case transition, in frames — the
+          paper's real-time/safety-critical requirement that "no
+          configuration transition take longer than a stipulated time"
+          (eq. 11). Schemes exceeding it are discarded; [solve] fails
+          when no explored scheme meets it. *)
+}
+
+val default_options : options
+(** [Support] frequency rule, 32 candidate sets, default allocator
+    options, [Total_frames] objective, no worst-case limit. *)
+
+type outcome = {
+  design : Prdesign.Design.t;
+  scheme : Scheme.t;
+  evaluation : Cost.evaluation;
+  device : Fpga.Device.t option;  (** Set for [Fixed] and [Auto]. *)
+  budget : Fpga.Resource.t;  (** The budget actually used. *)
+  base_partitions : int;  (** Clusters produced by the agglomerative step. *)
+  candidate_sets : int;  (** Candidate partition sets explored. *)
+  escalations : int;  (** Device escalations performed ([Auto] only). *)
+}
+
+val solve :
+  ?options:options -> target:target -> Prdesign.Design.t ->
+  (outcome, string) result
+(** Errors are infeasibility reports (the design cannot fit the target,
+    even as a single region). The returned scheme always fits the
+    budget: in the worst case it is the single-region scheme. *)
+
+val is_single_region_like : Scheme.t -> bool
+(** True when the scheme has exactly one region and nothing promoted to
+    static — the escalation trigger. *)

@@ -1,0 +1,175 @@
+module Design = Prdesign.Design
+module Base_partition = Cluster.Base_partition
+module Resource = Fpga.Resource
+module Tile = Fpga.Tile
+
+type result = {
+  scheme : Scheme.t option;
+  optimal : bool;
+  states : int;
+}
+
+(* An in-construction region group; immutable so backtracking is free. *)
+type group = {
+  members : int list;  (* reverse assignment order *)
+  column : int array;  (* config -> resident partition or -1 *)
+  resources : Resource.t;
+  contribution : int;  (* frames * conflicts *)
+}
+
+let conflicts_of_column column =
+  let n = Array.length column in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if column.(i) >= 0 && column.(j) >= 0 && column.(i) <> column.(j) then
+        incr count
+    done
+  done;
+  !count
+
+let group_of ~configs ~activity ~parts p =
+  let column =
+    Array.init configs (fun c -> if activity.(p).(c) then p else -1)
+  in
+  let resources = parts.(p).Base_partition.resources in
+  { members = [ p ];
+    column;
+    resources;
+    contribution = Tile.frames_of_resources resources * conflicts_of_column column }
+
+let extend_group ~activity ~parts group p =
+  (* [None] when partition [p] is co-active with the group somewhere. *)
+  let column = Array.copy group.column in
+  let ok = ref true in
+  Array.iteri
+    (fun c active ->
+      if active then
+        if column.(c) >= 0 then ok := false else column.(c) <- p)
+    activity.(p);
+  if not !ok then None
+  else begin
+    let resources =
+      Resource.max group.resources parts.(p).Base_partition.resources
+    in
+    Some
+      { members = p :: group.members;
+        column;
+        resources;
+        contribution =
+          Tile.frames_of_resources resources * conflicts_of_column column }
+  end
+
+let allocate ?(promote_static = true) ?(max_states = 2_000_000) ~budget design
+    parts_list =
+  match parts_list with
+  | [] -> { scheme = None; optimal = true; states = 0 }
+  | _ ->
+    let parts = Array.of_list parts_list in
+    let n = Array.length parts in
+    let analysis = Compatibility.analyse design parts in
+    if not (Compatibility.covers_design analysis) then
+      { scheme = None; optimal = true; states = 0 }
+    else begin
+      let configs = Design.configuration_count design in
+      let activity =
+        Array.init n (fun p ->
+            Array.init configs (fun c ->
+                Compatibility.active analysis ~bp:p ~config:c))
+      in
+      let states = ref 0 in
+      let truncated = ref false in
+      let best = ref None in
+      let best_total = ref max_int in
+      let static_base = design.Design.static_overhead in
+      (* Evaluate a complete assignment at a leaf. *)
+      let consider groups statics =
+        let used =
+          List.fold_left
+            (fun acc g -> Resource.add acc (Tile.quantize g.resources))
+            (List.fold_left
+               (fun acc p ->
+                 Resource.add acc parts.(p).Base_partition.resources)
+               static_base statics)
+            groups
+        in
+        if Resource.fits used ~within:budget then begin
+          let total = List.fold_left (fun acc g -> acc + g.contribution) 0 groups in
+          if total <= !best_total then begin
+            (* Worst-case and area tie-breaks, computed only when the
+               total is competitive. *)
+            let frames =
+              List.map
+                (fun g -> Tile.frames_of_resources g.resources)
+                groups
+            in
+            let worst = ref 0 in
+            for i = 0 to configs - 1 do
+              for j = i + 1 to configs - 1 do
+                let cost = ref 0 in
+                List.iter2
+                  (fun g f ->
+                    let a = g.column.(i) and b = g.column.(j) in
+                    if a >= 0 && b >= 0 && a <> b then cost := !cost + f)
+                  groups frames;
+                if !cost > !worst then worst := !cost
+              done
+            done;
+            let key = (total, !worst, Tile.frames_of_resources used) in
+            let replace =
+              match !best with
+              | None -> true
+              | Some (k, _, _) -> key < k
+            in
+            if replace then begin
+              best := Some (key, groups, statics);
+              best_total := total
+            end
+          end
+        end
+      in
+      (* Canonical DFS: partition p joins an existing group, opens the
+         next group, or goes static. *)
+      let rec assign p groups statics committed =
+        if !truncated then ()
+        else begin
+          incr states;
+          if !states > max_states then truncated := true
+          else if committed > !best_total then ()
+          else if p = n then consider groups statics
+          else begin
+            List.iter
+              (fun g ->
+                match extend_group ~activity ~parts g p with
+                | None -> ()
+                | Some g' ->
+                  let rest =
+                    List.map (fun other -> if other == g then g' else other)
+                      groups
+                  in
+                  assign (p + 1) rest statics
+                    (committed - g.contribution + g'.contribution))
+              groups;
+            let fresh = group_of ~configs ~activity ~parts p in
+            assign (p + 1) (groups @ [ fresh ]) statics
+              (committed + fresh.contribution);
+            if promote_static then assign (p + 1) groups (p :: statics) committed
+          end
+        end
+      in
+      assign 0 [] [] 0;
+      let scheme =
+        Option.map
+          (fun (_, groups, statics) ->
+            let placement = Array.make n Scheme.Static in
+            List.iteri
+              (fun r g ->
+                List.iter (fun p -> placement.(p) <- Scheme.Region r) g.members)
+              groups;
+            List.iter (fun p -> placement.(p) <- Scheme.Static) statics;
+            Scheme.make_exn design
+              (List.mapi (fun p bp -> (bp, placement.(p))) parts_list))
+          !best
+      in
+      { scheme; optimal = not !truncated; states = !states }
+    end

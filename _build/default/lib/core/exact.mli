@@ -1,0 +1,32 @@
+(** Exact region allocation by branch-and-bound, for small candidate sets.
+
+    Enumerates every partition of the candidate set into compatible region
+    groups plus an optional static set (canonical set-partition order, so
+    each allocation is visited once), pruning branches whose committed
+    reconfiguration cost already exceeds the incumbent. Exponential in the
+    candidate-set size — intended for validating the greedy
+    {!Allocator} (optimality-gap tests and the ablation bench), not for
+    production runs on large designs. *)
+
+type result = {
+  scheme : Scheme.t option;
+      (** Best feasible allocation, or [None] when nothing fits. *)
+  optimal : bool;
+      (** False when the state budget was exhausted before the search
+          space was covered; the scheme (if any) is then only the best
+          incumbent. *)
+  states : int;  (** Assignments expanded. *)
+}
+
+val allocate :
+  ?promote_static:bool ->
+  ?max_states:int ->
+  budget:Fpga.Resource.t ->
+  Prdesign.Design.t ->
+  Cluster.Base_partition.t list ->
+  result
+(** [allocate ~budget design candidate_set]. Defaults: promotion enabled,
+    [max_states = 2_000_000]. Candidate partitions keep their priority
+    order (it defines activity, as in {!Allocator}). Schemes are compared
+    by total reconfiguration frames, then worst-case frames, then area in
+    frames. *)

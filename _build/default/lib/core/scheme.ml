@@ -1,0 +1,197 @@
+module Design = Prdesign.Design
+module Base_partition = Cluster.Base_partition
+module Resource = Fpga.Resource
+
+type placement = Static | Region of int
+
+type t = {
+  design : Design.t;
+  partitions : Base_partition.t array;
+  placement : placement array;
+  region_count : int;
+  analysis : Compatibility.t;
+}
+
+let validate design partitions placement =
+  let issues = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  let region_count =
+    Array.fold_left
+      (fun acc -> function Static -> acc | Region r -> max acc (r + 1))
+      0 placement
+  in
+  let members = Array.make region_count [] in
+  Array.iteri
+    (fun p -> function
+      | Static -> ()
+      | Region r ->
+        if r < 0 then problem "partition %d assigned a negative region" p
+        else members.(r) <- p :: members.(r))
+    placement;
+  Array.iteri
+    (fun r l -> if l = [] then problem "region %d is empty" r)
+    members;
+  let analysis = Compatibility.analyse design partitions in
+  if not (Compatibility.covers_design analysis) then
+    problem "some configuration modes have no providing partition";
+  let configs = Design.configuration_count design in
+  Array.iteri
+    (fun r l ->
+      for c = 0 to configs - 1 do
+        let active =
+          List.filter (fun p -> Compatibility.active analysis ~bp:p ~config:c) l
+        in
+        if List.length active > 1 then
+          problem
+            "region %d hosts %d simultaneously active partitions in \
+             configuration %d"
+            r (List.length active) c
+      done)
+    members;
+  (List.rev !issues, region_count, analysis)
+
+let make design assignment =
+  let partitions = Array.of_list (List.map fst assignment) in
+  let placement = Array.of_list (List.map snd assignment) in
+  match validate design partitions placement with
+  | [], region_count, analysis ->
+    Ok { design; partitions; placement; region_count; analysis }
+  | issues, _, _ -> Error issues
+
+let make_exn design assignment =
+  match make design assignment with
+  | Ok t -> t
+  | Error issues -> invalid_arg ("Scheme.make: " ^ String.concat "; " issues)
+
+let check_region t r =
+  if r < 0 || r >= t.region_count then
+    invalid_arg "Scheme: region index out of range"
+
+let region_members t r =
+  check_region t r;
+  let acc = ref [] in
+  Array.iteri
+    (fun p -> function
+      | Region r' when r' = r -> acc := p :: !acc
+      | Region _ | Static -> ())
+    t.placement;
+  List.rev !acc
+
+let static_members t =
+  let acc = ref [] in
+  Array.iteri
+    (fun p -> function Static -> acc := p :: !acc | Region _ -> ())
+    t.placement;
+  List.rev !acc
+
+let region_resources t r =
+  List.fold_left
+    (fun acc p -> Resource.max acc t.partitions.(p).Base_partition.resources)
+    Resource.zero (region_members t r)
+
+let region_frames t r = Fpga.Tile.frames_of_resources (region_resources t r)
+
+let static_resources t =
+  List.fold_left
+    (fun acc p -> Resource.add acc t.partitions.(p).Base_partition.resources)
+    t.design.Design.static_overhead (static_members t)
+
+let reconfigurable_resources t =
+  let acc = ref Resource.zero in
+  for r = 0 to t.region_count - 1 do
+    acc := Resource.add !acc (Fpga.Tile.quantize (region_resources t r))
+  done;
+  !acc
+
+let total_resources t =
+  Resource.add (reconfigurable_resources t) (static_resources t)
+
+let active_partition t ~config ~region =
+  check_region t region;
+  List.find_opt
+    (fun p -> Compatibility.active t.analysis ~bp:p ~config)
+    (region_members t region)
+
+(* Reference schemes. *)
+
+let single_region design =
+  let matrix = Prgraph.Conn_matrix.make design in
+  let clusters =
+    List.sort_uniq compare
+      (List.init (Design.configuration_count design) (fun c ->
+           Design.config_mode_ids design c))
+  in
+  let assignment =
+    List.map
+      (fun modes ->
+        let freq = Prgraph.Conn_matrix.support matrix modes in
+        (Base_partition.make design ~modes ~freq, Region 0))
+      clusters
+  in
+  make_exn design assignment
+
+let one_module_per_region design =
+  let matrix = Prgraph.Conn_matrix.make design in
+  let assignment =
+    List.filter_map
+      (fun mode ->
+        let freq = Prgraph.Conn_matrix.node_weight matrix mode in
+        if freq = 0 then None
+        else
+          Some
+            ( Base_partition.make design ~modes:[ mode ] ~freq,
+              Region (Design.module_of_mode design mode) ))
+      (Design.all_mode_ids design)
+  in
+  (* Region ids must be dense: re-number the used modules. *)
+  let used_modules =
+    List.sort_uniq Int.compare
+      (List.filter_map
+         (fun (_, p) -> match p with Region r -> Some r | Static -> None)
+         assignment)
+  in
+  let renumber r =
+    let rec index i = function
+      | [] -> invalid_arg "Scheme.one_module_per_region: unknown module"
+      | m :: rest -> if m = r then i else index (i + 1) rest
+    in
+    index 0 used_modules
+  in
+  make_exn design
+    (List.map
+       (fun (bp, p) ->
+         match p with
+         | Region r -> (bp, Region (renumber r))
+         | Static -> (bp, Static))
+       assignment)
+
+let fully_static design =
+  let matrix = Prgraph.Conn_matrix.make design in
+  let assignment =
+    List.filter_map
+      (fun mode ->
+        let freq = Prgraph.Conn_matrix.node_weight matrix mode in
+        if freq = 0 then None
+        else Some (Base_partition.make design ~modes:[ mode ] ~freq, Static))
+      (Design.all_mode_ids design)
+  in
+  make_exn design assignment
+
+let describe t =
+  let buf = Buffer.create 256 in
+  let bp_label p = Base_partition.label t.design t.partitions.(p) in
+  let statics = static_members t in
+  if statics <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "static: %s\n"
+         (String.concat ", " (List.map bp_label statics)));
+  for r = 0 to t.region_count - 1 do
+    let res = region_resources t r in
+    Buffer.add_string buf
+      (Printf.sprintf "PRR%d: %s  (area %s, %d frames)\n" (r + 1)
+         (String.concat ", " (List.map bp_label (region_members t r)))
+         (Resource.to_string res) (region_frames t r))
+  done;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,95 @@
+module Xml = Xmllite.Xml
+module Design = Prdesign.Design
+module Base_partition = Cluster.Base_partition
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let placement_to_string = function
+  | Scheme.Static -> "static"
+  | Scheme.Region r -> Printf.sprintf "region:%d" r
+
+let placement_of_string s =
+  if s = "static" then Scheme.Static
+  else
+    match String.split_on_char ':' s with
+    | [ "region"; n ] -> (
+      match int_of_string_opt n with
+      | Some r when r >= 0 -> Scheme.Region r
+      | Some _ | None -> fail "bad region index in placement %S" s)
+    | _ -> fail "bad placement %S" s
+
+let to_xml (s : Scheme.t) =
+  let design = s.Scheme.design in
+  let partition_xml p (bp : Base_partition.t) =
+    Xml.Element
+      ( "partition",
+        [ ("freq", string_of_int bp.freq);
+          ("placement", placement_to_string s.Scheme.placement.(p)) ],
+        List.map
+          (fun mode ->
+            Xml.Element ("mode", [ ("name", Design.mode_name design mode) ], []))
+          bp.modes )
+  in
+  Xml.Element
+    ( "scheme",
+      [ ("design", design.Design.name) ],
+      List.mapi partition_xml (Array.to_list s.Scheme.partitions) )
+
+let to_string s = Xml.to_string (to_xml s)
+
+let mode_by_name design name =
+  let rec search = function
+    | [] -> fail "unknown mode %S in stored scheme" name
+    | id :: rest -> if Design.mode_name design id = name then id else search rest
+  in
+  search (Design.all_mode_ids design)
+
+let of_xml design root =
+  if Xml.tag root <> "scheme" then fail "root element must be <scheme>";
+  (match Xml.attr "design" root with
+   | Some name when name = design.Design.name -> ()
+   | Some name ->
+     fail "scheme was saved for design %S, not %S" name design.Design.name
+   | None -> fail "<scheme> is missing the design attribute");
+  let assignment =
+    List.map
+      (fun node ->
+        let freq =
+          match Xml.int_attr "freq" node with
+          | Some f when f > 0 -> f
+          | Some _ | None -> fail "partition needs a positive freq"
+        in
+        let placement =
+          match Xml.attr "placement" node with
+          | Some p -> placement_of_string p
+          | None -> fail "partition is missing its placement"
+        in
+        let modes =
+          List.map
+            (fun mode_node ->
+              match Xml.attr "name" mode_node with
+              | Some name -> mode_by_name design name
+              | None -> fail "<mode> is missing its name")
+            (Xml.find_all "mode" node)
+        in
+        if modes = [] then fail "partition with no modes";
+        let modes = List.sort_uniq Int.compare modes in
+        (Base_partition.make design ~modes ~freq, placement))
+      (Xml.find_all "partition" root)
+  in
+  match Scheme.make design assignment with
+  | Ok scheme -> scheme
+  | Error issues ->
+    fail "stored scheme no longer validates: %s" (String.concat "; " issues)
+
+let of_string design s = of_xml design (Xml.parse_string s)
+
+let save_file path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string s))
+
+let load_file design path = of_xml design (Xml.parse_file path)

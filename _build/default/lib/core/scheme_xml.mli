@@ -1,0 +1,32 @@
+(** XML persistence for partitioning schemes, so a partitioning decision
+    can be reviewed, versioned and fed to downstream build steps without
+    re-running the algorithm.
+
+    Schema:
+    {v
+    <scheme design="video-receiver">
+      <partition freq="2" placement="region:0">
+        <mode name="F.Filter1"/> ...
+      </partition>
+      <partition freq="1" placement="static"> ... </partition>
+      ...
+    </scheme>
+    v}
+
+    Partitions appear in priority order; mode names are the qualified
+    ["Module.mode"] names of the design. *)
+
+exception Malformed of string
+
+val to_xml : Scheme.t -> Xmllite.Xml.t
+val to_string : Scheme.t -> string
+
+val of_xml : Prdesign.Design.t -> Xmllite.Xml.t -> Scheme.t
+(** Re-binds a stored scheme against [design]: mode names are resolved
+    and the scheme is re-validated.
+    @raise Malformed on schema errors, unknown modes, a design-name
+    mismatch, or a scheme that no longer validates. *)
+
+val of_string : Prdesign.Design.t -> string -> Scheme.t
+val save_file : string -> Scheme.t -> unit
+val load_file : Prdesign.Design.t -> string -> Scheme.t

@@ -1,0 +1,1 @@
+lib/design/configuration.ml: Format Int List Printf

@@ -1,0 +1,1 @@
+lib/design/design.ml: Array Configuration Format Fpga Fun List Mode Pmodule Printf String

@@ -1,0 +1,1 @@
+lib/design/design.mli: Configuration Format Fpga Pmodule

@@ -1,0 +1,1 @@
+lib/design/design_library.ml: Configuration Design Fpga List Mode Pmodule Printf

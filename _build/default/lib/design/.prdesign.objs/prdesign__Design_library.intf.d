@@ -1,0 +1,1 @@
+lib/design/design_library.mli: Design Fpga

@@ -1,0 +1,1 @@
+lib/design/design_xml.ml: Array Configuration Design Fpga Fun List Mode Option Pmodule Printf String Xmllite

@@ -1,0 +1,1 @@
+lib/design/design_xml.mli: Design Xmllite

@@ -1,0 +1,1 @@
+lib/design/lint.ml: Array Configuration Design Fpga List Mode Pmodule Printf String

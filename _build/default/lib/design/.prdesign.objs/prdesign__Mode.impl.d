@@ -1,0 +1,1 @@
+lib/design/mode.ml: Format Fpga

@@ -1,0 +1,1 @@
+lib/design/mode.mli: Format Fpga

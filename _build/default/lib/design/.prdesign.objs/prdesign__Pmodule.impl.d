@@ -1,0 +1,1 @@
+lib/design/pmodule.ml: Array Format Fpga List Mode Printf String

@@ -1,0 +1,1 @@
+lib/design/pmodule.mli: Format Fpga Mode

@@ -1,0 +1,34 @@
+type t = { name : string; choices : (int * int) list }
+
+let make name choices =
+  if name = "" then invalid_arg "Configuration.make: empty name";
+  if choices = [] then invalid_arg "Configuration.make: empty configuration";
+  List.iter
+    (fun (m, k) ->
+      if m < 0 || k < 0 then
+        invalid_arg "Configuration.make: negative index")
+    choices;
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) choices in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then
+        invalid_arg
+          (Printf.sprintf
+             "Configuration.make: module %d listed twice in %s" a name);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  { name; choices = sorted }
+
+let mode_of_module t m = List.assoc_opt m t.choices
+let modules_used t = List.map fst t.choices
+let cardinal t = List.length t.choices
+let equal a b = a.name = b.name && a.choices = b.choices
+
+let pp ppf t =
+  Format.fprintf ppf "%s{%a}" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (m, k) -> Format.fprintf ppf "%d.%d" m k))
+    t.choices

@@ -1,0 +1,25 @@
+(** A configuration: one valid combination of module modes that the adaptive
+    system may run (paper §III-A). Modules absent from a configuration are
+    simply not listed — the paper's "mode 0" convention (§IV-D). *)
+
+type t = private {
+  name : string;
+  choices : (int * int) list;
+      (** [(module_index, mode_index)] pairs, sorted by module index, at
+          most one per module. *)
+}
+
+val make : string -> (int * int) list -> t
+(** @raise Invalid_argument on an empty name, a negative index, duplicate
+    module indices, or an empty choice list. *)
+
+val mode_of_module : t -> int -> int option
+(** [mode_of_module c m] is the mode index module [m] runs in
+    configuration [c], or [None] when the module is absent. *)
+
+val modules_used : t -> int list
+(** Sorted module indices present in the configuration. *)
+
+val cardinal : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+type mode_id = int
+
+type t = {
+  name : string;
+  modules : Pmodule.t array;
+  configurations : Configuration.t array;
+  static_overhead : Fpga.Resource.t;
+  (* Derived index: [offsets.(m)] is the flat id of module [m]'s mode 0;
+     [owner.(id)] maps a flat id back to its module index. *)
+  offsets : int array;
+  owner : int array;
+}
+
+let module_count t = Array.length t.modules
+let mode_count t = Array.length t.owner
+let configuration_count t = Array.length t.configurations
+
+let validate ~allow_unused_modes ~name ~(modules : Pmodule.t list)
+    ~(configurations : Configuration.t list) =
+  let issues = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  if name = "" then problem "design name is empty";
+  if modules = [] then problem "design has no modules";
+  if configurations = [] then problem "design has no configurations";
+  let module_names = List.map (fun (m : Pmodule.t) -> m.name) modules in
+  if
+    List.length (List.sort_uniq String.compare module_names)
+    <> List.length module_names
+  then problem "duplicate module names";
+  let config_names = List.map (fun (c : Configuration.t) -> c.name) configurations in
+  if
+    List.length (List.sort_uniq String.compare config_names)
+    <> List.length config_names
+  then problem "duplicate configuration names";
+  let marr = Array.of_list modules in
+  let nmod = Array.length marr in
+  let used = Array.map (fun m -> Array.make (Pmodule.mode_count m) false) marr in
+  List.iter
+    (fun (c : Configuration.t) ->
+      List.iter
+        (fun (m, k) ->
+          if m >= nmod then
+            problem "configuration %s references module %d (only %d modules)"
+              c.name m nmod
+          else if k >= Pmodule.mode_count marr.(m) then
+            problem "configuration %s references mode %d of module %s (%d modes)"
+              c.name k marr.(m).Pmodule.name
+              (Pmodule.mode_count marr.(m))
+          else used.(m).(k) <- true)
+        c.choices)
+    configurations;
+  if !issues = [] && not allow_unused_modes then
+    Array.iteri
+      (fun m flags ->
+        Array.iteri
+          (fun k seen ->
+            if not seen then
+              problem "mode %s.%s is never used by any configuration"
+                marr.(m).Pmodule.name marr.(m).Pmodule.modes.(k).Mode.name)
+          flags)
+      used;
+  List.rev !issues
+
+let create ?(allow_unused_modes = false)
+    ?(static_overhead = Fpga.Resource.zero) ~name ~modules ~configurations
+    () =
+  match validate ~allow_unused_modes ~name ~modules ~configurations with
+  | _ :: _ as issues -> Error issues
+  | [] ->
+    let marr = Array.of_list modules in
+    let nmod = Array.length marr in
+    let offsets = Array.make nmod 0 in
+    let total = ref 0 in
+    Array.iteri
+      (fun m pm ->
+        offsets.(m) <- !total;
+        total := !total + Pmodule.mode_count pm)
+      marr;
+    let owner = Array.make !total 0 in
+    Array.iteri
+      (fun m pm ->
+        for k = 0 to Pmodule.mode_count pm - 1 do
+          owner.(offsets.(m) + k) <- m
+        done)
+      marr;
+    Ok
+      { name;
+        modules = marr;
+        configurations = Array.of_list configurations;
+        static_overhead;
+        offsets;
+        owner }
+
+let create_exn ?allow_unused_modes ?static_overhead ~name ~modules
+    ~configurations () =
+  match
+    create ?allow_unused_modes ?static_overhead ~name ~modules ~configurations
+      ()
+  with
+  | Ok t -> t
+  | Error issues ->
+    invalid_arg ("Design.create_exn: " ^ String.concat "; " issues)
+
+let mode_id t ~module_idx ~mode_idx =
+  if module_idx < 0 || module_idx >= module_count t then
+    invalid_arg "Design.mode_id: module index out of range";
+  if mode_idx < 0 || mode_idx >= Pmodule.mode_count t.modules.(module_idx) then
+    invalid_arg "Design.mode_id: mode index out of range";
+  t.offsets.(module_idx) + mode_idx
+
+let check_mode t id =
+  if id < 0 || id >= mode_count t then
+    invalid_arg "Design: mode id out of range"
+
+let module_of_mode t id =
+  check_mode t id;
+  t.owner.(id)
+
+let mode_idx_of_mode t id =
+  check_mode t id;
+  id - t.offsets.(t.owner.(id))
+
+let mode_resources t id =
+  let m = module_of_mode t id in
+  t.modules.(m).Pmodule.modes.(mode_idx_of_mode t id).Mode.resources
+
+let mode_name t id =
+  let m = module_of_mode t id in
+  t.modules.(m).Pmodule.name ^ "."
+  ^ t.modules.(m).Pmodule.modes.(mode_idx_of_mode t id).Mode.name
+
+let mode_label t id =
+  let m = module_of_mode t id in
+  Printf.sprintf "%s%d" t.modules.(m).Pmodule.name (mode_idx_of_mode t id + 1)
+
+let all_mode_ids t = List.init (mode_count t) Fun.id
+
+let check_config t i =
+  if i < 0 || i >= configuration_count t then
+    invalid_arg "Design: configuration index out of range"
+
+let config_mode_ids t i =
+  check_config t i;
+  List.map
+    (fun (m, k) -> t.offsets.(m) + k)
+    t.configurations.(i).Configuration.choices
+
+let config_resources t i =
+  check_config t i;
+  Fpga.Resource.sum (List.map (mode_resources t) (config_mode_ids t i))
+
+let min_region_requirement t =
+  let acc = ref Fpga.Resource.zero in
+  for i = 0 to configuration_count t - 1 do
+    acc := Fpga.Resource.max !acc (config_resources t i)
+  done;
+  !acc
+
+let modular_requirement t =
+  Array.fold_left
+    (fun acc m -> Fpga.Resource.add acc (Pmodule.largest_mode m))
+    Fpga.Resource.zero t.modules
+
+let static_requirement t =
+  Array.fold_left
+    (fun acc m -> Fpga.Resource.add acc (Pmodule.modes_total m))
+    Fpga.Resource.zero t.modules
+
+let summary t =
+  Printf.sprintf "%s: %d modules, %d modes, %d configurations" t.name
+    (module_count t) (mode_count t) (configuration_count t)
+
+let pp ppf t = Format.pp_print_string ppf (summary t)

@@ -1,0 +1,99 @@
+(** A complete PR application description: modules with their modes, the set
+    of valid configurations, and the static-logic overhead. This is the
+    partitioner's input (paper Fig. 2, "design description").
+
+    Modes are also addressable by a flat {e mode id} (module-major order),
+    which is the node identity used by the connectivity matrix and the
+    clustering graph. *)
+
+type mode_id = int
+(** Flat mode index in [0 .. mode_count - 1]. *)
+
+type t = private {
+  name : string;
+  modules : Pmodule.t array;
+  configurations : Configuration.t array;
+  static_overhead : Fpga.Resource.t;
+      (** Resources of the always-present static logic (processor, ICAP
+          controller, buses). *)
+  offsets : int array;
+      (** Internal index: flat id of each module's mode 0. Use {!mode_id}. *)
+  owner : int array;
+      (** Internal index: module of each flat id. Use {!module_of_mode}. *)
+}
+
+val create :
+  ?allow_unused_modes:bool ->
+  ?static_overhead:Fpga.Resource.t ->
+  name:string ->
+  modules:Pmodule.t list ->
+  configurations:Configuration.t list ->
+  unit ->
+  (t, string list) result
+(** Validates and indexes a design. Errors (all reported at once) include:
+    empty name, no modules, no configurations, duplicate module or
+    configuration names, out-of-range module/mode references, and modes
+    never used by any configuration (the paper's generator guarantees every
+    mode is exercised, so an unused mode is normally a specification
+    error). Pass [~allow_unused_modes:true] for designs that legitimately
+    declare spare modes, like the case study's zero-area "None" recovery
+    mode. *)
+
+val create_exn :
+  ?allow_unused_modes:bool ->
+  ?static_overhead:Fpga.Resource.t ->
+  name:string ->
+  modules:Pmodule.t list ->
+  configurations:Configuration.t list ->
+  unit ->
+  t
+(** @raise Invalid_argument with the concatenated issue list. *)
+
+(** {1 Sizes} *)
+
+val module_count : t -> int
+val mode_count : t -> int
+val configuration_count : t -> int
+
+(** {1 Flat mode ids} *)
+
+val mode_id : t -> module_idx:int -> mode_idx:int -> mode_id
+(** @raise Invalid_argument on out-of-range indices. *)
+
+val module_of_mode : t -> mode_id -> int
+val mode_idx_of_mode : t -> mode_id -> int
+val mode_resources : t -> mode_id -> Fpga.Resource.t
+
+val mode_name : t -> mode_id -> string
+(** Qualified ["Module.mode"] name, unique within the design. *)
+
+val mode_label : t -> mode_id -> string
+(** Compact label: module name + 1-based mode ordinal (e.g. ["A1"]), the
+    convention of the paper's running example. *)
+
+val all_mode_ids : t -> mode_id list
+
+val config_mode_ids : t -> int -> mode_id list
+(** Sorted flat mode ids active in configuration [i].
+    @raise Invalid_argument on an out-of-range configuration index. *)
+
+(** {1 Aggregate areas} *)
+
+val config_resources : t -> int -> Fpga.Resource.t
+(** Sum of mode resources of configuration [i] (static overhead excluded). *)
+
+val min_region_requirement : t -> Fpga.Resource.t
+(** Component-wise maximum of {!config_resources} over all configurations —
+    the area of a single region hosting every configuration, i.e. the
+    minimum possible reconfigurable area for the design (paper §IV-C). *)
+
+val modular_requirement : t -> Fpga.Resource.t
+(** Sum over modules of the largest mode — the one-module-per-region
+    footprint. *)
+
+val static_requirement : t -> Fpga.Resource.t
+(** Sum of every mode of every module — the fully static footprint
+    (static overhead excluded; add it separately when sizing devices). *)
+
+val pp : Format.formatter -> t -> unit
+val summary : t -> string

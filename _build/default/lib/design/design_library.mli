@@ -1,0 +1,33 @@
+(** The designs used in the paper, built in for the examples, tests and the
+    experiment harness. *)
+
+val running_example : Design.t
+(** The §III/IV running example: modules A (3 modes), B (2), C (3) and the
+    five configurations whose connectivity matrix and base partitions the
+    paper walks through (Table I). The paper gives no areas for these
+    modes; the resource numbers here are plausible placeholders shaped like
+    Fig. 3 (A2 and B1 are the large modes). *)
+
+val video_receiver : Design.t
+(** The §V case study: a wireless video receiver with Table II's resource
+    utilisation (verbatim, including the zero-area "None" recovery mode)
+    and the first, 8-configuration set. Static overhead is not part of the
+    paper's 6800-CLB budget, so it is left at zero here. *)
+
+val video_receiver_alt : Design.t
+(** The same receiver with the modified 5-configuration set of Table V. *)
+
+val montone_example : Design.t
+(** The §IV-D "special conditions" example borrowed from Montone et al.:
+    five single-mode modules (CAN, FIR, Ethernet, FPU, CRC) and two
+    configurations with no mode relations. Areas are plausible
+    placeholders; the paper gives none. *)
+
+val case_study_budget : Fpga.Resource.t
+(** The FPGA resources the paper reserves for the PR design in the case
+    study: 6800 CLBs, 50 BRAMs, 150 DSP slices. *)
+
+val all : (string * Design.t) list
+(** Name/design pairs for CLI lookup. *)
+
+val find : string -> Design.t option

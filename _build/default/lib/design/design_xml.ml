@@ -1,0 +1,146 @@
+module Xml = Xmllite.Xml
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let required_attr name node =
+  match Xml.attr name node with
+  | Some v -> v
+  | None -> fail "<%s> is missing attribute %S" (Xml.tag node) name
+
+let resource_of_attrs node =
+  let get name = Option.value ~default:0 (Xml.int_attr name node) in
+  let check name =
+    match Xml.attr name node with
+    | Some raw when int_of_string_opt raw = None ->
+      fail "<%s> attribute %s=%S is not an integer" (Xml.tag node) name raw
+    | Some _ | None -> ()
+  in
+  List.iter check [ "clb"; "bram"; "dsp" ];
+  let clb = get "clb" and bram = get "bram" and dsp = get "dsp" in
+  if clb < 0 || bram < 0 || dsp < 0 then
+    fail "<%s> has a negative resource count" (Xml.tag node);
+  Fpga.Resource.make ~bram ~dsp clb
+
+let mode_of_xml node =
+  Mode.make (required_attr "name" node) (resource_of_attrs node)
+
+let module_of_xml node =
+  let modes = List.map mode_of_xml (Xml.find_all "mode" node) in
+  if modes = [] then fail "module %S has no modes" (required_attr "name" node);
+  Pmodule.make (required_attr "name" node) modes
+
+let configuration_of_xml ~modules node =
+  let name = required_attr "name" node in
+  let choice use =
+    let module_name = required_attr "module" use in
+    let mode_name = required_attr "mode" use in
+    let rec find m =
+      if m >= Array.length modules then
+        fail "configuration %S uses unknown module %S" name module_name
+      else if modules.(m).Pmodule.name = module_name then m
+      else find (m + 1)
+    in
+    let m = find 0 in
+    match Pmodule.find_mode modules.(m) mode_name with
+    | Some k -> (m, k)
+    | None ->
+      fail "configuration %S uses unknown mode %S of module %S" name
+        mode_name module_name
+  in
+  let uses = Xml.find_all "use" node in
+  if uses = [] then fail "configuration %S uses no modules" name;
+  Configuration.make name (List.map choice uses)
+
+let of_xml root =
+  if Xml.tag root <> "design" then fail "root element must be <design>";
+  let name = required_attr "name" root in
+  let static_overhead =
+    match Xml.find_opt "static" root with
+    | Some node -> resource_of_attrs node
+    | None -> Fpga.Resource.zero
+  in
+  let modules = List.map module_of_xml (Xml.find_all "module" root) in
+  let marr = Array.of_list modules in
+  let configurations =
+    match Xml.find_opt "configurations" root with
+    | None -> fail "design %S has no <configurations> element" name
+    | Some node ->
+      List.map
+        (configuration_of_xml ~modules:marr)
+        (Xml.find_all "configuration" node)
+  in
+  let allow_unused_modes =
+    match Xml.attr "allow_unused_modes" root with
+    | Some "true" -> true
+    | Some "false" | None -> false
+    | Some other ->
+      fail "allow_unused_modes must be \"true\" or \"false\", not %S" other
+  in
+  match
+    Design.create ~allow_unused_modes ~static_overhead ~name ~modules
+      ~configurations ()
+  with
+  | Ok design -> design
+  | Error issues -> fail "invalid design %S: %s" name (String.concat "; " issues)
+
+let resource_attrs (r : Fpga.Resource.t) =
+  [ ("clb", string_of_int r.clb);
+    ("bram", string_of_int r.bram);
+    ("dsp", string_of_int r.dsp) ]
+
+let has_unused_mode (d : Design.t) =
+  let used = Array.make (Design.mode_count d) false in
+  for c = 0 to Design.configuration_count d - 1 do
+    List.iter (fun m -> used.(m) <- true) (Design.config_mode_ids d c)
+  done;
+  Array.exists not used
+
+let to_xml (d : Design.t) =
+  let static =
+    if Fpga.Resource.is_zero d.static_overhead then []
+    else [ Xml.Element ("static", resource_attrs d.static_overhead, []) ]
+  in
+  let module_xml (m : Pmodule.t) =
+    let mode_xml (mode : Mode.t) =
+      Xml.Element
+        ("mode", ("name", mode.name) :: resource_attrs mode.resources, [])
+    in
+    Xml.Element
+      ( "module",
+        [ ("name", m.name) ],
+        List.map mode_xml (Array.to_list m.modes) )
+  in
+  let config_xml (c : Configuration.t) =
+    let use (mi, ki) =
+      let m = d.modules.(mi) in
+      Xml.Element
+        ( "use",
+          [ ("module", m.Pmodule.name);
+            ("mode", m.Pmodule.modes.(ki).Mode.name) ],
+          [] )
+    in
+    Xml.Element ("configuration", [ ("name", c.name) ], List.map use c.choices)
+  in
+  Xml.Element
+    ( "design",
+      (("name", d.name)
+       ::
+       (if has_unused_mode d then [ ("allow_unused_modes", "true") ] else [])),
+      static
+      @ List.map module_xml (Array.to_list d.modules)
+      @ [ Xml.Element
+            ( "configurations",
+              [],
+              List.map config_xml (Array.to_list d.configurations) ) ] )
+
+let load_string s = of_xml (Xml.parse_string s)
+let load_file path = of_xml (Xml.parse_file path)
+let to_string d = Xml.to_string (to_xml d)
+
+let save_file path d =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string d))

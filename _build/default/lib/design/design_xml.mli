@@ -1,0 +1,37 @@
+(** XML serialisation of design descriptions — the input format of the
+    paper's proposed tool flow (Fig. 2 takes "design files … and a list of
+    valid configurations … in XML format").
+
+    Schema:
+    {v
+    <design name="..." allow_unused_modes="true|false">
+      <static clb="90" bram="8" dsp="0"/>          (optional)
+      <module name="F">
+        <mode name="Filter1" clb="818" bram="0" dsp="28"/>
+        ...
+      </module>
+      ...
+      <configurations>
+        <configuration name="c1">
+          <use module="F" mode="Filter1"/>
+          ...
+        </configuration>
+        ...
+      </configurations>
+    </design>
+    v} *)
+
+exception Malformed of string
+(** Raised when the XML is well-formed but does not match the schema, or
+    when the resulting design fails {!Design.create} validation. *)
+
+val of_xml : Xmllite.Xml.t -> Design.t
+val to_xml : Design.t -> Xmllite.Xml.t
+
+val load_string : string -> Design.t
+(** @raise Malformed on schema/validation errors.
+    @raise Xmllite.Xml.Parse_error on malformed XML. *)
+
+val load_file : string -> Design.t
+val save_file : string -> Design.t -> unit
+val to_string : Design.t -> string

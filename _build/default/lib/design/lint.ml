@@ -1,0 +1,139 @@
+type severity = Info | Warning
+
+type finding = { severity : severity; code : string; message : string }
+
+let severity_name = function Info -> "info" | Warning -> "warning"
+
+let check (d : Design.t) =
+  let findings = ref [] in
+  let report severity code fmt =
+    Printf.ksprintf
+      (fun message -> findings := { severity; code; message } :: !findings)
+      fmt
+  in
+  let configs = Design.configuration_count d in
+  let modules = Design.module_count d in
+  (* Per-mode usage counts. *)
+  let used = Array.make (Design.mode_count d) 0 in
+  for c = 0 to configs - 1 do
+    List.iter (fun m -> used.(m) <- used.(m) + 1) (Design.config_mode_ids d c)
+  done;
+  Array.iteri
+    (fun id count ->
+      if count = 0 then
+        report Warning "unused-mode" "mode %s is used by no configuration"
+          (Design.mode_name d id))
+    used;
+  (* Duplicate configuration contents. *)
+  let contents = List.init configs (fun c -> (Design.config_mode_ids d c, c)) in
+  let rec duplicates = function
+    | [] -> ()
+    | (modes, c) :: rest ->
+      (match List.assoc_opt modes rest with
+       | Some c' ->
+         report Warning "duplicate-configuration"
+           "configurations %s and %s use exactly the same modes"
+           d.Design.configurations.(c).Configuration.name
+           d.Design.configurations.(c').Configuration.name
+       | None -> ());
+      duplicates rest
+  in
+  duplicates contents;
+  (* Per-module analyses. *)
+  for m = 0 to modules - 1 do
+    let pm = d.Design.modules.(m) in
+    let name = pm.Pmodule.name in
+    let mode_count = Pmodule.mode_count pm in
+    let usage_by_mode =
+      List.init mode_count (fun k -> used.(Design.mode_id d ~module_idx:m ~mode_idx:k))
+    in
+    let appearances = List.fold_left ( + ) 0 usage_by_mode in
+    let distinct_used =
+      List.length (List.filter (fun u -> u > 0) usage_by_mode)
+    in
+    if appearances > 0 && distinct_used = 1 then begin
+      let k =
+        match
+          List.find_index (fun u -> u > 0) usage_by_mode
+        with
+        | Some k -> k
+        | None -> 0
+      in
+      report Warning "constant-module"
+        "module %s always runs mode %s; implementing it statically avoids a \
+         reconfigurable region"
+        name pm.Pmodule.modes.(k).Mode.name
+    end;
+    if appearances = configs * 1 && distinct_used > 1 && appearances = configs
+    then
+      report Info "always-present-module"
+        "module %s is active in every configuration" name;
+    (* Zero-area and dominant modes. *)
+    let sizes =
+      List.init mode_count (fun k ->
+          Fpga.Resource.total_primitives pm.Pmodule.modes.(k).Mode.resources)
+    in
+    List.iteri
+      (fun k size ->
+        if size = 0 then
+          report Info "zero-area-mode"
+            "mode %s.%s has no resources; omitting the module from the \
+             configuration expresses absence directly"
+            name pm.Pmodule.modes.(k).Mode.name)
+      sizes;
+    let positive = List.filter (fun s -> s > 0) sizes in
+    (match positive with
+     | [] -> ()
+     | smallest :: _ ->
+       let smallest = List.fold_left min smallest positive in
+       List.iteri
+         (fun k size ->
+           if size >= 10 * smallest && smallest > 0 then
+             report Info "dominant-mode"
+               "mode %s.%s is %dx larger than %s's smallest mode and will \
+                dictate its region's size"
+               name pm.Pmodule.modes.(k).Mode.name (size / smallest) name)
+         sizes);
+    (* Identical modes. *)
+    for a = 0 to mode_count - 1 do
+      for b = a + 1 to mode_count - 1 do
+        if
+          Fpga.Resource.equal pm.Pmodule.modes.(a).Mode.resources
+            pm.Pmodule.modes.(b).Mode.resources
+        then
+          report Info "identical-modes"
+            "modes %s.%s and %s.%s have identical resources" name
+            pm.Pmodule.modes.(a).Mode.name name pm.Pmodule.modes.(b).Mode.name
+      done
+    done
+  done;
+  (* Configuration-space coverage. *)
+  let space =
+    Array.fold_left
+      (fun acc pm -> acc *. float_of_int (Pmodule.mode_count pm + 1))
+      1. d.Design.modules
+  in
+  let coverage = float_of_int configs /. space *. 100. in
+  if coverage < 10. && space > 8. then
+    report Info "sparse-configurations"
+      "the %d configurations cover %.1f%% of the %d possible mode \
+       combinations"
+      configs coverage (int_of_float space);
+  List.stable_sort
+    (fun a b ->
+      match (a.severity, b.severity) with
+      | Warning, Info -> -1
+      | Info, Warning -> 1
+      | (Info | Warning), _ -> 0)
+    (List.rev !findings)
+
+let render findings =
+  match findings with
+  | [] -> "no findings\n"
+  | findings ->
+    String.concat ""
+      (List.map
+         (fun f ->
+           Printf.sprintf "%-7s [%s] %s\n" (severity_name f.severity) f.code
+             f.message)
+         findings)

@@ -1,0 +1,38 @@
+(** Design-description linting: static diagnostics for PR designs that
+    pass validation but will partition poorly or suggest a simpler
+    implementation. Complements {!Design.create}'s hard errors. *)
+
+type severity = Info | Warning
+
+type finding = {
+  severity : severity;
+  code : string;  (** Stable identifier, e.g. ["unused-mode"]. *)
+  message : string;
+}
+
+val check : Design.t -> finding list
+(** All diagnostics, warnings first. Codes currently produced:
+
+    - [unused-mode] (warning): a mode no configuration uses (possible
+      under [allow_unused_modes]).
+    - [duplicate-configuration] (warning): two configurations with
+      identical mode sets — they are one operating point.
+    - [constant-module] (warning): a module that runs the same mode in
+      every configuration it appears in; a static implementation of that
+      mode avoids a region entirely.
+    - [zero-area-mode] (info): a mode with no resources — usually the
+      "absent" idiom that configuration omission (paper §IV-D) expresses
+      better.
+    - [dominant-mode] (info): a mode at least 10x larger than its
+      module's smallest mode — it will dictate any region it lands in.
+    - [identical-modes] (info): two modes of one module with identical
+      resources.
+    - [sparse-configurations] (info): the configuration list covers less
+      than 10 % of the combinatorically possible mode combinations —
+      expected for adaptive systems, but worth confirming it is intended.
+    - [always-present-module] (info): a module active in every
+      configuration (no "mode 0" use). *)
+
+val severity_name : severity -> string
+val render : finding list -> string
+(** One line per finding; ["no findings\n"] when clean. *)

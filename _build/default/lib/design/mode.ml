@@ -1,0 +1,10 @@
+type t = { name : string; resources : Fpga.Resource.t }
+
+let make name resources =
+  if name = "" then invalid_arg "Mode.make: empty name";
+  { name; resources }
+
+let equal a b = a.name = b.name && Fpga.Resource.equal a.resources b.resources
+
+let pp ppf m =
+  Format.fprintf ppf "%s%a" m.name Fpga.Resource.pp m.resources

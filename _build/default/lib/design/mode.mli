@@ -1,0 +1,10 @@
+(** A mode: one mutually-exclusive implementation of a module, with the
+    resource requirement reported by synthesis (paper §III-A). *)
+
+type t = { name : string; resources : Fpga.Resource.t }
+
+val make : string -> Fpga.Resource.t -> t
+(** @raise Invalid_argument on an empty name. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type t = { name : string; modes : Mode.t array }
+
+let make name modes =
+  if name = "" then invalid_arg "Pmodule.make: empty name";
+  if modes = [] then invalid_arg "Pmodule.make: a module needs >= 1 mode";
+  let names = List.map (fun (m : Mode.t) -> m.name) modes in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg (Printf.sprintf "Pmodule.make: duplicate mode name in %s" name);
+  { name; modes = Array.of_list modes }
+
+let mode_count t = Array.length t.modes
+
+let find_mode t name =
+  let rec search i =
+    if i >= Array.length t.modes then None
+    else if t.modes.(i).Mode.name = name then Some i
+    else search (i + 1)
+  in
+  search 0
+
+let largest_mode t =
+  Array.fold_left
+    (fun acc (m : Mode.t) -> Fpga.Resource.max acc m.resources)
+    Fpga.Resource.zero t.modes
+
+let modes_total t =
+  Array.fold_left
+    (fun acc (m : Mode.t) -> Fpga.Resource.add acc m.resources)
+    Fpga.Resource.zero t.modes
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%a]" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Mode.pp)
+    (Array.to_list t.modes)

@@ -1,0 +1,24 @@
+(** A reconfigurable module: a processing unit with one or more mutually
+    exclusive modes ("PR module" in the paper; named [Pmodule] to avoid
+    clashing with the OCaml keyword). A single-mode module models the
+    paper's §IV-D "one-off" modules: absent from some configurations. *)
+
+type t = private { name : string; modes : Mode.t array }
+
+val make : string -> Mode.t list -> t
+(** @raise Invalid_argument on an empty name, an empty mode list, or
+    duplicate mode names. *)
+
+val mode_count : t -> int
+
+val find_mode : t -> string -> int option
+(** Index of the mode with the given name. *)
+
+val largest_mode : t -> Fpga.Resource.t
+(** Component-wise maximum over modes — the area a dedicated
+    one-module-per-region slot must provide. *)
+
+val modes_total : t -> Fpga.Resource.t
+(** Sum over modes — the module's footprint in a fully static build. *)
+
+val pp : Format.formatter -> t -> unit

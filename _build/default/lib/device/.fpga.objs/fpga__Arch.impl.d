@@ -1,0 +1,1 @@
+lib/device/arch.ml: Format Frame Resource Tile

@@ -1,0 +1,1 @@
+lib/device/arch.mli: Format Resource Tile

@@ -1,0 +1,1 @@
+lib/device/icap.mli: Format

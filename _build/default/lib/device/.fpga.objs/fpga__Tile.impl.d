@@ -1,0 +1,1 @@
+lib/device/tile.ml: Format Resource

@@ -1,0 +1,63 @@
+type kind_geometry = {
+  primitives_per_tile : int;
+  frames_per_tile : int;
+}
+
+type t = {
+  name : string;
+  words_per_frame : int;
+  clb : kind_geometry;
+  bram : kind_geometry;
+  dsp : kind_geometry;
+}
+
+let virtex4 =
+  { name = "Virtex-4";
+    words_per_frame = 41;
+    clb = { primitives_per_tile = 16; frames_per_tile = 22 };
+    bram = { primitives_per_tile = 4; frames_per_tile = 21 };
+    dsp = { primitives_per_tile = 8; frames_per_tile = 21 } }
+
+let virtex5 =
+  { name = "Virtex-5";
+    words_per_frame = Frame.words_per_frame;
+    clb =
+      { primitives_per_tile = Tile.primitives_per_tile Clb;
+        frames_per_tile = Tile.frames_per_tile Clb };
+    bram =
+      { primitives_per_tile = Tile.primitives_per_tile Bram;
+        frames_per_tile = Tile.frames_per_tile Bram };
+    dsp =
+      { primitives_per_tile = Tile.primitives_per_tile Dsp;
+        frames_per_tile = Tile.frames_per_tile Dsp } }
+
+let virtex6 =
+  { name = "Virtex-6";
+    words_per_frame = 81;
+    clb = { primitives_per_tile = 40; frames_per_tile = 36 };
+    bram = { primitives_per_tile = 8; frames_per_tile = 28 };
+    dsp = { primitives_per_tile = 16; frames_per_tile = 28 } }
+
+let all = [ virtex4; virtex5; virtex6 ]
+
+let geometry t = function
+  | Tile.Clb -> t.clb
+  | Tile.Bram -> t.bram
+  | Tile.Dsp -> t.dsp
+
+let tiles_for geometry primitives =
+  if primitives < 0 then invalid_arg "Arch: negative primitive count";
+  (primitives + geometry.primitives_per_tile - 1)
+  / geometry.primitives_per_tile
+
+let frames_of_resources t (r : Resource.t) =
+  (tiles_for t.clb r.clb * t.clb.frames_per_tile)
+  + (tiles_for t.bram r.bram * t.bram.frames_per_tile)
+  + (tiles_for t.dsp r.dsp * t.dsp.frames_per_tile)
+
+let bytes_per_frame t = t.words_per_frame * 4
+
+let bytes_of_resources t r = frames_of_resources t r * bytes_per_frame t
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d-word frames)" t.name t.words_per_frame

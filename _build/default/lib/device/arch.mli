@@ -1,0 +1,45 @@
+(** Cross-family architecture constants.
+
+    The engine itself is calibrated for Virtex-5 (the paper's target; see
+    {!Tile}), but the cost law — frames per tile kind times tiles touched —
+    carries across Xilinx generations with different constants. This
+    module captures documented approximations of the Virtex-4 and
+    Virtex-6 geometries alongside Virtex-5, for what-if comparisons of a
+    partitioning's reconfiguration cost on neighbouring families
+    (`bench arch`). *)
+
+type kind_geometry = {
+  primitives_per_tile : int;
+  frames_per_tile : int;
+}
+
+type t = {
+  name : string;
+  words_per_frame : int;  (** 32-bit configuration words. *)
+  clb : kind_geometry;
+  bram : kind_geometry;
+  dsp : kind_geometry;
+}
+
+val virtex4 : t
+(** 16-CLB rows, 41-word frames (UG071-approximate). *)
+
+val virtex5 : t
+(** The paper's target; identical constants to {!Tile}. *)
+
+val virtex6 : t
+(** 40-CLB rows, 81-word frames (UG360-approximate). *)
+
+val all : t list
+
+val geometry : t -> Tile.kind -> kind_geometry
+
+val frames_of_resources : t -> Resource.t -> int
+(** {!Tile.frames_of_resources} generalised: per-kind ceil-division by
+    the family's tile capacity, weighted by its frames per tile. *)
+
+val bytes_per_frame : t -> int
+val bytes_of_resources : t -> Resource.t -> int
+(** Partial-bitstream payload bytes for a region of the given size. *)
+
+val pp : Format.formatter -> t -> unit

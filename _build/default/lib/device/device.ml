@@ -1,0 +1,83 @@
+type family = Lx | Lxt | Sxt | Fxt
+
+type t = {
+  name : string;
+  short : string;
+  family : family;
+  rows : int;
+  clb_cols : int;
+  bram_cols : int;
+  dsp_cols : int;
+}
+
+let family_name = function
+  | Lx -> "LX"
+  | Lxt -> "LXT"
+  | Sxt -> "SXT"
+  | Fxt -> "FXT"
+
+let resources d =
+  let per kind cols = d.rows * cols * Tile.primitives_per_tile kind in
+  { Resource.clb = per Tile.Clb d.clb_cols;
+    bram = per Tile.Bram d.bram_cols;
+    dsp = per Tile.Dsp d.dsp_cols }
+
+let total_tiles d = d.rows * (d.clb_cols + d.bram_cols + d.dsp_cols)
+
+let total_frames d =
+  let per kind cols = d.rows * cols * Tile.frames_per_tile kind in
+  per Tile.Clb d.clb_cols + per Tile.Bram d.bram_cols
+  + per Tile.Dsp d.dsp_cols
+
+let pp ppf d =
+  Format.fprintf ppf "%s(%a)" d.short Resource.pp (resources d)
+
+let device short family rows clb_cols bram_cols dsp_cols =
+  { name = "XC5V" ^ short; short; family; rows; clb_cols; bram_cols; dsp_cols }
+
+(* Capacities are tile-consistent approximations of DS100; see DESIGN.md. *)
+let lx20t = device "LX20T" Lxt 3 52 2 1
+let lx30 = device "LX30" Lx 4 60 2 1
+let fx30t = device "FX30T" Fxt 4 64 4 2
+let sx35t = device "SX35T" Sxt 4 68 5 6
+let fx50t = device "FX50T" Fxt 6 60 5 3
+let sx70t = device "SX70T" Sxt 8 70 5 5
+let fx70t = device "FX70T" Fxt 8 70 5 2
+let fx95t = device "FX95T" Fxt 10 74 6 2
+let fx130t = device "FX130T" Fxt 10 102 8 4
+let fx200t = device "FX200T" Fxt 12 128 10 4
+
+let sweep =
+  [ lx20t; lx30; fx30t; sx35t; fx50t; sx70t; fx95t; fx130t; fx200t ]
+
+let compare_capacity a b =
+  let ra = resources a and rb = resources b in
+  match Resource.compare ra rb with
+  | 0 -> String.compare a.name b.name
+  | c -> c
+
+let catalogue =
+  List.sort compare_capacity
+    [ lx20t; lx30; fx30t; sx35t; fx50t; sx70t; fx70t; fx95t; fx130t; fx200t ]
+
+let find key =
+  let key = String.uppercase_ascii key in
+  List.find_opt (fun d -> d.short = key || d.name = key) catalogue
+
+let find_exn key =
+  match find key with
+  | Some d -> d
+  | None -> raise Not_found
+
+let smallest_fitting ?(within = sweep) need =
+  let fits d = Resource.fits need ~within:(resources d) in
+  List.find_opt fits (List.sort compare_capacity within)
+
+let next_larger ?(within = sweep) d =
+  let sorted = List.sort compare_capacity within in
+  let rec after = function
+    | [] -> None
+    | x :: rest ->
+      if compare_capacity x d > 0 then Some x else after rest
+  in
+  after sorted

@@ -1,0 +1,56 @@
+(** Xilinx Virtex-5 device catalogue.
+
+    Devices are modelled at the granularity the partitioner and floorplanner
+    need: a number of configuration rows, and per-row column counts for each
+    tile kind. Totals therefore come out tile-consistent (every primitive
+    belongs to a whole tile). Capacities approximate the DS100 data sheet;
+    the exact constants only set feasibility thresholds, not the algorithm's
+    behaviour (see DESIGN.md). The paper counts "CLBs" interchangeably with
+    slices, and so do we. *)
+
+type family = Lx | Lxt | Sxt | Fxt
+
+type t = private {
+  name : string;  (** e.g. ["XC5VFX70T"]. *)
+  short : string;  (** e.g. ["FX70T"], as used on the paper's figure axes. *)
+  family : family;
+  rows : int;  (** Configuration rows; a frame spans one row. *)
+  clb_cols : int;  (** CLB tile columns per row. *)
+  bram_cols : int;
+  dsp_cols : int;
+}
+
+val family_name : family -> string
+val pp : Format.formatter -> t -> unit
+
+val resources : t -> Resource.t
+(** Total primitives: [rows * cols * primitives_per_tile] per kind. *)
+
+val total_tiles : t -> int
+val total_frames : t -> int
+(** Full-device configuration size in frames (CLB/BRAM/DSP tiles only). *)
+
+val catalogue : t list
+(** All modelled devices in ascending capacity order. *)
+
+val sweep : t list
+(** The nine devices appearing on the axes of the paper's Figs. 7–8, in the
+    paper's order: LX20T, LX30, FX30T, SX35T, FX50T, SX70T, FX95T, FX130T,
+    FX200T. *)
+
+val find : string -> t option
+(** Lookup by [short] or full [name], case-insensitive. *)
+
+val find_exn : string -> t
+(** @raise Not_found when the device is not in the catalogue. *)
+
+val smallest_fitting : ?within:t list -> Resource.t -> t option
+(** Smallest device (of [within], default {!sweep}) whose resources
+    dominate the requirement. *)
+
+val next_larger : ?within:t list -> t -> t option
+(** Successor of a device in the capacity ordering of [within] (default
+    {!sweep}); [None] when already the largest. *)
+
+val compare_capacity : t -> t -> int
+(** Orders by CLB count, then BRAM, then DSP, then name. *)

@@ -1,0 +1,14 @@
+let words_per_frame = 41
+let bits_per_frame = words_per_frame * 32
+let bytes_per_frame = bits_per_frame / 8
+
+let check n =
+  if n < 0 then invalid_arg "Frame: negative frame count"
+
+let bytes_of_frames n =
+  check n;
+  n * bytes_per_frame
+
+let bits_of_frames n =
+  check n;
+  n * bits_per_frame

@@ -1,0 +1,21 @@
+(** Virtex-5 configuration-frame constants (UG191).
+
+    The configuration frame is the smallest addressable unit of the
+    configuration memory; reconfiguration time is proportional to the number
+    of frames rewritten, so frames are the paper's cost unit. *)
+
+val words_per_frame : int
+(** 41 32-bit words per frame. *)
+
+val bits_per_frame : int
+(** 1312 bits ([words_per_frame * 32]). *)
+
+val bytes_per_frame : int
+(** 164 bytes. *)
+
+val bytes_of_frames : int -> int
+(** Raw payload size of a partial bitstream covering [n] frames.
+    @raise Invalid_argument on negative [n]. *)
+
+val bits_of_frames : int -> int
+(** @raise Invalid_argument on negative count. *)

@@ -1,0 +1,36 @@
+type t = {
+  width_bits : int;
+  clock_hz : float;
+  overhead_s : float;
+  throughput_derate : float;
+}
+
+let make ?(width_bits = 32) ?(clock_hz = 100e6) ?(overhead_s = 0.)
+    ?(throughput_derate = 1.) () =
+  if width_bits <> 8 && width_bits <> 16 && width_bits <> 32 then
+    invalid_arg "Icap.make: width must be 8, 16 or 32";
+  if clock_hz <= 0. then invalid_arg "Icap.make: non-positive clock";
+  if overhead_s < 0. then invalid_arg "Icap.make: negative overhead";
+  if throughput_derate <= 0. || throughput_derate > 1. then
+    invalid_arg "Icap.make: derate must lie in (0, 1]";
+  { width_bits; clock_hz; overhead_s; throughput_derate }
+
+let default = make ()
+
+let bytes_per_second t =
+  float_of_int (t.width_bits / 8) *. t.clock_hz *. t.throughput_derate
+
+let seconds_of_frames t n =
+  if n < 0 then invalid_arg "Icap.seconds_of_frames: negative frames";
+  if n = 0 then 0.
+  else
+    t.overhead_s
+    +. (float_of_int (Frame.bytes_of_frames n) /. bytes_per_second t)
+
+let frames_per_second t =
+  bytes_per_second t /. float_of_int Frame.bytes_per_frame
+
+let pp ppf t =
+  Format.fprintf ppf "ICAP(%d-bit @@ %.0f MHz, %.1f MB/s)" t.width_bits
+    (t.clock_hz /. 1e6)
+    (bytes_per_second t /. 1e6)

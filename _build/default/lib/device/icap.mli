@@ -1,0 +1,39 @@
+(** Internal Configuration Access Port (ICAP) timing model.
+
+    Converts frame counts — the paper's cost unit — into wall-clock
+    reconfiguration time. The default models the 32-bit ICAP of Virtex-5 at
+    100 MHz (400 MB/s peak) with an optional fixed per-reconfiguration
+    overhead for bitstream fetch and controller set-up, matching the
+    open-source controller the paper's static overhead is based on. *)
+
+type t = private {
+  width_bits : int;  (** Port width: 8, 16 or 32 bits. *)
+  clock_hz : float;  (** ICAP clock frequency. *)
+  overhead_s : float;  (** Fixed per-reconfiguration latency (fetch, sync). *)
+  throughput_derate : float;
+      (** Fraction of peak throughput actually sustained, in (0, 1]. *)
+}
+
+val default : t
+(** 32-bit @ 100 MHz, no overhead, full throughput. *)
+
+val make :
+  ?width_bits:int ->
+  ?clock_hz:float ->
+  ?overhead_s:float ->
+  ?throughput_derate:float ->
+  unit ->
+  t
+(** @raise Invalid_argument on a non-positive clock or derate outside
+    (0, 1], or a width other than 8, 16 or 32. *)
+
+val bytes_per_second : t -> float
+(** Sustained configuration throughput. *)
+
+val seconds_of_frames : t -> int -> float
+(** Wall-clock time of one reconfiguration writing [n] frames, including
+    the fixed overhead (zero frames cost zero: no reconfiguration).
+    @raise Invalid_argument on negative [n]. *)
+
+val frames_per_second : t -> float
+val pp : Format.formatter -> t -> unit

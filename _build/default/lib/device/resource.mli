@@ -1,0 +1,41 @@
+(** Resource vectors over the three Virtex-5 reconfigurable primitive kinds
+    tracked by the paper: CLBs, Block RAMs and DSP slices. *)
+
+type t = { clb : int; bram : int; dsp : int }
+
+val zero : t
+val make : ?bram:int -> ?dsp:int -> int -> t
+(** [make ~bram ~dsp clb]; omitted components default to [0].
+    @raise Invalid_argument if any component is negative. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Component-wise subtraction; may produce negative components (use
+    {!fits} to test availability). *)
+
+val max : t -> t -> t
+(** Component-wise maximum — the area law for two clusters sharing a
+    region (paper eq. 2 applied per resource kind). *)
+
+val sum : t list -> t
+val scale : int -> t -> t
+
+val fits : t -> within:t -> bool
+(** [fits r ~within:avail] iff every component of [r] is [<=] the
+    corresponding component of [avail]. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] iff [fits b ~within:a]. *)
+
+val is_zero : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order: lexicographic on (clb, bram, dsp). *)
+
+val total_primitives : t -> int
+(** Sum of the three components; a crude scalar size used only for
+    tie-breaking orderings. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

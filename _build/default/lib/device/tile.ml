@@ -1,0 +1,40 @@
+type kind = Clb | Bram | Dsp
+
+let all_kinds = [ Clb; Bram; Dsp ]
+
+let kind_name = function
+  | Clb -> "CLB"
+  | Bram -> "BRAM"
+  | Dsp -> "DSP"
+
+let pp_kind ppf kind = Format.pp_print_string ppf (kind_name kind)
+
+let primitives_per_tile = function
+  | Clb -> 20
+  | Bram -> 4
+  | Dsp -> 8
+
+let frames_per_tile = function
+  | Clb -> 36
+  | Bram -> 30
+  | Dsp -> 28
+
+let tiles_for kind primitives =
+  if primitives < 0 then invalid_arg "Tile.tiles_for: negative count";
+  let per = primitives_per_tile kind in
+  (primitives + per - 1) / per
+
+let tiles_of_resources (r : Resource.t) =
+  (tiles_for Clb r.clb, tiles_for Bram r.bram, tiles_for Dsp r.dsp)
+
+let quantize (r : Resource.t) =
+  let clb_t, bram_t, dsp_t = tiles_of_resources r in
+  { Resource.clb = clb_t * primitives_per_tile Clb;
+    bram = bram_t * primitives_per_tile Bram;
+    dsp = dsp_t * primitives_per_tile Dsp }
+
+let frames_of_resources r =
+  let clb_t, bram_t, dsp_t = tiles_of_resources r in
+  (clb_t * frames_per_tile Clb)
+  + (bram_t * frames_per_tile Bram)
+  + (dsp_t * frames_per_tile Dsp)

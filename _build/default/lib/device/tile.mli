@@ -1,0 +1,34 @@
+(** Virtex-5 tile model.
+
+    A tile is one device row high and one resource column wide; it is the
+    smallest unit the supported PR flow can reconfigure. Each tile kind packs
+    a fixed number of primitives and occupies a fixed number of configuration
+    frames (paper §IV-B). *)
+
+type kind = Clb | Bram | Dsp
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+
+val primitives_per_tile : kind -> int
+(** CLB tile: 20 CLBs; BRAM tile: 4 Block RAMs; DSP tile: 8 DSP slices. *)
+
+val frames_per_tile : kind -> int
+(** CLB tile: 36 frames; BRAM tile: 30; DSP tile: 28. *)
+
+val tiles_for : kind -> int -> int
+(** [tiles_for kind primitives] is the number of whole tiles needed to host
+    [primitives] primitives of [kind] (partial tiles are never shared, so
+    the count is rounded up). @raise Invalid_argument on negative input. *)
+
+val tiles_of_resources : Resource.t -> int * int * int
+(** Tiles per kind as [(clb_tiles, bram_tiles, dsp_tiles)]. *)
+
+val quantize : Resource.t -> Resource.t
+(** Round a resource requirement up to whole-tile granularity, i.e. the
+    primitives actually consumed once tiles are allocated. *)
+
+val frames_of_resources : Resource.t -> int
+(** Area in frames of a region hosting [r] (paper eqs. 1/6): tiles are
+    rounded up per kind and weighted by {!frames_per_tile}. *)

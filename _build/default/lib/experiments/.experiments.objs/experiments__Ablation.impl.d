@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Cluster Fpga Fun List Prcore Prdesign Printf Report Runtime String Synth

@@ -1,0 +1,1 @@
+lib/experiments/case_study.ml: Array Baselines Cluster Format Fpga List Prcore Prdesign Printf Report

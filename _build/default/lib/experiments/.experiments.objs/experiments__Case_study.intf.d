@@ -1,0 +1,1 @@
+lib/experiments/case_study.mli: Baselines Cluster Prcore Prdesign

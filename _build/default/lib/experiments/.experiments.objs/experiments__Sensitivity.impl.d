@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Baselines List Printf Report Sweep Synth

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Baselines Fpga List Prcore Prdesign Printf Report String Synth

@@ -1,0 +1,109 @@
+(** Ablation studies for the design choices called out in DESIGN.md:
+    the frequency-weight rule (configuration support vs the literal
+    minimum-edge-weight rule), static promotion on/off, the restart
+    budget, and the pairwise cost metric vs a stateful runtime
+    simulation. *)
+
+type variant_result = {
+  label : string;
+  total_frames : int;
+  worst_frames : int;
+  regions : int;
+  statics : int;
+  base_partitions : int;
+}
+
+val frequency_rule : unit -> variant_result list
+(** Case study (both configuration sets) under [Support] and [Min_edge]. *)
+
+val static_promotion : unit -> variant_result list
+(** Case study with promotion enabled vs disabled. *)
+
+val restart_budget : unit -> variant_result list
+(** Case study at restart budgets 0, 2, 8 and 24. *)
+
+type proxy_result = {
+  design_name : string;
+  pairwise_mean_frames : float;
+      (** Mean over unordered configuration pairs of the paper's
+          transition cost — the static proxy. *)
+  simulated_mean_frames : float;
+      (** Mean frames per transition over a long random adaptation walk
+          with stateful region contents. *)
+}
+
+val proxy_vs_simulation : ?steps:int -> ?seed:int -> unit -> proxy_result list
+(** Runs the receiver case studies and the running example. Per
+    transition the stateful simulation never writes more frames than the
+    pairwise proxy (don't-care regions retain content), so the means track
+    each other closely; they can differ slightly because a walk weights
+    transitions by visit frequency rather than uniformly. *)
+
+type gap_result = {
+  name : string;
+  candidate_size : int;
+  greedy_total : int;
+  anneal_total : int;  (** Simulated annealing ({!Prcore.Anneal}). *)
+  exact_total : int;
+  gap_pct : float;  (** Greedy vs exact. *)
+  anneal_gap_pct : float;  (** Annealing vs exact. *)
+  exact_optimal : bool;
+}
+
+val optimality_gap : ?count:int -> ?seed:int -> unit -> gap_result list
+(** Greedy allocator and simulated annealing vs the exact
+    branch-and-bound ({!Prcore.Exact}) on the first candidate set of
+    small synthetic designs, under the automatically selected device's
+    budget. Defaults: 20 designs, seed 11. *)
+
+type weighted_result = {
+  design_name : string;
+  uniform_objective_rate : float;
+      (** Expected frames/step under the chain, for the scheme optimised
+          with the paper's unweighted objective. *)
+  weighted_objective_rate : float;
+      (** Same, for the scheme optimised with the chain's edge rates —
+          the paper's future-work extension. *)
+  improvement_pct : float;
+}
+
+val weighted_objective : ?seed:int -> unit -> weighted_result list
+(** Case-study designs under a skewed random Markov adaptation workload:
+    optimising for the known transition statistics should never lose to
+    optimising the uniform proxy, and typically wins. *)
+
+type cache_result = {
+  label : string;
+  capacity_frames : int;
+  hit_rate_pct : float;
+  icap_ms : float;
+  fetch_ms : float;
+  total_ms : float;
+}
+
+val fetch_cache : ?steps:int -> ?seed:int -> unit -> cache_result list
+(** Fetch-path ablation on the receiver case study over a long adaptation
+    walk from slow configuration flash: no cache vs an on-chip bitstream
+    cache at several capacities and eviction policies. Quantifies the
+    "delay in fetching partial bitstreams from external memory" the paper
+    flags as part of real reconfiguration time. *)
+
+type arch_result = {
+  arch : string;
+  region_frames : int list;
+  total_frames : int;
+  total_bytes : int;
+}
+
+val cross_architecture : unit -> arch_result list
+(** The case-study partitioning re-costed under Virtex-4/5/6 tile
+    geometries ({!Fpga.Arch}): same regions and transition pattern,
+    family-specific frames and bitstream bytes. *)
+
+val render_arch : arch_result list -> string
+
+val render_variants : header:string -> variant_result list -> string
+val render_proxy : proxy_result list -> string
+val render_gap : gap_result list -> string
+val render_cache : cache_result list -> string
+val render_weighted : weighted_result list -> string

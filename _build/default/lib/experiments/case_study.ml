@@ -1,0 +1,149 @@
+module Design = Prdesign.Design
+module Design_library = Prdesign.Design_library
+module Base_partition = Cluster.Base_partition
+module Engine = Prcore.Engine
+module Cost = Prcore.Cost
+module Scheme = Prcore.Scheme
+module Schemes = Baselines.Schemes
+
+module Table1 = struct
+  type t = {
+    partitions : Base_partition.t list;
+    singles : int;
+    pairs : int;
+    triples : int;
+  }
+
+  let run () =
+    let partitions =
+      Cluster.Agglomerative.run Design_library.running_example
+    in
+    let count n =
+      List.length
+        (List.filter (fun bp -> Base_partition.cardinal bp = n) partitions)
+    in
+    { partitions; singles = count 1; pairs = count 2; triples = count 3 }
+
+  let render t =
+    let design = Design_library.running_example in
+    let rows =
+      List.map
+        (fun (bp : Base_partition.t) ->
+          [ Base_partition.label design bp;
+            string_of_int bp.freq;
+            string_of_int bp.frames ])
+        t.partitions
+    in
+    Report.Table.render
+      ~headers:[ "Base Part'n"; "Freq wt"; "Frames" ]
+      rows
+    ^ Printf.sprintf "(%d singletons, %d pairs, %d triples)\n" t.singles
+        t.pairs t.triples
+end
+
+module Table2 = struct
+  let run () = Design_library.video_receiver
+
+  let render (design : Design.t) =
+    let rows =
+      List.concat_map
+        (fun (m : Prdesign.Pmodule.t) ->
+          List.mapi
+            (fun k (mode : Prdesign.Mode.t) ->
+              let r = mode.resources in
+              [ (if k = 0 then m.name else "");
+                Printf.sprintf "%d. %s" (k + 1) mode.name;
+                string_of_int r.Fpga.Resource.clb;
+                string_of_int r.Fpga.Resource.bram;
+                string_of_int r.Fpga.Resource.dsp ])
+            (Array.to_list m.modes))
+        (Array.to_list design.Design.modules)
+    in
+    Report.Table.render
+      ~aligns:[ Left; Left; Right; Right; Right ]
+      ~headers:[ "Module"; "Mode"; "Slices"; "BR"; "DSP" ]
+      rows
+end
+
+let solve_case design =
+  match
+    Engine.solve ~target:(Engine.Budget Design_library.case_study_budget)
+      design
+  with
+  | Ok outcome -> outcome
+  | Error message -> failwith ("case study solve failed: " ^ message)
+
+let scheme_row (l : Schemes.labelled) =
+  let e = l.evaluation in
+  [ l.label;
+    string_of_int e.Cost.used.Fpga.Resource.clb;
+    string_of_int e.Cost.used.Fpga.Resource.bram;
+    string_of_int e.Cost.used.Fpga.Resource.dsp;
+    string_of_int e.Cost.total_frames ]
+
+module Table3_4 = struct
+  type t = {
+    outcome : Engine.outcome;
+    static_ : Schemes.labelled;
+    modular : Schemes.labelled;
+    single : Schemes.labelled;
+    improvement_vs_modular_pct : float;
+  }
+
+  let run () =
+    let design = Design_library.video_receiver in
+    let outcome = solve_case design in
+    let modular = Schemes.one_module_per_region design in
+    { outcome;
+      static_ = Schemes.fully_static design;
+      modular;
+      single = Schemes.single_region design;
+      improvement_vs_modular_pct =
+        Schemes.percent_change
+          ~proposed:outcome.Engine.evaluation.Cost.total_frames
+          ~baseline:modular.evaluation.Cost.total_frames }
+
+  let render_partitions t = Scheme.describe t.outcome.Engine.scheme
+
+  let render_comparison t =
+    let proposed =
+      [ "Proposed";
+        string_of_int t.outcome.Engine.evaluation.Cost.used.Fpga.Resource.clb;
+        string_of_int t.outcome.Engine.evaluation.Cost.used.Fpga.Resource.bram;
+        string_of_int t.outcome.Engine.evaluation.Cost.used.Fpga.Resource.dsp;
+        string_of_int t.outcome.Engine.evaluation.Cost.total_frames ]
+    in
+    Report.Table.render
+      ~headers:[ "Scheme"; "CLBs"; "BRAMs"; "DSPs"; "Total recon. time" ]
+      [ scheme_row t.static_; scheme_row t.modular; proposed ]
+    ^ Printf.sprintf "Proposed improves total time over 1 module/region by %.1f%%\n"
+        t.improvement_vs_modular_pct
+end
+
+module Table5 = struct
+  type t = {
+    outcome : Engine.outcome;
+    modular : Schemes.labelled;
+    improvement_vs_modular_pct : float;
+  }
+
+  let run () =
+    let design = Design_library.video_receiver_alt in
+    let outcome = solve_case design in
+    let modular = Schemes.one_module_per_region design in
+    { outcome;
+      modular;
+      improvement_vs_modular_pct =
+        Schemes.percent_change
+          ~proposed:outcome.Engine.evaluation.Cost.total_frames
+          ~baseline:modular.evaluation.Cost.total_frames }
+
+  let render t =
+    Scheme.describe t.outcome.Engine.scheme
+    ^ Format.asprintf "%a@." Cost.pp_evaluation t.outcome.Engine.evaluation
+    ^ Printf.sprintf
+        "Proposed improves total time over 1 module/region by %.1f%% \
+         (modular total %d frames)\n"
+        t.improvement_vs_modular_pct
+        t.modular.evaluation.Cost.total_frames
+end

@@ -1,0 +1,56 @@
+(** The paper's §V case study (Tables I–V): the running example's base
+    partitions and the wireless video receiver under both configuration
+    sets. Each experiment returns structured data plus a rendered table so
+    the bench harness prints and the test suite asserts on the same
+    artefact. *)
+
+(** Table I — base partitions of the running example. *)
+module Table1 : sig
+  type t = {
+    partitions : Cluster.Base_partition.t list;  (** Priority order. *)
+    singles : int;
+    pairs : int;
+    triples : int;
+  }
+
+  val run : unit -> t
+  val render : t -> string
+end
+
+(** Table II — module resource utilisation of the video receiver. *)
+module Table2 : sig
+  val run : unit -> Prdesign.Design.t
+  val render : Prdesign.Design.t -> string
+end
+
+(** Tables III/IV — partitioning of the 8-configuration receiver and the
+    scheme comparison. *)
+module Table3_4 : sig
+  type t = {
+    outcome : Prcore.Engine.outcome;
+    static_ : Baselines.Schemes.labelled;
+    modular : Baselines.Schemes.labelled;
+    single : Baselines.Schemes.labelled;
+    improvement_vs_modular_pct : float;
+  }
+
+  val run : unit -> t
+
+  val render_partitions : t -> string
+  (** Table III analogue. *)
+
+  val render_comparison : t -> string
+  (** Table IV analogue. *)
+end
+
+(** Table V — the modified 5-configuration set. *)
+module Table5 : sig
+  type t = {
+    outcome : Prcore.Engine.outcome;
+    modular : Baselines.Schemes.labelled;
+    improvement_vs_modular_pct : float;
+  }
+
+  val run : unit -> t
+  val render : t -> string
+end

@@ -1,0 +1,76 @@
+type row = {
+  label : string;
+  designs : int;
+  beats_modular_total_pct : float;
+  beats_modular_worst_pct : float;
+  escalated_pct : float;
+  mean_improvement_pct : float;
+  mean_statics : float;
+}
+
+let study ~label ~count ~seed ~spec =
+  let rows = Sweep.run ~count ~seed ~spec () in
+  let pct pred = 100. *. Report.Stats.fraction pred rows in
+  let improvements =
+    List.map
+      (fun (r : Sweep.row) ->
+        Baselines.Schemes.percent_change ~proposed:r.proposed_total
+          ~baseline:r.modular_total)
+      rows
+  in
+  { label;
+    designs = List.length rows;
+    beats_modular_total_pct =
+      pct (fun (r : Sweep.row) -> r.proposed_total < r.modular_total);
+    beats_modular_worst_pct =
+      pct (fun (r : Sweep.row) -> r.proposed_worst < r.modular_worst);
+    escalated_pct = pct (fun (r : Sweep.row) -> r.escalations > 0);
+    mean_improvement_pct =
+      (if improvements = [] then 0. else Report.Stats.mean improvements);
+    mean_statics =
+      (if rows = [] then 0.
+       else
+         Report.Stats.mean
+           (List.map (fun (r : Sweep.row) -> float_of_int r.statics) rows)) }
+
+let absence_probability ?(count = 120) ?(seed = 2013) () =
+  List.map
+    (fun p ->
+      study
+        ~label:(Printf.sprintf "absence probability %.2f" p)
+        ~count ~seed
+        ~spec:{ Synth.Generator.default_spec with absence_probability = p })
+    [ 0.0; 0.15; 0.35 ]
+
+let design_size ?(count = 120) ?(seed = 2013) () =
+  List.map
+    (fun (label, modules) ->
+      study ~label ~count ~seed
+        ~spec:{ Synth.Generator.default_spec with modules })
+    [ ("2-3 modules", (2, 3)); ("2-6 modules (paper)", (2, 6));
+      ("5-6 modules", (5, 6)) ]
+
+let configuration_count ?(count = 120) ?(seed = 2013) () =
+  List.map
+    (fun (label, extra_configs) ->
+      study ~label ~count ~seed
+        ~spec:{ Synth.Generator.default_spec with extra_configs })
+    [ ("minimal configurations", (0, 1)); ("1-4 extra (paper-ish)", (1, 4));
+      ("8-12 extra", (8, 12)) ]
+
+let render ~title rows =
+  title ^ "\n"
+  ^ Report.Table.render
+      ~headers:
+        [ "Variant"; "Designs"; "Beats mod. %"; "Beats mod. worst %";
+          "Escalated %"; "Mean improv. %"; "Mean statics" ]
+      (List.map
+         (fun r ->
+           [ r.label;
+             string_of_int r.designs;
+             Report.Table.fixed 1 r.beats_modular_total_pct;
+             Report.Table.fixed 1 r.beats_modular_worst_pct;
+             Report.Table.fixed 1 r.escalated_pct;
+             Report.Table.fixed 1 r.mean_improvement_pct;
+             Report.Table.fixed 2 r.mean_statics ])
+         rows)

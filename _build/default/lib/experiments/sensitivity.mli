@@ -1,0 +1,31 @@
+(** Sensitivity of the headline results to the synthetic-workload
+    parameters the paper does not publish (see DESIGN.md's substitution
+    notes): module absence probability, design size and configuration
+    count. Each study re-runs a reduced sweep under a varied generator
+    recipe and reports how the proposed/modular comparison moves. *)
+
+type row = {
+  label : string;
+  designs : int;
+  beats_modular_total_pct : float;
+  beats_modular_worst_pct : float;
+  escalated_pct : float;
+  mean_improvement_pct : float;
+      (** Mean percentage improvement of proposed over modular total
+          time. *)
+  mean_statics : float;  (** Mean clusters promoted to static. *)
+}
+
+val absence_probability : ?count:int -> ?seed:int -> unit -> row list
+(** Vary the chance a module is absent from a configuration
+    (0, 0.15, 0.35): absence creates the static-promotion and
+    region-sharing opportunities the algorithm exploits. *)
+
+val design_size : ?count:int -> ?seed:int -> unit -> row list
+(** Small (2–3 modules) vs paper-sized (2–6) vs large (5–6) designs. *)
+
+val configuration_count : ?count:int -> ?seed:int -> unit -> row list
+(** Few extra random configurations vs many: more configurations
+    constrain compatibility and shrink the win. *)
+
+val render : title:string -> row list -> string

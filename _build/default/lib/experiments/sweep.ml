@@ -1,0 +1,191 @@
+module Design = Prdesign.Design
+module Engine = Prcore.Engine
+module Cost = Prcore.Cost
+module Scheme = Prcore.Scheme
+module Schemes = Baselines.Schemes
+module Resource = Fpga.Resource
+
+type row = {
+  name : string;
+  cls : Synth.Generator.circuit_class;
+  device : Fpga.Device.t;
+  escalations : int;
+  proposed_total : int;
+  proposed_worst : int;
+  modular_total : int;
+  modular_worst : int;
+  single_total : int;
+  single_worst : int;
+  modular_fits : bool;
+  modular_device : Fpga.Device.t option;
+  regions : int;
+  statics : int;
+}
+
+let row_of_design ~options (cls, design) =
+  match Engine.solve ~options ~target:Engine.Auto design with
+  | Error _ -> None
+  | Ok outcome ->
+    let device =
+      match outcome.Engine.device with
+      | Some d -> d
+      | None -> assert false (* Auto always reports a device *)
+    in
+    let modular = Schemes.one_module_per_region design in
+    let single = Schemes.single_region design in
+    let modular_need =
+      Resource.add modular.evaluation.Cost.used Resource.zero
+    in
+    Some
+      { name = design.Design.name;
+        cls;
+        device;
+        escalations = outcome.Engine.escalations;
+        proposed_total = outcome.Engine.evaluation.Cost.total_frames;
+        proposed_worst = outcome.Engine.evaluation.Cost.worst_frames;
+        modular_total = modular.evaluation.Cost.total_frames;
+        modular_worst = modular.evaluation.Cost.worst_frames;
+        single_total = single.evaluation.Cost.total_frames;
+        single_worst = single.evaluation.Cost.worst_frames;
+        modular_fits =
+          Cost.fits modular.evaluation ~budget:outcome.Engine.budget;
+        modular_device = Fpga.Device.smallest_fitting modular_need;
+        regions = outcome.Engine.scheme.Scheme.region_count;
+        statics = List.length (Scheme.static_members outcome.Engine.scheme) }
+
+let run ?(count = 1000) ?(seed = 2013) ?(options = Engine.default_options)
+    ?spec () =
+  List.filter_map (row_of_design ~options)
+    (Synth.Generator.batch ?spec ~seed ~count ())
+
+type summary = {
+  rows : int;
+  skipped : int;
+  escalated : int;
+  smaller_than_modular : int;
+  beats_modular_total_pct : float;
+  beats_modular_worst_pct : float;
+  matches_single_worst_pct : float;
+  beats_single_total_pct : float;
+}
+
+let summarise ~skipped rows =
+  let pct pred = 100. *. Report.Stats.fraction pred rows in
+  { rows = List.length rows;
+    skipped;
+    escalated = List.length (List.filter (fun r -> r.escalations > 0) rows);
+    smaller_than_modular =
+      List.length
+        (List.filter
+           (fun r ->
+             match r.modular_device with
+             | None -> true (* modular fits no device at all *)
+             | Some md -> Fpga.Device.compare_capacity r.device md < 0)
+           rows);
+    beats_modular_total_pct =
+      pct (fun r -> r.proposed_total < r.modular_total);
+    beats_modular_worst_pct =
+      pct (fun r -> r.proposed_worst < r.modular_worst);
+    matches_single_worst_pct =
+      pct (fun r -> r.proposed_worst <= r.single_worst);
+    beats_single_total_pct =
+      pct (fun r -> r.proposed_total < r.single_total) }
+
+let device_order rows =
+  List.sort_uniq
+    (fun a b -> Fpga.Device.compare_capacity a b)
+    (List.map (fun r -> r.device) rows)
+
+let metric_values metric scheme row =
+  match (metric, scheme) with
+  | `Total, `Proposed -> row.proposed_total
+  | `Total, `Modular -> row.modular_total
+  | `Total, `Single -> row.single_total
+  | `Worst, `Proposed -> row.proposed_worst
+  | `Worst, `Modular -> row.modular_worst
+  | `Worst, `Single -> row.single_worst
+
+let render_fig ~metric rows =
+  let headers =
+    [ "Device"; "Designs"; "Proposed"; "1 Mod/Region"; "Single region" ]
+  in
+  let table_rows =
+    List.map
+      (fun device ->
+        let group =
+          List.filter
+            (fun r -> r.device.Fpga.Device.short = device.Fpga.Device.short)
+            rows
+        in
+        let mean scheme =
+          Report.Stats.mean
+            (List.map
+               (fun r -> float_of_int (metric_values metric scheme r))
+               group)
+        in
+        [ device.Fpga.Device.short;
+          string_of_int (List.length group);
+          Report.Table.fixed 0 (mean `Proposed);
+          Report.Table.fixed 0 (mean `Modular);
+          Report.Table.fixed 0 (mean `Single) ])
+      (device_order rows)
+  in
+  let title =
+    match metric with
+    | `Total -> "Mean total reconfiguration time (frames) per target FPGA"
+    | `Worst -> "Mean worst-case reconfiguration time (frames) per target FPGA"
+  in
+  title ^ "\n" ^ Report.Table.render ~headers table_rows
+
+let percent_changes ~metric ~baseline rows =
+  List.map
+    (fun r ->
+      let proposed = metric_values metric `Proposed r in
+      let base =
+        match baseline with
+        | `Modular -> metric_values metric `Modular r
+        | `Single -> metric_values metric `Single r
+      in
+      Schemes.percent_change ~proposed ~baseline:base)
+    rows
+
+let render_fig9 rows =
+  let panel title metric baseline =
+    let values = percent_changes ~metric ~baseline rows in
+    let histogram = Report.Histogram.make ~lo:(-10.) ~hi:100. ~buckets:11 values in
+    Printf.sprintf "(%s) %% change, %s\n%s" title
+      (match (metric, baseline) with
+       | `Total, `Modular -> "total time vs 1 module/region"
+       | `Total, `Single -> "total time vs single region"
+       | `Worst, `Modular -> "worst time vs 1 module/region"
+       | `Worst, `Single -> "worst time vs single region")
+      (Report.Histogram.render histogram)
+  in
+  String.concat "\n"
+    [ panel "a" `Total `Modular;
+      panel "b" `Total `Single;
+      panel "c" `Worst `Modular;
+      panel "d" `Worst `Single ]
+
+let render_summary s =
+  String.concat "\n"
+    [ Printf.sprintf "designs partitioned: %d (skipped %d that fit no device)"
+        s.rows s.skipped;
+      Printf.sprintf
+        "re-iterated on a larger FPGA: %d  (paper: 201 of 1000)" s.escalated;
+      Printf.sprintf
+        "fit a smaller FPGA than one-module-per-region needs: %d  (paper: 13)"
+        s.smaller_than_modular;
+      Printf.sprintf
+        "beats 1 module/region on total time: %.1f%%  (paper: 73%%)"
+        s.beats_modular_total_pct;
+      Printf.sprintf
+        "beats 1 module/region on worst time: %.1f%%  (paper: 70%%)"
+        s.beats_modular_worst_pct;
+      Printf.sprintf
+        "improves or matches single-region worst time: %.1f%%  (paper: 87.5%%)"
+        s.matches_single_worst_pct;
+      Printf.sprintf
+        "beats single region on total time: %.1f%%  (paper: 100%%)"
+        s.beats_single_total_pct;
+      "" ]

@@ -1,0 +1,65 @@
+(** The synthetic-design sweep behind the paper's Figs. 7–9 and the §V
+    headline statistics: partition every generated design on the smallest
+    suitable Virtex-5 device and compare total and worst-case
+    reconfiguration time against the one-module-per-region and
+    single-region schemes. One sweep feeds all three figures. *)
+
+type row = {
+  name : string;
+  cls : Synth.Generator.circuit_class;
+  device : Fpga.Device.t;  (** Device the proposed scheme landed on. *)
+  escalations : int;
+  proposed_total : int;
+  proposed_worst : int;
+  modular_total : int;
+  modular_worst : int;
+  single_total : int;
+  single_worst : int;
+  modular_fits : bool;  (** Modular scheme fits the chosen device. *)
+  modular_device : Fpga.Device.t option;
+      (** Smallest device fitting the modular scheme. *)
+  regions : int;
+  statics : int;
+}
+
+val run :
+  ?count:int -> ?seed:int -> ?options:Prcore.Engine.options ->
+  ?spec:Synth.Generator.spec -> unit ->
+  row list
+(** Defaults: 1000 designs, seed 2013, default engine options, default
+    generator recipe. Designs that fit no catalogued device are skipped
+    (reported by {!type-summary}). *)
+
+type summary = {
+  rows : int;
+  skipped : int;
+  escalated : int;  (** Designs needing a larger device (paper: 201). *)
+  smaller_than_modular : int;
+      (** Designs fitting a smaller device than the modular scheme needs
+          (paper: 13). *)
+  beats_modular_total_pct : float;  (** Paper: ~73 %. *)
+  beats_modular_worst_pct : float;  (** Paper: ~70 %. *)
+  matches_single_worst_pct : float;
+      (** Improves or matches single-region worst case (paper: 87.5 %). *)
+  beats_single_total_pct : float;  (** Paper: 100 %. *)
+}
+
+val summarise : skipped:int -> row list -> summary
+
+val render_fig :
+  metric:[ `Total | `Worst ] -> row list -> string
+(** Figs. 7/8 analogue: per-device groups (in sweep order) with design
+    counts and mean frames of the three schemes. *)
+
+val render_fig9 : row list -> string
+(** The four percentage-change histograms of Fig. 9, -10 % to 100 % in
+    10-point buckets. *)
+
+val render_summary : summary -> string
+
+val percent_changes :
+  metric:[ `Total | `Worst ] ->
+  baseline:[ `Modular | `Single ] ->
+  row list ->
+  float list
+(** The improvement distribution feeding one Fig. 9 panel. *)

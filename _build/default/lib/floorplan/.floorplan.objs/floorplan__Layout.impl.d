@@ -1,0 +1,1 @@
+lib/floorplan/layout.ml: Array Format Fpga Fun List

@@ -1,0 +1,1 @@
+lib/floorplan/placer.ml: Array Bytes Char Format Fpga Fun Int Layout List Option String

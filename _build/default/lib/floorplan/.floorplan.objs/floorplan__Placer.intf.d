@@ -1,0 +1,1 @@
+lib/floorplan/placer.mli: Format Fpga Layout

@@ -1,0 +1,55 @@
+module Device = Fpga.Device
+module Tile = Fpga.Tile
+
+type t = { device : Device.t; columns : Tile.kind array }
+
+(* Spread [count] special columns evenly over [width] slots, nudging right
+   when the ideal slot is already taken. *)
+let spread columns kind count =
+  let width = Array.length columns in
+  for i = 0 to count - 1 do
+    let ideal = (2 * i + 1) * width / (2 * count) in
+    let rec free c =
+      if c >= width then free 0
+      else if columns.(c) = None then c
+      else free (c + 1)
+    in
+    columns.(free ideal) <- Some kind
+  done
+
+let make (device : Device.t) =
+  let width = device.clb_cols + device.bram_cols + device.dsp_cols in
+  let slots = Array.make width None in
+  spread slots Tile.Bram device.bram_cols;
+  spread slots Tile.Dsp device.dsp_cols;
+  let columns =
+    Array.map (function Some kind -> kind | None -> Tile.Clb) slots
+  in
+  { device; columns }
+
+let device t = t.device
+let rows t = t.device.Device.rows
+let width t = Array.length t.columns
+
+let kind_at t c =
+  if c < 0 || c >= width t then invalid_arg "Layout.kind_at: out of range";
+  t.columns.(c)
+
+let columns_of_kind t kind =
+  List.filter (fun c -> t.columns.(c) = kind) (List.init (width t) Fun.id)
+
+let count_in_window t ~first ~width:w kind =
+  if first < 0 || w < 0 || first + w > width t then
+    invalid_arg "Layout.count_in_window: window out of range";
+  let count = ref 0 in
+  for c = first to first + w - 1 do
+    if t.columns.(c) = kind then incr count
+  done;
+  !count
+
+let pp ppf t =
+  Array.iter
+    (fun kind ->
+      Format.pp_print_char ppf
+        (match kind with Tile.Clb -> 'C' | Tile.Bram -> 'B' | Tile.Dsp -> 'D'))
+    t.columns

@@ -1,0 +1,154 @@
+module Tile = Fpga.Tile
+
+type rect = { row : int; height : int; col : int; width : int }
+type demand = { clb_tiles : int; bram_tiles : int; dsp_tiles : int }
+
+let demand_of_resources r =
+  let clb_tiles, bram_tiles, dsp_tiles = Tile.tiles_of_resources r in
+  { clb_tiles; bram_tiles; dsp_tiles }
+
+type outcome = {
+  placements : rect option array;
+  failed : int list;
+  utilisation : float;
+}
+
+let volume d = d.clb_tiles + d.bram_tiles + d.dsp_tiles
+
+let satisfies layout ~height ~col ~width d =
+  let enough kind need =
+    height * Layout.count_in_window layout ~first:col ~width kind >= need
+  in
+  enough Tile.Clb d.clb_tiles
+  && enough Tile.Bram d.bram_tiles
+  && enough Tile.Dsp d.dsp_tiles
+
+(* Smallest-area placement: try every height (1 .. rows); for each height
+   and row origin, grow a left-to-right window until the demand fits and
+   the cells are free; keep the candidate with the fewest tiles. *)
+let find_spot layout occupied d =
+  let rows = Layout.rows layout and total_width = Layout.width layout in
+  let best = ref None in
+  (* Prefer the rectangle that wastes the fewest scarce tiles: BRAM and
+     DSP columns are an order of magnitude rarer than CLB columns, so a
+     region that does not need them should not sit on them. *)
+  let consider rect =
+    let covered kind =
+      rect.height
+      * Layout.count_in_window layout ~first:rect.col ~width:rect.width kind
+    in
+    let waste =
+      (covered Tile.Clb - d.clb_tiles)
+      + (8 * (covered Tile.Bram - d.bram_tiles))
+      + (8 * (covered Tile.Dsp - d.dsp_tiles))
+    in
+    let area = rect.height * rect.width in
+    match !best with
+    | Some (_, (best_waste, best_area))
+      when (best_waste, best_area) <= (waste, area) ->
+      ()
+    | Some _ | None -> best := Some (rect, (waste, area))
+  in
+  for height = 1 to rows do
+    for row = 0 to rows - height do
+      for col = 0 to total_width - 1 do
+        (* Widen incrementally from this origin: each step checks only the
+           freshly added column, so a blocked column aborts the origin. *)
+        let column_free c =
+          let free = ref true in
+          for r = row to row + height - 1 do
+            if occupied.(r).(c) then free := false
+          done;
+          !free
+        in
+        let rec widen width =
+          if col + width > total_width then ()
+          else if not (column_free (col + width - 1)) then ()
+          else if satisfies layout ~height ~col ~width d then
+            consider { row; height; col; width }
+          else widen (width + 1)
+        in
+        widen 1
+      done
+    done
+  done;
+  Option.map fst !best
+
+let place layout demands =
+  let rows = Layout.rows layout and width = Layout.width layout in
+  let occupied = Array.make_matrix rows width false in
+  let placements = Array.make (Array.length demands) None in
+  let order =
+    List.sort
+      (fun i j -> Int.compare (volume demands.(j)) (volume demands.(i)))
+      (List.init (Array.length demands) Fun.id)
+  in
+  let failed = ref [] in
+  List.iter
+    (fun i ->
+      if volume demands.(i) = 0 then
+        placements.(i) <- Some { row = 0; height = 0; col = 0; width = 0 }
+      else
+        match find_spot layout occupied demands.(i) with
+        | None -> failed := i :: !failed
+        | Some rect ->
+          placements.(i) <- Some rect;
+          for r = rect.row to rect.row + rect.height - 1 do
+            for c = rect.col to rect.col + rect.width - 1 do
+              occupied.(r).(c) <- true
+            done
+          done)
+    order;
+  let covered = ref 0 in
+  Array.iter (Array.iter (fun b -> if b then incr covered)) occupied;
+  { placements;
+    failed = List.sort Int.compare !failed;
+    utilisation = float_of_int !covered /. float_of_int (rows * width) }
+
+let fits layout demands = (place layout demands).failed = []
+
+let fit_on_sweep ?(within = Fpga.Device.sweep) demands =
+  let sorted = List.sort Fpga.Device.compare_capacity within in
+  let rec attempt = function
+    | [] -> None
+    | device :: rest ->
+      let outcome = place (Layout.make device) demands in
+      if outcome.failed = [] then Some (device, outcome) else attempt rest
+  in
+  attempt sorted
+
+let render_map layout placements =
+  let rows = Layout.rows layout and width = Layout.width layout in
+  let grid =
+    Array.init rows (fun _ ->
+        Bytes.init width (fun c ->
+            match Layout.kind_at layout c with
+            | Tile.Clb -> '.'
+            | Tile.Bram -> 'B'
+            | Tile.Dsp -> 'D'))
+  in
+  let glyph i =
+    if i < 9 then Char.chr (Char.code '1' + i)
+    else Char.chr (Char.code 'a' + ((i - 9) mod 26))
+  in
+  Array.iteri
+    (fun i rect ->
+      match rect with
+      | Some r when r.height > 0 ->
+        for row = r.row to r.row + r.height - 1 do
+          for col = r.col to r.col + r.width - 1 do
+            let current = Bytes.get grid.(row) col in
+            Bytes.set grid.(row) col
+              (if current = '.' || current = 'B' || current = 'D' then glyph i
+               else '#')
+          done
+        done
+      | Some _ | None -> ())
+    placements;
+  String.concat "\n" (Array.to_list (Array.map Bytes.to_string grid)) ^ "\n"
+
+let pp_rect ppf r =
+  Format.fprintf ppf "rows %d-%d, cols %d-%d" r.row
+    (r.row + r.height - 1)
+    r.col
+    (r.col + r.width - 1)

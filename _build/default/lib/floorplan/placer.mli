@@ -1,0 +1,48 @@
+(** First-fit rectangular region placement onto a columnar layout.
+
+    PR regions must be rectangles of whole tiles that do not overlap
+    (§IV-B), so a placement is a span of configuration rows times a span
+    of columns providing enough tiles of every kind. The placer validates
+    that a partitioning scheme is actually realisable on the device — the
+    feasibility feedback loop the paper leaves to future work. *)
+
+type rect = { row : int; height : int; col : int; width : int }
+
+type demand = { clb_tiles : int; bram_tiles : int; dsp_tiles : int }
+
+val demand_of_resources : Fpga.Resource.t -> demand
+(** Tile demand of a region with the given resource requirement. *)
+
+type outcome = {
+  placements : rect option array;
+      (** One per demand, in input order; [None] only on failure. *)
+  failed : int list;  (** Indices of unplaceable demands. *)
+  utilisation : float;  (** Fraction of device tiles covered by regions. *)
+}
+
+val place : Layout.t -> demand array -> outcome
+(** Big-rocks-first first-fit: demands are placed in decreasing tile
+    volume; each is given the smallest-area free rectangle (scanning
+    heights from one row up, columns left to right) satisfying its tile
+    counts. *)
+
+val fits : Layout.t -> demand array -> bool
+(** [place] succeeded for every demand. *)
+
+val fit_on_sweep :
+  ?within:Fpga.Device.t list ->
+  demand array ->
+  (Fpga.Device.t * outcome) option
+(** Smallest device of [within] (default {!Fpga.Device.sweep}, capacity
+    order) on which every demand places — the floorplanning feedback loop
+    of the paper's future work: a partitioning that fits by resource
+    count may still be unplaceable as rectangles, in which case the next
+    larger device is tried. *)
+
+val pp_rect : Format.formatter -> rect -> unit
+
+val render_map : Layout.t -> rect option array -> string
+(** ASCII floorplan: one character cell per (row, column). Region [i] is
+    drawn with the digit [(i+1) mod 10] (or letters beyond 9); free CLB
+    columns print ['.'], free BRAM columns ['B'], free DSP columns ['D'].
+    Overlapping rectangles (which {!place} never produces) render ['#']. *)

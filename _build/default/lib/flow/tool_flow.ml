@@ -1,0 +1,180 @@
+module Design = Prdesign.Design
+module Engine = Prcore.Engine
+module Scheme = Prcore.Scheme
+module Resource = Fpga.Resource
+
+type options = {
+  engine : Engine.options;
+  icap : Fpga.Icap.t;
+  floorplan_feedback : bool;
+}
+
+let default_options =
+  { engine = Engine.default_options;
+    icap = Fpga.Icap.default;
+    floorplan_feedback = true }
+
+type report = {
+  design : Design.t;
+  outcome : Engine.outcome;
+  device : Fpga.Device.t;
+  layout : Floorplan.Layout.t;
+  placement : Floorplan.Placer.outcome;
+  floorplan_escalations : int;
+  wrappers : (string * string) list;
+  repository : Bitgen.Repository.t;
+}
+
+let demands_of_scheme (scheme : Scheme.t) =
+  Array.init
+    (scheme.Scheme.region_count + 1)
+    (fun i ->
+      if i < scheme.Scheme.region_count then
+        Floorplan.Placer.demand_of_resources (Scheme.region_resources scheme i)
+      else Floorplan.Placer.demand_of_resources (Scheme.static_resources scheme))
+
+let device_for_budget used =
+  match Fpga.Device.smallest_fitting used with
+  | Some device -> Ok device
+  | None -> Error "no catalogued device fits the partitioned design"
+
+let try_place device scheme =
+  let layout = Floorplan.Layout.make device in
+  let placement = Floorplan.Placer.place layout (demands_of_scheme scheme) in
+  if placement.Floorplan.Placer.failed = [] then Some (layout, placement)
+  else None
+
+(* Partition, then floorplan with the feedback loop: on placement failure
+   pick the next larger device and (for device-driven targets) re-run the
+   partitioner against it. *)
+let rec implement ~options ~target ~escalations design =
+  match Engine.solve ~options:options.engine ~target design with
+  | Error message -> Error message
+  | Ok outcome ->
+    let device_result =
+      match outcome.Engine.device with
+      | Some device -> Ok device
+      | None -> device_for_budget outcome.Engine.evaluation.Prcore.Cost.used
+    in
+    (match device_result with
+     | Error message -> Error message
+     | Ok device ->
+       (match try_place device outcome.Engine.scheme with
+        | Some (layout, placement) ->
+          Ok (outcome, device, layout, placement, escalations)
+        | None ->
+          if not options.floorplan_feedback then
+            Error
+              (Printf.sprintf
+                 "scheme for %s fits %s by resource count but cannot be \
+                  floorplanned (enable the feedback loop or pick a larger \
+                  device)"
+                 design.Design.name device.Fpga.Device.short)
+          else begin
+            match Fpga.Device.next_larger device with
+            | None ->
+              Error
+                (Printf.sprintf
+                   "design %s cannot be floorplanned on any catalogued device"
+                   design.Design.name)
+            | Some next ->
+              (match target with
+               | Engine.Budget _ ->
+                 (* The budget stays authoritative: keep the scheme, just
+                    look for a device whose fabric can host it. *)
+                 let rec escalate_device device escalations =
+                   match try_place device outcome.Engine.scheme with
+                   | Some (layout, placement) ->
+                     Ok (outcome, device, layout, placement, escalations)
+                   | None ->
+                     (match Fpga.Device.next_larger device with
+                      | Some next -> escalate_device next (escalations + 1)
+                      | None ->
+                        Error
+                          (Printf.sprintf
+                             "design %s cannot be floorplanned on any \
+                              catalogued device"
+                             design.Design.name))
+                 in
+                 escalate_device next (escalations + 1)
+               | Engine.Fixed _ | Engine.Auto ->
+                 implement ~options ~target:(Engine.Fixed next)
+                   ~escalations:(escalations + 1) design)
+          end))
+
+let run ?(options = default_options) ~target design =
+  match implement ~options ~target ~escalations:0 design with
+  | Error message -> Error message
+  | Ok (outcome, device, layout, placement, floorplan_escalations) ->
+    let wrappers = Hdl.Wrapper.emit_scheme outcome.Engine.scheme in
+    let repository =
+      Bitgen.Repository.build ~placement:placement.Floorplan.Placer.placements
+        ~device outcome.Engine.scheme
+    in
+    Ok
+      { design;
+        outcome;
+        device;
+        layout;
+        placement;
+        floorplan_escalations;
+        wrappers;
+        repository }
+
+let render_summary r =
+  let buf = Buffer.create 512 in
+  let scheme = r.outcome.Engine.scheme in
+  Buffer.add_string buf
+    (Printf.sprintf "== PR tool flow: %s ==\n" (Design.summary r.design));
+  Buffer.add_string buf
+    (Printf.sprintf "device: %s (floorplan escalations: %d)\n"
+       r.device.Fpga.Device.name r.floorplan_escalations);
+  Buffer.add_string buf (Scheme.describe scheme);
+  Buffer.add_string buf
+    (Format.asprintf "%a\n" Prcore.Cost.pp_evaluation r.outcome.Engine.evaluation);
+  Array.iteri
+    (fun i rect ->
+      let label =
+        if i < scheme.Scheme.region_count then Printf.sprintf "PRR%d" (i + 1)
+        else "static"
+      in
+      match rect with
+      | Some rect ->
+        Buffer.add_string buf
+          (Format.asprintf "  %-7s -> %a\n" label Floorplan.Placer.pp_rect rect)
+      | None -> Buffer.add_string buf (Printf.sprintf "  %-7s -> ?\n" label))
+    r.placement.Floorplan.Placer.placements;
+  Buffer.add_string buf "floorplan map:\n";
+  Buffer.add_string buf
+    (Floorplan.Placer.render_map r.layout
+       r.placement.Floorplan.Placer.placements);
+  Buffer.add_string buf
+    (Printf.sprintf "wrappers: %d Verilog files\n" (List.length r.wrappers));
+  Buffer.add_string buf (Bitgen.Repository.render r.repository);
+  Buffer.contents buf
+
+let write_outputs ~dir r =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let written = ref [] in
+  let write name content =
+    let path = Filename.concat dir name in
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    written := path :: !written
+  in
+  List.iter (fun (name, verilog) -> write name verilog) r.wrappers;
+  List.iter
+    (fun (e : Bitgen.Repository.entry) ->
+      write
+        (Printf.sprintf "prr%d_%s.bit" (e.region + 1)
+           (Hdl.Ast.mangle e.label))
+        (Bytes.to_string (Bitgen.Bitstream.serialise e.bitstream)))
+    r.repository.Bitgen.Repository.entries;
+  write "full.bit"
+    (Bytes.to_string
+       (Bitgen.Bitstream.serialise r.repository.Bitgen.Repository.full));
+  write "design.xml" (Prdesign.Design_xml.to_string r.design);
+  write "report.txt" (render_summary r);
+  List.rev !written

@@ -1,0 +1,52 @@
+(** The proposed PR tool flow of the paper's Fig. 2, end to end:
+
+    1. take a validated design description (resource requirements stand in
+       for the XST synthesis results),
+    2. run the partitioning algorithm ({!Prcore.Engine}),
+    3. create wrapper modules for the combined modes ({!Hdl.Wrapper}),
+    4. floorplan the regions ({!Floorplan.Placer}) — with the
+       feedback-driven device escalation the paper leaves to future work:
+       when the rectangles do not fit, the next larger device is selected
+       and partitioning re-runs against it,
+    5. generate the full and partial bitstreams ({!Bitgen.Repository}).
+
+    The result bundles every artefact a downstream build would consume. *)
+
+type options = {
+  engine : Prcore.Engine.options;
+  icap : Fpga.Icap.t;
+  floorplan_feedback : bool;
+      (** Escalate and re-partition when placement fails (default
+          [true]). With [false] a placement failure is an error. *)
+}
+
+val default_options : options
+
+type report = {
+  design : Prdesign.Design.t;
+  outcome : Prcore.Engine.outcome;
+  device : Fpga.Device.t;  (** Device the design was implemented on. *)
+  layout : Floorplan.Layout.t;
+  placement : Floorplan.Placer.outcome;
+      (** Rectangles for each region, then the static area. *)
+  floorplan_escalations : int;
+      (** Devices rejected by the placement feedback loop. *)
+  wrappers : (string * string) list;  (** Verilog files, step 3/4. *)
+  repository : Bitgen.Repository.t;  (** Bitstreams, step 7. *)
+}
+
+val run :
+  ?options:options ->
+  target:Prcore.Engine.target ->
+  Prdesign.Design.t ->
+  (report, string) result
+(** For a [Budget] target the partitioning is solved once and only the
+    floorplan device escalates; for [Fixed]/[Auto] targets the feedback
+    loop re-partitions on each larger device. *)
+
+val render_summary : report -> string
+
+val write_outputs : dir:string -> report -> string list
+(** Write every artefact under [dir] (created if missing): the wrapper
+    [.v] files, one [.bit] per bitstream, the design description
+    [design.xml] and a [report.txt]. Returns the written paths. *)

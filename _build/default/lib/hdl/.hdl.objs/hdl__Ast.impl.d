@@ -1,0 +1,1 @@
+lib/hdl/ast.ml: Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/hdl/wrapper.ml: Array Ast Cluster Fpga Hashtbl Int List Option Prcore Prdesign Printf String

@@ -1,0 +1,1 @@
+lib/hdl/wrapper.mli: Ast Cluster Prcore Prdesign

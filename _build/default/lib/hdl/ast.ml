@@ -1,0 +1,173 @@
+type direction = Input | Output
+
+type port = { port_name : string; direction : direction; width : int }
+
+type expr =
+  | Id of string
+  | Literal of { width : int; value : int }
+  | Select of string * int
+  | Concat of expr list
+  | Eq of expr * expr
+  | Mux of expr * expr * expr
+
+type item =
+  | Comment of string
+  | Wire of { wire_name : string; width : int }
+  | Assign of { lhs : string; rhs : expr }
+  | Instance of {
+      module_name : string;
+      instance_name : string;
+      connections : (string * expr) list;
+    }
+
+type module_decl = {
+  name : string;
+  ports : port list;
+  items : item list;
+}
+
+let legal_identifier s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true | _ -> false)
+       s
+
+let mangle s =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      s
+  in
+  if mapped = "" then "_"
+  else
+    match mapped.[0] with
+    | '0' .. '9' -> "_" ^ mapped
+    | _ -> mapped
+
+let rec expr_identifiers = function
+  | Id name | Select (name, _) -> [ name ]
+  | Literal _ -> []
+  | Concat exprs -> List.concat_map expr_identifiers exprs
+  | Eq (a, b) -> expr_identifiers a @ expr_identifiers b
+  | Mux (c, a, b) ->
+    expr_identifiers c @ expr_identifiers a @ expr_identifiers b
+
+let validate m =
+  let issues = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
+  if not (legal_identifier m.name) then
+    problem "illegal module name %S" m.name;
+  let names = Hashtbl.create 16 in
+  let declare kind name width =
+    if not (legal_identifier name) then problem "illegal %s name %S" kind name;
+    if width <= 0 then problem "%s %s has non-positive width" kind name;
+    if Hashtbl.mem names name then problem "duplicate declaration %S" name
+    else Hashtbl.add names name ()
+  in
+  List.iter (fun p -> declare "port" p.port_name p.width) m.ports;
+  List.iter
+    (function
+      | Wire { wire_name; width } -> declare "wire" wire_name width
+      | Comment _ | Assign _ | Instance _ -> ())
+    m.items;
+  let check_ref context name =
+    if not (Hashtbl.mem names name) then
+      problem "%s references undeclared signal %S" context name
+  in
+  List.iter
+    (function
+      | Comment _ | Wire _ -> ()
+      | Assign { lhs; rhs } ->
+        check_ref "assign" lhs;
+        List.iter (check_ref "assign") (expr_identifiers rhs)
+      | Instance { instance_name; connections; module_name } ->
+        if not (legal_identifier instance_name) then
+          problem "illegal instance name %S" instance_name;
+        if not (legal_identifier module_name) then
+          problem "illegal instanced module name %S" module_name;
+        List.iter
+          (fun (formal, actual) ->
+            if not (legal_identifier formal) then
+              problem "illegal formal port %S" formal;
+            List.iter
+              (check_ref ("instance " ^ instance_name))
+              (expr_identifiers actual))
+          connections)
+    m.items;
+  match List.rev !issues with [] -> Ok () | issues -> Error issues
+
+let rec emit_expr buf = function
+  | Id name -> Buffer.add_string buf name
+  | Literal { width; value } ->
+    Buffer.add_string buf (Printf.sprintf "%d'd%d" width value)
+  | Select (name, i) -> Buffer.add_string buf (Printf.sprintf "%s[%d]" name i)
+  | Concat exprs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_string buf ", ";
+        emit_expr buf e)
+      exprs;
+    Buffer.add_char buf '}'
+  | Eq (a, b) ->
+    Buffer.add_char buf '(';
+    emit_expr buf a;
+    Buffer.add_string buf " == ";
+    emit_expr buf b;
+    Buffer.add_char buf ')'
+  | Mux (c, a, b) ->
+    Buffer.add_char buf '(';
+    emit_expr buf c;
+    Buffer.add_string buf " ? ";
+    emit_expr buf a;
+    Buffer.add_string buf " : ";
+    emit_expr buf b;
+    Buffer.add_char buf ')'
+
+let range width = if width = 1 then "" else Printf.sprintf "[%d:0] " (width - 1)
+
+let to_verilog m =
+  (match validate m with
+   | Ok () -> ()
+   | Error issues ->
+     invalid_arg ("Ast.to_verilog: " ^ String.concat "; " issues));
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "module %s (\n" m.name);
+  List.iteri
+    (fun i p ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s%s%s\n"
+           (match p.direction with Input -> "input" | Output -> "output")
+           (range p.width) p.port_name
+           (if i = List.length m.ports - 1 then "" else ",")))
+    m.ports;
+  Buffer.add_string buf ");\n\n";
+  List.iter
+    (fun item ->
+      (match item with
+       | Comment text -> Buffer.add_string buf (Printf.sprintf "  // %s\n" text)
+       | Wire { wire_name; width } ->
+         Buffer.add_string buf
+           (Printf.sprintf "  wire %s%s;\n" (range width) wire_name)
+       | Assign { lhs; rhs } ->
+         Buffer.add_string buf (Printf.sprintf "  assign %s = " lhs);
+         emit_expr buf rhs;
+         Buffer.add_string buf ";\n"
+       | Instance { module_name; instance_name; connections } ->
+         Buffer.add_string buf
+           (Printf.sprintf "  %s %s (\n" module_name instance_name);
+         List.iteri
+           (fun i (formal, actual) ->
+             Buffer.add_string buf (Printf.sprintf "    .%s(" formal);
+             emit_expr buf actual;
+             Buffer.add_string buf
+               (if i = List.length connections - 1 then ")\n" else "),\n"))
+           connections;
+         Buffer.add_string buf "  );\n"))
+    m.items;
+  Buffer.add_string buf (Printf.sprintf "\nendmodule // %s\n" m.name);
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+(** A small structural-Verilog AST and printer — enough to emit the
+    wrapper modules of the paper's tool-flow step 3 ("wrapper modules are
+    created that group together modes that have been combined in the
+    partitioning phase"). *)
+
+type direction = Input | Output
+
+type port = { port_name : string; direction : direction; width : int }
+(** [width] in bits; 1 prints without a range. *)
+
+type expr =
+  | Id of string
+  | Literal of { width : int; value : int }  (** e.g. [2'b01]. *)
+  | Select of string * int  (** [sig[i]]. *)
+  | Concat of expr list
+  | Eq of expr * expr
+  | Mux of expr * expr * expr  (** [cond ? a : b]. *)
+
+type item =
+  | Comment of string
+  | Wire of { wire_name : string; width : int }
+  | Assign of { lhs : string; rhs : expr }
+  | Instance of {
+      module_name : string;
+      instance_name : string;
+      connections : (string * expr) list;  (** formal -> actual. *)
+    }
+
+type module_decl = {
+  name : string;
+  ports : port list;
+  items : item list;
+}
+
+val validate : module_decl -> (unit, string list) result
+(** Checks identifier legality (Verilog simple identifiers), unique port
+    and wire names, positive widths, and that assigns/connections only
+    reference declared ports or wires (literal-only expressions aside). *)
+
+val to_verilog : module_decl -> string
+(** Verilog-2001 text. @raise Invalid_argument when {!validate} fails. *)
+
+val legal_identifier : string -> bool
+val mangle : string -> string
+(** Turn an arbitrary name (e.g. ["F.Filter1"]) into a legal identifier
+    (["F_Filter1"]). *)

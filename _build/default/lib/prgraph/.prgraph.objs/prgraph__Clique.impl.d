@@ -1,0 +1,1 @@
+lib/prgraph/clique.ml: Array Fun Int List Wgraph

@@ -1,0 +1,1 @@
+lib/prgraph/clique.mli: Wgraph

@@ -1,0 +1,1 @@
+lib/prgraph/conn_matrix.ml: Array Format Fun List Prdesign String

@@ -1,0 +1,1 @@
+lib/prgraph/conn_matrix.mli: Format Prdesign

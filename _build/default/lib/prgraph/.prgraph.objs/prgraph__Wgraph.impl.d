@@ -1,0 +1,1 @@
+lib/prgraph/wgraph.ml: Array Int List

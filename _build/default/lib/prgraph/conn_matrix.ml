@@ -1,0 +1,90 @@
+module Design = Prdesign.Design
+
+type t = {
+  design : Design.t;
+  bits : bool array array;  (* configurations x modes *)
+  node_weights : int array;
+}
+
+let make design =
+  let c = Design.configuration_count design in
+  let m = Design.mode_count design in
+  let bits = Array.make_matrix c m false in
+  for i = 0 to c - 1 do
+    List.iter (fun j -> bits.(i).(j) <- true) (Design.config_mode_ids design i)
+  done;
+  let node_weights = Array.make m 0 in
+  for i = 0 to c - 1 do
+    for j = 0 to m - 1 do
+      if bits.(i).(j) then node_weights.(j) <- node_weights.(j) + 1
+    done
+  done;
+  { design; bits; node_weights }
+
+let design t = t.design
+let configurations t = Array.length t.bits
+let modes t = Array.length t.node_weights
+
+let check_config t i =
+  if i < 0 || i >= configurations t then
+    invalid_arg "Conn_matrix: configuration index out of range"
+
+let check_mode t j =
+  if j < 0 || j >= modes t then
+    invalid_arg "Conn_matrix: mode index out of range"
+
+let mem t ~config ~mode =
+  check_config t config;
+  check_mode t mode;
+  t.bits.(config).(mode)
+
+let node_weight t j =
+  check_mode t j;
+  t.node_weights.(j)
+
+let edge_weight t i j =
+  check_mode t i;
+  check_mode t j;
+  let count = ref 0 in
+  for c = 0 to configurations t - 1 do
+    if t.bits.(c).(i) && t.bits.(c).(j) then incr count
+  done;
+  !count
+
+let support t mode_list =
+  List.iter (check_mode t) mode_list;
+  let count = ref 0 in
+  for c = 0 to configurations t - 1 do
+    if List.for_all (fun j -> t.bits.(c).(j)) mode_list then incr count
+  done;
+  !count
+
+let supported t mode_list = support t mode_list > 0
+
+let config_modes t i =
+  check_config t i;
+  let acc = ref [] in
+  for j = modes t - 1 downto 0 do
+    if t.bits.(i).(j) then acc := j :: !acc
+  done;
+  !acc
+
+let active_modes t =
+  List.filter (fun j -> t.node_weights.(j) > 0) (List.init (modes t) Fun.id)
+
+let pp ppf t =
+  let labels = List.map (Design.mode_label t.design) (List.init (modes t) Fun.id) in
+  let width =
+    List.fold_left (fun acc s -> max acc (String.length s)) 4 labels
+  in
+  Format.fprintf ppf "%*s" 8 "";
+  List.iter (fun l -> Format.fprintf ppf " %*s" width l) labels;
+  Format.pp_print_newline ppf ();
+  Array.iteri
+    (fun i row ->
+      Format.fprintf ppf "%8s" t.design.Design.configurations.(i).Prdesign.Configuration.name;
+      Array.iter
+        (fun b -> Format.fprintf ppf " %*d" width (if b then 1 else 0))
+        row;
+      Format.pp_print_newline ppf ())
+    t.bits

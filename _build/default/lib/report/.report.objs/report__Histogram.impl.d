@@ -1,0 +1,1 @@
+lib/report/histogram.ml: Array Buffer List Printf String

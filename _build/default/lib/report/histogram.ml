@@ -1,0 +1,48 @@
+type t = {
+  lo : float;
+  bucket_width : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+}
+
+let make ~lo ~hi ~buckets values =
+  if buckets <= 0 then invalid_arg "Histogram.make: need >= 1 bucket";
+  if hi <= lo then invalid_arg "Histogram.make: empty range";
+  let bucket_width = (hi -. lo) /. float_of_int buckets in
+  let counts = Array.make buckets 0 in
+  let underflow = ref 0 and overflow = ref 0 in
+  List.iter
+    (fun v ->
+      if v < lo then incr underflow
+      else if v > hi then incr overflow
+      else begin
+        let b = int_of_float ((v -. lo) /. bucket_width) in
+        let b = if b >= buckets then buckets - 1 else b in
+        counts.(b) <- counts.(b) + 1
+      end)
+    values;
+  { lo; bucket_width; counts; underflow = !underflow; overflow = !overflow }
+
+let total t =
+  Array.fold_left ( + ) (t.underflow + t.overflow) t.counts
+
+let bucket_label t b =
+  if b < 0 || b >= Array.length t.counts then
+    invalid_arg "Histogram.bucket_label: out of range";
+  let lo = t.lo +. (float_of_int b *. t.bucket_width) in
+  Printf.sprintf "[%g, %g)" lo (lo +. t.bucket_width)
+
+let render ?(bar_width = 50) t =
+  let buf = Buffer.create 256 in
+  let peak = Array.fold_left max 1 t.counts in
+  let line label count =
+    let bar = count * bar_width / peak in
+    Buffer.add_string buf
+      (Printf.sprintf "%12s | %-*s %d\n" label bar_width (String.make bar '#')
+         count)
+  in
+  if t.underflow > 0 then line "< lo" t.underflow;
+  Array.iteri (fun b count -> line (bucket_label t b) count) t.counts;
+  if t.overflow > 0 then line "> hi" t.overflow;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Fixed-width bucketed histograms, used for the paper's Fig. 9 panels
+    (percentage-change distributions over the synthetic population). *)
+
+type t = private {
+  lo : float;  (** Lower edge of the first bucket. *)
+  bucket_width : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+}
+
+val make : lo:float -> hi:float -> buckets:int -> float list -> t
+(** Values in [lo, hi) are bucketed uniformly; values outside are counted
+    in [underflow]/[overflow]. A value equal to [hi] lands in the last
+    bucket (closed upper edge). @raise Invalid_argument on a non-positive
+    bucket count or an empty range. *)
+
+val total : t -> int
+(** All values including under/overflow. *)
+
+val bucket_label : t -> int -> string
+(** E.g. ["[-10, 0)"] for bucket 0 of the Fig. 9 axis. *)
+
+val render : ?bar_width:int -> t -> string
+(** ASCII rendering: one line per bucket with a proportional bar and the
+    count, plus under/overflow lines when non-zero. *)

@@ -1,0 +1,42 @@
+let require_non_empty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | l -> l
+
+let mean values =
+  let values = require_non_empty "Stats.mean" values in
+  List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+
+let sorted values = List.sort Float.compare values
+
+let median values =
+  let values = sorted (require_non_empty "Stats.median" values) in
+  List.nth values ((List.length values - 1) / 2)
+
+let percentile p values =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let values = sorted (require_non_empty "Stats.percentile" values) in
+  let n = List.length values in
+  let rank =
+    int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
+  in
+  List.nth values (max 0 (min (n - 1) rank))
+
+let minimum values =
+  List.fold_left min infinity (require_non_empty "Stats.minimum" values)
+
+let maximum values =
+  List.fold_left max neg_infinity (require_non_empty "Stats.maximum" values)
+
+let fraction pred = function
+  | [] -> 0.
+  | l ->
+    float_of_int (List.length (List.filter pred l))
+    /. float_of_int (List.length l)
+
+let geometric_mean values =
+  let values = require_non_empty "Stats.geometric_mean" values in
+  List.iter
+    (fun v ->
+      if v <= 0. then invalid_arg "Stats.geometric_mean: non-positive value")
+    values;
+  exp (mean (List.map log values))

@@ -1,0 +1,20 @@
+(** Small summary-statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on an empty list. *)
+
+val median : float list -> float
+(** Lower median. @raise Invalid_argument on an empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p values] with [p] in [0, 100], nearest-rank.
+    @raise Invalid_argument on an empty list or [p] out of range. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val fraction : ('a -> bool) -> 'a list -> float
+(** Share of elements satisfying the predicate; [0.] on an empty list. *)
+
+val geometric_mean : float list -> float
+(** @raise Invalid_argument on an empty list or non-positive values. *)

@@ -1,0 +1,50 @@
+type align = Left | Right
+
+let render ?aligns ~headers rows =
+  let columns = List.length headers in
+  let aligns =
+    match aligns with
+    | Some l ->
+      if List.length l <> columns then
+        invalid_arg "Table.render: aligns/header length mismatch";
+      l
+    | None -> List.init columns (fun i -> if i = 0 then Left else Right)
+  in
+  let pad_row row =
+    let n = List.length row in
+    if n > columns then invalid_arg "Table.render: row wider than header";
+    row @ List.init (columns - n) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let widths =
+    List.mapi
+      (fun c header ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length header) rows)
+      headers
+  in
+  let buf = Buffer.create 256 in
+  let emit_cell width align text =
+    let padding = String.make (width - String.length text) ' ' in
+    match align with
+    | Left -> Buffer.add_string buf (text ^ padding)
+    | Right -> Buffer.add_string buf (padding ^ text)
+  in
+  let emit_row cells =
+    List.iteri
+      (fun c cell ->
+        if c > 0 then Buffer.add_string buf "  ";
+        emit_cell (List.nth widths c) (List.nth aligns c) cell)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let of_ints l = List.map string_of_int l
+let fixed digits v = Printf.sprintf "%.*f" digits v

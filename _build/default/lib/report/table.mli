@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list ->
+  headers:string list ->
+  string list list ->
+  string
+(** Monospace table with a header rule. Rows shorter than the header are
+    padded with empty cells; longer rows raise [Invalid_argument].
+    [aligns] defaults to left for the first column and right for the
+    rest (the usual label-plus-numbers shape). *)
+
+val of_ints : int list -> string list
+(** Convenience: render a row of integers. *)
+
+val fixed : int -> float -> string
+(** [fixed digits v] — fixed-point float formatting. *)

@@ -1,0 +1,1 @@
+lib/runtime/fetch.ml: Fpga List Manager Prcore Printf

@@ -1,0 +1,1 @@
+lib/runtime/fetch.mli: Fpga Prcore

@@ -1,0 +1,1 @@
+lib/runtime/manager.mli: Format Fpga Prcore

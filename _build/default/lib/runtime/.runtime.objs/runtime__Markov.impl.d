@@ -1,0 +1,1 @@
+lib/runtime/markov.ml: Array Float Format Printf

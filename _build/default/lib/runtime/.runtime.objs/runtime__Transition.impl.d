@@ -1,0 +1,1 @@
+lib/runtime/transition.ml: Array Format Fpga Prcore Prdesign

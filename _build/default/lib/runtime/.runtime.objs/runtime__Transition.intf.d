@@ -1,0 +1,1 @@
+lib/runtime/transition.mli: Format Fpga Prcore

@@ -1,0 +1,110 @@
+module Scheme = Prcore.Scheme
+module Design = Prdesign.Design
+
+type event = {
+  step : int;
+  from_config : int;
+  to_config : int;
+  regions_reconfigured : int list;
+  frames : int;
+  seconds : float;
+}
+
+type stats = {
+  steps : int;
+  transitions : int;
+  total_frames : int;
+  total_seconds : float;
+  max_frames : int;
+  mean_frames : float;
+  region_loads : int array;
+}
+
+let simulate ?(icap = Fpga.Icap.default) ?(trace = fun _ -> ())
+    (scheme : Scheme.t) ~initial ~sequence =
+  let configs = Design.configuration_count scheme.Scheme.design in
+  let check c =
+    if c < 0 || c >= configs then
+      invalid_arg "Manager.simulate: configuration index out of range"
+  in
+  check initial;
+  List.iter check sequence;
+  let regions = scheme.Scheme.region_count in
+  (* The initial full bitstream configures every region: regions the
+     initial configuration uses hold their active partition, idle regions
+     hold their first-listed partition (some content must be there). *)
+  let resident =
+    Array.init regions (fun r ->
+        match Scheme.active_partition scheme ~config:initial ~region:r with
+        | Some p -> p
+        | None -> List.hd (Scheme.region_members scheme r))
+  in
+  let region_loads = Array.make regions 0 in
+  let current = ref initial in
+  let step = ref 0 in
+  let transitions = ref 0 in
+  let total_frames = ref 0 in
+  let total_seconds = ref 0. in
+  let max_frames = ref 0 in
+  List.iter
+    (fun target ->
+      incr step;
+      let reconfigured = ref [] in
+      let frames = ref 0 in
+      if target <> !current then begin
+        incr transitions;
+        for r = regions - 1 downto 0 do
+          match Scheme.active_partition scheme ~config:target ~region:r with
+          | None -> ()  (* content is a don't-care: keep the old bitstream *)
+          | Some needed ->
+            if resident.(r) <> needed then begin
+              resident.(r) <- needed;
+              region_loads.(r) <- region_loads.(r) + 1;
+              reconfigured := r :: !reconfigured;
+              frames := !frames + Scheme.region_frames scheme r
+            end
+        done
+      end;
+      let seconds = Fpga.Icap.seconds_of_frames icap !frames in
+      total_frames := !total_frames + !frames;
+      total_seconds := !total_seconds +. seconds;
+      if !frames > !max_frames then max_frames := !frames;
+      trace
+        { step = !step;
+          from_config = !current;
+          to_config = target;
+          regions_reconfigured = !reconfigured;
+          frames = !frames;
+          seconds };
+      current := target)
+    sequence;
+  { steps = !step;
+    transitions = !transitions;
+    total_frames = !total_frames;
+    total_seconds = !total_seconds;
+    max_frames = !max_frames;
+    mean_frames =
+      (if !transitions = 0 then 0.
+       else float_of_int !total_frames /. float_of_int !transitions);
+    region_loads }
+
+let random_walk ~rand ~configs ~steps ~initial =
+  if configs < 2 then invalid_arg "Manager.random_walk: need >= 2 configurations";
+  if steps < 0 then invalid_arg "Manager.random_walk: negative step count";
+  let rec walk current n acc =
+    if n = 0 then List.rev acc
+    else begin
+      (* Uniform over the other configurations. *)
+      let pick = rand (configs - 1) in
+      let next = if pick >= current then pick + 1 else pick in
+      walk next (n - 1) (next :: acc)
+    end
+  in
+  walk initial steps []
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d steps (%d transitions): %d frames, %.3f ms total, max %d frames, \
+     mean %.1f frames/transition"
+    s.steps s.transitions s.total_frames (s.total_seconds *. 1e3) s.max_frames
+    s.mean_frames

@@ -1,0 +1,48 @@
+(** Configuration-manager simulation: replay an adaptation sequence over a
+    partitioned system, tracking actual region contents (a region keeps
+    its bitstream while unused, so a reconfiguration happens only when an
+    incoming configuration needs a {e different} resident than the one
+    physically loaded). This is the stateful ground truth against which
+    the paper's pairwise metric is a proxy. *)
+
+type event = {
+  step : int;
+  from_config : int;
+  to_config : int;
+  regions_reconfigured : int list;
+  frames : int;
+  seconds : float;
+}
+
+type stats = {
+  steps : int;
+  transitions : int;  (** Steps with an actual configuration change. *)
+  total_frames : int;
+  total_seconds : float;
+  max_frames : int;
+  mean_frames : float;  (** Per transition; 0 when no transitions. *)
+  region_loads : int array;  (** Reconfiguration count per region. *)
+}
+
+val simulate :
+  ?icap:Fpga.Icap.t ->
+  ?trace:(event -> unit) ->
+  Prcore.Scheme.t ->
+  initial:int ->
+  sequence:int list ->
+  stats
+(** Start in configuration [initial] (its full bitstream is not counted;
+    regions the initial configuration does not use are deemed to hold
+    their first-listed partition, since the full bitstream configures the
+    whole fabric) and visit [sequence] in order. [trace] observes each
+    step. @raise Invalid_argument on an out-of-range configuration
+    index. *)
+
+val random_walk :
+  rand:(int -> int) -> configs:int -> steps:int -> initial:int -> int list
+(** A uniform random adaptation sequence avoiding self-transitions;
+    [rand n] must return a uniform value in [0, n). Suitable as
+    [simulate]'s [sequence]. @raise Invalid_argument when [configs < 2]
+    or [steps < 0]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

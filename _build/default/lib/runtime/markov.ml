@@ -1,0 +1,109 @@
+type t = { p : float array array }
+
+let make p =
+  let n = Array.length p in
+  if n = 0 then Error "empty matrix"
+  else begin
+    let issue = ref None in
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> n then
+          issue := Some (Printf.sprintf "row %d is not length %d" i n)
+        else begin
+          let sum = Array.fold_left ( +. ) 0. row in
+          if Array.exists (fun v -> v < 0.) row then
+            issue := Some (Printf.sprintf "row %d has a negative entry" i)
+          else if Float.abs (sum -. 1.) > 1e-9 then
+            issue := Some (Printf.sprintf "row %d sums to %g, not 1" i sum)
+        end)
+      p;
+    match !issue with
+    | Some message -> Error message
+    | None -> Ok { p = Array.map Array.copy p }
+  end
+
+let make_exn p =
+  match make p with
+  | Ok t -> t
+  | Error message -> invalid_arg ("Markov.make: " ^ message)
+
+let uniform ~configs =
+  if configs < 2 then invalid_arg "Markov.uniform: need >= 2 configurations";
+  let off = 1. /. float_of_int (configs - 1) in
+  { p =
+      Array.init configs (fun i ->
+          Array.init configs (fun j -> if i = j then 0. else off)) }
+
+let random ~rand ?(concentration = 3.) ~configs () =
+  if configs < 2 then invalid_arg "Markov.random: need >= 2 configurations";
+  let p =
+    Array.init configs (fun i ->
+        let weights =
+          Array.init configs (fun j ->
+              if i = j then 0.
+              else Float.pow (max 1e-9 (rand ())) concentration +. 1e-9)
+        in
+        let total = Array.fold_left ( +. ) 0. weights in
+        Array.map (fun w -> w /. total) weights)
+  in
+  { p }
+
+let configs t = Array.length t.p
+
+let check t i =
+  if i < 0 || i >= configs t then
+    invalid_arg "Markov: configuration index out of range"
+
+let probability t ~from ~into =
+  check t from;
+  check t into;
+  t.p.(from).(into)
+
+let stationary ?(iterations = 10_000) ?(epsilon = 1e-12) t =
+  let n = configs t in
+  let pi = Array.make n (1. /. float_of_int n) in
+  let next = Array.make n 0. in
+  let rec iterate k =
+    if k = 0 then pi
+    else begin
+      Array.fill next 0 n 0.;
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          next.(j) <- next.(j) +. (pi.(i) *. t.p.(i).(j))
+        done
+      done;
+      let delta = ref 0. in
+      for j = 0 to n - 1 do
+        delta := !delta +. Float.abs (next.(j) -. pi.(j));
+        pi.(j) <- next.(j)
+      done;
+      if !delta < epsilon then pi else iterate (k - 1)
+    end
+  in
+  Array.copy (iterate iterations)
+
+let edge_rates t =
+  let n = configs t in
+  let pi = stationary t in
+  Array.init n (fun i ->
+      Array.init n (fun j -> if i = j then 0. else pi.(i) *. t.p.(i).(j)))
+
+let expected_frames_per_step t ~frames =
+  let rates = edge_rates t in
+  let n = configs t in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then acc := !acc +. (rates.(i).(j) *. float_of_int (frames i j))
+    done
+  done;
+  !acc
+
+let pp ppf t =
+  let n = configs t in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Format.fprintf ppf "%s%.3f" (if j = 0 then "" else " ") t.p.(i).(j)
+    done;
+    Format.pp_print_newline ppf ()
+  done

@@ -1,0 +1,51 @@
+(** Markov-chain adaptation workloads.
+
+    The paper optimises the unweighted sum of all transitions because "the
+    order in which the system will switch … depends on environmental
+    conditions"; it notes that known transition probabilities "could be
+    factored into the measure" as future work. This module provides that
+    statistical model: a row-stochastic transition matrix over
+    configurations, its stationary distribution, and the long-run expected
+    reconfiguration rate of a scheme under the chain. *)
+
+type t = private { p : float array array }
+
+val make : float array array -> (t, string) result
+(** Validates a square, row-stochastic matrix (rows sum to 1 within 1e-9,
+    entries non-negative). Self-transitions are allowed (they cost
+    nothing). *)
+
+val make_exn : float array array -> t
+
+val uniform : configs:int -> t
+(** Uniform over the {e other} configurations — the implicit workload of
+    the paper's total-time metric. @raise Invalid_argument when
+    [configs < 2]. *)
+
+val random : rand:(unit -> float) -> ?concentration:float -> configs:int -> unit -> t
+(** A random chain: each row draws positive weights ([u^concentration]
+    for uniform [u], default concentration 3 — larger = more skewed) over
+    the other configurations and normalises. [rand ()] must return a
+    uniform float in [0, 1). @raise Invalid_argument when [configs < 2]. *)
+
+val configs : t -> int
+
+val probability : t -> from:int -> into:int -> float
+
+val stationary : ?iterations:int -> ?epsilon:float -> t -> float array
+(** Stationary distribution by power iteration from the uniform vector
+    (defaults: 10_000 iterations, epsilon 1e-12). For periodic or
+    reducible chains this returns the Cesàro-style iterate it converged
+    to, which is still a valid weighting. *)
+
+val edge_rates : t -> float array array
+(** [rates.(i).(j) = stationary(i) * p(i)(j)] for [i <> j], zero on the
+    diagonal: the long-run rate of the [i -> j] transition per step. Rates
+    over all [i <> j] sum to the probability that a step changes
+    configuration. *)
+
+val expected_frames_per_step : t -> frames:(int -> int -> int) -> float
+(** Long-run expected frames written per step, given the per-transition
+    frame cost (e.g. {!Transition.frames} applied to a scheme). *)
+
+val pp : Format.formatter -> t -> unit

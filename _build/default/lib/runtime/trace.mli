@@ -1,0 +1,54 @@
+(** Adaptation traces: named, persistable configuration sequences.
+
+    The paper evaluates with the all-pairs proxy because adaptive systems'
+    transition orders are environment-driven; when a deployment {e can}
+    log its behaviour, that log is the right workload to replay. A trace
+    is the initial configuration plus the visited sequence, stored in a
+    line-oriented text format:
+
+    {v
+    # prpart-trace v1
+    design video-receiver
+    initial c1
+    c2
+    c3
+    ...
+    v}
+
+    Configurations are referenced by name; blank lines and [#] comments
+    are ignored. *)
+
+type t = private {
+  design_name : string;
+  initial : int;
+  sequence : int list;  (** Configuration indices, in visit order. *)
+}
+
+val record :
+  Prdesign.Design.t -> initial:int -> sequence:int list -> t
+(** @raise Invalid_argument on out-of-range configuration indices. *)
+
+val of_markov :
+  Prdesign.Design.t ->
+  chain:Markov.t ->
+  rand:(unit -> float) ->
+  steps:int ->
+  initial:int ->
+  t
+(** Sample a trace from a Markov chain (self-transitions are kept: they
+    model steps where the environment does not change).
+    @raise Invalid_argument when the chain does not match the design's
+    configuration count. *)
+
+val simulate :
+  ?icap:Fpga.Icap.t -> Prcore.Scheme.t -> t -> Manager.stats
+(** Replay the trace on a scheme.
+    @raise Invalid_argument when the trace's design name differs from the
+    scheme's design. *)
+
+val to_string : Prdesign.Design.t -> t -> string
+val of_string : Prdesign.Design.t -> string -> (t, string) result
+val save_file : Prdesign.Design.t -> string -> t -> unit
+val load_file : Prdesign.Design.t -> string -> (t, string) result
+
+val length : t -> int

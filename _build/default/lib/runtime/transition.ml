@@ -1,0 +1,62 @@
+module Scheme = Prcore.Scheme
+module Cost = Prcore.Cost
+module Design = Prdesign.Design
+
+type t = { scheme : Scheme.t; icap : Fpga.Icap.t; matrix : int array array }
+
+let make ?(icap = Fpga.Icap.default) scheme =
+  { scheme; icap; matrix = Cost.transition_matrix scheme }
+
+let scheme t = t.scheme
+
+let check t i =
+  if i < 0 || i >= Array.length t.matrix then
+    invalid_arg "Transition: configuration index out of range"
+
+let frames t i j =
+  check t i;
+  check t j;
+  t.matrix.(i).(j)
+
+let seconds t i j = Fpga.Icap.seconds_of_frames t.icap (frames t i j)
+
+let total_frames t =
+  let n = Array.length t.matrix in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := !acc + t.matrix.(i).(j)
+    done
+  done;
+  !acc
+
+let worst t =
+  let n = Array.length t.matrix in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match !best with
+      | Some (_, _, f) when f >= t.matrix.(i).(j) -> ()
+      | Some _ | None -> best := Some (i, j, t.matrix.(i).(j))
+    done
+  done;
+  !best
+
+let pp ppf t =
+  let design = t.scheme.Scheme.design in
+  let name i =
+    design.Design.configurations.(i).Prdesign.Configuration.name
+  in
+  let n = Array.length t.matrix in
+  Format.fprintf ppf "%10s" "";
+  for j = 0 to n - 1 do
+    Format.fprintf ppf " %8s" (name j)
+  done;
+  Format.pp_print_newline ppf ();
+  for i = 0 to n - 1 do
+    Format.fprintf ppf "%10s" (name i);
+    for j = 0 to n - 1 do
+      Format.fprintf ppf " %8d" t.matrix.(i).(j)
+    done;
+    Format.pp_print_newline ppf ()
+  done

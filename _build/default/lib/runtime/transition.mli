@@ -1,0 +1,26 @@
+(** Transition-cost tables for a partitioning scheme: the pairwise frame
+    matrix (the paper's [t_{con i,j}]) and its ICAP wall-clock
+    equivalent. *)
+
+type t
+
+val make : ?icap:Fpga.Icap.t -> Prcore.Scheme.t -> t
+val scheme : t -> Prcore.Scheme.t
+
+val frames : t -> int -> int -> int
+(** Frames written when switching between two configurations (symmetric,
+    zero on the diagonal).
+    @raise Invalid_argument on out-of-range indices. *)
+
+val seconds : t -> int -> int -> float
+(** ICAP wall-clock time of the same transition. *)
+
+val total_frames : t -> int
+(** Sum over unordered pairs — the paper's total reconfiguration time. *)
+
+val worst : t -> (int * int * int) option
+(** Heaviest transition as [(i, j, frames)]; [None] for designs with a
+    single configuration. *)
+
+val pp : Format.formatter -> t -> unit
+(** The full matrix, with configuration names. *)

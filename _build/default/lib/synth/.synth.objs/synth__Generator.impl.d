@@ -1,0 +1,1 @@
+lib/synth/generator.ml: Array Fpga Fun List Prdesign Printf Rng

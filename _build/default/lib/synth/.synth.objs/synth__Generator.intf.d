@@ -1,0 +1,1 @@
+lib/synth/generator.mli: Prdesign Rng

@@ -1,0 +1,142 @@
+module Design = Prdesign.Design
+module Resource = Fpga.Resource
+
+type circuit_class =
+  | Logic_intensive
+  | Memory_intensive
+  | Dsp_intensive
+  | Dsp_memory_intensive
+
+let class_name = function
+  | Logic_intensive -> "logic"
+  | Memory_intensive -> "memory"
+  | Dsp_intensive -> "dsp"
+  | Dsp_memory_intensive -> "dsp-memory"
+
+let all_classes =
+  [ Logic_intensive; Memory_intensive; Dsp_intensive; Dsp_memory_intensive ]
+
+type spec = {
+  modules : int * int;
+  modes : int * int;
+  clb : int * int;
+  absence_probability : float;
+  extra_configs : int * int;
+}
+
+let default_spec =
+  { modules = (2, 6);
+    modes = (2, 4);
+    clb = (25, 4000);
+    absence_probability = 0.15;
+    extra_configs = (1, 4) }
+
+(* BRAM/DSP ranges as a function of the mode's CLB count and the circuit
+   class. Divisors are chosen so that even a six-module design of maximal
+   modes stays within the largest catalogued device (see DESIGN.md). *)
+let secondary_resources rng cls clb =
+  let between lo hi = if hi <= lo then lo else Rng.range rng lo hi in
+  match cls with
+  | Logic_intensive -> (between 0 (clb / 300), between 0 (clb / 300))
+  | Memory_intensive -> (between (clb / 100) (clb / 60), between 0 (clb / 400))
+  | Dsp_intensive -> (between 0 (clb / 400), between (clb / 100) (clb / 64))
+  | Dsp_memory_intensive ->
+    (between (clb / 150) (clb / 80), between (clb / 150) (clb / 80))
+
+(* The paper's static region: its open-source ICAP controller and
+   associated logic. *)
+let static_overhead = Resource.make ~bram:8 90
+
+let module_names = [| "A"; "B"; "C"; "D"; "E"; "F" |]
+
+let generate ?(spec = default_spec) rng cls ~index =
+  let n_modules = Rng.range rng (fst spec.modules) (snd spec.modules) in
+  let modules =
+    List.init n_modules (fun m ->
+        let n_modes = Rng.range rng (fst spec.modes) (snd spec.modes) in
+        let modes =
+          List.init n_modes (fun k ->
+              let clb = Rng.range rng (fst spec.clb) (snd spec.clb) in
+              let bram, dsp = secondary_resources rng cls clb in
+              Prdesign.Mode.make
+                (Printf.sprintf "%s%d" module_names.(m) (k + 1))
+                (Resource.make ~bram ~dsp clb))
+        in
+        Prdesign.Pmodule.make module_names.(m) modes)
+  in
+  let marr = Array.of_list modules in
+  let mode_counts = Array.map Prdesign.Pmodule.mode_count marr in
+  let used = Array.map (fun n -> Array.make n false) mode_counts in
+  (* A random configuration; [targets] forces specific modules to use a
+     specific (so far unused) mode. *)
+  let random_config targets =
+    List.filter_map
+      (fun m ->
+        match List.assoc_opt m targets with
+        | Some k -> Some (m, k)
+        | None ->
+          if Rng.float rng < spec.absence_probability then None
+          else Some (m, Rng.int rng mode_counts.(m)))
+      (List.init n_modules Fun.id)
+  in
+  let configs = ref [] in
+  let add_config choices =
+    (* Keep configuration contents pairwise distinct and non-empty. *)
+    if choices <> [] && not (List.mem choices !configs) then begin
+      configs := choices :: !configs;
+      List.iter (fun (m, k) -> used.(m).(k) <- true) choices;
+      true
+    end
+    else false
+  in
+  (* Sweep until every mode is exercised: each round targets one unused
+     mode per module, so the loop terminates after at most
+     [max modes per module] productive rounds. *)
+  let rec sweep guard =
+    let targets =
+      List.filter_map
+        (fun m ->
+          let unused =
+            List.filter (fun k -> not (used.(m).(k)))
+              (List.init mode_counts.(m) Fun.id)
+          in
+          match unused with
+          | [] -> None
+          | ks -> Some (m, List.nth ks (Rng.int rng (List.length ks))))
+        (List.init n_modules Fun.id)
+    in
+    if targets <> [] && guard > 0 then begin
+      ignore (add_config (random_config targets));
+      sweep (guard - 1)
+    end
+  in
+  sweep 64;
+  (* Belt and braces: if the randomised sweep ran out of attempts (only
+     possible under pathological duplicate collisions), add a minimal
+     single-module configuration per still-unused mode. *)
+  Array.iteri
+    (fun m flags ->
+      Array.iteri
+        (fun k seen -> if not seen then ignore (add_config [ (m, k) ]))
+        flags)
+    used;
+  let extras = Rng.range rng (fst spec.extra_configs) (snd spec.extra_configs) in
+  for _ = 1 to extras do
+    ignore (add_config (random_config []))
+  done;
+  let configurations =
+    List.mapi
+      (fun i choices ->
+        Prdesign.Configuration.make (Printf.sprintf "c%d" (i + 1)) choices)
+      (List.rev !configs)
+  in
+  Design.create_exn ~static_overhead
+    ~name:(Printf.sprintf "synth-%s-%04d" (class_name cls) index)
+    ~modules ~configurations ()
+
+let batch ?spec ~seed ~count () =
+  let rng = Rng.make seed in
+  let classes = Array.of_list all_classes in
+  List.init count (fun i ->
+      let cls = classes.(i mod Array.length classes) in
+      (cls, generate ?spec (Rng.split rng) cls ~index:i))

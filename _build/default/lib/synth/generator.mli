@@ -1,0 +1,42 @@
+(** Synthetic PR design generator, following the paper's recipe (§V):
+    equal numbers of logic-, memory-, DSP- and DSP-and-memory-intensive
+    designs; 2–6 modules with 2–4 modes each; 25–4000 CLBs per mode with
+    class-dependent BRAM/DSP ranges; a 90 CLB + 8 BRAM static overhead
+    (the paper's open-source ICAP controller); and random configurations
+    generated until every mode is used at least once. *)
+
+type circuit_class =
+  | Logic_intensive
+  | Memory_intensive
+  | Dsp_intensive
+  | Dsp_memory_intensive
+
+val class_name : circuit_class -> string
+val all_classes : circuit_class list
+
+type spec = {
+  modules : int * int;  (** Inclusive module-count range, default (2, 6). *)
+  modes : int * int;  (** Modes per module, default (2, 4). *)
+  clb : int * int;  (** CLBs per mode, default (25, 4000). *)
+  absence_probability : float;
+      (** Chance a module is absent from a configuration (the paper's
+          "mode 0"), default 0.15. *)
+  extra_configs : int * int;
+      (** Extra random configurations beyond those needed to exercise
+          every mode, default (1, 4). *)
+}
+
+val default_spec : spec
+
+val generate :
+  ?spec:spec -> Rng.t -> circuit_class -> index:int -> Prdesign.Design.t
+(** One synthetic design named after the class and index. Every mode is
+    used by at least one configuration; configuration contents are
+    pairwise distinct. *)
+
+val batch :
+  ?spec:spec -> seed:int -> count:int -> unit ->
+  (circuit_class * Prdesign.Design.t) list
+(** [count] designs with the classes interleaved in equal proportion
+    (the paper's 1000-design population uses [count = 1000], i.e. 250 per
+    class). Deterministic in [seed]. *)

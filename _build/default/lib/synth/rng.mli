@@ -1,0 +1,35 @@
+(** Deterministic SplitMix64 pseudo-random generator.
+
+    The synthetic-design experiments must be reproducible run-to-run and
+    machine-to-machine, so no [Stdlib.Random] state leaks in: every stream
+    derives from an explicit seed. *)
+
+type t
+
+val make : int -> t
+(** A generator seeded from the given integer. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [0, bound).
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] — uniform in [lo, hi] inclusive.
+    @raise Invalid_argument when [hi < lo]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

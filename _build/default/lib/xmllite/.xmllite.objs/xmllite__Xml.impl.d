@@ -1,0 +1,1 @@
+lib/xmllite/xml.ml: Buffer Char Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/xmllite/xml.mli:

@@ -1,0 +1,313 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+exception Parse_error of { line : int; column : int; message : string }
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let decode_reference name =
+  match name with
+  | "amp" -> Some "&"
+  | "lt" -> Some "<"
+  | "gt" -> Some ">"
+  | "quot" -> Some "\""
+  | "apos" -> Some "'"
+  | _ ->
+    let numeric prefix base =
+      let n = String.length prefix in
+      if String.length name > n && String.sub name 0 n = prefix then
+        let digits = String.sub name n (String.length name - n) in
+        match int_of_string_opt (base ^ digits) with
+        | Some code when code >= 0 && code < 128 ->
+          Some (String.make 1 (Char.chr code))
+        | Some _ | None -> None
+      else None
+    in
+    (match numeric "#x" "0x" with
+     | Some s -> Some s
+     | None -> numeric "#" "")
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i >= n then ()
+    else if s.[i] = '&' then begin
+      match String.index_from_opt s i ';' with
+      | Some j when j - i - 1 <= 8 ->
+        let name = String.sub s (i + 1) (j - i - 1) in
+        (match decode_reference name with
+         | Some repl ->
+           Buffer.add_string buf repl;
+           loop (j + 1)
+         | None ->
+           Buffer.add_char buf '&';
+           loop (i + 1))
+      | Some _ | None ->
+        Buffer.add_char buf '&';
+        loop (i + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      loop (i + 1)
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+(* A hand-rolled recursive-descent parser over a string with explicit
+   position tracking; error positions are 1-based. *)
+module Parser = struct
+  type state = { src : string; mutable pos : int }
+
+  let line_col st upto =
+    let line = ref 1 and col = ref 1 in
+    for i = 0 to min upto (String.length st.src) - 1 do
+      if st.src.[i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    (!line, !col)
+
+  let fail st message =
+    let line, column = line_col st st.pos in
+    raise (Parse_error { line; column; message })
+
+  let eof st = st.pos >= String.length st.src
+  let peek st = if eof st then '\000' else st.src.[st.pos]
+  let advance st = st.pos <- st.pos + 1
+
+  let looking_at st prefix =
+    let n = String.length prefix in
+    st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+  let expect st prefix =
+    if looking_at st prefix then st.pos <- st.pos + String.length prefix
+    else fail st (Printf.sprintf "expected %S" prefix)
+
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+  let skip_space st =
+    while (not (eof st)) && is_space (peek st) do
+      advance st
+    done
+
+  let is_name_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.' || c = ':'
+
+  let read_name st =
+    let start = st.pos in
+    while (not (eof st)) && is_name_char (peek st) do
+      advance st
+    done;
+    if st.pos = start then fail st "expected a name";
+    String.sub st.src start (st.pos - start)
+
+  let skip_until st terminator =
+    let n = String.length st.src in
+    let rec loop () =
+      if st.pos >= n then fail st (Printf.sprintf "unterminated %S" terminator)
+      else if looking_at st terminator then
+        st.pos <- st.pos + String.length terminator
+      else begin
+        advance st;
+        loop ()
+      end
+    in
+    loop ()
+
+  (* Skip comments, processing instructions and declarations that may appear
+     between nodes. Returns [true] if something was skipped. *)
+  let skip_misc st =
+    if looking_at st "<!--" then begin
+      st.pos <- st.pos + 4;
+      skip_until st "-->";
+      true
+    end
+    else if looking_at st "<?" then begin
+      st.pos <- st.pos + 2;
+      skip_until st "?>";
+      true
+    end
+    else if looking_at st "<!" then begin
+      st.pos <- st.pos + 2;
+      skip_until st ">";
+      true
+    end
+    else false
+
+  let read_attribute st =
+    let name = read_name st in
+    skip_space st;
+    expect st "=";
+    skip_space st;
+    let quote = peek st in
+    if quote <> '"' && quote <> '\'' then fail st "expected a quoted value";
+    advance st;
+    let start = st.pos in
+    while (not (eof st)) && peek st <> quote do
+      advance st
+    done;
+    if eof st then fail st "unterminated attribute value";
+    let raw = String.sub st.src start (st.pos - start) in
+    advance st;
+    (name, unescape raw)
+
+  let rec read_element st =
+    expect st "<";
+    let tag = read_name st in
+    let rec attrs acc =
+      skip_space st;
+      match peek st with
+      | '/' ->
+        expect st "/>";
+        Element (tag, List.rev acc, [])
+      | '>' ->
+        advance st;
+        let children = read_content st tag in
+        Element (tag, List.rev acc, children)
+      | _ -> attrs (read_attribute st :: acc)
+    in
+    attrs []
+
+  and read_content st tag =
+    let rec loop acc =
+      if eof st then fail st (Printf.sprintf "unterminated element <%s>" tag)
+      else if looking_at st "</" then begin
+        st.pos <- st.pos + 2;
+        let closing = read_name st in
+        skip_space st;
+        expect st ">";
+        if closing <> tag then
+          fail st
+            (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing tag);
+        List.rev acc
+      end
+      else if skip_misc st then loop acc
+      else if peek st = '<' then loop (read_element st :: acc)
+      else begin
+        let start = st.pos in
+        while (not (eof st)) && peek st <> '<' do
+          advance st
+        done;
+        let raw = String.sub st.src start (st.pos - start) in
+        if String.trim raw = "" then loop acc
+        else loop (Text (unescape raw) :: acc)
+      end
+    in
+    loop []
+
+  let document st =
+    let rec prologue () =
+      skip_space st;
+      if skip_misc st then prologue ()
+    in
+    prologue ();
+    if eof st || peek st <> '<' then fail st "expected a root element";
+    let root = read_element st in
+    let rec epilogue () =
+      skip_space st;
+      if skip_misc st then epilogue ()
+      else if not (eof st) then fail st "trailing content after root element"
+    in
+    epilogue ();
+    root
+end
+
+let parse_string s = Parser.document { Parser.src = s; pos = 0 }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+let to_string ?(indent = 2) doc =
+  let buf = Buffer.create 256 in
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let rec node depth = function
+    | Text s ->
+      pad depth;
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '\n'
+    | Element (tag, attrs, children) ->
+      pad depth;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+        attrs;
+      (match children with
+       | [] -> Buffer.add_string buf "/>\n"
+       | [ Text s ] ->
+         Buffer.add_char buf '>';
+         Buffer.add_string buf (escape s);
+         Buffer.add_string buf (Printf.sprintf "</%s>\n" tag)
+       | children ->
+         Buffer.add_string buf ">\n";
+         List.iter (node (depth + 1)) children;
+         pad depth;
+         Buffer.add_string buf (Printf.sprintf "</%s>\n" tag))
+  in
+  node 0 doc;
+  Buffer.contents buf
+
+let tag = function
+  | Element (tag, _, _) -> tag
+  | Text _ -> invalid_arg "Xml.tag: text node"
+
+let attr name = function
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let attr_exn name node =
+  match attr name node with
+  | Some v -> v
+  | None -> raise Not_found
+
+let children = function
+  | Element (_, _, children) -> children
+  | Text _ -> []
+
+let child_elements node =
+  List.filter (function Element _ -> true | Text _ -> false) (children node)
+
+let find_all name node =
+  List.filter
+    (function Element (tag, _, _) -> tag = name | Text _ -> false)
+    (children node)
+
+let find_opt name node =
+  List.find_opt
+    (function Element (tag, _, _) -> tag = name | Text _ -> false)
+    (children node)
+
+let text_content node =
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Element (_, _, children) -> List.iter go children
+  in
+  go node;
+  String.trim (Buffer.contents buf)
+
+let int_attr name node = Option.bind (attr name node) int_of_string_opt

@@ -1,0 +1,65 @@
+(** Minimal XML parser and printer.
+
+    Supports the subset of XML needed for PR design descriptions: nested
+    elements, attributes, character data, comments, processing instructions
+    (skipped), and the five predefined entities. Namespaces, DTDs and CDATA
+    sections are out of scope. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** [Element (tag, attributes, children)] *)
+  | Text of string  (** Character data with entities already decoded. *)
+
+exception Parse_error of { line : int; column : int; message : string }
+(** Raised by the parsing functions on malformed input. *)
+
+val parse_string : string -> t
+(** [parse_string s] parses [s] into the single root element.
+    @raise Parse_error on malformed input or a non-element root. *)
+
+val parse_file : string -> t
+(** [parse_file path] reads and parses the file at [path].
+    @raise Sys_error if the file cannot be read. *)
+
+val to_string : ?indent:int -> t -> string
+(** [to_string ?indent doc] pretty-prints [doc]; [indent] is the number of
+    spaces per nesting level (default 2). Attribute values and text are
+    escaped on output. *)
+
+val escape : string -> string
+(** Escape the five characters with predefined entities: ampersand,
+    angle brackets, double and single quote. *)
+
+val unescape : string -> string
+(** Decode the five predefined entities and decimal/hex character
+    references. Unknown entities are left verbatim. *)
+
+(** {1 Accessors} *)
+
+val tag : t -> string
+(** [tag e] is the tag name of an element.
+    @raise Invalid_argument on [Text]. *)
+
+val attr : string -> t -> string option
+(** [attr name e] is the value of attribute [name] on element [e]. *)
+
+val attr_exn : string -> t -> string
+(** Like {!attr} but raises [Not_found] when absent. *)
+
+val children : t -> t list
+(** Child nodes of an element (empty for [Text]). *)
+
+val child_elements : t -> t list
+(** Child nodes that are elements, in document order. *)
+
+val find_all : string -> t -> t list
+(** [find_all tag e] is every direct child element of [e] named [tag]. *)
+
+val find_opt : string -> t -> t option
+(** First direct child element named [tag], if any. *)
+
+val text_content : t -> string
+(** Concatenated character data of a node and its descendants, trimmed. *)
+
+val int_attr : string -> t -> int option
+(** [attr] converted with [int_of_string_opt]. *)

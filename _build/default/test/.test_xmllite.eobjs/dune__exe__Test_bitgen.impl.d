@@ -1,0 +1,1 @@
+test/test_bitgen.ml: Alcotest Bitgen Bytes Char Floorplan Fpga List Prcore Prdesign Printf QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster Fpga Int List Prdesign Prgraph QCheck2 QCheck_alcotest Synth

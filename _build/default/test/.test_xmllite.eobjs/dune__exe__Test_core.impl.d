@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cluster Float Fpga List Prcore Prdesign Prgraph Printf QCheck2 QCheck_alcotest Result Synth

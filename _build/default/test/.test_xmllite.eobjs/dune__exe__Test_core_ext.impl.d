@@ -1,0 +1,1 @@
+test/test_core_ext.ml: Alcotest Array Cluster Filename Fpga Fun List Option Prcore Prdesign Runtime String Synth Sys

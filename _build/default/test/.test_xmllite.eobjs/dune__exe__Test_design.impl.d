@@ -1,0 +1,1 @@
+test/test_design.ml: Alcotest Array Filename Fpga Fun List Prdesign Result String Sys

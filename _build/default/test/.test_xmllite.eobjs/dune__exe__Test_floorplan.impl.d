@@ -1,0 +1,1 @@
+test/test_floorplan.ml: Alcotest Array Floorplan Format Fpga Fun List Prcore Prdesign QCheck2 QCheck_alcotest String

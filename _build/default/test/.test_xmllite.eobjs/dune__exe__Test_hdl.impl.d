@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Cluster Filename Hdl Lazy List Prcore Prdesign Result String

@@ -1,0 +1,1 @@
+test/test_prgraph.ml: Alcotest Int List Prdesign Prgraph QCheck2 QCheck_alcotest

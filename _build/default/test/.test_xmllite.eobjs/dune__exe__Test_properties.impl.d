@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bitgen Cluster Filename Fpga Fun Hdl List Prcore Prdesign QCheck2 QCheck_alcotest Result Runtime String Synth

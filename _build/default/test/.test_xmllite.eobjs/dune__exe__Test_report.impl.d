@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array List QCheck2 QCheck_alcotest Report String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Filename Float Fpga Fun List Prcore Prdesign QCheck2 QCheck_alcotest Result Runtime Synth Sys

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Fpga Fun Int Lazy List Prdesign Prgraph QCheck2 QCheck_alcotest Synth

@@ -1,0 +1,1 @@
+test/test_xmllite.ml: Alcotest Filename Fun List QCheck2 QCheck_alcotest Sys Xmllite

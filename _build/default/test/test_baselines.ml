@@ -1,0 +1,111 @@
+(* Tests for the baseline schemes (paper §IV-A / Table IV). *)
+
+module Design = Prdesign.Design
+module Design_library = Prdesign.Design_library
+module Schemes = Baselines.Schemes
+module Cost = Prcore.Cost
+module Scheme = Prcore.Scheme
+module Resource = Fpga.Resource
+
+let example = Design_library.running_example
+let receiver = Design_library.video_receiver
+
+let labelled_tests =
+  [ Alcotest.test_case "static has zero time" `Quick (fun () ->
+        let l = Schemes.fully_static example in
+        Alcotest.(check string) "label" "Static" l.Schemes.label;
+        Alcotest.(check int) "total" 0 l.evaluation.Cost.total_frames);
+    Alcotest.test_case "single region label and structure" `Quick (fun () ->
+        let l = Schemes.single_region example in
+        Alcotest.(check string) "label" "Single region" l.Schemes.label;
+        Alcotest.(check int) "one region" 1 l.scheme.Scheme.region_count);
+    Alcotest.test_case "modular label and structure" `Quick (fun () ->
+        let l = Schemes.one_module_per_region example in
+        Alcotest.(check string) "label" "1 Module/Region" l.Schemes.label;
+        Alcotest.(check int) "three regions" 3 l.scheme.Scheme.region_count);
+    Alcotest.test_case "all returns the three in Table IV order" `Quick
+      (fun () ->
+        Alcotest.(check (list string)) "labels"
+          [ "Static"; "1 Module/Region"; "Single region" ]
+          (List.map (fun l -> l.Schemes.label) (Schemes.all example))) ]
+
+let ordering_tests =
+  [ Alcotest.test_case "area ordering: static > modular > single" `Quick
+      (fun () ->
+        (* The §IV-A analysis: static costs the sum of all modes, modular
+           the sum of largest modes, single region only the largest
+           configuration. *)
+        let used scheme = (scheme example).Schemes.evaluation.Cost.used in
+        let clb (r : Resource.t) = r.Resource.clb in
+        Alcotest.(check bool) "static > modular" true
+          (clb (used Schemes.fully_static)
+           > clb (used Schemes.one_module_per_region));
+        Alcotest.(check bool) "modular > single" true
+          (clb (used Schemes.one_module_per_region)
+           > clb (used Schemes.single_region)));
+    Alcotest.test_case "time ordering: static < modular < single" `Quick
+      (fun () ->
+        let total scheme =
+          (scheme example).Schemes.evaluation.Cost.total_frames
+        in
+        Alcotest.(check bool) "static minimum" true
+          (total Schemes.fully_static < total Schemes.one_module_per_region);
+        Alcotest.(check bool) "modular < single" true
+          (total Schemes.one_module_per_region < total Schemes.single_region));
+    Alcotest.test_case "receiver: single-region worst can beat modular worst"
+      `Quick (fun () ->
+        (* Fig. 8 commentary: the single-region scheme's worst case is the
+           (small) region size, while modular's worst case sums several
+           regions. *)
+        let worst scheme =
+          (scheme receiver).Schemes.evaluation.Cost.worst_frames
+        in
+        Alcotest.(check bool) "single < modular on worst" true
+          (worst Schemes.single_region < worst Schemes.one_module_per_region))
+  ]
+
+let receiver_numbers_tests =
+  [ Alcotest.test_case "receiver modular usage matches Table II arithmetic"
+      `Quick (fun () ->
+        (* Largest modes per module, tile-quantised:
+           F 818->820, R 318->320, M 97->100, D 748->760, V 4700 = 6700. *)
+        let l = Schemes.one_module_per_region receiver in
+        Alcotest.(check int) "clb" 6700 l.evaluation.Cost.used.Resource.clb;
+        Alcotest.(check int) "bram" 60 l.evaluation.Cost.used.Resource.bram;
+        Alcotest.(check int) "dsp" 144 l.evaluation.Cost.used.Resource.dsp);
+    Alcotest.test_case "receiver static usage is the Table II column sum"
+      `Quick (fun () ->
+        let l = Schemes.fully_static receiver in
+        Alcotest.(check int) "clb" 15751 l.evaluation.Cost.used.Resource.clb;
+        Alcotest.(check int) "bram" 83 l.evaluation.Cost.used.Resource.bram;
+        Alcotest.(check int) "dsp" 204 l.evaluation.Cost.used.Resource.dsp);
+    Alcotest.test_case "receiver modular total is near the paper's 244872"
+      `Quick (fun () ->
+        let l = Schemes.one_module_per_region receiver in
+        let total = float_of_int l.evaluation.Cost.total_frames in
+        Alcotest.(check bool) "within 5%" true
+          (Float.abs (total -. 244_872.) /. 244_872. < 0.05));
+    Alcotest.test_case "single-region total = pairs x region frames" `Quick
+      (fun () ->
+        let l = Schemes.single_region receiver in
+        let configs = Design.configuration_count receiver in
+        Alcotest.(check int) "product"
+          (configs * (configs - 1) / 2 * l.evaluation.Cost.region_frames.(0))
+          l.evaluation.Cost.total_frames) ]
+
+let percent_tests =
+  [ Alcotest.test_case "percent_change orientation" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "improvement" 50.
+          (Schemes.percent_change ~proposed:50 ~baseline:100);
+        Alcotest.(check (float 1e-9)) "regression" (-50.)
+          (Schemes.percent_change ~proposed:150 ~baseline:100));
+    Alcotest.test_case "percent_change zero baseline" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "zero" 0.
+          (Schemes.percent_change ~proposed:10 ~baseline:0)) ]
+
+let () =
+  Alcotest.run "baselines"
+    [ ("labelled", labelled_tests);
+      ("ordering", ordering_tests);
+      ("receiver-numbers", receiver_numbers_tests);
+      ("percent", percent_tests) ]

@@ -1,0 +1,247 @@
+(* Tests for the clustering library: base partitions and the agglomerative
+   loop, anchored on the paper's Table I. *)
+
+module Design = Prdesign.Design
+module Design_library = Prdesign.Design_library
+module Base_partition = Cluster.Base_partition
+module Agglomerative = Cluster.Agglomerative
+
+let example = Design_library.running_example
+
+(* Mode ids: A1=0 A2=1 A3=2 B1=3 B2=4 C1=5 C2=6 C3=7. *)
+
+let bp modes freq = Base_partition.make example ~modes ~freq
+
+let base_partition_tests =
+  [ Alcotest.test_case "resources are the sum of modes" `Quick (fun () ->
+        (* A3 (250 clb, 1 bram) + B2 (120 clb, 1 bram). *)
+        let p = bp [ 2; 4 ] 2 in
+        Alcotest.(check int) "clb" 370 p.Base_partition.resources.Fpga.Resource.clb;
+        Alcotest.(check int) "bram" 2 p.Base_partition.resources.Fpga.Resource.bram);
+    Alcotest.test_case "frames are tile-quantised" `Quick (fun () ->
+        (* 370 clb -> 19 tiles * 36 + 2 bram -> 1 tile * 30 = 714. *)
+        let p = bp [ 2; 4 ] 2 in
+        Alcotest.(check int) "frames" 714 p.Base_partition.frames);
+    Alcotest.test_case "cardinal, mem, overlaps" `Quick (fun () ->
+        let p = bp [ 0; 4 ] 1 and q = bp [ 4; 7 ] 2 and r = bp [ 1 ] 1 in
+        Alcotest.(check int) "cardinal" 2 (Base_partition.cardinal p);
+        Alcotest.(check bool) "mem" true (Base_partition.mem 0 p);
+        Alcotest.(check bool) "not mem" false (Base_partition.mem 1 p);
+        Alcotest.(check bool) "overlaps" true (Base_partition.overlaps p q);
+        Alcotest.(check bool) "disjoint" false (Base_partition.overlaps p r));
+    Alcotest.test_case "equal_modes ignores freq" `Quick (fun () ->
+        Alcotest.(check bool) "same" true
+          (Base_partition.equal_modes (bp [ 0; 4 ] 1) (bp [ 0; 4 ] 2)));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        let invalid f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"
+        in
+        invalid (fun () -> bp [] 1);
+        invalid (fun () -> bp [ 4; 0 ] 1);
+        invalid (fun () -> bp [ 0; 0 ] 1);
+        invalid (fun () -> bp [ 0 ] 0);
+        invalid (fun () -> bp [ 99 ] 1));
+    Alcotest.test_case "priority order: cardinality, freq, area" `Quick
+      (fun () ->
+        let smaller_card = bp [ 1 ] 1 and pair = bp [ 0; 4 ] 1 in
+        Alcotest.(check bool) "cardinality first" true
+          (Base_partition.compare_priority smaller_card pair < 0);
+        let low_freq = bp [ 1 ] 1 and high_freq = bp [ 4 ] 4 in
+        Alcotest.(check bool) "freq second" true
+          (Base_partition.compare_priority low_freq high_freq < 0);
+        (* A1 (100 clb) vs C1 (200 clb), both freq 2. *)
+        let small_area = bp [ 0 ] 2 and big_area = bp [ 5 ] 2 in
+        Alcotest.(check bool) "area third" true
+          (Base_partition.compare_priority small_area big_area < 0));
+    Alcotest.test_case "label uses paper-style names" `Quick (fun () ->
+        Alcotest.(check string) "label" "{A3, B2}"
+          (Base_partition.label example (bp [ 2; 4 ] 2))) ]
+
+let modes_set partitions =
+  List.map (fun (p : Base_partition.t) -> p.modes) partitions
+
+let table1_tests =
+  [ Alcotest.test_case "26 base partitions, 8+13+5 by size" `Quick (fun () ->
+        let partitions = Agglomerative.run example in
+        Alcotest.(check int) "total" 26 (List.length partitions);
+        let by_size n =
+          List.length
+            (List.filter (fun p -> Base_partition.cardinal p = n) partitions)
+        in
+        Alcotest.(check int) "singletons" 8 (by_size 1);
+        Alcotest.(check int) "pairs" 13 (by_size 2);
+        Alcotest.(check int) "triples" 5 (by_size 3));
+    Alcotest.test_case "frequency weights match Table I" `Quick (fun () ->
+        let partitions = Agglomerative.run example in
+        let freq modes =
+          match
+            List.find_opt
+              (fun (p : Base_partition.t) -> p.modes = modes)
+              partitions
+          with
+          | Some p -> p.Base_partition.freq
+          | None -> Alcotest.fail "missing base partition"
+        in
+        (* Singletons (paper: {A2}=1, {A1}=2, {B2}=4). *)
+        Alcotest.(check int) "{A2}" 1 (freq [ 1 ]);
+        Alcotest.(check int) "{A1}" 2 (freq [ 0 ]);
+        Alcotest.(check int) "{B2}" 4 (freq [ 4 ]);
+        (* Pairs (paper: {A3,B2}=2, {B2,C3}=2, {A1,B1}=1). *)
+        Alcotest.(check int) "{A3,B2}" 2 (freq [ 2; 4 ]);
+        Alcotest.(check int) "{B2,C3}" 2 (freq [ 4; 7 ]);
+        Alcotest.(check int) "{A1,B1}" 1 (freq [ 0; 3 ]);
+        (* Triples are the configurations, all weight 1. *)
+        Alcotest.(check int) "{A3,B2,C3}" 1 (freq [ 2; 4; 7 ]);
+        Alcotest.(check int) "{A1,B1,C1}" 1 (freq [ 0; 3; 5 ]));
+    Alcotest.test_case "unsupported cliques are excluded" `Quick (fun () ->
+        (* {A1,B2,C1} is a clique of the co-occurrence graph but occurs in
+           no configuration; the paper's Table I omits it. *)
+        let partitions = Agglomerative.run example in
+        Alcotest.(check bool) "no {A1,B2,C1}" false
+          (List.mem [ 0; 4; 5 ] (modes_set partitions)));
+    Alcotest.test_case "list is sorted by priority" `Quick (fun () ->
+        let partitions = Agglomerative.run example in
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+            Base_partition.compare_priority a b <= 0 && sorted rest
+          | [ _ ] | [] -> true
+        in
+        Alcotest.(check bool) "sorted" true (sorted partitions));
+    Alcotest.test_case "triples equal the configuration mode sets" `Quick
+      (fun () ->
+        let partitions = Agglomerative.run example in
+        let triples =
+          List.filter (fun p -> Base_partition.cardinal p = 3) partitions
+        in
+        let configs =
+          List.sort_uniq compare
+            (List.init (Design.configuration_count example)
+               (Design.config_mode_ids example))
+        in
+        Alcotest.(check (list (list int))) "same sets" configs
+          (List.sort compare (modes_set triples))) ]
+
+let min_edge_tests =
+  [ Alcotest.test_case "min-edge rule keeps unsupported cliques" `Quick
+      (fun () ->
+        let partitions = Agglomerative.run ~freq_rule:Min_edge example in
+        Alcotest.(check bool) "{A1,B2,C1} present" true
+          (List.mem [ 0; 4; 5 ] (modes_set partitions));
+        Alcotest.(check bool) "superset of support rule" true
+          (List.length partitions > 26));
+    Alcotest.test_case "min-edge weights: singletons use node weight" `Quick
+      (fun () ->
+        let partitions = Agglomerative.run ~freq_rule:Min_edge example in
+        match
+          List.find_opt
+            (fun (p : Base_partition.t) -> p.modes = [ 4 ])
+            partitions
+        with
+        | Some p -> Alcotest.(check int) "{B2}" 4 p.Base_partition.freq
+        | None -> Alcotest.fail "missing singleton") ]
+
+let other_design_tests =
+  [ Alcotest.test_case "montone example: only singletons and the two configs"
+      `Quick (fun () ->
+        (* No mode relations: base partitions are 5 singletons plus every
+           subset of the two disjoint configurations. *)
+        let d = Design_library.montone_example in
+        let partitions = Agglomerative.run d in
+        let sizes =
+          List.map Base_partition.cardinal partitions
+          |> List.sort_uniq Int.compare
+        in
+        Alcotest.(check (list int)) "sizes 1-3" [ 1; 2; 3 ] sizes;
+        (* Subsets: 5 singletons + C(2,2)=1 + (C(3,2)=3 + C(3,3)=1). *)
+        Alcotest.(check int) "count" 10 (List.length partitions));
+    Alcotest.test_case "receiver: unused None mode never clustered" `Quick
+      (fun () ->
+        let d = Design_library.video_receiver in
+        let partitions = Agglomerative.run d in
+        (* R.None has flat id 5. *)
+        Alcotest.(check bool) "no R4" true
+          (List.for_all
+             (fun (p : Base_partition.t) -> not (Base_partition.mem 5 p))
+             partitions));
+    Alcotest.test_case "trace covers all positive-weight links" `Quick
+      (fun () ->
+        let trace = Agglomerative.trace example in
+        Alcotest.(check int) "13 links" 13 (List.length trace);
+        (* Links are taken in descending edge-weight order. *)
+        let weights = List.map (fun ((_, _, w), _) -> w) trace in
+        let rec non_increasing = function
+          | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+          | [ _ ] | [] -> true
+        in
+        Alcotest.(check bool) "descending" true (non_increasing weights));
+    Alcotest.test_case "trace partitions union = run minus singletons" `Quick
+      (fun () ->
+        let from_trace =
+          List.concat_map snd (Agglomerative.trace example)
+          |> modes_set |> List.sort compare
+        in
+        let from_run =
+          Agglomerative.run example
+          |> List.filter (fun p -> Base_partition.cardinal p > 1)
+          |> modes_set |> List.sort compare
+        in
+        Alcotest.(check (list (list int))) "same" from_run from_trace) ]
+
+(* Properties over synthetic designs. *)
+let gen_design =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        Synth.Generator.generate
+          (Synth.Rng.make seed)
+          Synth.Generator.Logic_intensive ~index:seed)
+      (0 -- 10_000))
+
+let prop_every_partition_supported =
+  QCheck2.Test.make ~name:"every base partition occurs in some configuration"
+    ~count:100 gen_design (fun d ->
+      let matrix = Prgraph.Conn_matrix.make d in
+      List.for_all
+        (fun (p : Base_partition.t) ->
+          Prgraph.Conn_matrix.support matrix p.modes >= 1
+          && p.Base_partition.freq
+             = Prgraph.Conn_matrix.support matrix p.modes)
+        (Agglomerative.run d))
+
+let prop_singletons_cover_active_modes =
+  QCheck2.Test.make ~name:"singleton partitions = active modes" ~count:100
+    gen_design (fun d ->
+      let partitions = Agglomerative.run d in
+      let singles =
+        List.filter_map
+          (fun (p : Base_partition.t) ->
+            match p.modes with [ m ] -> Some m | _ -> None)
+          partitions
+        |> List.sort_uniq Int.compare
+      in
+      singles = Prgraph.Conn_matrix.active_modes (Prgraph.Conn_matrix.make d))
+
+let prop_partitions_within_modules_distinct =
+  QCheck2.Test.make
+    ~name:"no partition holds two modes of one module" ~count:100 gen_design
+    (fun d ->
+      List.for_all
+        (fun (p : Base_partition.t) ->
+          let owners = List.map (Design.module_of_mode d) p.modes in
+          List.length owners
+          = List.length (List.sort_uniq Int.compare owners))
+        (Agglomerative.run d))
+
+let () =
+  Alcotest.run "cluster"
+    [ ("base-partition", base_partition_tests);
+      ("table1", table1_tests);
+      ("min-edge", min_edge_tests);
+      ("other-designs", other_design_tests);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_every_partition_supported;
+            prop_singletons_cover_active_modes;
+            prop_partitions_within_modules_distinct ] ) ]

@@ -1,0 +1,441 @@
+(* Tests for the core extensions: the exact branch-and-bound allocator
+   and the transition-probability-weighted objective. *)
+
+module Design = Prdesign.Design
+module Design_library = Prdesign.Design_library
+module Base_partition = Cluster.Base_partition
+module Agglomerative = Cluster.Agglomerative
+module Scheme = Prcore.Scheme
+module Cost = Prcore.Cost
+module Allocator = Prcore.Allocator
+module Engine = Prcore.Engine
+module Resource = Fpga.Resource
+
+let example = Design_library.running_example
+let partitions = Agglomerative.run example
+let res ?bram ?dsp clb = Resource.make ?bram ?dsp clb
+let big_budget = res 100_000 ~bram:1_000 ~dsp:1_000
+
+
+let exact_tests =
+  [ Alcotest.test_case "exact matches greedy when greedy is optimal" `Quick
+      (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        let budget = res 100_000 ~bram:1_000 ~dsp:1_000 in
+        let exact = Prcore.Exact.allocate ~budget example singles in
+        (match exact.Prcore.Exact.scheme with
+         | Some s ->
+           Alcotest.(check int) "zero time" 0
+             (Cost.evaluate s).Cost.total_frames
+         | None -> Alcotest.fail "expected a scheme");
+        Alcotest.(check bool) "optimal" true exact.Prcore.Exact.optimal);
+    Alcotest.test_case "exact is never worse than greedy" `Quick (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        List.iter
+          (fun budget ->
+            let greedy = Allocator.allocate ~budget example singles in
+            let exact = Prcore.Exact.allocate ~budget example singles in
+            match (greedy, exact.Prcore.Exact.scheme) with
+            | Some g, Some e ->
+              Alcotest.(check bool) "exact <= greedy" true
+                ((Cost.evaluate e).Cost.total_frames
+                 <= (Cost.evaluate g).Cost.total_frames)
+            | None, None -> ()
+            | None, Some _ -> () (* exact may find what greedy misses *)
+            | Some _, None ->
+              Alcotest.fail "exact missed a feasible allocation")
+          [ res 1900 ~bram:24 ~dsp:40;
+            res 1400 ~bram:16 ~dsp:32;
+            res 1200 ~bram:12 ~dsp:24 ]);
+    Alcotest.test_case "exact agrees on infeasibility" `Quick (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        let exact =
+          Prcore.Exact.allocate ~budget:(res 100) example singles
+        in
+        Alcotest.(check bool) "none" true (exact.Prcore.Exact.scheme = None);
+        Alcotest.(check bool) "optimal (exhausted space)" true
+          exact.Prcore.Exact.optimal);
+    Alcotest.test_case "state cap reports non-optimal" `Quick (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        let exact =
+          Prcore.Exact.allocate ~max_states:10
+            ~budget:(res 100_000 ~bram:1_000 ~dsp:1_000) example singles
+        in
+        Alcotest.(check bool) "truncated" false exact.Prcore.Exact.optimal);
+    Alcotest.test_case "promotion disabled in exact too" `Quick (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        let exact =
+          Prcore.Exact.allocate ~promote_static:false
+            ~budget:(res 1400 ~bram:16 ~dsp:32) example singles
+        in
+        match exact.Prcore.Exact.scheme with
+        | Some s ->
+          Alcotest.(check (list int)) "no statics" [] (Scheme.static_members s)
+        | None -> Alcotest.fail "expected a scheme");
+    Alcotest.test_case "empty candidate set" `Quick (fun () ->
+        let exact =
+          Prcore.Exact.allocate ~budget:(res 1000) example []
+        in
+        Alcotest.(check bool) "none" true (exact.Prcore.Exact.scheme = None))
+  ]
+
+let weighted_tests =
+  [ Alcotest.test_case "weighted_total with unit upper weights = total" `Quick
+      (fun () ->
+        let s = Scheme.one_module_per_region example in
+        let configs = Design.configuration_count example in
+        let weights =
+          Array.init configs (fun i ->
+              Array.init configs (fun j -> if i < j then 1. else 0.))
+        in
+        Alcotest.(check (float 1e-6)) "equal"
+          (float_of_int (Cost.evaluate s).Cost.total_frames)
+          (Cost.weighted_total s ~weights));
+    Alcotest.test_case "weighted_total rejects shape mismatch" `Quick
+      (fun () ->
+        let s = Scheme.one_module_per_region example in
+        match Cost.weighted_total s ~weights:[| [| 1. |] |] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "engine rejects mismatched weight matrix" `Quick
+      (fun () ->
+        let options =
+          { Engine.default_options with
+            objective = Engine.Weighted [| [| 0. |] |] }
+        in
+        match
+          Engine.solve ~options ~target:(Engine.Budget big_budget) example
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "weighted objective never worse under its own metric"
+      `Quick (fun () ->
+        let configs = Design.configuration_count example in
+        let rng = Synth.Rng.make 21 in
+        let chain =
+          Runtime.Markov.random
+            ~rand:(fun () -> Synth.Rng.float rng)
+            ~configs ()
+        in
+        let weights = Runtime.Markov.edge_rates chain in
+        List.iter
+          (fun budget ->
+            let solve objective =
+              match
+                Engine.solve
+                  ~options:{ Engine.default_options with objective }
+                  ~target:(Engine.Budget budget) example
+              with
+              | Ok o -> o.Engine.scheme
+              | Error m -> Alcotest.fail m
+            in
+            let value s = Cost.weighted_total s ~weights in
+            Alcotest.(check bool) "weighted <= uniform under weights" true
+              (value (solve (Engine.Weighted weights))
+               <= value (solve Engine.Total_frames) +. 1e-9))
+          [ res 1400 ~bram:16 ~dsp:32; res 1900 ~bram:24 ~dsp:40 ]) ]
+
+
+let scheme_xml_tests =
+  [ Alcotest.test_case "round trip preserves structure and cost" `Quick
+      (fun () ->
+        let design = Design_library.video_receiver in
+        let scheme =
+          match
+            Engine.solve
+              ~target:(Engine.Budget Design_library.case_study_budget) design
+          with
+          | Ok o -> o.Engine.scheme
+          | Error m -> Alcotest.fail m
+        in
+        let reloaded =
+          Prcore.Scheme_xml.of_string design (Prcore.Scheme_xml.to_string scheme)
+        in
+        Alcotest.(check int) "regions" scheme.Scheme.region_count
+          reloaded.Scheme.region_count;
+        Alcotest.(check (list int)) "statics"
+          (Scheme.static_members scheme)
+          (Scheme.static_members reloaded);
+        Alcotest.(check int) "same total"
+          (Cost.evaluate scheme).Cost.total_frames
+          (Cost.evaluate reloaded).Cost.total_frames);
+    Alcotest.test_case "reference schemes round trip" `Quick (fun () ->
+        List.iter
+          (fun scheme ->
+            let reloaded =
+              Prcore.Scheme_xml.of_string example
+                (Prcore.Scheme_xml.to_string scheme)
+            in
+            Alcotest.(check int) "total"
+              (Cost.evaluate scheme).Cost.total_frames
+              (Cost.evaluate reloaded).Cost.total_frames)
+          [ Scheme.single_region example;
+            Scheme.one_module_per_region example;
+            Scheme.fully_static example ]);
+    Alcotest.test_case "wrong design rejected" `Quick (fun () ->
+        let scheme = Scheme.one_module_per_region example in
+        let xml = Prcore.Scheme_xml.to_string scheme in
+        match Prcore.Scheme_xml.of_string Design_library.video_receiver xml with
+        | exception Prcore.Scheme_xml.Malformed _ -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+    Alcotest.test_case "unknown mode rejected" `Quick (fun () ->
+        match
+          Prcore.Scheme_xml.of_string example
+            {|<scheme design="running-example">
+                <partition freq="1" placement="region:0">
+                  <mode name="Z.nope"/>
+                </partition>
+              </scheme>|}
+        with
+        | exception Prcore.Scheme_xml.Malformed _ -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+    Alcotest.test_case "invalid placement string rejected" `Quick (fun () ->
+        match
+          Prcore.Scheme_xml.of_string example
+            {|<scheme design="running-example">
+                <partition freq="1" placement="attic">
+                  <mode name="A.A1"/>
+                </partition>
+              </scheme>|}
+        with
+        | exception Prcore.Scheme_xml.Malformed _ -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+    Alcotest.test_case "incomplete scheme rejected by revalidation" `Quick
+      (fun () ->
+        match
+          Prcore.Scheme_xml.of_string example
+            {|<scheme design="running-example">
+                <partition freq="2" placement="region:0">
+                  <mode name="A.A1"/>
+                </partition>
+              </scheme>|}
+        with
+        | exception Prcore.Scheme_xml.Malformed _ -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+    Alcotest.test_case "file round trip" `Quick (fun () ->
+        let path = Filename.temp_file "scheme" ".xml" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let scheme = Scheme.one_module_per_region example in
+            Prcore.Scheme_xml.save_file path scheme;
+            let reloaded = Prcore.Scheme_xml.load_file example path in
+            Alcotest.(check int) "regions" scheme.Scheme.region_count
+              reloaded.Scheme.region_count)) ]
+
+module Design_space = Prcore.Design_space
+
+let design_space_tests =
+  [ Alcotest.test_case "scaled budgets span lower to upper bound" `Quick
+      (fun () ->
+        let budgets = Design_space.scaled_budgets ~steps:5 example in
+        Alcotest.(check int) "count" 5 (List.length budgets);
+        let first = List.hd budgets in
+        let last = List.nth budgets 4 in
+        Alcotest.(check bool) "lower bound" true
+          (Resource.equal first
+             (Resource.add
+                (Fpga.Tile.quantize (Design.min_region_requirement example))
+                example.Design.static_overhead));
+        Alcotest.(check bool) "upper bound" true
+          (Resource.equal last (Design.static_requirement example)));
+    Alcotest.test_case "budgets are monotone" `Quick (fun () ->
+        let budgets = Design_space.scaled_budgets ~steps:7 example in
+        let rec monotone = function
+          | a :: (b :: _ as rest) ->
+            Resource.fits a ~within:b && monotone rest
+          | [ _ ] | [] -> true
+        in
+        Alcotest.(check bool) "ascending" true (monotone budgets));
+    Alcotest.test_case "sweep: time non-increasing along the sweep" `Quick
+      (fun () ->
+        let budgets = Design_space.scaled_budgets ~steps:6 example in
+        let results = Design_space.sweep example ~budgets in
+        let totals =
+          List.filter_map
+            (fun (_, p) ->
+              Option.map (fun (p : Design_space.point) -> p.total_frames) p)
+            results
+        in
+        let rec non_increasing = function
+          | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+          | [ _ ] | [] -> true
+        in
+        Alcotest.(check bool) "monotone" true (non_increasing totals));
+    Alcotest.test_case "upper bound reaches zero reconfiguration" `Quick
+      (fun () ->
+        let budgets = Design_space.scaled_budgets ~steps:4 example in
+        let results = Design_space.sweep example ~budgets in
+        match List.rev results with
+        | (_, Some p) :: _ ->
+          Alcotest.(check int) "static endpoint" 0 p.Design_space.total_frames
+        | _ -> Alcotest.fail "upper bound should be feasible");
+    Alcotest.test_case "frontier is strictly improving" `Quick (fun () ->
+        let budgets = Design_space.scaled_budgets ~steps:8 example in
+        let feasible =
+          List.filter_map snd (Design_space.sweep example ~budgets)
+        in
+        let frontier = Design_space.frontier feasible in
+        let rec strict = function
+          | (a : Design_space.point) :: (b :: _ as rest) ->
+            a.used_frames < b.used_frames
+            && a.total_frames > b.total_frames
+            && strict rest
+          | [ _ ] | [] -> true
+        in
+        Alcotest.(check bool) "pareto" true (strict frontier);
+        Alcotest.(check bool) "non-empty" true (frontier <> []));
+    Alcotest.test_case "suggest_device finds the smallest" `Quick (fun () ->
+        match Design_space.suggest_device example with
+        | Some device ->
+          (* The running example is tiny: the smallest sweep device works. *)
+          Alcotest.(check string) "lx20t" "LX20T" device.Fpga.Device.short
+        | None -> Alcotest.fail "expected a device");
+    Alcotest.test_case "render marks infeasible budgets" `Quick (fun () ->
+        let results =
+          Design_space.sweep example ~budgets:[ Resource.make 10 ]
+        in
+        let rendered = Design_space.render results in
+        Alcotest.(check bool) "infeasible" true
+          (let rec contains i =
+             i + 10 <= String.length rendered
+             && (String.sub rendered i 10 = "infeasible" || contains (i + 1))
+           in
+           contains 0)) ]
+
+
+let anneal_tests =
+  [ Alcotest.test_case "anneal matches the exact optimum on the example"
+      `Quick (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        let budget = res 1400 ~bram:16 ~dsp:32 in
+        let exact = Prcore.Exact.allocate ~budget example singles in
+        match (Prcore.Anneal.allocate ~budget example singles, exact.scheme)
+        with
+        | Some a, Some e ->
+          Alcotest.(check int) "optimal"
+            (Cost.evaluate e).Cost.total_frames
+            (Cost.evaluate a).Cost.total_frames
+        | _ -> Alcotest.fail "expected schemes from both");
+    Alcotest.test_case "anneal is deterministic in its seed" `Quick (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        let budget = res 1400 ~bram:16 ~dsp:32 in
+        let run () =
+          match Prcore.Anneal.allocate ~budget example singles with
+          | Some s -> (Cost.evaluate s).Cost.total_frames
+          | None -> -1
+        in
+        Alcotest.(check int) "same result" (run ()) (run ()));
+    Alcotest.test_case "anneal result always fits the budget" `Quick
+      (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        List.iter
+          (fun budget ->
+            match Prcore.Anneal.allocate ~budget example singles with
+            | Some s ->
+              Alcotest.(check bool) "fits" true
+                (Cost.fits (Cost.evaluate s) ~budget)
+            | None -> ())
+          [ res 1200 ~bram:12 ~dsp:24; res 1900 ~bram:24 ~dsp:40 ]);
+    Alcotest.test_case "anneal returns None on impossible budgets" `Quick
+      (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        Alcotest.(check bool) "none" true
+          (Prcore.Anneal.allocate ~budget:(res 100) example singles = None));
+    Alcotest.test_case "promote_static=false keeps statics empty" `Quick
+      (fun () ->
+        let singles =
+          List.filter (fun p -> Base_partition.cardinal p = 1) partitions
+        in
+        let options =
+          { Prcore.Anneal.default_options with promote_static = false }
+        in
+        match
+          Prcore.Anneal.allocate ~options ~budget:(res 1400 ~bram:16 ~dsp:32)
+            example singles
+        with
+        | Some s ->
+          Alcotest.(check (list int)) "no statics" [] (Scheme.static_members s)
+        | None -> Alcotest.fail "expected a scheme") ]
+
+let worst_limit_tests =
+  [ Alcotest.test_case "generous limit changes nothing" `Quick (fun () ->
+        let budget = res 1400 ~bram:16 ~dsp:32 in
+        let base =
+          match Engine.solve ~target:(Engine.Budget budget) example with
+          | Ok o -> o.Engine.evaluation.Cost.total_frames
+          | Error m -> Alcotest.fail m
+        in
+        let options =
+          { Engine.default_options with worst_limit = Some 1_000_000 }
+        in
+        match Engine.solve ~options ~target:(Engine.Budget budget) example with
+        | Ok o ->
+          Alcotest.(check int) "same" base o.Engine.evaluation.Cost.total_frames
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "scheme always honours the limit" `Quick (fun () ->
+        let budget = res 1400 ~bram:16 ~dsp:32 in
+        let options = { Engine.default_options with worst_limit = Some 800 } in
+        match Engine.solve ~options ~target:(Engine.Budget budget) example with
+        | Ok o ->
+          Alcotest.(check bool) "respected" true
+            (o.Engine.evaluation.Cost.worst_frames <= 800)
+        | Error _ -> () (* no admissible scheme is a legal outcome *));
+    Alcotest.test_case "impossible limit is a clean error" `Quick (fun () ->
+        (* Tight budget forces reconfiguration, so worst cannot be zero. *)
+        let budget = res 900 ~bram:8 ~dsp:16 in
+        let options = { Engine.default_options with worst_limit = Some 0 } in
+        match Engine.solve ~options ~target:(Engine.Budget budget) example with
+        | Error _ -> ()
+        | Ok o ->
+          (* Only acceptable if the design genuinely fits statically. *)
+          Alcotest.(check int) "zero worst" 0
+            o.Engine.evaluation.Cost.worst_frames);
+    Alcotest.test_case "limit can force a different trade-off" `Quick
+      (fun () ->
+        (* Without a limit the engine minimises total; with a tight worst
+           limit it must pick a scheme whose worst case is smaller, even
+           at a higher total. *)
+        let budget = res 1200 ~bram:12 ~dsp:24 in
+        let unconstrained =
+          match Engine.solve ~target:(Engine.Budget budget) example with
+          | Ok o -> o.Engine.evaluation
+          | Error m -> Alcotest.fail m
+        in
+        let limit = unconstrained.Cost.worst_frames - 1 in
+        let options = { Engine.default_options with worst_limit = Some limit } in
+        match Engine.solve ~options ~target:(Engine.Budget budget) example with
+        | Ok o ->
+          Alcotest.(check bool) "tighter worst" true
+            (o.Engine.evaluation.Cost.worst_frames <= limit);
+          Alcotest.(check bool) "total not better" true
+            (o.Engine.evaluation.Cost.total_frames
+             >= unconstrained.Cost.total_frames)
+        | Error _ -> () (* may genuinely be unachievable *)) ]
+
+let () =
+  Alcotest.run "core-extensions"
+    [ ("exact", exact_tests);
+      ("weighted", weighted_tests);
+      ("scheme-xml", scheme_xml_tests);
+      ("design-space", design_space_tests);
+      ("anneal", anneal_tests);
+      ("worst-limit", worst_limit_tests) ]

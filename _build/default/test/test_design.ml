@@ -1,0 +1,526 @@
+(* Tests for the design model: modes, modules, configurations, design
+   validation, flat mode ids, aggregate areas, XML round-trips and the
+   built-in paper designs. *)
+
+module Resource = Fpga.Resource
+module Mode = Prdesign.Mode
+module Pmodule = Prdesign.Pmodule
+module Configuration = Prdesign.Configuration
+module Design = Prdesign.Design
+module Design_xml = Prdesign.Design_xml
+module Design_library = Prdesign.Design_library
+
+let res ?bram ?dsp clb = Resource.make ?bram ?dsp clb
+let resource_eq = Alcotest.testable Resource.pp Resource.equal
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || scan (i + 1)
+  in
+  scan 0
+
+let mode_tests =
+  [ Alcotest.test_case "make stores fields" `Quick (fun () ->
+        let m = Mode.make "fast" (res 10 ~dsp:2) in
+        Alcotest.(check string) "name" "fast" m.Mode.name;
+        Alcotest.check resource_eq "resources" (res 10 ~dsp:2) m.Mode.resources);
+    Alcotest.test_case "empty name rejected" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Mode.make: empty name")
+          (fun () -> ignore (Mode.make "" (res 1))));
+    Alcotest.test_case "equal compares both fields" `Quick (fun () ->
+        let a = Mode.make "x" (res 1) in
+        Alcotest.(check bool) "same" true (Mode.equal a (Mode.make "x" (res 1)));
+        Alcotest.(check bool) "different resources" false
+          (Mode.equal a (Mode.make "x" (res 2)));
+        Alcotest.(check bool) "different name" false
+          (Mode.equal a (Mode.make "y" (res 1)))) ]
+
+let pmodule_tests =
+  [ Alcotest.test_case "largest_mode is per component" `Quick (fun () ->
+        let m =
+          Pmodule.make "M"
+            [ Mode.make "a" (res 10 ~bram:5); Mode.make "b" (res 20 ~dsp:7) ]
+        in
+        Alcotest.check resource_eq "max" (res 20 ~bram:5 ~dsp:7)
+          (Pmodule.largest_mode m));
+    Alcotest.test_case "modes_total sums" `Quick (fun () ->
+        let m =
+          Pmodule.make "M" [ Mode.make "a" (res 10); Mode.make "b" (res 20) ]
+        in
+        Alcotest.check resource_eq "sum" (res 30) (Pmodule.modes_total m));
+    Alcotest.test_case "find_mode" `Quick (fun () ->
+        let m =
+          Pmodule.make "M" [ Mode.make "a" (res 1); Mode.make "b" (res 2) ]
+        in
+        Alcotest.(check (option int)) "b" (Some 1) (Pmodule.find_mode m "b");
+        Alcotest.(check (option int)) "missing" None (Pmodule.find_mode m "z"));
+    Alcotest.test_case "empty modes rejected" `Quick (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Pmodule.make: a module needs >= 1 mode")
+          (fun () -> ignore (Pmodule.make "M" [])));
+    Alcotest.test_case "duplicate mode names rejected" `Quick (fun () ->
+        match Pmodule.make "M" [ Mode.make "a" (res 1); Mode.make "a" (res 2) ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument") ]
+
+let configuration_tests =
+  [ Alcotest.test_case "choices sorted by module" `Quick (fun () ->
+        let c = Configuration.make "c" [ (2, 0); (0, 1) ] in
+        Alcotest.(check (list (pair int int))) "sorted" [ (0, 1); (2, 0) ]
+          c.Configuration.choices);
+    Alcotest.test_case "duplicate module rejected" `Quick (fun () ->
+        match Configuration.make "c" [ (0, 0); (0, 1) ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "empty rejected" `Quick (fun () ->
+        match Configuration.make "c" [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "negative index rejected" `Quick (fun () ->
+        match Configuration.make "c" [ (-1, 0) ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "mode_of_module and modules_used" `Quick (fun () ->
+        let c = Configuration.make "c" [ (0, 1); (3, 2) ] in
+        Alcotest.(check (option int)) "module 0" (Some 1)
+          (Configuration.mode_of_module c 0);
+        Alcotest.(check (option int)) "absent module" None
+          (Configuration.mode_of_module c 1);
+        Alcotest.(check (list int)) "used" [ 0; 3 ]
+          (Configuration.modules_used c);
+        Alcotest.(check int) "cardinal" 2 (Configuration.cardinal c)) ]
+
+(* A small two-module design used in many tests below. *)
+let small_design () =
+  Design.create_exn ~name:"small"
+    ~modules:
+      [ Pmodule.make "A" [ Mode.make "a1" (res 100); Mode.make "a2" (res 400 ~bram:2) ];
+        Pmodule.make "B" [ Mode.make "b1" (res 350 ~dsp:6); Mode.make "b2" (res 120) ] ]
+    ~configurations:
+      [ Configuration.make "c1" [ (0, 0); (1, 0) ];
+        Configuration.make "c2" [ (0, 1); (1, 1) ];
+        Configuration.make "c3" [ (0, 0); (1, 1) ] ]
+    ()
+
+let design_validation_tests =
+  [ Alcotest.test_case "valid design accepted" `Quick (fun () ->
+        let d = small_design () in
+        Alcotest.(check int) "modules" 2 (Design.module_count d);
+        Alcotest.(check int) "modes" 4 (Design.mode_count d);
+        Alcotest.(check int) "configs" 3 (Design.configuration_count d));
+    Alcotest.test_case "unused mode rejected by default" `Quick (fun () ->
+        let result =
+          Design.create ~name:"bad"
+            ~modules:
+              [ Pmodule.make "A"
+                  [ Mode.make "a1" (res 1); Mode.make "a2" (res 2) ] ]
+            ~configurations:[ Configuration.make "c" [ (0, 0) ] ]
+            ()
+        in
+        match result with
+        | Error issues ->
+          Alcotest.(check bool) "mentions mode" true
+            (List.exists (fun s -> contains s "never used") issues)
+        | Ok _ -> Alcotest.fail "expected validation failure");
+    Alcotest.test_case "unused mode allowed with flag" `Quick (fun () ->
+        let result =
+          Design.create ~allow_unused_modes:true ~name:"ok"
+            ~modules:
+              [ Pmodule.make "A"
+                  [ Mode.make "a1" (res 1); Mode.make "a2" (res 2) ] ]
+            ~configurations:[ Configuration.make "c" [ (0, 0) ] ]
+            ()
+        in
+        Alcotest.(check bool) "accepted" true (Result.is_ok result));
+    Alcotest.test_case "out-of-range module reference" `Quick (fun () ->
+        let result =
+          Design.create ~name:"bad"
+            ~modules:[ Pmodule.make "A" [ Mode.make "a1" (res 1) ] ]
+            ~configurations:[ Configuration.make "c" [ (5, 0) ] ]
+            ()
+        in
+        Alcotest.(check bool) "rejected" true (Result.is_error result));
+    Alcotest.test_case "out-of-range mode reference" `Quick (fun () ->
+        let result =
+          Design.create ~name:"bad"
+            ~modules:[ Pmodule.make "A" [ Mode.make "a1" (res 1) ] ]
+            ~configurations:[ Configuration.make "c" [ (0, 3) ] ]
+            ()
+        in
+        Alcotest.(check bool) "rejected" true (Result.is_error result));
+    Alcotest.test_case "duplicate module names rejected" `Quick (fun () ->
+        let result =
+          Design.create ~name:"bad"
+            ~modules:
+              [ Pmodule.make "A" [ Mode.make "a1" (res 1) ];
+                Pmodule.make "A" [ Mode.make "a1" (res 1) ] ]
+            ~configurations:
+              [ Configuration.make "c" [ (0, 0); (1, 0) ] ]
+            ()
+        in
+        Alcotest.(check bool) "rejected" true (Result.is_error result));
+    Alcotest.test_case "duplicate configuration names rejected" `Quick
+      (fun () ->
+        let result =
+          Design.create ~name:"bad"
+            ~modules:[ Pmodule.make "A" [ Mode.make "a1" (res 1) ] ]
+            ~configurations:
+              [ Configuration.make "c" [ (0, 0) ];
+                Configuration.make "c" [ (0, 0) ] ]
+            ()
+        in
+        Alcotest.(check bool) "rejected" true (Result.is_error result));
+    Alcotest.test_case "no configurations rejected" `Quick (fun () ->
+        let result =
+          Design.create ~name:"bad"
+            ~modules:[ Pmodule.make "A" [ Mode.make "a1" (res 1) ] ]
+            ~configurations:[] ()
+        in
+        Alcotest.(check bool) "rejected" true (Result.is_error result));
+    Alcotest.test_case "all issues reported at once" `Quick (fun () ->
+        let result =
+          Design.create ~name:""
+            ~modules:[ Pmodule.make "A" [ Mode.make "a1" (res 1) ] ]
+            ~configurations:[ Configuration.make "c" [ (7, 0) ] ]
+            ()
+        in
+        match result with
+        | Error issues ->
+          Alcotest.(check bool) ">= 2 issues" true (List.length issues >= 2)
+        | Ok _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "create_exn raises with message" `Quick (fun () ->
+        match
+          Design.create_exn ~name:"bad"
+            ~modules:[ Pmodule.make "A" [ Mode.make "a1" (res 1) ] ]
+            ~configurations:[ Configuration.make "c" [ (9, 9) ] ]
+            ()
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument") ]
+
+let mode_id_tests =
+  [ Alcotest.test_case "ids are module-major" `Quick (fun () ->
+        let d = small_design () in
+        Alcotest.(check int) "A.a1" 0 (Design.mode_id d ~module_idx:0 ~mode_idx:0);
+        Alcotest.(check int) "A.a2" 1 (Design.mode_id d ~module_idx:0 ~mode_idx:1);
+        Alcotest.(check int) "B.b1" 2 (Design.mode_id d ~module_idx:1 ~mode_idx:0));
+    Alcotest.test_case "round trip id <-> (module, mode)" `Quick (fun () ->
+        let d = small_design () in
+        List.iter
+          (fun id ->
+            let m = Design.module_of_mode d id in
+            let k = Design.mode_idx_of_mode d id in
+            Alcotest.(check int) "round trip" id
+              (Design.mode_id d ~module_idx:m ~mode_idx:k))
+          (Design.all_mode_ids d));
+    Alcotest.test_case "out-of-range rejected" `Quick (fun () ->
+        let d = small_design () in
+        (match Design.mode_id d ~module_idx:9 ~mode_idx:0 with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "module range");
+        match Design.module_of_mode d 99 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "mode range");
+    Alcotest.test_case "labels use 1-based ordinals" `Quick (fun () ->
+        let d = small_design () in
+        Alcotest.(check string) "A1" "A1" (Design.mode_label d 0);
+        Alcotest.(check string) "B2" "B2" (Design.mode_label d 3);
+        Alcotest.(check string) "qualified" "A.a2" (Design.mode_name d 1));
+    Alcotest.test_case "config_mode_ids sorted" `Quick (fun () ->
+        let d = small_design () in
+        Alcotest.(check (list int)) "c2" [ 1; 3 ] (Design.config_mode_ids d 1));
+    Alcotest.test_case "mode_resources" `Quick (fun () ->
+        let d = small_design () in
+        Alcotest.check resource_eq "a2" (res 400 ~bram:2)
+          (Design.mode_resources d 1)) ]
+
+let aggregate_tests =
+  [ Alcotest.test_case "config_resources sums modes" `Quick (fun () ->
+        let d = small_design () in
+        Alcotest.check resource_eq "c1" (res 450 ~dsp:6)
+          (Design.config_resources d 0));
+    Alcotest.test_case "min_region_requirement is per-component max" `Quick
+      (fun () ->
+        let d = small_design () in
+        (* c1 = 450 clb + 6 dsp; c2 = 520 clb + 2 bram; c3 = 220 clb. *)
+        Alcotest.check resource_eq "max" (res 520 ~bram:2 ~dsp:6)
+          (Design.min_region_requirement d));
+    Alcotest.test_case "modular_requirement sums largest modes" `Quick
+      (fun () ->
+        let d = small_design () in
+        Alcotest.check resource_eq "sum"
+          (res 750 ~bram:2 ~dsp:6)
+          (Design.modular_requirement d));
+    Alcotest.test_case "static_requirement sums everything" `Quick (fun () ->
+        let d = small_design () in
+        Alcotest.check resource_eq "sum"
+          (res 970 ~bram:2 ~dsp:6)
+          (Design.static_requirement d));
+    Alcotest.test_case "static overhead stored" `Quick (fun () ->
+        let d =
+          Design.create_exn ~static_overhead:(res 90 ~bram:8) ~name:"s"
+            ~modules:[ Pmodule.make "A" [ Mode.make "a" (res 1) ] ]
+            ~configurations:[ Configuration.make "c" [ (0, 0) ] ]
+            ()
+        in
+        Alcotest.check resource_eq "overhead" (res 90 ~bram:8)
+          d.Design.static_overhead) ]
+
+let xml_tests =
+  [ Alcotest.test_case "round trip small design" `Quick (fun () ->
+        let d = small_design () in
+        let d' = Design_xml.load_string (Design_xml.to_string d) in
+        Alcotest.(check string) "name" d.Design.name d'.Design.name;
+        Alcotest.(check int) "modes" (Design.mode_count d) (Design.mode_count d');
+        Alcotest.(check int) "configs"
+          (Design.configuration_count d)
+          (Design.configuration_count d');
+        List.iter
+          (fun id ->
+            Alcotest.check resource_eq "mode resources"
+              (Design.mode_resources d id)
+              (Design.mode_resources d' id))
+          (Design.all_mode_ids d));
+    Alcotest.test_case "round trip with static overhead" `Quick (fun () ->
+        let d =
+          Design.create_exn ~static_overhead:(res 90 ~bram:8) ~name:"s"
+            ~modules:[ Pmodule.make "A" [ Mode.make "a" (res 1) ] ]
+            ~configurations:[ Configuration.make "c" [ (0, 0) ] ]
+            ()
+        in
+        let d' = Design_xml.load_string (Design_xml.to_string d) in
+        Alcotest.check resource_eq "overhead" (res 90 ~bram:8)
+          d'.Design.static_overhead);
+    Alcotest.test_case "parse hand-written xml" `Quick (fun () ->
+        let d =
+          Design_xml.load_string
+            {|<design name="demo">
+                <module name="F">
+                  <mode name="lp" clb="10" dsp="2"/>
+                  <mode name="hp" clb="20"/>
+                </module>
+                <configurations>
+                  <configuration name="c1"><use module="F" mode="lp"/></configuration>
+                  <configuration name="c2"><use module="F" mode="hp"/></configuration>
+                </configurations>
+              </design>|}
+        in
+        Alcotest.(check int) "modes" 2 (Design.mode_count d);
+        Alcotest.check resource_eq "lp" (res 10 ~dsp:2) (Design.mode_resources d 0));
+    Alcotest.test_case "unknown module in configuration" `Quick (fun () ->
+        match
+          Design_xml.load_string
+            {|<design name="demo">
+                <module name="F"><mode name="m" clb="1"/></module>
+                <configurations>
+                  <configuration name="c"><use module="G" mode="m"/></configuration>
+                </configurations>
+              </design>|}
+        with
+        | exception Design_xml.Malformed _ -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+    Alcotest.test_case "unknown mode in configuration" `Quick (fun () ->
+        match
+          Design_xml.load_string
+            {|<design name="demo">
+                <module name="F"><mode name="m" clb="1"/></module>
+                <configurations>
+                  <configuration name="c"><use module="F" mode="zz"/></configuration>
+                </configurations>
+              </design>|}
+        with
+        | exception Design_xml.Malformed _ -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+    Alcotest.test_case "missing configurations element" `Quick (fun () ->
+        match
+          Design_xml.load_string
+            {|<design name="demo"><module name="F"><mode name="m" clb="1"/></module></design>|}
+        with
+        | exception Design_xml.Malformed _ -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+    Alcotest.test_case "non-integer resource rejected" `Quick (fun () ->
+        match
+          Design_xml.load_string
+            {|<design name="demo">
+                <module name="F"><mode name="m" clb="lots"/></module>
+                <configurations>
+                  <configuration name="c"><use module="F" mode="m"/></configuration>
+                </configurations>
+              </design>|}
+        with
+        | exception Design_xml.Malformed _ -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+    Alcotest.test_case "wrong root element" `Quick (fun () ->
+        match Design_xml.load_string "<thing/>" with
+        | exception Design_xml.Malformed _ -> ()
+        | _ -> Alcotest.fail "expected Malformed");
+    Alcotest.test_case "file round trip" `Quick (fun () ->
+        let path = Filename.temp_file "design" ".xml" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Design_xml.save_file path (small_design ());
+            let d = Design_xml.load_file path in
+            Alcotest.(check string) "name" "small" d.Design.name)) ]
+
+let library_tests =
+  [ Alcotest.test_case "running example shape" `Quick (fun () ->
+        let d = Design_library.running_example in
+        Alcotest.(check int) "modules" 3 (Design.module_count d);
+        Alcotest.(check int) "modes" 8 (Design.mode_count d);
+        Alcotest.(check int) "configs" 5 (Design.configuration_count d));
+    Alcotest.test_case "video receiver matches Table II" `Quick (fun () ->
+        let d = Design_library.video_receiver in
+        Alcotest.(check int) "modules" 5 (Design.module_count d);
+        Alcotest.(check int) "modes" 14 (Design.mode_count d);
+        Alcotest.(check int) "configs" 8 (Design.configuration_count d);
+        (* Spot-check Table II rows. *)
+        let by_name name =
+          let rec find = function
+            | [] -> Alcotest.fail ("missing mode " ^ name)
+            | id :: rest ->
+              if Design.mode_name d id = name then Design.mode_resources d id
+              else find rest
+          in
+          find (Design.all_mode_ids d)
+        in
+        Alcotest.check resource_eq "Filter1" (res 818 ~dsp:28) (by_name "F.Filter1");
+        Alcotest.check resource_eq "Turbo" (res 748 ~bram:15 ~dsp:4) (by_name "D.Turbo");
+        Alcotest.check resource_eq "MPEG4" (res 4700 ~bram:40 ~dsp:65) (by_name "V.MPEG4");
+        Alcotest.check resource_eq "None" (res 0) (by_name "R.None"));
+    Alcotest.test_case "alt receiver has 5 configurations" `Quick (fun () ->
+        Alcotest.(check int) "configs" 5
+          (Design.configuration_count Design_library.video_receiver_alt));
+    Alcotest.test_case "montone example is single-mode modules" `Quick
+      (fun () ->
+        let d = Design_library.montone_example in
+        Alcotest.(check int) "modules" 5 (Design.module_count d);
+        Alcotest.(check int) "modes" 5 (Design.mode_count d);
+        Array.iter
+          (fun m -> Alcotest.(check int) "one mode" 1 (Pmodule.mode_count m))
+          d.Design.modules);
+    Alcotest.test_case "find built-ins" `Quick (fun () ->
+        Alcotest.(check bool) "receiver" true
+          (Design_library.find "video-receiver" <> None);
+        Alcotest.(check bool) "missing" true (Design_library.find "nope" = None));
+    Alcotest.test_case "library designs export to xml and back" `Quick
+      (fun () ->
+        List.iter
+          (fun (_, d) ->
+            (* The receiver designs have an unused mode, which re-import
+               validates strictly; skip those two. *)
+            if
+              d.Design.name <> "video-receiver"
+              && d.Design.name <> "video-receiver-alt"
+            then begin
+              let d' = Design_xml.load_string (Design_xml.to_string d) in
+              Alcotest.(check int) "modes" (Design.mode_count d)
+                (Design.mode_count d')
+            end)
+          Design_library.all) ]
+
+
+module Lint = Prdesign.Lint
+
+let has_code code findings =
+  List.exists (fun (f : Lint.finding) -> f.code = code) findings
+
+let lint_tests =
+  [ Alcotest.test_case "clean design has no warnings" `Quick (fun () ->
+        let findings = Lint.check (small_design ()) in
+        Alcotest.(check bool) "no warnings" true
+          (List.for_all
+             (fun (f : Lint.finding) -> f.severity <> Lint.Warning)
+             findings));
+    Alcotest.test_case "unused mode flagged" `Quick (fun () ->
+        let findings = Lint.check Design_library.video_receiver in
+        Alcotest.(check bool) "unused-mode" true
+          (has_code "unused-mode" findings));
+    Alcotest.test_case "zero-area mode flagged" `Quick (fun () ->
+        Alcotest.(check bool) "zero-area-mode" true
+          (has_code "zero-area-mode" (Lint.check Design_library.video_receiver)));
+    Alcotest.test_case "duplicate configurations flagged" `Quick (fun () ->
+        let d =
+          Design.create_exn ~name:"dups"
+            ~modules:
+              [ Pmodule.make "A"
+                  [ Mode.make "a1" (res 1); Mode.make "a2" (res 2) ] ]
+            ~configurations:
+              [ Configuration.make "c1" [ (0, 0) ];
+                Configuration.make "c2" [ (0, 1) ];
+                Configuration.make "c3" [ (0, 0) ] ]
+            ()
+        in
+        Alcotest.(check bool) "duplicate-configuration" true
+          (has_code "duplicate-configuration" (Lint.check d)));
+    Alcotest.test_case "constant module flagged" `Quick (fun () ->
+        let d =
+          Design.create_exn ~allow_unused_modes:true ~name:"const"
+            ~modules:
+              [ Pmodule.make "A"
+                  [ Mode.make "a1" (res 10); Mode.make "a2" (res 20) ];
+                Pmodule.make "B"
+                  [ Mode.make "b1" (res 10); Mode.make "b2" (res 20) ] ]
+            ~configurations:
+              [ Configuration.make "c1" [ (0, 0); (1, 0) ];
+                Configuration.make "c2" [ (0, 0); (1, 1) ] ]
+            ()
+        in
+        (* Module A runs a1 in both configurations. *)
+        Alcotest.(check bool) "constant-module" true
+          (has_code "constant-module" (Lint.check d)));
+    Alcotest.test_case "dominant mode flagged" `Quick (fun () ->
+        let d =
+          Design.create_exn ~name:"dom"
+            ~modules:
+              [ Pmodule.make "A"
+                  [ Mode.make "small" (res 10); Mode.make "huge" (res 500) ] ]
+            ~configurations:
+              [ Configuration.make "c1" [ (0, 0) ];
+                Configuration.make "c2" [ (0, 1) ] ]
+            ()
+        in
+        Alcotest.(check bool) "dominant-mode" true
+          (has_code "dominant-mode" (Lint.check d)));
+    Alcotest.test_case "identical modes flagged" `Quick (fun () ->
+        let d =
+          Design.create_exn ~name:"same"
+            ~modules:
+              [ Pmodule.make "A"
+                  [ Mode.make "x" (res 10); Mode.make "y" (res 10) ] ]
+            ~configurations:
+              [ Configuration.make "c1" [ (0, 0) ];
+                Configuration.make "c2" [ (0, 1) ] ]
+            ()
+        in
+        Alcotest.(check bool) "identical-modes" true
+          (has_code "identical-modes" (Lint.check d)));
+    Alcotest.test_case "warnings sort before infos" `Quick (fun () ->
+        let findings = Lint.check Design_library.video_receiver in
+        let rec sorted = function
+          | { Lint.severity = Lint.Info; _ }
+            :: { Lint.severity = Lint.Warning; _ } :: _ ->
+            false
+          | _ :: rest -> sorted rest
+          | [] -> true
+        in
+        Alcotest.(check bool) "warnings first" true (sorted findings));
+    Alcotest.test_case "render mentions codes" `Quick (fun () ->
+        let rendered = Lint.render (Lint.check Design_library.video_receiver) in
+        Alcotest.(check bool) "has unused-mode" true
+          (contains rendered "unused-mode");
+        Alcotest.(check string) "clean" "no findings\n" (Lint.render [])) ]
+
+let () =
+  Alcotest.run "design"
+    [ ("mode", mode_tests);
+      ("pmodule", pmodule_tests);
+      ("configuration", configuration_tests);
+      ("validation", design_validation_tests);
+      ("mode-ids", mode_id_tests);
+      ("aggregates", aggregate_tests);
+      ("xml", xml_tests);
+      ("library", library_tests);
+      ("lint", lint_tests) ]

@@ -1,0 +1,247 @@
+(* Tests for the experiment harness: every table/figure regenerator
+   produces the paper-anchored artefacts. Sweep-based experiments run on a
+   reduced population to keep the suite fast. *)
+
+module Case_study = Experiments.Case_study
+module Sweep = Experiments.Sweep
+module Ablation = Experiments.Ablation
+module Cost = Prcore.Cost
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || scan (i + 1)
+  in
+  scan 0
+
+let table_tests =
+  [ Alcotest.test_case "Table I: 26 partitions, 8/13/5" `Quick (fun () ->
+        let t = Case_study.Table1.run () in
+        Alcotest.(check int) "singles" 8 t.Case_study.Table1.singles;
+        Alcotest.(check int) "pairs" 13 t.pairs;
+        Alcotest.(check int) "triples" 5 t.triples;
+        let rendered = Case_study.Table1.render t in
+        Alcotest.(check bool) "mentions {A3, B2}" true
+          (contains rendered "{A3, B2}"));
+    Alcotest.test_case "Table II renders all 14 modes" `Quick (fun () ->
+        let rendered = Case_study.Table2.render (Case_study.Table2.run ()) in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true (contains rendered needle))
+          [ "Filter1"; "Turbo"; "MPEG4"; "None"; "4700" ]);
+    Alcotest.test_case "Table III/IV: proposed beats modular" `Quick
+      (fun () ->
+        let t = Case_study.Table3_4.run () in
+        Alcotest.(check bool) "improvement > 0" true
+          (t.Case_study.Table3_4.improvement_vs_modular_pct > 0.);
+        Alcotest.(check bool) "improvement < 15%" true
+          (t.improvement_vs_modular_pct < 15.);
+        let comparison = Case_study.Table3_4.render_comparison t in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true (contains comparison needle))
+          [ "Static"; "1 Module/Region"; "Proposed" ];
+        Alcotest.(check bool) "partitions render" true
+          (contains (Case_study.Table3_4.render_partitions t) "PRR1"));
+    Alcotest.test_case "Table IV ordering: static > proposed area" `Quick
+      (fun () ->
+        let t = Case_study.Table3_4.run () in
+        let static_clb =
+          t.Case_study.Table3_4.static_.evaluation.Cost.used.Fpga.Resource.clb
+        in
+        let proposed_clb =
+          t.outcome.Prcore.Engine.evaluation.Cost.used.Fpga.Resource.clb
+        in
+        Alcotest.(check bool) "static much larger" true
+          (static_clb > 2 * proposed_clb));
+    Alcotest.test_case "Table V: modified set improves more" `Quick (fun () ->
+        let t = Case_study.Table5.run () in
+        Alcotest.(check bool) "improvement > 0" true
+          (t.Case_study.Table5.improvement_vs_modular_pct > 0.);
+        Alcotest.(check bool) "mentions static promotion or PRRs" true
+          (contains (Case_study.Table5.render t) "PRR1")) ]
+
+let rows = lazy (Sweep.run ~count:40 ~seed:2013 ())
+
+let sweep_tests =
+  [ Alcotest.test_case "sweep partitions every design" `Quick (fun () ->
+        Alcotest.(check int) "40 rows" 40 (List.length (Lazy.force rows)));
+    Alcotest.test_case "rows carry consistent metrics" `Quick (fun () ->
+        List.iter
+          (fun (r : Sweep.row) ->
+            Alcotest.(check bool) "proposed <= single" true
+              (r.proposed_total <= r.single_total);
+            Alcotest.(check bool) "worst <= total" true
+              (r.proposed_worst <= max 1 r.proposed_total);
+            Alcotest.(check bool) "regions >= 1" true (r.regions >= 1))
+          (Lazy.force rows));
+    Alcotest.test_case "summary percentages are sane" `Quick (fun () ->
+        let s = Sweep.summarise ~skipped:0 (Lazy.force rows) in
+        Alcotest.(check int) "rows" 40 s.Sweep.rows;
+        Alcotest.(check bool) "beats single everywhere (paper: 100%)" true
+          (s.beats_single_total_pct = 100.);
+        Alcotest.(check bool) "beats modular mostly (paper: 73%)" true
+          (s.beats_modular_total_pct > 50.);
+        Alcotest.(check bool) "percentages within [0,100]" true
+          (s.beats_modular_worst_pct >= 0. && s.beats_modular_worst_pct <= 100.));
+    Alcotest.test_case "fig renders one row per device group" `Quick
+      (fun () ->
+        let rendered = Sweep.render_fig ~metric:`Total (Lazy.force rows) in
+        Alcotest.(check bool) "has header" true (contains rendered "Proposed");
+        Alcotest.(check bool) "has a device" true
+          (contains rendered "SX70T" || contains rendered "FX130T"
+           || contains rendered "FX95T"));
+    Alcotest.test_case "fig9 has four panels" `Quick (fun () ->
+        let rendered = Sweep.render_fig9 (Lazy.force rows) in
+        List.iter
+          (fun tag ->
+            Alcotest.(check bool) tag true (contains rendered ("(" ^ tag ^ ")")))
+          [ "a"; "b"; "c"; "d" ]);
+    Alcotest.test_case "percent changes measure the right baselines" `Quick
+      (fun () ->
+        let rows = Lazy.force rows in
+        let changes = Sweep.percent_changes ~metric:`Total ~baseline:`Single rows in
+        Alcotest.(check int) "one per row" (List.length rows)
+          (List.length changes);
+        Alcotest.(check bool) "all positive vs single" true
+          (List.for_all (fun v -> v > 0.) changes));
+    Alcotest.test_case "summary renders paper anchors" `Quick (fun () ->
+        let s = Sweep.summarise ~skipped:0 (Lazy.force rows) in
+        let rendered = Sweep.render_summary s in
+        Alcotest.(check bool) "mentions the paper's 201" true
+          (contains rendered "201");
+        Alcotest.(check bool) "mentions 87.5%" true (contains rendered "87.5"))
+  ]
+
+let ablation_tests =
+  [ Alcotest.test_case "frequency rule variants all solve" `Quick (fun () ->
+        let results = Ablation.frequency_rule () in
+        Alcotest.(check int) "four variants" 4 (List.length results);
+        List.iter
+          (fun (r : Ablation.variant_result) ->
+            Alcotest.(check bool) "positive total" true (r.total_frames > 0))
+          results);
+    Alcotest.test_case "min-edge explores at least as many partitions" `Quick
+      (fun () ->
+        let results = Ablation.frequency_rule () in
+        let find label =
+          List.find
+            (fun (r : Ablation.variant_result) -> contains r.label label)
+            results
+        in
+        let support = find "receiver / support" in
+        let min_edge = find "receiver / min-edge" in
+        Alcotest.(check bool) "superset" true
+          (min_edge.base_partitions >= support.base_partitions));
+    Alcotest.test_case "promotion off yields no static members" `Quick
+      (fun () ->
+        let results = Ablation.static_promotion () in
+        List.iter
+          (fun (r : Ablation.variant_result) ->
+            if contains r.label "off" then
+              Alcotest.(check int) "no statics" 0 r.statics)
+          results);
+    Alcotest.test_case "promotion never hurts total time" `Quick (fun () ->
+        let results = Ablation.static_promotion () in
+        let total tag =
+          (List.find
+             (fun (r : Ablation.variant_result) -> contains r.label tag)
+             results)
+            .total_frames
+        in
+        Alcotest.(check bool) "receiver" true
+          (total "receiver / promotion on" <= total "receiver / promotion off"));
+    Alcotest.test_case "restart budget is monotone-ish" `Quick (fun () ->
+        let results = Ablation.restart_budget () in
+        Alcotest.(check int) "four budgets" 4 (List.length results);
+        let totals =
+          List.map (fun (r : Ablation.variant_result) -> r.total_frames) results
+        in
+        Alcotest.(check bool) "24 restarts <= 0 restarts" true
+          (List.nth totals 3 <= List.nth totals 0));
+    Alcotest.test_case "proxy vs simulation: walk never exceeds proxy" `Quick
+      (fun () ->
+        List.iter
+          (fun (r : Ablation.proxy_result) ->
+            Alcotest.(check bool) "simulated <= proxy * 1.05" true
+              (r.simulated_mean_frames <= r.pairwise_mean_frames *. 1.05))
+          (Ablation.proxy_vs_simulation ~steps:2000 ()));
+    Alcotest.test_case "renderers produce tables" `Quick (fun () ->
+        let rendered =
+          Ablation.render_variants ~header:"x" (Ablation.restart_budget ())
+        in
+        Alcotest.(check bool) "header" true (contains rendered "Variant");
+        let proxy = Ablation.render_proxy (Ablation.proxy_vs_simulation ()) in
+        Alcotest.(check bool) "proxy header" true (contains proxy "Pairwise")) ]
+
+
+let extension_tests =
+  [ Alcotest.test_case "optimality gap: greedy within bounds" `Quick
+      (fun () ->
+        let results = Experiments.Ablation.optimality_gap ~count:8 () in
+        Alcotest.(check bool) "some designs" true (List.length results >= 4);
+        List.iter
+          (fun (r : Experiments.Ablation.gap_result) ->
+            Alcotest.(check bool) "gap >= 0" true (r.gap_pct >= -1e-9);
+            Alcotest.(check bool) "exact <= greedy" true
+              (r.exact_total <= r.greedy_total))
+          results);
+    Alcotest.test_case "weighted objective never loses under its metric"
+      `Quick (fun () ->
+        List.iter
+          (fun (r : Experiments.Ablation.weighted_result) ->
+            Alcotest.(check bool) r.design_name true
+              (r.weighted_objective_rate
+               <= r.uniform_objective_rate +. 1e-9))
+          (Experiments.Ablation.weighted_objective ()));
+    Alcotest.test_case "hot-small demo shows a large weighted win" `Quick
+      (fun () ->
+        let results = Experiments.Ablation.weighted_objective () in
+        let demo =
+          List.find
+            (fun (r : Experiments.Ablation.weighted_result) ->
+              r.design_name = "hot-small-demo")
+            results
+        in
+        Alcotest.(check bool) "> 30% improvement" true
+          (demo.improvement_pct > 30.));
+    Alcotest.test_case "cache ablation: caching never slower than flash-only"
+      `Quick (fun () ->
+        let results = Experiments.Ablation.fetch_cache ~steps:800 () in
+        match results with
+        | (baseline : Experiments.Ablation.cache_result) :: cached ->
+          Alcotest.(check bool) "baseline misses everything" true
+            (baseline.hit_rate_pct = 0.);
+          List.iter
+            (fun (r : Experiments.Ablation.cache_result) ->
+              Alcotest.(check bool) r.label true
+                (r.total_ms <= baseline.total_ms +. 1e-6))
+            cached
+        | [] -> Alcotest.fail "no results");
+    Alcotest.test_case "sensitivity studies produce full rows" `Quick
+      (fun () ->
+        let rows =
+          Experiments.Sensitivity.absence_probability ~count:16 ()
+        in
+        Alcotest.(check int) "three variants" 3 (List.length rows);
+        List.iter
+          (fun (r : Experiments.Sensitivity.row) ->
+            Alcotest.(check bool) "full population" true (r.designs = 16);
+            Alcotest.(check bool) "percent range" true
+              (r.beats_modular_total_pct >= 0.
+               && r.beats_modular_total_pct <= 100.))
+          rows);
+    Alcotest.test_case "sensitivity render has a row per variant" `Quick
+      (fun () ->
+        let rows = Experiments.Sensitivity.design_size ~count:8 () in
+        let rendered = Experiments.Sensitivity.render ~title:"t" rows in
+        Alcotest.(check bool) "mentions paper variant" true
+          (contains rendered "2-6 modules")) ]
+
+let () =
+  Alcotest.run "experiments"
+    [ ("tables", table_tests);
+      ("sweep", sweep_tests);
+      ("ablation", ablation_tests);
+      ("extensions", extension_tests) ]

@@ -1,0 +1,225 @@
+(* Tests for the columnar layout and the rectangular placer. *)
+
+module Device = Fpga.Device
+module Tile = Fpga.Tile
+module Resource = Fpga.Resource
+module Layout = Floorplan.Layout
+module Placer = Floorplan.Placer
+
+let layout_of name = Layout.make (Device.find_exn name)
+
+let count_kind layout kind =
+  List.length (Layout.columns_of_kind layout kind)
+
+let layout_tests =
+  [ Alcotest.test_case "column counts match the device" `Quick (fun () ->
+        List.iter
+          (fun (d : Device.t) ->
+            let layout = Layout.make d in
+            Alcotest.(check int) "width"
+              (d.clb_cols + d.bram_cols + d.dsp_cols)
+              (Layout.width layout);
+            Alcotest.(check int) "clb" d.clb_cols (count_kind layout Tile.Clb);
+            Alcotest.(check int) "bram" d.bram_cols (count_kind layout Tile.Bram);
+            Alcotest.(check int) "dsp" d.dsp_cols (count_kind layout Tile.Dsp))
+          Device.catalogue);
+    Alcotest.test_case "rows come from the device" `Quick (fun () ->
+        Alcotest.(check int) "fx70t rows" 8 (Layout.rows (layout_of "FX70T")));
+    Alcotest.test_case "special columns are spread out" `Quick (fun () ->
+        (* No two BRAM columns adjacent on any catalogued device. *)
+        List.iter
+          (fun d ->
+            let layout = Layout.make d in
+            let brams = Layout.columns_of_kind layout Tile.Bram in
+            let rec no_adjacent = function
+              | a :: (b :: _ as rest) -> b - a > 1 && no_adjacent rest
+              | [ _ ] | [] -> true
+            in
+            Alcotest.(check bool) (d.Device.short ^ " spread") true
+              (no_adjacent brams))
+          Device.catalogue);
+    Alcotest.test_case "count_in_window" `Quick (fun () ->
+        let layout = layout_of "LX30" in
+        let full = Layout.width layout in
+        Alcotest.(check int) "all brams" 2
+          (Layout.count_in_window layout ~first:0 ~width:full Tile.Bram);
+        Alcotest.(check int) "empty window" 0
+          (Layout.count_in_window layout ~first:0 ~width:0 Tile.Clb));
+    Alcotest.test_case "window bounds checked" `Quick (fun () ->
+        let layout = layout_of "LX30" in
+        match
+          Layout.count_in_window layout ~first:0
+            ~width:(Layout.width layout + 1) Tile.Clb
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "kind_at bounds checked" `Quick (fun () ->
+        let layout = layout_of "LX30" in
+        match Layout.kind_at layout (-1) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "pp renders one char per column" `Quick (fun () ->
+        let layout = layout_of "LX20T" in
+        let s = Format.asprintf "%a" Layout.pp layout in
+        Alcotest.(check int) "length" (Layout.width layout) (String.length s))
+  ]
+
+let demand clb bram dsp =
+  Placer.demand_of_resources (Resource.make ~bram ~dsp clb)
+
+let verify_placement layout demands (outcome : Placer.outcome) =
+  (* Each placed rectangle provides its tile demand, rectangles are within
+     bounds and pairwise disjoint. *)
+  let rects =
+    Array.to_list outcome.placements
+    |> List.filter_map Fun.id
+    |> List.filter (fun (r : Placer.rect) -> r.height > 0)
+  in
+  List.iter
+    (fun (r : Placer.rect) ->
+      Alcotest.(check bool) "within device" true
+        (r.row >= 0
+         && r.row + r.height <= Layout.rows layout
+         && r.col >= 0
+         && r.col + r.width <= Layout.width layout))
+    rects;
+  let overlap (a : Placer.rect) (b : Placer.rect) =
+    a.row < b.row + b.height
+    && b.row < a.row + a.height
+    && a.col < b.col + b.width
+    && b.col < a.col + a.width
+  in
+  let rec pairwise = function
+    | [] -> ()
+    | r :: rest ->
+      List.iter
+        (fun r' ->
+          Alcotest.(check bool) "disjoint" false (overlap r r'))
+        rest;
+      pairwise rest
+  in
+  pairwise rects;
+  Array.iteri
+    (fun i rect ->
+      match rect with
+      | Some (r : Placer.rect) when r.height > 0 ->
+        let d : Placer.demand = demands.(i) in
+        let covered kind =
+          r.height * Layout.count_in_window layout ~first:r.col ~width:r.width kind
+        in
+        Alcotest.(check bool) "clb satisfied" true
+          (covered Tile.Clb >= d.clb_tiles);
+        Alcotest.(check bool) "bram satisfied" true
+          (covered Tile.Bram >= d.bram_tiles);
+        Alcotest.(check bool) "dsp satisfied" true
+          (covered Tile.Dsp >= d.dsp_tiles)
+      | Some _ | None -> ())
+    outcome.placements
+
+let placer_tests =
+  [ Alcotest.test_case "demand_of_resources quantises" `Quick (fun () ->
+        let d = demand 21 1 9 in
+        Alcotest.(check int) "clb tiles" 2 d.Placer.clb_tiles;
+        Alcotest.(check int) "bram tiles" 1 d.bram_tiles;
+        Alcotest.(check int) "dsp tiles" 2 d.dsp_tiles);
+    Alcotest.test_case "single small region places" `Quick (fun () ->
+        let layout = layout_of "LX30" in
+        let demands = [| demand 100 4 8 |] in
+        let outcome = Placer.place layout demands in
+        Alcotest.(check (list int)) "no failures" [] outcome.failed;
+        verify_placement layout demands outcome);
+    Alcotest.test_case "several regions place disjointly" `Quick (fun () ->
+        let layout = layout_of "FX70T" in
+        let demands =
+          [| demand 400 8 8; demand 1000 16 16; demand 200 0 0; demand 60 4 0 |]
+        in
+        let outcome = Placer.place layout demands in
+        Alcotest.(check (list int)) "no failures" [] outcome.failed;
+        verify_placement layout demands outcome;
+        Alcotest.(check bool) "utilisation sane" true
+          (outcome.utilisation > 0. && outcome.utilisation <= 1.));
+    Alcotest.test_case "zero demand occupies nothing" `Quick (fun () ->
+        let layout = layout_of "LX20T" in
+        let demands = [| demand 0 0 0; demand 100 0 0 |] in
+        let outcome = Placer.place layout demands in
+        Alcotest.(check (list int)) "no failures" [] outcome.failed;
+        match outcome.placements.(0) with
+        | Some r -> Alcotest.(check int) "empty rect" 0 (r.height * r.width)
+        | None -> Alcotest.fail "zero demand should trivially place");
+    Alcotest.test_case "oversized demand fails" `Quick (fun () ->
+        let layout = layout_of "LX20T" in
+        let demands = [| demand 10_000 0 0 |] in
+        let outcome = Placer.place layout demands in
+        Alcotest.(check (list int)) "failed" [ 0 ] outcome.failed;
+        Alcotest.(check bool) "fits mirror" false (Placer.fits layout demands));
+    Alcotest.test_case "scarce-resource demand beyond device fails" `Quick
+      (fun () ->
+        let layout = layout_of "LX20T" in
+        (* LX20T has 24 BRAMs = 6 tiles. *)
+        let outcome = Placer.place layout [| demand 20 28 0 |] in
+        Alcotest.(check (list int)) "failed" [ 0 ] outcome.failed);
+    Alcotest.test_case "regions needing no BRAM avoid BRAM columns" `Quick
+      (fun () ->
+        (* Waste-aware scoring: a pure-CLB region on a fresh device should
+           not cover any BRAM or DSP column if a CLB-only window exists. *)
+        let layout = layout_of "FX130T" in
+        let outcome = Placer.place layout [| demand 100 0 0 |] in
+        match outcome.placements.(0) with
+        | Some r ->
+          Alcotest.(check int) "no bram" 0
+            (Layout.count_in_window layout ~first:r.col ~width:r.width Tile.Bram);
+          Alcotest.(check int) "no dsp" 0
+            (Layout.count_in_window layout ~first:r.col ~width:r.width Tile.Dsp)
+        | None -> Alcotest.fail "expected placement");
+    Alcotest.test_case "case-study scheme floorplans on FX130T" `Quick
+      (fun () ->
+        let design = Prdesign.Design_library.video_receiver in
+        match
+          Prcore.Engine.solve
+            ~target:
+              (Prcore.Engine.Budget Prdesign.Design_library.case_study_budget)
+            design
+        with
+        | Error m -> Alcotest.fail m
+        | Ok o ->
+          let scheme = o.Prcore.Engine.scheme in
+          let layout = layout_of "FX130T" in
+          let demands =
+            Array.init
+              (scheme.Prcore.Scheme.region_count + 1)
+              (fun i ->
+                if i < scheme.Prcore.Scheme.region_count then
+                  Placer.demand_of_resources
+                    (Prcore.Scheme.region_resources scheme i)
+                else
+                  Placer.demand_of_resources
+                    (Prcore.Scheme.static_resources scheme))
+          in
+          let outcome = Placer.place layout demands in
+          Alcotest.(check (list int)) "all placed" [] outcome.failed;
+          verify_placement layout demands outcome) ]
+
+(* Property: whatever the outcome, reported placements satisfy their
+   demands and never overlap. *)
+let prop_placements_valid =
+  let gen =
+    QCheck2.Gen.(
+      pair (oneofl [ "LX20T"; "LX30"; "SX35T"; "FX70T" ])
+        (list_size (1 -- 5)
+           (triple (0 -- 2000) (0 -- 20) (0 -- 30))))
+  in
+  QCheck2.Test.make ~name:"placements satisfy demands and stay disjoint"
+    ~count:60 gen (fun (device, specs) ->
+      let layout = layout_of device in
+      let demands =
+        Array.of_list (List.map (fun (c, b, d) -> demand c b d) specs)
+      in
+      let outcome = Placer.place layout demands in
+      verify_placement layout demands outcome;
+      true)
+
+let () =
+  Alcotest.run "floorplan"
+    [ ("layout", layout_tests);
+      ("placer", placer_tests);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_placements_valid ]) ]

@@ -1,0 +1,155 @@
+(* Tests for the end-to-end tool flow (paper Fig. 2). *)
+
+module Tool_flow = Flow.Tool_flow
+module Engine = Prcore.Engine
+module Scheme = Prcore.Scheme
+module Design_library = Prdesign.Design_library
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || scan (i + 1)
+  in
+  scan 0
+
+let receiver_report =
+  lazy
+    (match
+       Tool_flow.run
+         ~target:(Engine.Budget Design_library.case_study_budget)
+         Design_library.video_receiver
+     with
+     | Ok r -> r
+     | Error m -> failwith m)
+
+let flow_tests =
+  [ Alcotest.test_case "case study flows end to end" `Quick (fun () ->
+        let r = Lazy.force receiver_report in
+        Alcotest.(check bool) "wrappers" true (List.length r.wrappers > 0);
+        Alcotest.(check (list int)) "fully placed" []
+          r.placement.Floorplan.Placer.failed;
+        Alcotest.(check bool) "bitstreams" true
+          (List.length r.repository.Bitgen.Repository.entries > 0));
+    Alcotest.test_case "placement covers regions plus static" `Quick
+      (fun () ->
+        let r = Lazy.force receiver_report in
+        Alcotest.(check int) "demand count"
+          (r.outcome.Engine.scheme.Scheme.region_count + 1)
+          (Array.length r.placement.Floorplan.Placer.placements));
+    Alcotest.test_case "bitstream count = hosted clusters" `Quick (fun () ->
+        let r = Lazy.force receiver_report in
+        let scheme = r.outcome.Engine.scheme in
+        let hosted =
+          List.length
+            (List.concat
+               (List.init scheme.Scheme.region_count
+                  (Scheme.region_members scheme)))
+        in
+        Alcotest.(check int) "entries" hosted
+          (List.length r.repository.Bitgen.Repository.entries));
+    Alcotest.test_case "summary mentions the device and storage" `Quick
+      (fun () ->
+        let r = Lazy.force receiver_report in
+        let s = Tool_flow.render_summary r in
+        Alcotest.(check bool) "device" true
+          (contains s r.device.Fpga.Device.name);
+        Alcotest.(check bool) "storage" true (contains s "total storage"));
+    Alcotest.test_case "auto target flows too" `Quick (fun () ->
+        match Tool_flow.run ~target:Engine.Auto Design_library.running_example with
+        | Ok r ->
+          Alcotest.(check (list int)) "placed" []
+            r.placement.Floorplan.Placer.failed
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "infeasible budget is a clean error" `Quick (fun () ->
+        match
+          Tool_flow.run
+            ~target:(Engine.Budget (Fpga.Resource.make 10))
+            Design_library.running_example
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected an error");
+    Alcotest.test_case "feedback disabled turns placement failure into error"
+      `Quick (fun () ->
+        (* A fragmentation case: region X (200 CLB tiles on a 4x63 LX30)
+           must swallow both BRAM columns, leaving region Y's BRAM tile
+           unplaceable even though the resource totals fit. The paper
+           flags exactly this ("at the time of floorplanning we may find
+           ... this [is not] feasible") and proposes the feedback loop. *)
+        let res = Fpga.Resource.make in
+        let single name r =
+          Prdesign.Pmodule.make name [ Prdesign.Mode.make (name ^ "1") r ]
+        in
+        let fragmented =
+          (* Static total (5000 CLBs) exceeds the LX30, so the engine must
+             keep X in its own region and merge Y and W into a second
+             one; X's rectangle swallows the BRAM columns. *)
+          Prdesign.Design.create_exn ~name:"frag"
+            ~modules:
+              [ single "X" (res 4000);
+                single "Y" (res 600 ~bram:1);
+                single "W" (res 400) ]
+            ~configurations:
+              [ Prdesign.Configuration.make "c1" [ (0, 0) ];
+                Prdesign.Configuration.make "c2" [ (1, 0) ];
+                Prdesign.Configuration.make "c3" [ (2, 0) ] ]
+            ()
+        in
+        let lx30 = Fpga.Device.find_exn "LX30" in
+        let options =
+          { Tool_flow.default_options with floorplan_feedback = false }
+        in
+        let target = Engine.Fixed lx30 in
+        (match Tool_flow.run ~options ~target fragmented with
+         | Error message ->
+           Alcotest.(check bool) "mentions floorplan" true
+             (contains message "floorplan")
+         | Ok _ -> Alcotest.fail "expected a placement failure");
+        match Tool_flow.run ~target fragmented with
+        | Ok r ->
+          Alcotest.(check bool) "escalated" true (r.floorplan_escalations > 0);
+          Alcotest.(check bool) "bigger device" true
+            (Fpga.Device.compare_capacity r.device lx30 > 0)
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "write_outputs produces the artefacts" `Quick
+      (fun () ->
+        let dir = Filename.temp_file "prflow" "" in
+        Sys.remove dir;
+        Fun.protect
+          ~finally:(fun () ->
+            if Sys.file_exists dir then begin
+              Array.iter
+                (fun f -> Sys.remove (Filename.concat dir f))
+                (Sys.readdir dir);
+              Sys.rmdir dir
+            end)
+          (fun () ->
+            let r = Lazy.force receiver_report in
+            let written = Tool_flow.write_outputs ~dir r in
+            Alcotest.(check bool) "files written" true (List.length written > 10);
+            List.iter
+              (fun path ->
+                Alcotest.(check bool) (path ^ " exists") true
+                  (Sys.file_exists path))
+              written;
+            (* Bitstreams on disk parse back. *)
+            let bit =
+              List.find (fun p -> Filename.check_suffix p "full.bit") written
+            in
+            let ic = open_in_bin bit in
+            let content =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            Alcotest.(check bool) "full.bit parses" true
+              (Result.is_ok (Bitgen.Bitstream.parse (Bytes.of_string content)));
+            (* The design XML reloads. *)
+            let xml =
+              List.find (fun p -> Filename.check_suffix p "design.xml") written
+            in
+            let reloaded = Prdesign.Design_xml.load_file xml in
+            Alcotest.(check string) "same design" "video-receiver"
+              reloaded.Prdesign.Design.name)) ]
+
+let () = Alcotest.run "flow" [ ("tool-flow", flow_tests) ]

@@ -1,0 +1,297 @@
+(* Tests for the Fpga substrate: resource vectors, tile/frame arithmetic,
+   the device catalogue and the ICAP timing model. *)
+
+module Resource = Fpga.Resource
+module Tile = Fpga.Tile
+module Frame = Fpga.Frame
+module Device = Fpga.Device
+module Icap = Fpga.Icap
+
+let res ?bram ?dsp clb = Resource.make ?bram ?dsp clb
+
+let resource_eq = Alcotest.testable Resource.pp Resource.equal
+
+let resource_tests =
+  [ Alcotest.test_case "make defaults to zero" `Quick (fun () ->
+        Alcotest.check resource_eq "zero extras" (res 5)
+          { Resource.clb = 5; bram = 0; dsp = 0 });
+    Alcotest.test_case "make rejects negatives" `Quick (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Resource.make: negative component") (fun () ->
+            ignore (Resource.make (-1))));
+    Alcotest.test_case "add" `Quick (fun () ->
+        Alcotest.check resource_eq "sum"
+          (res 3 ~bram:3 ~dsp:3)
+          (Resource.add (res 1 ~bram:2 ~dsp:3) (res 2 ~bram:1)));
+    Alcotest.test_case "sub may go negative" `Quick (fun () ->
+        let d = Resource.sub (res 1) (res 2) in
+        Alcotest.(check int) "clb" (-1) d.Resource.clb);
+    Alcotest.test_case "max is component-wise" `Quick (fun () ->
+        Alcotest.check resource_eq "max"
+          (res 5 ~bram:7 ~dsp:3)
+          (Resource.max (res 5 ~bram:2 ~dsp:3) (res 1 ~bram:7)));
+    Alcotest.test_case "sum of empty list" `Quick (fun () ->
+        Alcotest.check resource_eq "zero" Resource.zero (Resource.sum []));
+    Alcotest.test_case "scale" `Quick (fun () ->
+        Alcotest.check resource_eq "times three"
+          (res 3 ~bram:6 ~dsp:9)
+          (Resource.scale 3 (res 1 ~bram:2 ~dsp:3)));
+    Alcotest.test_case "fits within equal" `Quick (fun () ->
+        Alcotest.(check bool) "fits" true
+          (Resource.fits (res 2 ~bram:2) ~within:(res 2 ~bram:2)));
+    Alcotest.test_case "fits fails on one component" `Quick (fun () ->
+        Alcotest.(check bool) "no fit" false
+          (Resource.fits (res 1 ~dsp:9) ~within:(res 9 ~bram:9 ~dsp:8)));
+    Alcotest.test_case "dominates mirrors fits" `Quick (fun () ->
+        Alcotest.(check bool) "dominates" true
+          (Resource.dominates (res 2 ~bram:1 ~dsp:1) (res 2)));
+    Alcotest.test_case "is_zero" `Quick (fun () ->
+        Alcotest.(check bool) "zero" true (Resource.is_zero Resource.zero);
+        Alcotest.(check bool) "non-zero" false (Resource.is_zero (res 0 ~bram:1)));
+    Alcotest.test_case "compare is lexicographic" `Quick (fun () ->
+        Alcotest.(check bool) "clb first" true
+          (Resource.compare (res 1 ~bram:9 ~dsp:9) (res 2) < 0);
+        Alcotest.(check bool) "bram second" true
+          (Resource.compare (res 1 ~bram:1) (res 1 ~bram:2) < 0);
+        Alcotest.(check bool) "dsp third" true
+          (Resource.compare (res 1 ~bram:1 ~dsp:0) (res 1 ~bram:1 ~dsp:1) < 0));
+    Alcotest.test_case "total_primitives" `Quick (fun () ->
+        Alcotest.(check int) "sum" 6
+          (Resource.total_primitives (res 1 ~bram:2 ~dsp:3))) ]
+
+let tile_tests =
+  [ Alcotest.test_case "primitives per tile" `Quick (fun () ->
+        Alcotest.(check int) "clb" 20 (Tile.primitives_per_tile Clb);
+        Alcotest.(check int) "bram" 4 (Tile.primitives_per_tile Bram);
+        Alcotest.(check int) "dsp" 8 (Tile.primitives_per_tile Dsp));
+    Alcotest.test_case "frames per tile (paper constants)" `Quick (fun () ->
+        Alcotest.(check int) "clb" 36 (Tile.frames_per_tile Clb);
+        Alcotest.(check int) "bram" 30 (Tile.frames_per_tile Bram);
+        Alcotest.(check int) "dsp" 28 (Tile.frames_per_tile Dsp));
+    Alcotest.test_case "tiles_for rounds up" `Quick (fun () ->
+        Alcotest.(check int) "exact" 1 (Tile.tiles_for Clb 20);
+        Alcotest.(check int) "round up" 2 (Tile.tiles_for Clb 21);
+        Alcotest.(check int) "zero" 0 (Tile.tiles_for Clb 0);
+        Alcotest.(check int) "one bram" 1 (Tile.tiles_for Bram 1));
+    Alcotest.test_case "tiles_for rejects negatives" `Quick (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Tile.tiles_for: negative count") (fun () ->
+            ignore (Tile.tiles_for Dsp (-1))));
+    Alcotest.test_case "quantize rounds up to whole tiles" `Quick (fun () ->
+        Alcotest.check resource_eq "quantized"
+          (res 40 ~bram:4 ~dsp:8)
+          (Tile.quantize (res 21 ~bram:1 ~dsp:1)));
+    Alcotest.test_case "quantize idempotent" `Quick (fun () ->
+        let q = Tile.quantize (res 123 ~bram:7 ~dsp:13) in
+        Alcotest.check resource_eq "fixpoint" q (Tile.quantize q));
+    Alcotest.test_case "frames_of_resources matches paper formula" `Quick
+      (fun () ->
+        (* 818 CLBs = 41 tiles, 28 DSP = 4 tiles: 41*36 + 4*28 = 1588. *)
+        Alcotest.(check int) "F1 filter" 1588
+          (Tile.frames_of_resources (res 818 ~dsp:28)));
+    Alcotest.test_case "frames_of_resources zero" `Quick (fun () ->
+        Alcotest.(check int) "zero" 0 (Tile.frames_of_resources Resource.zero)) ]
+
+let frame_tests =
+  [ Alcotest.test_case "frame constants (UG191)" `Quick (fun () ->
+        Alcotest.(check int) "words" 41 Frame.words_per_frame;
+        Alcotest.(check int) "bits" 1312 Frame.bits_per_frame;
+        Alcotest.(check int) "bytes" 164 Frame.bytes_per_frame);
+    Alcotest.test_case "bytes_of_frames" `Quick (fun () ->
+        Alcotest.(check int) "ten frames" 1640 (Frame.bytes_of_frames 10));
+    Alcotest.test_case "negative frames rejected" `Quick (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Frame: negative frame count") (fun () ->
+            ignore (Frame.bits_of_frames (-1)))) ]
+
+let device_tests =
+  [ Alcotest.test_case "catalogue is sorted by capacity" `Quick (fun () ->
+        let rec ascending = function
+          | a :: (b :: _ as rest) ->
+            Device.compare_capacity a b < 0 && ascending rest
+          | [ _ ] | [] -> true
+        in
+        Alcotest.(check bool) "ascending" true (ascending Device.catalogue));
+    Alcotest.test_case "sweep has the paper's nine devices" `Quick (fun () ->
+        Alcotest.(check (list string)) "order"
+          [ "LX20T"; "LX30"; "FX30T"; "SX35T"; "FX50T"; "SX70T"; "FX95T";
+            "FX130T"; "FX200T" ]
+          (List.map (fun (d : Device.t) -> d.short) Device.sweep));
+    Alcotest.test_case "resources are tile-consistent" `Quick (fun () ->
+        List.iter
+          (fun d ->
+            let r = Device.resources d in
+            Alcotest.(check int) "clb multiple" 0 (r.Resource.clb mod 20);
+            Alcotest.(check int) "bram multiple" 0 (r.Resource.bram mod 4);
+            Alcotest.(check int) "dsp multiple" 0 (r.Resource.dsp mod 8))
+          Device.catalogue);
+    Alcotest.test_case "find by short and full name" `Quick (fun () ->
+        Alcotest.(check bool) "short" true (Device.find "fx70t" <> None);
+        Alcotest.(check bool) "full" true (Device.find "XC5VFX70T" <> None);
+        Alcotest.(check bool) "missing" true (Device.find "FX9999" = None));
+    Alcotest.test_case "find_exn raises on unknown" `Quick (fun () ->
+        Alcotest.check_raises "missing" Not_found (fun () ->
+            ignore (Device.find_exn "nope")));
+    Alcotest.test_case "smallest_fitting picks the smallest" `Quick (fun () ->
+        match Device.smallest_fitting (res 3000) with
+        | Some d -> Alcotest.(check string) "lx20t" "LX20T" d.short
+        | None -> Alcotest.fail "expected a device");
+    Alcotest.test_case "smallest_fitting honours bram" `Quick (fun () ->
+        match Device.smallest_fitting (res 1000 ~bram:60) with
+        | Some d -> Alcotest.(check string) "fx30t" "FX30T" d.short
+        | None -> Alcotest.fail "expected a device");
+    Alcotest.test_case "smallest_fitting none for monsters" `Quick (fun () ->
+        Alcotest.(check bool) "too big" true
+          (Device.smallest_fitting (res 1_000_000) = None));
+    Alcotest.test_case "next_larger walks the sweep" `Quick (fun () ->
+        let lx20t = Device.find_exn "LX20T" in
+        (match Device.next_larger lx20t with
+         | Some d -> Alcotest.(check string) "lx30" "LX30" d.short
+         | None -> Alcotest.fail "expected a successor");
+        let top = Device.find_exn "FX200T" in
+        Alcotest.(check bool) "largest has none" true
+          (Device.next_larger top = None));
+    Alcotest.test_case "total_frames positive and monotone-ish" `Quick
+      (fun () ->
+        let f d = Device.total_frames (Device.find_exn d) in
+        Alcotest.(check bool) "positive" true (f "LX20T" > 0);
+        Alcotest.(check bool) "bigger device, more frames" true
+          (f "FX200T" > f "LX20T"));
+    Alcotest.test_case "total_tiles matches columns" `Quick (fun () ->
+        let d = Device.find_exn "LX30" in
+        Alcotest.(check int) "tiles" (4 * (60 + 2 + 1)) (Device.total_tiles d))
+  ]
+
+let icap_tests =
+  [ Alcotest.test_case "default throughput 400 MB/s" `Quick (fun () ->
+        Alcotest.(check (float 1.0)) "bytes/s" 400e6
+          (Icap.bytes_per_second Icap.default));
+    Alcotest.test_case "zero frames cost zero even with overhead" `Quick
+      (fun () ->
+        let icap = Icap.make ~overhead_s:1e-3 () in
+        Alcotest.(check (float 0.)) "free" 0. (Icap.seconds_of_frames icap 0));
+    Alcotest.test_case "seconds scale linearly in frames" `Quick (fun () ->
+        let t1 = Icap.seconds_of_frames Icap.default 100 in
+        let t2 = Icap.seconds_of_frames Icap.default 200 in
+        Alcotest.(check (float 1e-12)) "double" (2. *. t1) t2);
+    Alcotest.test_case "overhead added once" `Quick (fun () ->
+        let icap = Icap.make ~overhead_s:5e-6 () in
+        let base = Icap.seconds_of_frames Icap.default 10 in
+        Alcotest.(check (float 1e-12)) "plus overhead" (base +. 5e-6)
+          (Icap.seconds_of_frames icap 10));
+    Alcotest.test_case "narrow port is slower" `Quick (fun () ->
+        let narrow = Icap.make ~width_bits:8 () in
+        Alcotest.(check bool) "slower" true
+          (Icap.seconds_of_frames narrow 10
+           > Icap.seconds_of_frames Icap.default 10));
+    Alcotest.test_case "derate reduces throughput" `Quick (fun () ->
+        let derated = Icap.make ~throughput_derate:0.5 () in
+        Alcotest.(check (float 1.0)) "half" 200e6 (Icap.bytes_per_second derated));
+    Alcotest.test_case "invalid parameters rejected" `Quick (fun () ->
+        let expect_invalid f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"
+        in
+        expect_invalid (fun () -> Icap.make ~width_bits:12 ());
+        expect_invalid (fun () -> Icap.make ~clock_hz:0. ());
+        expect_invalid (fun () -> Icap.make ~overhead_s:(-1.) ());
+        expect_invalid (fun () -> Icap.make ~throughput_derate:0. ());
+        expect_invalid (fun () -> Icap.make ~throughput_derate:1.5 ()));
+    Alcotest.test_case "negative frames rejected" `Quick (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Icap.seconds_of_frames: negative frames")
+          (fun () -> ignore (Icap.seconds_of_frames Icap.default (-1))));
+    Alcotest.test_case "frames_per_second consistent" `Quick (fun () ->
+        let fps = Icap.frames_per_second Icap.default in
+        Alcotest.(check (float 1e-6)) "inverse" 1.
+          (fps *. Icap.seconds_of_frames Icap.default 1)) ]
+
+(* Properties. *)
+let gen_resource =
+  QCheck2.Gen.(
+    map3
+      (fun clb bram dsp -> Resource.make ~bram ~dsp clb)
+      (0 -- 10_000) (0 -- 500) (0 -- 500))
+
+let prop_quantize_dominates =
+  QCheck2.Test.make ~name:"quantize r dominates r" ~count:300 gen_resource
+    (fun r -> Resource.fits r ~within:(Tile.quantize r))
+
+let prop_frames_monotone =
+  QCheck2.Test.make ~name:"frames monotone in resources" ~count:300
+    (QCheck2.Gen.pair gen_resource gen_resource) (fun (a, b) ->
+      Tile.frames_of_resources (Resource.max a b)
+      >= max (Tile.frames_of_resources a) (Tile.frames_of_resources b))
+
+let prop_max_upper_bound =
+  QCheck2.Test.make ~name:"max is an upper bound" ~count:300
+    (QCheck2.Gen.pair gen_resource gen_resource) (fun (a, b) ->
+      let m = Resource.max a b in
+      Resource.fits a ~within:m && Resource.fits b ~within:m)
+
+let prop_add_assoc =
+  QCheck2.Test.make ~name:"add associative" ~count:300
+    (QCheck2.Gen.triple gen_resource gen_resource gen_resource)
+    (fun (a, b, c) ->
+      Resource.equal
+        (Resource.add a (Resource.add b c))
+        (Resource.add (Resource.add a b) c))
+
+
+module Arch = Fpga.Arch
+
+let arch_tests =
+  [ Alcotest.test_case "virtex5 matches the Tile constants" `Quick (fun () ->
+        List.iter
+          (fun kind ->
+            let g = Arch.geometry Arch.virtex5 kind in
+            Alcotest.(check int) "primitives" (Tile.primitives_per_tile kind)
+              g.Arch.primitives_per_tile;
+            Alcotest.(check int) "frames" (Tile.frames_per_tile kind)
+              g.Arch.frames_per_tile)
+          Tile.all_kinds);
+    Alcotest.test_case "virtex5 frames agree with Tile" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            Alcotest.(check int) "frames" (Tile.frames_of_resources r)
+              (Arch.frames_of_resources Arch.virtex5 r))
+          [ res 818 ~dsp:28; res 4700 ~bram:40 ~dsp:65; Resource.zero ]);
+    Alcotest.test_case "three families, distinct frame sizes" `Quick
+      (fun () ->
+        Alcotest.(check int) "families" 3 (List.length Arch.all);
+        Alcotest.(check int) "v4 bytes" 164 (Arch.bytes_per_frame Arch.virtex4);
+        Alcotest.(check int) "v6 bytes" 324 (Arch.bytes_per_frame Arch.virtex6));
+    Alcotest.test_case "virtex6 needs fewer frames for big regions" `Quick
+      (fun () ->
+        let big = res 4700 ~bram:40 ~dsp:65 in
+        Alcotest.(check bool) "fewer" true
+          (Arch.frames_of_resources Arch.virtex6 big
+           < Arch.frames_of_resources Arch.virtex5 big));
+    Alcotest.test_case "bytes_of_resources = frames x frame bytes" `Quick
+      (fun () ->
+        let r = res 100 ~bram:2 ~dsp:3 in
+        List.iter
+          (fun arch ->
+            Alcotest.(check int) arch.Arch.name
+              (Arch.frames_of_resources arch r * Arch.bytes_per_frame arch)
+              (Arch.bytes_of_resources arch r))
+          Arch.all);
+    Alcotest.test_case "negative resources rejected" `Quick (fun () ->
+        let bad = Resource.sub (res 0) (res 1) in
+        match Arch.frames_of_resources Arch.virtex4 bad with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument") ]
+
+let () =
+  Alcotest.run "fpga"
+    [ ("resource", resource_tests);
+      ("tile", tile_tests);
+      ("frame", frame_tests);
+      ("device", device_tests);
+      ("icap", icap_tests);
+      ("arch", arch_tests);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_quantize_dominates; prop_frames_monotone;
+            prop_max_upper_bound; prop_add_assoc ] ) ]

@@ -1,0 +1,191 @@
+(* Tests for the HDL substrate: AST validation, the Verilog printer and
+   wrapper generation. *)
+
+module Ast = Hdl.Ast
+module Wrapper = Hdl.Wrapper
+module Design_library = Prdesign.Design_library
+module Scheme = Prcore.Scheme
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || scan (i + 1)
+  in
+  scan 0
+
+let count_occurrences haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i acc =
+    if i + nn > nh then acc
+    else if String.sub haystack i nn = needle then scan (i + nn) (acc + 1)
+    else scan (i + 1) acc
+  in
+  if nn = 0 then 0 else scan 0 0
+
+let simple_module =
+  Ast.
+    { name = "demo";
+      ports =
+        [ { port_name = "clk"; direction = Input; width = 1 };
+          { port_name = "din"; direction = Input; width = 8 };
+          { port_name = "dout"; direction = Output; width = 8 } ];
+      items =
+        [ Comment "a comment";
+          Wire { wire_name = "tmp"; width = 8 };
+          Assign { lhs = "tmp"; rhs = Id "din" };
+          Assign { lhs = "dout"; rhs = Id "tmp" } ] }
+
+let ast_tests =
+  [ Alcotest.test_case "legal identifiers" `Quick (fun () ->
+        Alcotest.(check bool) "plain" true (Ast.legal_identifier "foo_bar1");
+        Alcotest.(check bool) "underscore start" true (Ast.legal_identifier "_x");
+        Alcotest.(check bool) "digit start" false (Ast.legal_identifier "1x");
+        Alcotest.(check bool) "empty" false (Ast.legal_identifier "");
+        Alcotest.(check bool) "dot" false (Ast.legal_identifier "a.b"));
+    Alcotest.test_case "mangle produces legal names" `Quick (fun () ->
+        Alcotest.(check string) "dots" "F_Filter1" (Ast.mangle "F.Filter1");
+        Alcotest.(check string) "braces" "_A3__B2_" (Ast.mangle "{A3, B2}");
+        Alcotest.(check bool) "always legal" true
+          (Ast.legal_identifier (Ast.mangle "9 bad # name")));
+    Alcotest.test_case "validate accepts a good module" `Quick (fun () ->
+        Alcotest.(check bool) "ok" true (Result.is_ok (Ast.validate simple_module)));
+    Alcotest.test_case "validate rejects undeclared signals" `Quick (fun () ->
+        let bad =
+          { simple_module with
+            items = [ Ast.Assign { lhs = "nope"; rhs = Ast.Id "din" } ] }
+        in
+        Alcotest.(check bool) "bad lhs" true (Result.is_error (Ast.validate bad)));
+    Alcotest.test_case "validate rejects duplicate declarations" `Quick
+      (fun () ->
+        let bad =
+          { simple_module with
+            items =
+              [ Ast.Wire { wire_name = "clk"; width = 1 } ] }
+        in
+        Alcotest.(check bool) "dup" true (Result.is_error (Ast.validate bad)));
+    Alcotest.test_case "validate rejects zero widths" `Quick (fun () ->
+        let bad =
+          { simple_module with
+            items = [ Ast.Wire { wire_name = "w"; width = 0 } ] }
+        in
+        Alcotest.(check bool) "width" true (Result.is_error (Ast.validate bad)));
+    Alcotest.test_case "printer emits module/endmodule and ranges" `Quick
+      (fun () ->
+        let v = Ast.to_verilog simple_module in
+        Alcotest.(check bool) "module" true (contains v "module demo (");
+        Alcotest.(check bool) "endmodule" true (contains v "endmodule");
+        Alcotest.(check bool) "range" true (contains v "[7:0] din");
+        Alcotest.(check bool) "no range on 1-bit" false (contains v "[0:0]"));
+    Alcotest.test_case "printer renders expressions" `Quick (fun () ->
+        let m =
+          Ast.
+            { name = "exprs";
+              ports =
+                [ { port_name = "a"; direction = Input; width = 2 };
+                  { port_name = "y"; direction = Output; width = 2 } ];
+              items =
+                [ Assign
+                    { lhs = "y";
+                      rhs =
+                        Mux
+                          ( Eq (Id "a", Literal { width = 2; value = 1 }),
+                            Concat [ Select ("a", 0); Select ("a", 1) ],
+                            Id "a" ) } ] }
+        in
+        let v = Ast.to_verilog m in
+        Alcotest.(check bool) "mux" true
+          (contains v "((a == 2'd1) ? {a[0], a[1]} : a)"));
+    Alcotest.test_case "printer raises on invalid module" `Quick (fun () ->
+        let bad = { simple_module with name = "1bad" } in
+        match Ast.to_verilog bad with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument") ]
+
+let receiver_scheme =
+  lazy
+    (match
+       Prcore.Engine.solve
+         ~target:(Prcore.Engine.Budget Design_library.case_study_budget)
+         Design_library.video_receiver
+     with
+     | Ok o -> o.Prcore.Engine.scheme
+     | Error m -> failwith m)
+
+let wrapper_tests =
+  [ Alcotest.test_case "mode stub carries the resource comment" `Quick
+      (fun () ->
+        let d = Design_library.video_receiver in
+        let stub = Wrapper.mode_stub d 0 in
+        let v = Ast.to_verilog stub in
+        Alcotest.(check bool) "name" true (contains v "module F_Filter1");
+        Alcotest.(check bool) "resources" true (contains v "818 CLBs"));
+    Alcotest.test_case "variant chains its modes in order" `Quick (fun () ->
+        let d = Design_library.running_example in
+        (* Cluster {A3, B2, C3}: three chained instances. *)
+        let bp =
+          Cluster.Base_partition.make d ~modes:[ 2; 4; 7 ] ~freq:1
+        in
+        let v = Ast.to_verilog (Wrapper.variant_module d bp) in
+        Alcotest.(check int) "three instances" 3 (count_occurrences v "u_");
+        Alcotest.(check bool) "A3 before B2" true
+          (String.index v 'u' >= 0
+           && contains v "u_A3"
+           && contains v "u_B2"
+           && contains v "u_C3");
+        (* Stage 0 feeds stage 1. *)
+        Alcotest.(check bool) "chained" true (contains v ".s_data(stage0_data)"));
+    Alcotest.test_case "single-mode variant still passes streams" `Quick
+      (fun () ->
+        let d = Design_library.running_example in
+        let bp = Cluster.Base_partition.make d ~modes:[ 0 ] ~freq:2 in
+        let v = Ast.to_verilog (Wrapper.variant_module d bp) in
+        Alcotest.(check bool) "s_ready driven" true
+          (contains v "assign s_ready = stage0_ready");
+        Alcotest.(check bool) "m_data driven" true
+          (contains v "assign m_data = stage0_data"));
+    Alcotest.test_case "all generated modules validate" `Quick (fun () ->
+        let scheme = Lazy.force receiver_scheme in
+        (* emit_scheme itself calls to_verilog, which validates. *)
+        let files = Wrapper.emit_scheme scheme in
+        Alcotest.(check bool) "non-empty" true (List.length files > 0);
+        List.iter
+          (fun (name, content) ->
+            Alcotest.(check bool) (name ^ " extension") true
+              (Filename.check_suffix name ".v");
+            Alcotest.(check int) (name ^ " one module") 1
+              (count_occurrences content "\nendmodule"))
+          files);
+    Alcotest.test_case "emit_scheme filenames are unique" `Quick (fun () ->
+        let files = Wrapper.emit_scheme (Lazy.force receiver_scheme) in
+        let names = List.map fst files in
+        Alcotest.(check int) "unique" (List.length names)
+          (List.length (List.sort_uniq String.compare names)));
+    Alcotest.test_case "emit_scheme covers stubs, variants, static, top"
+      `Quick (fun () ->
+        let scheme = Lazy.force receiver_scheme in
+        let files = Wrapper.emit_scheme scheme in
+        let names = List.map fst files in
+        (* 13 used mode stubs + 13 variants + static + icap + top. *)
+        Alcotest.(check bool) "has top" true
+          (List.mem "video_receiver_top.v" names);
+        Alcotest.(check bool) "has icap stub" true
+          (List.mem "icap_controller.v" names);
+        Alcotest.(check bool) "has static wrapper" true
+          (List.mem "video_receiver_static.v" names);
+        Alcotest.(check bool) "enough files" true (List.length files >= 28));
+    Alcotest.test_case "top instantiates one variant per region" `Quick
+      (fun () ->
+        let scheme = Lazy.force receiver_scheme in
+        let v = Ast.to_verilog (Wrapper.top_level scheme) in
+        Alcotest.(check int) "region instances"
+          scheme.Scheme.region_count
+          (count_occurrences v "u_prr"));
+    Alcotest.test_case "no static wrapper without statics" `Quick (fun () ->
+        let d = Design_library.montone_example in
+        let s = Scheme.one_module_per_region d in
+        Alcotest.(check bool) "none" true (Wrapper.static_wrapper s = None)) ]
+
+let () =
+  Alcotest.run "hdl"
+    [ ("ast", ast_tests); ("wrapper", wrapper_tests) ]

@@ -1,0 +1,263 @@
+(* Randomised cross-validation: properties that check independently
+   derived implementations against each other over synthetic designs, so
+   a bug in one layer must conspire with a matching bug in another to
+   slip through. *)
+
+module Design = Prdesign.Design
+module Configuration = Prdesign.Configuration
+module Scheme = Prcore.Scheme
+module Cost = Prcore.Cost
+module Engine = Prcore.Engine
+module Resource = Fpga.Resource
+
+let gen_design =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let classes = Array.of_list Synth.Generator.all_classes in
+        Synth.Generator.generate
+          (Synth.Rng.make seed)
+          classes.(seed mod Array.length classes)
+          ~index:seed)
+      (0 -- 20_000))
+
+let solve_auto design =
+  match Engine.solve ~target:Engine.Auto design with
+  | Ok outcome -> Some outcome
+  | Error _ -> None
+
+(* Property 1: the modular scheme's total, computed through the full
+   Scheme/Cost machinery, equals a from-scratch reimplementation working
+   directly on the design: for each module, frames of its largest mode's
+   quantised region times the number of configuration pairs in which the
+   module runs two different modes. *)
+let prop_modular_total_independent =
+  QCheck2.Test.make ~name:"modular total vs independent reimplementation"
+    ~count:100 gen_design (fun design ->
+      let via_scheme =
+        (Cost.evaluate (Scheme.one_module_per_region design)).Cost.total_frames
+      in
+      let configs = Design.configuration_count design in
+      let manual = ref 0 in
+      for m = 0 to Design.module_count design - 1 do
+        let frames =
+          Fpga.Tile.frames_of_resources
+            (Prdesign.Pmodule.largest_mode design.Design.modules.(m))
+        in
+        let mode_in c =
+          Configuration.mode_of_module design.Design.configurations.(c) m
+        in
+        for i = 0 to configs - 1 do
+          for j = i + 1 to configs - 1 do
+            match (mode_in i, mode_in j) with
+            | Some a, Some b when a <> b -> manual := !manual + frames
+            | Some _, Some _ | None, _ | _, None -> ()
+          done
+        done
+      done;
+      via_scheme = !manual)
+
+(* Property 2: under every engine scheme, each configuration's modes are
+   exactly provided by the residents of its regions plus the static
+   clusters. *)
+let prop_configurations_covered =
+  QCheck2.Test.make ~name:"engine scheme covers every configuration"
+    ~count:60 gen_design (fun design ->
+      match solve_auto design with
+      | None -> QCheck2.assume_fail ()
+      | Some outcome ->
+        let scheme = outcome.Engine.scheme in
+        let static_modes =
+          List.concat_map
+            (fun p -> scheme.Scheme.partitions.(p).Cluster.Base_partition.modes)
+            (Scheme.static_members scheme)
+        in
+        List.for_all
+          (fun c ->
+            let provided =
+              static_modes
+              @ List.concat_map
+                  (fun r ->
+                    match Scheme.active_partition scheme ~config:c ~region:r with
+                    | Some p ->
+                      scheme.Scheme.partitions.(p).Cluster.Base_partition.modes
+                    | None -> [])
+                  (List.init scheme.Scheme.region_count Fun.id)
+            in
+            List.for_all
+              (fun mode -> List.mem mode provided)
+              (Design.config_mode_ids design c))
+          (List.init (Design.configuration_count design) Fun.id))
+
+(* Property 3: a larger budget never yields a worse total. *)
+let prop_budget_monotone =
+  QCheck2.Test.make ~name:"total time monotone in the budget" ~count:40
+    gen_design (fun design ->
+      match solve_auto design with
+      | None -> QCheck2.assume_fail ()
+      | Some outcome ->
+        let budget = outcome.Engine.budget in
+        let bigger =
+          { Resource.clb = budget.Resource.clb * 3 / 2;
+            bram = budget.Resource.bram * 3 / 2;
+            dsp = budget.Resource.dsp * 3 / 2 }
+        in
+        (match
+           ( Engine.solve ~target:(Engine.Budget budget) design,
+             Engine.solve ~target:(Engine.Budget bigger) design )
+         with
+         | Ok small, Ok large ->
+           large.Engine.evaluation.Cost.total_frames
+           <= small.Engine.evaluation.Cost.total_frames
+         | (Error _ | Ok _), _ -> QCheck2.assume_fail ()))
+
+(* Property 4: scheme XML persistence round-trips engine outputs. *)
+let prop_scheme_xml_roundtrip =
+  QCheck2.Test.make ~name:"scheme xml round trip on engine outputs"
+    ~count:60 gen_design (fun design ->
+      match solve_auto design with
+      | None -> QCheck2.assume_fail ()
+      | Some outcome ->
+        let scheme = outcome.Engine.scheme in
+        let reloaded =
+          Prcore.Scheme_xml.of_string design (Prcore.Scheme_xml.to_string scheme)
+        in
+        (Cost.evaluate reloaded).Cost.total_frames
+        = (Cost.evaluate scheme).Cost.total_frames
+        && reloaded.Scheme.region_count = scheme.Scheme.region_count)
+
+(* Property 5: wrapper emission produces one valid Verilog module per
+   file (to_verilog validates internally and would raise). *)
+let prop_wrappers_valid =
+  QCheck2.Test.make ~name:"wrapper emission is valid Verilog" ~count:30
+    gen_design (fun design ->
+      match solve_auto design with
+      | None -> QCheck2.assume_fail ()
+      | Some outcome ->
+        let files = Hdl.Wrapper.emit_scheme outcome.Engine.scheme in
+        files <> []
+        && List.for_all
+             (fun (name, content) ->
+               Filename.check_suffix name ".v" && String.length content > 0)
+             files)
+
+(* Property 6: repository storage accounting is self-consistent and every
+   bitstream parses back. *)
+let prop_repository_consistent =
+  QCheck2.Test.make ~name:"bitstream repository self-consistent" ~count:30
+    gen_design (fun design ->
+      match solve_auto design with
+      | None -> QCheck2.assume_fail ()
+      | Some outcome ->
+        let device =
+          match outcome.Engine.device with
+          | Some d -> d
+          | None -> Fpga.Device.find_exn "FX200T"
+        in
+        let repo = Bitgen.Repository.build ~device outcome.Engine.scheme in
+        let sum =
+          List.fold_left
+            (fun acc (e : Bitgen.Repository.entry) ->
+              acc + Bitgen.Bitstream.size_bytes e.bitstream)
+            0 repo.Bitgen.Repository.entries
+        in
+        sum = Bitgen.Repository.partial_bytes repo
+        && List.for_all
+             (fun (e : Bitgen.Repository.entry) ->
+               Result.is_ok
+                 (Bitgen.Bitstream.parse
+                    (Bitgen.Bitstream.serialise e.bitstream)))
+             repo.Bitgen.Repository.entries)
+
+(* Property 7: traces round-trip through their text format. *)
+let prop_trace_roundtrip =
+  QCheck2.Test.make ~name:"trace text round trip" ~count:60
+    QCheck2.Gen.(pair gen_design (0 -- 10_000))
+    (fun (design, seed) ->
+      let configs = Design.configuration_count design in
+      if configs < 2 then true
+      else begin
+        let rng = Synth.Rng.make seed in
+        let trace =
+          Runtime.Trace.record design ~initial:0
+            ~sequence:
+              (Runtime.Manager.random_walk
+                 ~rand:(fun n -> Synth.Rng.int rng n)
+                 ~configs ~steps:30 ~initial:0)
+        in
+        match
+          Runtime.Trace.of_string design (Runtime.Trace.to_string design trace)
+        with
+        | Ok t ->
+          t.Runtime.Trace.sequence = trace.Runtime.Trace.sequence
+          && t.Runtime.Trace.initial = trace.Runtime.Trace.initial
+        | Error _ -> false
+      end)
+
+(* Property 8: the worst transition never exceeds the sum of all region
+   frame counts (every region reconfigured at once). *)
+let prop_worst_bounded =
+  QCheck2.Test.make ~name:"worst case bounded by total region frames"
+    ~count:60 gen_design (fun design ->
+      match solve_auto design with
+      | None -> QCheck2.assume_fail ()
+      | Some outcome ->
+        let e = outcome.Engine.evaluation in
+        e.Cost.worst_frames <= Array.fold_left ( + ) 0 e.Cost.region_frames)
+
+(* Property 9: stateful simulation of a tour is bounded by the
+   *directional* per-hop rule (a region is charged whenever the target
+   configuration needs a resident that differs from the source's,
+   including activation from idle). Note the paper's symmetric pairwise
+   metric is NOT an upper bound: it treats idle-to-active hops as free,
+   while a region woken from idle may hold the wrong bitstream. *)
+let prop_tour_bounded_by_directional =
+  QCheck2.Test.make
+    ~name:"configuration tour bounded by directional per-hop sums" ~count:40
+    gen_design (fun design ->
+      match solve_auto design with
+      | None -> QCheck2.assume_fail ()
+      | Some outcome ->
+        let scheme = outcome.Engine.scheme in
+        let configs = Design.configuration_count design in
+        if configs < 2 then true
+        else begin
+          let tour = List.init configs Fun.id @ [ 0 ] in
+          let stats =
+            Runtime.Manager.simulate scheme ~initial:0 ~sequence:tour
+          in
+          let directional_hop i j =
+            let cost = ref 0 in
+            for r = 0 to scheme.Scheme.region_count - 1 do
+              let needed c = Scheme.active_partition scheme ~config:c ~region:r in
+              match needed j with
+              | None -> ()
+              | Some p ->
+                if needed i <> Some p then
+                  cost := !cost + Scheme.region_frames scheme r
+            done;
+            !cost
+          in
+          let bound = ref 0 in
+          let prev = ref 0 in
+          List.iter
+            (fun c ->
+              if c <> !prev then bound := !bound + directional_hop !prev c;
+              prev := c)
+            tour;
+          stats.Runtime.Manager.total_frames <= !bound
+        end)
+
+let () =
+  Alcotest.run "cross-validation"
+    [ ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_modular_total_independent;
+            prop_configurations_covered;
+            prop_budget_monotone;
+            prop_scheme_xml_roundtrip;
+            prop_wrappers_valid;
+            prop_repository_consistent;
+            prop_trace_roundtrip;
+            prop_worst_bounded;
+            prop_tour_bounded_by_directional ] ) ]

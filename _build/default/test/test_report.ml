@@ -1,0 +1,156 @@
+(* Tests for the reporting helpers: tables, histograms and statistics. *)
+
+module Table = Report.Table
+module Histogram = Report.Histogram
+module Stats = Report.Stats
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let table_tests =
+  [ Alcotest.test_case "renders header, rule and rows" `Quick (fun () ->
+        let s =
+          Table.render ~headers:[ "name"; "value" ]
+            [ [ "alpha"; "1" ]; [ "b"; "23" ] ]
+        in
+        Alcotest.(check int) "four lines" 4 (List.length (lines s)));
+    Alcotest.test_case "columns are aligned" `Quick (fun () ->
+        let s =
+          Table.render ~headers:[ "n"; "v" ] [ [ "aaaa"; "1" ]; [ "b"; "22" ] ]
+        in
+        let widths = List.map String.length (lines s) in
+        Alcotest.(check bool) "equal line widths" true
+          (List.for_all (fun w -> w = List.hd widths) widths));
+    Alcotest.test_case "default alignment: first left, rest right" `Quick
+      (fun () ->
+        let s = Table.render ~headers:[ "n"; "v" ] [ [ "x"; "1" ] ] in
+        (match lines s with
+         | [ _; _; row ] ->
+           Alcotest.(check bool) "label left" true (row.[0] = 'x');
+           Alcotest.(check bool) "number right" true
+             (row.[String.length row - 1] = '1')
+         | _ -> Alcotest.fail "unexpected shape"));
+    Alcotest.test_case "short rows padded" `Quick (fun () ->
+        let s = Table.render ~headers:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+        Alcotest.(check int) "rendered" 3 (List.length (lines s)));
+    Alcotest.test_case "wide rows rejected" `Quick (fun () ->
+        match Table.render ~headers:[ "a" ] [ [ "x"; "y" ] ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "aligns length validated" `Quick (fun () ->
+        match Table.render ~aligns:[ Table.Left ] ~headers:[ "a"; "b" ] [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "of_ints and fixed" `Quick (fun () ->
+        Alcotest.(check (list string)) "ints" [ "1"; "2" ] (Table.of_ints [ 1; 2 ]);
+        Alcotest.(check string) "fixed" "3.14" (Table.fixed 2 3.14159)) ]
+
+let histogram_tests =
+  [ Alcotest.test_case "values land in the right buckets" `Quick (fun () ->
+        let h =
+          Histogram.make ~lo:0. ~hi:100. ~buckets:10
+            [ 5.; 15.; 15.; 99.; 100. ]
+        in
+        Alcotest.(check int) "bucket 0" 1 h.Histogram.counts.(0);
+        Alcotest.(check int) "bucket 1" 2 h.counts.(1);
+        Alcotest.(check int) "last bucket (closed hi)" 2 h.counts.(9));
+    Alcotest.test_case "under and overflow" `Quick (fun () ->
+        let h = Histogram.make ~lo:0. ~hi:10. ~buckets:2 [ -1.; 11.; 5. ] in
+        Alcotest.(check int) "under" 1 h.Histogram.underflow;
+        Alcotest.(check int) "over" 1 h.overflow;
+        Alcotest.(check int) "total" 3 (Histogram.total h));
+    Alcotest.test_case "fig9 axis labels" `Quick (fun () ->
+        let h = Histogram.make ~lo:(-10.) ~hi:100. ~buckets:11 [] in
+        Alcotest.(check string) "first" "[-10, 0)" (Histogram.bucket_label h 0);
+        Alcotest.(check string) "last" "[90, 100)" (Histogram.bucket_label h 10));
+    Alcotest.test_case "label range checked" `Quick (fun () ->
+        let h = Histogram.make ~lo:0. ~hi:1. ~buckets:1 [] in
+        match Histogram.bucket_label h 5 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "invalid parameters rejected" `Quick (fun () ->
+        (match Histogram.make ~lo:0. ~hi:1. ~buckets:0 [] with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "buckets");
+        match Histogram.make ~lo:1. ~hi:1. ~buckets:2 [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "range");
+    Alcotest.test_case "render shows a line per bucket" `Quick (fun () ->
+        let h = Histogram.make ~lo:0. ~hi:10. ~buckets:5 [ 1.; 2.; 3. ] in
+        Alcotest.(check int) "five lines" 5
+          (List.length (lines (Histogram.render h)))) ]
+
+let stats_tests =
+  [ Alcotest.test_case "mean" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]));
+    Alcotest.test_case "median odd and even" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+        Alcotest.(check (float 1e-9)) "even (lower)" 2.
+          (Stats.median [ 4.; 1.; 2.; 3. ]));
+    Alcotest.test_case "percentile nearest rank" `Quick (fun () ->
+        let values = List.init 100 (fun i -> float_of_int (i + 1)) in
+        Alcotest.(check (float 1e-9)) "p50" 50. (Stats.percentile 50. values);
+        Alcotest.(check (float 1e-9)) "p100" 100. (Stats.percentile 100. values);
+        Alcotest.(check (float 1e-9)) "p0" 1. (Stats.percentile 0. values));
+    Alcotest.test_case "percentile bounds" `Quick (fun () ->
+        match Stats.percentile 101. [ 1. ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "minimum and maximum" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "min" (-2.) (Stats.minimum [ 3.; -2.; 1. ]);
+        Alcotest.(check (float 1e-9)) "max" 3. (Stats.maximum [ 3.; -2.; 1. ]));
+    Alcotest.test_case "fraction" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "half" 0.5
+          (Stats.fraction (fun x -> x > 0) [ 1; -1; 2; -2 ]);
+        Alcotest.(check (float 1e-9)) "empty" 0.
+          (Stats.fraction (fun _ -> true) []));
+    Alcotest.test_case "geometric mean" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "gm" 2. (Stats.geometric_mean [ 1.; 4. ]);
+        match Stats.geometric_mean [ 0.; 1. ] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "empty lists rejected" `Quick (fun () ->
+        let expect f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "expected Invalid_argument"
+        in
+        expect (fun () -> Stats.mean []);
+        expect (fun () -> Stats.median []);
+        expect (fun () -> Stats.minimum []);
+        expect (fun () -> Stats.maximum []);
+        expect (fun () -> Stats.percentile 50. [])) ]
+
+(* Properties. *)
+let prop_histogram_conserves =
+  QCheck2.Test.make ~name:"histogram conserves the value count" ~count:200
+    QCheck2.Gen.(list (float_range (-50.) 150.))
+    (fun values ->
+      let h = Histogram.make ~lo:(-10.) ~hi:100. ~buckets:11 values in
+      Histogram.total h = List.length values)
+
+let prop_mean_between_min_max =
+  QCheck2.Test.make ~name:"mean within [min, max]" ~count:200
+    QCheck2.Gen.(list_size (1 -- 50) (float_range (-1000.) 1000.))
+    (fun values ->
+      let m = Stats.mean values in
+      m >= Stats.minimum values -. 1e-9 && m <= Stats.maximum values +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck2.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (1 -- 50) (float_range (-100.) 100.))
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (values, (p1, p2)) ->
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile lo values <= Stats.percentile hi values)
+
+let () =
+  Alcotest.run "report"
+    [ ("table", table_tests);
+      ("histogram", histogram_tests);
+      ("stats", stats_tests);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_histogram_conserves; prop_mean_between_min_max;
+            prop_percentile_monotone ] ) ]

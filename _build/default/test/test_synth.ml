@@ -1,0 +1,234 @@
+(* Tests for the deterministic RNG and the synthetic design generator
+   (paper §V recipe). *)
+
+module Rng = Synth.Rng
+module Generator = Synth.Generator
+module Design = Prdesign.Design
+module Resource = Fpga.Resource
+
+let rng_tests =
+  [ Alcotest.test_case "deterministic for equal seeds" `Quick (fun () ->
+        let a = Rng.make 7 and b = Rng.make 7 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        Alcotest.(check bool) "differ" true
+          (Rng.next (Rng.make 1) <> Rng.next (Rng.make 2)));
+    Alcotest.test_case "int stays in bounds" `Quick (fun () ->
+        let rng = Rng.make 3 in
+        for _ = 1 to 1000 do
+          let v = Rng.int rng 17 in
+          Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+        done);
+    Alcotest.test_case "int rejects non-positive bound" `Quick (fun () ->
+        let rng = Rng.make 3 in
+        match Rng.int rng 0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "range inclusive" `Quick (fun () ->
+        let rng = Rng.make 5 in
+        let seen_lo = ref false and seen_hi = ref false in
+        for _ = 1 to 2000 do
+          let v = Rng.range rng 2 4 in
+          Alcotest.(check bool) "2..4" true (v >= 2 && v <= 4);
+          if v = 2 then seen_lo := true;
+          if v = 4 then seen_hi := true
+        done;
+        Alcotest.(check bool) "hits lo" true !seen_lo;
+        Alcotest.(check bool) "hits hi" true !seen_hi);
+    Alcotest.test_case "range rejects empty" `Quick (fun () ->
+        let rng = Rng.make 5 in
+        match Rng.range rng 4 2 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "float in [0,1)" `Quick (fun () ->
+        let rng = Rng.make 11 in
+        for _ = 1 to 1000 do
+          let v = Rng.float rng in
+          Alcotest.(check bool) "unit interval" true (v >= 0. && v < 1.)
+        done);
+    Alcotest.test_case "bool produces both values" `Quick (fun () ->
+        let rng = Rng.make 13 in
+        let t = ref false and f = ref false in
+        for _ = 1 to 200 do
+          if Rng.bool rng then t := true else f := true
+        done;
+        Alcotest.(check bool) "both" true (!t && !f));
+    Alcotest.test_case "split streams are independent-ish" `Quick (fun () ->
+        let parent = Rng.make 17 in
+        let a = Rng.split parent and b = Rng.split parent in
+        Alcotest.(check bool) "differ" true (Rng.next a <> Rng.next b));
+    Alcotest.test_case "choose rejects empty" `Quick (fun () ->
+        let rng = Rng.make 19 in
+        match Rng.choose rng [||] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "shuffle preserves multiset" `Quick (fun () ->
+        let rng = Rng.make 23 in
+        let arr = Array.init 50 Fun.id in
+        Rng.shuffle rng arr;
+        Alcotest.(check (list int)) "same elements"
+          (List.init 50 Fun.id)
+          (List.sort Int.compare (Array.to_list arr))) ]
+
+let sample_designs =
+  lazy (Generator.batch ~seed:2013 ~count:100 ())
+
+let generator_tests =
+  [ Alcotest.test_case "batch is deterministic" `Quick (fun () ->
+        let a = Generator.batch ~seed:42 ~count:8 () in
+        let b = Generator.batch ~seed:42 ~count:8 () in
+        List.iter2
+          (fun (_, da) (_, db) ->
+            Alcotest.(check string) "same names" da.Design.name db.Design.name;
+            Alcotest.(check bool) "same modes" true
+              (List.for_all
+                 (fun id ->
+                   Resource.equal
+                     (Design.mode_resources da id)
+                     (Design.mode_resources db id))
+                 (Design.all_mode_ids da)))
+          a b);
+    Alcotest.test_case "different seeds give different designs" `Quick
+      (fun () ->
+        let a = List.map snd (Generator.batch ~seed:1 ~count:4 ()) in
+        let b = List.map snd (Generator.batch ~seed:2 ~count:4 ()) in
+        Alcotest.(check bool) "some difference" true
+          (List.exists2
+             (fun da db ->
+               Design.mode_count da <> Design.mode_count db
+               || List.exists
+                    (fun id ->
+                      not
+                        (Resource.equal
+                           (Design.mode_resources da id)
+                           (Design.mode_resources db id)))
+                    (Design.all_mode_ids da))
+             a b));
+    Alcotest.test_case "classes interleave equally" `Quick (fun () ->
+        let designs = Lazy.force sample_designs in
+        List.iter
+          (fun cls ->
+            Alcotest.(check int)
+              (Generator.class_name cls)
+              25
+              (List.length (List.filter (fun (c, _) -> c = cls) designs)))
+          Generator.all_classes);
+    Alcotest.test_case "module and mode counts within spec" `Quick (fun () ->
+        List.iter
+          (fun (_, d) ->
+            let mc = Design.module_count d in
+            Alcotest.(check bool) "2..6 modules" true (mc >= 2 && mc <= 6);
+            Array.iter
+              (fun m ->
+                let k = Prdesign.Pmodule.mode_count m in
+                Alcotest.(check bool) "2..4 modes" true (k >= 2 && k <= 4))
+              d.Design.modules)
+          (Lazy.force sample_designs));
+    Alcotest.test_case "mode CLBs within 25..4000" `Quick (fun () ->
+        List.iter
+          (fun (_, d) ->
+            List.iter
+              (fun id ->
+                let r = Design.mode_resources d id in
+                Alcotest.(check bool) "clb range" true
+                  (r.Resource.clb >= 25 && r.Resource.clb <= 4000))
+              (Design.all_mode_ids d))
+          (Lazy.force sample_designs));
+    Alcotest.test_case "every mode used by some configuration" `Quick
+      (fun () ->
+        (* Guaranteed by Design.create validation, but assert explicitly:
+           the generator never needs allow_unused_modes. *)
+        List.iter
+          (fun (_, d) ->
+            let matrix = Prgraph.Conn_matrix.make d in
+            List.iter
+              (fun id ->
+                Alcotest.(check bool) "used" true
+                  (Prgraph.Conn_matrix.node_weight matrix id > 0))
+              (Design.all_mode_ids d))
+          (Lazy.force sample_designs));
+    Alcotest.test_case "static overhead is 90 CLB + 8 BRAM" `Quick (fun () ->
+        List.iter
+          (fun (_, d) ->
+            Alcotest.(check bool) "overhead" true
+              (Resource.equal d.Design.static_overhead
+                 (Resource.make ~bram:8 90)))
+          (Lazy.force sample_designs));
+    Alcotest.test_case "class shapes: memory designs carry BRAM" `Quick
+      (fun () ->
+        let designs = Lazy.force sample_designs in
+        let mean_ratio cls pick =
+          let values =
+            List.filter_map
+              (fun (c, d) ->
+                if c <> cls then None
+                else
+                  Some
+                    (List.fold_left
+                       (fun acc id ->
+                         let r = Design.mode_resources d id in
+                         acc
+                         +. (float_of_int (pick r)
+                             /. float_of_int (max 1 r.Resource.clb)))
+                       0.
+                       (Design.all_mode_ids d)
+                     /. float_of_int (Design.mode_count d)))
+              designs
+          in
+          List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+        in
+        let bram (r : Resource.t) = r.Resource.bram in
+        let dsp (r : Resource.t) = r.Resource.dsp in
+        Alcotest.(check bool) "memory-heavy BRAM ratio" true
+          (mean_ratio Generator.Memory_intensive bram
+           > 3. *. mean_ratio Generator.Logic_intensive bram);
+        Alcotest.(check bool) "dsp-heavy DSP ratio" true
+          (mean_ratio Generator.Dsp_intensive dsp
+           > 3. *. mean_ratio Generator.Logic_intensive dsp));
+    Alcotest.test_case "every design fits some catalogued device" `Quick
+      (fun () ->
+        (* The generator's divisors are calibrated so the single-region
+           lower bound fits the catalogue (DESIGN.md). *)
+        let fitted =
+          List.filter
+            (fun (_, d) ->
+              let need =
+                Resource.add
+                  (Fpga.Tile.quantize (Design.min_region_requirement d))
+                  d.Design.static_overhead
+              in
+              Fpga.Device.smallest_fitting need <> None)
+            (Lazy.force sample_designs)
+        in
+        Alcotest.(check int) "all fit" 100 (List.length fitted));
+    Alcotest.test_case "configuration contents pairwise distinct" `Quick
+      (fun () ->
+        List.iter
+          (fun (_, d) ->
+            let contents =
+              List.init (Design.configuration_count d)
+                (Design.config_mode_ids d)
+            in
+            Alcotest.(check int) "distinct"
+              (List.length contents)
+              (List.length (List.sort_uniq compare contents)))
+          (Lazy.force sample_designs)) ]
+
+(* Property: generation never raises over a wide seed space. *)
+let prop_generation_total =
+  QCheck2.Test.make ~name:"generation succeeds for any seed" ~count:200
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let d =
+        Generator.generate (Rng.make seed) Generator.Dsp_memory_intensive
+          ~index:seed
+      in
+      Design.configuration_count d >= 1 && Design.mode_count d >= 4)
+
+let () =
+  Alcotest.run "synth"
+    [ ("rng", rng_tests);
+      ("generator", generator_tests);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_generation_total ]) ]

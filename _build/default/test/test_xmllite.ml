@@ -1,0 +1,192 @@
+(* Tests for the Xmllite substrate: parsing, printing, escaping, accessors
+   and error reporting. *)
+
+module Xml = Xmllite.Xml
+
+let check_parse name input expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) "parse result" true (Xml.parse_string input = expected))
+
+let parse_fails name input =
+  Alcotest.test_case name `Quick (fun () ->
+      match Xml.parse_string input with
+      | exception Xml.Parse_error _ -> ()
+      | _ -> Alcotest.fail "expected Parse_error")
+
+let parsing_tests =
+  [ check_parse "empty element" "<a/>" (Xml.Element ("a", [], []));
+    check_parse "empty element with space" "<a />" (Xml.Element ("a", [], []));
+    check_parse "nested" "<a><b/><c/></a>"
+      (Xml.Element ("a", [], [ Xml.Element ("b", [], []); Xml.Element ("c", [], []) ]));
+    check_parse "text content" "<a>hello</a>"
+      (Xml.Element ("a", [], [ Xml.Text "hello" ]));
+    check_parse "attributes" {|<a x="1" y="two"/>|}
+      (Xml.Element ("a", [ ("x", "1"); ("y", "two") ], []));
+    check_parse "single-quoted attribute" "<a x='1'/>"
+      (Xml.Element ("a", [ ("x", "1") ], []));
+    check_parse "whitespace between nodes" "<a>\n  <b/>\n</a>"
+      (Xml.Element ("a", [], [ Xml.Element ("b", [], []) ]));
+    check_parse "xml declaration skipped" "<?xml version=\"1.0\"?><a/>"
+      (Xml.Element ("a", [], []));
+    check_parse "comment skipped" "<a><!-- comment --><b/></a>"
+      (Xml.Element ("a", [], [ Xml.Element ("b", [], []) ]));
+    check_parse "doctype skipped" "<!DOCTYPE design><a/>"
+      (Xml.Element ("a", [], []));
+    check_parse "entities decoded" "<a>&lt;&amp;&gt;&quot;&apos;</a>"
+      (Xml.Element ("a", [], [ Xml.Text "<&>\"'" ]));
+    check_parse "numeric references" "<a>&#65;&#x42;</a>"
+      (Xml.Element ("a", [], [ Xml.Text "AB" ]));
+    check_parse "entity in attribute" {|<a x="a&amp;b"/>|}
+      (Xml.Element ("a", [ ("x", "a&b") ], []));
+    check_parse "mixed content keeps text" "<a>x<b/>y</a>"
+      (Xml.Element
+         ("a", [], [ Xml.Text "x"; Xml.Element ("b", [], []); Xml.Text "y" ]));
+    check_parse "name characters" "<a-b.c_d:e/>"
+      (Xml.Element ("a-b.c_d:e", [], []));
+    check_parse "trailing comment" "<a/><!-- bye -->"
+      (Xml.Element ("a", [], []));
+    parse_fails "unterminated element" "<a>";
+    parse_fails "mismatched close" "<a></b>";
+    parse_fails "trailing garbage" "<a/>junk";
+    parse_fails "two roots" "<a/><b/>";
+    parse_fails "text root" "just text";
+    parse_fails "unterminated attribute" "<a x=\"1/>";
+    parse_fails "missing attribute value" "<a x/>";
+    parse_fails "empty input" "";
+    parse_fails "unterminated comment" "<!-- <a/>" ]
+
+let roundtrip name doc =
+  Alcotest.test_case ("roundtrip " ^ name) `Quick (fun () ->
+      let printed = Xml.to_string doc in
+      Alcotest.(check bool) "reparse equals" true (Xml.parse_string printed = doc))
+
+let printing_tests =
+  [ roundtrip "simple" (Xml.Element ("a", [], []));
+    roundtrip "attributes escaped"
+      (Xml.Element ("a", [ ("x", "a&b<c>\"d'") ], []));
+    roundtrip "text escaped" (Xml.Element ("a", [], [ Xml.Text "x < y & z" ]));
+    roundtrip "deep nesting"
+      (Xml.Element
+         ( "a",
+           [ ("k", "v") ],
+           [ Xml.Element ("b", [], [ Xml.Element ("c", [], [ Xml.Text "t" ]) ]) ] ));
+    Alcotest.test_case "escape covers all five" `Quick (fun () ->
+        Alcotest.(check string) "escaped"
+          "&amp;&lt;&gt;&quot;&apos;" (Xml.escape "&<>\"'"));
+    Alcotest.test_case "unescape unknown entity kept" `Quick (fun () ->
+        Alcotest.(check string) "kept" "&unknown;" (Xml.unescape "&unknown;"));
+    Alcotest.test_case "unescape lone ampersand" `Quick (fun () ->
+        Alcotest.(check string) "kept" "a&b" (Xml.unescape "a&b")) ]
+
+let doc =
+  Xml.parse_string
+    {|<root a="1" b="x">
+        <child n="first">one</child>
+        <child n="second">two</child>
+        <other/>
+      </root>|}
+
+let accessor_tests =
+  [ Alcotest.test_case "tag" `Quick (fun () ->
+        Alcotest.(check string) "root" "root" (Xml.tag doc));
+    Alcotest.test_case "tag of text raises" `Quick (fun () ->
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Xml.tag: text node") (fun () ->
+            ignore (Xml.tag (Xml.Text "x"))));
+    Alcotest.test_case "attr present" `Quick (fun () ->
+        Alcotest.(check (option string)) "a" (Some "1") (Xml.attr "a" doc));
+    Alcotest.test_case "attr absent" `Quick (fun () ->
+        Alcotest.(check (option string)) "z" None (Xml.attr "z" doc));
+    Alcotest.test_case "attr_exn raises" `Quick (fun () ->
+        Alcotest.check_raises "missing" Not_found (fun () ->
+            ignore (Xml.attr_exn "z" doc)));
+    Alcotest.test_case "int_attr" `Quick (fun () ->
+        Alcotest.(check (option int)) "a" (Some 1) (Xml.int_attr "a" doc);
+        Alcotest.(check (option int)) "b" None (Xml.int_attr "b" doc));
+    Alcotest.test_case "find_all" `Quick (fun () ->
+        Alcotest.(check int) "children" 2
+          (List.length (Xml.find_all "child" doc)));
+    Alcotest.test_case "find_opt first match" `Quick (fun () ->
+        match Xml.find_opt "child" doc with
+        | Some el ->
+          Alcotest.(check (option string)) "n" (Some "first") (Xml.attr "n" el)
+        | None -> Alcotest.fail "expected a child");
+    Alcotest.test_case "find_opt missing" `Quick (fun () ->
+        Alcotest.(check bool) "none" true (Xml.find_opt "nope" doc = None));
+    Alcotest.test_case "child_elements drops text" `Quick (fun () ->
+        Alcotest.(check int) "elements" 3
+          (List.length (Xml.child_elements doc)));
+    Alcotest.test_case "text_content recursive" `Quick (fun () ->
+        Alcotest.(check string) "text" "onetwo" (Xml.text_content doc));
+    Alcotest.test_case "children of text node" `Quick (fun () ->
+        Alcotest.(check int) "none" 0 (List.length (Xml.children (Xml.Text "x")))) ]
+
+let error_position_tests =
+  [ Alcotest.test_case "error carries line and column" `Quick (fun () ->
+        match Xml.parse_string "<a>\n  <b>\n</a>" with
+        | exception Xml.Parse_error { line; _ } ->
+          Alcotest.(check bool) "line >= 2" true (line >= 2)
+        | _ -> Alcotest.fail "expected Parse_error");
+    Alcotest.test_case "file round trip" `Quick (fun () ->
+        let path = Filename.temp_file "xmllite" ".xml" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc "<a x=\"1\"><b/></a>";
+            close_out oc;
+            let parsed = Xml.parse_file path in
+            Alcotest.(check string) "tag" "a" (Xml.tag parsed))) ]
+
+(* Property: escape/unescape round-trips arbitrary strings. *)
+let prop_escape_roundtrip =
+  QCheck2.Test.make ~name:"unescape (escape s) = s" ~count:500
+    QCheck2.Gen.string_printable (fun s -> Xml.unescape (Xml.escape s) = s)
+
+(* Property: any tree built from safe tags survives print/parse. *)
+let gen_tree =
+  let open QCheck2.Gen in
+  let tag = oneofl [ "a"; "b"; "module"; "mode-x" ] in
+  let attr = pair (oneofl [ "k"; "name"; "v2" ]) (string_size (0 -- 8) ~gen:printable) in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then
+           map (fun t -> Xml.Element (t, [], [])) tag
+         else
+           map3
+             (fun t attrs children -> Xml.Element (t, attrs, children))
+             tag
+             (small_list attr)
+             (list_size (0 -- 3) (self (n / 2))))
+
+let dedup_attrs =
+  (* Printing duplicate attribute names is not meaningful XML; normalise
+     generated trees before testing. *)
+  let rec fix = function
+    | Xml.Text _ as t -> t
+    | Xml.Element (tag, attrs, children) ->
+      let attrs =
+        List.fold_left
+          (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc)
+          [] attrs
+        |> List.rev
+      in
+      Xml.Element (tag, attrs, List.map fix children)
+  in
+  fix
+
+let prop_tree_roundtrip =
+  QCheck2.Test.make ~name:"parse (print tree) = tree" ~count:200 gen_tree
+    (fun tree ->
+      let tree = dedup_attrs tree in
+      Xml.parse_string (Xml.to_string tree) = tree)
+
+let () =
+  Alcotest.run "xmllite"
+    [ ("parsing", parsing_tests);
+      ("printing", printing_tests);
+      ("accessors", accessor_tests);
+      ("errors", error_position_tests);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_escape_roundtrip; prop_tree_roundtrip ] ) ]
