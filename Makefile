@@ -1,0 +1,37 @@
+# Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
+# `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
+
+.PHONY: all build test check fmt fmt-check bench-smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+check: build test
+
+# Formatting is governed by .ocamlformat. The container does not ship the
+# ocamlformat binary, so both targets degrade to a no-op with a notice when
+# it is absent rather than failing the build.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt --auto-promote; \
+	else \
+	  echo "ocamlformat not installed; skipping fmt"; \
+	fi
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping fmt-check"; \
+	fi
+
+bench-smoke:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

@@ -135,6 +135,52 @@ let weighted () =
     (Experiments.Ablation.render_weighted
        (Experiments.Ablation.weighted_objective ()))
 
+(* Telemetry: per-phase timings of the case-study solve, plus the
+   overhead of the three handle operating points (dead null handle,
+   counting-only over the null sink, full tracing over a memory sink). *)
+let telemetry ?(quick = false) () =
+  section "Telemetry: per-phase timings of the case-study solve";
+  let receiver = Prdesign.Design_library.video_receiver in
+  let target =
+    Prcore.Engine.Budget Prdesign.Design_library.case_study_budget
+  in
+  let tele = Prtelemetry.create (Prtelemetry.Sink.memory ()) in
+  (match Prcore.Engine.solve ~telemetry:tele ~target receiver with
+   | Ok outcome ->
+     Printf.printf "cost evaluations: %d\n" outcome.Prcore.Engine.cost_evaluations
+   | Error message -> Printf.printf "solve failed: %s\n" message);
+  Prtelemetry.flush tele;
+  Printf.printf "trace events: %d\n" (List.length (Prtelemetry.events tele));
+  print_string (Prtelemetry.summary tele);
+  let reps = if quick then 2 else 25 in
+  let time f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Sys.time () -. t0
+  in
+  let solve tele () =
+    ignore (Prcore.Engine.solve ~telemetry:tele ~target receiver)
+  in
+  (* Warm up allocators and caches before the comparison. *)
+  solve Prtelemetry.null ();
+  let base = time (solve Prtelemetry.null) in
+  let counting =
+    time (fun () -> solve (Prtelemetry.create Prtelemetry.Sink.null) ())
+  in
+  let tracing =
+    time (fun () ->
+        solve (Prtelemetry.create (Prtelemetry.Sink.memory ())) ())
+  in
+  let pct x = if base > 0. then 100. *. (x -. base) /. base else 0. in
+  Printf.printf "handle overhead over %d case-study solves:\n" reps;
+  Printf.printf "  null handle           %8.3fs (baseline)\n" base;
+  Printf.printf "  counting (null sink)  %8.3fs (%+.1f%%)\n" counting
+    (pct counting);
+  Printf.printf "  tracing (memory sink) %8.3fs (%+.1f%%)\n" tracing
+    (pct tracing)
+
 (* Bechamel performance suite: one Test.make per regenerated artefact. *)
 let perf () =
   section "Performance (Bechamel; the paper's Python took seconds-minutes)";
@@ -212,14 +258,23 @@ let experiments =
     ("arch", arch);
     ("gap", gap);
     ("weighted", weighted);
+    ("telemetry", fun () -> telemetry ());
     ("perf", perf) ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--quick" args then begin
+    (* Smoke mode for the test suite: the fast experiments only, with a
+       reduced telemetry overhead comparison. *)
+    table1 ();
+    telemetry ~quick:true ();
+    exit 0
+  end;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: ([ _ ] as args) when args = [ "all" ] -> List.map fst experiments
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst experiments
+    match args with
+    | [ "all" ] -> List.map fst experiments
+    | _ :: _ -> args
+    | [] -> List.map fst experiments
   in
   List.iter
     (fun name ->

@@ -79,6 +79,45 @@ let save_scheme_arg =
   let doc = "Save the chosen scheme as XML to this path." in
   Arg.(value & opt (some string) None & info [ "save-scheme" ] ~docv:"FILE" ~doc)
 
+(* Telemetry plumbing shared by the instrumented subcommands: --trace
+   needs the full event stream (memory sink), --stats alone only needs
+   the aggregates (null sink). *)
+let trace_arg =
+  let doc =
+    "Write the telemetry event stream as JSON Lines to $(docv): one \
+     object per line with seq/t/kind/name/attrs fields, span begin/end \
+     pairs balanced."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc = "Print per-phase timing and counter tables after the run." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let telemetry_handle ~trace ~stats =
+  match (trace, stats) with
+  | None, false -> Prtelemetry.null
+  | Some _, _ -> Prtelemetry.create (Prtelemetry.Sink.memory ())
+  | None, true -> Prtelemetry.create Prtelemetry.Sink.null
+
+(* Flush, print the summary and/or export the trace. Returns a Cmdliner
+   status so a failed trace write exits exactly like any other CLI
+   error. *)
+let finish_telemetry ~trace ~stats tele =
+  if not (Prtelemetry.enabled tele) then `Ok ()
+  else begin
+    Prtelemetry.flush tele;
+    if stats then print_string (Prtelemetry.summary tele);
+    match trace with
+    | None -> `Ok ()
+    | Some path ->
+      (match Prtelemetry.write_jsonl tele path with
+       | Ok () ->
+         Format.printf "telemetry trace written to %s@." path;
+         `Ok ()
+       | Error message -> `Error (false, message))
+  end
+
 let options ~freq_rule ~no_promote ~max_sets ~restarts =
   { Prcore.Engine.default_options with
     freq_rule;
@@ -97,7 +136,7 @@ let target ~budget ~device =
      | None -> Error (Printf.sprintf "unknown device %S" name))
   | None, None -> Ok Prcore.Engine.Auto
 
-let run_floorplan scheme device =
+let run_floorplan ~telemetry scheme device =
   let layout = Floorplan.Layout.make device in
   let demands =
     Array.init
@@ -110,7 +149,7 @@ let run_floorplan scheme device =
           Floorplan.Placer.demand_of_resources
             (Prcore.Scheme.static_resources scheme))
   in
-  let outcome = Floorplan.Placer.place layout demands in
+  let outcome = Floorplan.Placer.place ~telemetry layout demands in
   Format.printf "Floorplan on %a:@." Fpga.Device.pp device;
   Array.iteri
     (fun i rect ->
@@ -130,7 +169,7 @@ let run_floorplan scheme device =
 
 let partition_cmd =
   let run spec budget device freq_rule no_promote max_sets restarts floorplan
-      save_scheme =
+      save_scheme trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -138,7 +177,8 @@ let partition_cmd =
        | Error message -> `Error (false, message)
        | Ok target ->
          let options = options ~freq_rule ~no_promote ~max_sets ~restarts in
-         (match Prcore.Engine.solve ~options ~target design with
+         let telemetry = telemetry_handle ~trace ~stats in
+         (match Prcore.Engine.solve ~options ~telemetry ~target design with
           | Error message -> `Error (false, message)
           | Ok outcome ->
             Format.printf "Design: %s@." (Prdesign.Design.summary design);
@@ -153,6 +193,8 @@ let partition_cmd =
             Format.printf
               "(%d base partitions, %d candidate sets explored)@."
               outcome.base_partitions outcome.candidate_sets;
+            if stats then
+              Format.printf "cost evaluations: %d@." outcome.cost_evaluations;
             if floorplan then begin
               let device =
                 match outcome.device with
@@ -165,14 +207,21 @@ let partition_cmd =
                    | Some d -> d
                    | None -> Fpga.Device.find_exn "FX200T")
               in
-              run_floorplan outcome.scheme device
+              run_floorplan ~telemetry outcome.scheme device
             end;
-            (match save_scheme with
-             | Some path ->
-               Prcore.Scheme_xml.save_file path outcome.scheme;
-               Format.printf "scheme saved to %s@." path
-             | None -> ());
-            `Ok ()))
+            let saved =
+              match save_scheme with
+              | None -> Ok ()
+              | Some path -> (
+                try
+                  Prcore.Scheme_xml.save_file path outcome.scheme;
+                  Format.printf "scheme saved to %s@." path;
+                  Ok ()
+                with Sys_error message -> Error message)
+            in
+            (match saved with
+             | Error message -> `Error (false, message)
+             | Ok () -> finish_telemetry ~trace ~stats telemetry)))
   in
   let doc = "Partition a design, minimising total reconfiguration time." in
   Cmd.v
@@ -181,24 +230,44 @@ let partition_cmd =
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ freq_rule_arg
          $ no_promote_arg $ max_sets_arg $ restarts_arg $ floorplan_arg
-         $ save_scheme_arg))
+         $ save_scheme_arg $ trace_arg $ stats_arg))
 
 let baselines_cmd =
-  let run spec =
+  let run spec trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
+      let telemetry = telemetry_handle ~trace ~stats in
       Format.printf "Design: %s@.@." (Prdesign.Design.summary design);
+      let schemes =
+        Prtelemetry.with_span telemetry "baselines.all"
+          ~attrs:
+            [ ("design", Prtelemetry.Json.String design.Prdesign.Design.name) ]
+          (fun () -> Baselines.Schemes.all design)
+      in
       List.iter
         (fun (l : Baselines.Schemes.labelled) ->
+          Prtelemetry.incr telemetry "baselines.schemes";
+          if Prtelemetry.tracing telemetry then
+            Prtelemetry.point telemetry "baselines.scheme"
+              ~attrs:
+                [ ("label", Prtelemetry.Json.String l.label);
+                  ( "total_frames",
+                    Prtelemetry.Json.Int l.evaluation.Prcore.Cost.total_frames
+                  );
+                  ( "worst_frames",
+                    Prtelemetry.Json.Int l.evaluation.Prcore.Cost.worst_frames
+                  ) ];
           Format.printf "== %s ==@.%s%a@.@." l.label
             (Prcore.Scheme.describe l.scheme)
             Prcore.Cost.pp_evaluation l.evaluation)
-        (Baselines.Schemes.all design);
-      `Ok ()
+        schemes;
+      finish_telemetry ~trace ~stats telemetry
   in
   let doc = "Evaluate the static, single-region and modular schemes." in
-  Cmd.v (Cmd.info "baselines" ~doc) Term.(ret (const run $ design_arg))
+  Cmd.v
+    (Cmd.info "baselines" ~doc)
+    Term.(ret (const run $ design_arg $ trace_arg $ stats_arg))
 
 let simulate_cmd =
   let steps_arg =
@@ -208,22 +277,23 @@ let simulate_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Walk RNG seed.")
   in
-  let trace_arg =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+  let replay_arg =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
            ~doc:"Replay a recorded trace instead of a random walk.")
   in
   let save_trace_arg =
     Arg.(value & opt (some string) None & info [ "save-trace" ] ~docv:"FILE"
            ~doc:"Record the walk as a trace file for later replay.")
   in
-  let run spec budget device steps seed trace save_trace =
+  let run spec budget device steps seed replay save_trace trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
       (match target ~budget ~device with
        | Error message -> `Error (false, message)
        | Ok target ->
-         (match Prcore.Engine.solve ~target design with
+         let telemetry = telemetry_handle ~trace ~stats in
+         (match Prcore.Engine.solve ~telemetry ~target design with
           | Error message -> `Error (false, message)
           | Ok outcome ->
             let configs = Prdesign.Design.configuration_count design in
@@ -231,7 +301,7 @@ let simulate_cmd =
               `Error (false, "need at least two configurations to simulate")
             else begin
               let trace_result =
-                match trace with
+                match replay with
                 | Some path -> Runtime.Trace.load_file design path
                 | None ->
                   let rng = Synth.Rng.make seed in
@@ -245,20 +315,29 @@ let simulate_cmd =
               match trace_result with
               | Error message -> `Error (false, message)
               | Ok walk ->
-                let stats = Runtime.Trace.simulate outcome.scheme walk in
+                let stats' =
+                  Runtime.Trace.simulate ~telemetry outcome.scheme walk
+                in
                 Format.printf "%s" (Prcore.Scheme.describe outcome.scheme);
-                Format.printf "%a@." Runtime.Manager.pp_stats stats;
+                Format.printf "%a@." Runtime.Manager.pp_stats stats';
                 Array.iteri
                   (fun r loads ->
                     Format.printf "  PRR%d reconfigured %d times@." (r + 1)
                       loads)
-                  stats.region_loads;
-                (match save_trace with
-                 | Some path ->
-                   Runtime.Trace.save_file design path walk;
-                   Format.printf "trace saved to %s@." path
-                 | None -> ());
-                `Ok ()
+                  stats'.region_loads;
+                let saved =
+                  match save_trace with
+                  | None -> Ok ()
+                  | Some path -> (
+                    try
+                      Runtime.Trace.save_file design path walk;
+                      Format.printf "trace saved to %s@." path;
+                      Ok ()
+                    with Sys_error message -> Error message)
+                in
+                (match saved with
+                 | Error message -> `Error (false, message)
+                 | Ok () -> finish_telemetry ~trace ~stats telemetry)
             end))
   in
   let doc =
@@ -269,7 +348,7 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ steps_arg
-         $ seed_arg $ trace_arg $ save_trace_arg))
+         $ seed_arg $ replay_arg $ save_trace_arg $ trace_arg $ stats_arg))
 
 let synth_cmd =
   let count_arg =
@@ -285,24 +364,27 @@ let synth_cmd =
   in
   let run count seed out =
     let designs = Synth.Generator.batch ~seed ~count () in
-    (match out with
-     | Some dir ->
-       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-       List.iter
-         (fun (_, d) ->
-           Prdesign.Design_xml.save_file
-             (Filename.concat dir (d.Prdesign.Design.name ^ ".xml"))
-             d)
-         designs;
-       Format.printf "wrote %d designs to %s@." count dir
-     | None ->
-       List.iter
-         (fun (cls, d) ->
-           Format.printf "%-12s %s@."
-             (Synth.Generator.class_name cls)
-             (Prdesign.Design.summary d))
-         designs);
-    `Ok ()
+    match out with
+    | Some dir -> (
+      try
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (_, d) ->
+            Prdesign.Design_xml.save_file
+              (Filename.concat dir (d.Prdesign.Design.name ^ ".xml"))
+              d)
+          designs;
+        Format.printf "wrote %d designs to %s@." count dir;
+        `Ok ()
+      with Sys_error message -> `Error (false, message))
+    | None ->
+      List.iter
+        (fun (cls, d) ->
+          Format.printf "%-12s %s@."
+            (Synth.Generator.class_name cls)
+            (Prdesign.Design.summary d))
+        designs;
+      `Ok ()
   in
   let doc = "Generate synthetic adaptive designs (paper Section V recipe)." in
   Cmd.v
@@ -326,24 +408,36 @@ let flow_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
            ~doc:"Write wrappers, bitstreams and the report into DIR.")
   in
-  let run spec budget device out =
+  let run spec budget device out trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
       (match target ~budget ~device with
        | Error message -> `Error (false, message)
        | Ok target ->
-         (match Flow.Tool_flow.run ~target design with
+         let telemetry = telemetry_handle ~trace ~stats in
+         let options = { Flow.Tool_flow.default_options with telemetry } in
+         (match Flow.Tool_flow.run ~options ~target design with
           | Error message -> `Error (false, message)
           | Ok report ->
             print_string (Flow.Tool_flow.render_summary report);
-            (match out with
-             | None -> ()
-             | Some dir ->
-               let written = Flow.Tool_flow.write_outputs ~dir report in
-               Format.printf "wrote %d files to %s@." (List.length written)
-                 dir);
-            `Ok ()))
+            let written =
+              match out with
+              | None -> Ok ()
+              | Some dir -> (
+                match Flow.Tool_flow.write_outputs ~dir report with
+                | Ok written ->
+                  Format.printf "wrote %d files to %s@." (List.length written)
+                    dir;
+                  Ok ()
+                | Error message -> Error message)
+            in
+            (match written with
+             | Error message -> `Error (false, message)
+             | Ok () ->
+               (* The summary already embeds the telemetry tables when
+                  live; only the trace export remains. *)
+               finish_telemetry ~trace ~stats:false telemetry)))
   in
   let doc =
     "Run the whole tool flow: partition, wrap, floorplan (with feedback), \
@@ -351,7 +445,10 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc)
-    Term.(ret (const run $ design_arg $ budget_arg $ device_arg $ out_arg))
+    Term.(
+      ret
+        (const run $ design_arg $ budget_arg $ device_arg $ out_arg
+         $ trace_arg $ stats_arg))
 
 let devices_cmd =
   let run () =

@@ -1,1 +1,1 @@
-lib/bitgen/repository.ml: Array Bitstream Buffer Cluster Floorplan Fpga List Prcore Prdesign Printf
+lib/bitgen/repository.ml: Array Bitstream Buffer Cluster Floorplan Fpga List Prcore Prdesign Printf Prtelemetry

@@ -1,1 +1,1 @@
-lib/bitgen/repository.mli: Bitstream Floorplan Fpga Prcore
+lib/bitgen/repository.mli: Bitstream Floorplan Fpga Prcore Prtelemetry

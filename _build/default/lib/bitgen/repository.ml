@@ -15,8 +15,30 @@ type t = {
   entries : entry list;
 }
 
-let build ?placement ~device (scheme : Scheme.t) =
+let build ?placement ?(telemetry = Prtelemetry.null) ~device
+    (scheme : Scheme.t) =
   let design = scheme.Scheme.design in
+  Prtelemetry.with_span telemetry "bitgen.build"
+    ~attrs:
+      [ ("design", Prtelemetry.Json.String design.Prdesign.Design.name);
+        ("device", Prtelemetry.Json.String device.Fpga.Device.short) ]
+  @@ fun () ->
+  let bitstreams = Prtelemetry.counter telemetry "bitgen.bitstreams" in
+  let frame_count = Prtelemetry.counter telemetry "bitgen.frames" in
+  let generate spec =
+    let bitstream = Bitstream.generate spec in
+    Prtelemetry.Counter.incr bitstreams;
+    Prtelemetry.Counter.incr frame_count ~by:bitstream.Bitstream.header.frames;
+    if Prtelemetry.tracing telemetry then
+      Prtelemetry.point telemetry "bitgen.entry"
+        ~attrs:
+          [ ("variant", Prtelemetry.Json.String spec.Bitstream.variant);
+            ("region", Prtelemetry.Json.Int spec.Bitstream.region);
+            ("frames", Prtelemetry.Json.Int spec.Bitstream.frames);
+            ("bytes", Prtelemetry.Json.Int (Bitstream.size_bytes bitstream))
+          ];
+    bitstream
+  in
   let far_of_region r =
     match placement with
     | Some rects when r < Array.length rects -> (
@@ -39,7 +61,7 @@ let build ?placement ~device (scheme : Scheme.t) =
                  partition = p;
                  label;
                  bitstream =
-                   Bitstream.generate
+                   generate
                      { design = design.Prdesign.Design.name;
                        variant = label;
                        region = r;
@@ -48,7 +70,7 @@ let build ?placement ~device (scheme : Scheme.t) =
              (Scheme.region_members scheme r)))
   in
   let full =
-    Bitstream.generate
+    generate
       { design = design.Prdesign.Design.name;
         variant = "full";
         region = 0xFFFF;

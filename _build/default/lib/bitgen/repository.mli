@@ -19,13 +19,19 @@ type t = private {
 
 val build :
   ?placement:Floorplan.Placer.rect option array ->
+  ?telemetry:Prtelemetry.t ->
   device:Fpga.Device.t ->
   Prcore.Scheme.t ->
   t
 (** Partial bitstreams take their region's tile-quantised frame count;
     frame addresses come from [placement] (the floorplanner's rectangles,
     regions first) when given, otherwise from a region-index placeholder.
-    The full bitstream covers the whole device. *)
+    The full bitstream covers the whole device.
+
+    [telemetry] (default {!Prtelemetry.null}, free): a ["bitgen.build"]
+    span, ["bitgen.bitstreams"] / ["bitgen.frames"] counters, and a
+    ["bitgen.entry"] trace event per generated bitstream (when
+    tracing). *)
 
 val find : t -> region:int -> partition:int -> entry option
 

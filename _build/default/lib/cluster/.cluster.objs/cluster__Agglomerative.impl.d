@@ -1,1 +1,1 @@
-lib/cluster/agglomerative.ml: Base_partition List Prdesign Prgraph
+lib/cluster/agglomerative.ml: Base_partition List Prdesign Prgraph Prtelemetry

@@ -1,1 +1,1 @@
-lib/cluster/agglomerative.mli: Base_partition Prdesign
+lib/cluster/agglomerative.mli: Base_partition Prdesign Prtelemetry

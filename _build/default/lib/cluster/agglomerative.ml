@@ -47,14 +47,31 @@ let singletons matrix design =
         ~freq:(Conn_matrix.node_weight matrix mode))
     (Conn_matrix.active_modes matrix)
 
-let run ?(freq_rule = Support) ?(clique_limit = 100_000) design =
-  let acc = ref [] in
-  let matrix =
-    iterate ~freq_rule ~clique_limit design (fun _link partitions ->
-        acc := List.rev_append partitions !acc)
-  in
-  List.sort Base_partition.compare_priority
-    (singletons matrix design @ List.rev !acc)
+let run ?(freq_rule = Support) ?(clique_limit = 100_000)
+    ?(telemetry = Prtelemetry.null) design =
+  Prtelemetry.with_span telemetry "cluster.agglomerate"
+    ~attrs:[ ("design", Prtelemetry.Json.String design.Design.name) ]
+    (fun () ->
+      let links = Prtelemetry.counter telemetry "cluster.links" in
+      let cliques = Prtelemetry.counter telemetry "cluster.cliques" in
+      let acc = ref [] in
+      let matrix =
+        iterate ~freq_rule ~clique_limit design (fun (i, j, w) partitions ->
+            Prtelemetry.Counter.incr links;
+            let found = List.length partitions in
+            Prtelemetry.Counter.incr cliques ~by:found;
+            if Prtelemetry.tracing telemetry then
+              Prtelemetry.point telemetry "cluster.link"
+                ~attrs:
+                  [ ("i", Prtelemetry.Json.Int i);
+                    ("j", Prtelemetry.Json.Int j);
+                    ("weight", Prtelemetry.Json.Int w);
+                    ("cliques", Prtelemetry.Json.Int found) ];
+            acc := List.rev_append partitions !acc)
+      in
+      let singles = singletons matrix design in
+      Prtelemetry.Counter.incr cliques ~by:(List.length singles);
+      List.sort Base_partition.compare_priority (singles @ List.rev !acc))
 
 let trace ?(freq_rule = Support) ?(clique_limit = 100_000) design =
   let acc = ref [] in

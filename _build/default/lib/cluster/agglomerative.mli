@@ -18,6 +18,7 @@ type freq_rule = Support | Min_edge
 val run :
   ?freq_rule:freq_rule ->
   ?clique_limit:int ->
+  ?telemetry:Prtelemetry.t ->
   Prdesign.Design.t ->
   Base_partition.t list
 (** All base partitions of the design, sorted with
@@ -25,7 +26,12 @@ val run :
     Singletons cover every mode used by at least one configuration; modes
     used by no configuration (paper's "mode 0") are excluded.
     [clique_limit] bounds enumeration per added link (default 100_000,
-    only reachable under [Min_edge]). *)
+    only reachable under [Min_edge]).
+
+    [telemetry] (default {!Prtelemetry.null}, free): a
+    ["cluster.agglomerate"] span, ["cluster.links"]/["cluster.cliques"]
+    counters, and — when tracing — one ["cluster.link"] event per added
+    edge with the cliques it completed. *)
 
 val trace :
   ?freq_rule:freq_rule ->

@@ -1,1 +1,1 @@
-lib/core/allocator.ml: Array Cluster Compatibility Cost Fpga List Option Prdesign Scheme
+lib/core/allocator.ml: Array Cluster Compatibility Cost Fpga List Option Prdesign Prtelemetry Scheme

@@ -1,1 +1,1 @@
-lib/core/allocator.mli: Cluster Fpga Prdesign Scheme
+lib/core/allocator.mli: Cluster Fpga Prdesign Prtelemetry Scheme

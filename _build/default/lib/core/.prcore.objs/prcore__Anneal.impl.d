@@ -1,1 +1,1 @@
-lib/core/anneal.ml: Array Cluster Compatibility Float Fpga Fun Hashtbl Int Int64 List Prdesign Scheme
+lib/core/anneal.ml: Array Cluster Compatibility Float Fpga Fun Hashtbl Int Int64 List Prdesign Prtelemetry Scheme

@@ -1,1 +1,1 @@
-lib/core/anneal.mli: Cluster Fpga Prdesign Scheme
+lib/core/anneal.mli: Cluster Fpga Prdesign Prtelemetry Scheme

@@ -1,1 +1,1 @@
-lib/core/covering.ml: Array Cluster List Prdesign
+lib/core/covering.ml: Array Cluster List Prdesign Prtelemetry

@@ -1,1 +1,1 @@
-lib/core/covering.mli: Cluster Prdesign
+lib/core/covering.mli: Cluster Prdesign Prtelemetry

@@ -1,1 +1,1 @@
-lib/core/design_space.ml: Buffer Cost Engine Fpga Int List Prdesign Printf Scheme
+lib/core/design_space.ml: Buffer Cost Engine Fpga Int List Prdesign Printf Prtelemetry Scheme

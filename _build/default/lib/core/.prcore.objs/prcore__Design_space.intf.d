@@ -1,1 +1,1 @@
-lib/core/design_space.mli: Engine Fpga Prdesign
+lib/core/design_space.mli: Engine Fpga Prdesign Prtelemetry

@@ -1,1 +1,1 @@
-lib/core/engine.ml: Allocator Array Cluster Cost Covering Format Fpga List Option Prdesign Result Scheme
+lib/core/engine.ml: Allocator Array Cluster Cost Covering Format Fpga List Option Prdesign Prtelemetry Result Scheme

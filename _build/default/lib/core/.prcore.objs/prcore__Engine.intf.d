@@ -1,1 +1,1 @@
-lib/core/engine.mli: Allocator Cluster Cost Fpga Prdesign Scheme
+lib/core/engine.mli: Allocator Cluster Cost Fpga Prdesign Prtelemetry Scheme

@@ -188,8 +188,11 @@ let candidate_moves ~promote_static state =
   !moves
 
 (* One greedy descent. Over budget: minimise the deficit, then added time,
-   then area. Within budget: apply time-reducing promotions only. *)
-let greedy ~options ~budget state =
+   then area. Within budget: apply time-reducing promotions only.
+   [evaluate_move]/[apply_move] default to the plain implementations; the
+   allocator passes telemetry-counting wrappers. *)
+let greedy ~options ~budget ?(evaluate_move = evaluate_move)
+    ?(apply_move = apply_move) state =
   let continue_ = ref true in
   while !continue_ do
     let used = used_resources state in
@@ -281,58 +284,105 @@ let better_scheme a b =
     if key va ea <= key vb eb then Some a' else Some b'
 
 let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
-    ~budget design partitions =
+    ?(telemetry = Prtelemetry.null) ~budget design partitions =
   match partitions with
   | [] -> None
   | _ ->
-    let parts = Array.of_list partitions in
-    let analysis = Compatibility.analyse design parts in
-    if not (Compatibility.covers_design analysis) then None
-    else begin
-      let base = initial_state ~pair_weight design parts analysis in
-      let run first_move =
-        let state = copy_state base in
-        Option.iter (apply_move state) first_move;
-        match greedy ~options ~budget state with
-        | None -> None
-        | Some state ->
-          let weighted_value =
-            Array.fold_left
-              (fun acc r ->
-                if r.alive then acc +. (float_of_int r.frames *. r.conflicts)
-                else acc)
-              0. state.regions
+    Prtelemetry.with_span telemetry "alloc.allocate" (fun () ->
+        let moves_evaluated =
+          Prtelemetry.counter telemetry "alloc.moves_evaluated"
+        in
+        let merges_accepted =
+          Prtelemetry.counter telemetry "alloc.merges_accepted"
+        in
+        let promotions = Prtelemetry.counter telemetry "alloc.promotions" in
+        let restarts_run = Prtelemetry.counter telemetry "alloc.restarts" in
+        let cost_evaluations =
+          Prtelemetry.counter telemetry "core.cost_evaluations"
+        in
+        let evaluate_move state used move =
+          Prtelemetry.Counter.incr moves_evaluated;
+          evaluate_move state used move
+        in
+        let apply_move state move =
+          (match move with
+           | Merge _ -> Prtelemetry.Counter.incr merges_accepted
+           | Promote _ -> Prtelemetry.Counter.incr promotions);
+          apply_move state move
+        in
+        let parts = Array.of_list partitions in
+        let analysis = Compatibility.analyse design parts in
+        if not (Compatibility.covers_design analysis) then None
+        else begin
+          let base = initial_state ~pair_weight design parts analysis in
+          let run first_move =
+            Prtelemetry.Counter.incr restarts_run;
+            let state = copy_state base in
+            Option.iter (apply_move state) first_move;
+            match greedy ~options ~budget ~evaluate_move ~apply_move state with
+            | None -> None
+            | Some state ->
+              let weighted_value =
+                Array.fold_left
+                  (fun acc r ->
+                    if r.alive then
+                      acc +. (float_of_int r.frames *. r.conflicts)
+                    else acc)
+                  0. state.regions
+              in
+              let scheme = scheme_of_state state in
+              Prtelemetry.Counter.incr cost_evaluations;
+              Some (scheme, weighted_value, Cost.evaluate scheme)
           in
-          let scheme = scheme_of_state state in
-          Some (scheme, weighted_value, Cost.evaluate scheme)
-      in
-      (* Alternative first moves: the initial state's candidate moves
-         ranked by (time delta, area), truncated to the restart budget. *)
-      let restarts =
-        let used = used_resources base in
-        let ranked =
-          List.sort
-            (fun (_, t1, u1) (_, t2, u2) ->
-              match compare t1 t2 with
-              | 0 -> compare (scalar u1) (scalar u2)
-              | c -> c)
-            (List.map
-               (fun m ->
-                 let dtime, new_used = evaluate_move base used m in
-                 (m, dtime, new_used))
-               (candidate_moves ~promote_static:options.promote_static base))
-        in
-        let rec take n = function
-          | [] -> []
-          | _ when n = 0 -> []
-          | (m, _, _) :: rest -> Some m :: take (n - 1) rest
-        in
-        None :: take options.max_restarts ranked
-      in
-      let best =
-        List.fold_left
-          (fun best first_move -> better_scheme best (run first_move))
-          None restarts
-      in
-      Option.map (fun (scheme, _, _) -> scheme) best
-    end
+          (* Alternative first moves: the initial state's candidate moves
+             ranked by (time delta, area), truncated to the restart budget. *)
+          let restarts =
+            let used = used_resources base in
+            let ranked =
+              List.sort
+                (fun (_, t1, u1) (_, t2, u2) ->
+                  match compare t1 t2 with
+                  | 0 -> compare (scalar u1) (scalar u2)
+                  | c -> c)
+                (List.map
+                   (fun m ->
+                     let dtime, new_used = evaluate_move base used m in
+                     (m, dtime, new_used))
+                   (candidate_moves ~promote_static:options.promote_static base))
+            in
+            let rec take n = function
+              | [] -> []
+              | _ when n = 0 -> []
+              | (m, _, _) :: rest -> Some m :: take (n - 1) rest
+            in
+            None :: take options.max_restarts ranked
+          in
+          let best =
+            List.fold_left
+              (fun best first_move ->
+                let best' = better_scheme best (run first_move) in
+                let improved =
+                  match (best', best) with
+                  | Some (s', _, _), Some (s, _, _) -> s' != s
+                  | Some _, None -> true
+                  | None, _ -> false
+                in
+                (match best' with
+                 | Some (scheme, value, e) when improved ->
+                   if Prtelemetry.tracing telemetry then
+                     Prtelemetry.point telemetry "alloc.best"
+                       ~attrs:
+                         [ ("value", Prtelemetry.Json.Float value);
+                           ( "total_frames",
+                             Prtelemetry.Json.Int e.Cost.total_frames );
+                           ( "worst_frames",
+                             Prtelemetry.Json.Int e.Cost.worst_frames );
+                           ( "regions",
+                             Prtelemetry.Json.Int scheme.Scheme.region_count )
+                         ]
+                 | _ -> ());
+                best')
+              None restarts
+          in
+          Option.map (fun (scheme, _, _) -> scheme) best
+        end)

@@ -30,6 +30,7 @@ val default_options : options
 val allocate :
   ?options:options ->
   ?pair_weight:(int -> int -> float) ->
+  ?telemetry:Prtelemetry.t ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
@@ -44,4 +45,10 @@ val allocate :
     default unit weight yields the paper's total reconfiguration time;
     passing long-run transition rates (see [Runtime.Markov.edge_rates],
     symmetrised) optimises the expected reconfiguration rate instead —
-    the paper's future-work extension. *)
+    the paper's future-work extension.
+
+    [telemetry] (default {!Prtelemetry.null}, free): an
+    ["alloc.allocate"] span; ["alloc.moves_evaluated"],
+    ["alloc.merges_accepted"], ["alloc.promotions"], ["alloc.restarts"]
+    and ["core.cost_evaluations"] counters; and an ["alloc.best"] event
+    each time a restart improves the incumbent (when tracing). *)

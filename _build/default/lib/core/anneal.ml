@@ -149,65 +149,90 @@ let scheme_of_placement design parts placement =
   Scheme.make design
     (List.mapi (fun p bp -> (bp, resolved.(p))) (Array.to_list parts))
 
-let allocate ?(options = default_options) ~budget design partitions =
+let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
+    ~budget design partitions =
   match partitions with
   | [] -> None
   | _ ->
-    let parts = Array.of_list partitions in
-    let n = Array.length parts in
-    let analysis = Compatibility.analyse design parts in
-    if not (Compatibility.covers_design analysis) then None
-    else begin
-      let configs = Design.configuration_count design in
-      let activity =
-        Array.init n (fun p ->
-            Array.init configs (fun c ->
-                Compatibility.active analysis ~bp:p ~config:c))
-      in
-      let rng = Rng.make options.seed in
-      (* Start all-separate: region id = partition index. *)
-      let placement = Array.init n Fun.id in
-      let eval placement = evaluate ~budget ~design ~parts ~activity placement in
-      let energy, feasible, total = eval placement in
-      let current_energy = ref energy in
-      let best = ref (if feasible then Some (Array.copy placement, total) else None)
-      in
-      let temperature = ref options.initial_temperature in
-      for _ = 1 to options.iterations do
-        let p = Rng.int rng n in
-        let old_region = placement.(p) in
-        (* Candidate target: another partition's region, a fresh region
-           (its own index), or static. *)
-        let choice = Rng.int rng (n + if options.promote_static then 2 else 1) in
-        let target =
-          if choice < n then placement.(Rng.int rng n)
-          else if choice = n then p
-          else -1
+    Prtelemetry.with_span telemetry "anneal.allocate" (fun () ->
+        let steps = Prtelemetry.counter telemetry "anneal.steps" in
+        let accepted_moves = Prtelemetry.counter telemetry "anneal.accepted" in
+        let best_updates =
+          Prtelemetry.counter telemetry "anneal.best_updates"
         in
-        if target <> old_region then begin
-          placement.(p) <- target;
-          let energy, feasible, total = eval placement in
-          let delta = energy -. !current_energy in
-          let accept =
-            delta < 0.
-            || (Float.is_finite delta
-                && Rng.float rng < Float.exp (-.delta /. !temperature))
+        let cost_evaluations =
+          Prtelemetry.counter telemetry "core.cost_evaluations"
+        in
+        let parts = Array.of_list partitions in
+        let n = Array.length parts in
+        let analysis = Compatibility.analyse design parts in
+        if not (Compatibility.covers_design analysis) then None
+        else begin
+          let configs = Design.configuration_count design in
+          let activity =
+            Array.init n (fun p ->
+                Array.init configs (fun c ->
+                    Compatibility.active analysis ~bp:p ~config:c))
           in
-          if accept then begin
-            current_energy := energy;
-            if feasible then
-              match !best with
-              | Some (_, best_total) when best_total <= total -> ()
-              | Some _ | None -> best := Some (Array.copy placement, total)
-          end
-          else placement.(p) <- old_region
-        end;
-        temperature := !temperature *. options.cooling
-      done;
-      match !best with
-      | None -> None
-      | Some (placement, _) ->
-        (match scheme_of_placement design parts placement with
-         | Ok scheme -> Some scheme
-         | Error _ -> None)
-    end
+          let rng = Rng.make options.seed in
+          (* Start all-separate: region id = partition index. *)
+          let placement = Array.init n Fun.id in
+          let eval placement =
+            Prtelemetry.Counter.incr cost_evaluations;
+            evaluate ~budget ~design ~parts ~activity placement
+          in
+          let energy, feasible, total = eval placement in
+          let current_energy = ref energy in
+          let best =
+            ref (if feasible then Some (Array.copy placement, total) else None)
+          in
+          let temperature = ref options.initial_temperature in
+          for iteration = 1 to options.iterations do
+            Prtelemetry.Counter.incr steps;
+            let p = Rng.int rng n in
+            let old_region = placement.(p) in
+            (* Candidate target: another partition's region, a fresh region
+               (its own index), or static. *)
+            let choice =
+              Rng.int rng (n + if options.promote_static then 2 else 1)
+            in
+            let target =
+              if choice < n then placement.(Rng.int rng n)
+              else if choice = n then p
+              else -1
+            in
+            if target <> old_region then begin
+              placement.(p) <- target;
+              let energy, feasible, total = eval placement in
+              let delta = energy -. !current_energy in
+              let accept =
+                delta < 0.
+                || (Float.is_finite delta
+                    && Rng.float rng < Float.exp (-.delta /. !temperature))
+              in
+              if accept then begin
+                Prtelemetry.Counter.incr accepted_moves;
+                current_energy := energy;
+                if feasible then
+                  match !best with
+                  | Some (_, best_total) when best_total <= total -> ()
+                  | Some _ | None ->
+                    Prtelemetry.Counter.incr best_updates;
+                    if Prtelemetry.tracing telemetry then
+                      Prtelemetry.point telemetry "anneal.best"
+                        ~attrs:
+                          [ ("iteration", Prtelemetry.Json.Int iteration);
+                            ("total_frames", Prtelemetry.Json.Int total) ];
+                    best := Some (Array.copy placement, total)
+              end
+              else placement.(p) <- old_region
+            end;
+            temperature := !temperature *. options.cooling
+          done;
+          match !best with
+          | None -> None
+          | Some (placement, _) ->
+            (match scheme_of_placement design parts placement with
+             | Ok scheme -> Some scheme
+             | Error _ -> None)
+        end)

@@ -19,10 +19,17 @@ val default_options : options
 
 val allocate :
   ?options:options ->
+  ?telemetry:Prtelemetry.t ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
   Scheme.t option
 (** Best {e feasible} scheme encountered during the anneal (infeasible
     states are explored via an area-deficit penalty but never returned),
-    or [None] when none was found. Deterministic in [options.seed]. *)
+    or [None] when none was found. Deterministic in [options.seed].
+
+    [telemetry] (default {!Prtelemetry.null}, free): an
+    ["anneal.allocate"] span; ["anneal.steps"], ["anneal.accepted"],
+    ["anneal.best_updates"] and ["core.cost_evaluations"] counters; and
+    an ["anneal.best"] trajectory event per improvement (when
+    tracing). *)

@@ -28,20 +28,35 @@ let cover design partitions =
   List.iter consider partitions;
   if !remaining = 0 then Some (List.rev !selected) else None
 
-let candidate_sets ?(max_sets = 32) design partitions =
-  let rec loop remaining_list seen acc count =
-    if count >= max_sets then List.rev acc
-    else
-      match cover design remaining_list with
-      | None -> List.rev acc
-      | Some set ->
-        let key = List.map (fun (bp : Base_partition.t) -> bp.modes) set in
-        let acc, count, seen =
-          if List.mem key seen then (acc, count, seen)
-          else (set :: acc, count + 1, key :: seen)
-        in
-        (match remaining_list with
-         | [] -> List.rev acc
-         | _ :: tail -> loop tail seen acc count)
-  in
-  loop partitions [] [] 0
+let candidate_sets ?(max_sets = 32) ?(telemetry = Prtelemetry.null) design
+    partitions =
+  Prtelemetry.with_span telemetry "cover.candidate_sets" (fun () ->
+      let sets = Prtelemetry.counter telemetry "cover.sets" in
+      let duplicates = Prtelemetry.counter telemetry "cover.duplicates" in
+      let rec loop remaining_list seen acc count =
+        if count >= max_sets then List.rev acc
+        else
+          match cover design remaining_list with
+          | None -> List.rev acc
+          | Some set ->
+            let key = List.map (fun (bp : Base_partition.t) -> bp.modes) set in
+            let acc, count, seen =
+              if List.mem key seen then begin
+                Prtelemetry.Counter.incr duplicates;
+                (acc, count, seen)
+              end
+              else begin
+                Prtelemetry.Counter.incr sets;
+                if Prtelemetry.tracing telemetry then
+                  Prtelemetry.point telemetry "cover.set"
+                    ~attrs:
+                      [ ("index", Prtelemetry.Json.Int count);
+                        ("size", Prtelemetry.Json.Int (List.length set)) ];
+                (set :: acc, count + 1, key :: seen)
+              end
+            in
+            (match remaining_list with
+             | [] -> List.rev acc
+             | _ :: tail -> loop tail seen acc count)
+      in
+      loop partitions [] [] 0)

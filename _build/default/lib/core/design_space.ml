@@ -31,12 +31,39 @@ let scaled_budgets ?(steps = 8) design =
         bram = lerp lo.Resource.bram hi.Resource.bram i;
         dsp = lerp lo.Resource.dsp hi.Resource.dsp i })
 
-let sweep ?options design ~budgets =
+let sweep ?options ?(telemetry = Prtelemetry.null) design ~budgets =
+  Prtelemetry.with_span telemetry "design_space.sweep"
+    ~attrs:
+      [ ("design", Prtelemetry.Json.String design.Design.name);
+        ("budgets", Prtelemetry.Json.Int (List.length budgets)) ]
+  @@ fun () ->
+  let feasible = Prtelemetry.counter telemetry "design_space.feasible" in
+  let infeasible = Prtelemetry.counter telemetry "design_space.infeasible" in
   List.map
     (fun budget ->
-      match Engine.solve ?options ~target:(Engine.Budget budget) design with
-      | Error _ -> (budget, None)
+      match
+        Engine.solve ?options ~telemetry ~target:(Engine.Budget budget) design
+      with
+      | Error _ ->
+        Prtelemetry.Counter.incr infeasible;
+        if Prtelemetry.tracing telemetry then
+          Prtelemetry.point telemetry "design_space.point"
+            ~attrs:
+              [ ( "budget",
+                  Prtelemetry.Json.String (Resource.to_string budget) );
+                ("feasible", Prtelemetry.Json.Bool false) ];
+        (budget, None)
       | Ok outcome ->
+        Prtelemetry.Counter.incr feasible;
+        if Prtelemetry.tracing telemetry then
+          Prtelemetry.point telemetry "design_space.point"
+            ~attrs:
+              [ ( "budget",
+                  Prtelemetry.Json.String (Resource.to_string budget) );
+                ("feasible", Prtelemetry.Json.Bool true);
+                ( "total_frames",
+                  Prtelemetry.Json.Int
+                    outcome.Engine.evaluation.Cost.total_frames ) ];
         let e = outcome.Engine.evaluation in
         ( budget,
           Some

@@ -24,10 +24,17 @@ val scaled_budgets : ?steps:int -> Prdesign.Design.t -> Fpga.Resource.t list
 
 val sweep :
   ?options:Engine.options ->
+  ?telemetry:Prtelemetry.t ->
   Prdesign.Design.t ->
   budgets:Fpga.Resource.t list ->
   (Fpga.Resource.t * point option) list
-(** Solve at every budget; [None] marks infeasible budgets. *)
+(** Solve at every budget; [None] marks infeasible budgets.
+
+    [telemetry] (default {!Prtelemetry.null}, free): a
+    ["design_space.sweep"] span enclosing one full {!Engine.solve}
+    instrumentation per budget, ["design_space.feasible"] /
+    ["design_space.infeasible"] counters, and a ["design_space.point"]
+    trace event per budget (when tracing). *)
 
 val frontier : point list -> point list
 (** Pareto-optimal points under (smaller area, smaller total time),

@@ -37,6 +37,7 @@ type outcome = {
   base_partitions : int;
   candidate_sets : int;
   escalations : int;
+  cost_evaluations : int;
 }
 
 let is_single_region_like (s : Scheme.t) =
@@ -69,11 +70,27 @@ let pair_weight_of_objective ~configs = function
     then Error "objective weight matrix does not match the configurations"
     else Ok (fun i j -> weights.(i).(j) +. weights.(j).(i))
 
+(* Total cost-model invocations attributable to one [solve] call: full
+   [Cost.evaluate] runs plus the allocator's incremental move
+   evaluations, read back from the telemetry counters as a delta so a
+   caller-supplied handle can span several solves. *)
+let cost_evaluation_counters tele =
+  Prtelemetry.counter_value tele "core.cost_evaluations"
+  + Prtelemetry.counter_value tele "alloc.moves_evaluated"
+
 (* Solve for a fixed budget. The single-region scheme is the universal
    fallback: the feasibility precondition guarantees it fits. *)
-let solve_budget ~options ~budget design =
+let solve_budget ~options ~tele ~budget design =
+  Prtelemetry.with_span tele "engine.solve_budget"
+    ~attrs:[ ("budget", Prtelemetry.Json.String (Resource.to_string budget)) ]
+  @@ fun () ->
+  let evals = Prtelemetry.counter tele "core.cost_evaluations" in
+  let evaluate scheme =
+    Prtelemetry.Counter.incr evals;
+    Cost.evaluate scheme
+  in
   let single = Scheme.single_region design in
-  let single_eval = Cost.evaluate single in
+  let single_eval = evaluate single in
   if not (Cost.fits single_eval ~budget) then
     Error
       (Format.asprintf
@@ -92,17 +109,17 @@ let solve_budget ~options ~budget design =
       let objective = options.objective in
       let partitions =
         Agglomerative.run ~freq_rule:options.freq_rule
-          ~clique_limit:options.clique_limit design
+          ~clique_limit:options.clique_limit ~telemetry:tele design
       in
       let sets =
-        Covering.candidate_sets ~max_sets:options.max_candidate_sets design
-          partitions
+        Covering.candidate_sets ~max_sets:options.max_candidate_sets
+          ~telemetry:tele design partitions
       in
       (* Second textbook fallback: when everything fits statically, zero
          reconfiguration time is trivially optimal (paper §IV-A). *)
       let static_candidate =
         let scheme = Scheme.fully_static design in
-        let evaluation = Cost.evaluate scheme in
+        let evaluation = evaluate scheme in
         if Cost.fits evaluation ~budget then Some (scheme, evaluation)
         else None
       in
@@ -111,20 +128,64 @@ let solve_budget ~options ~budget design =
         | Some (_, e) when not (meets_worst_limit ~options e) -> None
         | Some _ | None -> candidate
       in
-      let best =
+      let reject set_index reason =
+        if Prtelemetry.tracing tele then
+          Prtelemetry.point tele "scheme.rejected"
+            ~attrs:
+              [ ("set", Prtelemetry.Json.Int set_index);
+                ("reason", Prtelemetry.Json.String reason) ]
+      in
+      let accept set_index (e : Cost.evaluation) =
+        Prtelemetry.set_gauge tele "engine.best_total_frames"
+          (float_of_int e.Cost.total_frames);
+        if Prtelemetry.tracing tele then
+          Prtelemetry.point tele "scheme.accepted"
+            ~attrs:
+              [ ("set", Prtelemetry.Json.Int set_index);
+                ("total_frames", Prtelemetry.Json.Int e.Cost.total_frames);
+                ("worst_frames", Prtelemetry.Json.Int e.Cost.worst_frames) ]
+      in
+      let best, _ =
         List.fold_left
-          (fun best set ->
-            match
-              Allocator.allocate ~options:options.allocator ~pair_weight
-                ~budget design set
-            with
-            | None -> best
-            | Some scheme ->
-              better ~objective best
-                (admissible (Some (scheme, Cost.evaluate scheme))))
-          (better ~objective
-             (admissible (Some (single, single_eval)))
-             (admissible static_candidate))
+          (fun (best, set_index) set ->
+            let best =
+              match
+                Allocator.allocate ~options:options.allocator ~pair_weight
+                  ~telemetry:tele ~budget design set
+              with
+              | None ->
+                reject set_index "infeasible";
+                best
+              | Some scheme ->
+                let evaluation = evaluate scheme in
+                if not (meets_worst_limit ~options evaluation) then begin
+                  reject set_index "worst-limit";
+                  best
+                end
+                else begin
+                  let merged =
+                    better ~objective best (Some (scheme, evaluation))
+                  in
+                  (match merged with
+                   | Some (winner, e) when winner == scheme ->
+                     accept set_index e
+                   | Some _ | None -> reject set_index "worse");
+                  merged
+                end
+            in
+            (best, set_index + 1))
+          ( (let initial =
+               better ~objective
+                 (admissible (Some (single, single_eval)))
+                 (admissible static_candidate)
+             in
+             (match initial with
+              | Some (_, e) ->
+                Prtelemetry.set_gauge tele "engine.best_total_frames"
+                  (float_of_int e.Cost.total_frames)
+              | None -> ());
+             initial),
+            0 )
           sets
       in
       (match best with
@@ -148,67 +209,107 @@ let outcome ~design ~device ~budget ~escalations
     budget;
     base_partitions;
     candidate_sets;
-    escalations }
+    escalations;
+    cost_evaluations = 0 }
 
-let solve ?(options = default_options) ~target design =
-  match target with
-  | Budget budget ->
-    Result.map
-      (outcome ~design ~device:None ~budget ~escalations:0)
-      (solve_budget ~options ~budget design)
-  | Fixed device ->
-    let budget = Fpga.Device.resources device in
-    Result.map
-      (outcome ~design ~device:(Some device) ~budget ~escalations:0)
-      (solve_budget ~options ~budget design)
-  | Auto ->
-    (* Smallest device fitting the single-region lower bound, then escalate
-       while the partitioner cannot beat a single region. *)
-    let lower_bound =
-      Resource.add
-        (Fpga.Tile.quantize (Design.min_region_requirement design))
-        design.Design.static_overhead
-    in
-    (match Fpga.Device.smallest_fitting lower_bound with
-     | None ->
-       Error
-         (Format.asprintf
-            "design %s does not fit any catalogued device (needs %a)"
-            design.Design.name Resource.pp lower_bound)
-     | Some first ->
-       let rec attempt device escalations best =
-         let budget = Fpga.Device.resources device in
-         let best =
-           match solve_budget ~options ~budget design with
-           | Error _ -> best
-           | Ok result ->
-             let candidate =
-               outcome ~design ~device:(Some device) ~budget ~escalations
-                 result
-             in
-             (match best with
-              | Some b
-                when (b.evaluation.Cost.total_frames,
-                      b.evaluation.Cost.worst_frames)
-                     <= (candidate.evaluation.Cost.total_frames,
-                         candidate.evaluation.Cost.worst_frames) ->
-                Some b
-              | Some _ | None -> Some candidate)
+let target_label = function
+  | Budget _ -> "budget"
+  | Fixed device -> device.Fpga.Device.short
+  | Auto -> "auto"
+
+let solve ?(options = default_options) ?(telemetry = Prtelemetry.null) ~target
+    design =
+  (* Always count on a live handle so [cost_evaluations] is populated
+     even when the caller did not opt into telemetry. *)
+  let tele = Prtelemetry.ensure telemetry in
+  let evaluations_before = cost_evaluation_counters tele in
+  let result =
+    Prtelemetry.with_span tele "engine.solve"
+      ~attrs:
+        [ ("design", Prtelemetry.Json.String design.Design.name);
+          ("target", Prtelemetry.Json.String (target_label target)) ]
+    @@ fun () ->
+    match target with
+    | Budget budget ->
+      Result.map
+        (outcome ~design ~device:None ~budget ~escalations:0)
+        (solve_budget ~options ~tele ~budget design)
+    | Fixed device ->
+      let budget = Fpga.Device.resources device in
+      Result.map
+        (outcome ~design ~device:(Some device) ~budget ~escalations:0)
+        (solve_budget ~options ~tele ~budget design)
+    | Auto ->
+      (* Smallest device fitting the single-region lower bound, then
+         escalate while the partitioner cannot beat a single region. *)
+      let lower_bound =
+        Resource.add
+          (Fpga.Tile.quantize (Design.min_region_requirement design))
+          design.Design.static_overhead
+      in
+      (match Fpga.Device.smallest_fitting lower_bound with
+       | None ->
+         Error
+           (Format.asprintf
+              "design %s does not fit any catalogued device (needs %a)"
+              design.Design.name Resource.pp lower_bound)
+       | Some first ->
+         let rec attempt device escalations best =
+           let budget = Fpga.Device.resources device in
+           let best =
+             match
+               Prtelemetry.with_span tele "engine.attempt"
+                 ~attrs:
+                   [ ( "device",
+                       Prtelemetry.Json.String device.Fpga.Device.short ) ]
+                 (fun () -> solve_budget ~options ~tele ~budget design)
+             with
+             | Error _ -> best
+             | Ok result ->
+               let candidate =
+                 outcome ~design ~device:(Some device) ~budget ~escalations
+                   result
+               in
+               (match best with
+                | Some b
+                  when (b.evaluation.Cost.total_frames,
+                        b.evaluation.Cost.worst_frames)
+                       <= (candidate.evaluation.Cost.total_frames,
+                           candidate.evaluation.Cost.worst_frames) ->
+                  Some b
+                | Some _ | None -> Some candidate)
+           in
+           let should_escalate =
+             match best with
+             | None -> true
+             | Some b -> is_single_region_like b.scheme
+           in
+           if should_escalate then
+             match Fpga.Device.next_larger device with
+             | Some next ->
+               Prtelemetry.incr tele "engine.escalations";
+               if Prtelemetry.tracing tele then
+                 Prtelemetry.point tele "engine.escalate"
+                   ~attrs:
+                     [ ( "from",
+                         Prtelemetry.Json.String device.Fpga.Device.short );
+                       ("to", Prtelemetry.Json.String next.Fpga.Device.short)
+                     ];
+               attempt next (escalations + 1) best
+             | None -> best
+           else best
          in
-         let should_escalate =
-           match best with
-           | None -> true
-           | Some b -> is_single_region_like b.scheme
-         in
-         if should_escalate then
-           match Fpga.Device.next_larger device with
-           | Some next -> attempt next (escalations + 1) best
-           | None -> best
-         else best
-       in
-       (match attempt first 0 None with
-        | Some outcome -> Ok outcome
-        | None ->
-          Error
-            (Format.asprintf "design %s could not be partitioned on any device"
-               design.Design.name)))
+         (match attempt first 0 None with
+          | Some outcome -> Ok outcome
+          | None ->
+            Error
+              (Format.asprintf
+                 "design %s could not be partitioned on any device"
+                 design.Design.name)))
+  in
+  Result.map
+    (fun o ->
+      { o with
+        cost_evaluations = cost_evaluation_counters tele - evaluations_before
+      })
+    result

@@ -50,14 +50,31 @@ type outcome = {
   base_partitions : int;  (** Clusters produced by the agglomerative step. *)
   candidate_sets : int;  (** Candidate partition sets explored. *)
   escalations : int;  (** Device escalations performed ([Auto] only). *)
+  cost_evaluations : int;
+      (** Cost-model invocations attributable to this solve: full
+          {!Cost.evaluate} runs plus the allocator's incremental move
+          evaluations. Always populated, even when the caller passed no
+          telemetry handle (the engine counts on an internal one). *)
 }
 
 val solve :
-  ?options:options -> target:target -> Prdesign.Design.t ->
+  ?options:options ->
+  ?telemetry:Prtelemetry.t ->
+  target:target ->
+  Prdesign.Design.t ->
   (outcome, string) result
 (** Errors are infeasibility reports (the design cannot fit the target,
     even as a single region). The returned scheme always fits the
-    budget: in the worst case it is the single-region scheme. *)
+    budget: in the worst case it is the single-region scheme.
+
+    [telemetry] (default {!Prtelemetry.null}, free): an ["engine.solve"]
+    span with one ["engine.solve_budget"] child per budget attempted
+    (wrapped in ["engine.attempt"] under [Auto]); the instrumentation of
+    the clustering, covering and allocation passes it triggers; an
+    ["engine.escalations"] counter and ["engine.escalate"] trace points;
+    ["scheme.accepted"] / ["scheme.rejected"] trace points per candidate
+    set; and an ["engine.best_total_frames"] gauge tracking the
+    incumbent. *)
 
 val is_single_region_like : Scheme.t -> bool
 (** True when the scheme has exactly one region and nothing promoted to

@@ -1,1 +1,1 @@
-lib/floorplan/placer.ml: Array Bytes Char Format Fpga Fun Int Layout List Option String
+lib/floorplan/placer.ml: Array Bytes Char Format Fpga Fun Int Layout List Option Prtelemetry String

@@ -1,1 +1,1 @@
-lib/floorplan/placer.mli: Format Fpga Layout
+lib/floorplan/placer.mli: Format Fpga Layout Prtelemetry

@@ -74,7 +74,12 @@ let find_spot layout occupied d =
   done;
   Option.map fst !best
 
-let place layout demands =
+let place ?(telemetry = Prtelemetry.null) layout demands =
+  Prtelemetry.with_span telemetry "floorplan.place"
+    ~attrs:[ ("demands", Prtelemetry.Json.Int (Array.length demands)) ]
+  @@ fun () ->
+  let placed_counter = Prtelemetry.counter telemetry "floorplan.placed" in
+  let failed_counter = Prtelemetry.counter telemetry "floorplan.failed" in
   let rows = Layout.rows layout and width = Layout.width layout in
   let occupied = Array.make_matrix rows width false in
   let placements = Array.make (Array.length demands) None in
@@ -83,6 +88,21 @@ let place layout demands =
       (fun i j -> Int.compare (volume demands.(j)) (volume demands.(i)))
       (List.init (Array.length demands) Fun.id)
   in
+  let trace_spot i rect =
+    if Prtelemetry.tracing telemetry then
+      Prtelemetry.point telemetry "floorplan.spot"
+        ~attrs:
+          (("demand", Prtelemetry.Json.Int i)
+           ::
+           (match rect with
+            | None -> [ ("placed", Prtelemetry.Json.Bool false) ]
+            | Some r ->
+              [ ("placed", Prtelemetry.Json.Bool true);
+                ("row", Prtelemetry.Json.Int r.row);
+                ("height", Prtelemetry.Json.Int r.height);
+                ("col", Prtelemetry.Json.Int r.col);
+                ("width", Prtelemetry.Json.Int r.width) ]))
+  in
   let failed = ref [] in
   List.iter
     (fun i ->
@@ -90,8 +110,13 @@ let place layout demands =
         placements.(i) <- Some { row = 0; height = 0; col = 0; width = 0 }
       else
         match find_spot layout occupied demands.(i) with
-        | None -> failed := i :: !failed
+        | None ->
+          Prtelemetry.Counter.incr failed_counter;
+          trace_spot i None;
+          failed := i :: !failed
         | Some rect ->
+          Prtelemetry.Counter.incr placed_counter;
+          trace_spot i (Some rect);
           placements.(i) <- Some rect;
           for r = rect.row to rect.row + rect.height - 1 do
             for c = rect.col to rect.col + rect.width - 1 do
@@ -101,9 +126,9 @@ let place layout demands =
     order;
   let covered = ref 0 in
   Array.iter (Array.iter (fun b -> if b then incr covered)) occupied;
-  { placements;
-    failed = List.sort Int.compare !failed;
-    utilisation = float_of_int !covered /. float_of_int (rows * width) }
+  let utilisation = float_of_int !covered /. float_of_int (rows * width) in
+  Prtelemetry.set_gauge telemetry "floorplan.utilisation" utilisation;
+  { placements; failed = List.sort Int.compare !failed; utilisation }
 
 let fits layout demands = (place layout demands).failed = []
 

@@ -20,11 +20,17 @@ type outcome = {
   utilisation : float;  (** Fraction of device tiles covered by regions. *)
 }
 
-val place : Layout.t -> demand array -> outcome
+val place : ?telemetry:Prtelemetry.t -> Layout.t -> demand array -> outcome
 (** Big-rocks-first first-fit: demands are placed in decreasing tile
     volume; each is given the smallest-area free rectangle (scanning
     heights from one row up, columns left to right) satisfying its tile
-    counts. *)
+    counts.
+
+    [telemetry] (default {!Prtelemetry.null}, free): a
+    ["floorplan.place"] span, ["floorplan.placed"] / ["floorplan.failed"]
+    counters, a ["floorplan.utilisation"] gauge, and a
+    ["floorplan.spot"] trace event per nonempty demand (when
+    tracing). *)
 
 val fits : Layout.t -> demand array -> bool
 (** [place] succeeded for every demand. *)

@@ -1,1 +1,1 @@
-lib/flow/tool_flow.ml: Array Bitgen Buffer Bytes Filename Floorplan Format Fpga Fun Hdl List Prcore Prdesign Printf Sys
+lib/flow/tool_flow.ml: Array Bitgen Buffer Bytes Filename Floorplan Format Fpga Fun Hdl List Prcore Prdesign Printf Prtelemetry Sys

@@ -1,1 +1,1 @@
-lib/flow/tool_flow.mli: Bitgen Floorplan Fpga Prcore Prdesign
+lib/flow/tool_flow.mli: Bitgen Floorplan Fpga Prcore Prdesign Prtelemetry

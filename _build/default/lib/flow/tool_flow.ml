@@ -7,12 +7,14 @@ type options = {
   engine : Engine.options;
   icap : Fpga.Icap.t;
   floorplan_feedback : bool;
+  telemetry : Prtelemetry.t;
 }
 
 let default_options =
   { engine = Engine.default_options;
     icap = Fpga.Icap.default;
-    floorplan_feedback = true }
+    floorplan_feedback = true;
+    telemetry = Prtelemetry.null }
 
 type report = {
   design : Design.t;
@@ -23,6 +25,7 @@ type report = {
   floorplan_escalations : int;
   wrappers : (string * string) list;
   repository : Bitgen.Repository.t;
+  telemetry : Prtelemetry.t;
 }
 
 let demands_of_scheme (scheme : Scheme.t) =
@@ -38,17 +41,31 @@ let device_for_budget used =
   | Some device -> Ok device
   | None -> Error "no catalogued device fits the partitioned design"
 
-let try_place device scheme =
+let try_place ~telemetry device scheme =
   let layout = Floorplan.Layout.make device in
-  let placement = Floorplan.Placer.place layout (demands_of_scheme scheme) in
+  let placement =
+    Floorplan.Placer.place ~telemetry layout (demands_of_scheme scheme)
+  in
   if placement.Floorplan.Placer.failed = [] then Some (layout, placement)
   else None
+
+let trace_escalate ~telemetry ~reason device next =
+  Prtelemetry.incr telemetry "flow.floorplan_escalations";
+  if Prtelemetry.tracing telemetry then
+    Prtelemetry.point telemetry "flow.escalate"
+      ~attrs:
+        [ ("reason", Prtelemetry.Json.String reason);
+          ("from", Prtelemetry.Json.String device.Fpga.Device.short);
+          ("to", Prtelemetry.Json.String next.Fpga.Device.short) ]
 
 (* Partition, then floorplan with the feedback loop: on placement failure
    pick the next larger device and (for device-driven targets) re-run the
    partitioner against it. *)
-let rec implement ~options ~target ~escalations design =
-  match Engine.solve ~options:options.engine ~target design with
+let rec implement ~(options : options) ~target ~escalations design =
+  let telemetry = options.telemetry in
+  match
+    Engine.solve ~options:options.engine ~telemetry ~target design
+  with
   | Error message -> Error message
   | Ok outcome ->
     let device_result =
@@ -59,7 +76,7 @@ let rec implement ~options ~target ~escalations design =
     (match device_result with
      | Error message -> Error message
      | Ok device ->
-       (match try_place device outcome.Engine.scheme with
+       (match try_place ~telemetry device outcome.Engine.scheme with
         | Some (layout, placement) ->
           Ok (outcome, device, layout, placement, escalations)
         | None ->
@@ -82,13 +99,17 @@ let rec implement ~options ~target ~escalations design =
                | Engine.Budget _ ->
                  (* The budget stays authoritative: keep the scheme, just
                     look for a device whose fabric can host it. *)
+                 trace_escalate ~telemetry ~reason:"floorplan" device next;
                  let rec escalate_device device escalations =
-                   match try_place device outcome.Engine.scheme with
+                   match try_place ~telemetry device outcome.Engine.scheme with
                    | Some (layout, placement) ->
                      Ok (outcome, device, layout, placement, escalations)
                    | None ->
                      (match Fpga.Device.next_larger device with
-                      | Some next -> escalate_device next (escalations + 1)
+                      | Some next ->
+                        trace_escalate ~telemetry ~reason:"floorplan" device
+                          next;
+                        escalate_device next (escalations + 1)
                       | None ->
                         Error
                           (Printf.sprintf
@@ -98,18 +119,23 @@ let rec implement ~options ~target ~escalations design =
                  in
                  escalate_device next (escalations + 1)
                | Engine.Fixed _ | Engine.Auto ->
+                 trace_escalate ~telemetry ~reason:"repartition" device next;
                  implement ~options ~target:(Engine.Fixed next)
                    ~escalations:(escalations + 1) design)
           end))
 
 let run ?(options = default_options) ~target design =
+  let telemetry = options.telemetry in
+  Prtelemetry.with_span telemetry "flow.run"
+    ~attrs:[ ("design", Prtelemetry.Json.String design.Design.name) ]
+  @@ fun () ->
   match implement ~options ~target ~escalations:0 design with
   | Error message -> Error message
   | Ok (outcome, device, layout, placement, floorplan_escalations) ->
     let wrappers = Hdl.Wrapper.emit_scheme outcome.Engine.scheme in
     let repository =
       Bitgen.Repository.build ~placement:placement.Floorplan.Placer.placements
-        ~device outcome.Engine.scheme
+        ~telemetry ~device outcome.Engine.scheme
     in
     Ok
       { design;
@@ -119,7 +145,8 @@ let run ?(options = default_options) ~target design =
         placement;
         floorplan_escalations;
         wrappers;
-        repository }
+        repository;
+        telemetry }
 
 let render_summary r =
   let buf = Buffer.create 512 in
@@ -151,30 +178,45 @@ let render_summary r =
   Buffer.add_string buf
     (Printf.sprintf "wrappers: %d Verilog files\n" (List.length r.wrappers));
   Buffer.add_string buf (Bitgen.Repository.render r.repository);
+  if Prtelemetry.enabled r.telemetry then begin
+    Buffer.add_string buf
+      (Printf.sprintf "cost evaluations: %d\n"
+         r.outcome.Engine.cost_evaluations);
+    Buffer.add_string buf (Prtelemetry.summary r.telemetry)
+  end;
   Buffer.contents buf
 
 let write_outputs ~dir r =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let written = ref [] in
-  let write name content =
-    let path = Filename.concat dir name in
-    let oc = open_out_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc content);
-    written := path :: !written
-  in
-  List.iter (fun (name, verilog) -> write name verilog) r.wrappers;
-  List.iter
-    (fun (e : Bitgen.Repository.entry) ->
-      write
-        (Printf.sprintf "prr%d_%s.bit" (e.region + 1)
-           (Hdl.Ast.mangle e.label))
-        (Bytes.to_string (Bitgen.Bitstream.serialise e.bitstream)))
-    r.repository.Bitgen.Repository.entries;
-  write "full.bit"
-    (Bytes.to_string
-       (Bitgen.Bitstream.serialise r.repository.Bitgen.Repository.full));
-  write "design.xml" (Prdesign.Design_xml.to_string r.design);
-  write "report.txt" (render_summary r);
-  List.rev !written
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let written = ref [] in
+    let write name content =
+      let path = Filename.concat dir name in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content);
+      written := path :: !written
+    in
+    List.iter (fun (name, verilog) -> write name verilog) r.wrappers;
+    List.iter
+      (fun (e : Bitgen.Repository.entry) ->
+        write
+          (Printf.sprintf "prr%d_%s.bit" (e.region + 1)
+             (Hdl.Ast.mangle e.label))
+          (Bytes.to_string (Bitgen.Bitstream.serialise e.bitstream)))
+      r.repository.Bitgen.Repository.entries;
+    write "full.bit"
+      (Bytes.to_string
+         (Bitgen.Bitstream.serialise r.repository.Bitgen.Repository.full));
+    write "design.xml" (Prdesign.Design_xml.to_string r.design);
+    write "report.txt" (render_summary r);
+    if Prtelemetry.enabled r.telemetry then begin
+      write "stats.txt" (Prtelemetry.summary r.telemetry);
+      if Prtelemetry.tracing r.telemetry then begin
+        Prtelemetry.flush r.telemetry;
+        write "trace.jsonl" (Prtelemetry.to_jsonl r.telemetry)
+      end
+    end;
+    Ok (List.rev !written)
+  with Sys_error message -> Error message

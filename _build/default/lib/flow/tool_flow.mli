@@ -18,6 +18,14 @@ type options = {
   floorplan_feedback : bool;
       (** Escalate and re-partition when placement fails (default
           [true]). With [false] a placement failure is an error. *)
+  telemetry : Prtelemetry.t;
+      (** Telemetry handle threaded through every stage (default
+          {!Prtelemetry.null}, free). A live handle collects a
+          ["flow.run"] span over the full engine / floorplan / bitgen
+          instrumentation, a ["flow.floorplan_escalations"] counter and
+          ["flow.escalate"] trace points, and makes {!render_summary}
+          append a telemetry section and {!write_outputs} emit
+          [stats.txt] (plus [trace.jsonl] when the handle traces). *)
 }
 
 val default_options : options
@@ -33,6 +41,9 @@ type report = {
       (** Devices rejected by the placement feedback loop. *)
   wrappers : (string * string) list;  (** Verilog files, step 3/4. *)
   repository : Bitgen.Repository.t;  (** Bitstreams, step 7. *)
+  telemetry : Prtelemetry.t;
+      (** The handle the flow ran with — {!Prtelemetry.null} unless the
+          caller opted in via {!options}. *)
 }
 
 val run :
@@ -46,7 +57,11 @@ val run :
 
 val render_summary : report -> string
 
-val write_outputs : dir:string -> report -> string list
+val write_outputs : dir:string -> report -> (string list, string) result
 (** Write every artefact under [dir] (created if missing): the wrapper
     [.v] files, one [.bit] per bitstream, the design description
-    [design.xml] and a [report.txt]. Returns the written paths. *)
+    [design.xml] and a [report.txt]; with live telemetry also a
+    [stats.txt] summary and (when tracing) the [trace.jsonl] event
+    stream. Returns the written paths, or [Error message] when the
+    directory cannot be created or a file cannot be written (the
+    underlying [Sys_error] is never raised to the caller). *)

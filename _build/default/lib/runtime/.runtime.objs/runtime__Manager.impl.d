@@ -1,1 +1,1 @@
-lib/runtime/manager.ml: Array Format Fpga List Prcore Prdesign
+lib/runtime/manager.ml: Array Format Fpga List Prcore Prdesign Prtelemetry

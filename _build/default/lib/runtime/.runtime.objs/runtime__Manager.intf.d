@@ -1,1 +1,1 @@
-lib/runtime/manager.mli: Format Fpga Prcore
+lib/runtime/manager.mli: Format Fpga Prcore Prtelemetry

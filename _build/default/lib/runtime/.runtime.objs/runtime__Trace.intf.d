@@ -1,1 +1,1 @@
-lib/runtime/trace.mli: Fpga Manager Markov Prcore Prdesign
+lib/runtime/trace.mli: Fpga Manager Markov Prcore Prdesign Prtelemetry

@@ -21,8 +21,19 @@ type stats = {
 }
 
 let simulate ?(icap = Fpga.Icap.default) ?(trace = fun _ -> ())
-    (scheme : Scheme.t) ~initial ~sequence =
+    ?(telemetry = Prtelemetry.null) (scheme : Scheme.t) ~initial ~sequence =
   let configs = Design.configuration_count scheme.Scheme.design in
+  Prtelemetry.with_span telemetry "runtime.simulate"
+    ~attrs:
+      [ ( "design",
+          Prtelemetry.Json.String scheme.Scheme.design.Design.name );
+        ("steps", Prtelemetry.Json.Int (List.length sequence)) ]
+  @@ fun () ->
+  let step_counter = Prtelemetry.counter telemetry "runtime.steps" in
+  let transition_counter =
+    Prtelemetry.counter telemetry "runtime.transitions"
+  in
+  let frame_counter = Prtelemetry.counter telemetry "runtime.frames" in
   let check c =
     if c < 0 || c >= configs then
       invalid_arg "Manager.simulate: configuration index out of range"
@@ -49,10 +60,12 @@ let simulate ?(icap = Fpga.Icap.default) ?(trace = fun _ -> ())
   List.iter
     (fun target ->
       incr step;
+      Prtelemetry.Counter.incr step_counter;
       let reconfigured = ref [] in
       let frames = ref 0 in
       if target <> !current then begin
         incr transitions;
+        Prtelemetry.Counter.incr transition_counter;
         for r = regions - 1 downto 0 do
           match Scheme.active_partition scheme ~config:target ~region:r with
           | None -> ()  (* content is a don't-care: keep the old bitstream *)
@@ -69,6 +82,16 @@ let simulate ?(icap = Fpga.Icap.default) ?(trace = fun _ -> ())
       total_frames := !total_frames + !frames;
       total_seconds := !total_seconds +. seconds;
       if !frames > !max_frames then max_frames := !frames;
+      Prtelemetry.Counter.incr frame_counter ~by:!frames;
+      if Prtelemetry.tracing telemetry && target <> !current then
+        Prtelemetry.point telemetry "runtime.transition"
+          ~attrs:
+            [ ("step", Prtelemetry.Json.Int !step);
+              ("from", Prtelemetry.Json.Int !current);
+              ("to", Prtelemetry.Json.Int target);
+              ( "regions",
+                Prtelemetry.Json.Int (List.length !reconfigured) );
+              ("frames", Prtelemetry.Json.Int !frames) ];
       trace
         { step = !step;
           from_config = !current;
@@ -78,6 +101,7 @@ let simulate ?(icap = Fpga.Icap.default) ?(trace = fun _ -> ())
           seconds };
       current := target)
     sequence;
+  Prtelemetry.set_gauge telemetry "runtime.total_seconds" !total_seconds;
   { steps = !step;
     transitions = !transitions;
     total_frames = !total_frames;

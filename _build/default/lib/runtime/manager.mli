@@ -27,6 +27,7 @@ type stats = {
 val simulate :
   ?icap:Fpga.Icap.t ->
   ?trace:(event -> unit) ->
+  ?telemetry:Prtelemetry.t ->
   Prcore.Scheme.t ->
   initial:int ->
   sequence:int list ->
@@ -36,7 +37,13 @@ val simulate :
     their first-listed partition, since the full bitstream configures the
     whole fabric) and visit [sequence] in order. [trace] observes each
     step. @raise Invalid_argument on an out-of-range configuration
-    index. *)
+    index.
+
+    [telemetry] (default {!Prtelemetry.null}, free): a
+    ["runtime.simulate"] span; ["runtime.steps"],
+    ["runtime.transitions"] and ["runtime.frames"] counters; a
+    ["runtime.total_seconds"] gauge; and a ["runtime.transition"] trace
+    event per configuration change (when tracing). *)
 
 val random_walk :
   rand:(int -> int) -> configs:int -> steps:int -> initial:int -> int list

@@ -41,11 +41,11 @@ let of_markov design ~chain ~rand ~steps ~initial =
     initial;
     sequence = build initial steps [] }
 
-let simulate ?icap scheme trace =
+let simulate ?icap ?telemetry scheme trace =
   let design = scheme.Prcore.Scheme.design in
   if design.Design.name <> trace.design_name then
     invalid_arg "Trace.simulate: trace belongs to a different design";
-  Manager.simulate ?icap scheme ~initial:trace.initial
+  Manager.simulate ?icap ?telemetry scheme ~initial:trace.initial
     ~sequence:trace.sequence
 
 let config_name design c =
@@ -122,10 +122,12 @@ let save_file design path t =
     (fun () -> output_string oc (to_string design t))
 
 let load_file design path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      of_string design (really_input_string ic (in_channel_length ic)))
+  match open_in path with
+  | exception Sys_error message -> Error message
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        of_string design (really_input_string ic (in_channel_length ic)))
 
 let length t = List.length t.sequence

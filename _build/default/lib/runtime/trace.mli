@@ -41,8 +41,13 @@ val of_markov :
     configuration count. *)
 
 val simulate :
-  ?icap:Fpga.Icap.t -> Prcore.Scheme.t -> t -> Manager.stats
-(** Replay the trace on a scheme.
+  ?icap:Fpga.Icap.t ->
+  ?telemetry:Prtelemetry.t ->
+  Prcore.Scheme.t ->
+  t ->
+  Manager.stats
+(** Replay the trace on a scheme; [telemetry] is passed through to
+    {!Manager.simulate}.
     @raise Invalid_argument when the trace's design name differs from the
     scheme's design. *)
 
@@ -50,5 +55,7 @@ val to_string : Prdesign.Design.t -> t -> string
 val of_string : Prdesign.Design.t -> string -> (t, string) result
 val save_file : Prdesign.Design.t -> string -> t -> unit
 val load_file : Prdesign.Design.t -> string -> (t, string) result
+(** [Error] covers both unreadable files ([Sys_error] is caught) and
+    unparseable content. *)
 
 val length : t -> int

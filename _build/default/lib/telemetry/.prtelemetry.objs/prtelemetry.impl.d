@@ -1,0 +1,1 @@
+lib/telemetry/prtelemetry.ml: Event Json Sink Telemetry

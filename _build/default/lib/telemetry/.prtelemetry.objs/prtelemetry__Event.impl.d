@@ -1,0 +1,1 @@
+lib/telemetry/event.ml: Json Option Printf Result

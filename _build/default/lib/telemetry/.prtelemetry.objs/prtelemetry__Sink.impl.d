@@ -1,0 +1,1 @@
+lib/telemetry/sink.ml: Event List

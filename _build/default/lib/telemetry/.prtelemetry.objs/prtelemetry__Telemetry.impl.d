@@ -1,0 +1,1 @@
+lib/telemetry/telemetry.ml: Buffer Event Fun Hashtbl Json List Printf Report Sink String Sys

@@ -1,0 +1,59 @@
+type kind = Begin | End | Point | Counter | Gauge
+
+type t = {
+  seq : int;
+  time : float;
+  kind : kind;
+  name : string;
+  attrs : (string * Json.t) list;
+}
+
+let kind_to_string = function
+  | Begin -> "begin"
+  | End -> "end"
+  | Point -> "point"
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+
+let kind_of_string = function
+  | "begin" -> Some Begin
+  | "end" -> Some End
+  | "point" -> Some Point
+  | "counter" -> Some Counter
+  | "gauge" -> Some Gauge
+  | _ -> None
+
+let to_json e =
+  let base =
+    [ ("seq", Json.Int e.seq);
+      ("t", Json.Float e.time);
+      ("kind", Json.String (kind_to_string e.kind));
+      ("name", Json.String e.name) ]
+  in
+  Json.Obj (if e.attrs = [] then base else base @ [ ("attrs", Json.Obj e.attrs) ])
+
+let of_json json =
+  let field name extract =
+    match Option.bind (Json.member name json) extract with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "event: missing or invalid %S field" name)
+  in
+  let ( let* ) = Result.bind in
+  let* seq = field "seq" Json.to_int in
+  let* time = field "t" Json.to_float in
+  let* kind_name = field "kind" Json.to_str in
+  let* name = field "name" Json.to_str in
+  let* kind =
+    match kind_of_string kind_name with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "event: unknown kind %S" kind_name)
+  in
+  let* attrs =
+    match Json.member "attrs" json with
+    | None -> Ok []
+    | Some (Json.Obj fields) -> Ok fields
+    | Some _ -> Error "event: attrs is not an object"
+  in
+  Ok { seq; time; kind; name; attrs }
+
+let to_jsonl e = Json.to_string (to_json e)

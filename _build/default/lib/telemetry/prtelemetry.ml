@@ -1,0 +1,14 @@
+(** Structured tracing, metrics and profiling hooks for the
+    partitioning pipeline. See {!Telemetry} for the collector API,
+    {!Sink} for output targets, {!Event} for the JSONL schema and
+    {!Json} for the value encoding.
+
+    The whole collector API is re-exported at this level, so callers
+    write [Prtelemetry.create (Prtelemetry.Sink.memory ())],
+    [Prtelemetry.with_span t "engine.solve" f], etc. *)
+
+module Json = Json
+module Event = Event
+module Sink = Sink
+module Telemetry = Telemetry
+include Telemetry

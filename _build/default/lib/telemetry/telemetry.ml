@@ -1,0 +1,258 @@
+module Counter = struct
+  type t = { mutable value : int; live : bool }
+
+  let dead = { value = 0; live = false }
+  let make () = { value = 0; live = true }
+  let incr ?(by = 1) c = if c.live then c.value <- c.value + by
+  let value c = c.value
+end
+
+type span_acc = {
+  mutable calls : int;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : float list;
+  mutable sample_count : int;
+}
+
+type t = {
+  live : bool;
+  sink : Sink.t;
+  clock : unit -> float;
+  start : float;
+  mutable seq : int;
+  mutable depth : int;
+  counters : (string, Counter.t) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  spans : (string, span_acc) Hashtbl.t;
+}
+
+let null =
+  { live = false;
+    sink = Sink.null;
+    clock = (fun () -> 0.);
+    start = 0.;
+    seq = 0;
+    depth = 0;
+    counters = Hashtbl.create 1;
+    gauges = Hashtbl.create 1;
+    spans = Hashtbl.create 1 }
+
+let create ?(clock = Sys.time) sink =
+  { live = true;
+    sink;
+    clock;
+    start = clock ();
+    seq = 0;
+    depth = 0;
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    spans = Hashtbl.create 16 }
+
+let enabled t = t.live
+let tracing t = t.live && not (Sink.is_null t.sink)
+let ensure t = if t.live then t else create Sink.null
+
+let emit t kind name attrs =
+  t.seq <- t.seq + 1;
+  Sink.emit t.sink
+    { Event.seq = t.seq; time = t.clock () -. t.start; kind; name; attrs }
+
+let point t ?(attrs = []) name = if tracing t then emit t Event.Point name attrs
+
+(* ----------------------------------------------------------------- spans *)
+
+let max_samples = 512
+
+let span_acc t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some acc -> acc
+  | None ->
+    let acc =
+      { calls = 0;
+        total = 0.;
+        min_v = infinity;
+        max_v = neg_infinity;
+        samples = [];
+        sample_count = 0 }
+    in
+    Hashtbl.add t.spans name acc;
+    acc
+
+let record_span t name dt =
+  let acc = span_acc t name in
+  acc.calls <- acc.calls + 1;
+  acc.total <- acc.total +. dt;
+  if dt < acc.min_v then acc.min_v <- dt;
+  if dt > acc.max_v then acc.max_v <- dt;
+  if acc.sample_count < max_samples then begin
+    acc.samples <- dt :: acc.samples;
+    acc.sample_count <- acc.sample_count + 1
+  end
+
+let with_span t ?(attrs = []) name f =
+  if not t.live then f ()
+  else begin
+    let traced = tracing t in
+    if traced then
+      emit t Event.Begin name (attrs @ [ ("depth", Json.Int t.depth) ]);
+    t.depth <- t.depth + 1;
+    let t0 = t.clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = t.clock () -. t0 in
+        t.depth <- t.depth - 1;
+        record_span t name dt;
+        if traced then
+          emit t Event.End name
+            [ ("ms", Json.Float (dt *. 1e3)); ("depth", Json.Int t.depth) ])
+      f
+  end
+
+(* --------------------------------------------------- counters and gauges *)
+
+let counter t name =
+  if not t.live then Counter.dead
+  else
+    match Hashtbl.find_opt t.counters name with
+    | Some c -> c
+    | None ->
+      let c = Counter.make () in
+      Hashtbl.add t.counters name c;
+      c
+
+let incr t ?by name = if t.live then Counter.incr ?by (counter t name)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> Counter.value c
+  | None -> 0
+
+let set_gauge t name v = if t.live then Hashtbl.replace t.gauges name v
+let gauge_value t name = Hashtbl.find_opt t.gauges name
+
+let counters_list t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k c acc -> (k, Counter.value c) :: acc) t.counters [])
+
+let gauges_list t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges [])
+
+let flush t =
+  if tracing t then begin
+    List.iter
+      (fun (name, v) -> emit t Event.Counter name [ ("value", Json.Int v) ])
+      (counters_list t);
+    List.iter
+      (fun (name, v) -> emit t Event.Gauge name [ ("value", Json.Float v) ])
+      (gauges_list t)
+  end
+
+(* ---------------------------------------------------------------- export *)
+
+let events t = Sink.events t.sink
+
+let to_jsonl t =
+  let lines = List.map Event.to_jsonl (events t) in
+  match lines with [] -> "" | _ -> String.concat "\n" lines ^ "\n"
+
+let write_jsonl t path =
+  match open_out path with
+  | exception Sys_error message -> Error message
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        match output_string oc (to_jsonl t) with
+        | () -> Ok ()
+        | exception Sys_error message -> Error message)
+
+type span_stats = {
+  span_name : string;
+  calls : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+  samples : float list;
+}
+
+let span_list t =
+  let rows =
+    Hashtbl.fold
+      (fun name (acc : span_acc) rows ->
+        { span_name = name;
+          calls = acc.calls;
+          total_s = acc.total;
+          min_s = (if acc.calls = 0 then 0. else acc.min_v);
+          max_s = (if acc.calls = 0 then 0. else acc.max_v);
+          samples = acc.samples }
+        :: rows)
+      t.spans []
+  in
+  List.sort
+    (fun a b ->
+      match compare b.total_s a.total_s with
+      | 0 -> String.compare a.span_name b.span_name
+      | c -> c)
+    rows
+
+let ms v = Report.Table.fixed 3 (v *. 1e3)
+
+let summary t =
+  if not t.live then "telemetry: disabled\n"
+  else begin
+    let buf = Buffer.create 1024 in
+    let spans = span_list t in
+    if spans <> [] then begin
+      Buffer.add_string buf "phase timings (CPU):\n";
+      Buffer.add_string buf
+        (Report.Table.render
+           ~headers:[ "phase"; "calls"; "total ms"; "mean ms"; "min ms"; "max ms" ]
+           (List.map
+              (fun s ->
+                [ s.span_name;
+                  string_of_int s.calls;
+                  ms s.total_s;
+                  ms (s.total_s /. float_of_int (max 1 s.calls));
+                  ms s.min_s;
+                  ms s.max_s ])
+              spans));
+      (* Latency distribution for repeated spans. *)
+      List.iter
+        (fun s ->
+          if s.calls >= 8 && s.max_s > 0. then begin
+            let hi = s.max_s *. 1e3 in
+            let histogram =
+              Report.Histogram.make ~lo:0. ~hi ~buckets:8
+                (List.map (fun v -> v *. 1e3) s.samples)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "\nlatency of %s (ms, %d samples):\n" s.span_name
+                 (List.length s.samples));
+            Buffer.add_string buf (Report.Histogram.render histogram)
+          end)
+        spans
+    end;
+    let counters = counters_list t in
+    if counters <> [] then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf "counters:\n";
+      Buffer.add_string buf
+        (Report.Table.render ~headers:[ "counter"; "value" ]
+           (List.map (fun (k, v) -> [ k; string_of_int v ]) counters))
+    end;
+    let gauges = gauges_list t in
+    if gauges <> [] then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf "gauges:\n";
+      Buffer.add_string buf
+        (Report.Table.render ~headers:[ "gauge"; "value" ]
+           (List.map (fun (k, v) -> [ k; Report.Table.fixed 3 v ]) gauges))
+    end;
+    if Buffer.length buf = 0 then "telemetry: no data recorded\n"
+    else Buffer.contents buf
+  end

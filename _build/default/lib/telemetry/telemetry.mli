@@ -1,0 +1,119 @@
+(** The telemetry collector: monotonic span timers, named counters and
+    gauges, and a structured event stream, all hanging off one handle
+    that is threaded through the partitioning pipeline as an optional
+    argument.
+
+    Three operating points:
+
+    - {!null} — the shared dead handle every instrumented function
+      defaults to. All operations short-circuit on a single boolean
+      test; nothing is allocated, timed or counted.
+    - a handle over {!Sink.null} — counters, gauges and span statistics
+      aggregate (cheap int/float mutations) but no events are built or
+      emitted. {!Prcore.Engine} uses this internally so its
+      [cost_evaluations] outcome field is always populated.
+    - a handle over a memory/file sink — full event stream, exportable
+      as JSONL ({!to_jsonl}, {!write_jsonl}) and as a human summary
+      table ({!summary}). *)
+
+type t
+
+module Counter : sig
+  type t
+  (** A named monotonic counter. Obtained from {!val-counter} once
+      (outside hot loops) and then bumped with {!incr} — an int store,
+      no lookup. *)
+
+  val incr : ?by:int -> t -> unit
+  (** No-op on counters of the {!null} handle. [by] defaults to 1. *)
+
+  val value : t -> int
+end
+
+val null : t
+(** The dead handle: not {!enabled}, never records anything. *)
+
+val create : ?clock:(unit -> float) -> Sink.t -> t
+(** A live collector over [sink]. [clock] (default [Sys.time], the
+    monotone per-process CPU clock) supplies span timestamps in
+    seconds; event times are relative to creation. *)
+
+val enabled : t -> bool
+(** [false] only for {!null}: counters/gauges/spans aggregate. *)
+
+val tracing : t -> bool
+(** [true] when events actually reach a sink — callers use this to skip
+    building attribute lists for per-node events on the hot path. *)
+
+val ensure : t -> t
+(** [ensure t] is [t] when enabled, otherwise a fresh counting-only
+    handle over {!Sink.null} — how the engine guarantees itself live
+    counters without the caller opting in. *)
+
+(** {1 Spans} *)
+
+val with_span : t -> ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span: a [Begin] event, the call, and a
+    guaranteed matching [End] event (also on exceptions) carrying the
+    duration in an [ms] attribute. Durations aggregate per name for
+    {!summary}. On a dead handle this is exactly [f ()]. *)
+
+(** {1 Counters and gauges} *)
+
+val counter : t -> string -> Counter.t
+(** The named counter, created at zero on first use. On {!null} a
+    shared dead counter is returned. *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Convenience lookup-and-bump for cold paths. *)
+
+val counter_value : t -> string -> int
+(** 0 for unknown names. *)
+
+val set_gauge : t -> string -> float -> unit
+val gauge_value : t -> string -> float option
+
+(** {1 Events} *)
+
+val point : t -> ?attrs:(string * Json.t) list -> string -> unit
+(** Emit an instantaneous [Point] event (when {!tracing}). *)
+
+val flush : t -> unit
+(** Emit one [Counter]/[Gauge] snapshot event per counter and gauge
+    (sorted by name, for determinism). Call once, after the traced
+    work, before exporting. *)
+
+(** {1 Export} *)
+
+val events : t -> Event.t list
+(** Buffered events (memory sinks only). *)
+
+val to_jsonl : t -> string
+(** All buffered events, one JSON object per line. *)
+
+val write_jsonl : t -> string -> (unit, string) result
+(** Write {!to_jsonl} to a path; [Error] carries the [Sys_error]. *)
+
+type span_stats = {
+  span_name : string;
+  calls : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+  samples : float list;  (** Up to 512 durations, most recent first. *)
+}
+
+val span_list : t -> span_stats list
+(** Aggregated span timings, sorted by descending total time. *)
+
+val counters_list : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges_list : t -> (string * float) list
+(** Sorted by name. *)
+
+val summary : t -> string
+(** Human-readable tables (via {!Report.Table}): per-span latency
+    (calls, total/mean/min/max ms) with an ASCII latency histogram
+    ({!Report.Histogram}) for spans with enough samples, then counters,
+    then gauges. Empty sections are omitted. *)

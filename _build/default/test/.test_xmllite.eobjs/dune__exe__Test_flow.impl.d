@@ -1,1 +1,1 @@
-test/test_flow.ml: Alcotest Array Bitgen Bytes Filename Floorplan Flow Fpga Fun Lazy List Prcore Prdesign Result String Sys
+test/test_flow.ml: Alcotest Array Bitgen Bytes Filename Floorplan Flow Fpga Fun Lazy List Prcore Prdesign Prtelemetry Result String Sys

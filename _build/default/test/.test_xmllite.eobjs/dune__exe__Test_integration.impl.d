@@ -1,1 +1,1 @@
-test/test_integration.ml: Alcotest Array Baselines Filename Floorplan Fpga Fun List Prcore Prdesign Runtime String Synth Sys
+test/test_integration.ml: Alcotest Array Baselines Filename Floorplan Fpga Fun List Prcore Prdesign Printf Prtelemetry Runtime String Synth Sys

@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Filename Fun List Option Prcore Prdesign Printf Prtelemetry String Sys

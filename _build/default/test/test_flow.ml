@@ -125,7 +125,11 @@ let flow_tests =
             end)
           (fun () ->
             let r = Lazy.force receiver_report in
-            let written = Tool_flow.write_outputs ~dir r in
+            let written =
+              match Tool_flow.write_outputs ~dir r with
+              | Ok written -> written
+              | Error m -> Alcotest.fail m
+            in
             Alcotest.(check bool) "files written" true (List.length written > 10);
             List.iter
               (fun path ->
@@ -150,6 +154,52 @@ let flow_tests =
             in
             let reloaded = Prdesign.Design_xml.load_file xml in
             Alcotest.(check string) "same design" "video-receiver"
-              reloaded.Prdesign.Design.name)) ]
+              reloaded.Prdesign.Design.name));
+    Alcotest.test_case "write_outputs reports unwritable directories" `Quick
+      (fun () ->
+        (* A path under a regular file cannot be created: the Sys_error
+           must come back as an Error, not an exception. *)
+        let file = Filename.temp_file "prflow" ".blocker" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove file)
+          (fun () ->
+            let r = Lazy.force receiver_report in
+            match Tool_flow.write_outputs ~dir:(Filename.concat file "out") r with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "expected an error for an unwritable dir"));
+    Alcotest.test_case "live telemetry adds stats and trace artefacts" `Quick
+      (fun () ->
+        let telemetry = Prtelemetry.create (Prtelemetry.Sink.memory ()) in
+        let options = { Tool_flow.default_options with telemetry } in
+        match
+          Tool_flow.run ~options
+            ~target:(Engine.Budget Design_library.case_study_budget)
+            Design_library.video_receiver
+        with
+        | Error m -> Alcotest.fail m
+        | Ok r ->
+          let s = Tool_flow.render_summary r in
+          Alcotest.(check bool) "summary has cost evaluations" true
+            (contains s "cost evaluations");
+          let dir = Filename.temp_file "prflowtele" "" in
+          Sys.remove dir;
+          Fun.protect
+            ~finally:(fun () ->
+              if Sys.file_exists dir then begin
+                Array.iter
+                  (fun f -> Sys.remove (Filename.concat dir f))
+                  (Sys.readdir dir);
+                Sys.rmdir dir
+              end)
+            (fun () ->
+              match Tool_flow.write_outputs ~dir r with
+              | Error m -> Alcotest.fail m
+              | Ok written ->
+                let wrote name =
+                  List.exists (fun p -> Filename.basename p = name) written
+                in
+                Alcotest.(check bool) "stats.txt" true (wrote "stats.txt");
+                Alcotest.(check bool) "trace.jsonl" true (wrote "trace.jsonl")))
+  ]
 
 let () = Alcotest.run "flow" [ ("tool-flow", flow_tests) ]

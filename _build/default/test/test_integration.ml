@@ -208,8 +208,169 @@ let cross_checks =
               done)
           (Synth.Generator.batch ~seed:79 ~count:10 ())) ]
 
+(* ------------------------------------------------------------------- CLI *)
+
+(* Under `dune runtest` the binary runs from _build/default/test, and
+   test/dune depends on ../bin/prpart.exe, so the CLI is always fresh;
+   the fallbacks cover a `dune exec` from the project root. *)
+let prpart =
+  let candidates =
+    [ Filename.concat (Filename.concat ".." "bin") "prpart.exe";
+      Filename.concat
+        (Filename.concat (Filename.concat "_build" "default") "bin")
+        "prpart.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_prpart args =
+  let out = Filename.temp_file "prpart" ".out" in
+  let err = Filename.temp_file "prpart" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out;
+      Sys.remove err)
+    (fun () ->
+      let status =
+        Sys.command (Filename.quote_command prpart ~stdout:out ~stderr:err args)
+      in
+      (status, read_file out, read_file err))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || scan (i + 1)
+  in
+  scan 0
+
+let cli_tests =
+  [ Alcotest.test_case "all CLI failure modes share one exit code" `Quick
+      (fun () ->
+        (* Unknown design, unknown device, infeasible budget and an
+           unwritable --save-scheme path must all fail identically: a
+           message on stderr and the same Cmdliner error status. *)
+        let bad_design, out1, err1 =
+          run_prpart [ "partition"; "no-such-design" ]
+        in
+        Alcotest.(check bool) "nonzero exit" true (bad_design <> 0);
+        Alcotest.(check bool) "error on stderr" true (String.length err1 > 0);
+        Alcotest.(check string) "nothing on stdout" "" out1;
+        List.iter
+          (fun (label, args) ->
+            let status, _, err = run_prpart args in
+            Alcotest.(check int) (label ^ " exit code") bad_design status;
+            Alcotest.(check bool) (label ^ " stderr") true
+              (String.length err > 0))
+          [ ( "unknown device",
+              [ "partition"; "running-example"; "--device"; "NOPE" ] );
+            ( "infeasible budget",
+              [ "partition"; "running-example"; "--budget"; "10" ] );
+            ( "unwritable save-scheme",
+              [ "partition"; "running-example"; "--save-scheme";
+                "/no-such-dir/x/y.xml" ] );
+            ("flow bad design", [ "flow"; "no-such-design" ]);
+            ("baselines bad design", [ "baselines"; "no-such-design" ]);
+            ( "simulate bad replay",
+              [ "simulate"; "running-example"; "--replay"; "/no/such/trace" ]
+            ) ]);
+    Alcotest.test_case "--trace writes valid, balanced JSONL and --stats \
+                        prints tables" `Quick (fun () ->
+        let trace = Filename.temp_file "prpart" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists trace then Sys.remove trace)
+          (fun () ->
+            let status, out, err =
+              run_prpart
+                [ "partition"; "video-receiver"; "--budget"; "6800,50,150";
+                  "--trace"; trace; "--stats" ]
+            in
+            Alcotest.(check int) "exit 0" 0 status;
+            Alcotest.(check string) "stderr empty" "" err;
+            Alcotest.(check bool) "stats table" true
+              (contains out "phase timings");
+            Alcotest.(check bool) "cost evaluations line" true
+              (contains out "cost evaluations:");
+            (* Every line parses; span begin/end pairs balance. *)
+            let lines =
+              List.filter
+                (fun l -> String.trim l <> "")
+                (String.split_on_char '\n' (read_file trace))
+            in
+            Alcotest.(check bool) "trace nonempty" true (lines <> []);
+            let events =
+              List.map
+                (fun line ->
+                  match Prtelemetry.Json.of_string line with
+                  | Error m ->
+                    Alcotest.fail
+                      (Printf.sprintf "line %S is not JSON: %s" line m)
+                  | Ok v -> (
+                    match Prtelemetry.Event.of_json v with
+                    | Ok e -> e
+                    | Error m -> Alcotest.fail ("bad event: " ^ m)))
+                lines
+            in
+            let depth =
+              List.fold_left
+                (fun depth (e : Prtelemetry.Event.t) ->
+                  match e.kind with
+                  | Prtelemetry.Event.Begin -> depth + 1
+                  | Prtelemetry.Event.End ->
+                    Alcotest.(check bool) "never negative" true (depth > 0);
+                    depth - 1
+                  | _ -> depth)
+                0 events
+            in
+            Alcotest.(check int) "begin/end balanced" 0 depth;
+            Alcotest.(check bool) "has engine.solve" true
+              (List.exists
+                 (fun (e : Prtelemetry.Event.t) -> e.name = "engine.solve")
+                 events)));
+    Alcotest.test_case "no flags means no telemetry output" `Quick (fun () ->
+        let status, out, err =
+          run_prpart
+            [ "partition"; "video-receiver"; "--budget"; "6800,50,150" ]
+        in
+        Alcotest.(check int) "exit 0" 0 status;
+        Alcotest.(check string) "stderr empty" "" err;
+        Alcotest.(check bool) "no stats table" false
+          (contains out "phase timings");
+        Alcotest.(check bool) "no cost evaluations" false
+          (contains out "cost evaluations:"));
+    Alcotest.test_case "simulate records and replays via --replay" `Quick
+      (fun () ->
+        let walk = Filename.temp_file "prpart" ".trace" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists walk then Sys.remove walk)
+          (fun () ->
+            let status, _, err =
+              run_prpart
+                [ "simulate"; "running-example"; "--steps"; "50";
+                  "--save-trace"; walk ]
+            in
+            Alcotest.(check string) "record stderr" "" err;
+            Alcotest.(check int) "record ok" 0 status;
+            let status, out, _ =
+              run_prpart
+                [ "simulate"; "running-example"; "--replay"; walk; "--stats" ]
+            in
+            Alcotest.(check int) "replay ok" 0 status;
+            Alcotest.(check bool) "replay simulated" true
+              (contains out "50 steps");
+            Alcotest.(check bool) "runtime counters" true
+              (contains out "runtime.steps"))) ]
+
 let () =
   Alcotest.run "integration"
     [ ("pipeline", pipeline_tests);
       ("paper-flow", paper_flow_tests);
-      ("cross-checks", cross_checks) ]
+      ("cross-checks", cross_checks);
+      ("cli", cli_tests) ]

@@ -1,0 +1,401 @@
+(* Tests for the telemetry library: span timing/nesting, counters and
+   gauges, JSONL round-tripping, the free null handle, and an
+   integration check that a full Engine.solve emits a well-formed,
+   balanced trace. *)
+
+module T = Prtelemetry
+module Json = Prtelemetry.Json
+module Event = Prtelemetry.Event
+
+let fake_clock () =
+  let now = ref 0. in
+  ((fun () -> !now), fun dt -> now := !now +. dt)
+
+(* ----------------------------------------------------------------- spans *)
+
+let span_tests =
+  [ Alcotest.test_case "spans time and aggregate" `Quick (fun () ->
+        let clock, advance = fake_clock () in
+        let t = T.create ~clock (T.Sink.memory ()) in
+        let result =
+          T.with_span t "outer" (fun () ->
+              advance 0.25;
+              T.with_span t "inner" (fun () ->
+                  advance 0.5;
+                  41)
+              + 1)
+        in
+        Alcotest.(check int) "value threaded" 42 result;
+        let stats = T.span_list t in
+        Alcotest.(check int) "two spans" 2 (List.length stats);
+        let outer = List.hd stats in
+        Alcotest.(check string) "slowest first" "outer" outer.T.span_name;
+        Alcotest.(check (float 1e-9)) "outer total" 0.75 outer.T.total_s;
+        let inner = List.nth stats 1 in
+        Alcotest.(check (float 1e-9)) "inner total" 0.5 inner.T.total_s);
+    Alcotest.test_case "span events nest and balance" `Quick (fun () ->
+        let clock, advance = fake_clock () in
+        let t = T.create ~clock (T.Sink.memory ()) in
+        T.with_span t "a" (fun () ->
+            T.with_span t "b" (fun () -> advance 0.001);
+            T.point t "p" ~attrs:[ ("x", Json.Int 7) ]);
+        let kinds =
+          List.map (fun (e : Event.t) -> (e.kind, e.name)) (T.events t)
+        in
+        Alcotest.(check int) "five events" 5 (List.length kinds);
+        (match kinds with
+         | [ (Event.Begin, "a");
+             (Event.Begin, "b");
+             (Event.End, "b");
+             (Event.Point, "p");
+             (Event.End, "a") ] ->
+           ()
+         | _ -> Alcotest.fail "unexpected event sequence");
+        (* Depth attributes reflect nesting. *)
+        let depth_of (e : Event.t) =
+          match Json.to_int (Option.get (List.assoc_opt "depth" e.attrs)) with
+          | Some d -> d
+          | None -> Alcotest.fail "depth attribute missing"
+        in
+        let events = T.events t in
+        Alcotest.(check int) "outer depth" 0 (depth_of (List.hd events));
+        Alcotest.(check int) "inner depth" 1 (depth_of (List.nth events 1));
+        (* Sequence numbers strictly increase. *)
+        let seqs = List.map (fun (e : Event.t) -> e.seq) events in
+        Alcotest.(check (list int)) "seq" [ 1; 2; 3; 4; 5 ] seqs);
+    Alcotest.test_case "spans balance on exceptions" `Quick (fun () ->
+        let t = T.create (T.Sink.memory ()) in
+        (try
+           T.with_span t "fails" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        match T.events t with
+        | [ { Event.kind = Event.Begin; name = "fails"; _ };
+            { Event.kind = Event.End; name = "fails"; _ } ] ->
+          ()
+        | _ -> Alcotest.fail "expected a balanced Begin/End pair") ]
+
+(* -------------------------------------------------- counters and gauges *)
+
+let counter_tests =
+  [ Alcotest.test_case "counter arithmetic" `Quick (fun () ->
+        let t = T.create T.Sink.null in
+        let c = T.counter t "hits" in
+        T.Counter.incr c;
+        T.Counter.incr c ~by:41;
+        Alcotest.(check int) "value" 42 (T.Counter.value c);
+        Alcotest.(check int) "by name" 42 (T.counter_value t "hits");
+        T.incr t "hits";
+        Alcotest.(check int) "incr by name" 43 (T.counter_value t "hits");
+        Alcotest.(check int) "unknown is zero" 0 (T.counter_value t "nope");
+        (* The same name resolves to the same counter. *)
+        T.Counter.incr (T.counter t "hits") ~by:7;
+        Alcotest.(check int) "shared" 50 (T.counter_value t "hits"));
+    Alcotest.test_case "gauges keep the latest value" `Quick (fun () ->
+        let t = T.create T.Sink.null in
+        T.set_gauge t "u" 0.25;
+        T.set_gauge t "u" 0.75;
+        Alcotest.(check (option (float 1e-9))) "latest" (Some 0.75)
+          (T.gauge_value t "u");
+        Alcotest.(check (option (float 1e-9))) "unknown" None
+          (T.gauge_value t "v"));
+    Alcotest.test_case "flush snapshots counters and gauges" `Quick (fun () ->
+        let t = T.create (T.Sink.memory ()) in
+        T.incr t "b" ~by:2;
+        T.incr t "a" ~by:1;
+        T.set_gauge t "g" 3.5;
+        T.flush t;
+        let snapshot =
+          List.filter_map
+            (fun (e : Event.t) ->
+              match e.kind with
+              | Event.Counter | Event.Gauge -> Some e.name
+              | _ -> None)
+            (T.events t)
+        in
+        (* Counters sorted by name, then gauges. *)
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "g" ] snapshot) ]
+
+(* ------------------------------------------------------------ null handle *)
+
+let null_tests =
+  [ Alcotest.test_case "null handle records nothing" `Quick (fun () ->
+        let t = T.null in
+        Alcotest.(check bool) "disabled" false (T.enabled t);
+        Alcotest.(check bool) "not tracing" false (T.tracing t);
+        let v = T.with_span t "s" (fun () -> 7) in
+        Alcotest.(check int) "passthrough" 7 v;
+        T.incr t "c" ~by:5;
+        T.Counter.incr (T.counter t "c") ~by:5;
+        T.set_gauge t "g" 1.;
+        T.point t "p";
+        T.flush t;
+        Alcotest.(check int) "no counter" 0 (T.counter_value t "c");
+        Alcotest.(check (option (float 1e-9))) "no gauge" None
+          (T.gauge_value t "g");
+        Alcotest.(check int) "no events" 0 (List.length (T.events t));
+        Alcotest.(check string) "no jsonl" "" (T.to_jsonl t);
+        Alcotest.(check string) "summary says disabled"
+          "telemetry: disabled\n" (T.summary t));
+    Alcotest.test_case "counting handle aggregates without events" `Quick
+      (fun () ->
+        let t = T.create T.Sink.null in
+        Alcotest.(check bool) "enabled" true (T.enabled t);
+        Alcotest.(check bool) "not tracing" false (T.tracing t);
+        T.with_span t "s" (fun () -> T.incr t "c");
+        Alcotest.(check int) "counter live" 1 (T.counter_value t "c");
+        Alcotest.(check int) "span aggregated" 1
+          (List.length (T.span_list t));
+        Alcotest.(check int) "no events" 0 (List.length (T.events t)));
+    Alcotest.test_case "ensure revives the null handle" `Quick (fun () ->
+        let t = T.ensure T.null in
+        Alcotest.(check bool) "enabled" true (T.enabled t);
+        T.incr t "c";
+        Alcotest.(check int) "counts" 1 (T.counter_value t "c");
+        (* ensure of a live handle is the same handle. *)
+        Alcotest.(check bool) "idempotent" true (T.ensure t == t)) ]
+
+(* ------------------------------------------------------------------ json *)
+
+let json_round_trip value =
+  match Json.of_string (Json.to_string value) with
+  | Ok parsed ->
+    Alcotest.(check string) "round trip" (Json.to_string value)
+      (Json.to_string parsed)
+  | Error m -> Alcotest.fail ("parse failed: " ^ m)
+
+let json_tests =
+  [ Alcotest.test_case "values round-trip" `Quick (fun () ->
+        List.iter json_round_trip
+          [ Json.Null;
+            Json.Bool true;
+            Json.Bool false;
+            Json.Int 42;
+            Json.Int (-7);
+            Json.Float 3.25;
+            Json.Float (-0.125);
+            Json.String "plain";
+            Json.String "quotes \" and \\ and \n tabs \t";
+            Json.String "control \x01 char";
+            Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+            Json.Obj
+              [ ("a", Json.Int 1);
+                ("nested", Json.Obj [ ("b", Json.List [ Json.Bool false ]) ])
+              ] ]);
+    Alcotest.test_case "malformed input is an error" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Json.of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s))
+          [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\":}"; "1 2";
+            "nanx"; "{\"a\" 1}" ]);
+    Alcotest.test_case "accessors" `Quick (fun () ->
+        let v = Json.Obj [ ("n", Json.Int 3); ("s", Json.String "x") ] in
+        Alcotest.(check (option int)) "int" (Some 3)
+          (Option.bind (Json.member "n" v) Json.to_int);
+        Alcotest.(check (option string)) "string" (Some "x")
+          (Option.bind (Json.member "s" v) Json.to_str);
+        Alcotest.(check bool) "missing" true (Json.member "q" v = None)) ]
+
+(* ----------------------------------------------------------------- jsonl *)
+
+let parse_jsonl jsonl =
+  List.filter_map
+    (fun line ->
+      if String.trim line = "" then None
+      else
+        match Json.of_string line with
+        | Ok v -> (
+          match Event.of_json v with
+          | Ok e -> Some e
+          | Error m -> Alcotest.fail ("event decode failed: " ^ m))
+        | Error m ->
+          Alcotest.fail (Printf.sprintf "line %S is not JSON: %s" line m))
+    (String.split_on_char '\n' jsonl)
+
+let balanced events =
+  let rec go stack = function
+    | [] -> stack = []
+    | (e : Event.t) :: rest -> (
+      match e.kind with
+      | Event.Begin -> go (e.name :: stack) rest
+      | Event.End -> (
+        match stack with
+        | top :: stack' when top = e.name -> go stack' rest
+        | _ -> false)
+      | Event.Point | Event.Counter | Event.Gauge -> go stack rest)
+  in
+  go [] events
+
+let jsonl_tests =
+  [ Alcotest.test_case "event stream round-trips through JSONL" `Quick
+      (fun () ->
+        let clock, advance = fake_clock () in
+        let t = T.create ~clock (T.Sink.memory ()) in
+        T.with_span t "phase" ~attrs:[ ("design", Json.String "d") ]
+          (fun () ->
+            advance 0.125;
+            T.point t "node"
+              ~attrs:
+                [ ("i", Json.Int 3);
+                  ("w", Json.Float 0.5);
+                  ("ok", Json.Bool true);
+                  ("why", Json.String "tie \"break\"") ]);
+        T.incr t "visits" ~by:9;
+        T.flush t;
+        let original = T.events t in
+        let reparsed = parse_jsonl (T.to_jsonl t) in
+        Alcotest.(check int) "same count" (List.length original)
+          (List.length reparsed);
+        List.iter2
+          (fun (a : Event.t) (b : Event.t) ->
+            Alcotest.(check int) "seq" a.seq b.seq;
+            Alcotest.(check string) "name" a.name b.name;
+            Alcotest.(check string) "kind"
+              (Event.kind_to_string a.kind)
+              (Event.kind_to_string b.kind);
+            Alcotest.(check (float 1e-9)) "time" a.time b.time;
+            Alcotest.(check string) "attrs"
+              (Json.to_string (Json.Obj a.attrs))
+              (Json.to_string (Json.Obj b.attrs)))
+          original reparsed);
+    Alcotest.test_case "write_jsonl writes the file and reports errors"
+      `Quick (fun () ->
+        let t = T.create (T.Sink.memory ()) in
+        T.with_span t "s" (fun () -> ());
+        let path = Filename.temp_file "prtele" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            (match T.write_jsonl t path with
+             | Ok () -> ()
+             | Error m -> Alcotest.fail m);
+            let ic = open_in path in
+            let content =
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            Alcotest.(check string) "content" (T.to_jsonl t) content);
+        match T.write_jsonl t (Filename.concat path "nope.jsonl") with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected an error for an unwritable path") ]
+
+(* ----------------------------------------------------------- integration *)
+
+let integration_tests =
+  [ Alcotest.test_case "Engine.solve emits a balanced, well-formed trace"
+      `Quick (fun () ->
+        let t = T.create (T.Sink.memory ()) in
+        let design = Prdesign.Design_library.video_receiver in
+        let outcome =
+          match
+            Prcore.Engine.solve ~telemetry:t
+              ~target:
+                (Prcore.Engine.Budget Prdesign.Design_library.case_study_budget)
+              design
+          with
+          | Ok o -> o
+          | Error m -> Alcotest.fail m
+        in
+        T.flush t;
+        let events = parse_jsonl (T.to_jsonl t) in
+        Alcotest.(check bool) "events recorded" true (List.length events > 0);
+        Alcotest.(check bool) "balanced" true (balanced events);
+        let has kind name =
+          List.exists
+            (fun (e : Event.t) -> e.kind = kind && e.name = name)
+            events
+        in
+        Alcotest.(check bool) "engine.solve span" true
+          (has Event.Begin "engine.solve");
+        Alcotest.(check bool) "clustering span" true
+          (has Event.Begin "cluster.agglomerate");
+        Alcotest.(check bool) "covering span" true
+          (has Event.Begin "cover.candidate_sets");
+        Alcotest.(check bool) "allocator span" true
+          (has Event.Begin "alloc.allocate");
+        Alcotest.(check bool) "counter snapshot" true
+          (has Event.Counter "core.cost_evaluations");
+        (* Times never go backwards and seq is dense from 1. *)
+        ignore
+          (List.fold_left
+             (fun (last_seq, last_time) (e : Event.t) ->
+               Alcotest.(check int) "dense seq" (last_seq + 1) e.seq;
+               Alcotest.(check bool) "monotone time" true
+                 (e.time >= last_time);
+               (e.seq, e.time))
+             (0, 0.) events);
+        (* The outcome's evaluation counter matches the telemetry. *)
+        Alcotest.(check bool) "cost evaluations counted" true
+          (outcome.Prcore.Engine.cost_evaluations > 0);
+        Alcotest.(check int) "matches counters"
+          (T.counter_value t "core.cost_evaluations"
+          + T.counter_value t "alloc.moves_evaluated")
+          outcome.Prcore.Engine.cost_evaluations);
+    Alcotest.test_case "solve without telemetry still counts evaluations"
+      `Quick (fun () ->
+        match
+          Prcore.Engine.solve
+            ~target:
+              (Prcore.Engine.Budget Prdesign.Design_library.case_study_budget)
+            Prdesign.Design_library.video_receiver
+        with
+        | Ok o ->
+          Alcotest.(check bool) "positive" true
+            (o.Prcore.Engine.cost_evaluations > 0)
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "identical results with and without telemetry" `Quick
+      (fun () ->
+        let design = Prdesign.Design_library.video_receiver in
+        let target =
+          Prcore.Engine.Budget Prdesign.Design_library.case_study_budget
+        in
+        let t = T.create (T.Sink.memory ()) in
+        match
+          ( Prcore.Engine.solve ~target design,
+            Prcore.Engine.solve ~telemetry:t ~target design )
+        with
+        | Ok plain, Ok traced ->
+          Alcotest.(check int) "total frames"
+            plain.Prcore.Engine.evaluation.Prcore.Cost.total_frames
+            traced.Prcore.Engine.evaluation.Prcore.Cost.total_frames;
+          Alcotest.(check int) "regions"
+            plain.Prcore.Engine.scheme.Prcore.Scheme.region_count
+            traced.Prcore.Engine.scheme.Prcore.Scheme.region_count
+        | _ -> Alcotest.fail "solve failed");
+    Alcotest.test_case "summary renders phase and counter tables" `Quick
+      (fun () ->
+        let t = T.create (T.Sink.memory ()) in
+        (match
+           Prcore.Engine.solve ~telemetry:t
+             ~target:
+               (Prcore.Engine.Budget
+                  Prdesign.Design_library.case_study_budget)
+             Prdesign.Design_library.video_receiver
+         with
+        | Ok _ -> ()
+        | Error m -> Alcotest.fail m);
+        let s = T.summary t in
+        let contains needle =
+          let nh = String.length s and nn = String.length needle in
+          let rec scan i =
+            if i + nn > nh then false
+            else String.sub s i nn = needle || scan (i + 1)
+          in
+          scan 0
+        in
+        Alcotest.(check bool) "phase table" true (contains "phase timings");
+        Alcotest.(check bool) "engine row" true (contains "engine.solve");
+        Alcotest.(check bool) "counters table" true (contains "counters:");
+        Alcotest.(check bool) "cost counter" true
+          (contains "core.cost_evaluations")) ]
+
+let () =
+  Alcotest.run "telemetry"
+    [ ("spans", span_tests);
+      ("counters", counter_tests);
+      ("null", null_tests);
+      ("json", json_tests);
+      ("jsonl", jsonl_tests);
+      ("integration", integration_tests) ]

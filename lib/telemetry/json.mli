@@ -1,0 +1,36 @@
+(** A minimal, dependency-free JSON value type with an encoder and a
+    strict recursive-descent parser — just enough for the telemetry
+    event stream (JSONL export and the round-trip tests). Kept in the
+    telemetry library on purpose: the repo's policy is no external
+    dependencies beyond the sealed container ({!Xmllite} plays the same
+    role for XML). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) encoding. Strings are escaped per RFC 8259;
+    non-finite floats encode as [null] (JSON has no NaN/inf). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. Numbers
+    without [.]/[e]/[E] parse as [Int], others as [Float]. Supports the
+    escapes the encoder emits (plus [\u00XX]). *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float : t -> float option
+(** [Int] and [Float]. *)
+
+val to_str : t -> string option
+(** [String] payloads only. *)

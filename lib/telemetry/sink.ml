@@ -1,0 +1,43 @@
+type buffer = { mutable events : Event.t list (* reversed *) }
+
+type stream = { oc : out_channel; owned : bool; mutable closed : bool }
+
+type t = Null | Memory of buffer | Stream of stream
+
+let null = Null
+
+let memory () = Memory { events = [] }
+
+let channel oc = Stream { oc; owned = false; closed = false }
+
+let file path =
+  match open_out path with
+  | oc -> Ok (Stream { oc; owned = true; closed = false })
+  | exception Sys_error message -> Error message
+
+let emit t event =
+  match t with
+  | Null -> ()
+  | Memory b -> b.events <- event :: b.events
+  | Stream s ->
+    if not s.closed then begin
+      output_string s.oc (Event.to_jsonl event);
+      output_char s.oc '\n'
+    end
+
+let events = function
+  | Memory b -> List.rev b.events
+  | Null | Stream _ -> []
+
+let is_null = function Null -> true | Memory _ | Stream _ -> false
+
+let close = function
+  | Null | Memory _ -> ()
+  | Stream s ->
+    if not s.closed then begin
+      flush s.oc;
+      if s.owned then begin
+        close_out_noerr s.oc;
+        s.closed <- true
+      end
+    end

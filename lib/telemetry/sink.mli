@@ -1,0 +1,35 @@
+(** Where telemetry events go. Three implementations:
+
+    - {!null} — drops everything; the collector short-circuits before
+      building the event, so instrumentation is free when disabled;
+    - {!memory} — buffers events in order, for later export as JSONL or
+      a human summary;
+    - {!channel}/{!file} — streams one JSONL line per event as it
+      happens (for long-running processes where buffering is unwanted). *)
+
+type t
+
+val null : t
+
+val memory : unit -> t
+(** A fresh, independent in-memory buffer. *)
+
+val channel : out_channel -> t
+(** Stream JSONL lines to an already-open channel (not closed by
+    {!close}d — the caller owns it). *)
+
+val file : string -> (t, string) result
+(** Open [path] for writing and stream JSONL lines into it; the error
+    case carries the [Sys_error] message. {!close} closes the file. *)
+
+val emit : t -> Event.t -> unit
+(** Record (or write) one event. No-op on {!null}. *)
+
+val events : t -> Event.t list
+(** Buffered events in emission order; [[]] for non-memory sinks. *)
+
+val is_null : t -> bool
+
+val close : t -> unit
+(** Flush and close a {!file} sink (idempotent); flush a {!channel}
+    sink; no-op otherwise. *)
