@@ -1,7 +1,7 @@
 # Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
 # `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
 
-.PHONY: all build test check fmt fmt-check bench-smoke clean
+.PHONY: all build test check fmt fmt-check bench-smoke faults clean
 
 all: build
 
@@ -32,6 +32,11 @@ fmt-check:
 
 bench-smoke:
 	dune exec bench/main.exe -- --quick
+
+# Fault-injection sweep: resilient runtime over the reference schemes,
+# plus the recovery-policy comparison (see DESIGN.md, fault model).
+faults:
+	dune exec bench/main.exe -- faults
 
 clean:
 	dune clean

@@ -135,6 +135,113 @@ let weighted () =
     (Experiments.Ablation.render_weighted
        (Experiments.Ablation.weighted_objective ()))
 
+let faults () =
+  section "Robustness: fault-injection sweep over the reference schemes";
+  print_string (Experiments.Faults.render_sweep (Experiments.Faults.sweep ()));
+  print_newline ();
+  print_string
+    (Experiments.Faults.render_policies (Experiments.Faults.policies ()))
+
+(* Fault-injection smoke for the test suite (--quick): a scripted fault
+   schedule with a fixed seed must (1) leave the fault-free statistics
+   bit-for-bit identical to Manager.simulate, (2) inject exactly the
+   scheduled faults and recover them all, and (3) replay to an
+   identical reliability report. Exits 1 on any mismatch. *)
+let fault_smoke () =
+  section "Fault smoke: scripted schedule, fixed seed, golden report";
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "FAULT SMOKE FAILED: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let receiver = Prdesign.Design_library.video_receiver in
+  let scheme =
+    match
+      Prcore.Engine.solve
+        ~target:(Prcore.Engine.Budget Prdesign.Design_library.case_study_budget)
+        receiver
+    with
+    | Ok o -> o.Prcore.Engine.scheme
+    | Error message -> fail "case-study solve: %s" message
+  in
+  let rng = Synth.Rng.make 5 in
+  let sequence =
+    Runtime.Manager.random_walk
+      ~rand:(fun n -> Synth.Rng.int rng n)
+      ~configs:(Prdesign.Design.configuration_count receiver)
+      ~steps:40 ~initial:0
+  in
+  (* (1) Inactive injector: bit-for-bit equal to the plain simulator. *)
+  let plain = Runtime.Manager.simulate scheme ~initial:0 ~sequence in
+  (match Runtime.Resilient.simulate scheme ~initial:0 ~sequence with
+   | Error _ -> fail "inactive injector must not fail"
+   | Ok o ->
+     if o.Runtime.Resilient.stats <> plain then
+       fail "inactive injector diverged from Manager.simulate");
+  (* (2) Scripted schedule: exactly these operations fault, all recover. *)
+  (* Operations alternate fetch/program per load attempt and a faulted
+     attempt replays both, so with a fault-free prefix in mind:
+     op 0 fetch (timeout) -> 1 fetch, 2 program; 3 fetch, 4 program
+     (CRC) -> 5 fetch, 6 program; 7 fetch (corrupt) -> 8 fetch,
+     9 program; 10 fetch, 11 program (SEU) -> 12 fetch, 13 program;
+     14 fetch, 15 program (busy) -> 16 fetch, 17 program. *)
+  let schedule =
+    [ (0, Prfault.Injector.Fetch_timeout);
+      (4, Prfault.Injector.Icap_crc_error);
+      (7, Prfault.Injector.Corrupt_bitstream);
+      (11, Prfault.Injector.Seu_upset);
+      (15, Prfault.Injector.Device_busy) ]
+  in
+  let fault =
+    { Runtime.Resilient.default_config with
+      spec = { Prfault.Injector.disabled with seed = 42; schedule } }
+  in
+  let run () =
+    match
+      Runtime.Resilient.simulate ~memory:Runtime.Fetch.flash ~fault scheme
+        ~initial:0 ~sequence
+    with
+    | Ok o -> o
+    | Error f ->
+      fail "scheduled faults must recover: %s"
+        (Runtime.Resilient.render_failure f)
+  in
+  let o = run () in
+  let r = o.Runtime.Resilient.reliability in
+  if r.Prfault.Reliability.total_faults <> List.length schedule then
+    fail "expected %d faults, saw %d" (List.length schedule)
+      r.Prfault.Reliability.total_faults;
+  List.iter
+    (fun (kind, expected) ->
+      let seen = List.assoc kind r.Prfault.Reliability.faults_by_kind in
+      if seen <> expected then
+        fail "expected %d %s faults, saw %d" expected
+          (Prfault.Injector.kind_name kind)
+          seen)
+    [ (Prfault.Injector.Fetch_timeout, 1);
+      (Prfault.Injector.Corrupt_bitstream, 1);
+      (Prfault.Injector.Icap_crc_error, 1);
+      (Prfault.Injector.Seu_upset, 1);
+      (Prfault.Injector.Device_busy, 1) ];
+  if r.Prfault.Reliability.recovered_loads <> List.length schedule then
+    fail "expected every scheduled fault recovered";
+  if
+    r.Prfault.Reliability.failed_loads <> 0
+    || r.Prfault.Reliability.dropped_transitions <> 0
+    || not r.Prfault.Reliability.completed
+  then fail "scheduled run must complete without degradation";
+  if r.Prfault.Reliability.added_seconds <= 0. then
+    fail "recovery must add latency";
+  (* (3) Determinism: the golden report replays identically. *)
+  let r' = (run ()).Runtime.Resilient.reliability in
+  if not (Prfault.Reliability.equal r r') then
+    fail "two runs of the same seed produced different reliability reports";
+  print_string (Prfault.Reliability.render r);
+  Printf.printf "fault smoke OK (%d ops, %d faults, deterministic)\n"
+    o.Runtime.Resilient.operations r.Prfault.Reliability.total_faults
+
 (* Telemetry: per-phase timings of the case-study solve, plus the
    overhead of the three handle operating points (dead null handle,
    counting-only over the null sink, full tracing over a memory sink). *)
@@ -258,6 +365,7 @@ let experiments =
     ("arch", arch);
     ("gap", gap);
     ("weighted", weighted);
+    ("faults", faults);
     ("telemetry", fun () -> telemetry ());
     ("perf", perf) ]
 
@@ -267,6 +375,7 @@ let () =
     (* Smoke mode for the test suite: the fast experiments only, with a
        reduced telemetry overhead comparison. *)
     table1 ();
+    fault_smoke ();
     telemetry ~quick:true ();
     exit 0
   end;

@@ -269,6 +269,72 @@ let baselines_cmd =
     (Cmd.info "baselines" ~doc)
     Term.(ret (const run $ design_arg $ trace_arg $ stats_arg))
 
+(* Resolve a --safe-config value: a configuration name or a numeric
+   index. *)
+let resolve_config design spec =
+  let configs = Prdesign.Design.configuration_count design in
+  let by_name =
+    let rec search c =
+      if c >= configs then None
+      else if
+        design.Prdesign.Design.configurations.(c)
+          .Prdesign.Configuration.name = spec
+      then Some c
+      else search (c + 1)
+    in
+    search 0
+  in
+  match by_name with
+  | Some c -> Ok c
+  | None -> (
+    match int_of_string_opt spec with
+    | Some c when c >= 0 && c < configs -> Ok c
+    | Some c ->
+      Error
+        (Printf.sprintf "configuration index %d out of range [0, %d)" c
+           configs)
+    | None -> Error (Printf.sprintf "unknown configuration %S" spec))
+
+let fault_rate_arg =
+  let doc =
+    "Inject faults: per-operation probability (in [0,1]) of each fault \
+     kind (fetch timeout, corrupt bitstream, ICAP CRC error, SEU upset, \
+     device busy) on the operations it applies to. Enables the resilient \
+     runtime; the other $(b,--fault-*) flags refine it."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "fault-rate" ] ~docv:"P" ~doc)
+
+let fault_seed_arg =
+  let doc = "Fault-injector RNG seed (reports are reproducible per seed)." in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"S" ~doc)
+
+let fault_policy_arg =
+  let doc =
+    "Recovery policy once a region load exhausts its retries: \
+     $(b,retry) (retry then fail the run), $(b,fallback) (degrade to \
+     the safe configuration), $(b,skip) (drop the adaptation step), or \
+     $(b,abort) (fail on the first fault, no retries)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           (List.map
+              (fun p -> (Prfault.Recovery.policy_name p, p))
+              Prfault.Recovery.all_policies))
+        Prfault.Recovery.Fallback_safe_config
+    & info [ "fault-policy" ] ~docv:"POLICY" ~doc)
+
+let safe_config_arg =
+  let doc =
+    "Safe configuration (name or index) the $(b,fallback) policy \
+     degrades to; defaults to the walk's initial configuration."
+  in
+  Arg.(value & opt (some string) None & info [ "safe-config" ] ~docv:"CONF" ~doc)
+
 let simulate_cmd =
   let steps_arg =
     Arg.(value & opt int 1000 & info [ "steps" ] ~docv:"N"
@@ -285,7 +351,8 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "save-trace" ] ~docv:"FILE"
            ~doc:"Record the walk as a trace file for later replay.")
   in
-  let run spec budget device steps seed replay save_trace trace stats =
+  let run spec budget device steps seed replay save_trace fault_rate fault_seed
+      fault_policy safe_config trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -315,17 +382,7 @@ let simulate_cmd =
               match trace_result with
               | Error message -> `Error (false, message)
               | Ok walk ->
-                let stats' =
-                  Runtime.Trace.simulate ~telemetry outcome.scheme walk
-                in
-                Format.printf "%s" (Prcore.Scheme.describe outcome.scheme);
-                Format.printf "%a@." Runtime.Manager.pp_stats stats';
-                Array.iteri
-                  (fun r loads ->
-                    Format.printf "  PRR%d reconfigured %d times@." (r + 1)
-                      loads)
-                  stats'.region_loads;
-                let saved =
+                let save () =
                   match save_trace with
                   | None -> Ok ()
                   | Some path -> (
@@ -335,9 +392,74 @@ let simulate_cmd =
                       Ok ()
                     with Sys_error message -> Error message)
                 in
-                (match saved with
+                let print_stats (stats' : Runtime.Manager.stats) =
+                  Format.printf "%s" (Prcore.Scheme.describe outcome.scheme);
+                  Format.printf "%a@." Runtime.Manager.pp_stats stats';
+                  Array.iteri
+                    (fun r loads ->
+                      Format.printf "  PRR%d reconfigured %d times@." (r + 1)
+                        loads)
+                    stats'.Runtime.Manager.region_loads
+                in
+                let simulated =
+                  match fault_rate with
+                  | None ->
+                    (* Fault-free legacy path: the plain manager replay. *)
+                    print_stats
+                      (Runtime.Trace.simulate ~telemetry outcome.scheme walk);
+                    Ok ()
+                  | Some rate
+                    when rate < 0. || rate > 1. || Float.is_nan rate ->
+                    Error "--fault-rate must be in [0, 1]"
+                  | Some rate -> (
+                    let safe_result =
+                      match safe_config with
+                      | None -> Ok None
+                      | Some spec -> (
+                        match resolve_config design spec with
+                        | Ok c -> Ok (Some c)
+                        | Error message ->
+                          Error ("--safe-config: " ^ message))
+                    in
+                    match safe_result with
+                    | Error message -> Error message
+                    | Ok safe_config ->
+                      let fault =
+                        { Runtime.Resilient.spec =
+                            Prfault.Injector.uniform ~seed:fault_seed ~rate ();
+                          policy = fault_policy;
+                          retry = Prfault.Recovery.default_retry;
+                          safe_config }
+                      in
+                      (match
+                         Runtime.Trace.simulate_resilient ~telemetry
+                           ~memory:Runtime.Fetch.ddr ~fault outcome.scheme
+                           walk
+                       with
+                       | Ok o ->
+                         print_stats o.Runtime.Resilient.stats;
+                         (match o.Runtime.Resilient.fetch with
+                          | Some report ->
+                            Format.printf "%s@."
+                              (Runtime.Fetch.render report)
+                          | None -> ());
+                         print_string
+                           (Prfault.Reliability.render
+                              o.Runtime.Resilient.reliability);
+                         Ok ()
+                       | Error f ->
+                         Error
+                           (Runtime.Resilient.render_failure f
+                           ^ "\n"
+                           ^ Prfault.Reliability.render
+                               f.Runtime.Resilient.reliability)))
+                in
+                (match simulated with
                  | Error message -> `Error (false, message)
-                 | Ok () -> finish_telemetry ~trace ~stats telemetry)
+                 | Ok () -> (
+                   match save () with
+                   | Error message -> `Error (false, message)
+                   | Ok () -> finish_telemetry ~trace ~stats telemetry))
             end))
   in
   let doc =
@@ -348,7 +470,9 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ steps_arg
-         $ seed_arg $ replay_arg $ save_trace_arg $ trace_arg $ stats_arg))
+         $ seed_arg $ replay_arg $ save_trace_arg $ fault_rate_arg
+         $ fault_seed_arg $ fault_policy_arg $ safe_config_arg $ trace_arg
+         $ stats_arg))
 
 let synth_cmd =
   let count_arg =

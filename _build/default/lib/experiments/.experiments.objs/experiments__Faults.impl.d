@@ -1,0 +1,1 @@
+lib/experiments/faults.ml: Baselines List Prcore Prdesign Prfault Printf Report Runtime Synth

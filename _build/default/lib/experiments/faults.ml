@@ -1,0 +1,159 @@
+module Design_library = Prdesign.Design_library
+module Engine = Prcore.Engine
+module Resilient = Runtime.Resilient
+
+type row = {
+  scheme_label : string;
+  rate : float;
+  operations : int;
+  faults : int;
+  recovered : int;
+  dropped : int;
+  fallbacks : int;
+  total_ms : float;
+  added_ms : float;
+  mttr_ms : float;
+  completed : bool;
+}
+
+let case_study_schemes () =
+  let design = Design_library.video_receiver in
+  let optimised =
+    match
+      Engine.solve ~target:(Engine.Budget Design_library.case_study_budget)
+        design
+    with
+    | Ok o -> o.Engine.scheme
+    | Error message -> failwith ("fault sweep solve failed: " ^ message)
+  in
+  [ ("paper-optimised", optimised);
+    ( "single region",
+      (Baselines.Schemes.single_region design).Baselines.Schemes.scheme );
+    ( "one module/region",
+      (Baselines.Schemes.one_module_per_region design).Baselines.Schemes.scheme
+    ) ]
+
+let walk ~seed ~steps design =
+  let rng = Synth.Rng.make seed in
+  Runtime.Manager.random_walk
+    ~rand:(fun n -> Synth.Rng.int rng n)
+    ~configs:(Prdesign.Design.configuration_count design)
+    ~steps ~initial:0
+
+let sweep ?(steps = 2000) ?(seed = 17) ?(rates = [ 0.; 0.002; 0.01; 0.05 ])
+    () =
+  let design = Design_library.video_receiver in
+  let sequence = walk ~seed ~steps design in
+  let schemes = case_study_schemes () in
+  List.concat_map
+    (fun rate ->
+      List.map
+        (fun (scheme_label, scheme) ->
+          let fault =
+            { Resilient.default_config with
+              spec = Prfault.Injector.uniform ~seed ~rate ();
+              policy = Prfault.Recovery.Fallback_safe_config }
+          in
+          match
+            Resilient.simulate ~memory:Runtime.Fetch.flash ~fault scheme
+              ~initial:0 ~sequence
+          with
+          | Error f ->
+            failwith
+              (Printf.sprintf "fault sweep: %s under fallback: %s"
+                 scheme_label
+                 (Resilient.render_failure f))
+          | Ok o ->
+            let r = o.Resilient.reliability in
+            { scheme_label;
+              rate;
+              operations = o.Resilient.operations;
+              faults = r.Prfault.Reliability.total_faults;
+              recovered = r.Prfault.Reliability.recovered_loads;
+              dropped = r.Prfault.Reliability.dropped_transitions;
+              fallbacks = r.Prfault.Reliability.fallbacks;
+              total_ms =
+                1e3 *. o.Resilient.stats.Runtime.Manager.total_seconds;
+              added_ms = 1e3 *. r.Prfault.Reliability.added_seconds;
+              mttr_ms = 1e3 *. r.Prfault.Reliability.mttr_seconds;
+              completed = r.Prfault.Reliability.completed })
+        schemes)
+    rates
+
+type policy_row = {
+  policy_label : string;
+  p_faults : int;
+  p_recovered : int;
+  p_dropped : int;
+  p_fallbacks : int;
+  p_added_ms : float;
+  p_outcome : string;
+}
+
+let policies ?(steps = 2000) ?(seed = 17) ?(rate = 0.05) () =
+  let design = Design_library.video_receiver in
+  let sequence = walk ~seed ~steps design in
+  let scheme = List.assoc "paper-optimised" (case_study_schemes ()) in
+  List.map
+    (fun policy ->
+      let fault =
+        { Resilient.default_config with
+          spec = Prfault.Injector.uniform ~seed ~rate ();
+          policy }
+      in
+      let result =
+        Resilient.simulate ~memory:Runtime.Fetch.flash ~fault scheme
+          ~initial:0 ~sequence
+      in
+      let reliability, outcome =
+        match result with
+        | Ok o -> (o.Resilient.reliability, "completed")
+        | Error f -> (f.Resilient.reliability, Resilient.render_failure f)
+      in
+      { policy_label = Prfault.Recovery.policy_name policy;
+        p_faults = reliability.Prfault.Reliability.total_faults;
+        p_recovered = reliability.Prfault.Reliability.recovered_loads;
+        p_dropped = reliability.Prfault.Reliability.dropped_transitions;
+        p_fallbacks = reliability.Prfault.Reliability.fallbacks;
+        p_added_ms = 1e3 *. reliability.Prfault.Reliability.added_seconds;
+        p_outcome = outcome })
+    Prfault.Recovery.all_policies
+
+let render_sweep rows =
+  "Fault-rate sweep: resilient runtime over the case-study walk \
+   (fallback policy, flash fetch)\n"
+  ^ Report.Table.render
+      ~headers:
+        [ "Scheme"; "Rate"; "Ops"; "Faults"; "Recov."; "Dropped"; "Fallb.";
+          "Base ms"; "Added ms"; "MTTR ms" ]
+      (List.map
+         (fun r ->
+           [ r.scheme_label;
+             Report.Table.fixed 3 r.rate;
+             string_of_int r.operations;
+             string_of_int r.faults;
+             string_of_int r.recovered;
+             string_of_int r.dropped;
+             string_of_int r.fallbacks;
+             Report.Table.fixed 1 r.total_ms;
+             Report.Table.fixed 1 r.added_ms;
+             Report.Table.fixed 2 r.mttr_ms ])
+         rows)
+
+let render_policies rows =
+  "Recovery policies under the identical fault scenario (optimised \
+   scheme)\n"
+  ^ Report.Table.render
+      ~headers:
+        [ "Policy"; "Faults"; "Recov."; "Dropped"; "Fallb."; "Added ms";
+          "Outcome" ]
+      (List.map
+         (fun r ->
+           [ r.policy_label;
+             string_of_int r.p_faults;
+             string_of_int r.p_recovered;
+             string_of_int r.p_dropped;
+             string_of_int r.p_fallbacks;
+             Report.Table.fixed 1 r.p_added_ms;
+             r.p_outcome ])
+         rows)

@@ -1,0 +1,52 @@
+(** Fault-injection sweep: how the paper-optimised partitioning and the
+    reference schemes degrade as the reconfiguration path becomes
+    unreliable.
+
+    The case-study design replays one fixed seeded adaptation walk per
+    scheme under {!Runtime.Resilient} at increasing per-operation fault
+    rates. Because the optimised scheme moves fewer frames per
+    transition, it exposes fewer fallible fetch/program operations —
+    partitioning quality compounds into reliability, not just latency.
+
+    A second table fixes the fault rate and varies the
+    {!Prfault.Recovery.policy}, demonstrating that degradation policies
+    change survivability: [Fallback_safe_config] completes runs that
+    [Abort] cannot. *)
+
+type row = {
+  scheme_label : string;
+  rate : float;  (** Per-operation, per-kind fault probability. *)
+  operations : int;  (** Fallible fetch/program operations exposed. *)
+  faults : int;
+  recovered : int;
+  dropped : int;
+  fallbacks : int;
+  total_ms : float;  (** Logical reconfiguration time (fault-free part). *)
+  added_ms : float;  (** Latency added by retries and backoff. *)
+  mttr_ms : float;
+  completed : bool;
+}
+
+val sweep : ?steps:int -> ?seed:int -> ?rates:float list -> unit -> row list
+(** Paper-optimised vs single-region vs modular on the case-study
+    design and budget, [Fallback_safe_config] policy, flash fetch path.
+    Defaults: 2000 steps, seed 17, rates [[0.; 0.002; 0.01; 0.05]]. *)
+
+type policy_row = {
+  policy_label : string;
+  p_faults : int;
+  p_recovered : int;
+  p_dropped : int;
+  p_fallbacks : int;
+  p_added_ms : float;
+  p_outcome : string;  (** ["completed"] or the failure description. *)
+}
+
+val policies : ?steps:int -> ?seed:int -> ?rate:float -> unit -> policy_row list
+(** All four recovery policies over the identical fault scenario on the
+    optimised scheme. Defaults: 2000 steps, seed 17, rate 0.05 (high
+    enough that some loads exhaust their retries, so the policies
+    diverge). *)
+
+val render_sweep : row list -> string
+val render_policies : policy_row list -> string

@@ -1,0 +1,1 @@
+lib/fault/prfault.ml: Injector Recovery Reliability

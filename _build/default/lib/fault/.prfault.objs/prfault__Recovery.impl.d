@@ -1,0 +1,1 @@
+lib/fault/recovery.ml: Float List

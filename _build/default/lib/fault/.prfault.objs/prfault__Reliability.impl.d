@@ -1,0 +1,1 @@
+lib/fault/reliability.ml: Array Buffer Injector List Printf

@@ -1,0 +1,103 @@
+(** Deterministic fault injection for the reconfiguration runtime.
+
+    Real partial-reconfiguration deployments lose far more time to
+    {e failed} reconfigurations — fetch timeouts, corrupted bitstreams,
+    ICAP CRC errors — than to raw frame counts. This module models those
+    failures as a typed fault stream the runtime simulator draws from:
+    every reconfiguration operation (an external bitstream fetch, an
+    ICAP programming pass) asks the injector whether it faults, and the
+    injector answers from a seeded deterministic PRNG so any failure
+    scenario replays bit-for-bit.
+
+    Three trigger mechanisms compose:
+
+    - {b rates}: an independent per-kind probability per operation;
+    - {b bursts}: once a probabilistic fault fires, with probability
+      [burst.start_probability] the same kind keeps firing for the next
+      [burst.length - 1] applicable operations (modelling a brown-out or
+      a noisy supply rather than independent glitches);
+    - {b schedule}: exact (operation index, kind) pairs that fire
+      unconditionally — the tool for reproducible tests and golden
+      reliability reports.
+
+    The injector is deterministic in its draw sequence: a fixed
+    {!spec} replayed against the same operation sequence produces the
+    same fault stream on every run and every machine. *)
+
+type kind =
+  | Fetch_timeout  (** External memory did not deliver the bitstream. *)
+  | Corrupt_bitstream  (** Fetched image fails its CRC; must re-fetch. *)
+  | Icap_crc_error
+      (** Programming aborted mid-stream; region content is garbage. *)
+  | Seu_upset
+      (** Single-event upset detected right after programming (readback
+          scrubbing); region must be reprogrammed. *)
+  | Device_busy  (** Configuration port busy; back off and retry. *)
+
+val all_kinds : kind list
+(** In declaration order. *)
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+type op = Fetch_op | Program_op
+(** The two fallible operation classes. {!Fetch_timeout} and
+    {!Corrupt_bitstream} apply to [Fetch_op]; the other three to
+    [Program_op]. *)
+
+val applies : kind -> op -> bool
+
+type burst = {
+  start_probability : float;  (** Chance a fired fault opens a burst. *)
+  length : int;  (** Total faults in the burst, the trigger included. *)
+}
+
+type spec = {
+  seed : int;
+  rates : (kind * float) list;
+      (** Per-operation probability of each kind, each in [0, 1].
+          Missing kinds never fire probabilistically. *)
+  burst : burst option;
+  schedule : (int * kind) list;
+      (** Unconditional faults by zero-based operation index. Fetch and
+          programming operations share one counter, in draw order. *)
+}
+
+val disabled : spec
+(** Never fires: no rates, no burst, no schedule. *)
+
+val uniform : ?seed:int -> rate:float -> unit -> spec
+(** Every kind fires independently with probability [rate] on the
+    operations it applies to. [seed] defaults to 0.
+    @raise Invalid_argument when [rate] is outside [0, 1]. *)
+
+val validate : spec -> (unit, string) result
+(** Checks rates and burst parameters are in range and the schedule
+    indices are non-negative. *)
+
+val active : spec -> bool
+(** [true] when the spec can ever fire (some positive rate or a
+    non-empty schedule). *)
+
+type t
+(** A live injector: spec plus PRNG, burst and operation-counter state.
+    Create one per simulation run with {!start}. *)
+
+val start : spec -> t
+(** @raise Invalid_argument when {!validate} rejects the spec. *)
+
+val spec : t -> spec
+val operations : t -> int
+(** Operations drawn so far. *)
+
+val faults_injected : t -> int
+
+val draw : t -> op -> kind option
+(** Ask whether the next operation of class [op] faults. Consumes one
+    operation index; the PRNG advances by one draw per applicable kind,
+    so the stream is reproducible for a fixed operation sequence. *)
+
+val jitter : t -> float
+(** Uniform in [0, 1) from a dedicated stream seeded off [spec.seed],
+    for backoff jitter: drawing jitter never perturbs the fault
+    sequence. *)

@@ -1,0 +1,12 @@
+(** Fault injection and recovery modelling for the reconfiguration
+    runtime. See {!Injector} for the typed fault model and deterministic
+    seeded injector, {!Recovery} for degradation policies and
+    retry/backoff parameters, and {!Reliability} for the report the
+    resilient runtime produces.
+
+    The resilient simulation loop itself lives in [Runtime.Resilient]
+    (the runtime layer depends on this library, not the reverse). *)
+
+module Injector = Injector
+module Recovery = Recovery
+module Reliability = Reliability

@@ -1,0 +1,50 @@
+type policy = Retry_then_fail | Fallback_safe_config | Skip_transition | Abort
+
+let all_policies = [ Retry_then_fail; Fallback_safe_config; Skip_transition; Abort ]
+
+let policy_name = function
+  | Retry_then_fail -> "retry"
+  | Fallback_safe_config -> "fallback"
+  | Skip_transition -> "skip"
+  | Abort -> "abort"
+
+let policy_of_string s =
+  List.find_opt (fun p -> policy_name p = s) all_policies
+
+type retry = {
+  max_attempts : int;
+  base_backoff_s : float;
+  backoff_multiplier : float;
+  max_backoff_s : float;
+  jitter : float;
+  transition_budget_s : float option;
+}
+
+let default_retry =
+  { max_attempts = 4;
+    base_backoff_s = 100e-6;
+    backoff_multiplier = 2.;
+    max_backoff_s = 10e-3;
+    jitter = 0.2;
+    transition_budget_s = None }
+
+let validate_retry r =
+  if r.max_attempts < 1 then Error "max_attempts must be >= 1"
+  else if r.base_backoff_s < 0. then Error "base_backoff_s must be >= 0"
+  else if r.backoff_multiplier < 1. then Error "backoff_multiplier must be >= 1"
+  else if r.max_backoff_s < 0. then Error "max_backoff_s must be >= 0"
+  else if r.jitter < 0. || r.jitter > 1. then Error "jitter must be in [0, 1]"
+  else
+    match r.transition_budget_s with
+    | Some b when b <= 0. -> Error "transition_budget_s must be positive"
+    | Some _ | None -> Ok ()
+
+let backoff_seconds r ~attempt ~unit_jitter =
+  if attempt < 1 then invalid_arg "Recovery.backoff_seconds: attempt < 1";
+  if unit_jitter < 0. || unit_jitter > 1. then
+    invalid_arg "Recovery.backoff_seconds: unit_jitter outside [0, 1]";
+  let raw =
+    r.base_backoff_s *. (r.backoff_multiplier ** float_of_int (attempt - 1))
+  in
+  let capped = Float.min raw r.max_backoff_s in
+  capped *. (1. +. (r.jitter *. unit_jitter))

@@ -1,0 +1,51 @@
+(** Recovery policies and retry/backoff parameters for the resilient
+    reconfiguration loop.
+
+    When a region load keeps failing after its bounded retries, the
+    policy decides how the runtime degrades:
+
+    - {!Abort}: no retries at all — the first injected fault ends the
+      run with an error (the brittle baseline).
+    - {!Retry_then_fail}: bounded retries with backoff; if the load
+      still fails the run ends with an error.
+    - {!Skip_transition}: bounded retries; on exhaustion the adaptation
+      step is dropped — the system stays in its previous configuration
+      (regions already reprogrammed this step keep their new content,
+      exactly like real hardware) and the walk continues.
+    - {!Fallback_safe_config}: bounded retries; on exhaustion the
+      runtime reconfigures to a designated safe configuration and
+      continues from there. This policy never fails a run. *)
+
+type policy = Retry_then_fail | Fallback_safe_config | Skip_transition | Abort
+
+val all_policies : policy list
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+type retry = {
+  max_attempts : int;  (** Attempts per region load, >= 1. *)
+  base_backoff_s : float;  (** Wait before the first retry. *)
+  backoff_multiplier : float;  (** Exponential growth factor, >= 1. *)
+  max_backoff_s : float;  (** Backoff cap. *)
+  jitter : float;
+      (** Fraction of the backoff added as deterministic jitter in
+          [0, jitter): 0.2 means up to +20%. In [0, 1]. *)
+  transition_budget_s : float option;
+      (** Wall-clock budget (fetch + programming + backoff) for one
+          adaptation step; once exceeded, remaining retries are
+          forfeited and the policy applies. [None] = unbounded. *)
+}
+
+val default_retry : retry
+(** 4 attempts, 100 us base backoff, x2 growth capped at 10 ms, 20%
+    jitter, no transition budget. *)
+
+val validate_retry : retry -> (unit, string) result
+
+val backoff_seconds : retry -> attempt:int -> unit_jitter:float -> float
+(** Backoff before retrying after failed attempt number [attempt]
+    (1-based): [base * multiplier^(attempt-1)] capped at [max_backoff_s],
+    scaled by [1 + jitter * unit_jitter] with [unit_jitter] drawn
+    uniformly from [0, 1) by the caller (pass 0 for jitter-free).
+    @raise Invalid_argument when [attempt < 1] or [unit_jitter] is
+    outside [0, 1]. *)

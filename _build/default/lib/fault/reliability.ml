@@ -1,0 +1,122 @@
+type t = {
+  mutable faults : (Injector.kind * int) list;
+  mutable retries : int;
+  mutable recovered : int;
+  mutable failed : int;
+  mutable dropped : int;
+  mutable fallbacks : int;
+  mutable budget_exhausted : int;
+  mutable backoff_s : float;
+  mutable wasted_s : float;
+  region_faults : int array;
+  mutable completed : bool;
+}
+
+let create ~regions =
+  if regions < 0 then invalid_arg "Reliability.create: negative region count";
+  { faults = List.map (fun k -> (k, 0)) Injector.all_kinds;
+    retries = 0;
+    recovered = 0;
+    failed = 0;
+    dropped = 0;
+    fallbacks = 0;
+    budget_exhausted = 0;
+    backoff_s = 0.;
+    wasted_s = 0.;
+    region_faults = Array.make regions 0;
+    completed = true }
+
+let record_fault t kind ~region =
+  t.faults <-
+    List.map
+      (fun (k, n) -> if k = kind then (k, n + 1) else (k, n))
+      t.faults;
+  if region >= 0 && region < Array.length t.region_faults then
+    t.region_faults.(region) <- t.region_faults.(region) + 1
+
+let record_retry t = t.retries <- t.retries + 1
+let record_backoff t s = t.backoff_s <- t.backoff_s +. s
+let record_wasted t s = t.wasted_s <- t.wasted_s +. s
+let record_recovered t = t.recovered <- t.recovered + 1
+let record_failed_load t = t.failed <- t.failed + 1
+let record_dropped_transition t = t.dropped <- t.dropped + 1
+let record_fallback t = t.fallbacks <- t.fallbacks + 1
+let record_budget_exhausted t = t.budget_exhausted <- t.budget_exhausted + 1
+let mark_incomplete t = t.completed <- false
+
+type summary = {
+  faults_by_kind : (Injector.kind * int) list;
+  total_faults : int;
+  retries : int;
+  recovered_loads : int;
+  failed_loads : int;
+  dropped_transitions : int;
+  fallbacks : int;
+  budget_exhausted : int;
+  backoff_seconds : float;
+  wasted_seconds : float;
+  added_seconds : float;
+  mttr_seconds : float;
+  region_faults : int array;
+  completed : bool;
+}
+
+let snapshot t =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 t.faults in
+  let added = t.backoff_s +. t.wasted_s in
+  { faults_by_kind = t.faults;
+    total_faults = total;
+    retries = t.retries;
+    recovered_loads = t.recovered;
+    failed_loads = t.failed;
+    dropped_transitions = t.dropped;
+    fallbacks = t.fallbacks;
+    budget_exhausted = t.budget_exhausted;
+    backoff_seconds = t.backoff_s;
+    wasted_seconds = t.wasted_s;
+    added_seconds = added;
+    mttr_seconds =
+      (if t.recovered = 0 then 0. else added /. float_of_int t.recovered);
+    region_faults = Array.copy t.region_faults;
+    completed = t.completed }
+
+let equal a b =
+  a.faults_by_kind = b.faults_by_kind
+  && a.total_faults = b.total_faults
+  && a.retries = b.retries
+  && a.recovered_loads = b.recovered_loads
+  && a.failed_loads = b.failed_loads
+  && a.dropped_transitions = b.dropped_transitions
+  && a.fallbacks = b.fallbacks
+  && a.budget_exhausted = b.budget_exhausted
+  && a.backoff_seconds = b.backoff_seconds
+  && a.wasted_seconds = b.wasted_seconds
+  && a.region_faults = b.region_faults
+  && a.completed = b.completed
+
+let render s =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf (str ^ "\n")) fmt in
+  line "Reliability report:";
+  line "  faults injected        %d" s.total_faults;
+  List.iter
+    (fun (k, n) ->
+      if n > 0 then line "    %-18s %d" (Injector.kind_name k) n)
+    s.faults_by_kind;
+  line "  retries                %d" s.retries;
+  line "  recovered loads        %d" s.recovered_loads;
+  line "  failed loads           %d" s.failed_loads;
+  line "  dropped transitions    %d" s.dropped_transitions;
+  line "  safe-config fallbacks  %d" s.fallbacks;
+  if s.budget_exhausted > 0 then
+    line "  budget exhaustions     %d" s.budget_exhausted;
+  line "  added latency          %.3f ms (%.3f ms backoff + %.3f ms wasted)"
+    (1e3 *. s.added_seconds) (1e3 *. s.backoff_seconds)
+    (1e3 *. s.wasted_seconds);
+  line "  MTTR                   %.3f ms" (1e3 *. s.mttr_seconds);
+  Array.iteri
+    (fun r n -> if n > 0 then line "  PRR%d faults            %d" (r + 1) n)
+    s.region_faults;
+  line "  run %s" (if s.completed then "completed" else "ABORTED");
+  Buffer.contents buf
+

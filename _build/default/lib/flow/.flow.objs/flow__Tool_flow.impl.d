@@ -1,1 +1,1 @@
-lib/flow/tool_flow.ml: Array Bitgen Buffer Bytes Filename Floorplan Format Fpga Fun Hdl List Prcore Prdesign Printf Prtelemetry Sys
+lib/flow/tool_flow.ml: Array Bitgen Buffer Bytes Filename Floorplan Format Fpga Fun Hdl List Prcore Prdesign Prfault Printf Prtelemetry Runtime Synth Sys

@@ -1,1 +1,1 @@
-lib/flow/tool_flow.mli: Bitgen Floorplan Fpga Prcore Prdesign Prtelemetry
+lib/flow/tool_flow.mli: Bitgen Floorplan Fpga Prcore Prdesign Prtelemetry Runtime

@@ -3,18 +3,35 @@ module Engine = Prcore.Engine
 module Scheme = Prcore.Scheme
 module Resource = Fpga.Resource
 
+type resilience = {
+  fault : Runtime.Resilient.config;
+  walk_steps : int;
+  walk_seed : int;
+  memory : Runtime.Fetch.memory;
+}
+
+let default_resilience =
+  { fault =
+      { Runtime.Resilient.default_config with
+        spec = Prfault.Injector.uniform ~rate:0.01 () };
+    walk_steps = 1000;
+    walk_seed = 1;
+    memory = Runtime.Fetch.flash }
+
 type options = {
   engine : Engine.options;
   icap : Fpga.Icap.t;
   floorplan_feedback : bool;
   telemetry : Prtelemetry.t;
+  resilience : resilience option;
 }
 
 let default_options =
   { engine = Engine.default_options;
     icap = Fpga.Icap.default;
     floorplan_feedback = true;
-    telemetry = Prtelemetry.null }
+    telemetry = Prtelemetry.null;
+    resilience = None }
 
 type report = {
   design : Design.t;
@@ -26,6 +43,8 @@ type report = {
   wrappers : (string * string) list;
   repository : Bitgen.Repository.t;
   telemetry : Prtelemetry.t;
+  resilience :
+    (Runtime.Resilient.outcome, Runtime.Resilient.failure) result option;
 }
 
 let demands_of_scheme (scheme : Scheme.t) =
@@ -137,6 +156,25 @@ let run ?(options = default_options) ~target design =
       Bitgen.Repository.build ~placement:placement.Floorplan.Placer.placements
         ~telemetry ~device outcome.Engine.scheme
     in
+    let resilience =
+      match options.resilience with
+      | None -> None
+      | Some r ->
+        let configs = Design.configuration_count design in
+        if configs < 2 || r.walk_steps <= 0 then None
+        else begin
+          let rng = Synth.Rng.make r.walk_seed in
+          let sequence =
+            Runtime.Manager.random_walk
+              ~rand:(fun n -> Synth.Rng.int rng n)
+              ~configs ~steps:r.walk_steps ~initial:0
+          in
+          Some
+            (Runtime.Resilient.simulate ~icap:options.icap ~memory:r.memory
+               ~telemetry ~fault:r.fault outcome.Engine.scheme ~initial:0
+               ~sequence)
+        end
+    in
     Ok
       { design;
         outcome;
@@ -146,7 +184,33 @@ let run ?(options = default_options) ~target design =
         floorplan_escalations;
         wrappers;
         repository;
-        telemetry }
+        telemetry;
+        resilience }
+
+let render_resilience r =
+  match r.resilience with
+  | None -> ""
+  | Some assessment ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "resilience assessment (fault-injected walk):\n";
+    (match assessment with
+     | Ok o ->
+       Buffer.add_string buf
+         (Format.asprintf "  %a\n" Runtime.Manager.pp_stats
+            o.Runtime.Resilient.stats);
+       (match o.Runtime.Resilient.fetch with
+        | Some report ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s\n" (Runtime.Fetch.render report))
+        | None -> ());
+       Buffer.add_string buf
+         (Prfault.Reliability.render o.Runtime.Resilient.reliability)
+     | Error f ->
+       Buffer.add_string buf
+         (Printf.sprintf "  %s\n" (Runtime.Resilient.render_failure f));
+       Buffer.add_string buf
+         (Prfault.Reliability.render f.Runtime.Resilient.reliability));
+    Buffer.contents buf
 
 let render_summary r =
   let buf = Buffer.create 512 in
@@ -178,6 +242,7 @@ let render_summary r =
   Buffer.add_string buf
     (Printf.sprintf "wrappers: %d Verilog files\n" (List.length r.wrappers));
   Buffer.add_string buf (Bitgen.Repository.render r.repository);
+  Buffer.add_string buf (render_resilience r);
   if Prtelemetry.enabled r.telemetry then begin
     Buffer.add_string buf
       (Printf.sprintf "cost evaluations: %d\n"
@@ -211,6 +276,9 @@ let write_outputs ~dir r =
          (Bitgen.Bitstream.serialise r.repository.Bitgen.Repository.full));
     write "design.xml" (Prdesign.Design_xml.to_string r.design);
     write "report.txt" (render_summary r);
+    (match r.resilience with
+     | Some _ -> write "reliability.txt" (render_resilience r)
+     | None -> ());
     if Prtelemetry.enabled r.telemetry then begin
       write "stats.txt" (Prtelemetry.summary r.telemetry);
       if Prtelemetry.tracing r.telemetry then begin

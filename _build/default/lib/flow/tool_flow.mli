@@ -12,6 +12,20 @@
 
     The result bundles every artefact a downstream build would consume. *)
 
+type resilience = {
+  fault : Runtime.Resilient.config;  (** What faults and how to recover. *)
+  walk_steps : int;  (** Length of the assessment walk. *)
+  walk_seed : int;  (** Seed of the random adaptation walk. *)
+  memory : Runtime.Fetch.memory;  (** Bitstream store to fetch from. *)
+}
+(** Post-build stress test: replay a seeded random adaptation walk over
+    the final scheme under fault injection ({!Runtime.Resilient}) and
+    report how the deployment would degrade. *)
+
+val default_resilience : resilience
+(** 1% uniform fault rate, safe-config fallback, 1000 steps from
+    configuration flash, seed 1. *)
+
 type options = {
   engine : Prcore.Engine.options;
   icap : Fpga.Icap.t;
@@ -26,6 +40,10 @@ type options = {
           ["flow.escalate"] trace points, and makes {!render_summary}
           append a telemetry section and {!write_outputs} emit
           [stats.txt] (plus [trace.jsonl] when the handle traces). *)
+  resilience : resilience option;
+      (** When set, {!run} appends a fault-injected walk assessment to
+          the report (default [None]; skipped for designs with fewer
+          than two configurations). *)
 }
 
 val default_options : options
@@ -44,6 +62,11 @@ type report = {
   telemetry : Prtelemetry.t;
       (** The handle the flow ran with — {!Prtelemetry.null} unless the
           caller opted in via {!options}. *)
+  resilience :
+    (Runtime.Resilient.outcome, Runtime.Resilient.failure) result option;
+      (** The fault-injected walk assessment when
+          [options.resilience] was set — [Error] when the configured
+          recovery policy let the walk abort. *)
 }
 
 val run :
@@ -56,6 +79,10 @@ val run :
     loop re-partitions on each larger device. *)
 
 val render_summary : report -> string
+
+val render_resilience : report -> string
+(** The resilience section of {!render_summary} alone; [""] when the
+    assessment did not run. *)
 
 val write_outputs : dir:string -> report -> (string list, string) result
 (** Write every artefact under [dir] (created if missing): the wrapper

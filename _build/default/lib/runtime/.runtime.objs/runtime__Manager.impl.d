@@ -1,1 +1,1 @@
-lib/runtime/manager.ml: Array Format Fpga List Prcore Prdesign Prtelemetry
+lib/runtime/manager.ml: Array Format Fpga List Prcore Prdesign Printf Prtelemetry

@@ -1,0 +1,1 @@
+lib/runtime/resilient.ml: Array Fetch Fpga List Manager Prcore Prdesign Prfault Printf Prtelemetry

@@ -1,0 +1,1 @@
+lib/runtime/resilient.mli: Fetch Fpga Manager Prcore Prfault Prtelemetry

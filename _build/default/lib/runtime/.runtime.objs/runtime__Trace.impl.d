@@ -1,1 +1,1 @@
-lib/runtime/trace.ml: Array Buffer Fun List Manager Markov Prcore Prdesign Printf String
+lib/runtime/trace.ml: Array Buffer Fun List Manager Markov Prcore Prdesign Printf Resilient String

@@ -1,1 +1,1 @@
-lib/runtime/trace.mli: Fpga Manager Markov Prcore Prdesign Prtelemetry
+lib/runtime/trace.mli: Fetch Fpga Manager Markov Prcore Prdesign Prtelemetry Resilient

@@ -20,6 +20,23 @@ type stats = {
   region_loads : int array;
 }
 
+(* What the initial full bitstream leaves in region [r]: the active
+   partition when configuration [initial] uses the region, else the
+   region's first-listed partition (the fabric must hold something).
+   Shared with Resilient.simulate so both runtimes agree bit-for-bit. *)
+let initial_resident (scheme : Scheme.t) ~initial r =
+  match Scheme.active_partition scheme ~config:initial ~region:r with
+  | Some p -> p
+  | None -> (
+    match Scheme.region_members scheme r with
+    | p :: _ -> p
+    | [] ->
+      invalid_arg
+        (Printf.sprintf
+           "Manager.simulate: region %d has no member partitions (invalid \
+            scheme)"
+           r))
+
 let simulate ?(icap = Fpga.Icap.default) ?(trace = fun _ -> ())
     ?(telemetry = Prtelemetry.null) (scheme : Scheme.t) ~initial ~sequence =
   let configs = Design.configuration_count scheme.Scheme.design in
@@ -34,22 +51,20 @@ let simulate ?(icap = Fpga.Icap.default) ?(trace = fun _ -> ())
     Prtelemetry.counter telemetry "runtime.transitions"
   in
   let frame_counter = Prtelemetry.counter telemetry "runtime.frames" in
-  let check c =
+  let check what c =
     if c < 0 || c >= configs then
-      invalid_arg "Manager.simulate: configuration index out of range"
+      invalid_arg
+        (Printf.sprintf
+           "Manager.simulate: %s configuration %d out of range [0, %d)" what c
+           configs)
   in
-  check initial;
-  List.iter check sequence;
+  check "initial" initial;
+  List.iter (check "sequence") sequence;
   let regions = scheme.Scheme.region_count in
   (* The initial full bitstream configures every region: regions the
      initial configuration uses hold their active partition, idle regions
      hold their first-listed partition (some content must be there). *)
-  let resident =
-    Array.init regions (fun r ->
-        match Scheme.active_partition scheme ~config:initial ~region:r with
-        | Some p -> p
-        | None -> List.hd (Scheme.region_members scheme r))
-  in
+  let resident = Array.init regions (initial_resident scheme ~initial) in
   let region_loads = Array.make regions 0 in
   let current = ref initial in
   let step = ref 0 in
@@ -115,6 +130,11 @@ let simulate ?(icap = Fpga.Icap.default) ?(trace = fun _ -> ())
 let random_walk ~rand ~configs ~steps ~initial =
   if configs < 2 then invalid_arg "Manager.random_walk: need >= 2 configurations";
   if steps < 0 then invalid_arg "Manager.random_walk: negative step count";
+  if initial < 0 || initial >= configs then
+    invalid_arg
+      (Printf.sprintf
+         "Manager.random_walk: initial configuration %d out of range [0, %d)"
+         initial configs);
   let rec walk current n acc =
     if n = 0 then List.rev acc
     else begin

@@ -48,6 +48,13 @@ let simulate ?icap ?telemetry scheme trace =
   Manager.simulate ?icap ?telemetry scheme ~initial:trace.initial
     ~sequence:trace.sequence
 
+let simulate_resilient ?icap ?memory ?cache ?telemetry ?fault scheme trace =
+  let design = scheme.Prcore.Scheme.design in
+  if design.Design.name <> trace.design_name then
+    invalid_arg "Trace.simulate_resilient: trace belongs to a different design";
+  Resilient.simulate ?icap ?memory ?cache ?telemetry ?fault scheme
+    ~initial:trace.initial ~sequence:trace.sequence
+
 let config_name design c =
   design.Design.configurations.(c).Prdesign.Configuration.name
 

@@ -51,6 +51,19 @@ val simulate :
     @raise Invalid_argument when the trace's design name differs from the
     scheme's design. *)
 
+val simulate_resilient :
+  ?icap:Fpga.Icap.t ->
+  ?memory:Fetch.memory ->
+  ?cache:Fetch.cache ->
+  ?telemetry:Prtelemetry.t ->
+  ?fault:Resilient.config ->
+  Prcore.Scheme.t ->
+  t ->
+  (Resilient.outcome, Resilient.failure) result
+(** Replay the trace under fault injection ({!Resilient.simulate}).
+    @raise Invalid_argument when the trace's design name differs from
+    the scheme's design. *)
+
 val to_string : Prdesign.Design.t -> t -> string
 val of_string : Prdesign.Design.t -> string -> (t, string) result
 val save_file : Prdesign.Design.t -> string -> t -> unit

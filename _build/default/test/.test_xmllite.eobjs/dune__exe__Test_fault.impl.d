@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Filename Flow Fun Lazy List Prcore Prdesign Prfault Result Runtime String Synth Sys

@@ -248,6 +248,83 @@ let prop_tour_bounded_by_directional =
           stats.Runtime.Manager.total_frames <= !bound
         end)
 
+(* Property 10: fetch-cache accounting invariants under arbitrary access
+   and invalidation streams. Frames are a pure function of the key, as in
+   real use (a (region, partition) pair always names the same bitstream). *)
+let frames_of_key (r, p) = ((7 * r) + (3 * p) + 5) mod 43
+
+let gen_cache_workload =
+  QCheck2.Gen.(
+    triple
+      (oneofl [ Runtime.Fetch.Lru; Runtime.Fetch.Fifo; Runtime.Fetch.Largest_out ])
+      (0 -- 120)
+      (list_size (0 -- 120)
+         (triple (0 -- 3) (0 -- 5) (* invalidate? *) (frequencyl [ (5, false); (1, true) ]))))
+
+let prop_cache_accounting =
+  QCheck2.Test.make ~name:"fetch cache accounting invariants" ~count:300
+    gen_cache_workload (fun (policy, capacity, ops) ->
+      let cache =
+        Runtime.Fetch.create_cache ~policy ~capacity_frames:capacity ()
+      in
+      List.for_all
+        (fun (r, p, invalidate) ->
+          let key = (r, p) in
+          let was_resident =
+            List.mem_assoc key (Runtime.Fetch.residents cache)
+          in
+          if invalidate then Runtime.Fetch.invalidate cache ~key
+          else begin
+            let a =
+              Runtime.Fetch.access cache Runtime.Fetch.flash ~key
+                ~frames:(frames_of_key key)
+            in
+            (* A hit exactly when the key was already resident. *)
+            if a.Runtime.Fetch.hit <> was_resident then
+              QCheck2.Test.fail_report "hit flag disagrees with residency"
+          end;
+          let residents = Runtime.Fetch.residents cache in
+          let sum = List.fold_left (fun acc (_, f) -> acc + f) 0 residents in
+          (* used = sum of resident frame counts, and never exceeds the
+             capacity. *)
+          sum = Runtime.Fetch.resident_frames cache
+          && sum <= capacity
+          && List.length residents
+             = List.length (List.sort_uniq compare (List.map fst residents)))
+        ops)
+
+(* Property 11: the Largest_out policy always evicts (one of) the largest
+   resident entries: every evicted bitstream is at least as large as
+   every survivor from before the access. *)
+let prop_largest_out_evicts_largest =
+  QCheck2.Test.make ~name:"largest-out evicts a largest resident" ~count:300
+    QCheck2.Gen.(
+      pair (1 -- 120)
+        (list_size (1 -- 120) (pair (0 -- 3) (0 -- 5))))
+    (fun (capacity, keys) ->
+      let cache =
+        Runtime.Fetch.create_cache ~policy:Runtime.Fetch.Largest_out
+          ~capacity_frames:capacity ()
+      in
+      List.for_all
+        (fun key ->
+          let before = Runtime.Fetch.residents cache in
+          ignore
+            (Runtime.Fetch.access cache Runtime.Fetch.flash ~key
+               ~frames:(frames_of_key key));
+          let after = Runtime.Fetch.residents cache in
+          let evicted =
+            List.filter (fun (k, _) -> not (List.mem_assoc k after)) before
+          in
+          let survivors =
+            List.filter (fun (k, _) -> List.mem_assoc k after) before
+          in
+          List.for_all
+            (fun (_, ef) ->
+              List.for_all (fun (_, sf) -> ef >= sf) survivors)
+            evicted)
+        keys)
+
 let () =
   Alcotest.run "cross-validation"
     [ ( "properties",
@@ -260,4 +337,6 @@ let () =
             prop_repository_consistent;
             prop_trace_roundtrip;
             prop_worst_bounded;
-            prop_tour_bounded_by_directional ] ) ]
+            prop_tour_bounded_by_directional;
+            prop_cache_accounting;
+            prop_largest_out_evicts_largest ] ) ]

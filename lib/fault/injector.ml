@@ -1,0 +1,160 @@
+type kind =
+  | Fetch_timeout
+  | Corrupt_bitstream
+  | Icap_crc_error
+  | Seu_upset
+  | Device_busy
+
+let all_kinds =
+  [ Fetch_timeout; Corrupt_bitstream; Icap_crc_error; Seu_upset; Device_busy ]
+
+let kind_name = function
+  | Fetch_timeout -> "fetch-timeout"
+  | Corrupt_bitstream -> "corrupt-bitstream"
+  | Icap_crc_error -> "icap-crc-error"
+  | Seu_upset -> "seu-upset"
+  | Device_busy -> "device-busy"
+
+let kind_of_string s =
+  List.find_opt (fun k -> kind_name k = s) all_kinds
+
+type op = Fetch_op | Program_op
+
+let applies kind op =
+  match (kind, op) with
+  | (Fetch_timeout | Corrupt_bitstream), Fetch_op -> true
+  | (Icap_crc_error | Seu_upset | Device_busy), Program_op -> true
+  | (Fetch_timeout | Corrupt_bitstream), Program_op -> false
+  | (Icap_crc_error | Seu_upset | Device_busy), Fetch_op -> false
+
+type burst = {
+  start_probability : float;
+  length : int;
+}
+
+type spec = {
+  seed : int;
+  rates : (kind * float) list;
+  burst : burst option;
+  schedule : (int * kind) list;
+}
+
+let disabled = { seed = 0; rates = []; burst = None; schedule = [] }
+
+let uniform ?(seed = 0) ~rate () =
+  if rate < 0. || rate > 1. then
+    invalid_arg "Injector.uniform: rate outside [0, 1]";
+  { seed;
+    rates = List.map (fun k -> (k, rate)) all_kinds;
+    burst = None;
+    schedule = [] }
+
+let validate spec =
+  let bad_rate =
+    List.find_opt (fun (_, r) -> r < 0. || r > 1. || Float.is_nan r) spec.rates
+  in
+  match bad_rate with
+  | Some (k, r) ->
+    Error (Printf.sprintf "rate %g for %s outside [0, 1]" r (kind_name k))
+  | None -> (
+    match spec.burst with
+    | Some b when b.start_probability < 0. || b.start_probability > 1. ->
+      Error "burst start probability outside [0, 1]"
+    | Some b when b.length < 1 -> Error "burst length must be >= 1"
+    | Some _ | None ->
+      if List.exists (fun (i, _) -> i < 0) spec.schedule then
+        Error "scheduled fault at a negative operation index"
+      else Ok ())
+
+let active spec =
+  List.exists (fun (_, r) -> r > 0.) spec.rates || spec.schedule <> []
+
+type t = {
+  spec : spec;
+  rng : Synth.Rng.t;
+  jitter_rng : Synth.Rng.t;
+      (* Separate stream so backoff jitter never perturbs the fault
+         sequence: the same spec faults the same operations whether or
+         not the recovery loop draws jitter. *)
+  mutable op_index : int;
+  mutable injected : int;
+  mutable burst_kind : kind option;  (* Kind repeating in the open burst. *)
+  mutable burst_remaining : int;
+}
+
+let start spec =
+  (match validate spec with
+   | Ok () -> ()
+   | Error message -> invalid_arg ("Injector.start: " ^ message));
+  { spec;
+    rng = Synth.Rng.make spec.seed;
+    jitter_rng = Synth.Rng.make (spec.seed lxor 0x5bd1e995);
+    op_index = 0;
+    injected = 0;
+    burst_kind = None;
+    burst_remaining = 0 }
+
+let jitter t = Synth.Rng.float t.jitter_rng
+
+let spec t = t.spec
+let operations t = t.op_index
+let faults_injected t = t.injected
+
+(* One probabilistic decision per applicable kind, in a fixed kind order,
+   so the PRNG stream depends only on the operation sequence. *)
+let probabilistic t op =
+  List.fold_left
+    (fun fired kind ->
+      if not (applies kind op) then fired
+      else begin
+        let rate =
+          match List.assoc_opt kind t.spec.rates with
+          | Some r -> r
+          | None -> 0.
+        in
+        (* Always consume a draw, hit or miss, to keep the stream
+           aligned across rate settings with the same seed. *)
+        let u = Synth.Rng.float t.rng in
+        match fired with
+        | Some _ -> fired
+        | None -> if rate > 0. && u < rate then Some kind else None
+      end)
+    None all_kinds
+
+let maybe_open_burst t kind =
+  match t.spec.burst with
+  | None -> ()
+  | Some b ->
+    if b.length > 1 && Synth.Rng.float t.rng < b.start_probability then begin
+      t.burst_kind <- Some kind;
+      t.burst_remaining <- b.length - 1
+    end
+
+let draw t op =
+  let index = t.op_index in
+  t.op_index <- index + 1;
+  let scheduled =
+    List.find_opt
+      (fun (i, kind) -> i = index && applies kind op)
+      t.spec.schedule
+  in
+  let fault =
+    match scheduled with
+    | Some (_, kind) -> Some kind
+    | None -> (
+      match t.burst_kind with
+      | Some kind when t.burst_remaining > 0 && applies kind op ->
+        t.burst_remaining <- t.burst_remaining - 1;
+        if t.burst_remaining = 0 then t.burst_kind <- None;
+        Some kind
+      | Some _ | None ->
+        let fired = probabilistic t op in
+        (match fired with
+         | Some kind -> maybe_open_burst t kind
+         | None -> ());
+        fired)
+  in
+  (match fault with
+   | Some _ -> t.injected <- t.injected + 1
+   | None -> ());
+  fault

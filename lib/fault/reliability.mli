@@ -1,0 +1,66 @@
+(** Reliability accounting for a resilient reconfiguration run: what
+    faulted, what was recovered, what was dropped, and how much latency
+    the recovery machinery added on top of the fault-free schedule.
+
+    The resilient runtime feeds a mutable accumulator ({!t}) as it
+    executes; {!snapshot} freezes it into an immutable {!summary} that
+    renders ({!render}) alongside the existing runtime statistics. Two
+    runs with the same fault spec and workload produce identical
+    summaries — that determinism is what makes golden-report tests
+    possible. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : regions:int -> t
+
+(** {1 Recording} (called by the resilient runtime) *)
+
+val record_fault : t -> Injector.kind -> region:int -> unit
+val record_retry : t -> unit
+val record_backoff : t -> float -> unit
+val record_wasted : t -> float -> unit
+(** Fetch/programming seconds burnt by failed attempts. *)
+
+val record_recovered : t -> unit
+(** A region load that succeeded after at least one fault. *)
+
+val record_failed_load : t -> unit
+(** A region load abandoned with its retries exhausted. *)
+
+val record_dropped_transition : t -> unit
+val record_fallback : t -> unit
+val record_budget_exhausted : t -> unit
+val mark_incomplete : t -> unit
+
+(** {1 Summary} *)
+
+type summary = {
+  faults_by_kind : (Injector.kind * int) list;
+      (** Every kind, declaration order, zero counts included. *)
+  total_faults : int;
+  retries : int;
+  recovered_loads : int;
+  failed_loads : int;
+  dropped_transitions : int;
+  fallbacks : int;
+  budget_exhausted : int;
+      (** Region loads cut short by the per-transition time budget. *)
+  backoff_seconds : float;
+  wasted_seconds : float;
+  added_seconds : float;  (** [backoff + wasted]: latency over fault-free. *)
+  mttr_seconds : float;
+      (** Mean time to repair: added seconds per recovered load; 0 when
+          nothing was recovered. *)
+  region_faults : int array;  (** Faults observed per region. *)
+  completed : bool;  (** [false] when the run aborted. *)
+}
+
+val snapshot : t -> summary
+
+val equal : summary -> summary -> bool
+(** Structural equality (exact float comparison) — two runs of the same
+    seeded scenario must be indistinguishable. *)
+
+val render : summary -> string
+(** Multi-line human-readable report. *)

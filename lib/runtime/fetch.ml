@@ -78,22 +78,41 @@ let insert t key frames =
     t.used <- t.used + frames
   end
 
+(* Single pass: remove [key]'s entry (if resident) and return it along
+   with the remaining list in order. *)
+let extract key residents =
+  let rec scan acc = function
+    | [] -> None
+    | ((k, _) as entry) :: rest when k = key ->
+      Some (entry, List.rev_append acc rest)
+    | entry :: rest -> scan (entry :: acc) rest
+  in
+  scan [] residents
+
 let access t memory ~key ~frames =
   if frames < 0 then invalid_arg "Fetch.access: negative frames";
-  match List.assoc_opt key t.residents with
-  | Some _ ->
+  match extract key t.residents with
+  | Some (entry, rest) ->
     t.hits <- t.hits + 1;
     (match t.policy with
      | Lru ->
-       (* Refresh: move to the tail. *)
-       let entry = (key, List.assoc key t.residents) in
-       t.residents <- List.filter (fun (k, _) -> k <> key) t.residents @ [ entry ]
+       (* Refresh: move to the tail, reusing the single extraction pass. *)
+       t.residents <- rest @ [ entry ]
      | Fifo | Largest_out -> ());
     { key; frames; hit = true; seconds = 0. }
   | None ->
     t.misses <- t.misses + 1;
     insert t key frames;
     { key; frames; hit = false; seconds = fetch_seconds memory ~frames }
+
+let invalidate t ~key =
+  match extract key t.residents with
+  | None -> ()
+  | Some ((_, frames), rest) ->
+    t.residents <- rest;
+    t.used <- t.used - frames
+
+let residents t = t.residents
 
 type report = {
   reconfigurations : int;

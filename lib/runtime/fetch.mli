@@ -51,6 +51,15 @@ type access = { key : int * int; frames : int; hit : bool; seconds : float }
 
 val access : cache -> memory -> key:int * int -> frames:int -> access
 
+val invalidate : cache -> key:int * int -> unit
+(** Drop a resident bitstream (no-op when absent). The resilient runtime
+    uses this when a cached image turns out corrupt and must be
+    re-fetched from external memory. *)
+
+val residents : cache -> ((int * int) * int) list
+(** Resident [(key, frames)] entries, eviction order first (head = next
+    LRU/FIFO victim). Exposed for invariant checking and diagnostics. *)
+
 val stats : cache -> int * int
 (** [(hits, misses)] since creation. *)
 

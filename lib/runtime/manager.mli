@@ -24,6 +24,14 @@ type stats = {
   region_loads : int array;  (** Reconfiguration count per region. *)
 }
 
+val initial_resident : Prcore.Scheme.t -> initial:int -> int -> int
+(** The partition the initial full bitstream leaves in a region: the
+    active partition when [initial] uses the region, else the region's
+    first-listed partition. {!Resilient.simulate} shares this rule so
+    both runtimes start from identical fabric state.
+    @raise Invalid_argument on a region with no member partitions (a
+    scheme that {!Prcore.Scheme.make} would reject). *)
+
 val simulate :
   ?icap:Fpga.Icap.t ->
   ?trace:(event -> unit) ->
@@ -36,8 +44,9 @@ val simulate :
     regions the initial configuration does not use are deemed to hold
     their first-listed partition, since the full bitstream configures the
     whole fabric) and visit [sequence] in order. [trace] observes each
-    step. @raise Invalid_argument on an out-of-range configuration
-    index.
+    step. @raise Invalid_argument on an out-of-range [initial] or
+    [sequence] configuration index (both validated up front, with the
+    offending index named) or a region with no member partitions.
 
     [telemetry] (default {!Prtelemetry.null}, free): a
     ["runtime.simulate"] span; ["runtime.steps"],
@@ -49,7 +58,7 @@ val random_walk :
   rand:(int -> int) -> configs:int -> steps:int -> initial:int -> int list
 (** A uniform random adaptation sequence avoiding self-transitions;
     [rand n] must return a uniform value in [0, n). Suitable as
-    [simulate]'s [sequence]. @raise Invalid_argument when [configs < 2]
-    or [steps < 0]. *)
+    [simulate]'s [sequence]. @raise Invalid_argument when [configs < 2],
+    [steps < 0] or [initial] is out of range. *)
 
 val pp_stats : Format.formatter -> stats -> unit
