@@ -1,7 +1,7 @@
 # Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
 # `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
 
-.PHONY: all build test check fmt fmt-check bench-smoke faults clean
+.PHONY: all build test check fmt fmt-check bench-smoke bench-json perf faults clean
 
 all: build
 
@@ -32,6 +32,17 @@ fmt-check:
 
 bench-smoke:
 	dune exec bench/main.exe -- --quick
+
+# Machine-readable performance artefact (allocator moves/sec, engine
+# solve latency, sweep throughput sequential vs parallel, cache hit
+# rate). Writes BENCH_core.json in the working directory.
+bench-json:
+	dune exec bench/main.exe -- bench-json
+
+# Full Bechamel suite, gated on the smoke (which asserts parallel
+# determinism and cache effectiveness before any numbers are reported).
+perf: bench-smoke
+	dune exec bench/main.exe -- perf
 
 # Fault-injection sweep: resilient runtime over the reference schemes,
 # plus the recovery-policy comparison (see DESIGN.md, fault model).

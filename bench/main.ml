@@ -288,6 +288,181 @@ let telemetry ?(quick = false) () =
   Printf.printf "  tracing (memory sink) %8.3fs (%+.1f%%)\n" tracing
     (pct tracing)
 
+(* Shared Bechamel harness: OLS ns/run estimate of one staged thunk. *)
+let bechamel_ns test =
+  let open Bechamel in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ])
+  in
+  let analysed = Analyze.all ols (List.hd instances) results in
+  let estimate = ref nan in
+  Hashtbl.iter
+    (fun _ r ->
+      match Analyze.OLS.estimates r with
+      | Some [ v ] -> estimate := v
+      | Some _ | None -> ())
+    analysed;
+  !estimate
+
+(* Prspeed smoke (runs under --quick, so `dune runtest` gates on it):
+   (1) a tiny sweep with --jobs 2 must be bit-identical to the
+   sequential one, (2) the parallel case-study solve must equal the
+   sequential solve, and (3) the case-study solve must exercise the
+   evaluation cache (perf.cache_hits > 0) and the delta kernels
+   (perf.delta_evals > 0). Exits 1 on any violation. *)
+let prspeed_smoke () =
+  section "Prspeed smoke: parallel determinism + cache effectiveness";
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "PRSPEED SMOKE FAILED: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let sweep_n = 6 in
+  let seq = Experiments.Sweep.run ~count:sweep_n ~jobs:1 () in
+  let par = Experiments.Sweep.run ~count:sweep_n ~jobs:2 () in
+  if seq <> par then fail "parallel sweep diverged from the sequential one";
+  let receiver = Prdesign.Design_library.video_receiver in
+  let target =
+    Prcore.Engine.Budget Prdesign.Design_library.case_study_budget
+  in
+  let tele = Prtelemetry.create Prtelemetry.Sink.null in
+  let solve ?telemetry ?jobs () =
+    match Prcore.Engine.solve ?telemetry ?jobs ~target receiver with
+    | Ok o -> o
+    | Error m -> fail "case-study solve: %s" m
+  in
+  let a = solve ~telemetry:tele () in
+  let b = solve ~jobs:2 () in
+  if
+    Prcore.Memo.scheme_signature a.Prcore.Engine.scheme
+    <> Prcore.Memo.scheme_signature b.Prcore.Engine.scheme
+    || a.Prcore.Engine.evaluation <> b.Prcore.Engine.evaluation
+    || a.Prcore.Engine.cost_evaluations <> b.Prcore.Engine.cost_evaluations
+  then fail "parallel case-study solve diverged from the sequential one";
+  let hits = Prtelemetry.counter_value tele "perf.cache_hits" in
+  let deltas = Prtelemetry.counter_value tele "perf.delta_evals" in
+  if hits <= 0 then fail "case-study solve recorded no cache hits";
+  if deltas <= 0 then fail "case-study solve recorded no delta evaluations";
+  Printf.printf
+    "prspeed smoke OK (%d-design sweep and case-study solve identical \
+     across jobs; %d cache hits, %d delta evals)\n"
+    sweep_n hits deltas
+
+(* Machine-readable performance artefact (BENCH_core.json): allocator
+   move throughput, engine solve latency (Bechamel OLS), sweep
+   throughput sequential vs parallel, and the evaluation-cache hit
+   rate. *)
+let bench_json () =
+  section "Prspeed benchmarks -> BENCH_core.json";
+  let receiver = Prdesign.Design_library.video_receiver in
+  let target =
+    Prcore.Engine.Budget Prdesign.Design_library.case_study_budget
+  in
+  (* Engine solve latency, OLS-estimated. *)
+  let solve_ns =
+    bechamel_ns
+      (Bechamel.Test.make ~name:"engine-solve"
+         (Bechamel.Staged.stage (fun () ->
+              ignore (Prcore.Engine.solve ~target receiver))))
+  in
+  (* Allocator move throughput and cache behaviour: repeat the
+     case-study solve on one counting handle and read the counters
+     back. *)
+  let tele = Prtelemetry.create Prtelemetry.Sink.null in
+  let reps = 20 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Prcore.Engine.solve ~telemetry:tele ~target receiver)
+  done;
+  let solve_wall = Unix.gettimeofday () -. t0 in
+  let counter = Prtelemetry.counter_value tele in
+  let moves = counter "alloc.moves_evaluated" in
+  let delta_evals = counter "perf.delta_evals" in
+  let hits = counter "perf.cache_hits" in
+  let misses = counter "perf.cache_misses" in
+  let hit_rate =
+    if hits + misses = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let moves_per_sec =
+    if solve_wall > 0. then float_of_int moves /. solve_wall else 0.
+  in
+  (* Sweep throughput, sequential vs parallel (wall clock; the jobs
+     count is the machine's recommendation, so on a single-core host
+     the two runs coincide and the speedup is honestly ~1). *)
+  let sweep_n = 40 in
+  let time_sweep jobs =
+    let t0 = Unix.gettimeofday () in
+    let rows = Experiments.Sweep.run ~count:sweep_n ~jobs () in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  let rows_seq, seq_s = time_sweep 1 in
+  let jobs = max 2 (Par.recommended_jobs ()) in
+  let rows_par, par_s = time_sweep jobs in
+  let identical = rows_seq = rows_par in
+  if not identical then begin
+    Printf.printf "BENCH FAILED: parallel sweep diverged from sequential\n";
+    exit 1
+  end;
+  let json =
+    Prtelemetry.Json.(
+      Obj
+        [ ("schema", String "prpart-bench-core/1");
+          ("host_domains", Int (Par.recommended_jobs ()));
+          ( "engine_solve",
+            Obj
+              [ ("design", String "video-receiver (case study)");
+                ("ns_per_run", Float solve_ns);
+                ("ms_per_run", Float (solve_ns /. 1e6)) ] );
+          ( "allocator",
+            Obj
+              [ ("solves", Int reps);
+                ("wall_seconds", Float solve_wall);
+                ("moves_evaluated", Int moves);
+                ("moves_per_sec", Float moves_per_sec);
+                ("delta_evals", Int delta_evals) ] );
+          ( "cache",
+            Obj
+              [ ("hits", Int hits);
+                ("misses", Int misses);
+                ("hit_rate", Float hit_rate) ] );
+          ( "sweep",
+            Obj
+              [ ("designs", Int sweep_n);
+                ("rows", Int (List.length rows_seq));
+                ("sequential_seconds", Float seq_s);
+                ("parallel_jobs", Int jobs);
+                ("parallel_seconds", Float par_s);
+                ( "speedup",
+                  Float (if par_s > 0. then seq_s /. par_s else 0.) );
+                ("bit_identical", Bool identical) ] ) ])
+  in
+  let path = "BENCH_core.json" in
+  let oc = open_out path in
+  output_string oc (Prtelemetry.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "engine solve: %.3f ms/run (OLS)\n" (solve_ns /. 1e6);
+  Printf.printf "allocator: %.0f moves/sec (%d moves over %d solves)\n"
+    moves_per_sec moves reps;
+  Printf.printf "cache: %d hits / %d misses (%.1f%% hit rate)\n" hits misses
+    (100. *. hit_rate);
+  Printf.printf
+    "sweep: %d designs, %.2fs sequential vs %.2fs with %d jobs (x%.2f, \
+     bit-identical)\n"
+    sweep_n seq_s par_s jobs
+    (if par_s > 0. then seq_s /. par_s else 0.);
+  Printf.printf "wrote %s\n" path
+
 (* Bechamel performance suite: one Test.make per regenerated artefact. *)
 let perf () =
   section "Performance (Bechamel; the paper's Python took seconds-minutes)";
@@ -367,7 +542,8 @@ let experiments =
     ("weighted", weighted);
     ("faults", faults);
     ("telemetry", fun () -> telemetry ());
-    ("perf", perf) ]
+    ("perf", perf);
+    ("bench-json", bench_json) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -376,6 +552,7 @@ let () =
        reduced telemetry overhead comparison. *)
     table1 ();
     fault_smoke ();
+    prspeed_smoke ();
     telemetry ~quick:true ();
     exit 0
   end;

@@ -71,6 +71,17 @@ let restarts_arg =
   let doc = "Allocator restart budget." in
   Arg.(value & opt int 8 & info [ "restarts" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the candidate-set search (default: the \
+     machine's recommended domain count). Results are bit-identical \
+     for any value; $(b,--jobs 1) is the purely sequential path."
+  in
+  Arg.(
+    value
+    & opt int (Par.recommended_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let floorplan_arg =
   let doc = "Validate the result with the columnar floorplanner." in
   Arg.(value & flag & info [ "floorplan" ] ~doc)
@@ -168,8 +179,8 @@ let run_floorplan ~telemetry scheme device =
       "  -> floorplanning feedback: pick a larger device or re-partition@."
 
 let partition_cmd =
-  let run spec budget device freq_rule no_promote max_sets restarts floorplan
-      save_scheme trace stats =
+  let run spec budget device freq_rule no_promote max_sets restarts jobs
+      floorplan save_scheme trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -178,7 +189,7 @@ let partition_cmd =
        | Ok target ->
          let options = options ~freq_rule ~no_promote ~max_sets ~restarts in
          let telemetry = telemetry_handle ~trace ~stats in
-         (match Prcore.Engine.solve ~options ~telemetry ~target design with
+         (match Prcore.Engine.solve ~options ~telemetry ~jobs ~target design with
           | Error message -> `Error (false, message)
           | Ok outcome ->
             Format.printf "Design: %s@." (Prdesign.Design.summary design);
@@ -229,8 +240,8 @@ let partition_cmd =
     Term.(
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ freq_rule_arg
-         $ no_promote_arg $ max_sets_arg $ restarts_arg $ floorplan_arg
-         $ save_scheme_arg $ trace_arg $ stats_arg))
+         $ no_promote_arg $ max_sets_arg $ restarts_arg $ jobs_arg
+         $ floorplan_arg $ save_scheme_arg $ trace_arg $ stats_arg))
 
 let baselines_cmd =
   let run spec trace stats =
@@ -351,8 +362,8 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "save-trace" ] ~docv:"FILE"
            ~doc:"Record the walk as a trace file for later replay.")
   in
-  let run spec budget device steps seed replay save_trace fault_rate fault_seed
-      fault_policy safe_config trace stats =
+  let run spec budget device jobs steps seed replay save_trace fault_rate
+      fault_seed fault_policy safe_config trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -360,7 +371,7 @@ let simulate_cmd =
        | Error message -> `Error (false, message)
        | Ok target ->
          let telemetry = telemetry_handle ~trace ~stats in
-         (match Prcore.Engine.solve ~telemetry ~target design with
+         (match Prcore.Engine.solve ~telemetry ~jobs ~target design with
           | Error message -> `Error (false, message)
           | Ok outcome ->
             let configs = Prdesign.Design.configuration_count design in
@@ -469,8 +480,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       ret
-        (const run $ design_arg $ budget_arg $ device_arg $ steps_arg
-         $ seed_arg $ replay_arg $ save_trace_arg $ fault_rate_arg
+        (const run $ design_arg $ budget_arg $ device_arg $ jobs_arg
+         $ steps_arg $ seed_arg $ replay_arg $ save_trace_arg $ fault_rate_arg
          $ fault_seed_arg $ fault_policy_arg $ safe_config_arg $ trace_arg
          $ stats_arg))
 
@@ -532,7 +543,7 @@ let flow_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
            ~doc:"Write wrappers, bitstreams and the report into DIR.")
   in
-  let run spec budget device out trace stats =
+  let run spec budget device jobs out trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -540,7 +551,9 @@ let flow_cmd =
        | Error message -> `Error (false, message)
        | Ok target ->
          let telemetry = telemetry_handle ~trace ~stats in
-         let options = { Flow.Tool_flow.default_options with telemetry } in
+         let options =
+           { Flow.Tool_flow.default_options with telemetry; jobs }
+         in
          (match Flow.Tool_flow.run ~options ~target design with
           | Error message -> `Error (false, message)
           | Ok report ->
@@ -571,8 +584,8 @@ let flow_cmd =
     (Cmd.info "flow" ~doc)
     Term.(
       ret
-        (const run $ design_arg $ budget_arg $ device_arg $ out_arg
-         $ trace_arg $ stats_arg))
+        (const run $ design_arg $ budget_arg $ device_arg $ jobs_arg
+         $ out_arg $ trace_arg $ stats_arg))
 
 let devices_cmd =
   let run () =

@@ -26,10 +26,12 @@ let deficit ~budget (used : Resource.t) =
       dsp = over used.dsp budget.Resource.dsp }
 
 (* A live region: its member partitions (priority order), the resident
-   partition per configuration (-1 = don't care), and cached area/cost. *)
+   partition per configuration (-1 = don't care), the sorted array of
+   configurations in which it is active, and cached area/cost. *)
 type region = {
   mutable members : int list;
   mutable column : int array;
+  mutable active : int array;  (* ascending configs with a resident *)
   mutable resources : Resource.t;
   mutable quantized : Resource.t;
   mutable frames : int;
@@ -42,13 +44,45 @@ type state = {
   partitions : Base_partition.t array;
   regions : region array;  (* indexed by founding partition *)
   mutable statics : int list;  (* partitions promoted to static *)
-  pair_weight : int -> int -> float;
+  configs : int;
+  weights : float array;
+      (* Flattened symmetric pair-weight matrix, [i * configs + j]:
+         one array load per pair on the hot path, no closure calls. *)
 }
+
+let weight state i j = state.weights.((i * state.configs) + j)
+
+let flatten_weights ~configs pair_weight =
+  let w = Array.make (configs * configs) 0. in
+  for i = 0 to configs - 1 do
+    for j = i + 1 to configs - 1 do
+      let v = pair_weight i j in
+      w.((i * configs) + j) <- v;
+      w.((j * configs) + i) <- v
+    done
+  done;
+  w
+
+let active_of_column column =
+  let count = ref 0 in
+  Array.iter (fun r -> if r >= 0 then incr count) column;
+  let active = Array.make !count 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun c r ->
+      if r >= 0 then begin
+        active.(!k) <- c;
+        incr k
+      end)
+    column;
+  active
 
 (* Weighted sum over unordered config pairs with two distinct
    non-don't-care residents. With the default unit weight this is the
-   paper's conflict count (eq. 8's decision variable summed over pairs). *)
-let conflicts_of_column ~pair_weight column =
+   paper's conflict count (eq. 8's decision variable summed over pairs).
+   From-scratch reference — initialisation and the delta-equivalence
+   property test; the search itself uses [cross] deltas. *)
+let conflicts_of_column state column =
   let n = Array.length column in
   let acc = ref 0. in
   for i = 0 to n - 1 do
@@ -56,18 +90,40 @@ let conflicts_of_column ~pair_weight column =
     if a >= 0 then
       for j = i + 1 to n - 1 do
         let b = column.(j) in
-        if b >= 0 && a <> b then acc := !acc +. pair_weight i j
+        if b >= 0 && a <> b then acc := !acc +. weight state i j
       done
   done;
   !acc
 
-let refresh_cost ~pair_weight region =
+(* The incremental kernel. Regions partition the member set, so two
+   mergeable regions always host distinct residents: after a merge,
+   every (active-in-a, active-in-b) configuration pair reconfigures.
+   The merged conflict weight is therefore
+     a.conflicts + b.conflicts + cross a b
+   — only the pairs whose residents change are touched, O(|A|·|B|)
+   instead of the O(configs^2) column rescan. *)
+let cross state a b =
+  let acc = ref 0. in
+  let aa = a.active and ba = b.active in
+  let na = Array.length aa and nb = Array.length ba in
+  for i = 0 to na - 1 do
+    let row = aa.(i) * state.configs in
+    for j = 0 to nb - 1 do
+      acc := !acc +. state.weights.(row + ba.(j))
+    done
+  done;
+  !acc
+
+let merged_conflicts state a b = a.conflicts +. b.conflicts +. cross state a b
+
+let refresh_cost state region =
   region.quantized <- Tile.quantize region.resources;
   region.frames <- Tile.frames_of_resources region.resources;
-  region.conflicts <- conflicts_of_column ~pair_weight region.column
+  region.conflicts <- conflicts_of_column state region.column
 
 let initial_state ~pair_weight design partitions analysis =
   let configs = Design.configuration_count design in
+  let weights = flatten_weights ~configs pair_weight in
   let regions =
     Array.mapi
       (fun p (bp : Base_partition.t) ->
@@ -75,26 +131,26 @@ let initial_state ~pair_weight design partitions analysis =
           Array.init configs (fun c ->
               if Compatibility.active analysis ~bp:p ~config:c then p else -1)
         in
-        let region =
-          { members = [ p ];
-            column;
-            resources = bp.resources;
-            quantized = Resource.zero;
-            frames = 0;
-            conflicts = 0.;
-            alive = true }
-        in
-        refresh_cost ~pair_weight region;
-        region)
+        { members = [ p ];
+          column;
+          active = active_of_column column;
+          resources = bp.resources;
+          quantized = Resource.zero;
+          frames = 0;
+          conflicts = 0.;
+          alive = true })
       partitions
   in
-  { design; partitions; regions; statics = []; pair_weight }
+  let state = { design; partitions; regions; statics = []; configs; weights } in
+  Array.iter (refresh_cost state) state.regions;
+  state
 
 let copy_state state =
   { state with
     regions =
       Array.map
-        (fun r -> { r with column = Array.copy r.column })
+        (fun r ->
+          { r with column = Array.copy r.column; active = Array.copy r.active })
         state.regions;
     statics = state.statics }
 
@@ -109,32 +165,55 @@ let used_resources state =
     (fun acc r -> if r.alive then Resource.add acc r.quantized else acc)
     (static_resources state) state.regions
 
-
-(* Two regions may merge iff no configuration needs both. *)
+(* Two regions may merge iff no configuration needs both — an ordered
+   walk over the two sorted active arrays, O(|A| + |B|). *)
 let mergeable a b =
-  let ok = ref true in
-  Array.iteri
-    (fun c va -> if va >= 0 && b.column.(c) >= 0 then ok := false)
-    a.column;
-  !ok
+  let aa = a.active and ba = b.active in
+  let na = Array.length aa and nb = Array.length ba in
+  let rec disjoint i j =
+    if i >= na || j >= nb then true
+    else if aa.(i) = ba.(j) then false
+    else if aa.(i) < ba.(j) then disjoint (i + 1) j
+    else disjoint i (j + 1)
+  in
+  disjoint 0 0
 
 let merged_column a b =
   Array.init (Array.length a.column) (fun c ->
       if a.column.(c) >= 0 then a.column.(c) else b.column.(c))
 
+let merged_active a b =
+  (* Merge of two sorted disjoint arrays. *)
+  let aa = a.active and ba = b.active in
+  let na = Array.length aa and nb = Array.length ba in
+  let out = Array.make (na + nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na || !j < nb do
+    (if !j >= nb || (!i < na && aa.(!i) < ba.(!j)) then begin
+       out.(!k) <- aa.(!i);
+       incr i
+     end
+     else begin
+       out.(!k) <- ba.(!j);
+       incr j
+     end);
+    incr k
+  done;
+  out
+
 type move = Merge of int * int | Promote of int
 
 (* Evaluate a move against the current state: the reconfiguration-time
-   delta and the resulting resource usage. *)
+   delta and the resulting resource usage. Delta evaluation — no column
+   is rebuilt and no O(configs^2) rescan happens. *)
 let evaluate_move state used move =
   match move with
   | Merge (i, j) ->
     let a = state.regions.(i) and b = state.regions.(j) in
-    let column = merged_column a b in
     let resources = Resource.max a.resources b.resources in
     let quantized = Tile.quantize resources in
     let frames = Tile.frames_of_resources resources in
-    let conflicts = conflicts_of_column ~pair_weight:state.pair_weight column in
+    let conflicts = merged_conflicts state a b in
     let dtime =
       (float_of_int frames *. conflicts)
       -. (float_of_int a.frames *. a.conflicts)
@@ -161,10 +240,16 @@ let apply_move state move =
   match move with
   | Merge (i, j) ->
     let a = state.regions.(i) and b = state.regions.(j) in
+    (* Delta update: the merged conflicts come from the incremental
+       kernel; only the surviving region is touched. *)
+    let conflicts = merged_conflicts state a b in
     a.members <- a.members @ b.members;
     a.column <- merged_column a b;
+    a.active <- merged_active a b;
     a.resources <- Resource.max a.resources b.resources;
-    refresh_cost ~pair_weight:state.pair_weight a;
+    a.quantized <- Tile.quantize a.resources;
+    a.frames <- Tile.frames_of_resources a.resources;
+    a.conflicts <- conflicts;
     b.alive <- false
   | Promote i ->
     let r = state.regions.(i) in
@@ -272,6 +357,14 @@ let scheme_of_state state =
        (fun p bp -> (bp, placement.(p)))
        (Array.to_list state.partitions))
 
+let signature_of_state state =
+  let groups =
+    Array.to_list state.regions
+    |> List.filter_map (fun r -> if r.alive then Some r.members else None)
+  in
+  Memo.grouping_signature ~parts:state.partitions ~statics:state.statics
+    ~groups
+
 (* Rank restart results by the weighted objective (the greedy state's
    summed contributions), then the paper's worst case, then area. *)
 let better_scheme a b =
@@ -284,7 +377,7 @@ let better_scheme a b =
     if key va ea <= key vb eb then Some a' else Some b'
 
 let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
-    ?(telemetry = Prtelemetry.null) ~budget design partitions =
+    ?(telemetry = Prtelemetry.null) ?memo ~budget design partitions =
   match partitions with
   | [] -> None
   | _ ->
@@ -292,6 +385,7 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
         let moves_evaluated =
           Prtelemetry.counter telemetry "alloc.moves_evaluated"
         in
+        let delta_evals = Prtelemetry.counter telemetry "perf.delta_evals" in
         let merges_accepted =
           Prtelemetry.counter telemetry "alloc.merges_accepted"
         in
@@ -302,6 +396,9 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
         in
         let evaluate_move state used move =
           Prtelemetry.Counter.incr moves_evaluated;
+          (match move with
+           | Merge _ -> Prtelemetry.Counter.incr delta_evals
+           | Promote _ -> ());
           evaluate_move state used move
         in
         let apply_move state move =
@@ -315,6 +412,14 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
         if not (Compatibility.covers_design analysis) then None
         else begin
           let base = initial_state ~pair_weight design parts analysis in
+          (* Transposition table over restart outcomes: restarts from
+             different first moves frequently converge to the same
+             allocation, which is then scored (and its scheme built)
+             only once. The shared [memo] (engine-level evaluation
+             cache) is keyed by the same content signature, so the
+             engine's re-evaluation of the returned scheme is a hit
+             too. *)
+          let results = Memo.create ~telemetry ~capacity:1024 () in
           let run first_move =
             Prtelemetry.Counter.incr restarts_run;
             let state = copy_state base in
@@ -322,17 +427,27 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
             match greedy ~options ~budget ~evaluate_move ~apply_move state with
             | None -> None
             | Some state ->
-              let weighted_value =
-                Array.fold_left
-                  (fun acc r ->
-                    if r.alive then
-                      acc +. (float_of_int r.frames *. r.conflicts)
-                    else acc)
-                  0. state.regions
-              in
-              let scheme = scheme_of_state state in
-              Prtelemetry.Counter.incr cost_evaluations;
-              Some (scheme, weighted_value, Cost.evaluate scheme)
+              let signature = signature_of_state state in
+              Some
+                (Memo.find_or_add results signature (fun () ->
+                     let weighted_value =
+                       Array.fold_left
+                         (fun acc r ->
+                           if r.alive then
+                             acc +. (float_of_int r.frames *. r.conflicts)
+                           else acc)
+                         0. state.regions
+                     in
+                     let scheme = scheme_of_state state in
+                     Prtelemetry.Counter.incr cost_evaluations;
+                     let evaluation =
+                       match memo with
+                       | Some shared ->
+                         Memo.find_or_add shared signature (fun () ->
+                             Cost.evaluate scheme)
+                       | None -> Cost.evaluate scheme
+                     in
+                     (scheme, weighted_value, evaluation)))
           in
           (* Alternative first moves: the initial state's candidate moves
              ranked by (time delta, area), truncated to the restart budget. *)
@@ -386,3 +501,47 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
           in
           Option.map (fun (scheme, _, _) -> scheme) best
         end)
+
+(* Search internals exposed for the delta-equivalence property tests
+   (see test/test_perf.ml): the QCheck suite drives random move
+   sequences and asserts the incrementally maintained conflict weights
+   equal a from-scratch recomputation after every step. *)
+module Search = struct
+  type nonrec state = state
+  type nonrec move = move = Merge of int * int | Promote of int
+
+  let initial ?(pair_weight = fun _ _ -> 1.) design partitions =
+    match partitions with
+    | [] -> None
+    | _ ->
+      let parts = Array.of_list partitions in
+      let analysis = Compatibility.analyse design parts in
+      if not (Compatibility.covers_design analysis) then None
+      else Some (initial_state ~pair_weight design parts analysis)
+
+  let moves ?(promote_static = true) state =
+    candidate_moves ~promote_static state
+
+  let apply = apply_move
+
+  let evaluate state used move = evaluate_move state used move
+  let used = used_resources
+
+  let alive state r = state.regions.(r).alive
+
+  let region_conflicts state r = state.regions.(r).conflicts
+
+  let recompute_conflicts state r =
+    conflicts_of_column state state.regions.(r).column
+
+  let merge_delta state i j =
+    merged_conflicts state state.regions.(i) state.regions.(j)
+
+  let merge_full state i j =
+    conflicts_of_column state
+      (merged_column state.regions.(i) state.regions.(j))
+
+  let region_count state = Array.length state.regions
+  let signature = signature_of_state
+  let to_scheme = scheme_of_state
+end

@@ -31,6 +31,7 @@ val allocate :
   ?options:options ->
   ?pair_weight:(int -> int -> float) ->
   ?telemetry:Prtelemetry.t ->
+  ?memo:Cost.evaluation Memo.t ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
@@ -40,15 +41,87 @@ val allocate :
     budget. Schemes are compared by total reconfiguration frames, then
     worst-case frames, then area.
 
+    Move scoring is {e incremental}: per-region conflict weights are
+    maintained and a merge is costed from the cached values of its two
+    operands plus the cross term over the configuration pairs whose
+    residents actually change (see {!Search} and DESIGN.md's
+    Performance section), never by rescanning residency columns.
+
     [pair_weight i j] weights the cost of configurations [i] and [j]
     requiring different region contents (unordered pairs, [i < j]). The
     default unit weight yields the paper's total reconfiguration time;
     passing long-run transition rates (see [Runtime.Markov.edge_rates],
     symmetrised) optimises the expected reconfiguration rate instead —
-    the paper's future-work extension.
+    the paper's future-work extension. The weights are flattened into a
+    dense array once per search, so weighted objectives pay no closure
+    overhead on the hot path.
+
+    [memo] (default: none) is the engine-level evaluation cache, keyed
+    by canonical content signatures ({!Memo.scheme_signature}): the
+    final evaluation of each distinct restart outcome is stored there,
+    so the engine's re-evaluation of the returned scheme — and any
+    other candidate set converging to the same allocation — is a cache
+    hit. Restart outcomes are additionally deduplicated internally, so
+    converging restarts never rebuild or re-score a scheme.
 
     [telemetry] (default {!Prtelemetry.null}, free): an
     ["alloc.allocate"] span; ["alloc.moves_evaluated"],
-    ["alloc.merges_accepted"], ["alloc.promotions"], ["alloc.restarts"]
-    and ["core.cost_evaluations"] counters; and an ["alloc.best"] event
-    each time a restart improves the incumbent (when tracing). *)
+    ["alloc.merges_accepted"], ["alloc.promotions"], ["alloc.restarts"],
+    ["core.cost_evaluations"], ["perf.delta_evals"],
+    ["perf.cache_hits"] and ["perf.cache_misses"] counters; and an
+    ["alloc.best"] event each time a restart improves the incumbent
+    (when tracing). *)
+
+(** Search internals, exposed for the Prspeed property tests: drive
+    arbitrary move sequences and check the incrementally maintained
+    conflict weights against a from-scratch recomputation. Not a stable
+    API for production callers — use {!allocate}. *)
+module Search : sig
+  type state
+
+  type move = Merge of int * int | Promote of int
+
+  val initial :
+    ?pair_weight:(int -> int -> float) ->
+    Prdesign.Design.t ->
+    Cluster.Base_partition.t list ->
+    state option
+  (** [None] when the partition list is empty or does not cover the
+      design. *)
+
+  val moves : ?promote_static:bool -> state -> move list
+  (** Applicable moves of the current state. *)
+
+  val apply : state -> move -> unit
+
+  val evaluate :
+    state -> Fpga.Resource.t -> move -> float * Fpga.Resource.t
+  (** Delta evaluation of a move: (reconfiguration-time delta, resulting
+      usage), given the current usage. *)
+
+  val used : state -> Fpga.Resource.t
+
+  val alive : state -> int -> bool
+
+  val region_conflicts : state -> int -> float
+  (** Cached (incrementally maintained) conflict weight of region [r]. *)
+
+  val recompute_conflicts : state -> int -> float
+  (** From-scratch recomputation over region [r]'s residency column —
+      the reference the cache is tested against. *)
+
+  val merge_delta : state -> int -> int -> float
+  (** Conflict weight of the merged region predicted by the delta
+      kernel. *)
+
+  val merge_full : state -> int -> int -> float
+  (** Conflict weight of the merged region recomputed from the merged
+      column. *)
+
+  val region_count : state -> int
+
+  val signature : state -> string
+  (** {!Memo.grouping_signature} of the live allocation. *)
+
+  val to_scheme : state -> Scheme.t
+end

@@ -64,65 +64,246 @@ let deficit ~budget (used : Resource.t) =
       bram = over used.bram budget.Resource.bram;
       dsp = over used.dsp budget.Resource.dsp }
 
-(* Energy of a placement: total reconfiguration frames plus a soft
+(* Incremental energy engine. A move reassigns one partition to another
+   region (or static), so only the source and destination regions can
+   change: their contributions are recomputed and everything else —
+   total frames, resource usage, validity — is maintained as exact
+   integer sums, guaranteeing bit-identical energies to a from-scratch
+   evaluation. [propose] computes the candidate energy without touching
+   any cache (a rejected move therefore costs nothing to undo: restore
+   one placement cell, O(1)); [commit] installs the already-computed
+   region snapshots.
+
+   Energy of a placement: total reconfiguration frames plus a soft
    penalty per frame-equivalent of budget overrun — steep enough that
    feasible states win, shallow enough that the walk can cross short
-   infeasible ridges at moderate temperatures. Evaluates the whole state;
-   n and c are small. Returns (energy, feasible, total). *)
-let evaluate ~budget ~design ~parts ~activity placement =
-  let n = Array.length parts in
-  let configs = Design.configuration_count design in
-  let region_ids =
-    List.sort_uniq Int.compare
-      (List.filter (fun r -> r >= 0) (Array.to_list placement))
-  in
-  let static_res = ref design.Design.static_overhead in
-  Array.iteri
-    (fun p r ->
-      if r = -1 then
-        static_res := Resource.add !static_res parts.(p).Base_partition.resources)
-    placement;
-  let used = ref !static_res in
-  let total = ref 0 in
-  let valid = ref true in
-  List.iter
-    (fun region ->
-      let members = ref [] in
-      for p = n - 1 downto 0 do
-        if placement.(p) = region then members := p :: !members
-      done;
-      let resources =
-        List.fold_left
-          (fun acc p -> Resource.max acc parts.(p).Base_partition.resources)
-          Resource.zero !members
-      in
-      used := Resource.add !used (Tile.quantize resources);
-      let frames = Tile.frames_of_resources resources in
-      (* Resident per configuration; two active members in one config make
-         the placement invalid. *)
-      let column = Array.make configs (-1) in
-      List.iter
-        (fun p ->
-          for c = 0 to configs - 1 do
-            if activity.(p).(c) then
-              if column.(c) >= 0 then valid := false else column.(c) <- p
-          done)
-        !members;
-      let conflicts = ref 0 in
-      for i = 0 to configs - 1 do
-        for j = i + 1 to configs - 1 do
-          if column.(i) >= 0 && column.(j) >= 0 && column.(i) <> column.(j)
-          then incr conflicts
+   infeasible ridges at moderate temperatures. Invalid placements (two
+   members of one region active in the same configuration) evaluate to
+   (infinity, false, max_int). *)
+module Energy = struct
+  type snapshot = {
+    contribution : int;  (* frames * conflicts; 0 when empty *)
+    quantized : Resource.t;  (* zero when empty *)
+    collided : bool;  (* two active members in one configuration *)
+  }
+
+  type pending = {
+    p_part : int;
+    p_target : int;
+    src : snapshot;  (* new state of the source region (if any) *)
+    dst : snapshot;  (* new state of the target region (if any) *)
+    p_static : Resource.t;
+    p_used : Resource.t;
+    p_total : int;
+    p_invalid : int;
+    p_triple : float * bool * int;
+  }
+
+  type t = {
+    budget : Resource.t;
+    configs : int;
+    resources : Resource.t array;  (* per partition *)
+    activity : bool array array;  (* partition -> config -> active *)
+    placement : int array;  (* committed state; -1 = static *)
+    regions : snapshot array;  (* indexed by region id, 0 .. n-1 *)
+    mutable static_res : Resource.t;
+    mutable used : Resource.t;
+    mutable total : int;
+    mutable invalid : int;  (* regions with a collision *)
+    mutable pending : pending option;
+  }
+
+  let empty_snapshot =
+    { contribution = 0; quantized = Resource.zero; collided = false }
+
+  (* Recompute one region from scratch, with partition [part] virtually
+     reassigned to [target] (pass [part = -1] for the committed
+     state). O(members * configs + configs^2) for the affected region
+     only. *)
+  let eval_region t r ~part ~target =
+    let column = Array.make t.configs (-1) in
+    let collided = ref false in
+    let resources = ref Resource.zero in
+    let occupied = ref 0 in
+    let n = Array.length t.placement in
+    for p = 0 to n - 1 do
+      let home = if p = part then target else t.placement.(p) in
+      if home = r then begin
+        incr occupied;
+        resources := Resource.max !resources t.resources.(p);
+        let act = t.activity.(p) in
+        for c = 0 to t.configs - 1 do
+          if act.(c) then
+            if column.(c) >= 0 then collided := true else column.(c) <- p
         done
+      end
+    done;
+    if !occupied = 0 then empty_snapshot
+    else begin
+      let conflicts = ref 0 in
+      for i = 0 to t.configs - 1 do
+        if column.(i) >= 0 then
+          for j = i + 1 to t.configs - 1 do
+            if column.(j) >= 0 && column.(i) <> column.(j) then
+              incr conflicts
+          done
       done;
-      total := !total + (frames * !conflicts))
-    region_ids;
-  if not !valid then (infinity, false, max_int)
-  else begin
-    let d = deficit ~budget !used in
-    let energy = float_of_int !total +. (200. *. d) in
-    (energy, d = 0., !total)
-  end
+      let frames = Tile.frames_of_resources !resources in
+      { contribution = frames * !conflicts;
+        quantized = Tile.quantize !resources;
+        collided = !collided }
+    end
+
+  let triple_of ~budget ~used ~total ~invalid =
+    if invalid > 0 then (infinity, false, max_int)
+    else begin
+      let d = deficit ~budget used in
+      (float_of_int total +. (200. *. d), d = 0., total)
+    end
+
+  let create ~budget ~static_overhead ~resources ~activity placement =
+    let n = Array.length placement in
+    let configs = if n = 0 then 0 else Array.length activity.(0) in
+    let t =
+      { budget;
+        configs;
+        resources;
+        activity;
+        placement = Array.copy placement;
+        regions = Array.make n empty_snapshot;
+        static_res = static_overhead;
+        used = Resource.zero;
+        total = 0;
+        invalid = 0;
+        pending = None }
+    in
+    Array.iteri
+      (fun p r ->
+        if r = -1 then t.static_res <- Resource.add t.static_res resources.(p))
+      t.placement;
+    for r = 0 to n - 1 do
+      let s = eval_region t r ~part:(-1) ~target:(-1) in
+      t.regions.(r) <- s;
+      t.total <- t.total + s.contribution;
+      if s.collided then t.invalid <- t.invalid + 1
+    done;
+    t.used <-
+      Array.fold_left
+        (fun acc s -> Resource.add acc s.quantized)
+        t.static_res t.regions;
+    t
+
+  let current t =
+    triple_of ~budget:t.budget ~used:t.used ~total:t.total ~invalid:t.invalid
+
+  let placement t = Array.copy t.placement
+
+  let propose t ~part ~target =
+    let old = t.placement.(part) in
+    if old = target then current t
+    else begin
+      let res = t.resources.(part) in
+      let static_res =
+        if old = -1 then Resource.sub t.static_res res
+        else if target = -1 then Resource.add t.static_res res
+        else t.static_res
+      in
+      let reeval r =
+        if r < 0 then empty_snapshot else eval_region t r ~part ~target
+      in
+      let src = reeval old and dst = reeval target in
+      let swap_contribution acc r fresh =
+        if r < 0 then acc
+        else acc - t.regions.(r).contribution + fresh.contribution
+      in
+      let total =
+        swap_contribution (swap_contribution t.total old src) target dst
+      in
+      let swap_quantized acc r fresh =
+        if r < 0 then acc
+        else
+          Resource.add (Resource.sub acc t.regions.(r).quantized)
+            fresh.quantized
+      in
+      let used =
+        Resource.add
+          (Resource.sub
+             (swap_quantized (swap_quantized t.used old src) target dst)
+             t.static_res)
+          static_res
+      in
+      let swap_invalid acc r fresh =
+        if r < 0 then acc
+        else
+          acc
+          - (if t.regions.(r).collided then 1 else 0)
+          + if fresh.collided then 1 else 0
+      in
+      let invalid = swap_invalid (swap_invalid t.invalid old src) target dst in
+      let triple = triple_of ~budget:t.budget ~used ~total ~invalid in
+      t.pending <-
+        Some
+          { p_part = part;
+            p_target = target;
+            src;
+            dst;
+            p_static = static_res;
+            p_used = used;
+            p_total = total;
+            p_invalid = invalid;
+            p_triple = triple };
+      triple
+    end
+
+  let commit t ~part ~target =
+    let old = t.placement.(part) in
+    if old <> target then begin
+      let pending =
+        match t.pending with
+        | Some p when p.p_part = part && p.p_target = target -> p
+        | Some _ | None ->
+          (* No matching proposal (e.g. the evaluation came from the
+             transposition table): compute the snapshots now. *)
+          ignore (propose t ~part ~target);
+          (match t.pending with Some p -> p | None -> assert false)
+      in
+      if old >= 0 then t.regions.(old) <- pending.src;
+      if target >= 0 then t.regions.(target) <- pending.dst;
+      t.static_res <- pending.p_static;
+      t.used <- pending.p_used;
+      t.total <- pending.p_total;
+      t.invalid <- pending.p_invalid;
+      t.placement.(part) <- target
+    end;
+    t.pending <- None
+
+  (* From-scratch reference evaluation of the committed placement — the
+     oracle the incremental sums are property-tested against. *)
+  let from_scratch t =
+    let n = Array.length t.placement in
+    let static_res = ref Resource.zero in
+    Array.iteri
+      (fun p r ->
+        if r = -1 then static_res := Resource.add !static_res t.resources.(p))
+      t.placement;
+    let used = ref !static_res in
+    let total = ref 0 in
+    let invalid = ref 0 in
+    for r = 0 to n - 1 do
+      let s = eval_region t r ~part:(-1) ~target:(-1) in
+      used := Resource.add !used s.quantized;
+      total := !total + s.contribution;
+      if s.collided then incr invalid
+    done;
+    (* [from_scratch] ignores the caches entirely but must include the
+       caller-supplied static overhead baked into [static_res] at
+       creation; recover it as (committed static - sum of member
+       resources). *)
+    let member_static = !static_res in
+    let overhead = Resource.sub t.static_res member_static in
+    let used = Resource.add !used overhead in
+    triple_of ~budget:t.budget ~used ~total:!total ~invalid:!invalid
+end
 
 let scheme_of_placement design parts placement =
   (* Renumber regions densely in order of first appearance. *)
@@ -163,6 +344,7 @@ let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
         let cost_evaluations =
           Prtelemetry.counter telemetry "core.cost_evaluations"
         in
+        let delta_evals = Prtelemetry.counter telemetry "perf.delta_evals" in
         let parts = Array.of_list partitions in
         let n = Array.length parts in
         let analysis = Compatibility.analyse design parts in
@@ -174,14 +356,29 @@ let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
                 Array.init configs (fun c ->
                     Compatibility.active analysis ~bp:p ~config:c))
           in
+          let resources =
+            Array.map (fun bp -> bp.Base_partition.resources) parts
+          in
           let rng = Rng.make options.seed in
           (* Start all-separate: region id = partition index. *)
           let placement = Array.init n Fun.id in
-          let eval placement =
-            Prtelemetry.Counter.incr cost_evaluations;
-            evaluate ~budget ~design ~parts ~activity placement
+          let energy_state =
+            Energy.create ~budget
+              ~static_overhead:design.Design.static_overhead ~resources
+              ~activity placement
           in
-          let energy, feasible, total = eval placement in
+          (* Transposition table over canonical placement signatures:
+             the walk revisits states constantly once the temperature
+             drops, and a revisited state is served from the table
+             instead of re-running even the delta evaluation. Keyed per
+             search (partition indices are only meaningful within this
+             allocate call). *)
+          let memo = Memo.create ~telemetry () in
+          Prtelemetry.Counter.incr cost_evaluations;
+          let energy, feasible, total = Energy.current energy_state in
+          Memo.add memo
+            (Memo.placement_signature placement)
+            (energy, feasible, total);
           let current_energy = ref energy in
           let best =
             ref (if feasible then Some (Array.copy placement, total) else None)
@@ -203,7 +400,19 @@ let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
             in
             if target <> old_region then begin
               placement.(p) <- target;
-              let energy, feasible, total = eval placement in
+              Prtelemetry.Counter.incr cost_evaluations;
+              let key = Memo.placement_signature placement in
+              let energy, feasible, total =
+                match Memo.find memo key with
+                | Some triple -> triple
+                | None ->
+                  Prtelemetry.Counter.incr delta_evals;
+                  let triple =
+                    Energy.propose energy_state ~part:p ~target
+                  in
+                  Memo.add memo key triple;
+                  triple
+              in
               let delta = energy -. !current_energy in
               let accept =
                 delta < 0.
@@ -212,6 +421,7 @@ let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
               in
               if accept then begin
                 Prtelemetry.Counter.incr accepted_moves;
+                Energy.commit energy_state ~part:p ~target;
                 current_energy := energy;
                 if feasible then
                   match !best with

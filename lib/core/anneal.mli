@@ -28,8 +28,62 @@ val allocate :
     states are explored via an area-deficit penalty but never returned),
     or [None] when none was found. Deterministic in [options.seed].
 
+    Move evaluation is {e incremental}: a move reassigns one partition,
+    so only the source and destination regions are re-scored and the
+    global sums (total frames, quantized usage, validity) are maintained
+    as exact integers — the resulting energies are bit-identical to a
+    from-scratch evaluation, preserving the acceptance trajectory of the
+    pre-incremental implementation. Revisited placements are served from
+    a per-search transposition table keyed by
+    {!Memo.placement_signature}.
+
     [telemetry] (default {!Prtelemetry.null}, free): an
     ["anneal.allocate"] span; ["anneal.steps"], ["anneal.accepted"],
-    ["anneal.best_updates"] and ["core.cost_evaluations"] counters; and
-    an ["anneal.best"] trajectory event per improvement (when
-    tracing). *)
+    ["anneal.best_updates"], ["core.cost_evaluations"],
+    ["perf.delta_evals"], ["perf.cache_hits"] and ["perf.cache_misses"]
+    counters; and an ["anneal.best"] trajectory event per improvement
+    (when tracing). *)
+
+(** Incremental energy engine, exposed for the Prspeed property tests:
+    drive arbitrary propose/commit sequences (including rejected moves,
+    which cost nothing to undo) and check the incrementally maintained
+    sums against {!Energy.from_scratch}. Not a stable API for production
+    callers — use {!allocate}. *)
+module Energy : sig
+  type t
+
+  val create :
+    budget:Fpga.Resource.t ->
+    static_overhead:Fpga.Resource.t ->
+    resources:Fpga.Resource.t array ->
+    activity:bool array array ->
+    int array ->
+    t
+  (** [create ~budget ~static_overhead ~resources ~activity placement]
+      builds the engine over [placement] (region id per partition, [-1]
+      for static; region ids are partition indices). [activity.(p).(c)]
+      states whether partition [p] is active in configuration [c]. *)
+
+  val current : t -> float * bool * int
+  (** Energy, feasibility and total frames of the committed placement.
+      Invalid placements (two members of one region active in the same
+      configuration) evaluate to [(infinity, false, max_int)]. *)
+
+  val propose : t -> part:int -> target:int -> float * bool * int
+  (** Candidate evaluation of reassigning [part] to [target] without
+      committing — the committed state is untouched, so rejecting the
+      move requires no undo work. *)
+
+  val commit : t -> part:int -> target:int -> unit
+  (** Install the move, reusing the snapshots of a matching prior
+      {!propose} when available and recomputing them otherwise (the
+      transposition-hit path). *)
+
+  val placement : t -> int array
+  (** Copy of the committed placement. *)
+
+  val from_scratch : t -> float * bool * int
+  (** Ground-truth re-evaluation of the committed placement, ignoring
+      all incremental state — the oracle the property tests compare
+      {!current} against. *)
+end

@@ -89,16 +89,39 @@ let pairwise_frames (s : Scheme.t) i j =
   done;
   !cost
 
+(* Shared kernel for the all-pairs entry points: resolve residency and
+   region frames once (each [Scheme.active_partition] /
+   [Scheme.region_frames] call walks member lists), then fold over the
+   upper triangle only. [pairwise_frames] recomputed both per pair
+   before this existed; now every pair costs one O(regions) scan over
+   precomputed arrays. *)
+let fold_pairs (s : Scheme.t) f init =
+  let configs = Design.configuration_count s.design in
+  let resid = residency s in
+  let region_frames = Array.init s.region_count (Scheme.region_frames s) in
+  let acc = ref init in
+  for i = 0 to configs - 1 do
+    for j = i + 1 to configs - 1 do
+      let cost = ref 0 in
+      for r = 0 to s.region_count - 1 do
+        let a = resid.(i).(r) and b = resid.(j).(r) in
+        if a >= 0 && b >= 0 && a <> b then cost := !cost + region_frames.(r)
+      done;
+      acc := f !acc i j !cost
+    done
+  done;
+  !acc
+
 let transition_matrix (s : Scheme.t) =
   let configs = Design.configuration_count s.design in
   let m = Array.make_matrix configs configs 0 in
-  for i = 0 to configs - 1 do
-    for j = i + 1 to configs - 1 do
-      let c = pairwise_frames s i j in
+  (* Compute the upper triangle once and mirror it — the matrix is
+     symmetric by construction (pinned by the symmetry unit test). *)
+  fold_pairs s
+    (fun () i j c ->
       m.(i).(j) <- c;
-      m.(j).(i) <- c
-    done
-  done;
+      m.(j).(i) <- c)
+    ();
   m
 
 let weighted_total (s : Scheme.t) ~weights =
@@ -107,15 +130,11 @@ let weighted_total (s : Scheme.t) ~weights =
     Array.length weights <> configs
     || Array.exists (fun row -> Array.length row <> configs) weights
   then invalid_arg "Cost.weighted_total: weight matrix shape mismatch";
-  let acc = ref 0. in
-  for i = 0 to configs - 1 do
-    for j = i + 1 to configs - 1 do
+  fold_pairs s
+    (fun acc i j c ->
       let w = weights.(i).(j) +. weights.(j).(i) in
-      if w <> 0. then
-        acc := !acc +. (w *. float_of_int (pairwise_frames s i j))
-    done
-  done;
-  !acc
+      if w <> 0. then acc +. (w *. float_of_int c) else acc)
+    0.
 
 let pp_evaluation ppf e =
   Format.fprintf ppf

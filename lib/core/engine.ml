@@ -80,14 +80,20 @@ let cost_evaluation_counters tele =
 
 (* Solve for a fixed budget. The single-region scheme is the universal
    fallback: the feasibility precondition guarantees it fits. *)
-let solve_budget ~options ~tele ~budget design =
+let solve_budget ~options ~tele ~jobs ~memo ~budget design =
   Prtelemetry.with_span tele "engine.solve_budget"
     ~attrs:[ ("budget", Prtelemetry.Json.String (Resource.to_string budget)) ]
   @@ fun () ->
   let evals = Prtelemetry.counter tele "core.cost_evaluations" in
+  (* Every evaluation goes through the shared transposition table keyed
+     by canonical content signature: re-scoring the scheme an allocator
+     run already evaluated — or a scheme another candidate set converged
+     to — is a cache hit. The counter tracks cost-model {e lookups}, as
+     before; the table tracks which of them actually ran the model. *)
   let evaluate scheme =
     Prtelemetry.Counter.incr evals;
-    Cost.evaluate scheme
+    Memo.find_or_add memo (Memo.scheme_signature scheme) (fun () ->
+        Cost.evaluate scheme)
   in
   let single = Scheme.single_region design in
   let single_eval = evaluate single in
@@ -145,14 +151,42 @@ let solve_budget ~options ~tele ~budget design =
                 ("total_frames", Prtelemetry.Json.Int e.Cost.total_frames);
                 ("worst_frames", Prtelemetry.Json.Int e.Cost.worst_frames) ]
       in
+      (* Allocation fan-out. Sequentially each candidate set runs the
+         allocator against the shared telemetry handle and evaluation
+         cache; in parallel each set gets its own counting handle and
+         private table (neither is domain-safe), and after the ordered
+         join the counters are merged and the tables absorbed in input
+         order. The subsequent fold is identical in both modes, so the
+         selected scheme — and every outcome field — is bit-identical
+         for any [jobs]. *)
+      let allocate_set ~telemetry ~memo set =
+        Allocator.allocate ~options:options.allocator ~pair_weight ~telemetry
+          ~memo ~budget design set
+      in
+      let allocations =
+        if jobs <= 1 then
+          List.map (allocate_set ~telemetry:tele ~memo) sets
+        else
+          Par.map_list ~jobs
+            (fun set ->
+              let worker = Prtelemetry.ensure Prtelemetry.null in
+              let worker_memo = Memo.create ~telemetry:worker () in
+              let scheme = allocate_set ~telemetry:worker ~memo:worker_memo set in
+              (scheme, worker, worker_memo))
+            sets
+          |> List.map (fun (scheme, worker, worker_memo) ->
+                 List.iter
+                   (fun (name, v) ->
+                     if v > 0 then Prtelemetry.incr tele ~by:v name)
+                   (Prtelemetry.counters_list worker);
+                 Memo.absorb ~into:memo worker_memo;
+                 scheme)
+      in
       let best, _ =
         List.fold_left
-          (fun (best, set_index) set ->
+          (fun (best, set_index) allocation ->
             let best =
-              match
-                Allocator.allocate ~options:options.allocator ~pair_weight
-                  ~telemetry:tele ~budget design set
-              with
+              match allocation with
               | None ->
                 reject set_index "infeasible";
                 best
@@ -186,7 +220,7 @@ let solve_budget ~options ~tele ~budget design =
               | None -> ());
              initial),
             0 )
-          sets
+          allocations
       in
       (match best with
        | Some (scheme, evaluation) ->
@@ -217,11 +251,15 @@ let target_label = function
   | Fixed device -> device.Fpga.Device.short
   | Auto -> "auto"
 
-let solve ?(options = default_options) ?(telemetry = Prtelemetry.null) ~target
-    design =
+let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
+    ?(jobs = 1) ~target design =
   (* Always count on a live handle so [cost_evaluations] is populated
      even when the caller did not opt into telemetry. *)
   let tele = Prtelemetry.ensure telemetry in
+  (* One evaluation cache per solve: canonical signatures are stable
+     across candidate sets and budgets, so [Auto]-mode escalations
+     re-use evaluations from earlier attempts too. *)
+  let memo = Memo.create ~telemetry:tele () in
   let evaluations_before = cost_evaluation_counters tele in
   let result =
     Prtelemetry.with_span tele "engine.solve"
@@ -233,12 +271,12 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null) ~target
     | Budget budget ->
       Result.map
         (outcome ~design ~device:None ~budget ~escalations:0)
-        (solve_budget ~options ~tele ~budget design)
+        (solve_budget ~options ~tele ~jobs ~memo ~budget design)
     | Fixed device ->
       let budget = Fpga.Device.resources device in
       Result.map
         (outcome ~design ~device:(Some device) ~budget ~escalations:0)
-        (solve_budget ~options ~tele ~budget design)
+        (solve_budget ~options ~tele ~jobs ~memo ~budget design)
     | Auto ->
       (* Smallest device fitting the single-region lower bound, then
          escalate while the partitioner cannot beat a single region. *)
@@ -262,7 +300,7 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null) ~target
                  ~attrs:
                    [ ( "device",
                        Prtelemetry.Json.String device.Fpga.Device.short ) ]
-                 (fun () -> solve_budget ~options ~tele ~budget design)
+                 (fun () -> solve_budget ~options ~tele ~jobs ~memo ~budget design)
              with
              | Error _ -> best
              | Ok result ->

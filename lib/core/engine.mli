@@ -60,12 +60,28 @@ type outcome = {
 val solve :
   ?options:options ->
   ?telemetry:Prtelemetry.t ->
+  ?jobs:int ->
   target:target ->
   Prdesign.Design.t ->
   (outcome, string) result
 (** Errors are infeasibility reports (the design cannot fit the target,
     even as a single region). The returned scheme always fits the
     budget: in the worst case it is the single-region scheme.
+
+    [jobs] (default 1) fans the candidate-set allocations out across
+    that many domains ({!Par}). The parallel path is {e bit-identical}
+    to the sequential one: the ordered map preserves input order and
+    the winning-scheme fold runs sequentially after the join, so the
+    outcome — scheme, evaluation and all counts — does not depend on
+    [jobs]. Each domain works against a private counting handle and
+    evaluation cache (merged afterwards), so per-allocator spans and
+    trace events are not recorded when [jobs > 1]; counters are.
+
+    Scheme evaluations are memoised per solve in a transposition table
+    keyed by canonical content signatures ({!Memo.scheme_signature}):
+    candidate sets converging to the same allocation — and, under
+    [Auto], re-evaluations across device escalations — are cache hits,
+    visible as ["perf.cache_hits"] / ["perf.cache_misses"].
 
     [telemetry] (default {!Prtelemetry.null}, free): an ["engine.solve"]
     span with one ["engine.solve_budget"] child per budget attempted

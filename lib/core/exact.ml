@@ -9,11 +9,22 @@ type result = {
   states : int;
 }
 
-(* An in-construction region group; immutable so backtracking is free. *)
+(* An in-construction region group; immutable so backtracking is free.
+
+   Conflict counts are maintained incrementally. A fresh single-member
+   group has zero conflicting pairs (every resident is the same
+   partition), and extending a group with a partition whose active set
+   is disjoint from the group's — the compatibility precondition checked
+   by [extend_group] — adds exactly |new active| * |group active|
+   conflicting pairs: every cross pair has two distinct residents, and
+   no within-set pair changes. [conflicts_of_column] remains as the
+   from-scratch reference the delta is property-tested against. *)
 type group = {
   members : int list;  (* reverse assignment order *)
   column : int array;  (* config -> resident partition or -1 *)
   resources : Resource.t;
+  active_count : int;  (* configurations with a resident *)
+  conflicts : int;  (* config pairs with distinct residents *)
   contribution : int;  (* frames * conflicts *)
 }
 
@@ -28,17 +39,20 @@ let conflicts_of_column column =
   done;
   !count
 
-let group_of ~configs ~activity ~parts p =
+let group_of ~configs ~activity ~active_counts ~parts p =
   let column =
     Array.init configs (fun c -> if activity.(p).(c) then p else -1)
   in
-  let resources = parts.(p).Base_partition.resources in
+  (* A single resident everywhere that is occupied: no conflicting
+     pair, so the contribution is zero whatever the frame count. *)
   { members = [ p ];
     column;
-    resources;
-    contribution = Tile.frames_of_resources resources * conflicts_of_column column }
+    resources = parts.(p).Base_partition.resources;
+    active_count = active_counts.(p);
+    conflicts = 0;
+    contribution = 0 }
 
-let extend_group ~activity ~parts group p =
+let extend_group ~activity ~active_counts ~parts group p =
   (* [None] when partition [p] is co-active with the group somewhere. *)
   let column = Array.copy group.column in
   let ok = ref true in
@@ -52,19 +66,25 @@ let extend_group ~activity ~parts group p =
     let resources =
       Resource.max group.resources parts.(p).Base_partition.resources
     in
+    let conflicts = group.conflicts + (active_counts.(p) * group.active_count) in
     Some
       { members = p :: group.members;
         column;
         resources;
-        contribution =
-          Tile.frames_of_resources resources * conflicts_of_column column }
+        active_count = group.active_count + active_counts.(p);
+        conflicts;
+        contribution = Tile.frames_of_resources resources * conflicts }
   end
 
-let allocate ?(promote_static = true) ?(max_states = 2_000_000) ~budget design
-    parts_list =
+let allocate ?(promote_static = true) ?(max_states = 2_000_000)
+    ?(telemetry = Prtelemetry.null) ?memo ~budget design parts_list =
   match parts_list with
   | [] -> { scheme = None; optimal = true; states = 0 }
   | _ ->
+    Prtelemetry.with_span telemetry "exact.allocate" (fun () ->
+    let states_counter = Prtelemetry.counter telemetry "exact.states" in
+    let delta_evals = Prtelemetry.counter telemetry "perf.delta_evals" in
+    let leaf_evals = Prtelemetry.counter telemetry "core.cost_evaluations" in
     let parts = Array.of_list parts_list in
     let n = Array.length parts in
     let analysis = Compatibility.analyse design parts in
@@ -77,6 +97,12 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000) ~budget design
             Array.init configs (fun c ->
                 Compatibility.active analysis ~bp:p ~config:c))
       in
+      let active_counts =
+        Array.map
+          (fun row ->
+            Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 row)
+          activity
+      in
       let states = ref 0 in
       let truncated = ref false in
       let best = ref None in
@@ -84,6 +110,7 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000) ~budget design
       let static_base = design.Design.static_overhead in
       (* Evaluate a complete assignment at a leaf. *)
       let consider groups statics =
+        Prtelemetry.Counter.incr leaf_evals;
         let used =
           List.fold_left
             (fun acc g -> Resource.add acc (Tile.quantize g.resources))
@@ -134,15 +161,17 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000) ~budget design
         if !truncated then ()
         else begin
           incr states;
+          Prtelemetry.Counter.incr states_counter;
           if !states > max_states then truncated := true
           else if committed > !best_total then ()
           else if p = n then consider groups statics
           else begin
             List.iter
               (fun g ->
-                match extend_group ~activity ~parts g p with
+                match extend_group ~activity ~active_counts ~parts g p with
                 | None -> ()
                 | Some g' ->
+                  Prtelemetry.Counter.incr delta_evals;
                   let rest =
                     List.map (fun other -> if other == g then g' else other)
                       groups
@@ -150,7 +179,7 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000) ~budget design
                   assign (p + 1) rest statics
                     (committed - g.contribution + g'.contribution))
               groups;
-            let fresh = group_of ~configs ~activity ~parts p in
+            let fresh = group_of ~configs ~activity ~active_counts ~parts p in
             assign (p + 1) (groups @ [ fresh ]) statics
               (committed + fresh.contribution);
             if promote_static then assign (p + 1) groups (p :: statics) committed
@@ -171,5 +200,15 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000) ~budget design
               (List.mapi (fun p bp -> (bp, placement.(p))) parts_list))
           !best
       in
+      (* Seed the shared evaluation cache so downstream re-evaluations
+         of the returned scheme (the engine's comparison pass) are
+         cache hits. *)
+      (match (scheme, memo) with
+       | Some s, Some shared ->
+         ignore
+           (Memo.find_or_add shared (Memo.scheme_signature s) (fun () ->
+                Cost.evaluate s)
+             : Cost.evaluation)
+       | _ -> ());
       { scheme; optimal = not !truncated; states = !states }
-    end
+    end)

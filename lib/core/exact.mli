@@ -21,6 +21,8 @@ type result = {
 val allocate :
   ?promote_static:bool ->
   ?max_states:int ->
+  ?telemetry:Prtelemetry.t ->
+  ?memo:Cost.evaluation Memo.t ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
@@ -29,4 +31,23 @@ val allocate :
     [max_states = 2_000_000]. Candidate partitions keep their priority
     order (it defines activity, as in {!Allocator}). Schemes are compared
     by total reconfiguration frames, then worst-case frames, then area in
-    frames. *)
+    frames.
+
+    Group costing is {e incremental}: a fresh group contributes zero
+    conflicts and extending a group with a compatible partition adds
+    exactly [|new active| * |group active|] conflicting pairs (active
+    sets of co-resident partitions are disjoint), so no residency column
+    is rescanned during the DFS.
+
+    [memo] (default: none) is the engine-level evaluation cache: the
+    returned scheme's evaluation is stored under its canonical
+    {!Memo.scheme_signature}, making downstream re-evaluation a hit.
+
+    [telemetry] (default {!Prtelemetry.null}, free): an
+    ["exact.allocate"] span; ["exact.states"], ["perf.delta_evals"] and
+    ["core.cost_evaluations"] (leaf evaluations) counters. *)
+
+val conflicts_of_column : int array -> int
+(** From-scratch conflict count of a residency column (config ->
+    resident partition or [-1]) — the reference the incremental group
+    costing is property-tested against. Exposed for the Prspeed tests. *)

@@ -54,9 +54,14 @@ let row_of_design ~options (cls, design) =
         statics = List.length (Scheme.static_members outcome.Engine.scheme) }
 
 let run ?(count = 1000) ?(seed = 2013) ?(options = Engine.default_options)
-    ?spec () =
-  List.filter_map (row_of_design ~options)
-    (Synth.Generator.batch ?spec ~seed ~count ())
+    ?(jobs = 1) ?spec () =
+  (* One solve per design, no shared mutable state (each [Engine.solve]
+     creates its own telemetry handle and evaluation cache), so the
+     ordered parallel map is bit-identical to the sequential
+     [List.filter_map]. *)
+  Synth.Generator.batch ?spec ~seed ~count ()
+  |> Par.map_list ~jobs (row_of_design ~options)
+  |> List.filter_map Fun.id
 
 type summary = {
   rows : int;

@@ -24,11 +24,16 @@ type row = {
 
 val run :
   ?count:int -> ?seed:int -> ?options:Prcore.Engine.options ->
-  ?spec:Synth.Generator.spec -> unit ->
+  ?jobs:int -> ?spec:Synth.Generator.spec -> unit ->
   row list
 (** Defaults: 1000 designs, seed 2013, default engine options, default
     generator recipe. Designs that fit no catalogued device are skipped
-    (reported by {!type-summary}). *)
+    (reported by {!type-summary}).
+
+    [jobs] (default 1) solves that many designs concurrently
+    ({!Par.map_list}): each solve is independent and deterministic, so
+    the row list is bit-identical to the sequential run for any
+    [jobs]. *)
 
 type summary = {
   rows : int;

@@ -24,6 +24,7 @@ type options = {
   floorplan_feedback : bool;
   telemetry : Prtelemetry.t;
   resilience : resilience option;
+  jobs : int;
 }
 
 let default_options =
@@ -31,7 +32,8 @@ let default_options =
     icap = Fpga.Icap.default;
     floorplan_feedback = true;
     telemetry = Prtelemetry.null;
-    resilience = None }
+    resilience = None;
+    jobs = 1 }
 
 type report = {
   design : Design.t;
@@ -83,7 +85,8 @@ let trace_escalate ~telemetry ~reason device next =
 let rec implement ~(options : options) ~target ~escalations design =
   let telemetry = options.telemetry in
   match
-    Engine.solve ~options:options.engine ~telemetry ~target design
+    Engine.solve ~options:options.engine ~telemetry ~jobs:options.jobs ~target
+      design
   with
   | Error message -> Error message
   | Ok outcome ->

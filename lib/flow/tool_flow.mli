@@ -44,6 +44,10 @@ type options = {
       (** When set, {!run} appends a fault-injected walk assessment to
           the report (default [None]; skipped for designs with fewer
           than two configurations). *)
+  jobs : int;
+      (** Worker domains for the engine's candidate-set fan-out
+          (default 1, sequential); results are bit-identical for any
+          value (see {!Prcore.Engine.solve}). *)
 }
 
 val default_options : options

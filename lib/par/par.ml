@@ -1,0 +1,134 @@
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+module Pool = struct
+  (* Workers block on [work] waiting for batch tasks. A map pushes one
+     task per worker; every participant (workers + the caller) then
+     steals item indices from a shared atomic cursor, so load balances
+     even when per-item costs vary wildly (some designs solve 100x
+     slower than others). Completion is signalled by counting finished
+     items under the pool mutex — the only lock on the data path, taken
+     once per participant per map. *)
+
+  type task = Run of (unit -> unit) | Quit
+
+  type t = {
+    jobs : int;
+    mutex : Mutex.t;
+    work : Condition.t;  (* signalled when [queue] gains a task *)
+    idle : Condition.t;  (* signalled when a map finishes items *)
+    queue : task Queue.t;
+    mutable workers : unit Domain.t list;
+    mutable closed : bool;
+  }
+
+  let worker_loop pool =
+    let rec next () =
+      Mutex.lock pool.mutex;
+      while Queue.is_empty pool.queue do
+        Condition.wait pool.work pool.mutex
+      done;
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      match task with
+      | Quit -> ()
+      | Run f ->
+        f ();
+        next ()
+    in
+    next ()
+
+  let create ~jobs =
+    let jobs = max 1 jobs in
+    let pool =
+      { jobs;
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        idle = Condition.create ();
+        queue = Queue.create ();
+        workers = [];
+        closed = false }
+    in
+    if jobs > 1 then
+      pool.workers <-
+        List.init (jobs - 1) (fun _ ->
+            Domain.spawn (fun () -> worker_loop pool));
+    pool
+
+  let jobs t = t.jobs
+
+  let shutdown t =
+    if not t.closed then begin
+      t.closed <- true;
+      Mutex.lock t.mutex;
+      List.iter (fun _ -> Queue.push Quit t.queue) t.workers;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      List.iter Domain.join t.workers;
+      t.workers <- []
+    end
+
+  let with_pool ~jobs f =
+    let pool = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+  let map_array t f xs =
+    let n = Array.length xs in
+    let live_workers = List.length t.workers in
+    if n = 0 then [||]
+    else if live_workers = 0 || n = 1 then Array.map f xs
+    else begin
+      let results = Array.make n None in
+      let cursor = Atomic.make 0 in
+      let finished = ref 0 (* guarded by t.mutex *) in
+      let steal () =
+        let mine = ref 0 in
+        let rec loop () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            (results.(i) <-
+               (try Some (Ok (f xs.(i))) with e -> Some (Error e)));
+            incr mine;
+            loop ()
+          end
+        in
+        loop ();
+        Mutex.lock t.mutex;
+        finished := !finished + !mine;
+        if !finished = n then Condition.broadcast t.idle;
+        Mutex.unlock t.mutex
+      in
+      (* One batch task per worker; idle workers that find the cursor
+         exhausted just report zero items and go back to sleep. *)
+      Mutex.lock t.mutex;
+      let participants = min live_workers (n - 1) in
+      for _ = 1 to participants do
+        Queue.push (Run steal) t.queue
+      done;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      (* The calling domain steals too, then waits for stragglers. *)
+      steal ();
+      Mutex.lock t.mutex;
+      while !finished < n do
+        Condition.wait t.idle t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (* Deterministic error behaviour: re-raise for the lowest index. *)
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false (* finished = n implies all written *))
+        results
+    end
+
+  let map_list t f xs =
+    Array.to_list (map_array t f (Array.of_list xs))
+end
+
+let map_array ~jobs f xs =
+  if jobs <= 1 || Array.length xs <= 1 then Array.map f xs
+  else Pool.with_pool ~jobs (fun pool -> Pool.map_array pool f xs)
+
+let map_list ~jobs f xs =
+  Array.to_list (map_array ~jobs f (Array.of_list xs))

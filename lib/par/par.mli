@@ -1,0 +1,60 @@
+(** Bounded Domain-based parallelism for the partition search and the
+    evaluation sweep (OCaml 5 multicore, no external dependencies).
+
+    The central primitive is a deterministic {e ordered map}: results
+    come back indexed by their input position regardless of which domain
+    computed them or in which order they finished, so a parallel run is
+    bit-identical to the sequential one whenever the per-item function
+    is itself deterministic and items do not share mutable state.
+
+    Callers that fan work out repeatedly (the synthetic sweep solves
+    ~1000 designs) should create one {!Pool.t} and reuse it; one-shot
+    callers can use {!map_array}/{!map_list} which wrap
+    {!Pool.with_pool}.
+
+    Graceful fallback: [jobs <= 1] (or a single-item input) never
+    spawns a domain — the map runs inline on the calling domain, making
+    [--jobs 1] exactly the sequential code path. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1 — the
+    CLI's default for [--jobs]. *)
+
+module Pool : sig
+  type t
+  (** A bounded pool of [jobs - 1] worker domains plus the calling
+      domain. Workers block on a condition variable between maps; the
+      pool owner must not run two maps concurrently (the engine and
+      sweep drive it from a single domain). *)
+
+  val create : jobs:int -> t
+  (** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains. [jobs]
+      is clamped to at least 1. *)
+
+  val jobs : t -> int
+
+  val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+  (** Ordered parallel map: [map_array t f xs] equals
+      [Array.map f xs] element-for-element. Work is distributed by
+      atomic index stealing; the calling domain participates. If any
+      [f xs.(i)] raises, the exception of the {e lowest} such index is
+      re-raised after all items finish — deterministic error
+      behaviour. *)
+
+  val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** [map_list t f xs] equals [List.map f xs]; see {!map_array}. *)
+
+  val shutdown : t -> unit
+  (** Terminate and join the worker domains. Idempotent. Maps after
+      shutdown run inline (single-domain fallback). *)
+
+  val with_pool : jobs:int -> (t -> 'a) -> 'a
+  (** Create, run, and always shut down (also on exceptions). *)
+end
+
+val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** One-shot ordered map over a temporary pool ([jobs <= 1] runs
+    inline without spawning anything). *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List analogue of {!map_array}. *)
