@@ -1,7 +1,7 @@
 # Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
 # `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
 
-.PHONY: all build test check fmt fmt-check bench-smoke bench-json perf faults clean
+.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf faults clean
 
 all: build
 
@@ -11,7 +11,31 @@ build:
 test:
 	dune runtest
 
-check: build test
+check: build test verify
+
+# Independent-oracle validation (`prpart check`): every built-in library
+# design and every XML design under examples/designs must pass the full
+# pipeline verification (solve + floorplan + bitstreams + transitions).
+verify: build
+	@for f in examples/designs/*.xml; do \
+	  echo "== prpart check $$f"; \
+	  dune exec bin/prpart.exe -- check "$$f" || exit 1; \
+	done
+	@for d in video-receiver running-example; do \
+	  echo "== prpart check $$d"; \
+	  dune exec bin/prpart.exe -- check "$$d" || exit 1; \
+	done
+	@echo "== prpart check (budget-constrained, multi-region)"
+	dune exec bin/prpart.exe -- check video-receiver --budget 6900,62,150
+	dune exec bin/prpart.exe -- check examples/designs/vision-pipeline.xml --budget 4000,70,60
+	dune exec bin/prpart.exe -- check examples/designs/sdr-modem.xml --budget 2600,30,45
+	dune exec bin/prpart.exe -- check examples/designs/adaptive-router.xml --budget 2200,20,8
+
+# Differential fuzzing plus the seeded mutation-kill matrix: 200 random
+# designs cross-checked seq-vs-par / memo-vs-fresh / oracle-vs-reported,
+# and nine seeded corruptions that must each fire exactly their code.
+fuzz: build
+	dune exec bin/prpart.exe -- fuzz --count 200 --kills
 
 # Formatting is governed by .ocamlformat. The container does not ship the
 # ocamlformat binary, so both targets degrade to a no-op with a notice when

@@ -357,6 +357,66 @@ let prspeed_smoke () =
      across jobs; %d cache hits, %d delta evals)\n"
     sweep_n hits deltas
 
+(* Prverify smoke (runs under --quick, so `dune runtest` gates on it):
+   (1) every library design passes the independent design oracle,
+   (2) the case-study solve passes check-after-solve with zero errors,
+   (3) every seeded mutation is killed by exactly its expected
+   diagnostic code, and (4) a small differential fuzz run is clean.
+   Exits 1 on any violation. *)
+let verify_smoke () =
+  section "Prverify smoke: oracles, mutation kills, differential fuzz";
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "PRVERIFY SMOKE FAILED: %s\n" m;
+        exit 1)
+      fmt
+  in
+  List.iter
+    (fun (name, design) ->
+      let diagnostics = Prverify.Checker.check_design design in
+      if not (Prverify.Diagnostic.ok diagnostics) then
+        fail "design oracle rejected %s:\n%s" name
+          (Prverify.Checker.render_report diagnostics))
+    Prdesign.Design_library.all;
+  let receiver = Prdesign.Design_library.video_receiver in
+  let outcome =
+    match
+      Prcore.Engine.solve ~verify:true
+        ~target:(Prcore.Engine.Budget Prdesign.Design_library.case_study_budget)
+        receiver
+    with
+    | Ok o -> o
+    | Error m -> fail "verified case-study solve: %s" m
+  in
+  let diagnostics = Prverify.Checker.check_outcome outcome in
+  if not (Prverify.Diagnostic.ok diagnostics) then
+    fail "check-after-solve rejected the case study:\n%s"
+      (Prverify.Checker.render_report diagnostics);
+  let kills = Prverify.Fuzz.mutation_kills () in
+  if not (Prverify.Fuzz.all_killed kills) then
+    fail "a seeded mutation survived:\n%s" (Prverify.Fuzz.render_kills kills);
+  let fuzz = Prverify.Fuzz.run ~count:25 ~seed:41 () in
+  if fuzz.Prverify.Fuzz.failures <> [] then
+    fail "differential fuzz diverged:\n%s"
+      (Prverify.Fuzz.render_summary fuzz);
+  Printf.printf
+    "prverify smoke OK (%d library designs, case-study %s, %d/%d \
+     mutations killed, %d-design fuzz clean)\n"
+    (List.length Prdesign.Design_library.all)
+    (String.trim (Prverify.Checker.summary_line diagnostics))
+    (List.length kills) (List.length kills) fuzz.Prverify.Fuzz.designs
+
+(* The full verification experiment: oracle pass over the library, the
+   seeded mutation-kill matrix, and a larger differential fuzz run. *)
+let verify () =
+  section "Prverify: mutation-kill matrix and differential fuzz";
+  let kills = Prverify.Fuzz.mutation_kills () in
+  print_string (Prverify.Fuzz.render_kills kills);
+  print_newline ();
+  let fuzz = Prverify.Fuzz.run ~count:150 ~seed:2013 () in
+  print_string (Prverify.Fuzz.render_summary fuzz)
+
 (* Machine-readable performance artefact (BENCH_core.json): allocator
    move throughput, engine solve latency (Bechamel OLS), sweep
    throughput sequential vs parallel, and the evaluation-cache hit
@@ -541,6 +601,7 @@ let experiments =
     ("gap", gap);
     ("weighted", weighted);
     ("faults", faults);
+    ("verify", verify);
     ("telemetry", fun () -> telemetry ());
     ("perf", perf);
     ("bench-json", bench_json) ]
@@ -553,6 +614,7 @@ let () =
     table1 ();
     fault_smoke ();
     prspeed_smoke ();
+    verify_smoke ();
     telemetry ~quick:true ();
     exit 0
   end;

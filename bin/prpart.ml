@@ -86,6 +86,15 @@ let floorplan_arg =
   let doc = "Validate the result with the columnar floorplanner." in
   Arg.(value & flag & info [ "floorplan" ] ~doc)
 
+let verify_arg =
+  let doc =
+    "Re-check the result with the independent oracle suite: the engine's \
+     memo-vs-fresh self-check plus the Prverify re-derivations (covering, \
+     conflicts, cost, budget, transitions). Fails with a diagnostic \
+     report when any invariant is violated."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
 let save_scheme_arg =
   let doc = "Save the chosen scheme as XML to this path." in
   Arg.(value & opt (some string) None & info [ "save-scheme" ] ~docv:"FILE" ~doc)
@@ -180,7 +189,7 @@ let run_floorplan ~telemetry scheme device =
 
 let partition_cmd =
   let run spec budget device freq_rule no_promote max_sets restarts jobs
-      floorplan save_scheme trace stats =
+      verify floorplan save_scheme trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -189,7 +198,10 @@ let partition_cmd =
        | Ok target ->
          let options = options ~freq_rule ~no_promote ~max_sets ~restarts in
          let telemetry = telemetry_handle ~trace ~stats in
-         (match Prcore.Engine.solve ~options ~telemetry ~jobs ~target design with
+         (match
+            Prcore.Engine.solve ~options ~telemetry ~jobs ~verify ~target
+              design
+          with
           | Error message -> `Error (false, message)
           | Ok outcome ->
             Format.printf "Design: %s@." (Prdesign.Design.summary design);
@@ -206,6 +218,24 @@ let partition_cmd =
               outcome.base_partitions outcome.candidate_sets;
             if stats then
               Format.printf "cost evaluations: %d@." outcome.cost_evaluations;
+            let verified =
+              if not verify then Ok ()
+              else begin
+                let diagnostics =
+                  Prverify.Checker.check_outcome ~telemetry outcome
+                in
+                Format.printf "%s@."
+                  (Prverify.Checker.summary_line diagnostics);
+                if Prverify.Checker.ok diagnostics then Ok ()
+                else
+                  Error
+                    ("the independent oracles rejected the outcome\n"
+                    ^ Prverify.Checker.render_report diagnostics)
+              end
+            in
+            match verified with
+            | Error message -> `Error (false, message)
+            | Ok () ->
             if floorplan then begin
               let device =
                 match outcome.device with
@@ -241,7 +271,8 @@ let partition_cmd =
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ freq_rule_arg
          $ no_promote_arg $ max_sets_arg $ restarts_arg $ jobs_arg
-         $ floorplan_arg $ save_scheme_arg $ trace_arg $ stats_arg))
+         $ verify_arg $ floorplan_arg $ save_scheme_arg $ trace_arg
+         $ stats_arg))
 
 let baselines_cmd =
   let run spec trace stats =
@@ -543,7 +574,7 @@ let flow_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
            ~doc:"Write wrappers, bitstreams and the report into DIR.")
   in
-  let run spec budget device jobs out trace stats =
+  let run spec budget device jobs verify out trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -552,12 +583,21 @@ let flow_cmd =
        | Ok target ->
          let telemetry = telemetry_handle ~trace ~stats in
          let options =
-           { Flow.Tool_flow.default_options with telemetry; jobs }
+           { Flow.Tool_flow.default_options with telemetry; jobs; verify }
          in
          (match Flow.Tool_flow.run ~options ~target design with
           | Error message -> `Error (false, message)
           | Ok report ->
             print_string (Flow.Tool_flow.render_summary report);
+            let verified =
+              match report.Flow.Tool_flow.diagnostics with
+              | Some diagnostics when not (Prverify.Checker.ok diagnostics) ->
+                Error "verification failed (see the report above)"
+              | Some _ | None -> Ok ()
+            in
+            match verified with
+            | Error message -> `Error (false, message)
+            | Ok () ->
             let written =
               match out with
               | None -> Ok ()
@@ -585,7 +625,106 @@ let flow_cmd =
     Term.(
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ jobs_arg
-         $ out_arg $ trace_arg $ stats_arg))
+         $ verify_arg $ out_arg $ trace_arg $ stats_arg))
+
+let check_cmd =
+  let run spec budget device jobs trace stats =
+    match load_design spec with
+    | Error message -> `Error (false, message)
+    | Ok design ->
+      (match target ~budget ~device with
+       | Error message -> `Error (false, message)
+       | Ok target ->
+         let telemetry = telemetry_handle ~trace ~stats in
+         Format.printf "Design: %s@." (Prdesign.Design.summary design);
+         (* Stage 1: the design description alone, so a malformed design
+            is reported even when it cannot be partitioned at all. *)
+         let design_diags = Prverify.Checker.check_design ~telemetry design in
+         if not (Prverify.Checker.ok design_diags) then begin
+           print_string (Prverify.Checker.render_report design_diags);
+           `Error
+             (false, "design description fails the well-formedness oracle")
+         end
+         else begin
+           (* Stage 2: implement it end to end (engine self-check armed)
+              and run the full oracle suite over every artefact. *)
+           let options =
+             { Flow.Tool_flow.default_options with
+               telemetry;
+               jobs;
+               verify = true }
+           in
+           match Flow.Tool_flow.run ~options ~target design with
+           | Error message -> `Error (false, message)
+           | Ok report ->
+             let diagnostics =
+               Option.value ~default:[] report.Flow.Tool_flow.diagnostics
+             in
+             Format.printf "device: %s, %d regions, %d total frames@."
+               report.Flow.Tool_flow.device.Fpga.Device.name
+               report.Flow.Tool_flow.outcome.Prcore.Engine.scheme
+                 .Prcore.Scheme.region_count
+               report.Flow.Tool_flow.outcome.Prcore.Engine.evaluation
+                 .Prcore.Cost.total_frames;
+             print_string (Prverify.Checker.render_report diagnostics);
+             if not (Prverify.Checker.ok diagnostics) then
+               `Error (false, "verification failed")
+             else finish_telemetry ~trace ~stats telemetry
+         end)
+  in
+  let doc =
+    "Verify a design end to end with the independent oracle suite: design \
+     well-formedness, covering and conflict-freedom, from-scratch cost \
+     re-derivation, floorplan geometry, bitstream round-trips and \
+     transition reachability. Exits non-zero on any violation."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const run $ design_arg $ budget_arg $ device_arg $ jobs_arg
+         $ trace_arg $ stats_arg))
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"N"
+           ~doc:"Number of random designs to draw.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2013 & info [ "seed" ] ~docv:"S"
+           ~doc:"Generator seed (runs are reproducible per seed).")
+  in
+  let kills_arg =
+    Arg.(value & flag
+         & info [ "kills" ]
+             ~doc:
+               "Also run the seeded mutation-kill matrix: one corruption \
+                per oracle, each of which must fire exactly its own \
+                diagnostic code.")
+  in
+  let run count seed jobs kills =
+    let summary = Prverify.Fuzz.run ~count ~seed ~jobs () in
+    print_string (Prverify.Fuzz.render_summary summary);
+    let kills_ok =
+      if not kills then true
+      else begin
+        let matrix = Prverify.Fuzz.mutation_kills () in
+        print_string (Prverify.Fuzz.render_kills matrix);
+        Prverify.Fuzz.all_killed matrix
+      end
+    in
+    if summary.Prverify.Fuzz.failures = [] && kills_ok then `Ok ()
+    else `Error (false, "differential fuzzing found divergences")
+  in
+  let doc =
+    "Differential-fuzz the pipeline over random synthetic designs: \
+     sequential vs parallel engine, memoised vs fresh cost evaluation, \
+     reported evaluation vs the independent oracle re-derivation, and \
+     check-after-solve."
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(ret (const run $ count_arg $ seed_arg $ jobs_arg $ kills_arg))
 
 let devices_cmd =
   let run () =
@@ -621,4 +760,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ partition_cmd; baselines_cmd; simulate_cmd; synth_cmd; flow_cmd;
-            lint_cmd; devices_cmd; designs_cmd ]))
+            check_cmd; fuzz_cmd; lint_cmd; devices_cmd; designs_cmd ]))

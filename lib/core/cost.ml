@@ -136,6 +136,15 @@ let weighted_total (s : Scheme.t) ~weights =
       if w <> 0. then acc +. (w *. float_of_int c) else acc)
     0.
 
+let equal_evaluation (a : evaluation) (b : evaluation) =
+  a.total_frames = b.total_frames
+  && a.worst_frames = b.worst_frames
+  && a.region_frames = b.region_frames
+  && a.region_conflicts = b.region_conflicts
+  && Resource.equal a.reconfigurable b.reconfigurable
+  && Resource.equal a.static b.static
+  && Resource.equal a.used b.used
+
 let pp_evaluation ppf e =
   Format.fprintf ppf
     "total %d frames, worst %d frames, used %a (reconfigurable %a + static %a)"

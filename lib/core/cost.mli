@@ -41,4 +41,10 @@ val weighted_total : Scheme.t -> weights:float array array -> float
     Invalid_argument when the matrix does not match the configuration
     count. *)
 
+val equal_evaluation : evaluation -> evaluation -> bool
+(** Bit-for-bit structural equality of two evaluations — what
+    {!Engine.solve}'s [?verify] mode and the Prverify oracles use to
+    compare a reported evaluation against a from-scratch
+    re-derivation. *)
+
 val pp_evaluation : Format.formatter -> evaluation -> unit

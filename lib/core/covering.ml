@@ -39,7 +39,18 @@ let candidate_sets ?(max_sets = 32) ?(telemetry = Prtelemetry.null) design
           match cover design remaining_list with
           | None -> List.rev acc
           | Some set ->
-            let key = List.map (fun (bp : Base_partition.t) -> bp.modes) set in
+            (* Canonical duplicate key: the cover as a {e set of mode
+               sets} — modes sorted within each partition and the
+               partitions sorted across the cover — so mode-order or
+               partition-order permutations of one cover are recognised
+               as the same set instead of burning a candidate slot. *)
+            let key =
+              List.sort compare
+                (List.map
+                   (fun (bp : Base_partition.t) ->
+                     List.sort_uniq Int.compare bp.modes)
+                   set)
+            in
             let acc, count, seen =
               if List.mem key seen then begin
                 Prtelemetry.Counter.incr duplicates;

@@ -251,8 +251,29 @@ let target_label = function
   | Fixed device -> device.Fpga.Device.short
   | Auto -> "auto"
 
+(* Post-solve self-check for [?verify]: re-run the cost model directly
+   on the winning scheme — bypassing the memo table and every
+   incremental kernel — and require bit-for-bit agreement with the
+   evaluation the search reported. Any memoisation or delta-kernel
+   drift surfaces here as a hard error instead of a silently wrong
+   outcome. *)
+let verify_outcome ~tele o =
+  Prtelemetry.incr tele "verify.engine_checks";
+  let fresh = Cost.evaluate o.scheme in
+  if Cost.equal_evaluation fresh o.evaluation then Ok o
+  else begin
+    Prtelemetry.incr tele "verify.engine_failures";
+    Error
+      (Format.asprintf
+         "verification failed for %s: reported evaluation (%a) does not \
+          match the from-scratch re-derivation (%a) — memoised or \
+          incremental state has diverged from the cost model"
+         o.design.Design.name Cost.pp_evaluation o.evaluation
+         Cost.pp_evaluation fresh)
+  end
+
 let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
-    ?(jobs = 1) ~target design =
+    ?(jobs = 1) ?(verify = false) ~target design =
   (* Always count on a live handle so [cost_evaluations] is populated
      even when the caller did not opt into telemetry. *)
   let tele = Prtelemetry.ensure telemetry in
@@ -345,9 +366,12 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
                  "design %s could not be partitioned on any device"
                  design.Design.name)))
   in
-  Result.map
-    (fun o ->
-      { o with
-        cost_evaluations = cost_evaluation_counters tele - evaluations_before
-      })
-    result
+  let result =
+    Result.map
+      (fun o ->
+        { o with
+          cost_evaluations = cost_evaluation_counters tele - evaluations_before
+        })
+      result
+  in
+  if verify then Result.bind result (verify_outcome ~tele) else result

@@ -61,12 +61,22 @@ val solve :
   ?options:options ->
   ?telemetry:Prtelemetry.t ->
   ?jobs:int ->
+  ?verify:bool ->
   target:target ->
   Prdesign.Design.t ->
   (outcome, string) result
 (** Errors are infeasibility reports (the design cannot fit the target,
     even as a single region). The returned scheme always fits the
     budget: in the worst case it is the single-region scheme.
+
+    [verify] (default [false]) re-runs the cost model from scratch on
+    the winning scheme — bypassing the memo table and the incremental
+    kernels — and fails with an explanatory [Error] unless the reported
+    evaluation matches bit-for-bit ({!Cost.equal_evaluation}). Counted
+    as ["verify.engine_checks"] / ["verify.engine_failures"]. The full
+    independent-oracle suite (covering, conflicts, floorplan, bitstream,
+    transitions) lives in the [Prverify] library, which layers on top of
+    this self-check.
 
     [jobs] (default 1) fans the candidate-set allocations out across
     that many domains ({!Par}). The parallel path is {e bit-identical}

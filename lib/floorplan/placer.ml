@@ -61,14 +61,32 @@ let find_spot layout occupied d =
           done;
           !free
         in
-        let rec widen width =
+        (* Keep widening past the first satisfying width: every
+           satisfying window from this origin competes on the
+           (waste, area) key, so the tie-break sees wider windows too
+           instead of stopping at the narrowest one. Once a satisfying
+           width has been recorded the exploration is bounded by the
+           best area seen so far — a strictly larger window can only
+           beat the incumbent if its area still undercuts it. *)
+        let rec widen ~satisfied width =
           if col + width > total_width then ()
           else if not (column_free (col + width - 1)) then ()
-          else if satisfies layout ~height ~col ~width d then
-            consider { row; height; col; width }
-          else widen (width + 1)
+          else begin
+            let sat = satisfies layout ~height ~col ~width d in
+            if sat then consider { row; height; col; width };
+            let satisfied = satisfied || sat in
+            let continue_ =
+              if not satisfied then true
+              else
+                match !best with
+                | Some (_, (_, best_area)) ->
+                  (width + 1) * height <= best_area
+                | None -> true
+            in
+            if continue_ then widen ~satisfied (width + 1)
+          end
         in
-        widen 1
+        widen ~satisfied:false 1
       done
     done
   done;

@@ -25,6 +25,7 @@ type options = {
   telemetry : Prtelemetry.t;
   resilience : resilience option;
   jobs : int;
+  verify : bool;
 }
 
 let default_options =
@@ -33,7 +34,8 @@ let default_options =
     floorplan_feedback = true;
     telemetry = Prtelemetry.null;
     resilience = None;
-    jobs = 1 }
+    jobs = 1;
+    verify = false }
 
 type report = {
   design : Design.t;
@@ -47,6 +49,7 @@ type report = {
   telemetry : Prtelemetry.t;
   resilience :
     (Runtime.Resilient.outcome, Runtime.Resilient.failure) result option;
+  diagnostics : Prverify.Diagnostic.t list option;
 }
 
 let demands_of_scheme (scheme : Scheme.t) =
@@ -85,8 +88,8 @@ let trace_escalate ~telemetry ~reason device next =
 let rec implement ~(options : options) ~target ~escalations design =
   let telemetry = options.telemetry in
   match
-    Engine.solve ~options:options.engine ~telemetry ~jobs:options.jobs ~target
-      design
+    Engine.solve ~options:options.engine ~telemetry ~jobs:options.jobs
+      ~verify:options.verify ~target design
   with
   | Error message -> Error message
   | Ok outcome ->
@@ -178,6 +181,13 @@ let run ?(options = default_options) ~target design =
                ~sequence)
         end
     in
+    let diagnostics =
+      if not options.verify then None
+      else
+        Some
+          (Prverify.Checker.check_implementation ~telemetry ~outcome ~layout
+             ~placement ~repository ())
+    in
     Ok
       { design;
         outcome;
@@ -188,7 +198,8 @@ let run ?(options = default_options) ~target design =
         wrappers;
         repository;
         telemetry;
-        resilience }
+        resilience;
+        diagnostics }
 
 let render_resilience r =
   match r.resilience with
@@ -245,6 +256,13 @@ let render_summary r =
   Buffer.add_string buf
     (Printf.sprintf "wrappers: %d Verilog files\n" (List.length r.wrappers));
   Buffer.add_string buf (Bitgen.Repository.render r.repository);
+  (match r.diagnostics with
+   | None -> ()
+   | Some diagnostics ->
+     Buffer.add_string buf
+       (Printf.sprintf "%s\n" (Prverify.Checker.summary_line diagnostics));
+     if not (Prverify.Checker.ok diagnostics) then
+       Buffer.add_string buf (Prverify.Checker.render_report diagnostics));
   Buffer.add_string buf (render_resilience r);
   if Prtelemetry.enabled r.telemetry then begin
     Buffer.add_string buf
@@ -281,6 +299,10 @@ let write_outputs ~dir r =
     write "report.txt" (render_summary r);
     (match r.resilience with
      | Some _ -> write "reliability.txt" (render_resilience r)
+     | None -> ());
+    (match r.diagnostics with
+     | Some diagnostics ->
+       write "verify.txt" (Prverify.Checker.render_report diagnostics)
      | None -> ());
     if Prtelemetry.enabled r.telemetry then begin
       write "stats.txt" (Prtelemetry.summary r.telemetry);

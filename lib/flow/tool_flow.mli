@@ -48,6 +48,14 @@ type options = {
       (** Worker domains for the engine's candidate-set fan-out
           (default 1, sequential); results are bit-identical for any
           value (see {!Prcore.Engine.solve}). *)
+  verify : bool;
+      (** Run the independent-oracle suite over the finished
+          implementation (default [false]). Arms the engine's
+          memo-vs-fresh self-check ({!Prcore.Engine.solve}'s [verify])
+          and records {!Prverify.Checker.check_implementation}'s
+          diagnostics in the report — {!render_summary} then appends a
+          verification section and {!write_outputs} emits [verify.txt].
+          Counted under the ["verify.*"] telemetry keys. *)
 }
 
 val default_options : options
@@ -71,6 +79,11 @@ type report = {
       (** The fault-injected walk assessment when
           [options.resilience] was set — [Error] when the configured
           recovery policy let the walk abort. *)
+  diagnostics : Prverify.Diagnostic.t list option;
+      (** The independent-oracle verdict over the implementation when
+          [options.verify] was set: [Some []] (or warnings only) is a
+          clean bill of health; errors mean an invariant of the
+          pipeline's own artefacts was violated. *)
 }
 
 val run :
@@ -93,6 +106,7 @@ val write_outputs : dir:string -> report -> (string list, string) result
     [.v] files, one [.bit] per bitstream, the design description
     [design.xml] and a [report.txt]; with live telemetry also a
     [stats.txt] summary and (when tracing) the [trace.jsonl] event
-    stream. Returns the written paths, or [Error message] when the
+    stream; with [options.verify] also the [verify.txt] oracle report.
+    Returns the written paths, or [Error message] when the
     directory cannot be created or a file cannot be written (the
     underlying [Sys_error] is never raised to the caller). *)

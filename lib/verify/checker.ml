@@ -1,0 +1,62 @@
+module Engine = Prcore.Engine
+
+let count ~telemetry ~oracles diagnostics =
+  Prtelemetry.incr telemetry ~by:oracles "verify.oracles";
+  Prtelemetry.incr telemetry ~by:(List.length diagnostics) "verify.diagnostics";
+  Prtelemetry.incr telemetry
+    ~by:(List.length (Diagnostic.errors diagnostics))
+    "verify.errors";
+  Prtelemetry.incr telemetry
+    ~by:(List.length (Diagnostic.warnings diagnostics))
+    "verify.warnings";
+  diagnostics
+
+let check_design ?(telemetry = Prtelemetry.null) design =
+  Prtelemetry.with_span telemetry "verify.check"
+    ~attrs:[ ("subject", Prtelemetry.Json.String "design") ]
+  @@ fun () -> count ~telemetry ~oracles:1 (Oracle.check_design design)
+
+let outcome_oracles (outcome : Engine.outcome) =
+  [ Oracle.check_design outcome.Engine.design;
+    Oracle.check_scheme outcome.Engine.scheme;
+    Oracle.check_cost outcome.Engine.scheme outcome.Engine.evaluation;
+    Oracle.check_budget outcome.Engine.scheme ~budget:outcome.Engine.budget;
+    Oracle.check_transitions outcome.Engine.scheme ]
+
+let check_outcome ?(telemetry = Prtelemetry.null) outcome =
+  Prtelemetry.with_span telemetry "verify.check"
+    ~attrs:[ ("subject", Prtelemetry.Json.String "outcome") ]
+  @@ fun () ->
+  let oracles = outcome_oracles outcome in
+  count ~telemetry ~oracles:(List.length oracles) (List.concat oracles)
+
+let check_implementation ?(telemetry = Prtelemetry.null) ~outcome ~layout
+    ~placement ~repository () =
+  Prtelemetry.with_span telemetry "verify.check"
+    ~attrs:[ ("subject", Prtelemetry.Json.String "implementation") ]
+  @@ fun () ->
+  let oracles =
+    outcome_oracles outcome
+    @ [ Oracle.check_placement outcome.Engine.scheme ~layout placement;
+        Oracle.check_repository repository;
+        (* Reachability needs the repository; the plain transition
+           cross-check already ran in [outcome_oracles]. Keep only the
+           repository-dependent diagnostics here to avoid duplicates. *)
+        List.filter
+          (fun (d : Diagnostic.t) -> d.Diagnostic.code = "V-TRN-001")
+          (Oracle.check_transitions ~repository outcome.Engine.scheme) ]
+  in
+  count ~telemetry ~oracles:(List.length oracles) (List.concat oracles)
+
+let ok = Diagnostic.ok
+let render_report = Diagnostic.render_report
+
+let summary_line diagnostics =
+  let e = List.length (Diagnostic.errors diagnostics)
+  and w = List.length (Diagnostic.warnings diagnostics) in
+  if e = 0 && w = 0 then "verify: OK"
+  else
+    Printf.sprintf "verify: %d error%s, %d warning%s" e
+      (if e = 1 then "" else "s")
+      w
+      (if w = 1 then "" else "s")

@@ -1,0 +1,40 @@
+(** Aggregated verification entry points: bundle the stage oracles into
+    the checks the engine, the tool flow and the CLI consume, with
+    [verify.*] telemetry.
+
+    Telemetry (all optional, free on {!Prtelemetry.null}): a
+    ["verify.check"] span per aggregate call, and ["verify.oracles"],
+    ["verify.diagnostics"], ["verify.errors"], ["verify.warnings"]
+    counters. *)
+
+val check_design :
+  ?telemetry:Prtelemetry.t -> Prdesign.Design.t -> Diagnostic.t list
+(** The design well-formedness oracle ({!Oracle.check_design}). *)
+
+val check_outcome :
+  ?telemetry:Prtelemetry.t -> Prcore.Engine.outcome -> Diagnostic.t list
+(** Everything derivable from a solve alone: design well-formedness,
+    covering/conflict-freedom of the winning scheme, from-scratch cost
+    re-derivation against the reported evaluation, budget satisfaction,
+    and transition-matrix cross-checks (no repository yet). *)
+
+val check_implementation :
+  ?telemetry:Prtelemetry.t ->
+  outcome:Prcore.Engine.outcome ->
+  layout:Floorplan.Layout.t ->
+  placement:Floorplan.Placer.outcome ->
+  repository:Bitgen.Repository.t ->
+  unit ->
+  Diagnostic.t list
+(** The full pipeline check: {!check_outcome} plus floorplan
+    disjointness/bounds/resource satisfaction, bitstream repository
+    round-trips, and transition reachability against the repository. *)
+
+val ok : Diagnostic.t list -> bool
+(** {!Diagnostic.ok}. *)
+
+val render_report : Diagnostic.t list -> string
+(** {!Diagnostic.render_report}. *)
+
+val summary_line : Diagnostic.t list -> string
+(** One line, e.g. ["verify: 2 errors, 1 warning"] or ["verify: OK"]. *)

@@ -1,0 +1,55 @@
+type severity = Error | Warning
+
+type t = {
+  code : string;
+  severity : severity;
+  stage : string;
+  message : string;
+}
+
+let make severity ~code ~stage fmt =
+  Printf.ksprintf (fun message -> { code; severity; stage; message }) fmt
+
+let error ~code ~stage fmt = make Error ~code ~stage fmt
+let warning ~code ~stage fmt = make Warning ~code ~stage fmt
+
+let is_error d = d.severity = Error
+let errors l = List.filter is_error l
+let warnings l = List.filter (fun d -> d.severity = Warning) l
+let ok l = not (List.exists is_error l)
+let has_code code l = List.exists (fun d -> d.code = code) l
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let render d =
+  Printf.sprintf "%s[%s] %s: %s" (severity_name d.severity) d.code d.stage
+    d.message
+
+let render_report l =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (render d);
+      Buffer.add_char buf '\n')
+    l;
+  let e = List.length (errors l) and w = List.length (warnings l) in
+  let plural n = if n = 1 then "" else "s" in
+  Buffer.add_string buf
+    (if e = 0 then
+       Printf.sprintf "verification OK (0 errors, %d warning%s)\n" w (plural w)
+     else
+       Printf.sprintf "verification FAILED (%d error%s, %d warning%s)\n" e
+         (plural e) w (plural w));
+  Buffer.contents buf
+
+let severity_rank = function Error -> 0 | Warning -> 1
+
+let compare a b =
+  match String.compare a.code b.code with
+  | 0 -> (
+    match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+    | 0 -> String.compare a.message b.message
+    | c -> c)
+  | c -> c
+
+let pp ppf d = Format.pp_print_string ppf (render d)

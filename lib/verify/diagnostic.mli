@@ -1,0 +1,57 @@
+(** Typed diagnostics produced by the Prverify oracles.
+
+    Every diagnostic carries a {e stable code} (never renumbered once
+    released — mutation-kill tests and downstream tooling key on them),
+    a severity, and the pipeline stage whose invariant was violated.
+
+    Code inventory (see DESIGN.md §7 for the full contract):
+
+    - [V-DSN-00x] — design well-formedness ("design" stage)
+    - [V-CVR-00x] — covering / conflict-freedom ("cover" stage)
+    - [V-CST-00x] — cost re-derivation and budgets ("cost" stage)
+    - [V-FLP-00x] — floorplan geometry and resources ("floorplan" stage)
+    - [V-BIT-00x] — bitstream repository round-trips ("bitstream" stage)
+    - [V-TRN-00x] — configuration-transition reachability ("transition"
+      stage) *)
+
+type severity = Error | Warning
+
+type t = {
+  code : string;  (** Stable diagnostic code, e.g. ["V-CVR-001"]. *)
+  severity : severity;
+  stage : string;  (** Pipeline stage, e.g. ["cover"]. *)
+  message : string;
+}
+
+val error : code:string -> stage:string -> ('a, unit, string, t) format4 -> 'a
+(** [error ~code ~stage fmt ...] builds an [Error]-severity diagnostic
+    with a printf-formatted message. *)
+
+val warning :
+  code:string -> stage:string -> ('a, unit, string, t) format4 -> 'a
+
+val is_error : t -> bool
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val ok : t list -> bool
+(** No [Error]-severity diagnostics in the list (warnings allowed). *)
+
+val has_code : string -> t list -> bool
+(** Any diagnostic carrying exactly this code? *)
+
+val severity_name : severity -> string
+
+val render : t -> string
+(** One line: ["error[V-CVR-001] cover: ..."]. *)
+
+val render_report : t list -> string
+(** Multi-line report: one {!render} line per diagnostic (input order)
+    followed by a summary line ([ok] / [N error(s), M warning(s)]).
+    Never empty — a clean run renders as
+    ["verification OK (0 errors, 0 warnings)\n"]. *)
+
+val compare : t -> t -> int
+(** Orders by code, then severity (errors first), then message. *)
+
+val pp : Format.formatter -> t -> unit

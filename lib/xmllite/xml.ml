@@ -18,6 +18,14 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Numeric character references are validated strictly: the digit string
+   must be non-empty and contain digits of the reference's base only
+   (OCaml's [int_of_string] leniency would otherwise accept malformed
+   forms like [&#1_0;], [&#+65;] or [&#0x41;]), and the code point must
+   be a valid Unicode scalar value other than NUL — surrogates and
+   anything above U+10FFFF are rejected. Accepted references are emitted
+   as UTF-8, so code points at and beyond 128 decode instead of being
+   left behind as raw [&...;] text. *)
 let decode_reference name =
   match name with
   | "amp" -> Some "&"
@@ -26,19 +34,28 @@ let decode_reference name =
   | "quot" -> Some "\""
   | "apos" -> Some "'"
   | _ ->
-    let numeric prefix base =
+    let is_decimal c = c >= '0' && c <= '9' in
+    let is_hex c =
+      is_decimal c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+    in
+    let numeric prefix base valid_digit =
       let n = String.length prefix in
-      if String.length name > n && String.sub name 0 n = prefix then
+      if String.length name > n && String.sub name 0 n = prefix then begin
         let digits = String.sub name n (String.length name - n) in
-        match int_of_string_opt (base ^ digits) with
-        | Some code when code >= 0 && code < 128 ->
-          Some (String.make 1 (Char.chr code))
-        | Some _ | None -> None
+        if not (String.for_all valid_digit digits) then None
+        else
+          match int_of_string_opt (base ^ digits) with
+          | Some code when code > 0 && Uchar.is_valid code ->
+            let buf = Buffer.create 4 in
+            Buffer.add_utf_8_uchar buf (Uchar.of_int code);
+            Some (Buffer.contents buf)
+          | Some _ | None -> None
+      end
       else None
     in
-    (match numeric "#x" "0x" with
+    (match numeric "#x" "0x" is_hex with
      | Some s -> Some s
-     | None -> numeric "#" "")
+     | None -> numeric "#" "" is_decimal)
 
 let unescape s =
   let buf = Buffer.create (String.length s) in

@@ -32,7 +32,11 @@ val escape : string -> string
 
 val unescape : string -> string
 (** Decode the five predefined entities and decimal/hex character
-    references. Unknown entities are left verbatim. *)
+    references. References are validated strictly (digits only — no
+    [int_of_string] extensions such as [&#1_0;] or [&#0x42;]) and
+    decoded to UTF-8 for any Unicode scalar value up to U+10FFFF;
+    surrogates, zero, out-of-range code points, unknown entities and
+    malformed references are left verbatim. *)
 
 (** {1 Accessors} *)
 

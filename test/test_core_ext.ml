@@ -431,6 +431,50 @@ let worst_limit_tests =
              >= unconstrained.Cost.total_frames)
         | Error _ -> () (* may genuinely be unachievable *)) ]
 
+(* Regression: [Covering.candidate_sets] used to deduplicate covers by the
+   raw partition-list value, so two covers containing the same mode sets in
+   a different partition order (or built from distinct-but-equal
+   [Base_partition.t] values) slipped past the check and burnt candidate
+   slots.  The canonical key — the cover as a sorted set of sorted mode
+   lists — must make every returned set pairwise distinct. *)
+
+let canonical_key set =
+  List.sort compare
+    (List.map
+       (fun (bp : Base_partition.t) -> List.sort_uniq Int.compare bp.modes)
+       set)
+
+let covering_dedup_tests =
+  let check_design name design =
+    Alcotest.test_case (name ^ " sets pairwise distinct") `Quick (fun () ->
+        let partitions = Agglomerative.run design in
+        let sets = Prcore.Covering.candidate_sets design partitions in
+        Alcotest.(check bool) "non-empty" true (sets <> []);
+        let keys = List.map canonical_key sets in
+        let distinct = List.sort_uniq compare keys in
+        Alcotest.(check int)
+          "no duplicate candidate sets"
+          (List.length keys) (List.length distinct))
+  in
+  [ check_design "running-example" example;
+    check_design "video-receiver" Design_library.video_receiver ]
+  @ List.map
+      (fun (name, design) -> check_design name design)
+      (List.filteri (fun i _ -> i < 4) Design_library.all)
+  @ [ Alcotest.test_case "permuted priority order stays deduplicated" `Quick
+        (fun () ->
+          (* Feed the covering loop a deliberately reordered partition list:
+             covers that are permutations of one another must still collapse
+             onto one candidate slot. *)
+          let partitions = Agglomerative.run example in
+          let reordered = List.rev partitions @ partitions in
+          let sets = Prcore.Covering.candidate_sets example reordered in
+          let keys = List.map canonical_key sets in
+          Alcotest.(check int)
+            "no duplicate candidate sets"
+            (List.length keys)
+            (List.length (List.sort_uniq compare keys))) ]
+
 let () =
   Alcotest.run "core-extensions"
     [ ("exact", exact_tests);
@@ -438,4 +482,5 @@ let () =
       ("scheme-xml", scheme_xml_tests);
       ("design-space", design_space_tests);
       ("anneal", anneal_tests);
-      ("worst-limit", worst_limit_tests) ]
+      ("worst-limit", worst_limit_tests);
+      ("covering-dedup", covering_dedup_tests) ]

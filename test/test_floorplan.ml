@@ -199,6 +199,105 @@ let placer_tests =
           Alcotest.(check (list int)) "all placed" [] outcome.failed;
           verify_placement layout demands outcome) ]
 
+(* Regression: [find_spot] used to stop widening a window at the first
+   satisfying width, so a slightly wider window with strictly less scarce-
+   tile waste was never even considered.  The fixed placer keeps widening
+   (bounded by the best area seen) and must therefore agree with a
+   brute-force enumeration of {e every} free rectangle on the
+   (waste, area) objective. *)
+
+let spot_cost layout (d : Placer.demand) (r : Placer.rect) =
+  let covered kind =
+    r.height * Layout.count_in_window layout ~first:r.col ~width:r.width kind
+  in
+  let waste =
+    (covered Tile.Clb - d.Placer.clb_tiles)
+    + (8 * (covered Tile.Bram - d.bram_tiles))
+    + (8 * (covered Tile.Dsp - d.dsp_tiles))
+  in
+  (waste, r.height * r.width)
+
+(* Exhaustive oracle on an empty layout: the minimal (waste, area) over
+   every rectangle of whole tiles that satisfies [d]. *)
+let oracle_best_cost layout (d : Placer.demand) =
+  let rows = Layout.rows layout and width = Layout.width layout in
+  let best = ref None in
+  for height = 1 to rows do
+    for row = 0 to rows - height do
+      for col = 0 to width - 1 do
+        for w = 1 to width - col do
+          let r : Placer.rect = { row; height; col; width = w } in
+          let covered kind =
+            height * Layout.count_in_window layout ~first:col ~width:w kind
+          in
+          if
+            covered Tile.Clb >= d.Placer.clb_tiles
+            && covered Tile.Bram >= d.bram_tiles
+            && covered Tile.Dsp >= d.dsp_tiles
+          then begin
+            let cost = spot_cost layout d r in
+            match !best with
+            | Some b when b <= cost -> ()
+            | Some _ | None -> best := Some cost
+          end
+        done
+      done
+    done
+  done;
+  !best
+
+let check_against_oracle device (d : Placer.demand) =
+  let layout = layout_of device in
+  let outcome = Placer.place layout [| d |] in
+  match (outcome.placements.(0), oracle_best_cost layout d) with
+  | None, None -> ()
+  | Some r, Some best ->
+    let got = spot_cost layout d r in
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "optimal (waste, area) on %s" device)
+      best got
+  | Some _, None -> Alcotest.fail "placer placed an unsatisfiable demand"
+  | None, Some _ -> Alcotest.fail "placer missed a satisfiable demand"
+
+let spot_oracle_tests =
+  let case name device d =
+    Alcotest.test_case name `Quick (fun () -> check_against_oracle device d)
+  in
+  [ case "clb-only demand" "LX30" (demand 400 0 0);
+    case "bram-heavy demand" "LX30" (demand 50 12 0);
+    case "dsp-heavy demand" "SX35T" (demand 50 0 24);
+    case "mixed demand" "SX35T" (demand 600 8 12);
+    case "near-capacity demand" "LX20T" (demand 900 4 4);
+    case "single tile" "LX20T" (demand 1 0 0);
+    Alcotest.test_case "clb-only region avoids scarce columns" `Quick
+      (fun () ->
+        (* A pure-CLB demand must not sit on BRAM/DSP columns when free
+           CLB columns can serve it: zero scarce-tile waste. *)
+        let layout = layout_of "LX30" in
+        let d = demand 200 0 0 in
+        let outcome = Placer.place layout [| d |] in
+        match outcome.placements.(0) with
+        | None -> Alcotest.fail "expected a placement"
+        | Some r ->
+          let covered kind =
+            r.Placer.height
+            * Layout.count_in_window layout ~first:r.col ~width:r.width kind
+          in
+          Alcotest.(check int) "no bram columns" 0 (covered Tile.Bram);
+          Alcotest.(check int) "no dsp columns" 0 (covered Tile.Dsp)) ]
+
+(* Property: on an empty layout the placer matches the brute-force
+   (waste, area) optimum for any single demand. *)
+let prop_spot_optimal =
+  let gen =
+    QCheck2.Gen.(
+      pair (oneofl [ "LX20T"; "LX30" ]) (triple (0 -- 1200) (0 -- 12) (0 -- 16)))
+  in
+  QCheck2.Test.make ~name:"single placement is (waste, area)-optimal"
+    ~count:40 gen (fun (device, (c, b, ds)) ->
+      check_against_oracle device (demand c b ds);
+      true)
+
 (* Property: whatever the outcome, reported placements satisfy their
    demands and never overlap. *)
 let prop_placements_valid =
@@ -222,4 +321,7 @@ let () =
   Alcotest.run "floorplan"
     [ ("layout", layout_tests);
       ("placer", placer_tests);
-      ("properties", [ QCheck_alcotest.to_alcotest prop_placements_valid ]) ]
+      ("spot-oracle", spot_oracle_tests);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_spot_optimal; prop_placements_valid ]) ]

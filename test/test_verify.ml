@@ -1,0 +1,437 @@
+(* Tests for the Prverify independent-oracle layer: diagnostics, the
+   from-scratch re-derivations against the optimised pipeline, the
+   mutation-kill matrix (every oracle provably alive), the differential
+   fuzz harness, and the CLI surface (prpart check / fuzz / --verify). *)
+
+module Design = Prdesign.Design
+module Design_library = Prdesign.Design_library
+module Engine = Prcore.Engine
+module Scheme = Prcore.Scheme
+module Cost = Prcore.Cost
+module Resource = Fpga.Resource
+module Diagnostic = Prverify.Diagnostic
+module Oracle = Prverify.Oracle
+module Checker = Prverify.Checker
+module Fuzz = Prverify.Fuzz
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics.                                                        *)
+
+let diagnostic_tests =
+  [ Alcotest.test_case "render and classify" `Quick (fun () ->
+        let e =
+          Diagnostic.error ~code:"V-CVR-001" ~stage:"cover" "missing %s" "m"
+        in
+        let w = Diagnostic.warning ~code:"V-DSN-004" ~stage:"design" "unused" in
+        Alcotest.(check string) "render" "error[V-CVR-001] cover: missing m"
+          (Diagnostic.render e);
+        Alcotest.(check bool) "is_error" true (Diagnostic.is_error e);
+        Alcotest.(check bool) "warning not error" false (Diagnostic.is_error w);
+        Alcotest.(check bool) "ok ignores warnings" true (Diagnostic.ok [ w ]);
+        Alcotest.(check bool) "ok rejects errors" false (Diagnostic.ok [ e; w ]);
+        Alcotest.(check bool) "has_code" true
+          (Diagnostic.has_code "V-CVR-001" [ e; w ]);
+        Alcotest.(check bool) "has_code misses" false
+          (Diagnostic.has_code "V-CVR-002" [ e; w ]));
+    Alcotest.test_case "report renders a summary line" `Quick (fun () ->
+        Alcotest.(check string) "clean" "verification OK (0 errors, 0 warnings)\n"
+          (Diagnostic.render_report []);
+        let e =
+          Diagnostic.error ~code:"V-CST-001" ~stage:"cost" "t"
+        in
+        let report = Diagnostic.render_report [ e ] in
+        Alcotest.(check bool) "lists the diagnostic" true
+          (String.length report > 0
+          && Diagnostic.has_code "V-CST-001" [ e ]
+          && String.sub report 0 5 = "error")) ]
+
+(* ------------------------------------------------------------------ *)
+(* Oracles against the optimised pipeline on the library designs.      *)
+
+let reference_schemes design =
+  [ ("single-region", Scheme.single_region design);
+    ("one-module-per-region", Scheme.one_module_per_region design);
+    ("fully-static", Scheme.fully_static design) ]
+
+let oracle_tests =
+  [ Alcotest.test_case "library designs satisfy the design oracle" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, design) ->
+            let diagnostics = Oracle.check_design design in
+            Alcotest.(check bool) (name ^ " ok") true
+              (Diagnostic.ok diagnostics))
+          Design_library.all);
+    Alcotest.test_case "reference schemes satisfy the covering oracle" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, design) ->
+            List.iter
+              (fun (label, scheme) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s %s" name label)
+                  true
+                  (Diagnostic.ok (Oracle.check_scheme scheme)))
+              (reference_schemes design))
+          Design_library.all);
+    Alcotest.test_case "derive_evaluation matches Cost.evaluate" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, design) ->
+            List.iter
+              (fun (label, scheme) ->
+                let fresh = Cost.evaluate scheme in
+                let derived = Oracle.derive_evaluation scheme in
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s %s" name label)
+                  true
+                  (Cost.equal_evaluation fresh derived))
+              (reference_schemes design))
+          Design_library.all);
+    Alcotest.test_case "transition_table matches Cost.transition_matrix"
+      `Quick (fun () ->
+        List.iter
+          (fun (name, design) ->
+            List.iter
+              (fun (label, scheme) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s %s" name label)
+                  true
+                  (Oracle.transition_table scheme
+                  = Cost.transition_matrix scheme))
+              (reference_schemes design))
+          Design_library.all);
+    Alcotest.test_case "grouping oracle rejects malformed members" `Quick
+      (fun () ->
+        let design = Design_library.running_example in
+        let bad_region =
+          [ { Oracle.modes = [ 0 ]; place = Oracle.Region (-1) } ]
+        in
+        Alcotest.(check bool) "negative region" true
+          (Diagnostic.has_code "V-CVR-003"
+             (Oracle.check_grouping design bad_region));
+        let bad_mode = [ { Oracle.modes = [ 999 ]; place = Oracle.Static } ] in
+        Alcotest.(check bool) "mode out of range" true
+          (Diagnostic.has_code "V-CVR-003"
+             (Oracle.check_grouping design bad_mode));
+        let empty = [ { Oracle.modes = []; place = Oracle.Static } ] in
+        Alcotest.(check bool) "empty member" true
+          (Diagnostic.has_code "V-CVR-003"
+             (Oracle.check_grouping design empty)));
+    Alcotest.test_case "grouping oracle rejects sparse region numbering"
+      `Quick (fun () ->
+        let design = Design_library.running_example in
+        let sparse =
+          List.map
+            (fun (m : Oracle.member) ->
+              match m.Oracle.place with
+              | Oracle.Region r -> { m with Oracle.place = Oracle.Region (r + 1) }
+              | Oracle.Static -> m)
+            (Oracle.grouping_of_scheme (Scheme.single_region design))
+        in
+        Alcotest.(check bool) "region 0 empty" true
+          (Diagnostic.has_code "V-CVR-002"
+             (Oracle.check_grouping design sparse)));
+    Alcotest.test_case "budget oracle" `Quick (fun () ->
+        let scheme = Scheme.single_region Design_library.video_receiver in
+        Alcotest.(check bool) "huge budget ok" true
+          (Diagnostic.ok
+             (Oracle.check_budget scheme
+                ~budget:(Resource.make ~bram:10_000 ~dsp:10_000 1_000_000)));
+        Alcotest.(check bool) "tiny budget rejected" true
+          (Diagnostic.has_code "V-CST-006"
+             (Oracle.check_budget scheme ~budget:(Resource.make 1))));
+    Alcotest.test_case "serialised bitstream oracle" `Quick (fun () ->
+        let bit =
+          Bitgen.Bitstream.generate
+            { Bitgen.Bitstream.design = "d";
+              variant = "{A1}";
+              region = 3;
+              far = Bitgen.Bitstream.far_of_origin ~row:1 ~major:2;
+              frames = 17 }
+        in
+        let bytes = Bitgen.Bitstream.serialise bit in
+        Alcotest.(check bool) "clean round-trip" true
+          (Diagnostic.ok
+             (Oracle.check_serialised ~context:"t" ~region:3 ~frames:17
+                ~variant:"{A1}" bytes));
+        Alcotest.(check bool) "frame mismatch" true
+          (Diagnostic.has_code "V-BIT-003"
+             (Oracle.check_serialised ~context:"t" ~frames:18 bytes));
+        Alcotest.(check bool) "region mismatch" true
+          (Diagnostic.has_code "V-BIT-004"
+             (Oracle.check_serialised ~context:"t" ~region:4 bytes));
+        let corrupt = Bytes.copy bytes in
+        Bytes.set corrupt 40 (Char.chr (Char.code (Bytes.get corrupt 40) lxor 1));
+        Alcotest.(check bool) "corruption detected" true
+          (Diagnostic.has_code "V-BIT-002"
+             (Oracle.check_serialised ~context:"t" corrupt))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Check-after-solve over the engine and the full tool flow.           *)
+
+let solve_case_study () =
+  match
+    Engine.solve ~verify:true
+      ~target:(Engine.Budget Design_library.case_study_budget)
+      Design_library.video_receiver
+  with
+  | Ok o -> o
+  | Error m -> Alcotest.fail m
+
+let engine_tests =
+  [ Alcotest.test_case "solve ~verify:true passes on the case study" `Quick
+      (fun () ->
+        let outcome = solve_case_study () in
+        Alcotest.(check bool) "check_outcome ok" true
+          (Diagnostic.ok (Checker.check_outcome outcome)));
+    Alcotest.test_case "verified solve is identical to the plain one" `Quick
+      (fun () ->
+        let design = Design_library.video_receiver in
+        let target = Engine.Budget Design_library.case_study_budget in
+        let plain =
+          match Engine.solve ~target design with
+          | Ok o -> o
+          | Error m -> Alcotest.fail m
+        in
+        let verified = solve_case_study () in
+        Alcotest.(check bool) "same evaluation" true
+          (Cost.equal_evaluation plain.Engine.evaluation
+             verified.Engine.evaluation);
+        Alcotest.(check string) "same scheme"
+          (Scheme.describe plain.Engine.scheme)
+          (Scheme.describe verified.Engine.scheme));
+    Alcotest.test_case "counts verify.* telemetry" `Quick (fun () ->
+        let telemetry = Prtelemetry.create Prtelemetry.Sink.null in
+        let outcome = solve_case_study () in
+        let _ = Checker.check_outcome ~telemetry outcome in
+        Prtelemetry.flush telemetry;
+        let summary = Prtelemetry.summary telemetry in
+        let contains needle =
+          let n = String.length needle and h = String.length summary in
+          let rec at i = i + n <= h && (String.sub summary i n = needle || at (i + 1)) in
+          at 0
+        in
+        Alcotest.(check bool) "verify.oracles counted" true
+          (contains "verify.oracles")) ]
+
+let flow_tests =
+  [ Alcotest.test_case "tool flow with verify reports a clean bill" `Quick
+      (fun () ->
+        let options = { Flow.Tool_flow.default_options with verify = true } in
+        match
+          Flow.Tool_flow.run ~options
+            ~target:(Engine.Budget Design_library.case_study_budget)
+            Design_library.video_receiver
+        with
+        | Error m -> Alcotest.fail m
+        | Ok report ->
+          (match report.Flow.Tool_flow.diagnostics with
+           | None -> Alcotest.fail "verify requested but no diagnostics"
+           | Some diagnostics ->
+             Alcotest.(check bool) "implementation verifies" true
+               (Diagnostic.ok diagnostics));
+          (* verify.txt lands next to the other artefacts. *)
+          let dir =
+            let stamp = Filename.temp_file "prverify" ".d" in
+            Sys.remove stamp;
+            stamp
+          in
+          (match Flow.Tool_flow.write_outputs ~dir report with
+           | Error m -> Alcotest.fail m
+           | Ok written ->
+             Alcotest.(check bool) "verify.txt written" true
+               (List.exists
+                  (fun path -> Filename.basename path = "verify.txt")
+                  written);
+             List.iter Sys.remove written;
+             Sys.rmdir dir));
+    Alcotest.test_case "flow without verify records no diagnostics" `Quick
+      (fun () ->
+        match
+          Flow.Tool_flow.run ~target:Engine.Auto Design_library.running_example
+        with
+        | Error m -> Alcotest.fail m
+        | Ok report ->
+          Alcotest.(check bool) "diagnostics off" true
+            (report.Flow.Tool_flow.diagnostics = None)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Mutation kills: every oracle is provably alive.                     *)
+
+let mutation_tests =
+  [ Alcotest.test_case "every seeded corruption is killed precisely" `Quick
+      (fun () ->
+        let kills = Fuzz.mutation_kills () in
+        List.iter
+          (fun (k : Fuzz.kill) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s fires %s" k.Fuzz.label k.Fuzz.expected)
+              true k.Fuzz.killed;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s fires only %s (got %s)" k.Fuzz.label
+                 k.Fuzz.expected
+                 (String.concat "," k.Fuzz.codes))
+              true k.Fuzz.precise)
+          kills;
+        Alcotest.(check bool) "all_killed" true (Fuzz.all_killed kills));
+    Alcotest.test_case "the issue's four corruption classes are covered"
+      `Quick (fun () ->
+        let kills = Fuzz.mutation_kills () in
+        let expected_of label =
+          match
+            List.find_opt (fun (k : Fuzz.kill) -> k.Fuzz.label = label) kills
+          with
+          | Some k -> k.Fuzz.expected
+          | None -> Alcotest.fail (label ^ " missing from the kill matrix")
+        in
+        Alcotest.(check string) "dropped mode" "V-CVR-001"
+          (expected_of "drop-covered-mode");
+        Alcotest.(check string) "overlapping rects" "V-FLP-001"
+          (expected_of "overlap-rects");
+        Alcotest.(check string) "flipped frame count" "V-CST-003"
+          (expected_of "flip-region-frames");
+        Alcotest.(check string) "corrupted CRC byte" "V-BIT-002"
+          (expected_of "corrupt-crc")) ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing.                                               *)
+
+let fuzz_tests =
+  [ Alcotest.test_case "200-design differential fuzz runs clean" `Quick
+      (fun () ->
+        let summary = Fuzz.run ~count:200 ~seed:2013 ~jobs:2 () in
+        Alcotest.(check int) "designs" 200 summary.Fuzz.designs;
+        Alcotest.(check int) "every design accounted for" 200
+          (summary.Fuzz.solved + summary.Fuzz.skipped);
+        (match summary.Fuzz.failures with
+         | [] -> ()
+         | failures -> Alcotest.fail (Fuzz.render_summary { summary with Fuzz.failures }));
+        Alcotest.(check bool) "most designs solve" true
+          (summary.Fuzz.solved > summary.Fuzz.skipped));
+    Alcotest.test_case "fuzzing is deterministic in the seed" `Quick
+      (fun () ->
+        let a = Fuzz.run ~count:12 ~seed:7 () in
+        let b = Fuzz.run ~count:12 ~seed:7 () in
+        Alcotest.(check string) "summaries equal" (Fuzz.render_summary a)
+          (Fuzz.render_summary b)) ]
+
+(* ------------------------------------------------------------------ *)
+(* CLI surface.                                                        *)
+
+let prpart = Filename.concat ".." (Filename.concat "bin" "prpart.exe")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_prpart args =
+  let out = Filename.temp_file "prpart" ".out" in
+  let err = Filename.temp_file "prpart" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out;
+      Sys.remove err)
+    (fun () ->
+      let status =
+        Sys.command (Filename.quote_command prpart ~stdout:out ~stderr:err args)
+      in
+      (status, read_file out, read_file err))
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+let example_designs =
+  let dir = Filename.concat ".." (Filename.concat "examples" "designs") in
+  List.sort compare
+    (List.filter_map
+       (fun name ->
+         if Filename.check_suffix name ".xml" then
+           Some (Filename.concat dir name)
+         else None)
+       (Array.to_list (Sys.readdir dir)))
+
+let cli_tests =
+  [ Alcotest.test_case "prpart check passes every example design" `Quick
+      (fun () ->
+        Alcotest.(check bool) "example designs exist" true
+          (List.length example_designs >= 3);
+        List.iter
+          (fun path ->
+            let status, out, err = run_prpart [ "check"; path ] in
+            if status <> 0 then
+              Alcotest.fail (Printf.sprintf "%s: %s%s" path out err);
+            Alcotest.(check bool) (path ^ " verdict") true
+              (contains out "verification OK"))
+          example_designs);
+    Alcotest.test_case "prpart check passes the built-in designs" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, _) ->
+            let status, out, err = run_prpart [ "check"; name ] in
+            if status <> 0 then
+              Alcotest.fail (Printf.sprintf "%s: %s%s" name out err);
+            Alcotest.(check bool) (name ^ " verdict") true
+              (contains out "verification OK"))
+          Design_library.all);
+    Alcotest.test_case "prpart check rejects a malformed design" `Quick
+      (fun () ->
+        (* A configuration referencing a mode its module does not have
+           must be rejected before partitioning even starts (the XML
+           loader already refuses it; the oracle is the backstop for
+           programmatic designs, so here we check the CLI surfaces the
+           loader error as a non-zero exit). *)
+        let path = Filename.temp_file "bad-design" ".xml" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc
+              {|<design name="bad"><module name="A"><mode name="A1" clb="10"/></module><configurations><configuration name="c1"><use module="A" mode="A9"/></configuration></configurations></design>|};
+            close_out oc;
+            let status, _, _ = run_prpart [ "check"; path ] in
+            Alcotest.(check bool) "non-zero exit" true (status <> 0)));
+    Alcotest.test_case "partition --verify reports the verdict" `Quick
+      (fun () ->
+        let status, out, _ =
+          run_prpart
+            [ "partition"; "video-receiver"; "--budget"; "6800,50,150";
+              "--verify" ]
+        in
+        Alcotest.(check int) "exit" 0 status;
+        (* The case study carries one benign warning (the zero-area
+           recovery mode is used by no configuration), so the verdict is
+           "0 errors, N warnings" rather than the bare OK. *)
+        Alcotest.(check bool) "verdict line" true
+          (contains out "verify: OK" || contains out "verify: 0 errors"));
+    Alcotest.test_case "flow --verify embeds the verification section"
+      `Quick (fun () ->
+        let status, out, _ =
+          run_prpart
+            [ "flow"; "video-receiver"; "--budget"; "6800,50,150"; "--verify" ]
+        in
+        Alcotest.(check int) "exit" 0 status;
+        Alcotest.(check bool) "verdict line" true
+          (contains out "verify: OK" || contains out "verify: 0 errors"));
+    Alcotest.test_case "prpart fuzz --kills smoke" `Quick (fun () ->
+        let status, out, _ =
+          run_prpart [ "fuzz"; "--count"; "5"; "--seed"; "99"; "--kills" ]
+        in
+        Alcotest.(check int) "exit" 0 status;
+        Alcotest.(check bool) "fuzz summary" true (contains out "fuzz: 5 designs");
+        Alcotest.(check bool) "kill matrix" true
+          (contains out "mutation kills: 9/9 killed precisely")) ]
+
+let () =
+  Alcotest.run "verify"
+    [ ("diagnostics", diagnostic_tests);
+      ("oracles", oracle_tests);
+      ("engine", engine_tests);
+      ("flow", flow_tests);
+      ("mutations", mutation_tests);
+      ("fuzz", fuzz_tests);
+      ("cli", cli_tests) ]

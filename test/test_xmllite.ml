@@ -78,6 +78,51 @@ let printing_tests =
     Alcotest.test_case "unescape lone ampersand" `Quick (fun () ->
         Alcotest.(check string) "kept" "a&b" (Xml.unescape "a&b")) ]
 
+(* Regression: character references used to go through a bare
+   [int_of_string] (so OCaml-isms like the "&#1_0;" digit separator or
+   a stray "0x" slipped through) and the code point was truncated to a
+   single byte, mangling anything beyond Latin-1. The decoder now
+   validates every digit explicitly and emits proper UTF-8 across the
+   whole scalar-value range. *)
+let reference_tests =
+  let decoded name input expected =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.(check string) "decoded" expected (Xml.unescape input))
+  in
+  let kept name input =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.(check string) "kept verbatim" input (Xml.unescape input))
+  in
+  [ decoded "decimal" "&#65;&#66;" "AB";
+    decoded "hex, both digit cases" "&#x42;&#x6a;&#x6A;" "Bjj";
+    decoded "two-byte UTF-8" "&#960;" "\xCF\x80" (* U+03C0 *);
+    decoded "three-byte UTF-8" "&#x20AC;" "\xE2\x82\xAC" (* U+20AC *);
+    decoded "four-byte UTF-8" "&#x1F600;" "\xF0\x9F\x98\x80";
+    decoded "maximum scalar value" "&#x10FFFF;" "\xF4\x8F\xBF\xBF";
+    decoded "mixed with text" "a&#x41;b" "aAb";
+    kept "digit separator rejected" "&#1_0;";
+    kept "hex digit in a decimal reference rejected" "&#1A;";
+    kept "junk in a hex reference rejected" "&#xiii;";
+    kept "nested 0x prefix rejected" "&#x0x42;";
+    kept "empty decimal reference" "&#;";
+    kept "empty hex reference" "&#x;";
+    kept "uppercase X not a hex prefix" "&#X42;";
+    kept "NUL rejected" "&#0;";
+    kept "surrogate rejected" "&#xD800;";
+    kept "beyond the Unicode range rejected" "&#x110000;";
+    kept "negative rejected" "&#-65;";
+    Alcotest.test_case "references decode inside documents" `Quick (fun () ->
+        Alcotest.(check bool) "emoji text node" true
+          (Xml.parse_string "<a>&#x1F600;</a>"
+          = Xml.Element ("a", [], [ Xml.Text "\xF0\x9F\x98\x80" ])));
+    Alcotest.test_case "decoded references survive a print cycle" `Quick
+      (fun () ->
+        let tree =
+          Xml.Element ("a", [ ("x", "\xCF\x80") ], [ Xml.Text "\xE2\x82\xAC" ])
+        in
+        Alcotest.(check bool) "roundtrip" true
+          (Xml.parse_string (Xml.to_string tree) = tree)) ]
+
 let doc =
   Xml.parse_string
     {|<root a="1" b="x">
@@ -185,6 +230,7 @@ let () =
   Alcotest.run "xmllite"
     [ ("parsing", parsing_tests);
       ("printing", printing_tests);
+      ("references", reference_tests);
       ("accessors", accessor_tests);
       ("errors", error_position_tests);
       ( "properties",
