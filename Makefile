@@ -1,7 +1,7 @@
 # Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
 # `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
 
-.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf faults clean
+.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf faults guard clean
 
 all: build
 
@@ -72,6 +72,13 @@ perf: bench-smoke
 # plus the recovery-policy comparison (see DESIGN.md, fault model).
 faults:
 	dune exec bench/main.exe -- faults
+
+# Resilience suite: the Prguard unit/property tests plus the anytime
+# quality experiment (eval-cap sweep, degradation ladder, wall-clock
+# deadline, torn-artefact recovery). See DESIGN.md §8.
+guard: build
+	dune exec test/test_guard.exe
+	dune exec bench/main.exe -- guard
 
 clean:
 	dune clean

@@ -417,6 +417,145 @@ let verify () =
   let fuzz = Prverify.Fuzz.run ~count:150 ~seed:2013 () in
   print_string (Prverify.Fuzz.render_summary fuzz)
 
+(* Fresh scratch directory for the crash-recovery exercises. *)
+let guard_scratch_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "prguard-bench-%d-%.0f" (Unix.getpid ())
+         (Unix.gettimeofday () *. 1e6))
+  in
+  (match Prguard.Atomic_io.mkdir_p dir with
+  | Ok () -> ()
+  | Error m ->
+    Printf.printf "cannot create scratch dir %s: %s\n" dir m;
+    exit 1);
+  dir
+
+(* Write an artefact with a sidecar, tear it with a raw overwrite, and
+   check that [Prguard.recover] quarantines it and that a second pass is
+   clean.  Returns [true] on a full round trip. *)
+let guard_recovery_roundtrip () =
+  let checksum = Bitgen.Crc32.hex_digest in
+  let dir = guard_scratch_dir () in
+  let path = Filename.concat dir "artefact.bit" in
+  let ok =
+    match Prguard.Atomic_io.write ~checksum ~path "frame-data-0123456789" with
+    | Error _ -> false
+    | Ok () -> (
+      (* Torn write: clobber the payload behind the sidecar's back. *)
+      let oc = open_out path in
+      output_string oc "torn";
+      close_out oc;
+      match Prguard.recover ~checksum ~dir () with
+      | Error _ -> false
+      | Ok first -> (
+        (not (Prguard.Atomic_io.clean first))
+        && List.length first.Prguard.Atomic_io.quarantined = 2
+        &&
+        match Prguard.recover ~checksum ~dir () with
+        | Error _ -> false
+        | Ok second -> Prguard.Atomic_io.clean second))
+  in
+  ok
+
+(* Prguard smoke (runs under --quick, so `dune runtest` gates on it):
+   (1) an eval-capped case-study solve must degrade gracefully — still
+   feasible, flagged as guarded+degraded, and bit-reproducible across
+   runs, (2) a generous cap must coincide with the uncapped solve whose
+   verdict must be unguarded, and (3) a torn artefact must be detected
+   and quarantined by [Prguard.recover].  Exits 1 on any violation. *)
+let guard_smoke () =
+  section "Prguard smoke: anytime degradation + crash recovery";
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "PRGUARD SMOKE FAILED: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let receiver = Prdesign.Design_library.video_receiver in
+  let target =
+    Prcore.Engine.Budget Prdesign.Design_library.case_study_budget
+  in
+  let solve ?budget () =
+    match Prcore.Engine.solve ?budget ~target receiver with
+    | Ok o -> o
+    | Error m -> fail "case-study solve: %s" m
+  in
+  let capped () = solve ~budget:(Prguard.Budget.make ~max_evals:400 ()) () in
+  let a = capped () in
+  let v = a.Prcore.Engine.degraded in
+  if not (v.Prguard.Budget.guarded && v.Prguard.Budget.degraded) then
+    fail "eval-capped solve did not report a guarded, degraded verdict";
+  if v.Prguard.Budget.reason <> Prguard.Budget.Eval_cap then
+    fail "eval-capped solve expired for %s, not the eval cap"
+      (Prguard.Budget.reason_name v.Prguard.Budget.reason);
+  if
+    not
+      (Prcore.Cost.fits a.Prcore.Engine.evaluation
+         ~budget:a.Prcore.Engine.budget)
+  then fail "eval-capped solve returned an infeasible scheme";
+  let b = capped () in
+  if
+    a.Prcore.Engine.evaluation <> b.Prcore.Engine.evaluation
+    || a.Prcore.Engine.cost_evaluations <> b.Prcore.Engine.cost_evaluations
+  then fail "eval-capped solve is not reproducible";
+  let unlimited = solve () in
+  if unlimited.Prcore.Engine.degraded.Prguard.Budget.guarded then
+    fail "unguarded solve reported a guarded verdict";
+  let huge = solve ~budget:(Prguard.Budget.make ~max_evals:100_000_000 ()) () in
+  if
+    Prcore.Memo.scheme_signature huge.Prcore.Engine.scheme
+    <> Prcore.Memo.scheme_signature unlimited.Prcore.Engine.scheme
+    || huge.Prcore.Engine.evaluation <> unlimited.Prcore.Engine.evaluation
+  then fail "a generous eval cap changed the uncapped answer";
+  if not (guard_recovery_roundtrip ()) then
+    fail "torn-artefact recovery round trip failed";
+  Printf.printf
+    "prguard smoke OK (capped solve feasible+reproducible at %d evals, \
+     generous cap bit-identical, torn artefact quarantined)\n"
+    v.Prguard.Budget.evals_used
+
+(* The full guard experiment: anytime quality under shrinking evaluation
+   caps, the default degradation ladder, and a short wall-clock
+   deadline — the robustness analogue of the paper's quality tables. *)
+let guard () =
+  section "Prguard: anytime quality under budgets";
+  let receiver = Prdesign.Design_library.video_receiver in
+  let target =
+    Prcore.Engine.Budget Prdesign.Design_library.case_study_budget
+  in
+  let solve ?budget ?ladder () =
+    match Prcore.Engine.solve ?budget ?ladder ~target receiver with
+    | Ok o -> Some o
+    | Error m ->
+      Printf.printf "  solve failed: %s\n" m;
+      None
+  in
+  let describe label = function
+    | None -> ()
+    | Some o ->
+      Printf.printf "%-14s %6d frames  %7d evals  %s\n" label
+        o.Prcore.Engine.evaluation.Prcore.Cost.total_frames
+        o.Prcore.Engine.cost_evaluations
+        (Prguard.Budget.render_verdict o.Prcore.Engine.degraded)
+  in
+  Printf.printf "case study (video receiver), eval-cap sweep:\n";
+  List.iter
+    (fun cap ->
+      describe
+        (Printf.sprintf "cap %d" cap)
+        (solve ~budget:(Prguard.Budget.make ~max_evals:cap ()) ()))
+    [ 100; 300; 1000; 3000; 10000 ];
+  describe "uncapped" (solve ());
+  Printf.printf "\ndegradation ladder and wall-clock deadline:\n";
+  describe "ladder" (solve ~ladder:Prguard.Ladder.default ());
+  describe "deadline 50ms"
+    (solve ~budget:(Prguard.Budget.make ~deadline_ms:50. ()) ());
+  Printf.printf "\ntorn-artefact recovery round trip: %s\n"
+    (if guard_recovery_roundtrip () then "ok" else "FAILED")
+
 (* Machine-readable performance artefact (BENCH_core.json): allocator
    move throughput, engine solve latency (Bechamel OLS), sweep
    throughput sequential vs parallel, and the evaluation-cache hit
@@ -473,6 +612,32 @@ let bench_json () =
     Printf.printf "BENCH FAILED: parallel sweep diverged from sequential\n";
     exit 1
   end;
+  (* Guard: anytime degradation under an eval cap, plus the crash
+     recovery round trip. *)
+  let guard_cap = 700 in
+  let capped () =
+    match
+      Prcore.Engine.solve
+        ~budget:(Prguard.Budget.make ~max_evals:guard_cap ())
+        ~target receiver
+    with
+    | Ok o -> o
+    | Error m ->
+      Printf.printf "BENCH FAILED: eval-capped solve: %s\n" m;
+      exit 1
+  in
+  let g1 = capped () in
+  let g2 = capped () in
+  let guard_deterministic =
+    g1.Prcore.Engine.evaluation = g2.Prcore.Engine.evaluation
+    && g1.Prcore.Engine.cost_evaluations = g2.Prcore.Engine.cost_evaluations
+  in
+  let guard_feasible =
+    Prcore.Cost.fits g1.Prcore.Engine.evaluation
+      ~budget:g1.Prcore.Engine.budget
+  in
+  let guard_verdict = g1.Prcore.Engine.degraded in
+  let recovery_ok = guard_recovery_roundtrip () in
   let json =
     Prtelemetry.Json.(
       Obj
@@ -504,7 +669,21 @@ let bench_json () =
                 ("parallel_seconds", Float par_s);
                 ( "speedup",
                   Float (if par_s > 0. then seq_s /. par_s else 0.) );
-                ("bit_identical", Bool identical) ] ) ])
+                ("bit_identical", Bool identical) ] );
+          ( "guard",
+            Obj
+              [ ("eval_cap", Int guard_cap);
+                ("deterministic", Bool guard_deterministic);
+                ("feasible", Bool guard_feasible);
+                ("degraded", Bool guard_verdict.Prguard.Budget.degraded);
+                ( "reason",
+                  String
+                    (Prguard.Budget.reason_name
+                       guard_verdict.Prguard.Budget.reason) );
+                ("evals_used", Int guard_verdict.Prguard.Budget.evals_used);
+                ( "total_frames",
+                  Int g1.Prcore.Engine.evaluation.Prcore.Cost.total_frames );
+                ("recovery_roundtrip", Bool recovery_ok) ] ) ])
   in
   let path = "BENCH_core.json" in
   let oc = open_out path in
@@ -521,6 +700,16 @@ let bench_json () =
      bit-identical)\n"
     sweep_n seq_s par_s jobs
     (if par_s > 0. then seq_s /. par_s else 0.);
+  Printf.printf
+    "guard: cap %d -> %d frames (%s, deterministic=%b, feasible=%b, \
+     recovery=%b)\n"
+    guard_cap g1.Prcore.Engine.evaluation.Prcore.Cost.total_frames
+    (Prguard.Budget.reason_name guard_verdict.Prguard.Budget.reason)
+    guard_deterministic guard_feasible recovery_ok;
+  if not (guard_deterministic && guard_feasible && recovery_ok) then begin
+    Printf.printf "BENCH FAILED: guard invariants violated\n";
+    exit 1
+  end;
   Printf.printf "wrote %s\n" path
 
 (* Bechamel performance suite: one Test.make per regenerated artefact. *)
@@ -602,6 +791,7 @@ let experiments =
     ("weighted", weighted);
     ("faults", faults);
     ("verify", verify);
+    ("guard", guard);
     ("telemetry", fun () -> telemetry ());
     ("perf", perf);
     ("bench-json", bench_json) ]
@@ -615,6 +805,7 @@ let () =
     fault_smoke ();
     prspeed_smoke ();
     verify_smoke ();
+    guard_smoke ();
     telemetry ~quick:true ();
     exit 0
   end;

@@ -1,22 +1,30 @@
 (* prpart: automated partitioning for partial reconfiguration designs.
 
-   Subcommands: partition, baselines, simulate, synth, devices, designs.
-   A DESIGN argument is either the name of a built-in paper design (see
-   `prpart designs`) or a path to an XML design description. *)
+   Subcommands: partition, baselines, simulate, synth, batch, recover,
+   devices, designs. A DESIGN argument is either the name of a built-in
+   paper design (see `prpart designs`) or a path to an XML design
+   description. *)
 
 open Cmdliner
 
-let load_design spec =
+let load_design ?limits spec =
   match Prdesign.Design_library.find spec with
   | Some design -> Ok design
   | None ->
     if Sys.file_exists spec then
-      try Ok (Prdesign.Design_xml.load_file spec) with
+      try Ok (Prdesign.Design_xml.load_file ?limits spec) with
       | Prdesign.Design_xml.Malformed message ->
         Error (Printf.sprintf "%s: %s" spec message)
       | Xmllite.Xml.Parse_error { line; column; message } ->
         Error
           (Printf.sprintf "%s:%d:%d: %s" spec line column message)
+      | (Prdesign.Design_xml.Too_large _ | Xmllite.Xml.Limit_exceeded _) as e
+        ->
+        Error
+          (Printf.sprintf "%s: %s" spec
+             (Option.value
+                ~default:"input guard violation"
+                (Prdesign.Design_xml.limit_message e)))
     else
       Error
         (Printf.sprintf
@@ -85,6 +93,65 @@ let jobs_arg =
 let floorplan_arg =
   let doc = "Validate the result with the columnar floorplanner." in
   Arg.(value & flag & info [ "floorplan" ] ~doc)
+
+(* Deadline / evaluation-budget flags shared by the solving verbs. *)
+let deadline_arg =
+  let doc =
+    "Wall-clock deadline (milliseconds) for the partition search. When \
+     it passes, the solver stops at the next loop boundary and returns \
+     the best feasible scheme found so far — worst case the \
+     single-region baseline — with a $(b,degraded) verdict in the \
+     report. The search always terminates with a feasible answer."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_evals_arg =
+  let doc =
+    "Cap on cost evaluations for the partition search. Unlike \
+     $(b,--deadline-ms) the cap is deterministic: the same design and \
+     cap always produce the same scheme. Forces sequential solving \
+     ($(b,--jobs 1))."
+  in
+  Arg.(value & opt (some int) None & info [ "max-evals" ] ~docv:"N" ~doc)
+
+let ladder_arg =
+  let doc =
+    "Graceful-degradation ladder for the per-candidate-set allocation: \
+     $(b,default) (exact, then anneal, then greedy, then single-region) \
+     or a comma-separated list of rungs \
+     $(i,KIND)[:$(i,EVALS)[:$(i,DEADLINE_MS)]] with kinds $(b,exact), \
+     $(b,anneal), $(b,greedy), $(b,single-region). Each rung runs under \
+     its own budget; the first rung that completes wins, and exhausting \
+     the whole ladder still yields the best feasible scheme seen."
+  in
+  Arg.(value & opt (some string) None & info [ "ladder" ] ~docv:"SPEC" ~doc)
+
+(* Validate and combine the budget flags into a [Prguard.Budget.spec]
+   (and the ladder string into a [Prguard.Ladder.t]). *)
+let budget_spec ~deadline_ms ~max_evals =
+  match (deadline_ms, max_evals) with
+  | None, None -> Ok None
+  | Some ms, _ when ms <= 0. || Float.is_nan ms ->
+    Error "--deadline-ms must be a positive number of milliseconds"
+  | _, Some n when n < 1 -> Error "--max-evals must be at least 1"
+  | deadline_ms, max_evals ->
+    Ok (Some (Prguard.Budget.spec ?deadline_ms ?max_evals ()))
+
+let ladder_spec = function
+  | None -> Ok None
+  | Some "default" -> Ok (Some Prguard.Ladder.default)
+  | Some s -> (
+    match Prguard.Ladder.of_string s with
+    | Ok l -> Ok (Some l)
+    | Error message -> Error ("--ladder: " ^ message))
+
+let guard_specs ~deadline_ms ~max_evals ~ladder =
+  match budget_spec ~deadline_ms ~max_evals with
+  | Error message -> Error message
+  | Ok budget -> (
+    match ladder_spec ladder with
+    | Error message -> Error message
+    | Ok ladder -> Ok (budget, ladder))
 
 let verify_arg =
   let doc =
@@ -189,18 +256,22 @@ let run_floorplan ~telemetry scheme device =
 
 let partition_cmd =
   let run spec budget device freq_rule no_promote max_sets restarts jobs
-      verify floorplan save_scheme trace stats =
+      deadline_ms max_evals ladder verify floorplan save_scheme trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
       (match target ~budget ~device with
        | Error message -> `Error (false, message)
        | Ok target ->
+         match guard_specs ~deadline_ms ~max_evals ~ladder with
+         | Error message -> `Error (false, message)
+         | Ok (budget_spec, ladder) ->
          let options = options ~freq_rule ~no_promote ~max_sets ~restarts in
          let telemetry = telemetry_handle ~trace ~stats in
+         let guard = Option.map Prguard.Budget.of_spec budget_spec in
          (match
-            Prcore.Engine.solve ~options ~telemetry ~jobs ~verify ~target
-              design
+            Prcore.Engine.solve ~options ~telemetry ~jobs ~verify ?budget:guard
+              ?ladder ~target design
           with
           | Error message -> `Error (false, message)
           | Ok outcome ->
@@ -216,6 +287,9 @@ let partition_cmd =
             Format.printf
               "(%d base partitions, %d candidate sets explored)@."
               outcome.base_partitions outcome.candidate_sets;
+            if outcome.degraded.Prguard.Budget.guarded then
+              Format.printf "guard: %s@."
+                (Prguard.Budget.render_verdict outcome.degraded);
             if stats then
               Format.printf "cost evaluations: %d@." outcome.cost_evaluations;
             let verified =
@@ -271,6 +345,7 @@ let partition_cmd =
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ freq_rule_arg
          $ no_promote_arg $ max_sets_arg $ restarts_arg $ jobs_arg
+         $ deadline_arg $ max_evals_arg $ ladder_arg
          $ verify_arg $ floorplan_arg $ save_scheme_arg $ trace_arg
          $ stats_arg))
 
@@ -574,16 +649,25 @@ let flow_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
            ~doc:"Write wrappers, bitstreams and the report into DIR.")
   in
-  let run spec budget device jobs verify out trace stats =
+  let run spec budget device jobs deadline_ms max_evals ladder verify out
+      trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
       (match target ~budget ~device with
        | Error message -> `Error (false, message)
        | Ok target ->
+         match guard_specs ~deadline_ms ~max_evals ~ladder with
+         | Error message -> `Error (false, message)
+         | Ok (budget_spec, ladder) ->
          let telemetry = telemetry_handle ~trace ~stats in
          let options =
-           { Flow.Tool_flow.default_options with telemetry; jobs; verify }
+           { Flow.Tool_flow.default_options with
+             telemetry;
+             jobs;
+             verify;
+             budget = budget_spec;
+             ladder }
          in
          (match Flow.Tool_flow.run ~options ~target design with
           | Error message -> `Error (false, message)
@@ -625,7 +709,251 @@ let flow_cmd =
     Term.(
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ jobs_arg
+         $ deadline_arg $ max_evals_arg $ ladder_arg
          $ verify_arg $ out_arg $ trace_arg $ stats_arg))
+
+(* Minimal JSON string escaping for the batch results stream. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* One result line of the batch stream. *)
+type batch_result = {
+  br_spec : string;  (** The manifest entry as written. *)
+  br_outcome : (Flow.Tool_flow.report, string) result;
+  br_elapsed_ms : float;
+}
+
+let batch_result_jsonl r =
+  match r.br_outcome with
+  | Error message ->
+    Printf.sprintf
+      "{\"design\":\"%s\",\"status\":\"error\",\"error\":\"%s\",\"elapsed_ms\":%.1f}"
+      (json_escape r.br_spec) (json_escape message) r.br_elapsed_ms
+  | Ok report ->
+    let outcome = report.Flow.Tool_flow.outcome in
+    let scheme = outcome.Prcore.Engine.scheme in
+    let verdict = outcome.Prcore.Engine.degraded in
+    Printf.sprintf
+      "{\"design\":\"%s\",\"status\":\"ok\",\"device\":\"%s\",\"regions\":%d,\"total_frames\":%d,\"worst_frames\":%d,\"degraded\":%b,\"reason\":\"%s\",\"elapsed_ms\":%.1f}"
+      (json_escape r.br_spec)
+      (json_escape report.Flow.Tool_flow.device.Fpga.Device.short)
+      scheme.Prcore.Scheme.region_count
+      outcome.Prcore.Engine.evaluation.Prcore.Cost.total_frames
+      outcome.Prcore.Engine.evaluation.Prcore.Cost.worst_frames
+      verdict.Prguard.Budget.degraded
+      (Prguard.Budget.reason_name verdict.Prguard.Budget.reason)
+      r.br_elapsed_ms
+
+(* Filesystem-safe directory name for one manifest entry. *)
+let batch_entry_dirname spec =
+  let base = Filename.remove_extension (Filename.basename spec) in
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> c
+        | _ -> '_')
+      base
+  in
+  if mapped = "" then "_" else mapped
+
+let batch_cmd =
+  let manifest_arg =
+    let doc =
+      "Manifest file: one design per line (a built-in name or a path to \
+       an XML description, resolved relative to the manifest's \
+       directory), with blank lines and $(b,#) comments ignored."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MANIFEST" ~doc)
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write each design's artefacts into DIR/<design>/ \
+                 (crash-safe, with checksum sidecars).")
+  in
+  let jsonl_arg =
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE"
+           ~doc:"Also write the JSON Lines results stream to FILE \
+                 (atomically, at the end of the run).")
+  in
+  let run manifest budget device jobs deadline_ms max_evals ladder out jsonl
+      =
+    if not (Sys.file_exists manifest) then
+      `Error (false, Printf.sprintf "manifest %s does not exist" manifest)
+    else
+      match target ~budget ~device with
+      | Error message -> `Error (false, message)
+      | Ok target -> (
+        match guard_specs ~deadline_ms ~max_evals ~ladder with
+        | Error message -> `Error (false, message)
+        | Ok (budget_spec, ladder) -> (
+          let entries =
+            In_channel.with_open_text manifest In_channel.input_lines
+            |> List.map String.trim
+            |> List.filter (fun line ->
+                   line <> "" && not (String.length line > 0 && line.[0] = '#'))
+          in
+          if entries = [] then
+            `Error (false, Printf.sprintf "manifest %s lists no designs" manifest)
+          else begin
+            let manifest_dir = Filename.dirname manifest in
+            let resolve spec =
+              (* A relative path that does not exist from the CWD is
+                 retried relative to the manifest, so manifests are
+                 position-independent. *)
+              if
+                Prdesign.Design_library.find spec <> None
+                || Sys.file_exists spec
+                || Filename.is_relative spec = false
+              then spec
+              else
+                let relative = Filename.concat manifest_dir spec in
+                if Sys.file_exists relative then relative else spec
+            in
+            (* Per-design isolation: load, solve and write under an
+               exception barrier so one poisoned input is reported and
+               skipped while the rest of the batch completes. *)
+            let run_one spec =
+              let started = Unix.gettimeofday () in
+              let outcome =
+                try
+                  match
+                    load_design ~limits:Prdesign.Design_xml.default_limits
+                      (resolve spec)
+                  with
+                  | Error message -> Error message
+                  | Ok design -> (
+                    let options =
+                      { Flow.Tool_flow.default_options with
+                        jobs;
+                        budget = budget_spec;
+                        ladder }
+                    in
+                    match Flow.Tool_flow.run ~options ~target design with
+                    | Error message -> Error message
+                    | Ok report -> (
+                      match out with
+                      | None -> Ok report
+                      | Some dir -> (
+                        let subdir =
+                          Filename.concat dir (batch_entry_dirname spec)
+                        in
+                        match
+                          Flow.Tool_flow.write_outputs ~dir:subdir report
+                        with
+                        | Ok _ -> Ok report
+                        | Error message -> Error message)))
+                with e ->
+                  (* The isolation barrier: a crash in any stage becomes
+                     a reported per-design failure, not a dead batch. *)
+                  Error
+                    (Option.value
+                       (Prdesign.Design_xml.limit_message e)
+                       ~default:("uncaught exception: " ^ Printexc.to_string e))
+              in
+              { br_spec = spec;
+                br_outcome = outcome;
+                br_elapsed_ms = 1e3 *. (Unix.gettimeofday () -. started) }
+            in
+            let results = List.map run_one entries in
+            List.iter (fun r -> print_endline (batch_result_jsonl r)) results;
+            let failures =
+              List.filter (fun r -> Result.is_error r.br_outcome) results
+            in
+            let summary =
+              Printf.sprintf "batch: %d ok, %d failed (of %d)"
+                (List.length results - List.length failures)
+                (List.length failures) (List.length results)
+            in
+            let jsonl_written =
+              match jsonl with
+              | None -> Ok ()
+              | Some path ->
+                let content =
+                  String.concat ""
+                    (List.map (fun r -> batch_result_jsonl r ^ "\n") results)
+                in
+                Prguard.Atomic_io.write
+                  ~checksum:Bitgen.Crc32.hex_digest ~path content
+            in
+            match jsonl_written with
+            | Error message -> `Error (false, message)
+            | Ok () ->
+              if failures = [] then begin
+                Format.eprintf "%s@." summary;
+                `Ok ()
+              end
+              else
+                (* A partially failed batch exits non-zero but only after
+                   every design had its turn. *)
+                `Error (false, summary)
+          end))
+  in
+  let doc =
+    "Partition a manifest of designs through the full tool flow, one \
+     JSON result line per design. A design that fails to load or solve \
+     is reported and skipped — the rest of the batch still runs — and \
+     the exit status reflects any partial failure."
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(
+      ret
+        (const run $ manifest_arg $ budget_arg $ device_arg $ jobs_arg
+         $ deadline_arg $ max_evals_arg $ ladder_arg $ out_arg $ jsonl_arg))
+
+let recover_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Output directory to scan (non-recursively).")
+  in
+  let no_quarantine_arg =
+    Arg.(value & flag
+         & info [ "no-quarantine" ]
+             ~doc:"Report issues without deleting stale temporaries or \
+                   moving corrupt files into DIR/.quarantine/.")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit non-zero when any torn or corrupt artefact was \
+                   found (after quarantining it, unless \
+                   $(b,--no-quarantine)).")
+  in
+  let run dir no_quarantine strict =
+    match
+      Prguard.recover ~checksum:Bitgen.Crc32.hex_digest
+        ~quarantine:(not no_quarantine) ~dir ()
+    with
+    | Error message -> `Error (false, message)
+    | Ok recovery ->
+      print_string (Prguard.Atomic_io.render_recovery recovery);
+      if strict && not (Prguard.Atomic_io.clean recovery) then
+        `Error (false, "torn or corrupt artefacts were found")
+      else `Ok ()
+  in
+  let doc =
+    "Scan a prpart output directory for crash artefacts: stale \
+     temporary files from interrupted writes are deleted, and files \
+     whose checksum sidecar does not match are quarantined. Run after a \
+     crash or power loss before trusting the artefacts."
+  in
+  Cmd.v
+    (Cmd.info "recover" ~doc)
+    Term.(ret (const run $ dir_arg $ no_quarantine_arg $ strict_arg))
 
 let check_cmd =
   let run spec budget device jobs trace stats =
@@ -760,4 +1088,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ partition_cmd; baselines_cmd; simulate_cmd; synth_cmd; flow_cmd;
-            check_cmd; fuzz_cmd; lint_cmd; devices_cmd; designs_cmd ]))
+            batch_cmd; recover_cmd; check_cmd; fuzz_cmd; lint_cmd;
+            devices_cmd; designs_cmd ]))

@@ -34,3 +34,5 @@ let digest buffer =
   finalise (update initial buffer ~pos:0 ~len:(Bytes.length buffer))
 
 let string_digest s = digest (Bytes.of_string s)
+
+let hex_digest s = Printf.sprintf "%08lx" (string_digest s)

@@ -12,3 +12,8 @@ val initial : int32
 val finalise : int32 -> int32
 
 val string_digest : string -> int32
+
+val hex_digest : string -> string
+(** {!string_digest} as 8 lowercase hex digits — the checksum format of
+    the [Prguard.Atomic_io] sidecar files used by [Repository.save] and
+    the tool flow's artefact writer. *)

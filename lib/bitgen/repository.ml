@@ -79,6 +79,51 @@ let build ?placement ?(telemetry = Prtelemetry.null) ~device
   in
   { scheme; device; full; entries }
 
+(* Filesystem-safe label, matching [Hdl.Ast.mangle] (bitgen cannot
+   depend on the HDL library): identifier characters survive, everything
+   else becomes '_', and a leading digit is prefixed. *)
+let sanitize_label s =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      s
+  in
+  if mapped = "" then "_"
+  else
+    match mapped.[0] with '0' .. '9' -> "_" ^ mapped | _ -> mapped
+
+let entry_filename (e : entry) =
+  Printf.sprintf "prr%d_%s.bit" (e.region + 1) (sanitize_label e.label)
+
+let save ?(fsync = true) ~dir t =
+  (* Crash-safe persistence: every bitstream goes through
+     [Prguard.Atomic_io] (write-to-temp + fsync + rename) with a CRC32
+     sidecar, so a crash mid-save leaves either the old artefact, the
+     complete new one, or a mismatch [Prguard.recover] detects — never a
+     silently torn bitstream. *)
+  match Prguard.Atomic_io.mkdir_p dir with
+  | Error _ as e -> e
+  | Ok () ->
+    let checksum = Crc32.hex_digest in
+    let rec write_all acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, content) :: rest -> (
+        let path = Filename.concat dir name in
+        match Prguard.Atomic_io.write ~fsync ~checksum ~path content with
+        | Error _ as e -> e
+        | Ok () ->
+          write_all (Prguard.Atomic_io.sidecar path :: path :: acc) rest)
+    in
+    write_all []
+      (("full.bit", Bytes.to_string (Bitstream.serialise t.full))
+      :: List.map
+           (fun e ->
+             (entry_filename e, Bytes.to_string (Bitstream.serialise e.bitstream)))
+           t.entries)
+
 let find t ~region ~partition =
   List.find_opt
     (fun e -> e.region = region && e.partition = partition)

@@ -35,6 +35,22 @@ val build :
 
 val find : t -> region:int -> partition:int -> entry option
 
+val entry_filename : entry -> string
+(** Filesystem name of one partial bitstream, ["prr<N>_<label>.bit"]
+    with the label sanitised to identifier characters (same mapping as
+    [Hdl.Ast.mangle], so {!save} and the tool flow agree on names). *)
+
+val save : ?fsync:bool -> dir:string -> t -> (string list, string) result
+(** Persist the repository under [dir] (created if missing):
+    [full.bit] plus one {!entry_filename} per partial bitstream, each
+    written {e crash-safely} through [Prguard.Atomic_io] (temp + fsync +
+    rename) with a CRC32 checksum sidecar ([*.bit.crc32],
+    {!Crc32.hex_digest}). A crash mid-save leaves either the previous
+    artefact, the complete new one, or a checksum mismatch that
+    [Prguard.recover] detects and quarantines — never a silently torn
+    bitstream. Returns the written paths (data files and sidecars);
+    [fsync] (default [true]) can be disabled for tests. *)
+
 val total_bytes : t -> int
 (** Storage for all partial bitstreams plus the full one. *)
 

@@ -276,10 +276,20 @@ let candidate_moves ~promote_static state =
    then area. Within budget: apply time-reducing promotions only.
    [evaluate_move]/[apply_move] default to the plain implementations; the
    allocator passes telemetry-counting wrappers. *)
-let greedy ~options ~budget ?(evaluate_move = evaluate_move)
+let guard_interrupted = function
+  | None -> false
+  | Some g -> Prguard.Budget.interrupted g
+
+let greedy ~options ~budget ?guard ?(evaluate_move = evaluate_move)
     ?(apply_move = apply_move) state =
   let continue_ = ref true in
   while !continue_ do
+    (* Deadline/cancellation only ([Prguard.Budget.interrupted]): an
+       eval-cap-only budget never alters the descent, keeping capped
+       runs deterministic. An interrupted descent simply stops; the
+       restart loop keeps whatever incumbent it already has. *)
+    if guard_interrupted guard then continue_ := false
+    else begin
     let used = used_resources state in
     let current_deficit = deficit ~budget used in
     let moves = candidate_moves ~promote_static:options.promote_static state in
@@ -327,9 +337,10 @@ let greedy ~options ~budget ?(evaluate_move = evaluate_move)
         in
         (match List.sort better eligible with m :: _ -> Some m | [] -> None)
     in
-    match best with
+    (match best with
     | Some (m, _, _, _) -> apply_move state m
-    | None -> continue_ := false
+    | None -> continue_ := false)
+    end
   done;
   if deficit ~budget (used_resources state) > 0. then None else Some state
 
@@ -377,7 +388,7 @@ let better_scheme a b =
     if key va ea <= key vb eb then Some a' else Some b'
 
 let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
-    ?(telemetry = Prtelemetry.null) ?memo ~budget design partitions =
+    ?(telemetry = Prtelemetry.null) ?memo ?guard ~budget design partitions =
   match partitions with
   | [] -> None
   | _ ->
@@ -396,6 +407,9 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
         in
         let evaluate_move state used move =
           Prtelemetry.Counter.incr moves_evaluated;
+          (match guard with
+           | Some g -> Prguard.Budget.charge g
+           | None -> ());
           (match move with
            | Merge _ -> Prtelemetry.Counter.incr delta_evals
            | Promote _ -> ());
@@ -424,7 +438,7 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
             Prtelemetry.Counter.incr restarts_run;
             let state = copy_state base in
             Option.iter (apply_move state) first_move;
-            match greedy ~options ~budget ~evaluate_move ~apply_move state with
+            match greedy ~options ~budget ?guard ~evaluate_move ~apply_move state with
             | None -> None
             | Some state ->
               let signature = signature_of_state state in
@@ -475,6 +489,8 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
           let best =
             List.fold_left
               (fun best first_move ->
+                if guard_interrupted guard then best
+                else
                 let best' = better_scheme best (run first_move) in
                 let improved =
                   match (best', best) with

@@ -32,6 +32,7 @@ val allocate :
   ?pair_weight:(int -> int -> float) ->
   ?telemetry:Prtelemetry.t ->
   ?memo:Cost.evaluation Memo.t ->
+  ?guard:Prguard.Budget.t ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
@@ -40,6 +41,15 @@ val allocate :
     order preserved), or [None] when no explored allocation fits the
     budget. Schemes are compared by total reconfiguration frames, then
     worst-case frames, then area.
+
+    [guard] (default: none) bounds the search: each move evaluation is
+    charged against the budget, and on deadline expiry or cancellation
+    ({!Prguard.Budget.interrupted}) the current greedy descent stops and
+    remaining restarts are skipped — the best scheme found so far (if
+    any) is still returned. An eval-cap-only guard never alters the
+    search (only {!Prguard.Budget.interrupted}, which ignores the cap,
+    is polled here), keeping capped runs deterministic; the cap is
+    enforced at the engine's candidate-set boundaries.
 
     Move scoring is {e incremental}: per-region conflict weights are
     maintained and a merge is costed from the cached values of its two

@@ -331,7 +331,7 @@ let scheme_of_placement design parts placement =
     (List.mapi (fun p bp -> (bp, resolved.(p))) (Array.to_list parts))
 
 let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
-    ~budget design partitions =
+    ?guard ~budget design partitions =
   match partitions with
   | [] -> None
   | _ ->
@@ -384,7 +384,17 @@ let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
             ref (if feasible then Some (Array.copy placement, total) else None)
           in
           let temperature = ref options.initial_temperature in
+          (try
           for iteration = 1 to options.iterations do
+            (* Deadline/cancellation break ([interrupted] ignores the
+               eval cap, so capped runs stay deterministic); the best
+               feasible placement found so far survives the break. *)
+            (match guard with
+             | Some g
+               when iteration land 255 = 0 && Prguard.Budget.interrupted g ->
+               raise Exit
+             | Some g -> Prguard.Budget.charge g
+             | None -> ());
             Prtelemetry.Counter.incr steps;
             let p = Rng.int rng n in
             let old_region = placement.(p) in
@@ -438,7 +448,8 @@ let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
               else placement.(p) <- old_region
             end;
             temperature := !temperature *. options.cooling
-          done;
+          done
+          with Exit -> ());
           match !best with
           | None -> None
           | Some (placement, _) ->

@@ -20,6 +20,7 @@ val default_options : options
 val allocate :
   ?options:options ->
   ?telemetry:Prtelemetry.t ->
+  ?guard:Prguard.Budget.t ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
@@ -27,6 +28,14 @@ val allocate :
 (** Best {e feasible} scheme encountered during the anneal (infeasible
     states are explored via an area-deficit penalty but never returned),
     or [None] when none was found. Deterministic in [options.seed].
+
+    [guard] (default: none) bounds the walk: every Metropolis step is
+    charged against the budget, and on deadline expiry or cancellation
+    ({!Prguard.Budget.interrupted}, polled every 256 iterations) the
+    walk breaks early, returning the best feasible placement found so
+    far. An eval-cap-only guard never alters the walk — callers bound
+    iterations via [options.iterations] instead, which is what the
+    engine's degradation ladder derives from a rung's eval cap.
 
     Move evaluation is {e incremental}: a move reassigns one partition,
     so only the source and destination regions are re-scored and the

@@ -38,6 +38,7 @@ type outcome = {
   candidate_sets : int;
   escalations : int;
   cost_evaluations : int;
+  degraded : Prguard.Budget.verdict;
 }
 
 let is_single_region_like (s : Scheme.t) =
@@ -78,9 +79,24 @@ let cost_evaluation_counters tele =
   Prtelemetry.counter_value tele "core.cost_evaluations"
   + Prtelemetry.counter_value tele "alloc.moves_evaluated"
 
+(* What one budget attempt produced, including how the guard shaped it:
+   [rung] names the degradation-ladder rung that supplied the winning
+   scheme (when a ladder ran), [fell_back] records that the answer is
+   best-so-far rather than a full run (sets skipped, a rung escalated
+   past, a truncated exact search), [reason] the budget-side cause. *)
+type budget_solution = {
+  bs_scheme : Scheme.t;
+  bs_evaluation : Cost.evaluation;
+  bs_partitions : int;
+  bs_sets : int;
+  bs_rung : string option;
+  bs_fell_back : bool;
+  bs_reason : Prguard.Budget.reason option;
+}
+
 (* Solve for a fixed budget. The single-region scheme is the universal
    fallback: the feasibility precondition guarantees it fits. *)
-let solve_budget ~options ~tele ~jobs ~memo ~budget design =
+let solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget design =
   Prtelemetry.with_span tele "engine.solve_budget"
     ~attrs:[ ("budget", Prtelemetry.Json.String (Resource.to_string budget)) ]
   @@ fun () ->
@@ -89,9 +105,12 @@ let solve_budget ~options ~tele ~jobs ~memo ~budget design =
      by canonical content signature: re-scoring the scheme an allocator
      run already evaluated — or a scheme another candidate set converged
      to — is a cache hit. The counter tracks cost-model {e lookups}, as
-     before; the table tracks which of them actually ran the model. *)
+     before; the table tracks which of them actually ran the model.
+     Evaluations are also charged against the guard, so an eval cap
+     expires after a deterministic number of lookups. *)
   let evaluate scheme =
     Prtelemetry.Counter.incr evals;
+    (match guard with Some g -> Prguard.Budget.charge g | None -> ());
     Memo.find_or_add memo (Memo.scheme_signature scheme) (fun () ->
         Cost.evaluate scheme)
   in
@@ -151,100 +170,302 @@ let solve_budget ~options ~tele ~jobs ~memo ~budget design =
                 ("total_frames", Prtelemetry.Json.Int e.Cost.total_frames);
                 ("worst_frames", Prtelemetry.Json.Int e.Cost.worst_frames) ]
       in
-      (* Allocation fan-out. Sequentially each candidate set runs the
-         allocator against the shared telemetry handle and evaluation
-         cache; in parallel each set gets its own counting handle and
-         private table (neither is domain-safe), and after the ordered
-         join the counters are merged and the tables absorbed in input
-         order. The subsequent fold is identical in both modes, so the
-         selected scheme — and every outcome field — is bit-identical
-         for any [jobs]. *)
-      let allocate_set ~telemetry ~memo set =
+      (* Baseline incumbent: the single-region scheme and — when it fits
+         — the fully static one, filtered by the worst-case limit. *)
+      let initial_candidate () =
+        let initial =
+          better ~objective
+            (admissible (Some (single, single_eval)))
+            (admissible static_candidate)
+        in
+        (match initial with
+         | Some (_, e) ->
+           Prtelemetry.set_gauge tele "engine.best_total_frames"
+             (float_of_int e.Cost.total_frames)
+         | None -> ());
+        initial
+      in
+      let allocate_set ~telemetry ~memo ?guard set =
         Allocator.allocate ~options:options.allocator ~pair_weight ~telemetry
-          ~memo ~budget design set
+          ~memo ?guard ~budget design set
       in
-      let allocations =
-        if jobs <= 1 then
-          List.map (allocate_set ~telemetry:tele ~memo) sets
-        else
-          Par.map_list ~jobs
-            (fun set ->
-              let worker = Prtelemetry.ensure Prtelemetry.null in
-              let worker_memo = Memo.create ~telemetry:worker () in
-              let scheme = allocate_set ~telemetry:worker ~memo:worker_memo set in
-              (scheme, worker, worker_memo))
-            sets
-          |> List.map (fun (scheme, worker, worker_memo) ->
-                 List.iter
-                   (fun (name, v) ->
-                     if v > 0 then Prtelemetry.incr tele ~by:v name)
-                   (Prtelemetry.counters_list worker);
-                 Memo.absorb ~into:memo worker_memo;
-                 scheme)
+      let solution ?rung ?(fell_back = false) ?reason best =
+        match best with
+        | Some (scheme, evaluation) ->
+          Ok
+            { bs_scheme = scheme;
+              bs_evaluation = evaluation;
+              bs_partitions = List.length partitions;
+              bs_sets = List.length sets;
+              bs_rung = rung;
+              bs_fell_back = fell_back;
+              bs_reason = reason }
+        | None ->
+          Error
+            (Format.asprintf
+               "no explored scheme for %s meets the worst-case limit of %d \
+                frames"
+               design.Design.name
+               (Option.value ~default:0 options.worst_limit))
       in
-      let best, _ =
-        List.fold_left
-          (fun (best, set_index) allocation ->
-            let best =
-              match allocation with
-              | None ->
-                reject set_index "infeasible";
-                best
-              | Some scheme ->
-                let evaluation = evaluate scheme in
-                if not (meets_worst_limit ~options evaluation) then begin
-                  reject set_index "worst-limit";
+      (* The default search: allocation fan-out over the candidate sets.
+         Sequentially each candidate set runs the allocator against the
+         shared telemetry handle and evaluation cache; in parallel each
+         set gets its own counting handle and private table (neither is
+         domain-safe), and after the ordered join the counters are
+         merged and the tables absorbed in input order. The subsequent
+         fold is identical in both modes, so the selected scheme — and
+         every outcome field — is bit-identical for any [jobs].
+
+         The guard is consulted at candidate-set boundaries: an expired
+         budget skips the remaining sets (the eval cap thereby expires
+         at a deterministic prefix of the set list, the key to the
+         monotonicity property); in parallel mode cancellation/deadline
+         are honoured across domains via [Par]'s cooperative cancel. *)
+      let greedy_path ?guard () =
+        let skipped = ref false in
+        let exhausted () =
+          match guard with
+          | None -> None
+          | Some g -> Prguard.Budget.exhausted g
+        in
+        let allocations =
+          if jobs <= 1 then
+            List.map
+              (fun set ->
+                match exhausted () with
+                | Some _ ->
+                  skipped := true;
+                  Prtelemetry.incr tele "guard.sets_skipped";
+                  `Skipped
+                | None -> `Alloc (allocate_set ~telemetry:tele ~memo ?guard set))
+              sets
+          else begin
+            let cancel, fallback =
+              match guard with
+              | Some g ->
+                ( Some (fun () -> Prguard.Budget.interrupted g),
+                  Some (fun _ -> `Cancelled) )
+              | None -> (None, None)
+            in
+            Par.map_list ?cancel ?fallback ~jobs
+              (fun set ->
+                let worker = Prtelemetry.ensure Prtelemetry.null in
+                let worker_memo = Memo.create ~telemetry:worker () in
+                let scheme =
+                  allocate_set ~telemetry:worker ~memo:worker_memo ?guard set
+                in
+                `Done (scheme, worker, worker_memo))
+              sets
+            |> List.map (function
+                 | `Done (scheme, worker, worker_memo) ->
+                   List.iter
+                     (fun (name, v) ->
+                       if v > 0 then Prtelemetry.incr tele ~by:v name)
+                     (Prtelemetry.counters_list worker);
+                   Memo.absorb ~into:memo worker_memo;
+                   `Alloc scheme
+                 | `Cancelled ->
+                   skipped := true;
+                   Prtelemetry.incr tele "guard.sets_skipped";
+                   `Skipped)
+          end
+        in
+        let best, _ =
+          List.fold_left
+            (fun (best, set_index) allocation ->
+              let best =
+                match allocation with
+                | `Skipped ->
+                  reject set_index "budget";
                   best
+                | `Alloc None ->
+                  reject set_index "infeasible";
+                  best
+                | `Alloc (Some scheme) ->
+                  let evaluation = evaluate scheme in
+                  if not (meets_worst_limit ~options evaluation) then begin
+                    reject set_index "worst-limit";
+                    best
+                  end
+                  else begin
+                    let merged =
+                      better ~objective best (Some (scheme, evaluation))
+                    in
+                    (match merged with
+                     | Some (winner, e) when winner == scheme ->
+                       accept set_index e
+                     | Some _ | None -> reject set_index "worse");
+                    merged
+                  end
+              in
+              (best, set_index + 1))
+            (initial_candidate (), 0)
+            allocations
+        in
+        (best, !skipped)
+      in
+      (* Graceful-degradation ladder: attempt rungs in declared order,
+         each under its own (child) budget; the first rung that runs to
+         completion with an admissible incumbent supplies the answer,
+         and every rung's best-so-far result is kept as a fallback. The
+         single-region baseline seeds the incumbent, so an expired
+         ladder still returns a feasible scheme. *)
+      let ladder_path l =
+        let best = ref (initial_candidate ()) in
+        let best_rung =
+          ref (match !best with Some _ -> Some "baseline" | None -> None)
+        in
+        let fell_back = ref false in
+        let last_reason = ref None in
+        let finished = ref false in
+        let n_sets = max 1 (List.length sets) in
+        let offer name scheme =
+          match scheme with
+          | None -> ()
+          | Some scheme ->
+            let evaluation = evaluate scheme in
+            if meets_worst_limit ~options evaluation then begin
+              let merged = better ~objective !best (Some (scheme, evaluation)) in
+              (match merged with
+               | Some (winner, e) when winner == scheme ->
+                 best_rung := Some name;
+                 Prtelemetry.set_gauge tele "engine.best_total_frames"
+                   (float_of_int e.Cost.total_frames)
+               | Some _ | None -> ());
+              best := merged
+            end
+        in
+        List.iter
+          (fun (rung : Prguard.Ladder.rung) ->
+            if not !finished then begin
+              match
+                match guard with
+                | None -> None
+                | Some g -> Prguard.Budget.exhausted g
+              with
+              | Some r ->
+                (* Overall budget gone: remaining rungs are skipped and
+                   the incumbent (at worst the baseline) stands. *)
+                last_reason := Some r;
+                fell_back := true;
+                finished := true
+              | None ->
+                Prtelemetry.incr tele "guard.rungs_attempted";
+                let name = Prguard.Ladder.rung_name rung.Prguard.Ladder.kind in
+                let rb =
+                  match guard with
+                  | Some g -> Prguard.Budget.child g rung.Prguard.Ladder.budget
+                  | None -> Prguard.Budget.of_spec rung.Prguard.Ladder.budget
+                in
+                let complete = ref true in
+                let each_set f =
+                  List.iter
+                    (fun set ->
+                      match Prguard.Budget.exhausted rb with
+                      | Some _ ->
+                        complete := false;
+                        Prtelemetry.incr tele "guard.sets_skipped"
+                      | None -> f set)
+                    sets
+                in
+                (match rung.Prguard.Ladder.kind with
+                 | Prguard.Ladder.Single_region -> offer name (Some single)
+                 | Prguard.Ladder.Greedy ->
+                   each_set (fun set ->
+                       offer name
+                         (allocate_set ~telemetry:tele ~memo ~guard:rb set))
+                 | Prguard.Ladder.Anneal ->
+                   (* Derive the per-set iteration count from the rung's
+                      eval cap (each Metropolis step charges one eval),
+                      deterministically. *)
+                   let iterations =
+                     match rung.Prguard.Ladder.budget.Prguard.Budget.max_evals with
+                     | Some cap ->
+                       max 1
+                         (min Anneal.default_options.Anneal.iterations
+                            (cap / n_sets))
+                     | None -> Anneal.default_options.Anneal.iterations
+                   in
+                   let aopts =
+                     { Anneal.default_options with
+                       Anneal.iterations;
+                       promote_static =
+                         options.allocator.Allocator.promote_static }
+                   in
+                   each_set (fun set ->
+                       offer name
+                         (Anneal.allocate ~options:aopts ~telemetry:tele
+                            ~guard:rb ~budget design set))
+                 | Prguard.Ladder.Exact ->
+                   (* The state budget derives from the rung's eval cap:
+                      leaf evaluations never exceed expanded states, so
+                      the cap cannot silently overrun. *)
+                   let max_states =
+                     match rung.Prguard.Ladder.budget.Prguard.Budget.max_evals with
+                     | Some cap -> max 1 (cap / n_sets)
+                     | None -> 2_000_000
+                   in
+                   each_set (fun set ->
+                       let r =
+                         Exact.allocate
+                           ~promote_static:
+                             options.allocator.Allocator.promote_static
+                           ~max_states ~telemetry:tele ~memo ~guard:rb ~budget
+                           design set
+                       in
+                       if not r.Exact.optimal then complete := false;
+                       offer name r.Exact.scheme));
+                (match Prguard.Budget.exhausted rb with
+                 | Some _ -> complete := false
+                 | None -> ());
+                if !complete && Option.is_some !best then begin
+                  finished := true;
+                  Prtelemetry.incr tele "guard.rungs_completed"
                 end
                 else begin
-                  let merged =
-                    better ~objective best (Some (scheme, evaluation))
-                  in
-                  (match merged with
-                   | Some (winner, e) when winner == scheme ->
-                     accept set_index e
-                   | Some _ | None -> reject set_index "worse");
-                  merged
+                  fell_back := true;
+                  Prtelemetry.incr tele "guard.degradations";
+                  (match Prguard.Budget.exhausted rb with
+                   | Some r -> last_reason := Some r
+                   | None ->
+                     last_reason := Some Prguard.Budget.Eval_cap)
                 end
-            in
-            (best, set_index + 1))
-          ( (let initial =
-               better ~objective
-                 (admissible (Some (single, single_eval)))
-                 (admissible static_candidate)
-             in
-             (match initial with
-              | Some (_, e) ->
-                Prtelemetry.set_gauge tele "engine.best_total_frames"
-                  (float_of_int e.Cost.total_frames)
-              | None -> ());
-             initial),
-            0 )
-          allocations
+            end)
+          l.Prguard.Ladder.rungs;
+        solution ?rung:!best_rung ~fell_back:!fell_back ?reason:!last_reason
+          !best
       in
-      (match best with
-       | Some (scheme, evaluation) ->
-         Ok (scheme, evaluation, List.length partitions, List.length sets)
+      (match ladder with
+       | Some l -> ladder_path l
        | None ->
-         Error
-           (Format.asprintf
-              "no explored scheme for %s meets the worst-case limit of %d \
-               frames"
-              design.Design.name
-              (Option.value ~default:0 options.worst_limit)))
+         let best, skipped = greedy_path ?guard () in
+         let reason =
+           match guard with
+           | None -> None
+           | Some g -> Prguard.Budget.exhausted g
+         in
+         solution
+           ~fell_back:(skipped || reason <> None)
+           ?reason best)
   end
 
-let outcome ~design ~device ~budget ~escalations
-    (scheme, evaluation, base_partitions, candidate_sets) =
+let outcome ~design ~device ~budget ~escalations bs =
   { design;
-    scheme;
-    evaluation;
+    scheme = bs.bs_scheme;
+    evaluation = bs.bs_evaluation;
     device;
     budget;
-    base_partitions;
-    candidate_sets;
+    base_partitions = bs.bs_partitions;
+    candidate_sets = bs.bs_sets;
     escalations;
-    cost_evaluations = 0 }
+    cost_evaluations = 0;
+    degraded =
+      { Prguard.Budget.no_budget with
+        Prguard.Budget.rung = bs.bs_rung;
+        degraded = bs.bs_fell_back;
+        reason =
+          Option.value ~default:Prguard.Budget.Completed bs.bs_reason } }
 
 let target_label = function
   | Budget _ -> "budget"
@@ -273,105 +494,156 @@ let verify_outcome ~tele o =
   end
 
 let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
-    ?(jobs = 1) ?(verify = false) ~target design =
-  (* Always count on a live handle so [cost_evaluations] is populated
-     even when the caller did not opt into telemetry. *)
-  let tele = Prtelemetry.ensure telemetry in
-  (* One evaluation cache per solve: canonical signatures are stable
-     across candidate sets and budgets, so [Auto]-mode escalations
-     re-use evaluations from earlier attempts too. *)
-  let memo = Memo.create ~telemetry:tele () in
-  let evaluations_before = cost_evaluation_counters tele in
-  let result =
-    Prtelemetry.with_span tele "engine.solve"
-      ~attrs:
-        [ ("design", Prtelemetry.Json.String design.Design.name);
-          ("target", Prtelemetry.Json.String (target_label target)) ]
-    @@ fun () ->
-    match target with
-    | Budget budget ->
-      Result.map
-        (outcome ~design ~device:None ~budget ~escalations:0)
-        (solve_budget ~options ~tele ~jobs ~memo ~budget design)
-    | Fixed device ->
-      let budget = Fpga.Device.resources device in
-      Result.map
-        (outcome ~design ~device:(Some device) ~budget ~escalations:0)
-        (solve_budget ~options ~tele ~jobs ~memo ~budget design)
-    | Auto ->
-      (* Smallest device fitting the single-region lower bound, then
-         escalate while the partitioner cannot beat a single region. *)
-      let lower_bound =
-        Resource.add
-          (Fpga.Tile.quantize (Design.min_region_requirement design))
-          design.Design.static_overhead
-      in
-      (match Fpga.Device.smallest_fitting lower_bound with
-       | None ->
-         Error
-           (Format.asprintf
-              "design %s does not fit any catalogued device (needs %a)"
-              design.Design.name Resource.pp lower_bound)
-       | Some first ->
-         let rec attempt device escalations best =
-           let budget = Fpga.Device.resources device in
-           let best =
-             match
-               Prtelemetry.with_span tele "engine.attempt"
-                 ~attrs:
-                   [ ( "device",
-                       Prtelemetry.Json.String device.Fpga.Device.short ) ]
-                 (fun () -> solve_budget ~options ~tele ~jobs ~memo ~budget design)
-             with
-             | Error _ -> best
-             | Ok result ->
-               let candidate =
-                 outcome ~design ~device:(Some device) ~budget ~escalations
-                   result
-               in
-               (match best with
-                | Some b
-                  when (b.evaluation.Cost.total_frames,
-                        b.evaluation.Cost.worst_frames)
-                       <= (candidate.evaluation.Cost.total_frames,
-                           candidate.evaluation.Cost.worst_frames) ->
-                  Some b
-                | Some _ | None -> Some candidate)
-           in
-           let should_escalate =
-             match best with
-             | None -> true
-             | Some b -> is_single_region_like b.scheme
-           in
-           if should_escalate then
-             match Fpga.Device.next_larger device with
-             | Some next ->
-               Prtelemetry.incr tele "engine.escalations";
-               if Prtelemetry.tracing tele then
-                 Prtelemetry.point tele "engine.escalate"
+    ?(jobs = 1) ?(verify = false) ?budget:time_budget ?ladder ~target design =
+  if jobs < 1 then
+    Error
+      (Printf.sprintf
+         "invalid jobs count %d: the number of solver domains must be at \
+          least 1 (use 1 for sequential solving)"
+         jobs)
+  else begin
+    (* Accounting-only budget when a ladder runs unguarded: the verdict
+       still reports evaluations/elapsed time, and rung caps charge a
+       live parent. An unlimited budget never expires, so behaviour is
+       unchanged. *)
+    let guard =
+      match (time_budget, ladder) with
+      | None, Some _ -> Some (Prguard.Budget.make ())
+      | g, _ -> g
+    in
+    (* Determinism: an eval-capped budget (or a ladder, whose rungs carry
+       eval caps) must expire at a fixed point of the candidate-set
+       order, so those runs are forced onto the sequential path. A
+       deadline-only budget keeps the parallel fan-out — cancellation is
+       cooperative across domains. *)
+    let jobs =
+      match guard with
+      | Some g when Prguard.Budget.has_eval_cap g || Option.is_some ladder ->
+        1
+      | _ -> jobs
+    in
+    (* Always count on a live handle so [cost_evaluations] is populated
+       even when the caller did not opt into telemetry. *)
+    let tele = Prtelemetry.ensure telemetry in
+    (* One evaluation cache per solve: canonical signatures are stable
+       across candidate sets and budgets, so [Auto]-mode escalations
+       re-use evaluations from earlier attempts too. *)
+    let memo = Memo.create ~telemetry:tele () in
+    let evaluations_before = cost_evaluation_counters tele in
+    let result =
+      Prtelemetry.with_span tele "engine.solve"
+        ~attrs:
+          [ ("design", Prtelemetry.Json.String design.Design.name);
+            ("target", Prtelemetry.Json.String (target_label target)) ]
+      @@ fun () ->
+      match target with
+      | Budget budget ->
+        Result.map
+          (outcome ~design ~device:None ~budget ~escalations:0)
+          (solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget
+             design)
+      | Fixed device ->
+        let budget = Fpga.Device.resources device in
+        Result.map
+          (outcome ~design ~device:(Some device) ~budget ~escalations:0)
+          (solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget
+             design)
+      | Auto ->
+        (* Smallest device fitting the single-region lower bound, then
+           escalate while the partitioner cannot beat a single region. *)
+        let lower_bound =
+          Resource.add
+            (Fpga.Tile.quantize (Design.min_region_requirement design))
+            design.Design.static_overhead
+        in
+        (match Fpga.Device.smallest_fitting lower_bound with
+         | None ->
+           Error
+             (Format.asprintf
+                "design %s does not fit any catalogued device (needs %a)"
+                design.Design.name Resource.pp lower_bound)
+         | Some first ->
+           let rec attempt device escalations best =
+             let budget = Fpga.Device.resources device in
+             let best =
+               match
+                 Prtelemetry.with_span tele "engine.attempt"
                    ~attrs:
-                     [ ( "from",
-                         Prtelemetry.Json.String device.Fpga.Device.short );
-                       ("to", Prtelemetry.Json.String next.Fpga.Device.short)
-                     ];
-               attempt next (escalations + 1) best
-             | None -> best
-           else best
-         in
-         (match attempt first 0 None with
-          | Some outcome -> Ok outcome
-          | None ->
-            Error
-              (Format.asprintf
-                 "design %s could not be partitioned on any device"
-                 design.Design.name)))
-  in
-  let result =
-    Result.map
-      (fun o ->
-        { o with
-          cost_evaluations = cost_evaluation_counters tele - evaluations_before
-        })
-      result
-  in
-  if verify then Result.bind result (verify_outcome ~tele) else result
+                     [ ( "device",
+                         Prtelemetry.Json.String device.Fpga.Device.short ) ]
+                   (fun () ->
+                     solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder
+                       ~budget design)
+               with
+               | Error _ -> best
+               | Ok result ->
+                 let candidate =
+                   outcome ~design ~device:(Some device) ~budget ~escalations
+                     result
+                 in
+                 (match best with
+                  | Some b
+                    when (b.evaluation.Cost.total_frames,
+                          b.evaluation.Cost.worst_frames)
+                         <= (candidate.evaluation.Cost.total_frames,
+                             candidate.evaluation.Cost.worst_frames) ->
+                    Some b
+                  | Some _ | None -> Some candidate)
+             in
+             let should_escalate =
+               match best with
+               | None -> true
+               | Some b -> is_single_region_like b.scheme
+             in
+             if should_escalate then
+               match Fpga.Device.next_larger device with
+               | Some next ->
+                 Prtelemetry.incr tele "engine.escalations";
+                 if Prtelemetry.tracing tele then
+                   Prtelemetry.point tele "engine.escalate"
+                     ~attrs:
+                       [ ( "from",
+                           Prtelemetry.Json.String device.Fpga.Device.short );
+                         ("to", Prtelemetry.Json.String next.Fpga.Device.short)
+                       ];
+                 attempt next (escalations + 1) best
+               | None -> best
+             else best
+           in
+           (match attempt first 0 None with
+            | Some outcome -> Ok outcome
+            | None ->
+              Error
+                (Format.asprintf
+                   "design %s could not be partitioned on any device"
+                   design.Design.name)))
+    in
+    let result =
+      Result.map
+        (fun o ->
+          let degraded =
+            match (time_budget, ladder) with
+            | None, None -> o.degraded
+            | _ ->
+              let g =
+                match guard with Some g -> g | None -> assert false
+              in
+              let pre = o.degraded in
+              let v = Prguard.Budget.verdict ?rung:pre.Prguard.Budget.rung g in
+              let reason =
+                if v.Prguard.Budget.reason = Prguard.Budget.Completed then
+                  pre.Prguard.Budget.reason
+                else v.Prguard.Budget.reason
+              in
+              { v with
+                Prguard.Budget.degraded =
+                  v.Prguard.Budget.degraded || pre.Prguard.Budget.degraded;
+                reason }
+          in
+          { o with
+            cost_evaluations = cost_evaluation_counters tele - evaluations_before;
+            degraded })
+        result
+    in
+    if verify then Result.bind result (verify_outcome ~tele) else result
+  end

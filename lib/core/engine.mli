@@ -55,6 +55,16 @@ type outcome = {
           {!Cost.evaluate} runs plus the allocator's incremental move
           evaluations. Always populated, even when the caller passed no
           telemetry handle (the engine counts on an internal one). *)
+  degraded : Prguard.Budget.verdict;
+      (** How the guard shaped the answer. Equal to
+          {!Prguard.Budget.no_budget} ([guarded = false]) when neither
+          [budget] nor [ladder] was passed; otherwise [guarded = true]
+          and [degraded] reports whether the scheme is a best-so-far
+          answer (budget expired, sets skipped, a ladder rung escalated
+          past or truncated) rather than a full run, with the expiry
+          [reason], the producing ladder [rung] (["baseline"] for the
+          seeded single-region/static incumbent), and the evaluation /
+          wall-clock usage. *)
 }
 
 val solve :
@@ -62,12 +72,41 @@ val solve :
   ?telemetry:Prtelemetry.t ->
   ?jobs:int ->
   ?verify:bool ->
+  ?budget:Prguard.Budget.t ->
+  ?ladder:Prguard.Ladder.t ->
   target:target ->
   Prdesign.Design.t ->
   (outcome, string) result
 (** Errors are infeasibility reports (the design cannot fit the target,
     even as a single region). The returned scheme always fits the
     budget: in the worst case it is the single-region scheme.
+
+    [jobs < 1] is rejected with a descriptive [Error] (never undefined
+    [Par] behaviour).
+
+    [budget] (default: none) bounds the solve — wall-clock deadline,
+    cost-evaluation cap and/or cooperative cancel token
+    ({!Prguard.Budget}). On expiry the engine {e always terminates with
+    the best feasible scheme found so far} (at worst the single-region
+    baseline) and reports the expiry in [outcome.degraded] instead of
+    running to completion or failing. Determinism contract: an
+    eval-cap-only budget expires at candidate-set boundaries, in a fixed
+    order, so capped runs are fully reproducible (and force [jobs = 1]);
+    deadlines and cancellation are polled cooperatively everywhere —
+    including across [Par] domains — and are inherently timing
+    dependent. With no budget at all, behaviour is bit-for-bit identical
+    to an unguarded solve.
+
+    [ladder] (default: none) runs the graceful-degradation escalation
+    policy ({!Prguard.Ladder}, typically [exact → anneal → greedy →
+    single-region]) instead of the plain candidate-set search: rungs are
+    attempted in order under per-rung child budgets and the first rung
+    that completes cleanly with an admissible incumbent supplies the
+    answer; every rung's best-so-far result is kept as a fallback.
+    Recorded as ["guard.rungs_attempted"] / ["guard.rungs_completed"] /
+    ["guard.degradations"] / ["guard.sets_skipped"] counters and in
+    [outcome.degraded.rung]. Ladder runs force [jobs = 1] (rung eval
+    caps must expire deterministically).
 
     [verify] (default [false]) re-runs the cost model from scratch on
     the winning scheme — bypassing the memo table and the incremental

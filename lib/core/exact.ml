@@ -77,7 +77,7 @@ let extend_group ~activity ~active_counts ~parts group p =
   end
 
 let allocate ?(promote_static = true) ?(max_states = 2_000_000)
-    ?(telemetry = Prtelemetry.null) ?memo ~budget design parts_list =
+    ?(telemetry = Prtelemetry.null) ?memo ?guard ~budget design parts_list =
   match parts_list with
   | [] -> { scheme = None; optimal = true; states = 0 }
   | _ ->
@@ -111,6 +111,9 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000)
       (* Evaluate a complete assignment at a leaf. *)
       let consider groups statics =
         Prtelemetry.Counter.incr leaf_evals;
+        (match guard with
+         | Some g -> Prguard.Budget.charge g
+         | None -> ());
         let used =
           List.fold_left
             (fun acc g -> Resource.add acc (Tile.quantize g.resources))
@@ -162,7 +165,17 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000)
         else begin
           incr states;
           Prtelemetry.Counter.incr states_counter;
-          if !states > max_states then truncated := true
+          (* Deadline/cancellation truncates the DFS like an exhausted
+             state budget: the incumbent (if any) is returned with
+             [optimal = false]. [interrupted] ignores eval caps, so
+             capped runs stay deterministic — the ladder derives
+             [max_states] from a rung's eval cap instead. *)
+          (match guard with
+           | Some g
+             when !states land 1023 = 0 && Prguard.Budget.interrupted g ->
+             truncated := true
+           | _ -> ());
+          if !truncated || !states > max_states then truncated := true
           else if committed > !best_total then ()
           else if p = n then consider groups statics
           else begin

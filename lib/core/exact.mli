@@ -23,6 +23,7 @@ val allocate :
   ?max_states:int ->
   ?telemetry:Prtelemetry.t ->
   ?memo:Cost.evaluation Memo.t ->
+  ?guard:Prguard.Budget.t ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
@@ -42,6 +43,14 @@ val allocate :
     [memo] (default: none) is the engine-level evaluation cache: the
     returned scheme's evaluation is stored under its canonical
     {!Memo.scheme_signature}, making downstream re-evaluation a hit.
+
+    [guard] (default: none) bounds the search: leaf evaluations are
+    charged against the budget, and deadline expiry or cancellation
+    ({!Prguard.Budget.interrupted}, polled every 1024 states) truncates
+    the DFS exactly like an exhausted [max_states] — the incumbent (if
+    any) is returned with [optimal = false]. An eval-cap-only guard
+    never alters the search; bound [max_states] instead, which is what
+    the engine's degradation ladder derives from a rung's eval cap.
 
     [telemetry] (default {!Prtelemetry.null}, free): an
     ["exact.allocate"] span; ["exact.states"], ["perf.delta_evals"] and

@@ -2,6 +2,42 @@ module Xml = Xmllite.Xml
 
 exception Malformed of string
 
+type limits = {
+  xml : Xml.limits;
+  max_modules : int;
+  max_modes_per_module : int;
+  max_configurations : int;
+}
+
+exception
+  Too_large of { what : string; actual : int; maximum : int }
+
+let default_limits =
+  { xml = Xml.default_limits;
+    max_modules = 512;
+    max_modes_per_module = 256;
+    max_configurations = 4096 }
+
+let unlimited =
+  { xml = Xml.unlimited;
+    max_modules = max_int;
+    max_modes_per_module = max_int;
+    max_configurations = max_int }
+
+let check_count ~what ~maximum actual =
+  if actual > maximum then raise (Too_large { what; actual; maximum })
+
+let limit_message = function
+  | Too_large { what; actual; maximum } ->
+    Some
+      (Printf.sprintf "input guard: %d %s exceed the ceiling of %d" actual
+         what maximum)
+  | Xml.Limit_exceeded { limit; actual; maximum } ->
+    Some
+      (Printf.sprintf "input guard: document %s %d exceeds the ceiling of %d"
+         limit actual maximum)
+  | _ -> None
+
 let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 
 let required_attr name node =
@@ -26,8 +62,11 @@ let resource_of_attrs node =
 let mode_of_xml node =
   Mode.make (required_attr "name" node) (resource_of_attrs node)
 
-let module_of_xml node =
-  let modes = List.map mode_of_xml (Xml.find_all "mode" node) in
+let module_of_xml ~limits node =
+  let mode_nodes = Xml.find_all "mode" node in
+  check_count ~what:"modes in one module"
+    ~maximum:limits.max_modes_per_module (List.length mode_nodes);
+  let modes = List.map mode_of_xml mode_nodes in
   if modes = [] then fail "module %S has no modes" (required_attr "name" node);
   Pmodule.make (required_attr "name" node) modes
 
@@ -53,7 +92,7 @@ let configuration_of_xml ~modules node =
   if uses = [] then fail "configuration %S uses no modules" name;
   Configuration.make name (List.map choice uses)
 
-let of_xml root =
+let of_xml ?(limits = unlimited) root =
   if Xml.tag root <> "design" then fail "root element must be <design>";
   let name = required_attr "name" root in
   let static_overhead =
@@ -61,15 +100,19 @@ let of_xml root =
     | Some node -> resource_of_attrs node
     | None -> Fpga.Resource.zero
   in
-  let modules = List.map module_of_xml (Xml.find_all "module" root) in
+  let module_nodes = Xml.find_all "module" root in
+  check_count ~what:"modules" ~maximum:limits.max_modules
+    (List.length module_nodes);
+  let modules = List.map (module_of_xml ~limits) module_nodes in
   let marr = Array.of_list modules in
   let configurations =
     match Xml.find_opt "configurations" root with
     | None -> fail "design %S has no <configurations> element" name
     | Some node ->
-      List.map
-        (configuration_of_xml ~modules:marr)
-        (Xml.find_all "configuration" node)
+      let config_nodes = Xml.find_all "configuration" node in
+      check_count ~what:"configurations" ~maximum:limits.max_configurations
+        (List.length config_nodes);
+      List.map (configuration_of_xml ~modules:marr) config_nodes
   in
   let allow_unused_modes =
     match Xml.attr "allow_unused_modes" root with
@@ -135,8 +178,11 @@ let to_xml (d : Design.t) =
               [],
               List.map config_xml (Array.to_list d.configurations) ) ] )
 
-let load_string s = of_xml (Xml.parse_string s)
-let load_file path = of_xml (Xml.parse_file path)
+let load_string ?(limits = unlimited) s =
+  of_xml ~limits (Xml.parse_string ~limits:limits.xml s)
+
+let load_file ?(limits = unlimited) path =
+  of_xml ~limits (Xml.parse_file ~limits:limits.xml path)
 let to_string d = Xml.to_string (to_xml d)
 
 let save_file path d =

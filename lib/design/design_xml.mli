@@ -25,13 +25,51 @@ exception Malformed of string
 (** Raised when the XML is well-formed but does not match the schema, or
     when the resulting design fails {!Design.create} validation. *)
 
-val of_xml : Xmllite.Xml.t -> Design.t
+(** {1 Input guards}
+
+    Untrusted descriptions (the batch front-end parses whatever a
+    manifest points at) are bounded: the underlying XML document is
+    subject to {!Xmllite.Xml.limits} (size, nesting depth), and the
+    decoded design to element-count ceilings. Violations raise the typed
+    {!Too_large} / {!Xmllite.Xml.Limit_exceeded}, distinguishable from
+    schema errors ({!Malformed}) and syntax errors. *)
+
+type limits = {
+  xml : Xmllite.Xml.limits;  (** Document size / nesting ceilings. *)
+  max_modules : int;
+  max_modes_per_module : int;
+  max_configurations : int;
+}
+
+exception Too_large of { what : string; actual : int; maximum : int }
+(** An element-count ceiling was exceeded; [what] names it
+    (["modules"], ["modes in one module"], ["configurations"]). *)
+
+val default_limits : limits
+(** Generous ceilings ({!Xmllite.Xml.default_limits}, 512 modules, 256
+    modes per module, 4096 configurations) — far above any legitimate
+    design, so guarded loading is behaviour-identical to unguarded
+    loading on sane inputs. *)
+
+val unlimited : limits
+(** No ceilings — the historical behaviour (and the default). *)
+
+val limit_message : exn -> string option
+(** Human-readable rendering of {!Too_large} and
+    {!Xmllite.Xml.Limit_exceeded}; [None] for any other exception. *)
+
+val of_xml : ?limits:limits -> Xmllite.Xml.t -> Design.t
+(** Element-count ceilings only (the document is already parsed);
+    [limits] defaults to {!unlimited}. *)
+
 val to_xml : Design.t -> Xmllite.Xml.t
 
-val load_string : string -> Design.t
+val load_string : ?limits:limits -> string -> Design.t
 (** @raise Malformed on schema/validation errors.
-    @raise Xmllite.Xml.Parse_error on malformed XML. *)
+    @raise Xmllite.Xml.Parse_error on malformed XML.
+    @raise Too_large when [limits] is given and a count ceiling is hit.
+    @raise Xmllite.Xml.Limit_exceeded on document size/depth. *)
 
-val load_file : string -> Design.t
+val load_file : ?limits:limits -> string -> Design.t
 val save_file : string -> Design.t -> unit
 val to_string : Design.t -> string

@@ -55,6 +55,12 @@ let row_of_design ~options (cls, design) =
 
 let run ?(count = 1000) ?(seed = 2013) ?(options = Engine.default_options)
     ?(jobs = 1) ?spec () =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Sweep.run: invalid jobs count %d: the number of solver domains \
+          must be at least 1 (use 1 for sequential solving)"
+         jobs);
   (* One solve per design, no shared mutable state (each [Engine.solve]
      creates its own telemetry handle and evaluation cache), so the
      ordered parallel map is bit-identical to the sequential

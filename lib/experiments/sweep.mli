@@ -33,7 +33,10 @@ val run :
     [jobs] (default 1) solves that many designs concurrently
     ({!Par.map_list}): each solve is independent and deterministic, so
     the row list is bit-identical to the sequential run for any
-    [jobs]. *)
+    [jobs].
+
+    @raise Invalid_argument when [jobs < 1], with a message naming the
+    offending value. *)
 
 type summary = {
   rows : int;

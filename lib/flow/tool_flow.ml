@@ -26,6 +26,8 @@ type options = {
   resilience : resilience option;
   jobs : int;
   verify : bool;
+  budget : Prguard.Budget.spec option;
+  ladder : Prguard.Ladder.t option;
 }
 
 let default_options =
@@ -35,7 +37,9 @@ let default_options =
     telemetry = Prtelemetry.null;
     resilience = None;
     jobs = 1;
-    verify = false }
+    verify = false;
+    budget = None;
+    ladder = None }
 
 type report = {
   design : Design.t;
@@ -85,11 +89,12 @@ let trace_escalate ~telemetry ~reason device next =
 (* Partition, then floorplan with the feedback loop: on placement failure
    pick the next larger device and (for device-driven targets) re-run the
    partitioner against it. *)
-let rec implement ~(options : options) ~target ~escalations design =
+let rec implement ~(options : options) ?guard ~target ~escalations design =
   let telemetry = options.telemetry in
   match
     Engine.solve ~options:options.engine ~telemetry ~jobs:options.jobs
-      ~verify:options.verify ~target design
+      ~verify:options.verify ?budget:guard ?ladder:options.ladder ~target
+      design
   with
   | Error message -> Error message
   | Ok outcome ->
@@ -145,7 +150,7 @@ let rec implement ~(options : options) ~target ~escalations design =
                  escalate_device next (escalations + 1)
                | Engine.Fixed _ | Engine.Auto ->
                  trace_escalate ~telemetry ~reason:"repartition" device next;
-                 implement ~options ~target:(Engine.Fixed next)
+                 implement ~options ?guard ~target:(Engine.Fixed next)
                    ~escalations:(escalations + 1) design)
           end))
 
@@ -154,7 +159,11 @@ let run ?(options = default_options) ~target design =
   Prtelemetry.with_span telemetry "flow.run"
     ~attrs:[ ("design", Prtelemetry.Json.String design.Design.name) ]
   @@ fun () ->
-  match implement ~options ~target ~escalations:0 design with
+  (* One live budget for the whole flow: floorplan-feedback
+     re-partitioning attempts share the same deadline, so the flow's
+     total latency stays bounded. *)
+  let guard = Option.map Prguard.Budget.of_spec options.budget in
+  match implement ~options ?guard ~target ~escalations:0 design with
   | Error message -> Error message
   | Ok (outcome, device, layout, placement, floorplan_escalations) ->
     let wrappers = Hdl.Wrapper.emit_scheme outcome.Engine.scheme in
@@ -237,6 +246,12 @@ let render_summary r =
   Buffer.add_string buf (Scheme.describe scheme);
   Buffer.add_string buf
     (Format.asprintf "%a\n" Prcore.Cost.pp_evaluation r.outcome.Engine.evaluation);
+  (* Only guarded runs print the verdict, keeping unguarded reports
+     bit-identical to the pre-guard flow. *)
+  (if r.outcome.Engine.degraded.Prguard.Budget.guarded then
+     Buffer.add_string buf
+       (Printf.sprintf "guard: %s\n"
+          (Prguard.Budget.render_verdict r.outcome.Engine.degraded)));
   Array.iteri
     (fun i rect ->
       let label =
@@ -272,44 +287,56 @@ let render_summary r =
   end;
   Buffer.contents buf
 
-let write_outputs ~dir r =
-  try
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+let write_outputs ?(fsync = true) ~dir r =
+  (* Crash-safe artefact rendering: the output directory is created with
+     its ancestors if missing, and every file goes through
+     [Prguard.Atomic_io] (write-to-temp + fsync + rename, CRC32 sidecar)
+     so a crash or failure mid-write leaves no torn artefact — either the
+     previous file survives, the complete new one landed, or the sidecar
+     mismatch is detected by [Prguard.recover].  On a failed write the
+     temporary file is removed before the error is returned. *)
+  match Prguard.Atomic_io.mkdir_p dir with
+  | Error _ as e -> e
+  | Ok () ->
+    let checksum = Bitgen.Crc32.hex_digest in
+    let exception Failed of string in
     let written = ref [] in
     let write name content =
       let path = Filename.concat dir name in
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc content);
-      written := path :: !written
+      match Prguard.Atomic_io.write ~fsync ~checksum ~path content with
+      | Error message -> raise (Failed message)
+      | Ok () ->
+        written := Prguard.Atomic_io.sidecar path :: path :: !written
     in
-    List.iter (fun (name, verilog) -> write name verilog) r.wrappers;
-    List.iter
-      (fun (e : Bitgen.Repository.entry) ->
-        write
-          (Printf.sprintf "prr%d_%s.bit" (e.region + 1)
-             (Hdl.Ast.mangle e.label))
-          (Bytes.to_string (Bitgen.Bitstream.serialise e.bitstream)))
-      r.repository.Bitgen.Repository.entries;
-    write "full.bit"
-      (Bytes.to_string
-         (Bitgen.Bitstream.serialise r.repository.Bitgen.Repository.full));
-    write "design.xml" (Prdesign.Design_xml.to_string r.design);
-    write "report.txt" (render_summary r);
-    (match r.resilience with
-     | Some _ -> write "reliability.txt" (render_resilience r)
-     | None -> ());
-    (match r.diagnostics with
-     | Some diagnostics ->
-       write "verify.txt" (Prverify.Checker.render_report diagnostics)
-     | None -> ());
-    if Prtelemetry.enabled r.telemetry then begin
-      write "stats.txt" (Prtelemetry.summary r.telemetry);
-      if Prtelemetry.tracing r.telemetry then begin
-        Prtelemetry.flush r.telemetry;
-        write "trace.jsonl" (Prtelemetry.to_jsonl r.telemetry)
-      end
-    end;
-    Ok (List.rev !written)
-  with Sys_error message -> Error message
+    (try
+       List.iter (fun (name, verilog) -> write name verilog) r.wrappers;
+       List.iter
+         (fun (e : Bitgen.Repository.entry) ->
+           write
+             (Printf.sprintf "prr%d_%s.bit" (e.region + 1)
+                (Hdl.Ast.mangle e.label))
+             (Bytes.to_string (Bitgen.Bitstream.serialise e.bitstream)))
+         r.repository.Bitgen.Repository.entries;
+       write "full.bit"
+         (Bytes.to_string
+            (Bitgen.Bitstream.serialise r.repository.Bitgen.Repository.full));
+       write "design.xml" (Prdesign.Design_xml.to_string r.design);
+       write "report.txt" (render_summary r);
+       (match r.resilience with
+        | Some _ -> write "reliability.txt" (render_resilience r)
+        | None -> ());
+       (match r.diagnostics with
+        | Some diagnostics ->
+          write "verify.txt" (Prverify.Checker.render_report diagnostics)
+        | None -> ());
+       if Prtelemetry.enabled r.telemetry then begin
+         write "stats.txt" (Prtelemetry.summary r.telemetry);
+         if Prtelemetry.tracing r.telemetry then begin
+           Prtelemetry.flush r.telemetry;
+           write "trace.jsonl" (Prtelemetry.to_jsonl r.telemetry)
+         end
+       end;
+       Ok (List.rev !written)
+     with
+     | Failed message -> Error message
+     | Sys_error message -> Error message)

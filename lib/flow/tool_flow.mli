@@ -56,6 +56,17 @@ type options = {
           diagnostics in the report — {!render_summary} then appends a
           verification section and {!write_outputs} emits [verify.txt].
           Counted under the ["verify.*"] telemetry keys. *)
+  budget : Prguard.Budget.spec option;
+      (** Wall-clock / evaluation budget for the partition search
+          (default [None], unlimited — bit-identical to the unguarded
+          flow). One live {!Prguard.Budget.t} is created per {!run} and
+          shared across floorplan-feedback re-partitioning rounds, so
+          the deadline bounds the {e whole} flow, not each attempt.
+          When the search degrades, {!render_summary} adds a [guard:]
+          line and [outcome.degraded] carries the verdict. *)
+  ladder : Prguard.Ladder.t option;
+      (** Graceful-degradation ladder for the per-candidate-set
+          allocation (default [None]; see {!Prcore.Engine.solve}). *)
 }
 
 val default_options : options
@@ -101,12 +112,22 @@ val render_resilience : report -> string
 (** The resilience section of {!render_summary} alone; [""] when the
     assessment did not run. *)
 
-val write_outputs : dir:string -> report -> (string list, string) result
-(** Write every artefact under [dir] (created if missing): the wrapper
-    [.v] files, one [.bit] per bitstream, the design description
-    [design.xml] and a [report.txt]; with live telemetry also a
-    [stats.txt] summary and (when tracing) the [trace.jsonl] event
+val write_outputs :
+  ?fsync:bool -> dir:string -> report -> (string list, string) result
+(** Write every artefact under [dir] (created with its missing ancestors):
+    the wrapper [.v] files, one [.bit] per bitstream, the design
+    description [design.xml] and a [report.txt]; with live telemetry also
+    a [stats.txt] summary and (when tracing) the [trace.jsonl] event
     stream; with [options.verify] also the [verify.txt] oracle report.
-    Returns the written paths, or [Error message] when the
-    directory cannot be created or a file cannot be written (the
-    underlying [Sys_error] is never raised to the caller). *)
+
+    Every file is written {e crash-safely} through
+    {!Prguard.Atomic_io.write} (temp in the destination directory + fsync
+    + rename) with a CRC32 checksum sidecar ([<file>.crc32]), so an
+    interrupted run leaves either the previous artefact or the complete
+    new one — and {!Prguard.recover} detects anything in between.
+    Temporary files are cleaned up on failure paths.
+
+    Returns the written paths (data files and their sidecars), or
+    [Error message] when the directory cannot be created or a file cannot
+    be written (no exception escapes to the caller). [fsync] (default
+    [true]) can be disabled for tests. *)

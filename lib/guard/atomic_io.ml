@@ -1,0 +1,243 @@
+type checksum = string -> string
+
+let sidecar_suffix = ".crc32"
+let sidecar path = path ^ sidecar_suffix
+
+let is_sidecar path = Filename.check_suffix path sidecar_suffix
+
+let temp_prefix = ".prguard."
+let temp_suffix = ".tmp"
+
+let is_temp path =
+  let base = Filename.basename path in
+  String.length base > String.length temp_prefix + String.length temp_suffix
+  && String.sub base 0 (String.length temp_prefix) = temp_prefix
+  && Filename.check_suffix base temp_suffix
+
+let temp_counter = Atomic.make 0
+
+let temp_name path =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  Filename.concat dir
+    (Printf.sprintf "%s%s.%d.%d%s" temp_prefix base (Unix.getpid ())
+       (Atomic.fetch_and_add temp_counter 1)
+       temp_suffix)
+
+let write_all fd content =
+  let len = String.length content in
+  let bytes = Bytes.unsafe_of_string content in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let fsync_dir dir =
+  (* Best-effort: directory fsync is not supported on every platform. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let unix_msg path e = Printf.sprintf "%s: %s" path (Unix.error_message e)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then
+    if dir <> "" && Sys.file_exists dir && not (Sys.is_directory dir) then
+      Error (Printf.sprintf "%s: not a directory" dir)
+    else Ok ()
+  else
+    match mkdir_p (Filename.dirname dir) with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Unix.mkdir dir 0o755 with
+        | () -> Ok ()
+        | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+        | exception Unix.Unix_error (e, _, _) -> Error (unix_msg dir e))
+
+(* One atomic replacement of [path] by [content]: temp in the same
+   directory, write, optional fsync, rename, optional directory fsync. *)
+let replace ~fsync ~path content =
+  let tmp = temp_name path in
+  match Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> Error (unix_msg tmp e)
+  | fd -> (
+      let cleanup () =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        try Sys.remove tmp with Sys_error _ -> ()
+      in
+      match
+        write_all fd content;
+        if fsync then Unix.fsync fd;
+        Unix.close fd
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          cleanup ();
+          Error (unix_msg tmp e)
+      | () -> (
+          match Unix.rename tmp path with
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Sys.remove tmp with Sys_error _ -> ());
+              Error (unix_msg path e)
+          | () ->
+              if fsync then fsync_dir (Filename.dirname path);
+              Ok ()))
+
+let write ?(fsync = true) ?checksum ~path content =
+  match replace ~fsync ~path content with
+  | Error _ as e -> e
+  | Ok () -> (
+      match checksum with
+      | None -> Ok ()
+      | Some digest ->
+          (* The sidecar lands after the data: a crash between the two
+             renames leaves a stale sidecar next to new data, which
+             [recover] reports as corruption — detected, never silent. *)
+          replace ~fsync ~path:(sidecar path) (digest content ^ "\n"))
+
+let read path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content -> Ok content
+  | exception Sys_error msg -> Error msg
+
+let verify ~checksum path =
+  match read path with
+  | Error msg -> Error msg
+  | Ok content -> (
+      match read (sidecar path) with
+      | Error _ -> Ok () (* no sidecar: nothing to verify against *)
+      | Ok recorded ->
+          let expected = String.trim recorded in
+          let actual = checksum content in
+          if String.equal expected actual then Ok ()
+          else
+            Error
+              (Printf.sprintf "%s: checksum mismatch (recorded %s, actual %s)" path
+                 expected actual))
+
+type problem =
+  | Stale_temp
+  | Corrupt of { expected : string; actual : string }
+  | Orphan_sidecar
+  | Unreadable of string
+
+type issue = { path : string; problem : problem }
+
+type recovery = {
+  dir : string;
+  checked : int;
+  issues : issue list;
+  quarantined : string list;
+}
+
+let problem_to_string = function
+  | Stale_temp -> "stale temporary file"
+  | Corrupt { expected; actual } ->
+      Printf.sprintf "corrupt (recorded crc %s, actual %s)" expected actual
+  | Orphan_sidecar -> "orphan checksum sidecar"
+  | Unreadable msg -> Printf.sprintf "unreadable (%s)" msg
+
+let quarantine_dir dir = Filename.concat dir ".quarantine"
+
+let move_to_quarantine ~dir path acc =
+  let qdir = quarantine_dir dir in
+  (try Unix.mkdir qdir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error _ -> ());
+  let dest = Filename.concat qdir (Filename.basename path) in
+  match Unix.rename path dest with
+  | () -> path :: acc
+  | exception Unix.Unix_error _ -> acc
+
+let recover ~checksum ?(quarantine = true) ~dir () =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error msg
+  | entries ->
+      let entries = Array.to_list entries |> List.sort String.compare in
+      let full name = Filename.concat dir name in
+      let is_regular name =
+        match Unix.lstat (full name) with
+        | { Unix.st_kind = Unix.S_REG; _ } -> true
+        | _ -> false
+        | exception Unix.Unix_error _ -> false
+      in
+      let files = List.filter is_regular entries in
+      let issues = ref [] in
+      let quarantined = ref [] in
+      let checked = ref 0 in
+      let report path problem = issues := { path; problem } :: !issues in
+      (* 1. stale temporaries: delete. *)
+      List.iter
+        (fun name ->
+          if is_temp name then begin
+            report (full name) Stale_temp;
+            if quarantine then try Sys.remove (full name) with Sys_error _ -> ()
+          end)
+        files;
+      (* 2. data files with sidecars: verify digests. *)
+      List.iter
+        (fun name ->
+          if (not (is_temp name)) && not (is_sidecar name) then
+            let path = full name in
+            if Sys.file_exists (sidecar path) then begin
+              incr checked;
+              match read path with
+              | Error msg -> report path (Unreadable msg)
+              | Ok content -> (
+                  match read (sidecar path) with
+                  | Error msg -> report path (Unreadable msg)
+                  | Ok recorded ->
+                      let expected = String.trim recorded in
+                      let actual = checksum content in
+                      if not (String.equal expected actual) then begin
+                        report path (Corrupt { expected; actual });
+                        if quarantine then begin
+                          quarantined := move_to_quarantine ~dir path !quarantined;
+                          quarantined :=
+                            move_to_quarantine ~dir (sidecar path) !quarantined
+                        end
+                      end)
+            end)
+        files;
+      (* 3. orphan sidecars. *)
+      List.iter
+        (fun name ->
+          if is_sidecar name && not (is_temp name) then
+            let path = full name in
+            let data = Filename.chop_suffix path sidecar_suffix in
+            if (not (Sys.file_exists data)) && Sys.file_exists path then begin
+              report path Orphan_sidecar;
+              if quarantine then
+                quarantined := move_to_quarantine ~dir path !quarantined
+            end)
+        files;
+      let issues =
+        List.sort (fun a b -> String.compare a.path b.path) (List.rev !issues)
+      in
+      Ok
+        {
+          dir;
+          checked = !checked;
+          issues;
+          quarantined = List.sort String.compare !quarantined;
+        }
+
+let clean r = r.issues = []
+
+let render_recovery r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "recover %s: %d file(s) checked, %d issue(s)\n" r.dir r.checked
+       (List.length r.issues));
+  List.iter
+    (fun { path; problem } ->
+      Buffer.add_string b (Printf.sprintf "  %s: %s\n" path (problem_to_string problem)))
+    r.issues;
+  if r.quarantined <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "  quarantined %d file(s) into %s\n" (List.length r.quarantined)
+         (quarantine_dir r.dir));
+  Buffer.contents b

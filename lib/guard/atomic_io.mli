@@ -1,0 +1,74 @@
+(** Crash-safe file writes and torn-artefact recovery.
+
+    {!write} renders a file atomically: the content goes to a temporary file
+    in the destination directory, is flushed to stable storage ([fsync]),
+    and is then renamed over the target — readers either see the old file or
+    the complete new one, never a torn prefix.  When a [checksum] function is
+    supplied a sidecar file [path ^ ".crc32"] holding the hex digest is
+    written (atomically, after the data) so {!recover} can detect silent
+    corruption as well as crash artefacts.
+
+    The library takes the checksum as a plain [string -> string] so it does
+    not depend on any particular digest implementation; callers typically
+    pass [Bitgen.Crc32.hex_digest]. *)
+
+type checksum = string -> string
+(** Hex digest of a whole file's content. *)
+
+val sidecar : string -> string
+(** [sidecar path] is the checksum sidecar path, [path ^ ".crc32"]. *)
+
+val is_sidecar : string -> bool
+
+val is_temp : string -> bool
+(** Recognise this module's temporary-file names (crash leftovers). *)
+
+val mkdir_p : string -> (unit, string) result
+(** Create a directory and its missing ancestors ([Error message] when a
+    path component exists but is not a directory, or creation fails). *)
+
+val write :
+  ?fsync:bool -> ?checksum:checksum -> path:string -> string -> (unit, string) result
+(** [write ~path content] atomically replaces [path] with [content].
+    [fsync] (default [true]) forces the data and the containing directory to
+    stable storage before/after the rename.  On failure the temporary file
+    is removed and [Error message] is returned; [path] is untouched. *)
+
+val read : string -> (string, string) result
+(** Read a whole file, [Error message] on failure. *)
+
+val verify : checksum:checksum -> string -> (unit, string) result
+(** [verify ~checksum path] recomputes the digest of [path] and compares it
+    with the sidecar.  [Ok ()] when they match or when no sidecar exists. *)
+
+(** {1 Recovery} *)
+
+type problem =
+  | Stale_temp  (** Leftover temporary file from an interrupted write. *)
+  | Corrupt of { expected : string; actual : string }
+      (** Sidecar digest does not match the file content. *)
+  | Orphan_sidecar  (** Sidecar without its data file. *)
+  | Unreadable of string  (** I/O error while checking. *)
+
+type issue = { path : string; problem : problem }
+
+type recovery = {
+  dir : string;
+  checked : int;  (** Files with sidecars that were verified. *)
+  issues : issue list;
+  quarantined : string list;  (** Files moved into [dir/.quarantine/]. *)
+}
+
+val recover :
+  checksum:checksum -> ?quarantine:bool -> dir:string -> unit -> (recovery, string) result
+(** Scan [dir] (non-recursively) for torn or corrupt artefacts: stale
+    temporaries are deleted, files whose sidecar digest mismatches are moved
+    (with their sidecar) into [dir/.quarantine/] when [quarantine] is [true]
+    (the default), orphan sidecars are quarantined likewise.  Issues are
+    reported in sorted path order. *)
+
+val clean : recovery -> bool
+(** No issues found. *)
+
+val render_recovery : recovery -> string
+val problem_to_string : problem -> string

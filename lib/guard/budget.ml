@@ -1,0 +1,164 @@
+type cancel = bool Atomic.t
+
+let cancel_token () : cancel = Atomic.make false
+let cancel (c : cancel) = Atomic.set c true
+let cancelled (c : cancel) = Atomic.get c
+
+type spec = { deadline_ms : float option; max_evals : int option }
+
+let spec ?deadline_ms ?max_evals () = { deadline_ms; max_evals }
+let unlimited = { deadline_ms = None; max_evals = None }
+
+let is_unlimited s = s.deadline_ms = None && s.max_evals = None
+
+let spec_to_string s =
+  match (s.deadline_ms, s.max_evals) with
+  | None, None -> "unlimited"
+  | Some d, None -> Printf.sprintf "%.0fms" d
+  | None, Some e -> Printf.sprintf "%d evals" e
+  | Some d, Some e -> Printf.sprintf "%.0fms/%d evals" d e
+
+type t = {
+  deadline : float option;  (** absolute, [Unix.gettimeofday] seconds *)
+  max_evals : int option;
+  evals : int Atomic.t;
+  cancel_tok : cancel;
+  started : float;
+  parent : t option;
+  expired : bool Atomic.t;  (** sticky deadline flag *)
+  probe : int Atomic.t;  (** clock-probe stride counter *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let make ?deadline_ms ?max_evals ?cancel () =
+  let started = now () in
+  {
+    deadline = Option.map (fun ms -> started +. (ms /. 1000.)) deadline_ms;
+    max_evals;
+    evals = Atomic.make 0;
+    cancel_tok = (match cancel with Some c -> c | None -> cancel_token ());
+    started;
+    parent = None;
+    expired = Atomic.make false;
+    probe = Atomic.make 0;
+  }
+
+let of_spec ?cancel s = make ?deadline_ms:s.deadline_ms ?max_evals:s.max_evals ?cancel ()
+
+let child parent s =
+  let started = now () in
+  let own = Option.map (fun ms -> started +. (ms /. 1000.)) s.deadline_ms in
+  let deadline =
+    match (parent.deadline, own) with
+    | None, d | d, None -> d
+    | Some a, Some b -> Some (Float.min a b)
+  in
+  {
+    deadline;
+    max_evals = s.max_evals;
+    evals = Atomic.make 0;
+    cancel_tok = parent.cancel_tok;
+    started;
+    parent = Some parent;
+    expired = Atomic.make false;
+    probe = Atomic.make 0;
+  }
+
+let rec charge ?(n = 1) t =
+  ignore (Atomic.fetch_and_add t.evals n);
+  match t.parent with None -> () | Some p -> charge ~n p
+
+let evals_used t = Atomic.get t.evals
+let elapsed_ms t = (now () -. t.started) *. 1000.
+let has_eval_cap t = t.max_evals <> None
+let has_deadline t = t.deadline <> None
+
+type reason = Completed | Deadline | Eval_cap | Cancelled
+
+let reason_name = function
+  | Completed -> "completed"
+  | Deadline -> "deadline"
+  | Eval_cap -> "eval-cap"
+  | Cancelled -> "cancelled"
+
+(* Deadline probing: [Unix.gettimeofday] is cheap but not free; probe the
+   clock on a small stride and latch the result so the expiry point cannot
+   oscillate. *)
+let probe_stride = 16
+
+let deadline_passed t =
+  match t.deadline with
+  | None -> false
+  | Some _ when Atomic.get t.expired -> true
+  | Some d ->
+      let k = Atomic.fetch_and_add t.probe 1 in
+      if k mod probe_stride <> 0 then false
+      else if now () > d then (
+        Atomic.set t.expired true;
+        true)
+      else false
+
+(* An immediate (stride-free) deadline check, used by [exhausted] so that a
+   final classification is exact. *)
+let deadline_passed_now t =
+  match t.deadline with
+  | None -> false
+  | Some _ when Atomic.get t.expired -> true
+  | Some d ->
+      if now () > d then (
+        Atomic.set t.expired true;
+        true)
+      else false
+
+let rec eval_cap_hit t =
+  (match t.max_evals with Some cap -> Atomic.get t.evals >= cap | None -> false)
+  || match t.parent with None -> false | Some p -> eval_cap_hit p
+
+let exhausted t =
+  if cancelled t.cancel_tok then Some Cancelled
+  else if deadline_passed_now t then Some Deadline
+  else if eval_cap_hit t then Some Eval_cap
+  else None
+
+let interrupted t = cancelled t.cancel_tok || deadline_passed t
+
+type verdict = {
+  guarded : bool;
+  degraded : bool;
+  reason : reason;
+  rung : string option;
+  evals_used : int;
+  elapsed_ms : float;
+}
+
+let no_budget =
+  {
+    guarded = false;
+    degraded = false;
+    reason = Completed;
+    rung = None;
+    evals_used = 0;
+    elapsed_ms = 0.;
+  }
+
+let verdict ?rung t =
+  let reason = match exhausted t with None -> Completed | Some r -> r in
+  {
+    guarded = true;
+    degraded = reason <> Completed;
+    reason;
+    rung;
+    evals_used = evals_used t;
+    elapsed_ms = elapsed_ms t;
+  }
+
+let with_rung rung v = { v with rung = Some rung }
+
+let render_verdict v =
+  if not v.guarded then "unguarded"
+  else
+    Printf.sprintf "%s%s (%d evals, %.1f ms)%s"
+      (if v.degraded then "degraded: " else "")
+      (reason_name v.reason) v.evals_used v.elapsed_ms
+      (match v.rung with None -> "" | Some r -> Printf.sprintf " via %s" r)

@@ -1,0 +1,95 @@
+type rung_kind = Exact | Anneal | Greedy | Single_region
+
+type rung = { kind : rung_kind; budget : Budget.spec }
+
+type t = { rungs : rung list }
+
+let rung_name = function
+  | Exact -> "exact"
+  | Anneal -> "anneal"
+  | Greedy -> "greedy"
+  | Single_region -> "single-region"
+
+let rung_kind_of_string = function
+  | "exact" -> Some Exact
+  | "anneal" -> Some Anneal
+  | "greedy" -> Some Greedy
+  | "single-region" | "single_region" | "single" -> Some Single_region
+  | _ -> None
+
+let default =
+  {
+    rungs =
+      [
+        { kind = Exact; budget = Budget.spec ~max_evals:150_000 () };
+        { kind = Anneal; budget = Budget.spec ~max_evals:40_000 () };
+        { kind = Greedy; budget = Budget.unlimited };
+        { kind = Single_region; budget = Budget.unlimited };
+      ];
+  }
+
+let parse_limit what s =
+  if s = "" then Ok None
+  else
+    match float_of_string_opt s with
+    | Some v when v > 0. -> Ok (Some v)
+    | _ -> Error (Printf.sprintf "invalid %s %S (expected a positive number)" what s)
+
+let parse_rung s =
+  match String.split_on_char ':' (String.trim s) with
+  | [] | [ "" ] -> Error "empty rung"
+  | name :: limits -> (
+      match rung_kind_of_string name with
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown rung %S (expected exact, anneal, greedy or single-region)" name)
+      | Some kind -> (
+          match limits with
+          | [] -> Ok { kind; budget = Budget.unlimited }
+          | [ evals ] -> (
+              match parse_limit "eval cap" evals with
+              | Error e -> Error e
+              | Ok cap ->
+                  Ok
+                    {
+                      kind;
+                      budget = Budget.spec ?max_evals:(Option.map int_of_float cap) ();
+                    })
+          | [ evals; deadline ] -> (
+              match (parse_limit "eval cap" evals, parse_limit "deadline" deadline) with
+              | Error e, _ | _, Error e -> Error e
+              | Ok cap, Ok dl ->
+                  Ok
+                    {
+                      kind;
+                      budget =
+                        Budget.spec
+                          ?max_evals:(Option.map int_of_float cap)
+                          ?deadline_ms:dl ();
+                    })
+          | _ -> Error (Printf.sprintf "too many limit fields in rung %S" s)))
+
+let validate t =
+  if t.rungs = [] then Error "ladder has no rungs" else Ok t
+
+let of_string s =
+  let parts = String.split_on_char ',' s |> List.filter (fun p -> String.trim p <> "") in
+  if parts = [] then Error "empty ladder"
+  else
+    let rec go acc = function
+      | [] -> validate { rungs = List.rev acc }
+      | p :: rest -> (
+          match parse_rung p with Error e -> Error e | Ok r -> go (r :: acc) rest)
+    in
+    go [] parts
+
+let rung_to_string r =
+  let name = rung_name r.kind in
+  match (r.budget.Budget.max_evals, r.budget.Budget.deadline_ms) with
+  | None, None -> name
+  | Some e, None -> Printf.sprintf "%s:%d" name e
+  | None, Some d -> Printf.sprintf "%s::%.0f" name d
+  | Some e, Some d -> Printf.sprintf "%s:%d:%.0f" name e d
+
+let to_string t = String.concat "," (List.map rung_to_string t.rungs)

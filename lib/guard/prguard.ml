@@ -1,0 +1,24 @@
+(** Prguard — resilience layer for the solving pipeline.
+
+    Three concerns, one module: {!Budget} bounds how long a solve may run
+    (wall clock, evaluation cap, cooperative cancellation) so the engine can
+    return the best feasible answer found so far; {!Ladder} describes the
+    graceful-degradation escalation policy (exact → anneal → greedy →
+    single-region); {!Atomic_io} makes artefact writes crash-safe and
+    {!recover} detects and quarantines torn or corrupt artefacts after a
+    crash. *)
+
+module Budget = Budget
+module Ladder = Ladder
+module Atomic_io = Atomic_io
+
+type verdict = Budget.verdict = {
+  guarded : bool;
+  degraded : bool;
+  reason : Budget.reason;
+  rung : string option;
+  evals_used : int;
+  elapsed_ms : float;
+}
+
+let recover = Atomic_io.recover

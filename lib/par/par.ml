@@ -1,5 +1,15 @@
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* Cooperative cancellation: when [cancel] reports true, items that have
+   not started yet are computed with [fallback] instead of [f] (the
+   already-ordered result array keeps its shape, so callers can mark
+   skipped items with a cheap sentinel). Without a [fallback] the
+   [cancel] flag is ignored. *)
+let apply ?cancel ?fallback f x =
+  match (cancel, fallback) with
+  | Some c, Some fb when c () -> fb x
+  | _ -> f x
+
 module Pool = struct
   (* Workers block on [work] waiting for batch tasks. A map pushes one
      task per worker; every participant (workers + the caller) then
@@ -71,7 +81,8 @@ module Pool = struct
     let pool = create ~jobs in
     Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-  let map_array t f xs =
+  let map_array ?cancel ?fallback t f xs =
+    let f = apply ?cancel ?fallback f in
     let n = Array.length xs in
     let live_workers = List.length t.workers in
     if n = 0 then [||]
@@ -122,13 +133,15 @@ module Pool = struct
         results
     end
 
-  let map_list t f xs =
-    Array.to_list (map_array t f (Array.of_list xs))
+  let map_list ?cancel ?fallback t f xs =
+    Array.to_list (map_array ?cancel ?fallback t f (Array.of_list xs))
 end
 
-let map_array ~jobs f xs =
-  if jobs <= 1 || Array.length xs <= 1 then Array.map f xs
-  else Pool.with_pool ~jobs (fun pool -> Pool.map_array pool f xs)
+let map_array ?cancel ?fallback ~jobs f xs =
+  if jobs <= 1 || Array.length xs <= 1 then
+    Array.map (apply ?cancel ?fallback f) xs
+  else
+    Pool.with_pool ~jobs (fun pool -> Pool.map_array ?cancel ?fallback pool f xs)
 
-let map_list ~jobs f xs =
-  Array.to_list (map_array ~jobs f (Array.of_list xs))
+let map_list ?cancel ?fallback ~jobs f xs =
+  Array.to_list (map_array ?cancel ?fallback ~jobs f (Array.of_list xs))

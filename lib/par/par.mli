@@ -33,15 +33,36 @@ module Pool : sig
 
   val jobs : t -> int
 
-  val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+  val map_array :
+    ?cancel:(unit -> bool) ->
+    ?fallback:('a -> 'b) ->
+    t ->
+    ('a -> 'b) ->
+    'a array ->
+    'b array
   (** Ordered parallel map: [map_array t f xs] equals
       [Array.map f xs] element-for-element. Work is distributed by
       atomic index stealing; the calling domain participates. If any
       [f xs.(i)] raises, the exception of the {e lowest} such index is
       re-raised after all items finish — deterministic error
-      behaviour. *)
+      behaviour.
 
-  val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+      [cancel]/[fallback] implement cooperative cancellation across the
+      worker domains: once [cancel ()] reports [true] (it is polled
+      immediately before each item starts, on whichever domain steals
+      it), remaining items are computed with [fallback] instead of [f] —
+      typically a cheap sentinel so the caller can tell skipped items
+      apart. Items already in flight run to completion; the result
+      array keeps its full shape and order. Without [fallback] the
+      [cancel] flag is ignored. *)
+
+  val map_list :
+    ?cancel:(unit -> bool) ->
+    ?fallback:('a -> 'b) ->
+    t ->
+    ('a -> 'b) ->
+    'a list ->
+    'b list
   (** [map_list t f xs] equals [List.map f xs]; see {!map_array}. *)
 
   val shutdown : t -> unit
@@ -52,9 +73,22 @@ module Pool : sig
   (** Create, run, and always shut down (also on exceptions). *)
 end
 
-val map_array : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?cancel:(unit -> bool) ->
+  ?fallback:('a -> 'b) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** One-shot ordered map over a temporary pool ([jobs <= 1] runs
-    inline without spawning anything). *)
+    inline without spawning anything). [cancel]/[fallback] as in
+    {!Pool.map_array}; they are honoured on the inline path too. *)
 
-val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?cancel:(unit -> bool) ->
+  ?fallback:('a -> 'b) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** List analogue of {!map_array}. *)

@@ -4,6 +4,16 @@ type t =
 
 exception Parse_error of { line : int; column : int; message : string }
 
+type limits = { max_bytes : int; max_depth : int }
+
+exception Limit_exceeded of { limit : string; actual : int; maximum : int }
+
+let default_limits = { max_bytes = 16 * 1024 * 1024; max_depth = 128 }
+let unlimited = { max_bytes = max_int; max_depth = max_int }
+
+let check_limit ~limit ~actual ~maximum =
+  if actual > maximum then raise (Limit_exceeded { limit; actual; maximum })
+
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -88,7 +98,7 @@ let unescape s =
 (* A hand-rolled recursive-descent parser over a string with explicit
    position tracking; error positions are 1-based. *)
 module Parser = struct
-  type state = { src : string; mutable pos : int }
+  type state = { src : string; limits : limits; mutable pos : int }
 
   let line_col st upto =
     let line = ref 1 and col = ref 1 in
@@ -188,7 +198,8 @@ module Parser = struct
     advance st;
     (name, unescape raw)
 
-  let rec read_element st =
+  let rec read_element st depth =
+    check_limit ~limit:"depth" ~actual:depth ~maximum:st.limits.max_depth;
     expect st "<";
     let tag = read_name st in
     let rec attrs acc =
@@ -199,13 +210,13 @@ module Parser = struct
         Element (tag, List.rev acc, [])
       | '>' ->
         advance st;
-        let children = read_content st tag in
+        let children = read_content st tag depth in
         Element (tag, List.rev acc, children)
       | _ -> attrs (read_attribute st :: acc)
     in
     attrs []
 
-  and read_content st tag =
+  and read_content st tag depth =
     let rec loop acc =
       if eof st then fail st (Printf.sprintf "unterminated element <%s>" tag)
       else if looking_at st "</" then begin
@@ -219,7 +230,7 @@ module Parser = struct
         List.rev acc
       end
       else if skip_misc st then loop acc
-      else if peek st = '<' then loop (read_element st :: acc)
+      else if peek st = '<' then loop (read_element st (depth + 1) :: acc)
       else begin
         let start = st.pos in
         while (not (eof st)) && peek st <> '<' do
@@ -239,7 +250,7 @@ module Parser = struct
     in
     prologue ();
     if eof st || peek st <> '<' then fail st "expected a root element";
-    let root = read_element st in
+    let root = read_element st 1 in
     let rec epilogue () =
       skip_space st;
       if skip_misc st then epilogue ()
@@ -249,13 +260,21 @@ module Parser = struct
     root
 end
 
-let parse_string s = Parser.document { Parser.src = s; pos = 0 }
+let parse_string ?(limits = unlimited) s =
+  check_limit ~limit:"bytes" ~actual:(String.length s)
+    ~maximum:limits.max_bytes;
+  Parser.document { Parser.src = s; limits; pos = 0 }
 
-let parse_file path =
+let parse_file ?(limits = unlimited) path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+    (fun () ->
+      (* Reject oversized documents from the file length alone, before
+         the bytes are pulled into memory. *)
+      let length = in_channel_length ic in
+      check_limit ~limit:"bytes" ~actual:length ~maximum:limits.max_bytes;
+      parse_string ~limits (really_input_string ic length))
 
 let to_string ?(indent = 2) doc =
   let buf = Buffer.create 256 in

@@ -13,13 +13,44 @@ type t =
 exception Parse_error of { line : int; column : int; message : string }
 (** Raised by the parsing functions on malformed input. *)
 
-val parse_string : string -> t
-(** [parse_string s] parses [s] into the single root element.
-    @raise Parse_error on malformed input or a non-element root. *)
+(** {1 Input guards}
 
-val parse_file : string -> t
+    Untrusted documents (the batch front-end feeds arbitrary files to the
+    parser) are bounded before and during parsing: a document larger than
+    [max_bytes] is rejected up front, and element nesting deeper than
+    [max_depth] is rejected as soon as it is encountered — a
+    pathological [<a><a><a>…] document costs O(max_depth), not O(input).
+    Both violations raise the {e typed} {!Limit_exceeded} (never a bare
+    [Failure]), so callers can distinguish resource-guard rejections from
+    syntax errors ({!Parse_error}). *)
+
+type limits = {
+  max_bytes : int;  (** Maximum document size in bytes. *)
+  max_depth : int;  (** Maximum element nesting depth (root = 1). *)
+}
+
+exception Limit_exceeded of { limit : string; actual : int; maximum : int }
+(** [limit] names the violated ceiling (["bytes"] or ["depth"]). *)
+
+val default_limits : limits
+(** Generous ceilings for trusted inputs: 16 MiB, depth 128 — far above
+    any legitimate design description, so guarded parsing is
+    behaviour-identical to unguarded parsing on well-formed inputs. *)
+
+val unlimited : limits
+(** No ceilings (both fields [max_int]) — the historical behaviour. *)
+
+val parse_string : ?limits:limits -> string -> t
+(** [parse_string s] parses [s] into the single root element.
+    [limits] defaults to {!unlimited}.
+    @raise Parse_error on malformed input or a non-element root.
+    @raise Limit_exceeded when [limits] is given and exceeded. *)
+
+val parse_file : ?limits:limits -> string -> t
 (** [parse_file path] reads and parses the file at [path].
-    @raise Sys_error if the file cannot be read. *)
+    @raise Sys_error if the file cannot be read.
+    @raise Limit_exceeded when [limits] is given and exceeded (the size
+    ceiling is checked against the file length {e before} reading it). *)
 
 val to_string : ?indent:int -> t -> string
 (** [to_string ?indent doc] pretty-prints [doc]; [indent] is the number of

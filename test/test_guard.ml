@@ -1,0 +1,699 @@
+(* Prguard: deadline-aware anytime solving, crash-safe artefacts and the
+   hardened batch front-end.
+
+   Covers the budget/ladder machinery, the atomic-write + recovery layer
+   (including single-bit corruption detection), the engine's
+   eval-cap determinism contract, and the CLI regressions (--jobs 0
+   rejection, batch isolation of a poisoned manifest entry). *)
+
+module Budget = Prguard.Budget
+module Ladder = Prguard.Ladder
+module Atomic_io = Prguard.Atomic_io
+module Engine = Prcore.Engine
+module Cost = Prcore.Cost
+module Design_xml = Prdesign.Design_xml
+
+let checksum = Bitgen.Crc32.hex_digest
+
+(* ------------------------------------------------------------- helpers *)
+
+let temp_dir prefix =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  (match Atomic_io.mkdir_p path with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_raw path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let design () =
+  match Prdesign.Design_library.find "video-receiver" with
+  | Some d -> d
+  | None -> Alcotest.fail "built-in design video-receiver missing"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || scan (i + 1)
+  in
+  scan 0
+
+let fx70t = Fpga.Device.find_exn "FX70T"
+
+let solve_capped ?cap design =
+  let budget =
+    Option.map (fun max_evals -> Budget.make ~max_evals ()) cap
+  in
+  match Engine.solve ?budget ~target:(Engine.Fixed fx70t) design with
+  | Ok o -> o
+  | Error m -> Alcotest.fail m
+
+(* -------------------------------------------------------------- budget *)
+
+let budget_tests =
+  [ Alcotest.test_case "eval cap exhausts deterministically" `Quick
+      (fun () ->
+        let b = Budget.make ~max_evals:10 () in
+        Alcotest.(check bool) "live" true (Budget.exhausted b = None);
+        Budget.charge ~n:9 b;
+        Alcotest.(check bool) "still live" true (Budget.exhausted b = None);
+        Budget.charge b;
+        (match Budget.exhausted b with
+         | Some Budget.Eval_cap -> ()
+         | _ -> Alcotest.fail "expected Eval_cap");
+        (* The eval cap must NOT interrupt (determinism contract):
+           [interrupted] is deadline/cancel only. *)
+        Alcotest.(check bool) "cap does not interrupt" false
+          (Budget.interrupted b));
+    Alcotest.test_case "cancellation wins over everything" `Quick
+      (fun () ->
+        let cancel = Budget.cancel_token () in
+        let b = Budget.make ~max_evals:1 ~cancel () in
+        Budget.charge ~n:5 b;
+        Budget.cancel cancel;
+        (match Budget.exhausted b with
+         | Some Budget.Cancelled -> ()
+         | _ -> Alcotest.fail "expected Cancelled");
+        Alcotest.(check bool) "interrupted" true (Budget.interrupted b));
+    Alcotest.test_case "expired deadline interrupts immediately" `Quick
+      (fun () ->
+        let b = Budget.make ~deadline_ms:0.0 () in
+        (* Let the wall clock visibly advance past the (zero) allowance,
+           then poll often enough to cross the probe stride. *)
+        Unix.sleepf 0.002;
+        let rec poll n = n > 0 && (Budget.interrupted b || poll (n - 1)) in
+        Alcotest.(check bool) "interrupted" true (poll 64);
+        match Budget.exhausted b with
+        | Some Budget.Deadline -> ()
+        | _ -> Alcotest.fail "expected Deadline");
+    Alcotest.test_case "child budgets share charges and deadlines" `Quick
+      (fun () ->
+        let parent = Budget.make ~max_evals:100 () in
+        let child = Budget.child parent (Budget.spec ~max_evals:5 ()) in
+        Budget.charge ~n:5 child;
+        (match Budget.exhausted child with
+         | Some Budget.Eval_cap -> ()
+         | _ -> Alcotest.fail "child cap");
+        Alcotest.(check int) "parent charged" 5 (Budget.evals_used parent);
+        (* The child is also capped by the parent's remaining budget. *)
+        let child2 = Budget.child parent (Budget.spec ~max_evals:1000 ()) in
+        Budget.charge ~n:95 child2;
+        match Budget.exhausted child2 with
+        | Some Budget.Eval_cap -> ()
+        | r ->
+          Alcotest.failf "parent cap should bound the child (%s)"
+            (match r with
+             | None -> "live"
+             | Some r -> Budget.reason_name r));
+    Alcotest.test_case "verdict rendering" `Quick (fun () ->
+        Alcotest.(check string) "unguarded" "unguarded"
+          (Budget.render_verdict Budget.no_budget);
+        let b = Budget.make ~max_evals:3 () in
+        Budget.charge ~n:3 b;
+        let v = Budget.verdict ~rung:"anneal" b in
+        Alcotest.(check bool) "guarded" true v.Budget.guarded;
+        Alcotest.(check bool) "degraded" true v.Budget.degraded;
+        let rendered = Budget.render_verdict v in
+        Alcotest.(check bool) "mentions rung" true
+          (String.length rendered > 0
+          && Option.is_some (String.index_opt rendered 'a')));
+    Alcotest.test_case "spec round-trip" `Quick (fun () ->
+        Alcotest.(check bool) "unlimited" true
+          (Budget.is_unlimited Budget.unlimited);
+        let s = Budget.spec ~deadline_ms:250. ~max_evals:99 () in
+        Alcotest.(check bool) "limited" false (Budget.is_unlimited s);
+        Alcotest.(check bool) "renders" true
+          (String.length (Budget.spec_to_string s) > 0)) ]
+
+(* -------------------------------------------------------------- ladder *)
+
+let ladder_tests =
+  [ Alcotest.test_case "parses and round-trips" `Quick (fun () ->
+        let spec = "exact:1000,anneal:500:200,greedy,single-region" in
+        match Ladder.of_string spec with
+        | Error m -> Alcotest.fail m
+        | Ok l ->
+          Alcotest.(check int) "four rungs" 4 (List.length l.Ladder.rungs);
+          (match Ladder.of_string (Ladder.to_string l) with
+           | Ok l' ->
+             Alcotest.(check string) "round-trip" (Ladder.to_string l)
+               (Ladder.to_string l')
+           | Error m -> Alcotest.fail m));
+    Alcotest.test_case "rejects junk" `Quick (fun () ->
+        (match Ladder.of_string "warp-drive" with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "accepted an unknown rung");
+        (match Ladder.of_string "exact:-5" with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "accepted a negative limit");
+        match Ladder.of_string "" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted an empty ladder");
+    Alcotest.test_case "default ladder is well-formed" `Quick (fun () ->
+        match Ladder.validate Ladder.default with
+        | Ok _ -> ()
+        | Error m -> Alcotest.fail m) ]
+
+(* ----------------------------------------------------------- atomic io *)
+
+let atomic_io_tests =
+  [ Alcotest.test_case "write/read round-trip with sidecar" `Quick
+      (fun () ->
+        let dir = temp_dir "prguard-io" in
+        let path = Filename.concat dir "a.bin" in
+        let content = "hello\x00world\xff" in
+        (match Atomic_io.write ~fsync:false ~checksum ~path content with
+         | Ok () -> ()
+         | Error m -> Alcotest.fail m);
+        Alcotest.(check string) "content" content (read_file path);
+        Alcotest.(check bool) "sidecar exists" true
+          (Sys.file_exists (Atomic_io.sidecar path));
+        (match Atomic_io.verify ~checksum path with
+         | Ok () -> ()
+         | Error m -> Alcotest.fail m);
+        (* Overwrite: readers must end up with the new content. *)
+        (match Atomic_io.write ~fsync:false ~checksum ~path "v2" with
+         | Ok () -> ()
+         | Error m -> Alcotest.fail m);
+        Alcotest.(check string) "replaced" "v2" (read_file path));
+    Alcotest.test_case "detects corruption, recover quarantines" `Quick
+      (fun () ->
+        let dir = temp_dir "prguard-corrupt" in
+        let path = Filename.concat dir "bits.bin" in
+        (match Atomic_io.write ~fsync:false ~checksum ~path "payload" with
+         | Ok () -> ()
+         | Error m -> Alcotest.fail m);
+        write_raw path "payl0ad";
+        (match Atomic_io.verify ~checksum path with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "corruption went undetected");
+        match Atomic_io.recover ~checksum ~dir () with
+        | Error m -> Alcotest.fail m
+        | Ok r ->
+          Alcotest.(check bool) "not clean" false (Atomic_io.clean r);
+          Alcotest.(check int) "quarantined data+sidecar" 2
+            (List.length r.Atomic_io.quarantined);
+          Alcotest.(check bool) "moved out" false (Sys.file_exists path);
+          Alcotest.(check bool) "into .quarantine" true
+            (Sys.file_exists
+               (Filename.concat
+                  (Filename.concat dir ".quarantine")
+                  "bits.bin")));
+    Alcotest.test_case "recover sweeps stale temps and orphans" `Quick
+      (fun () ->
+        let dir = temp_dir "prguard-sweep" in
+        let temp = Filename.concat dir ".prguard.x.1.0.tmp" in
+        write_raw temp "partial";
+        write_raw (Filename.concat dir "ghost.bit.crc32") "deadbeef\n";
+        (match Atomic_io.recover ~checksum ~dir () with
+         | Error m -> Alcotest.fail m
+         | Ok r ->
+           Alcotest.(check int) "two issues" 2 (List.length r.Atomic_io.issues);
+           Alcotest.(check bool) "temp deleted" false (Sys.file_exists temp));
+        (* A second pass over the recovered directory is clean. *)
+        match Atomic_io.recover ~checksum ~dir () with
+        | Error m -> Alcotest.fail m
+        | Ok r -> Alcotest.(check bool) "clean" true (Atomic_io.clean r));
+    Alcotest.test_case "failed write leaves no temp behind" `Quick
+      (fun () ->
+        let dir = temp_dir "prguard-fail" in
+        let blocker = Filename.concat dir "blocker" in
+        write_raw blocker "a file, not a directory";
+        (* Writing under a path whose parent is a regular file fails. *)
+        (match
+           Atomic_io.write ~fsync:false ~checksum
+             ~path:(Filename.concat blocker "x.bin") "data"
+         with
+         | Error _ -> ()
+         | Ok () -> Alcotest.fail "expected an error");
+        let leftovers =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Atomic_io.is_temp f)
+        in
+        Alcotest.(check (list string)) "no temp files" [] leftovers);
+    Alcotest.test_case "mkdir_p nests and reports blockers" `Quick
+      (fun () ->
+        let dir = temp_dir "prguard-mkdir" in
+        let deep = Filename.concat (Filename.concat dir "a") "b" in
+        (match Atomic_io.mkdir_p deep with
+         | Ok () -> ()
+         | Error m -> Alcotest.fail m);
+        Alcotest.(check bool) "created" true
+          (Sys.file_exists deep && Sys.is_directory deep);
+        (* Idempotent. *)
+        (match Atomic_io.mkdir_p deep with
+         | Ok () -> ()
+         | Error m -> Alcotest.fail m);
+        let blocker = Filename.concat dir "file" in
+        write_raw blocker "x";
+        match Atomic_io.mkdir_p (Filename.concat blocker "sub") with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected a blocked-component error") ]
+
+(* --------------------------------------------------- engine under guard *)
+
+let engine_tests =
+  [ Alcotest.test_case "eval-capped solve is feasible and degraded" `Quick
+      (fun () ->
+        let d = design () in
+        let o = solve_capped ~cap:50 d in
+        Alcotest.(check bool) "fits the device" true
+          (Cost.fits o.Engine.evaluation ~budget:o.Engine.budget);
+        Alcotest.(check bool) "guarded" true
+          o.Engine.degraded.Budget.guarded;
+        Alcotest.(check bool) "degraded" true
+          o.Engine.degraded.Budget.degraded);
+    Alcotest.test_case "eval-capped solve is deterministic" `Quick
+      (fun () ->
+        let d = design () in
+        let o1 = solve_capped ~cap:300 d and o2 = solve_capped ~cap:300 d in
+        Alcotest.(check bool) "same evaluation" true
+          (Cost.equal_evaluation o1.Engine.evaluation o2.Engine.evaluation);
+        Alcotest.(check int) "same evals" o1.Engine.cost_evaluations
+          o2.Engine.cost_evaluations);
+    Alcotest.test_case "no budget means an unguarded verdict" `Quick
+      (fun () ->
+        let o = solve_capped (design ()) in
+        Alcotest.(check bool) "unguarded" false
+          o.Engine.degraded.Budget.guarded;
+        Alcotest.(check bool) "not degraded" false
+          o.Engine.degraded.Budget.degraded);
+    Alcotest.test_case "a huge cap matches the uncapped run" `Quick
+      (fun () ->
+        let d = design () in
+        let free = solve_capped d in
+        let capped = solve_capped ~cap:10_000_000 d in
+        Alcotest.(check bool) "same evaluation" true
+          (Cost.equal_evaluation free.Engine.evaluation
+             capped.Engine.evaluation);
+        Alcotest.(check bool) "not degraded" false
+          capped.Engine.degraded.Budget.degraded);
+    Alcotest.test_case "tiny deadline still yields a feasible scheme" `Quick
+      (fun () ->
+        let d = design () in
+        let budget = Budget.make ~deadline_ms:0.0 () in
+        match Engine.solve ~budget ~target:(Engine.Fixed fx70t) d with
+        | Error m -> Alcotest.fail m
+        | Ok o ->
+          Alcotest.(check bool) "fits" true
+            (Cost.fits o.Engine.evaluation ~budget:o.Engine.budget);
+          Alcotest.(check bool) "guarded" true
+            o.Engine.degraded.Budget.guarded);
+    Alcotest.test_case "ladder solve is feasible" `Quick (fun () ->
+        let d = design () in
+        match
+          Engine.solve ~ladder:Ladder.default ~target:(Engine.Fixed fx70t) d
+        with
+        | Error m -> Alcotest.fail m
+        | Ok o ->
+          Alcotest.(check bool) "fits" true
+            (Cost.fits o.Engine.evaluation ~budget:o.Engine.budget);
+          Alcotest.(check bool) "guarded" true
+            o.Engine.degraded.Budget.guarded;
+          Alcotest.(check bool) "names a rung" true
+            (Option.is_some o.Engine.degraded.Budget.rung));
+    Alcotest.test_case "jobs < 1 is rejected with a description" `Quick
+      (fun () ->
+        match Engine.solve ~jobs:0 ~target:Engine.Auto (design ()) with
+        | Ok _ -> Alcotest.fail "jobs 0 must be rejected"
+        | Error m ->
+          Alcotest.(check bool) "mentions the value" true
+            (contains m "invalid jobs count 0"));
+    Alcotest.test_case "Sweep.run rejects jobs < 1" `Quick (fun () ->
+        match Experiments.Sweep.run ~count:1 ~jobs:0 () with
+        | exception Invalid_argument m ->
+          Alcotest.(check bool) "descriptive" true
+            (String.length m > 20)
+        | _ -> Alcotest.fail "expected Invalid_argument") ]
+
+(* ------------------------------------------------------------ tool flow *)
+
+let flow_tests =
+  [ Alcotest.test_case "write_outputs creates nested directories" `Quick
+      (fun () ->
+        let d = design () in
+        match Flow.Tool_flow.run ~target:Engine.Auto d with
+        | Error m -> Alcotest.fail m
+        | Ok report ->
+          let base = temp_dir "prguard-flow" in
+          let dir =
+            Filename.concat (Filename.concat base "deep") "er"
+          in
+          (match Flow.Tool_flow.write_outputs ~fsync:false ~dir report with
+           | Error m -> Alcotest.fail m
+           | Ok written ->
+             Alcotest.(check bool) "wrote files" true
+               (List.length written > 0);
+             List.iter
+               (fun p ->
+                 Alcotest.(check bool) (p ^ " exists") true
+                   (Sys.file_exists p))
+               written;
+             (* Every data file has a verifiable sidecar. *)
+             List.iter
+               (fun p ->
+                 if not (Atomic_io.is_sidecar p) then
+                   match Atomic_io.verify ~checksum p with
+                   | Ok () -> ()
+                   | Error m -> Alcotest.fail m)
+               written;
+             (* And the directory passes recovery cleanly. *)
+             (match Atomic_io.recover ~checksum ~dir () with
+              | Ok r ->
+                Alcotest.(check bool) "clean" true (Atomic_io.clean r)
+              | Error m -> Alcotest.fail m)));
+    Alcotest.test_case "write_outputs reports unwritable targets" `Quick
+      (fun () ->
+        let d = design () in
+        match Flow.Tool_flow.run ~target:Engine.Auto d with
+        | Error m -> Alcotest.fail m
+        | Ok report ->
+          let base = temp_dir "prguard-ro" in
+          let blocker = Filename.concat base "file" in
+          write_raw blocker "not a dir";
+          (match
+             Flow.Tool_flow.write_outputs ~fsync:false
+               ~dir:(Filename.concat blocker "out") report
+           with
+           | Error _ -> ()
+           | Ok _ -> Alcotest.fail "expected an error");
+          (* A genuinely read-only directory (skipped when running as
+             root, which bypasses permission bits). *)
+          if Unix.geteuid () <> 0 then begin
+            let ro = Filename.concat base "ro" in
+            (match Atomic_io.mkdir_p ro with
+             | Ok () -> ()
+             | Error m -> Alcotest.fail m);
+            Unix.chmod ro 0o555;
+            Fun.protect
+              ~finally:(fun () -> Unix.chmod ro 0o755)
+              (fun () ->
+                match
+                  Flow.Tool_flow.write_outputs ~fsync:false
+                    ~dir:(Filename.concat ro "out") report
+                with
+                | Error _ -> ()
+                | Ok _ -> Alcotest.fail "expected a permission error")
+          end) ]
+
+(* ------------------------------------------------------- input guards *)
+
+let deep_xml depth =
+  let buf = Buffer.create (depth * 8) in
+  Buffer.add_string buf "<design name=\"deep\">";
+  for _ = 1 to depth do
+    Buffer.add_string buf "<module name=\"m\">"
+  done;
+  for _ = 1 to depth do
+    Buffer.add_string buf "</module>"
+  done;
+  Buffer.add_string buf "</design>";
+  Buffer.contents buf
+
+let input_guard_tests =
+  [ Alcotest.test_case "xml depth ceiling" `Quick (fun () ->
+        let doc = deep_xml 40 in
+        (* Unlimited parsing still accepts it. *)
+        ignore (Xmllite.Xml.parse_string doc);
+        match
+          Xmllite.Xml.parse_string
+            ~limits:{ Xmllite.Xml.max_bytes = max_int; max_depth = 10 }
+            doc
+        with
+        | exception Xmllite.Xml.Limit_exceeded { limit = "depth"; _ } -> ()
+        | exception e -> raise e
+        | _ -> Alcotest.fail "deep document accepted");
+    Alcotest.test_case "xml size ceiling" `Quick (fun () ->
+        match
+          Xmllite.Xml.parse_string
+            ~limits:{ Xmllite.Xml.max_bytes = 16; max_depth = max_int }
+            "<a><b>some text longer than sixteen bytes</b></a>"
+        with
+        | exception Xmllite.Xml.Limit_exceeded { limit = "bytes"; _ } -> ()
+        | exception e -> raise e
+        | _ -> Alcotest.fail "oversized document accepted");
+    Alcotest.test_case "design ceilings are typed" `Quick (fun () ->
+        let xml =
+          {|<design name="wide" allow_unused_modes="true">
+              <module name="M">
+                <mode name="a" clb="1"/><mode name="b" clb="1"/>
+                <mode name="c" clb="1"/>
+              </module>
+              <configurations>
+                <configuration name="c1"><use module="M" mode="a"/></configuration>
+                <configuration name="c2"><use module="M" mode="b"/></configuration>
+              </configurations>
+            </design>|}
+        in
+        (* Defaults are generous: this tiny design passes untouched. *)
+        ignore (Design_xml.load_string ~limits:Design_xml.default_limits xml);
+        let tight =
+          { Design_xml.default_limits with max_modes_per_module = 2 }
+        in
+        match Design_xml.load_string ~limits:tight xml with
+        | exception Design_xml.Too_large { actual = 3; maximum = 2; _ } -> ()
+        | exception e -> raise e
+        | _ -> Alcotest.fail "over-wide module accepted");
+    Alcotest.test_case "limit_message renders the guard exceptions" `Quick
+      (fun () ->
+        let e = Design_xml.Too_large { what = "modules"; actual = 9; maximum = 1 } in
+        (match Design_xml.limit_message e with
+         | Some m ->
+           Alcotest.(check bool) "mentions ceiling" true
+             (String.length m > 10)
+         | None -> Alcotest.fail "no message");
+        Alcotest.(check (option string)) "other exceptions pass" None
+          (Design_xml.limit_message Exit)) ]
+
+(* ------------------------------------------------------------ QCheck *)
+
+let gen_design =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let classes = Array.of_list Synth.Generator.all_classes in
+        Synth.Generator.generate
+          (Synth.Rng.make seed)
+          classes.(seed mod Array.length classes)
+          ~index:seed)
+      (0 -- 5_000))
+
+(* Anytime property: an eval-capped solve always yields a scheme that
+   fits the target, and the cost is monotone non-increasing as the cap
+   grows (the incumbent only ever improves along the deterministic
+   exploration order). *)
+let prop_capped_monotone =
+  QCheck2.Test.make ~name:"eval-capped solve: feasible, cost monotone in cap"
+    ~count:30 gen_design (fun design ->
+      let solve cap =
+        let budget = Budget.make ~max_evals:cap () in
+        Engine.solve ~budget ~target:(Engine.Fixed fx70t) design
+      in
+      let caps = [ 50; 500; 5_000; 50_000 ] in
+      let totals =
+        List.filter_map
+          (fun cap ->
+            match solve cap with
+            | Ok o ->
+              if not (Cost.fits o.Engine.evaluation ~budget:o.Engine.budget)
+              then
+                QCheck2.Test.fail_reportf "cap %d produced an unfit scheme"
+                  cap
+              else Some o.Engine.evaluation.Cost.total_frames
+            | Error _ ->
+              (* Designs too large for the fixed device are out of
+                 scope for this property. *)
+              None)
+          caps
+      in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> b <= a && monotone rest
+        | _ -> true
+      in
+      monotone totals)
+
+(* Determinism property: the same cap twice gives structurally equal
+   evaluations (the eval cap is only consulted at deterministic points). *)
+let prop_capped_deterministic =
+  QCheck2.Test.make ~name:"eval-capped solve is reproducible" ~count:30
+    gen_design (fun design ->
+      let solve () =
+        let budget = Budget.make ~max_evals:700 () in
+        Engine.solve ~budget ~target:(Engine.Fixed fx70t) design
+      in
+      match (solve (), solve ()) with
+      | Ok a, Ok b ->
+        Cost.equal_evaluation a.Engine.evaluation b.Engine.evaluation
+        && a.Engine.cost_evaluations = b.Engine.cost_evaluations
+      | Error a, Error b -> a = b
+      | _ -> false)
+
+(* Atomic-io property: round-trips arbitrary content, and any single-bit
+   corruption of the stored file is detected. *)
+let prop_atomic_roundtrip =
+  QCheck2.Test.make ~name:"atomic write round-trips, 1-bit flips detected"
+    ~count:50
+    QCheck2.Gen.(pair (string_size (1 -- 200)) (pair nat nat))
+    (fun (content, (byte_choice, bit_choice)) ->
+      let dir = temp_dir "prguard-prop" in
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter
+            (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+            (Sys.readdir dir);
+          try Sys.rmdir dir with _ -> ())
+        (fun () ->
+          let path = Filename.concat dir "blob" in
+          (match Atomic_io.write ~fsync:false ~checksum ~path content with
+           | Ok () -> ()
+           | Error m -> QCheck2.Test.fail_reportf "write failed: %s" m);
+          if read_file path <> content then
+            QCheck2.Test.fail_report "round-trip mismatch";
+          (match Atomic_io.verify ~checksum path with
+           | Ok () -> ()
+           | Error m -> QCheck2.Test.fail_reportf "fresh verify: %s" m);
+          (* Flip one bit somewhere in the stored content. *)
+          let bytes = Bytes.of_string content in
+          let i = byte_choice mod Bytes.length bytes in
+          let mask = 1 lsl (bit_choice mod 8) in
+          Bytes.set bytes i
+            (Char.chr (Char.code (Bytes.get bytes i) lxor mask));
+          write_raw path (Bytes.to_string bytes);
+          match Atomic_io.verify ~checksum path with
+          | Error _ -> true
+          | Ok () -> QCheck2.Test.fail_report "1-bit corruption undetected"))
+
+let qcheck_tests =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [ prop_capped_monotone; prop_capped_deterministic; prop_atomic_roundtrip ]
+
+(* ---------------------------------------------------------------- CLI *)
+
+let prpart =
+  let candidates =
+    [ Filename.concat (Filename.concat ".." "bin") "prpart.exe";
+      Filename.concat
+        (Filename.concat (Filename.concat "_build" "default") "bin")
+        "prpart.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+let run_prpart args =
+  let out = Filename.temp_file "prguard" ".out" in
+  let err = Filename.temp_file "prguard" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out;
+      Sys.remove err)
+    (fun () ->
+      let status =
+        Sys.command (Filename.quote_command prpart ~stdout:out ~stderr:err args)
+      in
+      (status, read_file out, read_file err))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || scan (i + 1)
+  in
+  scan 0
+
+let count_lines_with needle s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> contains l needle)
+  |> List.length
+
+let cli_tests =
+  [ Alcotest.test_case "--jobs 0 is a descriptive CLI error" `Quick
+      (fun () ->
+        let status, _, err =
+          run_prpart [ "partition"; "running-example"; "--jobs"; "0" ]
+        in
+        Alcotest.(check bool) "non-zero exit" true (status <> 0);
+        Alcotest.(check bool) "names the value" true
+          (contains err "invalid jobs count 0"));
+    Alcotest.test_case "batch skips a poisoned design, reports the rest"
+      `Quick (fun () ->
+        let dir = temp_dir "prguard-batch" in
+        let poison = Filename.concat dir "poison.xml" in
+        write_raw poison "<design name='broken'><modul";
+        let manifest = Filename.concat dir "manifest.txt" in
+        write_raw manifest
+          (String.concat "\n"
+             [ "# three good designs, one poisoned";
+               "running-example"; "montone-example"; poison;
+               "video-receiver"; "" ]);
+        let jsonl = Filename.concat dir "results.jsonl" in
+        let status, out, _ =
+          run_prpart
+            [ "batch"; manifest; "--max-evals"; "20000"; "--jsonl"; jsonl ]
+        in
+        (* Partial failure: non-zero exit, but all N-1 good designs
+           completed and streamed a result. *)
+        Alcotest.(check bool) "non-zero exit" true (status <> 0);
+        Alcotest.(check int) "3 of 4 ok" 3
+          (count_lines_with "\"status\":\"ok\"" out);
+        Alcotest.(check int) "1 of 4 failed" 1
+          (count_lines_with "\"status\":\"error\"" out);
+        (* The JSONL artefact matches the stream and is checksummed. *)
+        let stored = read_file jsonl in
+        Alcotest.(check int) "jsonl ok lines" 3
+          (count_lines_with "\"status\":\"ok\"" stored);
+        match Atomic_io.verify ~checksum jsonl with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "batch with all-good manifest exits zero" `Quick
+      (fun () ->
+        let dir = temp_dir "prguard-batch-ok" in
+        let manifest = Filename.concat dir "manifest.txt" in
+        write_raw manifest "running-example\nmontone-example\n";
+        let status, out, _ =
+          run_prpart [ "batch"; manifest; "--max-evals"; "20000" ] in
+        Alcotest.(check int) "exit zero" 0 status;
+        Alcotest.(check int) "2 ok" 2
+          (count_lines_with "\"status\":\"ok\"" out));
+    Alcotest.test_case "recover CLI quarantines a torn artefact" `Quick
+      (fun () ->
+        let dir = temp_dir "prguard-recover-cli" in
+        let path = Filename.concat dir "full.bit" in
+        (match Atomic_io.write ~fsync:false ~checksum ~path "bitstream" with
+         | Ok () -> ()
+         | Error m -> Alcotest.fail m);
+        write_raw path "bitstreaX";
+        let status, out, _ = run_prpart [ "recover"; dir; "--strict" ] in
+        Alcotest.(check bool) "strict non-zero" true (status <> 0);
+        Alcotest.(check bool) "reports corruption" true
+          (contains out "corrupt");
+        (* After quarantine a second strict pass is clean. *)
+        let status2, _, _ = run_prpart [ "recover"; dir; "--strict" ] in
+        Alcotest.(check int) "clean second pass" 0 status2) ]
+
+let () =
+  Alcotest.run "guard"
+    [ ("budget", budget_tests);
+      ("ladder", ladder_tests);
+      ("atomic-io", atomic_io_tests);
+      ("engine", engine_tests);
+      ("flow", flow_tests);
+      ("input-guards", input_guard_tests);
+      ("properties", qcheck_tests);
+      ("cli", cli_tests) ]
