@@ -1,7 +1,7 @@
 # Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
 # `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
 
-.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf faults guard clean
+.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf perf-compare faults guard clean
 
 all: build
 
@@ -58,15 +58,26 @@ bench-smoke:
 	dune exec bench/main.exe -- --quick
 
 # Machine-readable performance artefact (allocator moves/sec, engine
-# solve latency, sweep throughput sequential vs parallel, cache hit
-# rate). Writes BENCH_core.json in the working directory.
+# solve latency, sweep throughput over the host_domains scaling matrix,
+# cache hit rate). Writes BENCH_core.json and appends the same metrics
+# to BENCH_history.jsonl for regression tracking.
 bench-json:
 	dune exec bench/main.exe -- bench-json
 
+# Regression gate: regenerate the bench metrics (appending a history
+# entry) and diff the two most recent BENCH_history.jsonl entries under
+# the Regress tolerance rules. Exits non-zero on any regression. Pin a
+# fixed baseline with PRPART_BENCH_BASELINE=<file> (a history entry or
+# a saved BENCH_core.json).
+perf-compare: bench-json
+	dune exec bench/main.exe -- bench-compare
+
 # Full Bechamel suite, gated on the smoke (which asserts parallel
-# determinism and cache effectiveness before any numbers are reported).
+# determinism and cache effectiveness before any numbers are reported),
+# followed by the regression diff against the bench history.
 perf: bench-smoke
 	dune exec bench/main.exe -- perf
+	$(MAKE) perf-compare
 
 # Fault-injection sweep: resilient runtime over the reference schemes,
 # plus the recovery-policy comparison (see DESIGN.md, fault model).

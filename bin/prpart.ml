@@ -1,7 +1,8 @@
 (* prpart: automated partitioning for partial reconfiguration designs.
 
-   Subcommands: partition, baselines, simulate, synth, batch, recover,
-   devices, designs. A DESIGN argument is either the name of a built-in
+   Subcommands: partition, profile, baselines, simulate, synth, batch,
+   recover, devices, designs. A DESIGN argument is either the name of a
+   built-in
    paper design (see `prpart designs`) or a path to an XML design
    description. *)
 
@@ -348,6 +349,85 @@ let partition_cmd =
          $ deadline_arg $ max_evals_arg $ ladder_arg
          $ verify_arg $ floorplan_arg $ save_scheme_arg $ trace_arg
          $ stats_arg))
+
+let metrics_arg =
+  let doc =
+    "Write the recorded counters, gauges and histograms to $(docv) in \
+     Prometheus text exposition format (the same page the flow writes \
+     as metrics.txt)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let profile_cmd =
+  let run spec budget device jobs metrics trace =
+    match load_design spec with
+    | Error message -> `Error (false, message)
+    | Ok design ->
+      (match target ~budget ~device with
+       | Error message -> `Error (false, message)
+       | Ok target ->
+         (* Profiling always records the full event stream: the span
+            tree needs Begin/End events, the depth tables and progress
+            curve need a tracing handle. *)
+         let telemetry = Prtelemetry.create (Prtelemetry.Sink.memory ()) in
+         match Prcore.Engine.solve ~telemetry ~jobs ~target design with
+         | Error message -> `Error (false, message)
+         | Ok outcome ->
+           Prtelemetry.flush telemetry;
+           Format.printf "Design: %s@." (Prdesign.Design.summary design);
+           (match outcome.device with
+            | Some d -> Format.printf "Device: %a@." Fpga.Device.pp d
+            | None ->
+              Format.printf "Budget: %a@." Fpga.Resource.pp outcome.budget);
+           let s = outcome.search in
+           Format.printf
+             "Best total frames: %d (%d cost evaluations; memo %d hits / \
+              %d misses; exact %d states, %d pruned)@.@."
+             outcome.evaluation.Prcore.Cost.total_frames
+             outcome.cost_evaluations s.Prcore.Engine.memo_hits
+             s.Prcore.Engine.memo_misses s.Prcore.Engine.exact_states
+             s.Prcore.Engine.exact_pruned;
+           print_string (Prtelemetry.Scope.report telemetry);
+           print_string
+             (Prtelemetry.Scope.render_progress s.Prcore.Engine.progress);
+           let written =
+             match metrics with
+             | None -> Ok ()
+             | Some path -> (
+               try
+                 let oc = open_out path in
+                 output_string oc (Prtelemetry.exposition telemetry);
+                 close_out oc;
+                 Format.printf "metrics written to %s@." path;
+                 Ok ()
+               with Sys_error message -> Error message)
+           in
+           (match written with
+            | Error message -> `Error (false, message)
+            | Ok () -> (
+              match trace with
+              | None -> `Ok ()
+              | Some path -> (
+                match Prtelemetry.write_jsonl telemetry path with
+                | Ok () ->
+                  Format.printf "telemetry trace written to %s@." path;
+                  `Ok ()
+                | Error message -> `Error (false, message)))))
+  in
+  let doc =
+    "Profile a partition run: solve the design with a tracing telemetry \
+     handle, then print the hierarchical span tree (self/total time), \
+     the hot-path ranking, deterministic span percentiles, the \
+     depth-resolved memo hit rates and branch-and-bound prune counts, \
+     the per-domain busy/idle table and the best-cost-over-evaluations \
+     progress curve."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      ret
+        (const run $ design_arg $ budget_arg $ device_arg $ jobs_arg
+         $ metrics_arg $ trace_arg))
 
 let baselines_cmd =
   let run spec trace stats =
@@ -1087,6 +1167,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ partition_cmd; baselines_cmd; simulate_cmd; synth_cmd; flow_cmd;
-            batch_cmd; recover_cmd; check_cmd; fuzz_cmd; lint_cmd;
-            devices_cmd; designs_cmd ]))
+          [ partition_cmd; profile_cmd; baselines_cmd; simulate_cmd;
+            synth_cmd; flow_cmd; batch_cmd; recover_cmd; check_cmd; fuzz_cmd;
+            lint_cmd; devices_cmd; designs_cmd ]))

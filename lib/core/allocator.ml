@@ -405,6 +405,10 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
         let cost_evaluations =
           Prtelemetry.counter telemetry "core.cost_evaluations"
         in
+        (* Per-move time-delta distribution; {!Prtelemetry.Histogram.dead}
+           unless the handle traces, so the default counting path pays a
+           single branch per move. *)
+        let move_delta = Prtelemetry.histogram telemetry "alloc.move_delta" in
         let evaluate_move state used move =
           Prtelemetry.Counter.incr moves_evaluated;
           (match guard with
@@ -413,7 +417,9 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
           (match move with
            | Merge _ -> Prtelemetry.Counter.incr delta_evals
            | Promote _ -> ());
-          evaluate_move state used move
+          let (dtime, _) as result = evaluate_move state used move in
+          Prtelemetry.Histogram.observe move_delta dtime;
+          result
         in
         let apply_move state move =
           (match move with

@@ -28,6 +28,26 @@ let meets_worst_limit ~options (e : Cost.evaluation) =
   | None -> true
   | Some limit -> e.Cost.worst_frames <= limit
 
+(* Search introspection attached to every outcome. Hit/miss and prune
+   totals are counter deltas over the solve (cheap, always populated,
+   like [cost_evaluations]); [progress] — the best-cost-over-evaluations
+   curve — is only collected when the caller's handle traces, so the
+   default path allocates nothing. *)
+type search_stats = {
+  memo_hits : int;
+  memo_misses : int;
+  exact_states : int;
+  exact_pruned : int;
+  progress : (int * int) list;
+}
+
+let no_search_stats =
+  { memo_hits = 0;
+    memo_misses = 0;
+    exact_states = 0;
+    exact_pruned = 0;
+    progress = [] }
+
 type outcome = {
   design : Design.t;
   scheme : Scheme.t;
@@ -38,6 +58,7 @@ type outcome = {
   candidate_sets : int;
   escalations : int;
   cost_evaluations : int;
+  search : search_stats;
   degraded : Prguard.Budget.verdict;
 }
 
@@ -96,7 +117,8 @@ type budget_solution = {
 
 (* Solve for a fixed budget. The single-region scheme is the universal
    fallback: the feasibility precondition guarantees it fits. *)
-let solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget design =
+let solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder
+    ~budget design =
   Prtelemetry.with_span tele "engine.solve_budget"
     ~attrs:[ ("budget", Prtelemetry.Json.String (Resource.to_string budget)) ]
   @@ fun () ->
@@ -108,10 +130,10 @@ let solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget design =
      before; the table tracks which of them actually ran the model.
      Evaluations are also charged against the guard, so an eval cap
      expires after a deterministic number of lookups. *)
-  let evaluate scheme =
+  let evaluate ?depth scheme =
     Prtelemetry.Counter.incr evals;
     (match guard with Some g -> Prguard.Budget.charge g | None -> ());
-    Memo.find_or_add memo (Memo.scheme_signature scheme) (fun () ->
+    Memo.find_or_add ?depth memo (Memo.scheme_signature scheme) (fun () ->
         Cost.evaluate scheme)
   in
   let single = Scheme.single_region design in
@@ -163,6 +185,7 @@ let solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget design =
       let accept set_index (e : Cost.evaluation) =
         Prtelemetry.set_gauge tele "engine.best_total_frames"
           (float_of_int e.Cost.total_frames);
+        note_progress e;
         if Prtelemetry.tracing tele then
           Prtelemetry.point tele "scheme.accepted"
             ~attrs:
@@ -181,7 +204,8 @@ let solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget design =
         (match initial with
          | Some (_, e) ->
            Prtelemetry.set_gauge tele "engine.best_total_frames"
-             (float_of_int e.Cost.total_frames)
+             (float_of_int e.Cost.total_frames);
+           note_progress e
          | None -> ());
         initial
       in
@@ -248,7 +272,7 @@ let solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget design =
                   Some (fun _ -> `Cancelled) )
               | None -> (None, None)
             in
-            Par.map_list ?cancel ?fallback ~jobs
+            Par.map_list ?cancel ?fallback ~telemetry:tele ~jobs
               (fun set ->
                 let worker = Prtelemetry.ensure Prtelemetry.null in
                 let worker_memo = Memo.create ~telemetry:worker () in
@@ -259,10 +283,11 @@ let solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget design =
               sets
             |> List.map (function
                  | `Done (scheme, worker, worker_memo) ->
-                   List.iter
-                     (fun (name, v) ->
-                       if v > 0 then Prtelemetry.incr tele ~by:v name)
-                     (Prtelemetry.counters_list worker);
+                   (* Fold the worker's aggregates (counters, span
+                      stats, histograms) into the shared handle in
+                      input order — deterministic, and richer than the
+                      counter-only merge it replaces. *)
+                   Prtelemetry.merge ~into:tele worker;
                    Memo.absorb ~into:memo worker_memo;
                    `Alloc scheme
                  | `Cancelled ->
@@ -283,7 +308,7 @@ let solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget design =
                   reject set_index "infeasible";
                   best
                 | `Alloc (Some scheme) ->
-                  let evaluation = evaluate scheme in
+                  let evaluation = evaluate ~depth:set_index scheme in
                   if not (meets_worst_limit ~options evaluation) then begin
                     reject set_index "worst-limit";
                     best
@@ -331,7 +356,8 @@ let solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget design =
                | Some (winner, e) when winner == scheme ->
                  best_rung := Some name;
                  Prtelemetry.set_gauge tele "engine.best_total_frames"
-                   (float_of_int e.Cost.total_frames)
+                   (float_of_int e.Cost.total_frames);
+                 note_progress e
                | Some _ | None -> ());
               best := merged
             end
@@ -460,6 +486,7 @@ let outcome ~design ~device ~budget ~escalations bs =
     candidate_sets = bs.bs_sets;
     escalations;
     cost_evaluations = 0;
+    search = no_search_stats;
     degraded =
       { Prguard.Budget.no_budget with
         Prguard.Budget.rung = bs.bs_rung;
@@ -530,6 +557,26 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
        re-use evaluations from earlier attempts too. *)
     let memo = Memo.create ~telemetry:tele () in
     let evaluations_before = cost_evaluation_counters tele in
+    (* Baselines for the search-introspection deltas, mirroring
+       [evaluations_before]: a caller-supplied handle can span several
+       solves, so the outcome reports per-solve differences. *)
+    let memo_hits_before = Prtelemetry.counter_value tele "perf.cache_hits" in
+    let memo_misses_before =
+      Prtelemetry.counter_value tele "perf.cache_misses"
+    in
+    let exact_states_before = Prtelemetry.counter_value tele "exact.states" in
+    let exact_pruned_before = Prtelemetry.counter_value tele "exact.pruned" in
+    (* Best-cost-over-evaluations progress curve, appended at each new
+       incumbent; only when the caller traces. *)
+    let progress = ref [] in
+    let note_progress =
+      if Prtelemetry.tracing tele then (fun (e : Cost.evaluation) ->
+        progress :=
+          ( cost_evaluation_counters tele - evaluations_before,
+            e.Cost.total_frames )
+          :: !progress)
+      else fun _ -> ()
+    in
     let result =
       Prtelemetry.with_span tele "engine.solve"
         ~attrs:
@@ -540,13 +587,13 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
       | Budget budget ->
         Result.map
           (outcome ~design ~device:None ~budget ~escalations:0)
-          (solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget
+          (solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder ~budget
              design)
       | Fixed device ->
         let budget = Fpga.Device.resources device in
         Result.map
           (outcome ~design ~device:(Some device) ~budget ~escalations:0)
-          (solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder ~budget
+          (solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder ~budget
              design)
       | Auto ->
         (* Smallest device fitting the single-region lower bound, then
@@ -572,7 +619,7 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
                      [ ( "device",
                          Prtelemetry.Json.String device.Fpga.Device.short ) ]
                    (fun () ->
-                     solve_budget ~options ~tele ~jobs ~memo ?guard ?ladder
+                     solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder
                        ~budget design)
                with
                | Error _ -> best
@@ -642,6 +689,20 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
           in
           { o with
             cost_evaluations = cost_evaluation_counters tele - evaluations_before;
+            search =
+              { memo_hits =
+                  Prtelemetry.counter_value tele "perf.cache_hits"
+                  - memo_hits_before;
+                memo_misses =
+                  Prtelemetry.counter_value tele "perf.cache_misses"
+                  - memo_misses_before;
+                exact_states =
+                  Prtelemetry.counter_value tele "exact.states"
+                  - exact_states_before;
+                exact_pruned =
+                  Prtelemetry.counter_value tele "exact.pruned"
+                  - exact_pruned_before;
+                progress = List.rev !progress };
             degraded })
         result
     in

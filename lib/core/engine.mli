@@ -41,6 +41,21 @@ val default_options : options
 (** [Support] frequency rule, 32 candidate sets, default allocator
     options, [Total_frames] objective, no worst-case limit. *)
 
+type search_stats = {
+  memo_hits : int;  (** Evaluation-cache hits during this solve. *)
+  memo_misses : int;  (** Evaluation-cache misses (model actually ran). *)
+  exact_states : int;  (** Branch-and-bound states expanded. *)
+  exact_pruned : int;  (** Subtrees cut by the bound. *)
+  progress : (int * int) list;
+      (** Best-cost-over-evaluations curve: (cumulative cost
+          evaluations, best total frames) at each new incumbent, in
+          acceptance order. Only collected when the caller's telemetry
+          handle is {e tracing}; [[]] otherwise. *)
+}
+(** Search introspection: counter deltas over one solve (always
+    populated, like [cost_evaluations]) plus the tracing-gated
+    convergence curve. Rendered by [prpart profile]. *)
+
 type outcome = {
   design : Prdesign.Design.t;
   scheme : Scheme.t;
@@ -55,6 +70,7 @@ type outcome = {
           {!Cost.evaluate} runs plus the allocator's incremental move
           evaluations. Always populated, even when the caller passed no
           telemetry handle (the engine counts on an internal one). *)
+  search : search_stats;
   degraded : Prguard.Budget.verdict;
       (** How the guard shaped the answer. Equal to
           {!Prguard.Budget.no_budget} ([guarded = false]) when neither

@@ -83,10 +83,26 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000)
   | _ ->
     Prtelemetry.with_span telemetry "exact.allocate" (fun () ->
     let states_counter = Prtelemetry.counter telemetry "exact.states" in
+    let pruned_counter = Prtelemetry.counter telemetry "exact.pruned" in
     let delta_evals = Prtelemetry.counter telemetry "perf.delta_evals" in
     let leaf_evals = Prtelemetry.counter telemetry "core.cost_evaluations" in
     let parts = Array.of_list parts_list in
     let n = Array.length parts in
+    (* Depth-resolved introspection ([exact.depth<d>.states]/[.pruned])
+       only when tracing: the extra array indexing stays off the default
+       counting path. Depth d = partition index being assigned; leaves
+       sit at depth n. *)
+    let depth_counters =
+      if Prtelemetry.tracing telemetry then
+        Some
+          (Array.init (n + 1) (fun d ->
+               ( Prtelemetry.counter telemetry
+                   (Printf.sprintf "exact.depth%d.states" d),
+                 Prtelemetry.counter telemetry
+                   (Printf.sprintf "exact.depth%d.pruned" d) )))
+      else None
+    in
+    let frontier_peak = ref 0 in
     let analysis = Compatibility.analyse design parts in
     if not (Compatibility.covers_design analysis) then
       { scheme = None; optimal = true; states = 0 }
@@ -165,6 +181,12 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000)
         else begin
           incr states;
           Prtelemetry.Counter.incr states_counter;
+          (match depth_counters with
+           | Some slots ->
+             Prtelemetry.Counter.incr (fst slots.(p));
+             let open_groups = List.length groups in
+             if open_groups > !frontier_peak then frontier_peak := open_groups
+           | None -> ());
           (* Deadline/cancellation truncates the DFS like an exhausted
              state budget: the incumbent (if any) is returned with
              [optimal = false]. [interrupted] ignores eval caps, so
@@ -176,7 +198,14 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000)
              truncated := true
            | _ -> ());
           if !truncated || !states > max_states then truncated := true
-          else if committed > !best_total then ()
+          else if committed > !best_total then begin
+            (* Bound prune: the committed cost already exceeds the
+               incumbent, so the whole subtree is skipped. *)
+            Prtelemetry.Counter.incr pruned_counter;
+            match depth_counters with
+            | Some slots -> Prtelemetry.Counter.incr (snd slots.(p))
+            | None -> ()
+          end
           else if p = n then consider groups statics
           else begin
             List.iter
@@ -200,6 +229,9 @@ let allocate ?(promote_static = true) ?(max_states = 2_000_000)
         end
       in
       assign 0 [] [] 0;
+      if depth_counters <> None then
+        Prtelemetry.set_gauge telemetry "exact.frontier_peak"
+          (float_of_int !frontier_peak);
       let scheme =
         Option.map
           (fun (_, groups, statics) ->

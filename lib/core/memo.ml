@@ -7,6 +7,12 @@ type 'v t = {
   mutable misses : int;
   hit_counter : Prtelemetry.Counter.t;
   miss_counter : Prtelemetry.Counter.t;
+  telemetry : Prtelemetry.t;
+  (* Depth-resolved hit/miss counters ([memo.depth<d>.hits]/[.misses]),
+     created lazily and only when the handle traces — the plain counters
+     above stay the only cost on the default counting path. *)
+  depth_counters : (int, Prtelemetry.Counter.t * Prtelemetry.Counter.t) Hashtbl.t;
+  depth_enabled : bool;
 }
 
 let create ?(telemetry = Prtelemetry.null) ?(capacity = 65536) () =
@@ -15,17 +21,40 @@ let create ?(telemetry = Prtelemetry.null) ?(capacity = 65536) () =
     hits = 0;
     misses = 0;
     hit_counter = Prtelemetry.counter telemetry "perf.cache_hits";
-    miss_counter = Prtelemetry.counter telemetry "perf.cache_misses" }
+    miss_counter = Prtelemetry.counter telemetry "perf.cache_misses";
+    telemetry;
+    depth_counters = Hashtbl.create 4;
+    depth_enabled = Prtelemetry.tracing telemetry }
 
-let find t key =
+let depth_slot t d =
+  match Hashtbl.find_opt t.depth_counters d with
+  | Some slot -> slot
+  | None ->
+    let slot =
+      ( Prtelemetry.counter t.telemetry (Printf.sprintf "memo.depth%d.hits" d),
+        Prtelemetry.counter t.telemetry
+          (Printf.sprintf "memo.depth%d.misses" d) )
+    in
+    Hashtbl.add t.depth_counters d slot;
+    slot
+
+let find ?depth t key =
   match Hashtbl.find_opt t.table key with
   | Some _ as v ->
     t.hits <- t.hits + 1;
     Prtelemetry.Counter.incr t.hit_counter;
+    (if t.depth_enabled then
+       match depth with
+       | Some d -> Prtelemetry.Counter.incr (fst (depth_slot t d))
+       | None -> ());
     v
   | None ->
     t.misses <- t.misses + 1;
     Prtelemetry.Counter.incr t.miss_counter;
+    (if t.depth_enabled then
+       match depth with
+       | Some d -> Prtelemetry.Counter.incr (snd (depth_slot t d))
+       | None -> ());
     None
 
 let add t key value =
@@ -35,8 +64,8 @@ let add t key value =
   if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
   Hashtbl.replace t.table key value
 
-let find_or_add t key compute =
-  match find t key with
+let find_or_add ?depth t key compute =
+  match find ?depth t key with
   | Some v -> v
   | None ->
     let v = compute () in

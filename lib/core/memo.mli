@@ -31,14 +31,19 @@ val create : ?telemetry:Prtelemetry.t -> ?capacity:int -> unit -> 'v t
 (** [capacity] defaults to 65536 entries. [telemetry] defaults to
     {!Prtelemetry.null} (counting disabled, table still functional). *)
 
-val find : 'v t -> string -> 'v option
-(** Counts one hit or one miss. *)
+val find : ?depth:int -> 'v t -> string -> 'v option
+(** Counts one hit or one miss. With [depth] (the engine passes the
+    candidate-set index) and a {e tracing} telemetry handle, the lookup
+    is additionally attributed to lazily-created
+    [memo.depth<d>.hits]/[.misses] counters — the source of the
+    depth-resolved hit-rate table in [prpart profile]. Free on
+    non-tracing handles. *)
 
 val add : 'v t -> string -> 'v -> unit
 (** Clears the table first when it is full. Replaces existing
     bindings. *)
 
-val find_or_add : 'v t -> string -> (unit -> 'v) -> 'v
+val find_or_add : ?depth:int -> 'v t -> string -> (unit -> 'v) -> 'v
 (** [find] then [add] of the thunk's result on a miss. *)
 
 val hits : 'v t -> int

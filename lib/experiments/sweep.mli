@@ -22,18 +22,32 @@ type row = {
   statics : int;
 }
 
+val chunk : blocks:int -> 'a list -> 'a array list
+(** Split a list into at most [blocks] non-empty contiguous blocks
+    whose sizes differ by at most one, preserving element order —
+    the parallel fan-out granularity (exposed for tests). *)
+
 val run :
   ?count:int -> ?seed:int -> ?options:Prcore.Engine.options ->
-  ?jobs:int -> ?spec:Synth.Generator.spec -> unit ->
+  ?jobs:int -> ?telemetry:Prtelemetry.t -> ?spec:Synth.Generator.spec ->
+  unit ->
   row list
 (** Defaults: 1000 designs, seed 2013, default engine options, default
     generator recipe. Designs that fit no catalogued device are skipped
     (reported by {!type-summary}).
 
-    [jobs] (default 1) solves that many designs concurrently
-    ({!Par.map_list}): each solve is independent and deterministic, so
-    the row list is bit-identical to the sequential run for any
-    [jobs].
+    [jobs] (default 1) solves designs concurrently ({!Par.map_list})
+    over contiguous design {e blocks} (about four per domain) rather
+    than one task per design, and is clamped to
+    {!Par.recommended_jobs} — oversubscribing a small host was measured
+    strictly slower than sequential. Each solve is independent and
+    deterministic and blocks preserve order, so the row list is
+    bit-identical to the sequential run for any [jobs].
+
+    [telemetry] (default {!Prtelemetry.null}) records a
+    [sweep.design_ms] per-design latency histogram (tracing handles
+    only) and the {!Par.Pool.profile} per-domain gauges when a pool
+    runs.
 
     @raise Invalid_argument when [jobs < 1], with a message naming the
     offending value. *)

@@ -331,6 +331,9 @@ let write_outputs ?(fsync = true) ~dir r =
         | None -> ());
        if Prtelemetry.enabled r.telemetry then begin
          write "stats.txt" (Prtelemetry.summary r.telemetry);
+         (* Prometheus text exposition beside the human summary, so a
+            scrape (or the Prscope checker) can consume the same run. *)
+         write "metrics.txt" (Prtelemetry.exposition r.telemetry);
          if Prtelemetry.tracing r.telemetry then begin
            Prtelemetry.flush r.telemetry;
            write "trace.jsonl" (Prtelemetry.to_jsonl r.telemetry)

@@ -19,7 +19,18 @@ module Pool = struct
      items under the pool mutex — the only lock on the data path, taken
      once per participant per map. *)
 
-  type task = Run of (unit -> unit) | Quit
+  (* Per-domain profiling slot. Each domain writes only its own slot
+     (no lock needed on the data path); the coordinator reads them
+     after a map completes, which the completion mutex orders. Slot 0
+     is the calling domain, slot i the i-th spawned worker. *)
+  type stats = {
+    mutable tasks : int;  (* batch tasks executed *)
+    mutable items : int;  (* stolen item indices *)
+    mutable busy_s : float;  (* wall time inside batch tasks *)
+    mutable wait_s : float;  (* queue wait of the tasks this slot ran *)
+  }
+
+  type task = Run of { work : int -> unit; enqueued : float } | Quit
 
   type t = {
     jobs : int;
@@ -29,9 +40,16 @@ module Pool = struct
     queue : task Queue.t;
     mutable workers : unit Domain.t list;
     mutable closed : bool;
+    telemetry : Prtelemetry.t;
+    timed : bool;  (* profile wall clocks only when telemetry is live *)
+    queue_wait : Prtelemetry.Histogram.t;  (* ms; dead unless tracing *)
+    stats : stats array;
+    created : float;
   }
 
-  let worker_loop pool =
+  let now () = Unix.gettimeofday ()
+
+  let worker_loop pool slot =
     let rec next () =
       Mutex.lock pool.mutex;
       while Queue.is_empty pool.queue do
@@ -41,14 +59,26 @@ module Pool = struct
       Mutex.unlock pool.mutex;
       match task with
       | Quit -> ()
-      | Run f ->
-        f ();
+      | Run { work; enqueued } ->
+        if pool.timed then begin
+          let t0 = now () in
+          work slot;
+          let s = pool.stats.(slot) in
+          s.tasks <- s.tasks + 1;
+          s.busy_s <- s.busy_s +. (now () -. t0);
+          let wait = t0 -. enqueued in
+          s.wait_s <- s.wait_s +. (if wait > 0. then wait else 0.);
+          Prtelemetry.Histogram.observe pool.queue_wait
+            (if wait > 0. then wait *. 1e3 else 0.)
+        end
+        else work slot;
         next ()
     in
     next ()
 
-  let create ~jobs =
+  let create ?(telemetry = Prtelemetry.null) ~jobs () =
     let jobs = max 1 jobs in
+    let timed = Prtelemetry.enabled telemetry in
     let pool =
       { jobs;
         mutex = Mutex.create ();
@@ -56,15 +86,61 @@ module Pool = struct
         idle = Condition.create ();
         queue = Queue.create ();
         workers = [];
-        closed = false }
+        closed = false;
+        telemetry;
+        timed;
+        queue_wait = Prtelemetry.histogram telemetry "par.queue_wait_ms";
+        stats =
+          Array.init jobs (fun _ ->
+              { tasks = 0; items = 0; busy_s = 0.; wait_s = 0. });
+        created = (if timed then now () else 0.) }
     in
     if jobs > 1 then
       pool.workers <-
-        List.init (jobs - 1) (fun _ ->
-            Domain.spawn (fun () -> worker_loop pool));
+        List.init (jobs - 1) (fun i ->
+            Domain.spawn (fun () -> worker_loop pool (i + 1)));
     pool
 
   let jobs t = t.jobs
+
+  (* Flush the per-domain slots into the pool's telemetry handle:
+     gauges [par.domain<i>.{busy_s,idle_s,items,tasks}], cumulative
+     counters [par.tasks]/[par.items], and a [par.utilisation] gauge
+     (busy time over domains x pool lifetime). Idle is lifetime minus
+     busy — for workers that is blocking on the queue, for the caller
+     it includes whatever else the caller did. No-op without live
+     telemetry. *)
+  let profile t =
+    if t.timed then begin
+      let wall = now () -. t.created in
+      let wall = if wall > 0. then wall else 0. in
+      let total_busy = ref 0. in
+      let total_items = ref 0 in
+      let total_tasks = ref 0 in
+      Array.iteri
+        (fun i s ->
+          total_busy := !total_busy +. s.busy_s;
+          total_items := !total_items + s.items;
+          total_tasks := !total_tasks + s.tasks;
+          let key suffix = Printf.sprintf "par.domain%d.%s" i suffix in
+          Prtelemetry.set_gauge t.telemetry (key "busy_s") s.busy_s;
+          Prtelemetry.set_gauge t.telemetry (key "idle_s")
+            (let idle = wall -. s.busy_s in
+             if idle > 0. then idle else 0.);
+          Prtelemetry.set_gauge t.telemetry (key "wait_s") s.wait_s;
+          Prtelemetry.set_gauge t.telemetry (key "items")
+            (float_of_int s.items);
+          Prtelemetry.set_gauge t.telemetry (key "tasks")
+            (float_of_int s.tasks))
+        t.stats;
+      if !total_items > 0 then
+        Prtelemetry.incr t.telemetry "par.items" ~by:!total_items;
+      if !total_tasks > 0 then
+        Prtelemetry.incr t.telemetry "par.tasks" ~by:!total_tasks;
+      if wall > 0. then
+        Prtelemetry.set_gauge t.telemetry "par.utilisation"
+          (!total_busy /. (float_of_int t.jobs *. wall))
+    end
 
   let shutdown t =
     if not t.closed then begin
@@ -77,8 +153,8 @@ module Pool = struct
       t.workers <- []
     end
 
-  let with_pool ~jobs f =
-    let pool = create ~jobs in
+  let with_pool ?telemetry ~jobs f =
+    let pool = create ?telemetry ~jobs () in
     Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
   let map_array ?cancel ?fallback t f xs =
@@ -86,12 +162,23 @@ module Pool = struct
     let n = Array.length xs in
     let live_workers = List.length t.workers in
     if n = 0 then [||]
-    else if live_workers = 0 || n = 1 then Array.map f xs
+    else if live_workers = 0 || n = 1 then begin
+      if t.timed then begin
+        let t0 = now () in
+        let result = Array.map f xs in
+        let s = t.stats.(0) in
+        s.tasks <- s.tasks + 1;
+        s.items <- s.items + n;
+        s.busy_s <- s.busy_s +. (now () -. t0);
+        result
+      end
+      else Array.map f xs
+    end
     else begin
       let results = Array.make n None in
       let cursor = Atomic.make 0 in
       let finished = ref 0 (* guarded by t.mutex *) in
-      let steal () =
+      let steal slot =
         let mine = ref 0 in
         let rec loop () =
           let i = Atomic.fetch_and_add cursor 1 in
@@ -103,6 +190,10 @@ module Pool = struct
           end
         in
         loop ();
+        if t.timed then begin
+          let s = t.stats.(slot) in
+          s.items <- s.items + !mine
+        end;
         Mutex.lock t.mutex;
         finished := !finished + !mine;
         if !finished = n then Condition.broadcast t.idle;
@@ -112,13 +203,21 @@ module Pool = struct
          exhausted just report zero items and go back to sleep. *)
       Mutex.lock t.mutex;
       let participants = min live_workers (n - 1) in
+      let enqueued = if t.timed then now () else 0. in
       for _ = 1 to participants do
-        Queue.push (Run steal) t.queue
+        Queue.push (Run { work = steal; enqueued }) t.queue
       done;
       Condition.broadcast t.work;
       Mutex.unlock t.mutex;
       (* The calling domain steals too, then waits for stragglers. *)
-      steal ();
+      if t.timed then begin
+        let t0 = now () in
+        steal 0;
+        let s = t.stats.(0) in
+        s.tasks <- s.tasks + 1;
+        s.busy_s <- s.busy_s +. (now () -. t0)
+      end
+      else steal 0;
       Mutex.lock t.mutex;
       while !finished < n do
         Condition.wait t.idle t.mutex
@@ -137,11 +236,14 @@ module Pool = struct
     Array.to_list (map_array ?cancel ?fallback t f (Array.of_list xs))
 end
 
-let map_array ?cancel ?fallback ~jobs f xs =
+let map_array ?cancel ?fallback ?telemetry ~jobs f xs =
   if jobs <= 1 || Array.length xs <= 1 then
     Array.map (apply ?cancel ?fallback f) xs
   else
-    Pool.with_pool ~jobs (fun pool -> Pool.map_array ?cancel ?fallback pool f xs)
+    Pool.with_pool ?telemetry ~jobs (fun pool ->
+        let result = Pool.map_array ?cancel ?fallback pool f xs in
+        Pool.profile pool;
+        result)
 
-let map_list ?cancel ?fallback ~jobs f xs =
-  Array.to_list (map_array ?cancel ?fallback ~jobs f (Array.of_list xs))
+let map_list ?cancel ?fallback ?telemetry ~jobs f xs =
+  Array.to_list (map_array ?cancel ?fallback ?telemetry ~jobs f (Array.of_list xs))

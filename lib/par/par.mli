@@ -14,7 +14,15 @@
 
     Graceful fallback: [jobs <= 1] (or a single-item input) never
     spawns a domain — the map runs inline on the calling domain, making
-    [--jobs 1] exactly the sequential code path. *)
+    [--jobs 1] exactly the sequential code path.
+
+    Profiling: a pool created with a live telemetry handle keeps one
+    stats slot per domain (tasks, stolen items, busy wall time, queue
+    wait) and {!Pool.profile} flushes them as [par.domain<i>.*] gauges,
+    [par.tasks]/[par.items] counters, a [par.utilisation] gauge and a
+    [par.queue_wait_ms] histogram — the raw material for the per-domain
+    table in [prpart profile]. With the default {!Prtelemetry.null}
+    handle no clock is ever read. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], clamped to at least 1 — the
@@ -27,9 +35,11 @@ module Pool : sig
       pool owner must not run two maps concurrently (the engine and
       sweep drive it from a single domain). *)
 
-  val create : jobs:int -> t
-  (** [create ~jobs] spawns [max 0 (jobs - 1)] worker domains. [jobs]
-      is clamped to at least 1. *)
+  val create : ?telemetry:Prtelemetry.t -> jobs:int -> unit -> t
+  (** [create ~jobs ()] spawns [max 0 (jobs - 1)] worker domains.
+      [jobs] is clamped to at least 1. With a live [telemetry] handle
+      the pool records per-domain stats (see {!profile}); timing reads
+      the wall clock once per batch task, never per item. *)
 
   val jobs : t -> int
 
@@ -65,28 +75,39 @@ module Pool : sig
     'b list
   (** [map_list t f xs] equals [List.map f xs]; see {!map_array}. *)
 
+  val profile : t -> unit
+  (** Flush the per-domain stats into the pool's telemetry handle:
+      [par.domain<i>.busy_s]/[.idle_s]/[.wait_s]/[.items]/[.tasks]
+      gauges (slot 0 is the calling domain), cumulative [par.tasks]/
+      [par.items] counters and a [par.utilisation] gauge. Call after
+      the maps, before shutdown. No-op without live telemetry. *)
+
   val shutdown : t -> unit
   (** Terminate and join the worker domains. Idempotent. Maps after
       shutdown run inline (single-domain fallback). *)
 
-  val with_pool : jobs:int -> (t -> 'a) -> 'a
+  val with_pool : ?telemetry:Prtelemetry.t -> jobs:int -> (t -> 'a) -> 'a
   (** Create, run, and always shut down (also on exceptions). *)
 end
 
 val map_array :
   ?cancel:(unit -> bool) ->
   ?fallback:('a -> 'b) ->
+  ?telemetry:Prtelemetry.t ->
   jobs:int ->
   ('a -> 'b) ->
   'a array ->
   'b array
 (** One-shot ordered map over a temporary pool ([jobs <= 1] runs
     inline without spawning anything). [cancel]/[fallback] as in
-    {!Pool.map_array}; they are honoured on the inline path too. *)
+    {!Pool.map_array}; they are honoured on the inline path too. With a
+    live [telemetry] handle the pool profile is flushed
+    ({!Pool.profile}) before the pool shuts down. *)
 
 val map_list :
   ?cancel:(unit -> bool) ->
   ?fallback:('a -> 'b) ->
+  ?telemetry:Prtelemetry.t ->
   jobs:int ->
   ('a -> 'b) ->
   'a list ->

@@ -1,0 +1,168 @@
+(* Fixed log-bucketed histogram: every handle shares one global bucket
+   layout (4 sub-buckets per power of two, exponents clamped to
+   [min_exp, max_exp], plus a dedicated bucket for v <= 0), so two
+   histograms recorded on different domains — or different machines —
+   merge by adding count arrays. Bucketing uses [Float.frexp] only:
+   pure float decomposition, no transcendental functions, hence
+   bit-identical across platforms and run orders. *)
+
+let min_exp = -40
+let max_exp = 41
+let sub_buckets = 4
+let octaves = max_exp - min_exp + 1
+let n_buckets = 1 + (octaves * sub_buckets) (* bucket 0 holds v <= 0 *)
+
+type t = {
+  live : bool;
+  lock : Mutex.t;
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let dead =
+  { live = false;
+    lock = Mutex.create ();
+    counts = [||];
+    count = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity }
+
+let make () =
+  { live = true;
+    lock = Mutex.create ();
+    counts = Array.make n_buckets 0;
+    count = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity }
+
+let live h = h.live
+
+(* Bucket index for a value. [frexp v] gives v = m * 2^e with
+   m in [0.5, 1); the mantissa selects one of 4 equal sub-buckets per
+   octave. Values at or below zero land in bucket 0; +infinity in the
+   top bucket. *)
+let index v =
+  if v <= 0. then 0
+  else if v = infinity then n_buckets - 1
+  else begin
+    let m, e = Float.frexp v in
+    if e < min_exp then 1
+    else if e > max_exp then n_buckets - 1
+    else begin
+      let sub = int_of_float ((m -. 0.5) *. 8.) in
+      let sub = if sub < 0 then 0 else if sub >= sub_buckets then sub_buckets - 1 else sub in
+      1 + ((e - min_exp) * sub_buckets) + sub
+    end
+  end
+
+(* Inclusive upper bound of bucket [i]: the value x such that every v
+   in the bucket satisfies v <= x. Bucket 0 (v <= 0) reports 0. *)
+let upper_bound i =
+  if i <= 0 then 0.
+  else begin
+    let i = i - 1 in
+    let e = min_exp + (i / sub_buckets) in
+    let sub = i mod sub_buckets in
+    Float.ldexp (0.5 +. (float_of_int (sub + 1) /. 8.)) e
+  end
+
+let observe h v =
+  if h.live && not (Float.is_nan v) then begin
+    Mutex.lock h.lock;
+    let i = index v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v;
+    Mutex.unlock h.lock
+  end
+
+let with_lock h f =
+  Mutex.lock h.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.lock) f
+
+let count h = h.count
+let sum h = with_lock h (fun () -> h.sum)
+let min_value h = with_lock h (fun () -> if h.count = 0 then 0. else h.min_v)
+let max_value h = with_lock h (fun () -> if h.count = 0 then 0. else h.max_v)
+
+let mean h =
+  with_lock h (fun () ->
+      if h.count = 0 then 0. else h.sum /. float_of_int h.count)
+
+(* Deterministic quantile: the inclusive upper bound of the bucket
+   containing the rank-[ceil (q * count)] observation, clamped to the
+   exact observed extrema (so quantile 1.0 is exactly [max_value] and
+   ranks landing in the <=0 bucket report [min_value]). No
+   interpolation: the answer depends only on the merged bucket counts,
+   never on insertion order. *)
+let quantile h q =
+  with_lock h (fun () ->
+      if h.count = 0 then 0.
+      else begin
+        let q = if q < 0. then 0. else if q > 1. then 1. else q in
+        let target =
+          let r = int_of_float (Float.ceil (q *. float_of_int h.count)) in
+          if r < 1 then 1 else if r > h.count then h.count else r
+        in
+        let result = ref h.max_v in
+        (try
+           let cumulative = ref 0 in
+           for i = 0 to n_buckets - 1 do
+             cumulative := !cumulative + h.counts.(i);
+             if !cumulative >= target then begin
+               result :=
+                 (if i = 0 then h.min_v
+                  else begin
+                    let u = upper_bound i in
+                    let u = if u > h.max_v then h.max_v else u in
+                    if u < h.min_v then h.min_v else u
+                  end);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !result
+      end)
+
+(* Non-empty buckets as (inclusive upper bound, count), ascending. *)
+let buckets h =
+  with_lock h (fun () ->
+      let rows = ref [] in
+      for i = n_buckets - 1 downto 0 do
+        if h.counts.(i) > 0 then
+          rows := (upper_bound i, h.counts.(i)) :: !rows
+      done;
+      !rows)
+
+let snapshot h =
+  with_lock h (fun () ->
+      (Array.copy h.counts, h.count, h.sum, h.min_v, h.max_v))
+
+let merge ~into src =
+  if into.live && src.live && src != into then begin
+    let counts, count, sum, min_v, max_v = snapshot src in
+    if count > 0 then
+      with_lock into (fun () ->
+          Array.iteri
+            (fun i c -> if c > 0 then into.counts.(i) <- into.counts.(i) + c)
+            counts;
+          into.count <- into.count + count;
+          into.sum <- into.sum +. sum;
+          if min_v < into.min_v then into.min_v <- min_v;
+          if max_v > into.max_v then into.max_v <- max_v)
+  end
+
+let copy h =
+  if not h.live then dead
+  else begin
+    let fresh = make () in
+    merge ~into:fresh h;
+    fresh
+  end

@@ -1,0 +1,73 @@
+(** Fixed log-bucketed latency/size histograms.
+
+    All histograms share one global bucket layout — 4 sub-buckets per
+    power of two (octave), binary exponents clamped to a fixed range,
+    plus a dedicated bucket for values at or below zero — so any two
+    histograms {!merge} by adding their count arrays: merging is
+    associative, commutative, and independent of observation order.
+    Bucketing uses [Float.frexp] only (no [log]), so bucket selection
+    is exact integer arithmetic on the float representation and
+    bit-identical across platforms.
+
+    Summaries are deterministic by construction: {!quantile} reports
+    the inclusive {e upper bound} of the bucket holding the requested
+    rank (clamped to the observed extrema), never an interpolation, so
+    p50/p90/p99 depend only on the merged bucket counts.
+
+    Handles are safe for concurrent {!observe} from multiple domains
+    (a per-histogram mutex; the hot path is one lock + four stores). *)
+
+type t
+
+val dead : t
+(** The shared no-op histogram: {!observe} does nothing, every reader
+    sees an empty distribution. Returned by registry lookups on
+    non-tracing telemetry handles so instrumented hot paths stay
+    allocation-free. *)
+
+val make : unit -> t
+(** A fresh live histogram (329 buckets, all zero). *)
+
+val live : t -> bool
+(** [false] only for {!dead}. *)
+
+val observe : t -> float -> unit
+(** Record one observation. NaN is ignored; values [<= 0] land in a
+    dedicated underflow bucket; [+infinity] in the top bucket. No-op
+    on {!dead}. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> float
+val max_value : t -> float
+(** Exact observed extrema (not bucket bounds); 0 when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [0, 1]: the inclusive upper bound of the
+    bucket containing the rank-[ceil (q * count)] observation, clamped
+    to [[min_value, max_value]]. 0 when empty. [quantile h 1.0] is
+    exactly [max_value h]. *)
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as [(inclusive upper bound, count)] in ascending
+    bound order — the raw material for Prometheus exposition (which
+    needs cumulative counts; see {!Telemetry.exposition}). *)
+
+val merge : into:t -> t -> unit
+(** Add [src]'s counts, sum and extrema into [into]. Associative and
+    commutative over any sequence of merges. No-op when either handle
+    is {!dead} or both are the same histogram. *)
+
+val copy : t -> t
+(** An independent snapshot ({!dead} copies to {!dead}). *)
+
+val index : float -> int
+(** Bucket index for a value (exposed for tests). *)
+
+val upper_bound : int -> float
+(** Inclusive upper bound of a bucket index (exposed for tests). *)
+
+val n_buckets : int

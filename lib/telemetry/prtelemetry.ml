@@ -10,5 +10,7 @@
 module Json = Json
 module Event = Event
 module Sink = Sink
+module Histogram = Histogram
 module Telemetry = Telemetry
+module Scope = Scope
 include Telemetry

@@ -1,10 +1,15 @@
 module Counter = struct
-  type t = { mutable value : int; live : bool }
+  (* Atomic so workers inside Par maps can bump shared counters without
+     tearing; [live] keeps the null handle's counters free. *)
+  type t = { cell : int Atomic.t; live : bool }
 
-  let dead = { value = 0; live = false }
-  let make () = { value = 0; live = true }
-  let incr ?(by = 1) c = if c.live then c.value <- c.value + by
-  let value c = c.value
+  let dead = { cell = Atomic.make 0; live = false }
+  let make () = { cell = Atomic.make 0; live = true }
+
+  let incr ?(by = 1) c =
+    if c.live then ignore (Atomic.fetch_and_add c.cell by)
+
+  let value c = Atomic.get c.cell
 end
 
 type span_acc = {
@@ -14,6 +19,7 @@ type span_acc = {
   mutable max_v : float;
   mutable samples : float list;
   mutable sample_count : int;
+  hist : Histogram.t;  (* always live: spans are cold, dozens per solve *)
 }
 
 type t = {
@@ -21,11 +27,13 @@ type t = {
   sink : Sink.t;
   clock : unit -> float;
   start : float;
+  lock : Mutex.t;  (* guards seq/depth and every registry table *)
   mutable seq : int;
   mutable depth : int;
   counters : (string, Counter.t) Hashtbl.t;
   gauges : (string, float) Hashtbl.t;
   spans : (string, span_acc) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
 }
 
 let null =
@@ -33,38 +41,49 @@ let null =
     sink = Sink.null;
     clock = (fun () -> 0.);
     start = 0.;
+    lock = Mutex.create ();
     seq = 0;
     depth = 0;
     counters = Hashtbl.create 1;
     gauges = Hashtbl.create 1;
-    spans = Hashtbl.create 1 }
+    spans = Hashtbl.create 1;
+    histograms = Hashtbl.create 1 }
 
 let create ?(clock = Sys.time) sink =
   { live = true;
     sink;
     clock;
     start = clock ();
+    lock = Mutex.create ();
     seq = 0;
     depth = 0;
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 8;
-    spans = Hashtbl.create 16 }
+    spans = Hashtbl.create 16;
+    histograms = Hashtbl.create 8 }
 
 let enabled t = t.live
 let tracing t = t.live && not (Sink.is_null t.sink)
 let ensure t = if t.live then t else create Sink.null
 
-let emit t kind name attrs =
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Must be called with [t.lock] held. *)
+let emit_locked t kind name attrs =
   t.seq <- t.seq + 1;
   Sink.emit t.sink
     { Event.seq = t.seq; time = t.clock () -. t.start; kind; name; attrs }
 
-let point t ?(attrs = []) name = if tracing t then emit t Event.Point name attrs
+let point t ?(attrs = []) name =
+  if tracing t then with_lock t (fun () -> emit_locked t Event.Point name attrs)
 
 (* ----------------------------------------------------------------- spans *)
 
 let max_samples = 512
 
+(* Lock held. *)
 let span_acc t name =
   match Hashtbl.find_opt t.spans name with
   | Some acc -> acc
@@ -75,11 +94,13 @@ let span_acc t name =
         min_v = infinity;
         max_v = neg_infinity;
         samples = [];
-        sample_count = 0 }
+        sample_count = 0;
+        hist = Histogram.make () }
     in
     Hashtbl.add t.spans name acc;
     acc
 
+(* Lock held. *)
 let record_span t name dt =
   let acc = span_acc t name in
   acc.calls <- acc.calls + 1;
@@ -89,24 +110,28 @@ let record_span t name dt =
   if acc.sample_count < max_samples then begin
     acc.samples <- dt :: acc.samples;
     acc.sample_count <- acc.sample_count + 1
-  end
+  end;
+  Histogram.observe acc.hist dt
 
 let with_span t ?(attrs = []) name f =
   if not t.live then f ()
   else begin
     let traced = tracing t in
-    if traced then
-      emit t Event.Begin name (attrs @ [ ("depth", Json.Int t.depth) ]);
-    t.depth <- t.depth + 1;
+    with_lock t (fun () ->
+        if traced then
+          emit_locked t Event.Begin name
+            (attrs @ [ ("depth", Json.Int t.depth) ]);
+        t.depth <- t.depth + 1);
     let t0 = t.clock () in
     Fun.protect
       ~finally:(fun () ->
         let dt = t.clock () -. t0 in
-        t.depth <- t.depth - 1;
-        record_span t name dt;
-        if traced then
-          emit t Event.End name
-            [ ("ms", Json.Float (dt *. 1e3)); ("depth", Json.Int t.depth) ])
+        with_lock t (fun () ->
+            t.depth <- t.depth - 1;
+            record_span t name dt;
+            if traced then
+              emit_locked t Event.End name
+                [ ("ms", Json.Float (dt *. 1e3)); ("depth", Json.Int t.depth) ]))
       f
   end
 
@@ -115,41 +140,134 @@ let with_span t ?(attrs = []) name f =
 let counter t name =
   if not t.live then Counter.dead
   else
-    match Hashtbl.find_opt t.counters name with
-    | Some c -> c
-    | None ->
-      let c = Counter.make () in
-      Hashtbl.add t.counters name c;
-      c
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.counters name with
+        | Some c -> c
+        | None ->
+          let c = Counter.make () in
+          Hashtbl.add t.counters name c;
+          c)
 
 let incr t ?by name = if t.live then Counter.incr ?by (counter t name)
 
 let counter_value t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some c -> Counter.value c
-  | None -> 0
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> Counter.value c
+      | None -> 0)
 
-let set_gauge t name v = if t.live then Hashtbl.replace t.gauges name v
-let gauge_value t name = Hashtbl.find_opt t.gauges name
+let set_gauge t name v =
+  if t.live then with_lock t (fun () -> Hashtbl.replace t.gauges name v)
+
+let gauge_value t name = with_lock t (fun () -> Hashtbl.find_opt t.gauges name)
+
+(* ------------------------------------------------------------ histograms *)
+
+(* Registry histograms are tracing-gated: the per-move hot paths that
+   observe into them run millions of times per second with the default
+   counting handle, and a dead histogram keeps that free. Span duration
+   histograms (above) are always on — spans are coarse-grained. *)
+let histogram t name =
+  if not (tracing t) then Histogram.dead
+  else
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> h
+        | None ->
+          let h = Histogram.make () in
+          Hashtbl.add t.histograms name h;
+          h)
+
+let observe t name v = Histogram.observe (histogram t name) v
+
+let histograms_list t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (with_lock t (fun () ->
+         Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.histograms []))
 
 let counters_list t =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun k c acc -> (k, Counter.value c) :: acc) t.counters [])
+    (with_lock t (fun () ->
+         Hashtbl.fold
+           (fun k c acc -> (k, Counter.value c) :: acc)
+           t.counters []))
 
 let gauges_list t =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges [])
+    (with_lock t (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gauges []))
 
 let flush t =
   if tracing t then begin
+    let counters = counters_list t in
+    let gauges = gauges_list t in
+    with_lock t (fun () ->
+        List.iter
+          (fun (name, v) ->
+            emit_locked t Event.Counter name [ ("value", Json.Int v) ])
+          counters;
+        List.iter
+          (fun (name, v) ->
+            emit_locked t Event.Gauge name [ ("value", Json.Float v) ])
+          gauges)
+  end
+
+(* ----------------------------------------------------------------- merge *)
+
+(* Fold a worker handle's aggregates into a parent handle. Counters
+   add; histograms merge bucket-wise; span statistics combine; gauges
+   only fill names the parent has not set (the parent's view wins).
+   Events are not transferred — workers run over null sinks. *)
+let merge ~into src =
+  if into.live && src.live && into != src then begin
     List.iter
-      (fun (name, v) -> emit t Event.Counter name [ ("value", Json.Int v) ])
-      (counters_list t);
+      (fun (name, v) -> if v <> 0 then Counter.incr (counter into name) ~by:v)
+      (counters_list src);
     List.iter
-      (fun (name, v) -> emit t Event.Gauge name [ ("value", Json.Float v) ])
-      (gauges_list t)
+      (fun (name, v) ->
+        with_lock into (fun () ->
+            if not (Hashtbl.mem into.gauges name) then
+              Hashtbl.replace into.gauges name v))
+      (gauges_list src);
+    List.iter
+      (fun (name, h) ->
+        if Histogram.count h > 0 then begin
+          let target =
+            with_lock into (fun () ->
+                match Hashtbl.find_opt into.histograms name with
+                | Some existing -> existing
+                | None ->
+                  let fresh = Histogram.make () in
+                  Hashtbl.add into.histograms name fresh;
+                  fresh)
+          in
+          Histogram.merge ~into:target h
+        end)
+      (histograms_list src);
+    let src_spans =
+      with_lock src (fun () ->
+          Hashtbl.fold (fun k acc rows -> (k, acc) :: rows) src.spans [])
+    in
+    List.iter
+      (fun (name, (acc : span_acc)) ->
+        if acc.calls > 0 then
+          with_lock into (fun () ->
+              let dst = span_acc into name in
+              dst.calls <- dst.calls + acc.calls;
+              dst.total <- dst.total +. acc.total;
+              if acc.min_v < dst.min_v then dst.min_v <- acc.min_v;
+              if acc.max_v > dst.max_v then dst.max_v <- acc.max_v;
+              List.iter
+                (fun sample ->
+                  if dst.sample_count < max_samples then begin
+                    dst.samples <- sample :: dst.samples;
+                    dst.sample_count <- dst.sample_count + 1
+                  end)
+                acc.samples;
+              Histogram.merge ~into:dst.hist acc.hist))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) src_spans)
   end
 
 (* ---------------------------------------------------------------- export *)
@@ -178,20 +296,23 @@ type span_stats = {
   min_s : float;
   max_s : float;
   samples : float list;
+  latency : Histogram.t;
 }
 
 let span_list t =
   let rows =
-    Hashtbl.fold
-      (fun name (acc : span_acc) rows ->
-        { span_name = name;
-          calls = acc.calls;
-          total_s = acc.total;
-          min_s = (if acc.calls = 0 then 0. else acc.min_v);
-          max_s = (if acc.calls = 0 then 0. else acc.max_v);
-          samples = acc.samples }
-        :: rows)
-      t.spans []
+    with_lock t (fun () ->
+        Hashtbl.fold
+          (fun name (acc : span_acc) rows ->
+            { span_name = name;
+              calls = acc.calls;
+              total_s = acc.total;
+              min_s = (if acc.calls = 0 then 0. else acc.min_v);
+              max_s = (if acc.calls = 0 then 0. else acc.max_v);
+              samples = acc.samples;
+              latency = acc.hist }
+            :: rows)
+          t.spans [])
   in
   List.sort
     (fun a b ->
@@ -199,6 +320,79 @@ let span_list t =
       | 0 -> String.compare a.span_name b.span_name
       | c -> c)
     rows
+
+(* ------------------------------------------------------------ exposition *)
+
+(* Prometheus text format. Metric names are sanitised (dots and dashes
+   to underscores) and prefixed so scrapes from several tools do not
+   collide. Histogram buckets are cumulative with a trailing +Inf, as
+   the format requires; only non-empty buckets are listed. *)
+
+let metric_name name =
+  let buf = Buffer.create (String.length name + 8) in
+  Buffer.add_string buf "prpart_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let float_repr f =
+  if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" f
+
+let exposition_histogram buf name h =
+  let metric = metric_name name in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" metric);
+  let cumulative = ref 0 in
+  List.iter
+    (fun (le, c) ->
+      cumulative := !cumulative + c;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" metric (float_repr le)
+           !cumulative))
+    (Histogram.buckets h);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" metric (Histogram.count h));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" metric (float_repr (Histogram.sum h)));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" metric (Histogram.count h))
+
+let exposition t =
+  if not t.live then ""
+  else begin
+    let buf = Buffer.create 2048 in
+    List.iter
+      (fun (name, v) ->
+        let metric = metric_name name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" metric);
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" metric v))
+      (counters_list t);
+    List.iter
+      (fun (name, v) ->
+        let metric = metric_name name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" metric);
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" metric (float_repr v)))
+      (gauges_list t);
+    List.iter
+      (fun (name, h) ->
+        if Histogram.count h > 0 then exposition_histogram buf name h)
+      (histograms_list t);
+    List.iter
+      (fun s ->
+        if s.calls > 0 then
+          exposition_histogram buf (s.span_name ^ ".seconds") s.latency)
+      (List.sort
+         (fun a b -> String.compare a.span_name b.span_name)
+         (span_list t));
+    Buffer.contents buf
+  end
+
+(* --------------------------------------------------------------- summary *)
 
 let ms v = Report.Table.fixed 3 (v *. 1e3)
 
@@ -211,14 +405,18 @@ let summary t =
       Buffer.add_string buf "phase timings (CPU):\n";
       Buffer.add_string buf
         (Report.Table.render
-           ~headers:[ "phase"; "calls"; "total ms"; "mean ms"; "min ms"; "max ms" ]
+           ~headers:
+             [ "phase"; "calls"; "total ms"; "mean ms"; "p50 ms"; "p90 ms";
+               "p99 ms"; "max ms" ]
            (List.map
               (fun s ->
                 [ s.span_name;
                   string_of_int s.calls;
                   ms s.total_s;
                   ms (s.total_s /. float_of_int (max 1 s.calls));
-                  ms s.min_s;
+                  ms (Histogram.quantile s.latency 0.50);
+                  ms (Histogram.quantile s.latency 0.90);
+                  ms (Histogram.quantile s.latency 0.99);
                   ms s.max_s ])
               spans));
       (* Latency distribution for repeated spans. *)
@@ -252,6 +450,24 @@ let summary t =
       Buffer.add_string buf
         (Report.Table.render ~headers:[ "gauge"; "value" ]
            (List.map (fun (k, v) -> [ k; Report.Table.fixed 3 v ]) gauges))
+    end;
+    let histograms = histograms_list t in
+    let observed = List.filter (fun (_, h) -> Histogram.count h > 0) histograms in
+    if observed <> [] then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf "distributions:\n";
+      Buffer.add_string buf
+        (Report.Table.render
+           ~headers:[ "histogram"; "count"; "p50"; "p90"; "p99"; "max" ]
+           (List.map
+              (fun (k, h) ->
+                [ k;
+                  string_of_int (Histogram.count h);
+                  Report.Table.fixed 3 (Histogram.quantile h 0.50);
+                  Report.Table.fixed 3 (Histogram.quantile h 0.90);
+                  Report.Table.fixed 3 (Histogram.quantile h 0.99);
+                  Report.Table.fixed 3 (Histogram.max_value h) ])
+              observed))
     end;
     if Buffer.length buf = 0 then "telemetry: no data recorded\n"
     else Buffer.contents buf

@@ -1,7 +1,7 @@
-(** The telemetry collector: monotonic span timers, named counters and
-    gauges, and a structured event stream, all hanging off one handle
-    that is threaded through the partitioning pipeline as an optional
-    argument.
+(** The telemetry collector: monotonic span timers, named counters,
+    gauges and latency histograms, and a structured event stream, all
+    hanging off one handle that is threaded through the partitioning
+    pipeline as an optional argument.
 
     Three operating points:
 
@@ -9,20 +9,29 @@
       defaults to. All operations short-circuit on a single boolean
       test; nothing is allocated, timed or counted.
     - a handle over {!Sink.null} — counters, gauges and span statistics
-      aggregate (cheap int/float mutations) but no events are built or
-      emitted. {!Prcore.Engine} uses this internally so its
-      [cost_evaluations] outcome field is always populated.
-    - a handle over a memory/file sink — full event stream, exportable
-      as JSONL ({!to_jsonl}, {!write_jsonl}) and as a human summary
-      table ({!summary}). *)
+      aggregate (cheap atomic/float mutations) but no events are built
+      or emitted and registry histograms stay {!Histogram.dead}.
+      {!Prcore.Engine} uses this internally so its [cost_evaluations]
+      outcome field is always populated.
+    - a handle over a memory/file sink — full event stream plus live
+      registry histograms, exportable as JSONL ({!to_jsonl},
+      {!write_jsonl}), as Prometheus text ({!exposition}) and as a
+      human summary table ({!summary}).
+
+    Domain safety: counters are atomic, every registry table sits
+    behind a per-handle mutex, and histograms carry their own locks, so
+    instrumented code inside [Par] workers may share one handle — or
+    record into private handles that are folded back with {!merge}.
+    [with_span] nesting depth is still tracked per handle, so give each
+    worker domain its own handle when span {e events} matter. *)
 
 type t
 
 module Counter : sig
   type t
   (** A named monotonic counter. Obtained from {!val-counter} once
-      (outside hot loops) and then bumped with {!incr} — an int store,
-      no lookup. *)
+      (outside hot loops) and then bumped with {!incr} — one atomic
+      fetch-and-add, no lookup, safe across domains. *)
 
   val incr : ?by:int -> t -> unit
   (** No-op on counters of the {!null} handle. [by] defaults to 1. *)
@@ -43,7 +52,8 @@ val enabled : t -> bool
 
 val tracing : t -> bool
 (** [true] when events actually reach a sink — callers use this to skip
-    building attribute lists for per-node events on the hot path. *)
+    building attribute lists for per-node events on the hot path, and
+    the registry histograms are only live under it. *)
 
 val ensure : t -> t
 (** [ensure t] is [t] when enabled, otherwise a fresh counting-only
@@ -55,8 +65,9 @@ val ensure : t -> t
 val with_span : t -> ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a named span: a [Begin] event, the call, and a
     guaranteed matching [End] event (also on exceptions) carrying the
-    duration in an [ms] attribute. Durations aggregate per name for
-    {!summary}. On a dead handle this is exactly [f ()]. *)
+    duration in an [ms] attribute. Durations aggregate per name (count,
+    total, extrema, and a log-bucketed {!Histogram} for percentiles)
+    for {!summary}. On a dead handle this is exactly [f ()]. *)
 
 (** {1 Counters and gauges} *)
 
@@ -72,6 +83,31 @@ val counter_value : t -> string -> int
 
 val set_gauge : t -> string -> float -> unit
 val gauge_value : t -> string -> float option
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> Histogram.t
+(** The named registry histogram, created on first use — but only when
+    {!tracing}; otherwise {!Histogram.dead}, so per-move hot paths
+    (the allocator observes one delta per evaluated move) cost nothing
+    under the default counting handle. Bind once outside the loop. *)
+
+val observe : t -> string -> float -> unit
+(** Convenience lookup-and-observe for cold paths. *)
+
+val histograms_list : t -> (string * Histogram.t) list
+(** Sorted by name. *)
+
+(** {1 Merging} *)
+
+val merge : into:t -> t -> unit
+(** Fold a worker handle's aggregates into a parent: counters add,
+    histograms merge bucket-wise, span statistics combine (calls,
+    totals, extrema, capped samples, latency histograms), and gauges
+    fill only names the parent has not set. Events are not moved —
+    worker handles run over null sinks. Deterministic given
+    deterministic worker aggregates; no-op unless both handles are
+    live. *)
 
 (** {1 Events} *)
 
@@ -94,6 +130,15 @@ val to_jsonl : t -> string
 val write_jsonl : t -> string -> (unit, string) result
 (** Write {!to_jsonl} to a path; [Error] carries the [Sys_error]. *)
 
+val exposition : t -> string
+(** Prometheus text exposition: every counter, gauge, registry
+    histogram and span-duration histogram as a [# TYPE]-annotated
+    metric family. Names are prefixed with [prpart_] and sanitised
+    ([.]/[-] become [_]); histogram buckets are cumulative with the
+    mandatory [+Inf] bucket plus [_sum]/[_count] rows. Deterministic:
+    families and buckets are emitted in sorted order. Empty string on
+    {!null}. *)
+
 type span_stats = {
   span_name : string;
   calls : int;
@@ -101,6 +146,7 @@ type span_stats = {
   min_s : float;
   max_s : float;
   samples : float list;  (** Up to 512 durations, most recent first. *)
+  latency : Histogram.t;  (** Log-bucketed durations (seconds). *)
 }
 
 val span_list : t -> span_stats list
@@ -114,6 +160,8 @@ val gauges_list : t -> (string * float) list
 
 val summary : t -> string
 (** Human-readable tables (via {!Report.Table}): per-span latency
-    (calls, total/mean/min/max ms) with an ASCII latency histogram
+    (calls, total/mean ms and deterministic p50/p90/p99/max from the
+    span histograms) with an ASCII latency histogram
     ({!Report.Histogram}) for spans with enough samples, then counters,
-    then gauges. Empty sections are omitted. *)
+    gauges and registry-histogram percentiles. Empty sections are
+    omitted. *)

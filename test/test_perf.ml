@@ -82,7 +82,7 @@ let par_tests =
           [ 1; 2; 4 ]);
     Alcotest.test_case "pool is reusable and shutdown idempotent" `Quick
       (fun () ->
-        let pool = Par.Pool.create ~jobs:3 in
+        let pool = Par.Pool.create ~jobs:3 () in
         let a = Par.Pool.map_array pool succ [| 1; 2; 3 |] in
         let b = Par.Pool.map_array pool succ [| 4; 5 |] in
         Par.Pool.shutdown pool;
