@@ -1,7 +1,7 @@
 # Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
 # `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
 
-.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf perf-compare faults guard clean
+.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf perf-compare faults guard serve soak clean
 
 all: build
 
@@ -90,6 +90,22 @@ faults:
 guard: build
 	dune exec test/test_guard.exe
 	dune exec bench/main.exe -- guard
+
+# Partitioning daemon on a local Unix socket with a persistent result
+# cache (talk to it with `nc -U prserve.sock`; Ctrl-C drains). See
+# DESIGN.md §11.
+serve: build
+	dune exec bin/prpart.exe -- serve --socket prserve.sock \
+	  --cache-dir prserve-cache --metrics prserve-metrics.txt --stats
+
+# Prserve acceptance soak: the serve test suite, then >= 1000 requests
+# from concurrent clients with a ~50% duplicate mix through an
+# in-process daemon — zero crashes, cache hit rate > 0.4, and cached
+# replies cross-checked against fresh verified solves. Scale with
+# PRPART_SOAK_REQUESTS.
+soak: build
+	dune exec test/test_serve.exe
+	dune exec bench/main.exe -- serve
 
 clean:
 	dune clean

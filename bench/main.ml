@@ -4,7 +4,7 @@
 
    Usage: main.exe [experiment ...]
    where experiment is one of: table1 table2 table3 table4 table5 fig7
-   fig8 fig9 stats ablate proxy perf bench-json bench-compare all
+   fig8 fig9 stats ablate proxy serve perf bench-json bench-compare all
    (default: all). bench-json appends its metrics to
    BENCH_history.jsonl; bench-compare diffs the two most recent entries
    and exits non-zero on a regression (`make perf-compare`).
@@ -559,6 +559,197 @@ let guard () =
   Printf.printf "\ntorn-artefact recovery round trip: %s\n"
     (if guard_recovery_roundtrip () then "ok" else "FAILED")
 
+(* Prserve load generation: an in-process daemon driven by concurrent
+   client threads over a duplicate-heavy request mix.  Shared by the
+   [serve] soak experiment, the bench-json "serve" section and the
+   --quick smoke. *)
+
+let str_contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let str_starts prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let design_one_line d =
+  String.map
+    (fun c -> if c = '\n' || c = '\r' then ' ' else c)
+    (Prdesign.Design_xml.to_string d)
+
+let serve_designs ?(count = 8) () =
+  let lib =
+    List.filter_map Prdesign.Design_library.find
+      [ "running-example"; "video-receiver" ]
+  in
+  lib
+  @ List.map snd
+      (Synth.Generator.batch ~seed:7 ~count:(max 1 (count - List.length lib))
+         ())
+
+type serve_load_stats = {
+  sl_requests : int;
+  sl_ok : int;
+  sl_cached : int;
+  sl_rejected : int;
+  sl_errors : int;
+  sl_wall_s : float;
+  sl_qps : float;
+  sl_p50_ms : float;
+  sl_p99_ms : float;
+  sl_hit_rate : float;
+}
+
+(* Each client walks its own slice of the design list with every
+   design requested twice in a row, so a population of [requests / 2]
+   designs yields an exactly 50% duplicate mix (a smaller population
+   raises the duplicate rate and the slices overlap). *)
+let serve_load ?(clients = 4) ~requests server designs =
+  let xmls = Array.of_list (List.map design_one_line designs) in
+  let n = Array.length xmls in
+  let per = max 1 (requests / clients) in
+  let total = clients * per in
+  let oks = Atomic.make 0
+  and cached = Atomic.make 0
+  and rejected = Atomic.make 0
+  and errors = Atomic.make 0 in
+  let latencies = Array.make total 0. in
+  let t0 = Unix.gettimeofday () in
+  let worker c =
+    for i = 0 to per - 1 do
+      let line =
+        Printf.sprintf "SOLVE client=bench%d inline:%s" c
+          xmls.(((c * (per / 2)) + (i / 2)) mod n)
+      in
+      let s = Unix.gettimeofday () in
+      let reply = Prserve.Server.handle_line server line in
+      latencies.((c * per) + i) <- (Unix.gettimeofday () -. s) *. 1000.;
+      if str_starts "OK {" reply then begin
+        Atomic.incr oks;
+        if str_contains reply "\"cached\":true" then Atomic.incr cached
+      end
+      else if str_starts "REJECT {" reply then Atomic.incr rejected
+      else Atomic.incr errors
+    done
+  in
+  let threads = List.init clients (fun c -> Thread.create worker c) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.sort compare latencies;
+  let pct p =
+    latencies.(min (total - 1) (int_of_float (p *. float_of_int total)))
+  in
+  let cache = Prserve.Server.cache server in
+  let hits = Prserve.Cache.hits cache and misses = Prserve.Cache.misses cache in
+  { sl_requests = total;
+    sl_ok = Atomic.get oks;
+    sl_cached = Atomic.get cached;
+    sl_rejected = Atomic.get rejected;
+    sl_errors = Atomic.get errors;
+    sl_wall_s = wall;
+    sl_qps = (if wall > 0. then float_of_int total /. wall else 0.);
+    sl_p50_ms = pct 0.5;
+    sl_p99_ms = pct 0.99;
+    sl_hit_rate =
+      (if hits + misses = 0 then 0.
+       else float_of_int hits /. float_of_int (hits + misses)) }
+
+let serve_config ?(jobs = max 2 (min 4 (Par.recommended_jobs ()))) tele =
+  { (Prserve.Server.default_config ~telemetry:tele ()) with
+    Prserve.Server.jobs }
+
+let serve_server config =
+  match Prserve.Server.create config with
+  | Ok s -> s
+  | Error m ->
+    Printf.printf "BENCH FAILED: prserve create: %s\n" m;
+    exit 1
+
+(* Prserve soak (the acceptance experiment): >= 1000 requests from
+   concurrent clients, ~50% duplicates, zero crashes, cache hit rate
+   above 0.4, and cached replies cross-checked against fresh verified
+   solves.  PRPART_SOAK_REQUESTS scales the load. *)
+let serve_soak () =
+  section "Prserve soak: concurrent duplicate-heavy load";
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "SERVE SOAK FAILED: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let requests =
+    match Sys.getenv_opt "PRPART_SOAK_REQUESTS" with
+    | Some v ->
+      (match int_of_string_opt v with Some n when n > 0 -> n | _ -> 1000)
+    | None -> 1000
+  in
+  let tele = Prtelemetry.create Prtelemetry.Sink.null in
+  (* The soak measures sustained crash-free serving, so size the cache
+     to the unique population and keep the shed thresholds above the
+     healthy queue wait; forced overload is exercised separately (the
+     test suite pins the shed ladder deterministically). *)
+  let config =
+    { (serve_config tele) with
+      Prserve.Server.cache_capacity = max 256 requests;
+      shed_thresholds_ms = [| 200.; 1000.; 5000. |] }
+  in
+  let server = serve_server config in
+  let designs = serve_designs ~count:(max 8 (requests / 2)) () in
+  let stats = serve_load ~clients:4 ~requests server designs in
+  (* Sampled reply validation: any design that made it into the cache
+     was solved clean at level 0, so its signature must match a fresh,
+     independently verified solve. *)
+  let fingerprint = Prserve.Server.config_fingerprint config in
+  let cache = Prserve.Server.cache server in
+  let checked = ref 0 in
+  List.iteri
+    (fun i d ->
+      if i < 3 then begin
+        let key =
+          Prserve.Cache.key ~config:fingerprint
+            ~design_text:(Prdesign.Design_xml.to_string d)
+        in
+        match Prserve.Cache.find cache ~key with
+        | None -> ()
+        | Some e -> (
+          match
+            Prcore.Engine.solve ~verify:true
+              ~target:config.Prserve.Server.target d
+          with
+          | Error m -> fail "verified re-solve of %s: %s" e.Prserve.Cache.design m
+          | Ok o ->
+            incr checked;
+            let fresh =
+              Bitgen.Crc32.hex_digest
+                (Prcore.Memo.scheme_signature o.Prcore.Engine.scheme)
+            in
+            if fresh <> e.Prserve.Cache.signature then
+              fail "cached %s signature %s != fresh verified %s"
+                e.Prserve.Cache.design e.Prserve.Cache.signature fresh)
+      end)
+    designs;
+  Prserve.Server.drain server;
+  Printf.printf
+    "soak: %d requests, %d ok (%d cached), %d rejected, %d errors\n"
+    stats.sl_requests stats.sl_ok stats.sl_cached stats.sl_rejected
+    stats.sl_errors;
+  Printf.printf
+    "soak: %.1f req/s, p50 %.2f ms, p99 %.2f ms, hit rate %.2f, %d \
+     replies cross-checked against verified solves\n"
+    stats.sl_qps stats.sl_p50_ms stats.sl_p99_ms stats.sl_hit_rate !checked;
+  if stats.sl_errors > 0 then fail "%d ERR replies (crashes)" stats.sl_errors;
+  if stats.sl_ok + stats.sl_rejected <> stats.sl_requests then
+    fail "replies do not account for every request";
+  if stats.sl_hit_rate <= 0.4 then
+    fail "cache hit rate %.2f <= 0.4" stats.sl_hit_rate;
+  Printf.printf "prserve soak OK\n"
+
 (* Machine-readable performance artefact (BENCH_core.json): allocator
    move throughput, engine solve latency (Bechamel OLS), sweep
    throughput sequential vs parallel, and the evaluation-cache hit
@@ -680,6 +871,24 @@ let bench_json () =
   in
   let guard_verdict = g1.Prcore.Engine.degraded in
   let recovery_ok = guard_recovery_roundtrip () in
+  (* Prserve daemon throughput under a duplicate-heavy concurrent
+     load; hit rate and p99 latency are regression-tracked. *)
+  let serve_stats =
+    let tele_s = Prtelemetry.create Prtelemetry.Sink.null in
+    (* Same stabilised configuration as the soak: thresholds above the
+       healthy queue wait, so the tracked hit rate measures the cache,
+       not shed-level jitter. *)
+    let server =
+      serve_server
+        { (serve_config tele_s) with
+          Prserve.Server.shed_thresholds_ms = [| 200.; 1000.; 5000. |] }
+    in
+    let stats =
+      serve_load ~clients:4 ~requests:200 server (serve_designs ~count:100 ())
+    in
+    Prserve.Server.drain server;
+    stats
+  in
   let json =
     Prtelemetry.Json.(
       Obj
@@ -735,7 +944,18 @@ let bench_json () =
                 ("evals_used", Int guard_verdict.Prguard.Budget.evals_used);
                 ( "total_frames",
                   Int g1.Prcore.Engine.evaluation.Prcore.Cost.total_frames );
-                ("recovery_roundtrip", Bool recovery_ok) ] ) ])
+                ("recovery_roundtrip", Bool recovery_ok) ] );
+          ( "serve",
+            Obj
+              [ ("requests", Int serve_stats.sl_requests);
+                ("wall_seconds", Float serve_stats.sl_wall_s);
+                ("qps", Float serve_stats.sl_qps);
+                ("p50_ms", Float serve_stats.sl_p50_ms);
+                ("p99_ms", Float serve_stats.sl_p99_ms);
+                ("hit_rate", Float serve_stats.sl_hit_rate);
+                ("cached_replies", Int serve_stats.sl_cached);
+                ("rejected", Int serve_stats.sl_rejected);
+                ("errors", Int serve_stats.sl_errors) ] ) ])
   in
   let path = "BENCH_core.json" in
   let oc = open_out path in
@@ -761,6 +981,15 @@ let bench_json () =
     guard_deterministic guard_feasible recovery_ok;
   if not (guard_deterministic && guard_feasible && recovery_ok) then begin
     Printf.printf "BENCH FAILED: guard invariants violated\n";
+    exit 1
+  end;
+  Printf.printf
+    "serve: %.1f req/s over %d requests, p99 %.2f ms, hit rate %.2f \
+     (%d rejected, %d errors)\n"
+    serve_stats.sl_qps serve_stats.sl_requests serve_stats.sl_p99_ms
+    serve_stats.sl_hit_rate serve_stats.sl_rejected serve_stats.sl_errors;
+  if serve_stats.sl_errors > 0 then begin
+    Printf.printf "BENCH FAILED: serve load produced ERR replies\n";
     exit 1
   end;
   Printf.printf "wrote %s\n" path;
@@ -909,6 +1138,54 @@ let scope_smoke () =
     (List.length s.Prcore.Engine.progress)
     (String.length page)
 
+(* Prserve smoke (runs under --quick, so `dune runtest` gates on it):
+   an in-process daemon must answer SOLVE (fresh then cached),
+   STATUS, HEALTH and SHUTDOWN, refuse work while draining, and leave
+   a structurally valid Prometheus exposition carrying the serve
+   counters. Exits 1 on violation. *)
+let serve_smoke () =
+  section "Prserve smoke: protocol round-trip + exposition validity";
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "PRSERVE SMOKE FAILED: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let tele = Prtelemetry.create Prtelemetry.Sink.null in
+  let server = serve_server (serve_config ~jobs:2 tele) in
+  let ask line = Prserve.Server.handle_line server line in
+  let r1 = ask "SOLVE running-example" in
+  if not (str_starts "OK {" r1) then fail "SOLVE: %s" r1;
+  if not (str_contains r1 "\"cached\":false") then fail "first solve cached";
+  let r2 = ask "SOLVE running-example" in
+  if not (str_contains r2 "\"cached\":true") then
+    fail "duplicate not served from cache: %s" r2;
+  let status = ask "STATUS" in
+  if not (str_starts "STATUS {" status && str_contains status "\"cache\":")
+  then fail "STATUS: %s" status;
+  if ask "HEALTH" <> "HEALTH ok" then fail "HEALTH";
+  if ask "SHUTDOWN" <> "BYE" then fail "SHUTDOWN";
+  let refused = ask "SOLVE running-example" in
+  if not (str_contains refused "draining") then
+    fail "draining daemon accepted work: %s" refused;
+  Prserve.Server.drain server;
+  Prtelemetry.flush tele;
+  let page = Prtelemetry.exposition tele in
+  (match Prtelemetry.Scope.check_exposition page with
+   | Ok () -> ()
+   | Error m -> fail "exposition page invalid: %s" m);
+  List.iter
+    (fun needle ->
+      if not (str_contains page needle) then
+        fail "exposition is missing %s" needle)
+    [ "prpart_serve_requests"; "prpart_serve_cache_hits";
+      "prpart_serve_solved" ];
+  Printf.printf
+    "prserve smoke OK (solve + cached duplicate, status/health/bye, \
+     drain refusal, exposition %d bytes valid)\n"
+    (String.length page)
+
 (* Bechamel performance suite: one Test.make per regenerated artefact. *)
 let perf () =
   section "Performance (Bechamel; the paper's Python took seconds-minutes)";
@@ -990,6 +1267,7 @@ let experiments =
     ("verify", verify);
     ("guard", guard);
     ("telemetry", fun () -> telemetry ());
+    ("serve", serve_soak);
     ("perf", perf);
     ("bench-json", bench_json);
     ("bench-compare", bench_compare) ]
@@ -1005,6 +1283,7 @@ let () =
     verify_smoke ();
     guard_smoke ();
     scope_smoke ();
+    serve_smoke ();
     telemetry ~quick:true ();
     exit 0
   end;

@@ -880,15 +880,7 @@ let batch_cmd =
         match guard_specs ~deadline_ms ~max_evals ~ladder with
         | Error message -> `Error (false, message)
         | Ok (budget_spec, ladder) -> (
-          let entries =
-            In_channel.with_open_text manifest In_channel.input_lines
-            |> List.map String.trim
-            |> List.filter (fun line ->
-                   line <> "" && not (String.length line > 0 && line.[0] = '#'))
-          in
-          if entries = [] then
-            `Error (false, Printf.sprintf "manifest %s lists no designs" manifest)
-          else begin
+          begin
             let manifest_dir = Filename.dirname manifest in
             let resolve spec =
               (* A relative path that does not exist from the CWD is
@@ -948,38 +940,71 @@ let batch_cmd =
                 br_outcome = outcome;
                 br_elapsed_ms = 1e3 *. (Unix.gettimeofday () -. started) }
             in
-            let results = List.map run_one entries in
-            List.iter (fun r -> print_endline (batch_result_jsonl r)) results;
-            let failures =
-              List.filter (fun r -> Result.is_error r.br_outcome) results
+            (* The manifest is streamed line-by-line through the bounded
+               serve reader (never loaded whole): a multi-million-line
+               manifest costs one line of memory at a time, and an
+               overlong line or an accidental binary degrades into a
+               typed error instead of an OOM. Each entry is solved and
+               reported as soon as it is read. *)
+            let jsonl_buf =
+              Option.map (fun _ -> Buffer.create 4096) jsonl
             in
-            let summary =
-              Printf.sprintf "batch: %d ok, %d failed (of %d)"
-                (List.length results - List.length failures)
-                (List.length failures) (List.length results)
+            let ok_count = ref 0 and fail_count = ref 0 in
+            let process spec =
+              let r = run_one spec in
+              let line = batch_result_jsonl r in
+              print_endline line;
+              Option.iter
+                (fun buf ->
+                  Buffer.add_string buf line;
+                  Buffer.add_char buf '\n')
+                jsonl_buf;
+              if Result.is_error r.br_outcome then incr fail_count
+              else incr ok_count
             in
-            let jsonl_written =
-              match jsonl with
-              | None -> Ok ()
-              | Some path ->
-                let content =
-                  String.concat ""
-                    (List.map (fun r -> batch_result_jsonl r ^ "\n") results)
-                in
-                Prguard.Atomic_io.write
-                  ~checksum:Bitgen.Crc32.hex_digest ~path content
+            let streamed =
+              In_channel.with_open_text manifest (fun ic ->
+                  let reader =
+                    Prserve.Reader.of_channel ~max_line_bytes:4096 ic
+                  in
+                  Prserve.Reader.fold_lines reader ~init:() (fun ~line:_ () raw ->
+                      let entry = String.trim raw in
+                      if entry <> "" && entry.[0] <> '#' then process entry))
             in
-            match jsonl_written with
-            | Error message -> `Error (false, message)
-            | Ok () ->
-              if failures = [] then begin
-                Format.eprintf "%s@." summary;
-                `Ok ()
-              end
+            match streamed with
+            | Error e ->
+              `Error
+                ( false,
+                  Printf.sprintf "manifest %s: %s" manifest
+                    (Prserve.Reader.error_message e) )
+            | Ok () -> (
+              let total = !ok_count + !fail_count in
+              if total = 0 then
+                `Error
+                  (false, Printf.sprintf "manifest %s lists no designs" manifest)
               else
-                (* A partially failed batch exits non-zero but only after
-                   every design had its turn. *)
-                `Error (false, summary)
+                let summary =
+                  Printf.sprintf "batch: %d ok, %d failed (of %d)" !ok_count
+                    !fail_count total
+                in
+                let jsonl_written =
+                  match (jsonl, jsonl_buf) with
+                  | Some path, Some buf ->
+                    Prguard.Atomic_io.write ~checksum:Bitgen.Crc32.hex_digest
+                      ~path (Buffer.contents buf)
+                  | _ -> Ok ()
+                in
+                match jsonl_written with
+                | Error message -> `Error (false, message)
+                | Ok () ->
+                  if !fail_count = 0 then begin
+                    Format.eprintf "%s@." summary;
+                    `Ok ()
+                  end
+                  else
+                    (* A partially failed batch exits non-zero but only
+                       after every design had its turn. *)
+                    `Error (false, summary))
           end))
   in
   let doc =
@@ -1161,6 +1186,163 @@ let designs_cmd =
   let doc = "List the built-in paper designs." in
   Cmd.v (Cmd.info "designs" ~doc) Term.(ret (const run $ const ()))
 
+let serve_cmd =
+  let socket_arg =
+    let doc = "Unix-domain socket path to listen on." in
+    Arg.(
+      value & opt string "prserve.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc =
+      "Listen on 127.0.0.1:$(docv) (TCP) instead of the Unix socket. The \
+       protocol is unauthenticated, so only the loopback interface is \
+       ever bound."
+    in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let no_deadline_arg =
+    let doc =
+      "Disable the per-job deadline entirely (default: 2000 ms per job). \
+       Overload shedding still imposes deadlines at elevated shed levels."
+    in
+    Arg.(value & flag & info [ "no-deadline" ] ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Persist the result cache in $(docv) (crash-safe writes with CRC32 \
+       sidecars; corrupt entries are quarantined and re-solved on \
+       restart). Without it the cache is memory-only."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let cache_capacity_arg =
+    let doc = "LRU bound on cached results." in
+    Arg.(value & opt int 256 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Admission queue bound (typed REJECT when full)." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let client_cap_arg =
+    let doc = "Per-client in-flight job cap (round-robin fairness)." in
+    Arg.(value & opt int 16 & info [ "client-cap" ] ~docv:"N" ~doc)
+  in
+  let shed_arg =
+    let doc =
+      "Queue-wait EWMA thresholds (ms, comma-separated, non-decreasing) \
+       for shed levels 1..n: past each threshold new jobs are admitted \
+       with a tighter budget/ladder rung."
+    in
+    Arg.(
+      value & opt string "50,200,1000" & info [ "shed-thresholds" ] ~docv:"MS,MS,MS" ~doc)
+  in
+  let parse_thresholds s =
+    let parts = String.split_on_char ',' (String.trim s) in
+    let floats = List.map (fun p -> float_of_string_opt (String.trim p)) parts in
+    if List.exists Option.is_none floats then
+      Error "--shed-thresholds: expected comma-separated numbers"
+    else
+      let values = List.map Option.get floats in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | _ -> true
+      in
+      if not (non_decreasing values) then
+        Error "--shed-thresholds: thresholds must be non-decreasing"
+      else Ok (Array.of_list values)
+  in
+  let run budget device jobs deadline_ms no_deadline ladder socket port
+      cache_dir cache_capacity queue client_cap shed metrics stats =
+    match target ~budget ~device with
+    | Error message -> `Error (false, message)
+    | Ok target -> (
+      match ladder_spec ladder with
+      | Error message -> `Error (false, message)
+      | Ok ladder -> (
+        match deadline_ms with
+        | Some ms when ms <= 0. || Float.is_nan ms ->
+          `Error (false, "--deadline-ms must be a positive number of milliseconds")
+        | _ -> (
+          match parse_thresholds shed with
+          | Error message -> `Error (false, message)
+          | Ok shed_thresholds_ms -> (
+            let deadline_ms =
+              if no_deadline then None
+              else Some (Option.value ~default:2000. deadline_ms)
+            in
+            let telemetry = Prtelemetry.create Prtelemetry.Sink.null in
+            let config =
+              { (Prserve.Server.default_config ~telemetry ()) with
+                target;
+                ladder;
+                deadline_ms;
+                jobs;
+                queue_capacity = queue;
+                client_cap;
+                cache_capacity;
+                cache_dir;
+                shed_thresholds_ms }
+            in
+            match Prserve.Server.create config with
+            | Error message -> `Error (false, message)
+            | Ok server -> (
+              (match Prserve.Cache.recovery (Prserve.Server.cache server) with
+               | Some r when not (Prguard.Atomic_io.clean r) ->
+                 Format.eprintf "%s@." (Prguard.Atomic_io.render_recovery r)
+               | _ -> ());
+              let address =
+                match port with
+                | Some p -> Prserve.Endpoint.Tcp p
+                | None -> Prserve.Endpoint.Unix_path socket
+              in
+              match Prserve.Endpoint.listen address with
+              | Error message ->
+                Prserve.Server.drain server;
+                `Error (false, message)
+              | Ok endpoint ->
+                let stop _ = Prserve.Server.request_shutdown server in
+                Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+                Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+                Format.printf "prserve: listening on %s (pid %d)@."
+                  (Prserve.Endpoint.address_to_string address)
+                  (Unix.getpid ());
+                Format.print_flush ();
+                Prserve.Endpoint.serve_loop endpoint server;
+                Prserve.Endpoint.close endpoint;
+                Prserve.Server.drain server;
+                Prtelemetry.flush telemetry;
+                if stats then print_string (Prtelemetry.summary telemetry);
+                let written =
+                  match metrics with
+                  | None -> Ok ()
+                  | Some path ->
+                    Prguard.Atomic_io.write ~checksum:Bitgen.Crc32.hex_digest
+                      ~path
+                      (Prtelemetry.exposition telemetry)
+                in
+                (match written with
+                 | Error message -> `Error (false, message)
+                 | Ok () ->
+                   Format.printf "prserve: drained after %d requests@."
+                     (Prserve.Server.requests server);
+                   `Ok ()))))))
+  in
+  let doc =
+    "Run the partitioning daemon: a line-delimited SOLVE/STATUS/HEALTH/\
+     SHUTDOWN protocol over a Unix or loopback-TCP socket, with a \
+     crash-safe content-addressed result cache, bounded fair admission, \
+     per-job budgets and overload shedding. SIGINT/SIGTERM drain \
+     gracefully. See DESIGN.md §11."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ budget_arg $ device_arg $ jobs_arg $ deadline_arg
+         $ no_deadline_arg $ ladder_arg $ socket_arg $ port_arg
+         $ cache_dir_arg $ cache_capacity_arg $ queue_arg $ client_cap_arg
+         $ shed_arg $ metrics_arg $ stats_arg))
+
 let () =
   let doc = "automated partitioning for partial reconfiguration designs" in
   let info = Cmd.info "prpart" ~version:"1.0.0" ~doc in
@@ -1168,5 +1350,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ partition_cmd; profile_cmd; baselines_cmd; simulate_cmd;
-            synth_cmd; flow_cmd; batch_cmd; recover_cmd; check_cmd; fuzz_cmd;
-            lint_cmd; devices_cmd; designs_cmd ]))
+            synth_cmd; flow_cmd; batch_cmd; serve_cmd; recover_cmd;
+            check_cmd; fuzz_cmd; lint_cmd; devices_cmd; designs_cmd ]))

@@ -24,6 +24,9 @@ let default_rules =
     { pattern = "ns_per_run"; direction = Lower_better; tolerance_pct = 30. };
     { pattern = "speedup"; direction = Higher_better; tolerance_pct = 20. };
     { pattern = "hit_rate"; direction = Higher_better; tolerance_pct = 10. };
+    { pattern = "p99_ms"; direction = Lower_better; tolerance_pct = 50. };
+    { pattern = "p50_ms"; direction = Lower_better; tolerance_pct = 50. };
+    { pattern = "qps"; direction = Higher_better; tolerance_pct = 40. };
     { pattern = "seconds"; direction = Lower_better; tolerance_pct = 40. } ]
 
 (* Flatten a JSON document to dotted-key numeric leaves, in document

@@ -4,6 +4,33 @@ let cancel_token () : cancel = Atomic.make false
 let cancel (c : cancel) = Atomic.set c true
 let cancelled (c : cancel) = Atomic.get c
 
+type clock = unit -> float
+
+(* The default deadline clock. [Unix.gettimeofday] is a wall clock: NTP
+   steps and manual clock changes can move it in either direction, and a
+   daemon that lives for days will see them. Backward jumps are the
+   dangerous direction — a deadline that stops approaching extends a job
+   indefinitely — so the default clock latches the largest time ever
+   observed (process-wide, lock-free) and never goes backwards. Forward
+   jumps at worst expire budgets early, which the anytime contract
+   already tolerates: the solver returns its best-so-far answer.
+   Long-running callers that need full independence from the wall clock
+   (or tests that need a deterministic timeline) inject their own
+   [clock]. *)
+let monotonic_floor = Atomic.make (Int64.bits_of_float 0.)
+
+let monotonic () =
+  let t = Unix.gettimeofday () in
+  let rec clamp () =
+    let prev = Atomic.get monotonic_floor in
+    let prev_t = Int64.float_of_bits prev in
+    if t <= prev_t then prev_t
+    else if Atomic.compare_and_set monotonic_floor prev (Int64.bits_of_float t)
+    then t
+    else clamp ()
+  in
+  clamp ()
+
 type spec = { deadline_ms : float option; max_evals : int option }
 
 let spec ?deadline_ms ?max_evals () = { deadline_ms; max_evals }
@@ -19,35 +46,36 @@ let spec_to_string s =
   | Some d, Some e -> Printf.sprintf "%.0fms/%d evals" d e
 
 type t = {
-  deadline : float option;  (** absolute, [Unix.gettimeofday] seconds *)
+  deadline : float option;  (** absolute, [clock] seconds *)
   max_evals : int option;
   evals : int Atomic.t;
   cancel_tok : cancel;
+  clock : clock;
   started : float;
   parent : t option;
   expired : bool Atomic.t;  (** sticky deadline flag *)
   probe : int Atomic.t;  (** clock-probe stride counter *)
 }
 
-let now () = Unix.gettimeofday ()
-
-let make ?deadline_ms ?max_evals ?cancel () =
-  let started = now () in
+let make ?(clock = monotonic) ?deadline_ms ?max_evals ?cancel () =
+  let started = clock () in
   {
     deadline = Option.map (fun ms -> started +. (ms /. 1000.)) deadline_ms;
     max_evals;
     evals = Atomic.make 0;
     cancel_tok = (match cancel with Some c -> c | None -> cancel_token ());
+    clock;
     started;
     parent = None;
     expired = Atomic.make false;
     probe = Atomic.make 0;
   }
 
-let of_spec ?cancel s = make ?deadline_ms:s.deadline_ms ?max_evals:s.max_evals ?cancel ()
+let of_spec ?clock ?cancel s =
+  make ?clock ?deadline_ms:s.deadline_ms ?max_evals:s.max_evals ?cancel ()
 
 let child parent s =
-  let started = now () in
+  let started = parent.clock () in
   let own = Option.map (fun ms -> started +. (ms /. 1000.)) s.deadline_ms in
   let deadline =
     match (parent.deadline, own) with
@@ -59,6 +87,7 @@ let child parent s =
     max_evals = s.max_evals;
     evals = Atomic.make 0;
     cancel_tok = parent.cancel_tok;
+    clock = parent.clock;
     started;
     parent = Some parent;
     expired = Atomic.make false;
@@ -70,7 +99,7 @@ let rec charge ?(n = 1) t =
   match t.parent with None -> () | Some p -> charge ~n p
 
 let evals_used t = Atomic.get t.evals
-let elapsed_ms t = (now () -. t.started) *. 1000.
+let elapsed_ms t = (t.clock () -. t.started) *. 1000.
 let has_eval_cap t = t.max_evals <> None
 let has_deadline t = t.deadline <> None
 
@@ -94,7 +123,7 @@ let deadline_passed t =
   | Some d ->
       let k = Atomic.fetch_and_add t.probe 1 in
       if k mod probe_stride <> 0 then false
-      else if now () > d then (
+      else if t.clock () > d then (
         Atomic.set t.expired true;
         true)
       else false
@@ -106,7 +135,7 @@ let deadline_passed_now t =
   | None -> false
   | Some _ when Atomic.get t.expired -> true
   | Some d ->
-      if now () > d then (
+      if t.clock () > d then (
         Atomic.set t.expired true;
         true)
       else false

@@ -24,6 +24,22 @@ val cancel : cancel -> unit
 
 val cancelled : cancel -> bool
 
+(** {1 Clocks} *)
+
+type clock = unit -> float
+(** A time source, in seconds (absolute origin irrelevant — only
+    differences matter).  Budgets take all their readings from one clock,
+    so tests can drive deadlines deterministically with a fake. *)
+
+val monotonic : clock
+(** The default deadline clock: [Unix.gettimeofday] clamped to be
+    non-decreasing (process-wide, lock-free).  NTP steps and manual clock
+    changes can move the wall clock in either direction; a backward jump
+    would make a deadline stop approaching and extend a job indefinitely,
+    so the largest time ever observed is latched and returned until the
+    wall clock catches up again.  Forward jumps at worst expire budgets
+    early, which the anytime contract already tolerates. *)
+
 (** {1 Specifications} *)
 
 type spec = {
@@ -43,10 +59,17 @@ val spec_to_string : spec -> string
 
 type t
 
-val make : ?deadline_ms:float -> ?max_evals:int -> ?cancel:cancel -> unit -> t
-(** Start a budget now.  Omitted limits are unlimited. *)
+val make :
+  ?clock:clock ->
+  ?deadline_ms:float ->
+  ?max_evals:int ->
+  ?cancel:cancel ->
+  unit ->
+  t
+(** Start a budget now.  Omitted limits are unlimited.  [clock] defaults
+    to {!monotonic}; children created with {!child} inherit it. *)
 
-val of_spec : ?cancel:cancel -> spec -> t
+val of_spec : ?clock:clock -> ?cancel:cancel -> spec -> t
 
 val child : t -> spec -> t
 (** [child parent spec] starts a sub-budget (e.g. one ladder rung): it

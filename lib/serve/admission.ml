@@ -1,0 +1,94 @@
+type reject =
+  | Queue_full of { depth : int; capacity : int }
+  | Client_cap of { client : string; in_flight : int; cap : int }
+  | Closed
+
+type 'a t = {
+  capacity : int;
+  client_cap : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queues : (string, 'a Queue.t) Hashtbl.t;
+  rotation : string Queue.t;  (** Clients with a non-empty queue, FIFO. *)
+  inflight : (string, int) Hashtbl.t;
+  mutable depth : int;
+  mutable closed : bool;
+}
+
+let create ?(capacity = 64) ?(client_cap = 16) () =
+  { capacity = max 1 capacity;
+    client_cap = max 1 client_cap;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queues = Hashtbl.create 8;
+    rotation = Queue.create ();
+    inflight = Hashtbl.create 8;
+    depth = 0;
+    closed = false }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let inflight_of t client =
+  Option.value ~default:0 (Hashtbl.find_opt t.inflight client)
+
+let submit t ~client job =
+  with_lock t (fun () ->
+      if t.closed then Error Closed
+      else if t.depth >= t.capacity then
+        Error (Queue_full { depth = t.depth; capacity = t.capacity })
+      else
+        let in_flight = inflight_of t client in
+        if in_flight >= t.client_cap then
+          Error (Client_cap { client; in_flight; cap = t.client_cap })
+        else begin
+          let q =
+            match Hashtbl.find_opt t.queues client with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.add t.queues client q;
+              q
+          in
+          if Queue.is_empty q then Queue.add client t.rotation;
+          Queue.add job q;
+          t.depth <- t.depth + 1;
+          Hashtbl.replace t.inflight client (in_flight + 1);
+          Condition.signal t.nonempty;
+          Ok ()
+        end)
+
+let take t ~max:limit =
+  with_lock t (fun () ->
+      while t.depth = 0 && not t.closed do
+        Condition.wait t.nonempty t.mutex
+      done;
+      let out = ref [] in
+      let n = ref 0 in
+      while !n < max 1 limit && t.depth > 0 do
+        let client = Queue.pop t.rotation in
+        let q = Hashtbl.find t.queues client in
+        out := Queue.pop q :: !out;
+        t.depth <- t.depth - 1;
+        incr n;
+        if not (Queue.is_empty q) then Queue.add client t.rotation
+      done;
+      List.rev !out)
+
+let finish t ~client =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.inflight client with
+      | None -> ()
+      | Some 1 -> Hashtbl.remove t.inflight client
+      | Some n -> Hashtbl.replace t.inflight client (n - 1))
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = with_lock t (fun () -> t.depth)
+let in_flight t ~client = with_lock t (fun () -> inflight_of t client)
+let capacity t = t.capacity
+let client_cap t = t.client_cap

@@ -1,0 +1,40 @@
+(** Bounded admission queue with per-client fairness.
+
+    Client threads {!submit} jobs; the single dispatcher thread
+    {!take}s batches for the Domain pool.  The queue is bounded (typed
+    {!reject} when full) and drained round-robin across client ids, so
+    one chatty client can neither fill the queue indefinitely (the
+    per-client in-flight cap refuses its submissions first) nor starve
+    others (its queued backlog is interleaved, not drained first).
+
+    In-flight accounting covers queued plus executing jobs; the
+    dispatcher calls {!finish} once a job's reply is delivered. *)
+
+type reject =
+  | Queue_full of { depth : int; capacity : int }
+  | Client_cap of { client : string; in_flight : int; cap : int }
+  | Closed  (** {!close} was called — the daemon is draining. *)
+
+type 'a t
+
+val create : ?capacity:int -> ?client_cap:int -> unit -> 'a t
+(** Defaults: capacity 64, client cap 16.  Both clamp to ≥ 1. *)
+
+val submit : 'a t -> client:string -> 'a -> (unit, reject) result
+
+val take : 'a t -> max:int -> 'a list
+(** Block until at least one job is queued (or the queue is closed),
+    then dequeue up to [max] jobs round-robin across clients.  [[]]
+    means closed-and-drained: the dispatcher should exit. *)
+
+val finish : 'a t -> client:string -> unit
+(** Release one unit of [client]'s in-flight budget. *)
+
+val close : 'a t -> unit
+(** Refuse further submissions ({!reject} [Closed]); {!take} keeps
+    returning queued jobs until the backlog drains. *)
+
+val depth : 'a t -> int
+val in_flight : 'a t -> client:string -> int
+val capacity : 'a t -> int
+val client_cap : 'a t -> int

@@ -1,0 +1,275 @@
+module Atomic_io = Prguard.Atomic_io
+
+type entry = {
+  key : string;
+  design : string;
+  scheme_xml : string;
+  regions : int;
+  total_frames : int;
+  worst_frames : int;
+  device : string option;
+  signature : string;
+}
+
+let key ~config ~design_text = config ^ "\n" ^ design_text
+
+(* -------------------------------------------------- persisted format *)
+
+(* Header lines are [name value]; the two byte-counted payloads come
+   last so arbitrary key/scheme bytes (embedded newlines included)
+   decode unambiguously. *)
+let encode_entry e =
+  let buf = Buffer.create (String.length e.key + String.length e.scheme_xml + 256) in
+  Buffer.add_string buf "prserve-cache 1\n";
+  Buffer.add_string buf (Printf.sprintf "design %s\n" e.design);
+  Buffer.add_string buf (Printf.sprintf "regions %d\n" e.regions);
+  Buffer.add_string buf (Printf.sprintf "total_frames %d\n" e.total_frames);
+  Buffer.add_string buf (Printf.sprintf "worst_frames %d\n" e.worst_frames);
+  Buffer.add_string buf
+    (Printf.sprintf "device %s\n"
+       (match e.device with None -> "-" | Some d -> d));
+  Buffer.add_string buf (Printf.sprintf "signature %s\n" e.signature);
+  Buffer.add_string buf (Printf.sprintf "key_bytes %d\n" (String.length e.key));
+  Buffer.add_string buf e.key;
+  Buffer.add_string buf
+    (Printf.sprintf "\nscheme_bytes %d\n" (String.length e.scheme_xml));
+  Buffer.add_string buf e.scheme_xml;
+  Buffer.contents buf
+
+let decode_entry s =
+  let pos = ref 0 in
+  let fail msg = Error (Printf.sprintf "cache entry: %s" msg) in
+  let line () =
+    match String.index_from_opt s !pos '\n' with
+    | None -> None
+    | Some i ->
+      let l = String.sub s !pos (i - !pos) in
+      pos := i + 1;
+      Some l
+  in
+  let field name =
+    match line () with
+    | Some l
+      when String.length l > String.length name
+           && String.sub l 0 (String.length name) = name
+           && l.[String.length name] = ' ' ->
+      Some
+        (String.sub l
+           (String.length name + 1)
+           (String.length l - String.length name - 1))
+    | _ -> None
+  in
+  let int_field name =
+    match field name with
+    | None -> None
+    | Some v -> int_of_string_opt v
+  in
+  let take n =
+    if n < 0 || !pos + n > String.length s then None
+    else begin
+      let v = String.sub s !pos n in
+      pos := !pos + n;
+      Some v
+    end
+  in
+  match line () with
+  | Some "prserve-cache 1" -> (
+    match
+      ( field "design",
+        int_field "regions",
+        int_field "total_frames",
+        int_field "worst_frames",
+        field "device",
+        field "signature",
+        int_field "key_bytes" )
+    with
+    | ( Some design,
+        Some regions,
+        Some total_frames,
+        Some worst_frames,
+        Some device,
+        Some signature,
+        Some key_bytes ) -> (
+      match take key_bytes with
+      | None -> fail "truncated key"
+      | Some key -> (
+        match (line (), int_field "scheme_bytes") with
+        | Some "", Some scheme_bytes -> (
+          match take scheme_bytes with
+          | None -> fail "truncated scheme"
+          | Some scheme_xml ->
+            if !pos <> String.length s then fail "trailing bytes"
+            else
+              Ok
+                { key;
+                  design;
+                  scheme_xml;
+                  regions;
+                  total_frames;
+                  worst_frames;
+                  device = (if device = "-" then None else Some device);
+                  signature })
+        | _ -> fail "malformed scheme header"))
+    | _ -> fail "malformed header")
+  | _ -> fail "bad magic"
+
+(* ------------------------------------------------------------- the cache *)
+
+type t = {
+  capacity : int;
+  dir : string option;
+  telemetry : Prtelemetry.t;
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;  (* keyed by full canonical key *)
+  mutable order : string list;  (* oldest first; refreshed on hit *)
+  mutable hits : int;
+  mutable misses : int;
+  recovery : Atomic_io.recovery option;
+}
+
+let checksum = Bitgen.Crc32.hex_digest
+
+let entry_filename key =
+  Printf.sprintf "%s-%d.entry" (checksum key) (String.length key)
+
+let entry_path dir key = Filename.concat dir (entry_filename key)
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let extract key order =
+  let rec scan acc = function
+    | [] -> (false, order)
+    | k :: rest when k = key -> (true, List.rev_append acc rest)
+    | k :: rest -> scan (k :: acc) rest
+  in
+  scan [] order
+
+let remove_files t key =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    let path = entry_path dir key in
+    (try Sys.remove path with Sys_error _ -> ());
+    (try Sys.remove (Atomic_io.sidecar path) with Sys_error _ -> ())
+
+(* Callers hold the lock. *)
+let insert t e =
+  (match Hashtbl.find_opt t.table e.key with
+   | Some _ ->
+     let _, rest = extract e.key t.order in
+     t.order <- rest
+   | None -> ());
+  Hashtbl.replace t.table e.key e;
+  t.order <- t.order @ [ e.key ];
+  while Hashtbl.length t.table > t.capacity do
+    match t.order with
+    | [] -> Hashtbl.reset t.table
+    | victim :: rest ->
+      t.order <- rest;
+      Hashtbl.remove t.table victim;
+      remove_files t victim;
+      Prtelemetry.incr t.telemetry "serve.cache.evictions"
+  done
+
+let quarantine_undecodable dir path =
+  (* Mirror [Atomic_io.recover]'s quarantine for entries whose bytes are
+     intact (CRC matched) but whose contents do not decode — e.g. a
+     format version skew. Never trust, never delete evidence. *)
+  let qdir = Filename.concat dir ".quarantine" in
+  (match Atomic_io.mkdir_p qdir with Ok () | Error _ -> ());
+  let dest = Filename.concat qdir (Filename.basename path) in
+  (try Sys.rename path dest with Sys_error _ -> ());
+  let side = Atomic_io.sidecar path in
+  if Sys.file_exists side then
+    try Sys.rename side (Filename.concat qdir (Filename.basename side))
+    with Sys_error _ -> ()
+
+let warm t dir =
+  let files =
+    match Sys.readdir dir with
+    | files ->
+      Array.sort compare files;
+      files
+    | exception Sys_error _ -> [||]
+  in
+  Array.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      if Filename.check_suffix name ".entry" && not (Sys.is_directory path)
+      then
+        match Atomic_io.read path with
+        | Error _ -> ()
+        | Ok bytes -> (
+          match decode_entry bytes with
+          | Ok e when entry_filename e.key = name -> insert t e
+          | Ok _ | Error _ ->
+            quarantine_undecodable dir path;
+            Prtelemetry.incr t.telemetry "serve.cache.quarantined"))
+    files
+
+let create ?(capacity = 256) ?dir ?(telemetry = Prtelemetry.null) () =
+  if capacity < 1 then Error "cache capacity must be at least 1"
+  else
+    let make recovery =
+      { capacity;
+        dir;
+        telemetry;
+        mutex = Mutex.create ();
+        table = Hashtbl.create (min capacity 1024);
+        order = [];
+        hits = 0;
+        misses = 0;
+        recovery }
+    in
+    match dir with
+    | None -> Ok (make None)
+    | Some dir -> (
+      match Atomic_io.mkdir_p dir with
+      | Error e -> Error e
+      | Ok () -> (
+        match Atomic_io.recover ~checksum ~dir () with
+        | Error e -> Error e
+        | Ok recovery ->
+          let t = make (Some recovery) in
+          Prtelemetry.incr t.telemetry "serve.cache.quarantined"
+            ~by:(List.length recovery.Atomic_io.quarantined);
+          warm t dir;
+          Ok t))
+
+let recovery t = t.recovery
+
+let find t ~key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        Prtelemetry.incr t.telemetry "serve.cache.hits";
+        let _, rest = extract key t.order in
+        t.order <- rest @ [ key ];
+        Some e
+      | None ->
+        t.misses <- t.misses + 1;
+        Prtelemetry.incr t.telemetry "serve.cache.misses";
+        None)
+
+let add t e =
+  with_lock t (fun () ->
+      insert t e;
+      match t.dir with
+      | None -> ()
+      | Some dir -> (
+        match
+          Atomic_io.write ~checksum ~path:(entry_path dir e.key)
+            (encode_entry e)
+        with
+        | Ok () -> ()
+        | Error _ ->
+          (* Persistence is best-effort: the in-memory entry still
+             serves; the next clean write or restart re-solves. *)
+          Prtelemetry.incr t.telemetry "serve.cache.write_errors"))
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)

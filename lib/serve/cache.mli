@@ -1,0 +1,73 @@
+(** Content-addressed result cache: canonical design text → solved
+    scheme.
+
+    The key is the full canonical solve identity — a configuration
+    fingerprint (target, objective, ladder, …) plus the canonical
+    [Design_xml.to_string] of the design — so a hit is only ever
+    returned for a byte-identical problem.  Entries store the canonical
+    [Scheme_xml] text plus the headline numbers, which is everything a
+    reply needs; the scheme can be re-validated against the design by
+    [Scheme_xml.of_string].
+
+    In memory the cache is LRU-bounded (in the style of
+    [Runtime.Fetch]); on disk each entry is written through
+    [Prguard.Atomic_io] with a CRC32 sidecar, so a [kill -9] mid-write
+    can never leave a torn entry.  {!create} replays
+    [Atomic_io.recover] over the directory — quarantining stale
+    temporaries, corrupt files and orphan sidecars — then warms the LRU
+    from the surviving entries (an entry that fails to decode is
+    quarantined too, never trusted).
+
+    All operations are safe to call from concurrent client threads. *)
+
+type entry = {
+  key : string;  (** Full canonical key (collision-checked on hit). *)
+  design : string;
+  scheme_xml : string;
+  regions : int;
+  total_frames : int;
+  worst_frames : int;
+  device : string option;
+  signature : string;  (** CRC32 of [Memo.scheme_signature]. *)
+}
+
+val key : config:string -> design_text:string -> string
+(** [config] is the server's solve-configuration fingerprint;
+    [design_text] the canonical design XML. *)
+
+val encode_entry : entry -> string
+(** The persisted format: a length-prefixed header so decoding is
+    unambiguous for arbitrary key/scheme bytes.  Exposed for the
+    crash-safety tests. *)
+
+val decode_entry : string -> (entry, string) result
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?dir:string ->
+  ?telemetry:Prtelemetry.t ->
+  unit ->
+  (t, string) result
+(** [capacity] (default 256) bounds the in-memory LRU; with [dir] the
+    cache is persistent ({!create} runs recovery and warming there).
+    Counters [serve.cache.hits] / [serve.cache.misses] /
+    [serve.cache.evictions] / [serve.cache.quarantined] go to
+    [telemetry]. *)
+
+val recovery : t -> Prguard.Atomic_io.recovery option
+(** The startup recovery report ([None] for a memory-only cache). *)
+
+val find : t -> key:string -> entry option
+(** LRU-refreshing lookup.  A filename-level collision whose stored key
+    differs is a miss, never a wrong answer. *)
+
+val add : t -> entry -> unit
+(** Insert (write-through when persistent; eviction removes the entry
+    file and its sidecar).  A persistence failure degrades to
+    memory-only for that entry — the daemon must keep serving. *)
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,135 @@
+type address = Unix_path of string | Tcp of int
+
+let address_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp port -> Printf.sprintf "tcp:127.0.0.1:%d" port
+
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+type t = {
+  fd : Unix.file_descr;
+  address : address;
+  mutable closed : bool;
+}
+
+let listen ?(backlog = 64) address =
+  (match address with
+   | Unix_path p when Sys.file_exists p -> ( try Unix.unlink p with _ -> ())
+   | _ -> ());
+  let domain =
+    match address with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (sockaddr_of address);
+    Unix.listen fd backlog;
+    Ok { fd; address; closed = false }
+  with
+  | Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with _ -> ());
+    Error
+      (Printf.sprintf "listen %s: %s" (address_to_string address)
+         (Unix.error_message e))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.fd with _ -> ());
+    match t.address with
+    | Unix_path p -> ( try Unix.unlink p with _ -> ())
+    | Tcp _ -> ()
+  end
+
+let write_line fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd data off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let handle_connection ?max_line_bytes server fd =
+  let reader = Reader.of_fd ?max_line_bytes fd in
+  let rec loop () =
+    match Reader.next reader with
+    | Ok None -> ()
+    | Error e ->
+      (* The stream has lost line framing; answer once and hang up. *)
+      (try write_line fd (Protocol.render_err (Reader.error_message e))
+       with Unix.Unix_error _ -> ())
+    | Ok (Some line) ->
+      let reply = Server.handle_line server line in
+      (match (try Ok (write_line fd reply) with Unix.Unix_error _ -> Error ())
+       with
+       | Error () -> ()
+       | Ok () -> if reply <> Protocol.render_bye then loop ())
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    loop
+
+let serve_loop ?(poll_interval = 0.2) ?max_line_bytes t server =
+  let threads = ref [] in
+  let rec loop () =
+    if Server.draining server || t.closed then ()
+    else begin
+      (match Unix.select [ t.fd ] [] [] poll_interval with
+       | [], _, _ -> ()
+       | _ :: _, _, _ -> (
+         match Unix.accept t.fd with
+         | fd, _ ->
+           threads :=
+             Thread.create (handle_connection ?max_line_bytes server) fd
+             :: !threads
+         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  List.iter Thread.join !threads
+
+(* ------------------------------------------------------------- clients *)
+
+type client = {
+  cfd : Unix.file_descr;
+  creader : Reader.t;
+  mutable cclosed : bool;
+}
+
+let connect ?max_line_bytes address =
+  let domain =
+    match address with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (sockaddr_of address);
+    Ok { cfd = fd; creader = Reader.of_fd ?max_line_bytes fd; cclosed = false }
+  with Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with _ -> ());
+    Error
+      (Printf.sprintf "connect %s: %s" (address_to_string address)
+         (Unix.error_message e))
+
+let request c line =
+  if c.cclosed then Error "connection closed"
+  else
+    match write_line c.cfd line with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error ("write: " ^ Unix.error_message e)
+    | () -> (
+      match Reader.next c.creader with
+      | Ok (Some reply) -> Ok reply
+      | Ok None -> Error "connection closed by server"
+      | Error e -> Error (Reader.error_message e))
+
+let close_client c =
+  if not c.cclosed then begin
+    c.cclosed <- true;
+    try Unix.close c.cfd with _ -> ()
+  end

@@ -1,0 +1,43 @@
+(** Socket transport for {!Server}: Unix-domain or localhost TCP.
+
+    The accept loop runs on the calling thread and spawns one thread
+    per connection; each connection reads request lines through the
+    bounded {!Reader} and writes one reply line per request.  The loop
+    polls the server's draining flag (a [select] timeout, so a signal
+    handler calling [Server.request_shutdown] stops acceptance within
+    [poll_interval]) and exits once draining; connection threads are
+    joined before {!serve_loop} returns, then the caller runs
+    [Server.drain]. *)
+
+type address = Unix_path of string | Tcp of int
+(** [Tcp port] binds 127.0.0.1 only: the protocol has no
+    authentication, so it must not listen on public interfaces. *)
+
+val address_to_string : address -> string
+
+type t
+
+val listen : ?backlog:int -> address -> (t, string) result
+(** Bind and listen.  A stale Unix-socket path from a previous run is
+    unlinked first. *)
+
+val serve_loop :
+  ?poll_interval:float -> ?max_line_bytes:int -> t -> Server.t -> unit
+(** Accept and serve until the server drains.  [poll_interval]
+    (default 0.2 s) bounds shutdown latency; [max_line_bytes] is the
+    {!Reader} bound per request line. *)
+
+val close : t -> unit
+(** Close the listening socket (and unlink a Unix path).  Idempotent. *)
+
+(** {1 Client side (tests and the load generator)} *)
+
+type client
+
+val connect : ?max_line_bytes:int -> address -> (client, string) result
+
+val request : client -> string -> (string, string) result
+(** Write one request line, read one reply line.  [Error] on a closed
+    or misbehaving connection. *)
+
+val close_client : client -> unit

@@ -1,0 +1,151 @@
+type spec = Named of string | Inline of string
+
+type request =
+  | Solve of { client : string; spec : spec }
+  | Status
+  | Health
+  | Shutdown
+
+let is_space = function ' ' | '\t' -> true | _ -> false
+
+let split_first s =
+  let n = String.length s in
+  let rec start i = if i < n && is_space s.[i] then start (i + 1) else i in
+  let a = start 0 in
+  let rec stop i = if i < n && not (is_space s.[i]) then stop (i + 1) else i in
+  let b = stop a in
+  if a = b then None
+  else Some (String.sub s a (b - a), String.sub s b (n - b))
+
+let strip s =
+  let n = String.length s in
+  let a = ref 0 and b = ref n in
+  while !a < n && is_space s.[!a] do incr a done;
+  while !b > !a && is_space s.[!b - 1] do decr b done;
+  String.sub s !a (!b - !a)
+
+let valid_client id =
+  id <> ""
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+         | _ -> false)
+       id
+
+let inline_prefix = "inline:"
+
+let parse line =
+  match split_first line with
+  | None -> Error "empty request"
+  | Some (verb, rest) -> (
+    match String.uppercase_ascii verb with
+    | "STATUS" -> Ok Status
+    | "HEALTH" -> Ok Health
+    | "SHUTDOWN" -> Ok Shutdown
+    | "SOLVE" -> (
+      let client, rest =
+        match split_first rest with
+        | Some (tok, rest') when String.length tok > 7
+                                 && String.sub tok 0 7 = "client=" ->
+          (String.sub tok 7 (String.length tok - 7), rest')
+        | _ -> ("anon", rest)
+      in
+      if not (valid_client client) then
+        Error (Printf.sprintf "invalid client id %S" client)
+      else
+        let arg = strip rest in
+        if arg = "" then Error "SOLVE needs a design name, path or inline:<xml>"
+        else if String.length arg >= String.length inline_prefix
+                && String.sub arg 0 (String.length inline_prefix)
+                   = inline_prefix
+        then
+          let xml =
+            String.sub arg (String.length inline_prefix)
+              (String.length arg - String.length inline_prefix)
+          in
+          if strip xml = "" then Error "inline: carries no XML"
+          else Ok (Solve { client; spec = Inline xml })
+        else Ok (Solve { client; spec = Named arg }))
+    | v -> Error (Printf.sprintf "unknown verb %S" v))
+
+(* ------------------------------------------------------------- replies *)
+
+type reject =
+  | Queue_full of { depth : int; capacity : int }
+  | Client_cap of { client : string; in_flight : int; cap : int }
+  | Draining
+  | Bad_request of string
+  | Too_large of string
+  | Not_found of string
+
+let reject_code = function
+  | Queue_full _ -> "queue-full"
+  | Client_cap _ -> "client-cap"
+  | Draining -> "draining"
+  | Bad_request _ -> "bad-request"
+  | Too_large _ -> "too-large"
+  | Not_found _ -> "not-found"
+
+type solved = {
+  design : string;
+  regions : int;
+  total_frames : int;
+  worst_frames : int;
+  device : string option;
+  cached : bool;
+  degraded : bool;
+  reason : string;
+  rung : string option;
+  shed_level : int;
+  queue_wait_ms : float;
+  elapsed_ms : float;
+  signature : string;
+}
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+let jopt = function None -> "null" | Some s -> jstr s
+
+let render_ok r =
+  Printf.sprintf
+    "OK {\"design\":%s,\"regions\":%d,\"total_frames\":%d,\"worst_frames\":%d,\
+     \"device\":%s,\"cached\":%b,\"degraded\":%b,\"reason\":%s,\"rung\":%s,\
+     \"shed_level\":%d,\"queue_wait_ms\":%.3f,\"elapsed_ms\":%.3f,\
+     \"signature\":%s}"
+    (jstr r.design) r.regions r.total_frames r.worst_frames (jopt r.device)
+    r.cached r.degraded (jstr r.reason) (jopt r.rung) r.shed_level
+    r.queue_wait_ms r.elapsed_ms (jstr r.signature)
+
+let render_reject r =
+  let detail =
+    match r with
+    | Queue_full { depth; capacity } ->
+      Printf.sprintf ",\"depth\":%d,\"capacity\":%d" depth capacity
+    | Client_cap { client; in_flight; cap } ->
+      Printf.sprintf ",\"client\":%s,\"in_flight\":%d,\"cap\":%d" (jstr client)
+        in_flight cap
+    | Draining -> ""
+    | Bad_request m | Too_large m | Not_found m ->
+      Printf.sprintf ",\"detail\":%s" (jstr m)
+  in
+  Printf.sprintf "REJECT {\"reason\":%s%s}" (jstr (reject_code r)) detail
+
+let render_err msg = Printf.sprintf "ERR {\"error\":%s}" (jstr msg)
+let render_status json = "STATUS " ^ json
+let render_health ~ok = if ok then "HEALTH ok" else "HEALTH draining"
+let render_bye = "BYE"

@@ -1,0 +1,89 @@
+(** The line-delimited Prserve request/reply grammar.
+
+    Requests (one per line, verbs case-insensitive):
+    {v
+    SOLVE [client=<id>] <design-name-or-xml-path>
+    SOLVE [client=<id>] inline:<design-xml-on-one-line>
+    STATUS
+    HEALTH
+    SHUTDOWN
+    v}
+
+    Replies are one line each, a tag followed by a JSON object (or a
+    bare token for [HEALTH]/[BYE]):
+    {v
+    OK {"design":...,"total_frames":...,"cached":...,"degraded":...}
+    REJECT {"reason":"queue-full",...}
+    ERR {"error":...}
+    STATUS {...}
+    HEALTH ok
+    BYE
+    v}
+
+    Parsing here is purely syntactic; size/shape ceilings on the design
+    itself are enforced by [Design_xml.limits] when the server loads
+    it. *)
+
+type spec =
+  | Named of string
+      (** A design-library name or an XML file path, resolved
+          server-side. *)
+  | Inline of string
+      (** A whole design XML flattened onto one line ([inline:] prefix);
+          XML is whitespace-insensitive so flattening is lossless. *)
+
+type request =
+  | Solve of { client : string; spec : spec }
+      (** [client] defaults to ["anon"] when no [client=] token is
+          given; admission fairness groups by it. *)
+  | Status
+  | Health
+  | Shutdown
+
+val parse : string -> (request, string) result
+(** Syntax errors ([Error message]) are protocol-level: unknown verb,
+    missing SOLVE argument, malformed [client=] id. *)
+
+(** {1 Replies} *)
+
+type reject =
+  | Queue_full of { depth : int; capacity : int }
+  | Client_cap of { client : string; in_flight : int; cap : int }
+  | Draining  (** The daemon is shutting down. *)
+  | Bad_request of string  (** Parse error, echoed back. *)
+  | Too_large of string  (** [Design_xml.limits] ceiling hit. *)
+  | Not_found of string  (** Unknown design name / unreadable path. *)
+
+val reject_code : reject -> string
+(** Stable machine-readable code: ["queue-full"], ["client-cap"],
+    ["draining"], ["bad-request"], ["too-large"], ["not-found"]. *)
+
+type solved = {
+  design : string;
+  regions : int;
+  total_frames : int;
+  worst_frames : int;
+  device : string option;
+  cached : bool;  (** Served from the content-addressed cache. *)
+  degraded : bool;  (** Best-so-far answer (budget expired or shed). *)
+  reason : string;  (** [Budget.reason_name] of the verdict. *)
+  rung : string option;  (** Ladder rung that produced the answer. *)
+  shed_level : int;  (** Overload rung the job was admitted under. *)
+  queue_wait_ms : float;
+  elapsed_ms : float;
+  signature : string;
+      (** CRC32 of the canonical scheme signature — lets a client
+          detect that two replies carry the same partitioning. *)
+}
+
+val render_ok : solved -> string
+val render_reject : reject -> string
+val render_err : string -> string
+val render_status : string -> string
+(** [render_status json] prefixes the precomposed JSON body. *)
+
+val render_health : ok:bool -> string
+val render_bye : string
+
+val json_escape : string -> string
+(** JSON string-literal escaping (shared with the status composer). *)

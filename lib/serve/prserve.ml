@@ -1,0 +1,14 @@
+(** Prserve — the crash-safe partitioning daemon.
+
+    {!Reader} bounds untrusted line input (shared with [prpart batch]);
+    {!Protocol} is the line grammar; {!Cache} the content-addressed,
+    crash-safe result store; {!Admission} the bounded fair queue;
+    {!Server} the transport-independent daemon core; {!Endpoint} the
+    Unix/TCP socket front-end.  See DESIGN.md §11. *)
+
+module Reader = Reader
+module Protocol = Protocol
+module Cache = Cache
+module Admission = Admission
+module Server = Server
+module Endpoint = Endpoint

@@ -1,0 +1,125 @@
+type error =
+  | Line_too_long of { line : int; limit : int }
+  | Binary_input of { line : int }
+
+let error_message = function
+  | Line_too_long { line; limit } ->
+    Printf.sprintf "line %d exceeds the %d-byte line limit" line limit
+  | Binary_input { line } ->
+    Printf.sprintf "binary input (NUL byte) on line %d" line
+
+type t = {
+  refill : bytes -> int -> int;
+  buf : bytes;
+  mutable pos : int;  (** next unread byte in [buf] *)
+  mutable len : int;  (** valid bytes in [buf] *)
+  mutable eof : bool;
+  mutable line : int;
+  mutable poisoned : error option;
+  max_line_bytes : int;
+  acc : Buffer.t;
+}
+
+let default_max_line_bytes = 4 * 1024 * 1024
+let chunk = 65536
+
+let of_refill ?(max_line_bytes = default_max_line_bytes) refill =
+  if max_line_bytes < 1 then invalid_arg "Reader.of_refill: max_line_bytes";
+  { refill;
+    buf = Bytes.create chunk;
+    pos = 0;
+    len = 0;
+    eof = false;
+    line = 0;
+    poisoned = None;
+    max_line_bytes;
+    acc = Buffer.create 256 }
+
+let of_channel ?max_line_bytes ic =
+  of_refill ?max_line_bytes (fun buf len -> input ic buf 0 len)
+
+let of_fd ?max_line_bytes fd =
+  of_refill ?max_line_bytes (fun buf len ->
+      (* A remote peer resetting the connection mid-line is EOF, not a
+         daemon-visible exception. *)
+      try Unix.read fd buf 0 len with
+      | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0)
+
+let line_number t = t.line
+
+let refill t =
+  if t.eof then false
+  else begin
+    let n = t.refill t.buf chunk in
+    if n <= 0 then begin
+      t.eof <- true;
+      false
+    end
+    else begin
+      t.pos <- 0;
+      t.len <- n;
+      true
+    end
+  end
+
+let poison t e =
+  t.poisoned <- Some e;
+  Error e
+
+let finish_line t =
+  let s = Buffer.contents t.acc in
+  Buffer.clear t.acc;
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let next t =
+  match t.poisoned with
+  | Some e -> Error e
+  | None ->
+    Buffer.clear t.acc;
+    t.line <- t.line + 1;
+    let rec scan () =
+      if t.pos >= t.len then
+        if refill t then scan ()
+        else if Buffer.length t.acc > 0 then Ok (Some (finish_line t))
+        else begin
+          t.line <- t.line - 1;
+          Ok None
+        end
+      else begin
+        (* Consume up to the next newline or the end of the buffered
+           chunk, checking the NUL and length bounds on the slice. *)
+        let stop = Bytes.index_from_opt t.buf t.pos '\n' in
+        let upto =
+          match stop with
+          | Some i when i < t.len -> i
+          | _ -> t.len
+        in
+        let slice_len = upto - t.pos in
+        let has_nul =
+          match Bytes.index_from_opt t.buf t.pos '\000' with
+          | Some i -> i < upto
+          | None -> false
+        in
+        if has_nul then poison t (Binary_input { line = t.line })
+        else if Buffer.length t.acc + slice_len > t.max_line_bytes then
+          poison t (Line_too_long { line = t.line; limit = t.max_line_bytes })
+        else begin
+          Buffer.add_subbytes t.acc t.buf t.pos slice_len;
+          t.pos <- upto + 1;
+          match stop with
+          | Some i when i < t.len -> Ok (Some (finish_line t))
+          | _ -> scan ()
+        end
+      end
+    in
+    scan ()
+
+let fold_lines t ~init f =
+  let rec go acc =
+    match next t with
+    | Error e -> Error e
+    | Ok None -> Ok acc
+    | Ok (Some line) -> go (f ~line:t.line acc line)
+  in
+  go init

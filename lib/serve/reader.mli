@@ -1,0 +1,45 @@
+(** Bounded, buffered line reading for untrusted streams.
+
+    Both the serve protocol and the [prpart batch] manifest walk
+    line-delimited input that may be adversarial: a multi-gigabyte line,
+    or an accidental binary, must degrade into a typed error after a
+    bounded amount of buffering — never into an OOM.  The reader pulls
+    from an abstract refill function, so the same code serves channels
+    (manifests) and socket file descriptors (the daemon protocol).
+
+    Lines are terminated by ['\n']; a trailing ['\r'] is stripped so
+    CRLF clients work.  A final line without a terminator is returned at
+    EOF.  A NUL byte anywhere classifies the stream as binary. *)
+
+type error =
+  | Line_too_long of { line : int; limit : int }
+      (** Line [line] (1-based) exceeded [limit] bytes; reading stopped
+          without buffering the rest. *)
+  | Binary_input of { line : int }  (** NUL byte on line [line]. *)
+
+val error_message : error -> string
+
+type t
+
+val of_refill : ?max_line_bytes:int -> (bytes -> int -> int) -> t
+(** [of_refill refill] reads via [refill buf len], which stores at most
+    [len] bytes at offset 0 of [buf] and returns the count (0 = EOF).
+    [max_line_bytes] defaults to 4 MiB (a whole inline design XML must
+    fit on one protocol line; [Design_xml.default_limits] caps parsed
+    XML at 16 MiB separately). *)
+
+val of_channel : ?max_line_bytes:int -> in_channel -> t
+val of_fd : ?max_line_bytes:int -> Unix.file_descr -> t
+
+val next : t -> (string option, error) result
+(** The next line ([Ok None] at EOF).  After an [Error] the reader is
+    poisoned: every subsequent call returns the same error — a stream
+    that overflowed or went binary has lost line framing. *)
+
+val line_number : t -> int
+(** 1-based number of the line the last {!next} returned (0 before the
+    first call). *)
+
+val fold_lines :
+  t -> init:'a -> (line:int -> 'a -> string -> 'a) -> ('a, error) result
+(** Drive {!next} to EOF, threading an accumulator. *)

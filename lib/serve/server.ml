@@ -1,0 +1,456 @@
+module Budget = Prguard.Budget
+module Ladder = Prguard.Ladder
+module Engine = Prcore.Engine
+
+type config = {
+  target : Engine.target;
+  options : Engine.options;
+  ladder : Ladder.t option;
+  deadline_ms : float option;
+  jobs : int;
+  queue_capacity : int;
+  client_cap : int;
+  cache_capacity : int;
+  cache_dir : string option;
+  shed_thresholds_ms : float array;
+  limits : Prdesign.Design_xml.limits;
+  clock : Budget.clock;
+  telemetry : Prtelemetry.t;
+}
+
+let default_config ?(telemetry = Prtelemetry.null) () =
+  { target = Engine.Auto;
+    options = Engine.default_options;
+    ladder = None;
+    deadline_ms = Some 2000.;
+    jobs = Par.recommended_jobs ();
+    queue_capacity = 64;
+    client_cap = 16;
+    cache_capacity = 256;
+    cache_dir = None;
+    shed_thresholds_ms = [| 50.; 200.; 1000. |];
+    limits = Prdesign.Design_xml.default_limits;
+    clock = Budget.monotonic;
+    telemetry }
+
+(* ------------------------------------------------------ shedding policy *)
+
+let level_for_wait ~thresholds wait_ms =
+  Array.fold_left (fun n th -> if wait_ms > th then n + 1 else n) 0 thresholds
+
+(* Precompiled degraded ladders; the strings are static so parsing
+   cannot fail. *)
+let greedy_ladder =
+  match Ladder.of_string "greedy,single-region" with
+  | Ok l -> l
+  | Error m -> failwith m
+
+let single_region_ladder =
+  match Ladder.of_string "single-region" with
+  | Ok l -> l
+  | Error m -> failwith m
+
+let shed_base_deadline_ms = 1000.
+
+let budget_for_level cfg level =
+  let base = Option.value ~default:shed_base_deadline_ms cfg.deadline_ms in
+  let scaled = base /. float_of_int (1 lsl level) in
+  if level <= 0 then
+    (Budget.spec ?deadline_ms:cfg.deadline_ms (), cfg.ladder)
+  else if level = 1 then (Budget.spec ~deadline_ms:scaled (), cfg.ladder)
+  else if level = 2 then (Budget.spec ~deadline_ms:scaled (), Some greedy_ladder)
+  else (Budget.spec ~deadline_ms:scaled (), Some single_region_ladder)
+
+let target_id = function
+  | Engine.Auto -> "auto"
+  | Engine.Fixed d -> "fixed:" ^ d.Fpga.Device.name
+  | Engine.Budget r ->
+    Printf.sprintf "budget:%d,%d,%d" r.Fpga.Resource.clb r.Fpga.Resource.bram
+      r.Fpga.Resource.dsp
+
+let config_fingerprint cfg =
+  (* Options are pure data (variants, records, float arrays), so the
+     marshalled bytes are a stable identity; CRC keeps the key short. *)
+  Printf.sprintf "prserve-key-v1 target=%s deadline=%s ladder=%s options=%s"
+    (target_id cfg.target)
+    (match cfg.deadline_ms with
+     | None -> "none"
+     | Some d -> Printf.sprintf "%.3fms" d)
+    (match cfg.ladder with None -> "none" | Some l -> Ladder.to_string l)
+    (Bitgen.Crc32.hex_digest (Marshal.to_string cfg.options []))
+
+(* --------------------------------------------------------------- jobs *)
+
+type reply_cell = {
+  cell_mutex : Mutex.t;
+  cell_cond : Condition.t;
+  mutable reply : string option;
+}
+
+type job = {
+  client : string;
+  design : Prdesign.Design.t;
+  key : string;
+  level : int;
+  submitted : float;
+  cell : reply_cell;
+}
+
+type t = {
+  config : config;
+  fingerprint : string;
+  cache : Cache.t;
+  admission : job Admission.t;
+  pool : Par.Pool.t;
+  started : float;
+  stop : bool Atomic.t;
+  ewma_bits : int64 Atomic.t;  (** queue-wait EWMA, ms, as float bits *)
+  mutable dispatcher : Thread.t option;
+  drained : bool Atomic.t;
+  queue_wait_h : Prtelemetry.Histogram.t;
+  latency_h : Prtelemetry.Histogram.t;
+  solve_h : Prtelemetry.Histogram.t;
+}
+
+let ewma t = Int64.float_of_bits (Atomic.get t.ewma_bits)
+
+let update_ewma t wait_ms =
+  (* Single-writer (the dispatcher); a plain store is enough. *)
+  let prev = ewma t in
+  let next = (0.7 *. prev) +. (0.3 *. wait_ms) in
+  Atomic.set t.ewma_bits (Int64.bits_of_float next)
+
+let shed_level t =
+  level_for_wait ~thresholds:t.config.shed_thresholds_ms (ewma t)
+
+let incr t name = Prtelemetry.incr t.config.telemetry name
+
+type job_result =
+  | Solved of Engine.outcome
+  | Unsolvable of string  (** Typed engine error (infeasible target). *)
+  | Crashed of string  (** The job raised; isolated to this reply. *)
+
+let solve_job t job =
+  try
+    let spec, ladder = budget_for_level t.config job.level in
+    let budget =
+      if Budget.is_unlimited spec then None
+      else Some (Budget.of_spec ~clock:t.config.clock spec)
+    in
+    match
+      Engine.solve ~options:t.config.options ~telemetry:t.config.telemetry
+        ?budget ?ladder ~jobs:1 ~target:t.config.target job.design
+    with
+    | Ok outcome -> Solved outcome
+    | Error msg -> Unsolvable msg
+  with e -> Crashed (Printexc.to_string e)
+
+let scheme_regions (scheme : Prcore.Scheme.t) =
+  scheme.Prcore.Scheme.region_count
+
+let scheme_signature scheme =
+  Bitgen.Crc32.hex_digest (Prcore.Memo.scheme_signature scheme)
+
+let solved_of_outcome job ~queue_wait_ms ~elapsed_ms (o : Engine.outcome) =
+  let v = o.Engine.degraded in
+  { Protocol.design = job.design.Prdesign.Design.name;
+    regions = scheme_regions o.Engine.scheme;
+    total_frames = o.Engine.evaluation.Prcore.Cost.total_frames;
+    worst_frames = o.Engine.evaluation.Prcore.Cost.worst_frames;
+    device = Option.map (fun d -> d.Fpga.Device.name) o.Engine.device;
+    cached = false;
+    degraded = v.Budget.degraded;
+    reason = Budget.reason_name v.Budget.reason;
+    rung = v.Budget.rung;
+    shed_level = job.level;
+    queue_wait_ms;
+    elapsed_ms;
+    signature = scheme_signature o.Engine.scheme }
+
+let entry_of_outcome job ~signature (o : Engine.outcome) =
+  { Cache.key = job.key;
+    design = job.design.Prdesign.Design.name;
+    scheme_xml = Prcore.Scheme_xml.to_string o.Engine.scheme;
+    regions = scheme_regions o.Engine.scheme;
+    total_frames = o.Engine.evaluation.Prcore.Cost.total_frames;
+    worst_frames = o.Engine.evaluation.Prcore.Cost.worst_frames;
+    device = Option.map (fun d -> d.Fpga.Device.name) o.Engine.device;
+    signature }
+
+let deliver job reply =
+  Mutex.lock job.cell.cell_mutex;
+  job.cell.reply <- Some reply;
+  Condition.broadcast job.cell.cell_cond;
+  Mutex.unlock job.cell.cell_mutex
+
+let await job =
+  Mutex.lock job.cell.cell_mutex;
+  while job.cell.reply = None do
+    Condition.wait job.cell.cell_cond job.cell.cell_mutex
+  done;
+  let r = Option.get job.cell.reply in
+  Mutex.unlock job.cell.cell_mutex;
+  r
+
+let dispatch_batch t batch =
+  let now = t.config.clock () in
+  List.iter
+    (fun job ->
+      let wait_ms = Float.max 0. ((now -. job.submitted) *. 1000.) in
+      Prtelemetry.Histogram.observe t.queue_wait_h wait_ms;
+      update_ewma t wait_ms)
+    batch;
+  let jobs = Array.of_list batch in
+  let results = Par.Pool.map_array t.pool (solve_job t) jobs in
+  Array.iteri
+    (fun i result ->
+      let job = jobs.(i) in
+      let finished = t.config.clock () in
+      let latency_ms = (finished -. job.submitted) *. 1000. in
+      let queue_wait_ms = Float.max 0. ((now -. job.submitted) *. 1000.) in
+      let elapsed_ms = (finished -. now) *. 1000. in
+      Prtelemetry.Histogram.observe t.latency_h latency_ms;
+      Prtelemetry.Histogram.observe t.solve_h elapsed_ms;
+      let spec, _ = budget_for_level t.config job.level in
+      (match spec.Budget.deadline_ms with
+       | Some d when elapsed_ms > d +. 100. -> incr t "serve.deadline_misses"
+       | _ -> ());
+      let reply =
+        match result with
+        | Solved outcome ->
+          let solved =
+            solved_of_outcome job ~queue_wait_ms ~elapsed_ms outcome
+          in
+          (* [Cache.add] replaces an existing entry in place, so a
+             duplicate design solved twice in one batch is harmless. *)
+          if job.level = 0 && not solved.Protocol.degraded then
+            Cache.add t.cache
+              (entry_of_outcome job ~signature:solved.Protocol.signature
+                 outcome);
+          incr t "serve.solved";
+          if solved.Protocol.degraded then incr t "serve.degraded";
+          Protocol.render_ok solved
+        | Unsolvable msg ->
+          incr t "serve.unsolvable";
+          Protocol.render_err msg
+        | Crashed msg ->
+          incr t "serve.errors";
+          Protocol.render_err ("job failed: " ^ msg)
+      in
+      deliver job reply;
+      Admission.finish t.admission ~client:job.client)
+    results
+
+let rec dispatcher_loop t =
+  match Admission.take t.admission ~max:(2 * t.config.jobs) with
+  | [] -> ()
+  | batch ->
+    dispatch_batch t batch;
+    dispatcher_loop t
+
+let create config =
+  if config.jobs < 1 then Error "serve: jobs must be at least 1"
+  else if
+    not
+      (Array.for_all (fun th -> Float.is_finite th) config.shed_thresholds_ms)
+  then Error "serve: shed thresholds must be finite"
+  else
+    match
+      Cache.create ~capacity:config.cache_capacity ?dir:config.cache_dir
+        ~telemetry:config.telemetry ()
+    with
+    | Error e -> Error ("serve: cache: " ^ e)
+    | Ok cache ->
+      let tele = config.telemetry in
+      let t =
+        { config;
+          fingerprint = config_fingerprint config;
+          cache;
+          admission =
+            Admission.create ~capacity:config.queue_capacity
+              ~client_cap:config.client_cap ();
+          pool = Par.Pool.create ~telemetry:tele ~jobs:config.jobs ();
+          started = config.clock ();
+          stop = Atomic.make false;
+          ewma_bits = Atomic.make (Int64.bits_of_float 0.);
+          dispatcher = None;
+          drained = Atomic.make false;
+          queue_wait_h = Prtelemetry.live_histogram tele "serve.queue_wait_ms";
+          latency_h = Prtelemetry.live_histogram tele "serve.latency_ms";
+          solve_h = Prtelemetry.live_histogram tele "serve.solve_ms" }
+      in
+      t.dispatcher <- Some (Thread.create (fun () -> dispatcher_loop t) ());
+      Ok t
+
+let draining t = Atomic.get t.stop
+let request_shutdown t = Atomic.set t.stop true
+let cache t = t.cache
+let telemetry t = t.config.telemetry
+let requests t = Prtelemetry.counter_value t.config.telemetry "serve.requests"
+
+(* ------------------------------------------------------------- requests *)
+
+let reject t r =
+  incr t ("serve.rejects." ^ Protocol.reject_code r);
+  Protocol.render_reject r
+
+let load_named t spec =
+  match Prdesign.Design_library.find spec with
+  | Some design -> Ok design
+  | None ->
+    if not (Sys.file_exists spec) then
+      Error (reject t (Protocol.Not_found (spec ^ ": no such design or file")))
+    else begin
+      try Ok (Prdesign.Design_xml.load_file ~limits:t.config.limits spec) with
+      | Prdesign.Design_xml.Malformed m ->
+        Error (reject t (Protocol.Bad_request (spec ^ ": " ^ m)))
+      | Xmllite.Xml.Parse_error { line; column; message } ->
+        Error
+          (reject t
+             (Protocol.Bad_request
+                (Printf.sprintf "%s:%d:%d: %s" spec line column message)))
+      | (Prdesign.Design_xml.Too_large _ | Xmllite.Xml.Limit_exceeded _) as e
+        ->
+        Error
+          (reject t
+             (Protocol.Too_large
+                (Option.value ~default:"input guard violation"
+                   (Prdesign.Design_xml.limit_message e))))
+      | Sys_error m -> Error (reject t (Protocol.Not_found m))
+    end
+
+let load_inline t xml =
+  try Ok (Prdesign.Design_xml.load_string ~limits:t.config.limits xml) with
+  | Prdesign.Design_xml.Malformed m ->
+    Error (reject t (Protocol.Bad_request ("inline design: " ^ m)))
+  | Xmllite.Xml.Parse_error { line; column; message } ->
+    Error
+      (reject t
+         (Protocol.Bad_request
+            (Printf.sprintf "inline design:%d:%d: %s" line column message)))
+  | (Prdesign.Design_xml.Too_large _ | Xmllite.Xml.Limit_exceeded _) as e ->
+    Error
+      (reject t
+         (Protocol.Too_large
+            (Option.value ~default:"input guard violation"
+               (Prdesign.Design_xml.limit_message e))))
+
+let solved_of_entry ~level ~elapsed_ms (e : Cache.entry) =
+  { Protocol.design = e.Cache.design;
+    regions = e.Cache.regions;
+    total_frames = e.Cache.total_frames;
+    worst_frames = e.Cache.worst_frames;
+    device = e.Cache.device;
+    cached = true;
+    degraded = false;
+    reason = Budget.reason_name Budget.Completed;
+    rung = None;
+    shed_level = level;
+    queue_wait_ms = 0.;
+    elapsed_ms;
+    signature = e.Cache.signature }
+
+let handle_solve t ~client spec =
+  let started = t.config.clock () in
+  match
+    (match spec with
+     | Protocol.Named n -> load_named t n
+     | Protocol.Inline xml -> load_inline t xml)
+  with
+  | Error reply -> reply
+  | Ok design ->
+    let design_text = Prdesign.Design_xml.to_string design in
+    let key = Cache.key ~config:t.fingerprint ~design_text in
+    let level = shed_level t in
+    (match Cache.find t.cache ~key with
+     | Some entry ->
+       let elapsed_ms = (t.config.clock () -. started) *. 1000. in
+       Prtelemetry.Histogram.observe t.latency_h elapsed_ms;
+       Protocol.render_ok (solved_of_entry ~level ~elapsed_ms entry)
+     | None ->
+       incr t ("serve.shed.level" ^ string_of_int level);
+       let job =
+         { client;
+           design;
+           key;
+           level;
+           submitted = started;
+           cell =
+             { cell_mutex = Mutex.create ();
+               cell_cond = Condition.create ();
+               reply = None } }
+       in
+       (match Admission.submit t.admission ~client job with
+        | Error (Admission.Queue_full { depth; capacity }) ->
+          reject t (Protocol.Queue_full { depth; capacity })
+        | Error (Admission.Client_cap { client; in_flight; cap }) ->
+          reject t (Protocol.Client_cap { client; in_flight; cap })
+        | Error Admission.Closed -> reject t Protocol.Draining
+        | Ok () -> await job))
+
+(* ---------------------------------------------------------------- status *)
+
+let status_json t =
+  let tele = t.config.telemetry in
+  let counter = Prtelemetry.counter_value tele in
+  let uptime = Float.max 1e-9 (t.config.clock () -. t.started) in
+  let requests = counter "serve.requests" in
+  let hits = Cache.hits t.cache and misses = Cache.misses t.cache in
+  let hit_rate =
+    if hits + misses = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  Par.Pool.profile t.pool;
+  let utilisation =
+    Option.value ~default:0. (Prtelemetry.gauge_value tele "par.utilisation")
+  in
+  let q p = Prtelemetry.Histogram.quantile t.latency_h p in
+  Printf.sprintf
+    "{\"uptime_s\":%.3f,\"requests\":%d,\"solved\":%d,\"errors\":%d,\
+     \"unsolvable\":%d,\"degraded\":%d,\"qps\":%.3f,\
+     \"cache\":{\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"entries\":%d},\
+     \"queue\":{\"depth\":%d,\"capacity\":%d,\"client_cap\":%d},\
+     \"shed\":{\"level\":%d,\"ewma_wait_ms\":%.3f},\
+     \"rejects\":{\"queue_full\":%d,\"client_cap\":%d,\"draining\":%d,\
+     \"bad_request\":%d,\"too_large\":%d,\"not_found\":%d},\
+     \"latency_ms\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f},\
+     \"deadline_misses\":%d,\"par_utilisation\":%.4f,\"draining\":%b}"
+    uptime requests (counter "serve.solved") (counter "serve.errors")
+    (counter "serve.unsolvable") (counter "serve.degraded")
+    (float_of_int requests /. uptime)
+    hits misses hit_rate (Cache.length t.cache)
+    (Admission.depth t.admission)
+    (Admission.capacity t.admission)
+    (Admission.client_cap t.admission)
+    (shed_level t) (ewma t)
+    (counter "serve.rejects.queue-full")
+    (counter "serve.rejects.client-cap")
+    (counter "serve.rejects.draining")
+    (counter "serve.rejects.bad-request")
+    (counter "serve.rejects.too-large")
+    (counter "serve.rejects.not-found")
+    (q 0.5) (q 0.9) (q 0.99)
+    (counter "serve.deadline_misses")
+    utilisation (draining t)
+
+let handle_line t line =
+  incr t "serve.requests";
+  match Protocol.parse line with
+  | Error msg -> reject t (Protocol.Bad_request msg)
+  | Ok Protocol.Status -> Protocol.render_status (status_json t)
+  | Ok Protocol.Health -> Protocol.render_health ~ok:(not (draining t))
+  | Ok Protocol.Shutdown ->
+    request_shutdown t;
+    Protocol.render_bye
+  | Ok (Protocol.Solve { client; spec }) ->
+    if draining t then reject t Protocol.Draining
+    else handle_solve t ~client spec
+
+let drain t =
+  request_shutdown t;
+  if not (Atomic.exchange t.drained true) then begin
+    Admission.close t.admission;
+    (match t.dispatcher with Some th -> Thread.join th | None -> ());
+    Par.Pool.profile t.pool;
+    Par.Pool.shutdown t.pool
+  end

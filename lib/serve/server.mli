@@ -1,0 +1,97 @@
+(** The Prserve daemon core: request handling, dispatch, overload
+    shedding and lifecycle, independent of any socket transport.
+
+    Threads: any number of client threads call {!handle_line} (one
+    blocking call per request line); a single internal dispatcher
+    thread drains the admission queue in batches onto a bounded
+    [Par.Pool] of domains, where each job solves under its own
+    [Guard.Budget] (on the server's injectable clock) and the
+    degradation ladder of its admission-time shed level.  A job that
+    raises yields a typed [ERR] reply; the daemon keeps serving.
+
+    Overload policy: the dispatcher maintains an EWMA of measured queue
+    wait ([serve.queue_wait_ms] histogram).  New jobs are admitted at
+    the shed level given by {!level_for_wait} over the configured
+    thresholds, and {!budget_for_level} maps levels to progressively
+    tighter budget/ladder rungs — the daemon answers fast-and-degraded
+    instead of slow-or-dead.  Only clean level-0, non-degraded results
+    enter the cache, so cached replies stay bit-identical to an
+    unconstrained fresh solve. *)
+
+type config = {
+  target : Prcore.Engine.target;
+  options : Prcore.Engine.options;
+  ladder : Prguard.Ladder.t option;  (** Level-0 ladder (none = plain). *)
+  deadline_ms : float option;  (** Level-0 deadline, default 2000 ms. *)
+  jobs : int;  (** Domain-pool width. *)
+  queue_capacity : int;
+  client_cap : int;
+  cache_capacity : int;
+  cache_dir : string option;  (** None = memory-only cache. *)
+  shed_thresholds_ms : float array;
+      (** Queue-wait EWMA thresholds for shed levels 1..n (must be
+          non-decreasing); length 3 by default. *)
+  limits : Prdesign.Design_xml.limits;
+  clock : Prguard.Budget.clock;
+  telemetry : Prtelemetry.t;
+}
+
+val default_config : ?telemetry:Prtelemetry.t -> unit -> config
+(** Auto device target, default options, no ladder, 2000 ms deadline,
+    [Par.recommended_jobs] width, queue 64, client cap 16, cache 256
+    (memory-only), thresholds [| 50.; 200.; 1000. |], default limits,
+    {!Prguard.Budget.monotonic} clock. *)
+
+(** {1 Shedding policy (pure, exposed for tests)} *)
+
+val level_for_wait : thresholds:float array -> float -> int
+(** Number of thresholds strictly below the wait: 0 = healthy, rising
+    to [Array.length thresholds] under overload. *)
+
+val budget_for_level :
+  config -> int -> Prguard.Budget.spec * Prguard.Ladder.t option
+(** Level 0: the configured deadline and ladder.  Deeper levels halve
+    the deadline per level and force cheaper ladders ([greedy,
+    single-region], then [single-region]).  With no configured deadline
+    the shed levels impose one (1000 ms base) so overload always
+    bounds latency. *)
+
+val config_fingerprint : config -> string
+(** The solve-identity part of the cache key: target, options,
+    level-0 budget/ladder.  Two servers with equal fingerprints may
+    share a cache directory. *)
+
+(** {1 Lifecycle} *)
+
+type t
+
+val create : config -> (t, string) result
+(** Build the cache (recovery + warming when persistent), admission
+    queue, domain pool and dispatcher thread. *)
+
+val handle_line : t -> string -> string
+(** Process one request line, blocking until the reply line is ready.
+    Never raises. *)
+
+val request_shutdown : t -> unit
+(** Stop admitting ([REJECT draining] / [HEALTH draining]); idempotent
+    and async-signal-safe (a flag set). *)
+
+val draining : t -> bool
+
+val drain : t -> unit
+(** Graceful stop: close admission, let the dispatcher finish the
+    backlog, join it, flush the pool profile ([par.*] gauges) and shut
+    the pool down.  Idempotent. *)
+
+(** {1 Introspection} *)
+
+val status_json : t -> string
+(** The [STATUS] body: uptime, request/solved/error counts, QPS, cache
+    hits/misses/hit-rate/entries, queue depth, shed level and EWMA,
+    reject counts, latency percentiles, [par.utilisation]. *)
+
+val cache : t -> Cache.t
+val telemetry : t -> Prtelemetry.t
+val requests : t -> int
+val shed_level : t -> int

@@ -178,6 +178,22 @@ let histogram t name =
           Hashtbl.add t.histograms name h;
           h)
 
+(* Live histograms share the registry with [histogram] but are gated only
+   on the handle being enabled, not on a tracing sink. They are for
+   coarse-grained service-layer observations (one per request, not one per
+   move): a long-running daemon needs latency percentiles on the default
+   counting handle, whose null sink keeps memory bounded. *)
+let live_histogram t name =
+  if not t.live then Histogram.dead
+  else
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> h
+        | None ->
+          let h = Histogram.make () in
+          Hashtbl.add t.histograms name h;
+          h)
+
 let observe t name v = Histogram.observe (histogram t name) v
 
 let histograms_list t =

@@ -92,6 +92,13 @@ val histogram : t -> string -> Histogram.t
     (the allocator observes one delta per evaluated move) cost nothing
     under the default counting handle. Bind once outside the loop. *)
 
+val live_histogram : t -> string -> Histogram.t
+(** Like {!histogram} but gated only on the handle being enabled, not on
+    a tracing sink: a counting handle (null sink) still records.  For
+    coarse-grained observations — one per request or job, never one per
+    move — where a long-running service wants percentiles with bounded
+    memory.  {!Histogram.dead} on a disabled handle. *)
+
 val observe : t -> string -> float -> unit
 (** Convenience lookup-and-observe for cold paths. *)
 

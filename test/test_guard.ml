@@ -101,6 +101,50 @@ let budget_tests =
         match Budget.exhausted b with
         | Some Budget.Deadline -> ()
         | _ -> Alcotest.fail "expected Deadline");
+    Alcotest.test_case "fake clock drives deadlines deterministically" `Quick
+      (fun () ->
+        (* A long-running daemon must not trust the wall clock; the
+           budget takes every reading from an injectable clock. With a
+           fake the entire deadline timeline is deterministic. *)
+        let now = ref 0. in
+        let b = Budget.make ~clock:(fun () -> !now) ~deadline_ms:100. () in
+        Alcotest.(check bool) "live at t=0" true (Budget.exhausted b = None);
+        now := 0.099;
+        Alcotest.(check bool) "live at 99ms" true (Budget.exhausted b = None);
+        now := 0.101;
+        (match Budget.exhausted b with
+         | Some Budget.Deadline -> ()
+         | _ -> Alcotest.fail "expected Deadline at 101ms");
+        Alcotest.(check (float 1e-6)) "elapsed from fake clock" 101.
+          (Budget.elapsed_ms b);
+        (* Sticky: winding the fake clock backwards (an NTP step under
+           the default clock) must not resurrect an expired budget. *)
+        now := 0.;
+        match Budget.exhausted b with
+        | Some Budget.Deadline -> ()
+        | _ -> Alcotest.fail "expiry must be sticky");
+    Alcotest.test_case "children inherit the parent's clock" `Quick
+      (fun () ->
+        let now = ref 10. in
+        let parent =
+          Budget.make ~clock:(fun () -> !now) ~deadline_ms:1000. ()
+        in
+        let child = Budget.child parent (Budget.spec ~deadline_ms:50. ()) in
+        Alcotest.(check bool) "child live" true (Budget.exhausted child = None);
+        now := 10.06;
+        (match Budget.exhausted child with
+         | Some Budget.Deadline -> ()
+         | _ -> Alcotest.fail "child deadline from fake clock");
+        Alcotest.(check bool) "parent still live" true
+          (Budget.exhausted parent = None));
+    Alcotest.test_case "monotonic clock never decreases" `Quick
+      (fun () ->
+        let prev = ref (Budget.monotonic ()) in
+        for _ = 1 to 1000 do
+          let t = Budget.monotonic () in
+          if t < !prev then Alcotest.fail "monotonic clock went backwards";
+          prev := t
+        done);
     Alcotest.test_case "child budgets share charges and deadlines" `Quick
       (fun () ->
         let parent = Budget.make ~max_evals:100 () in
