@@ -72,7 +72,10 @@ let take t ~max:limit =
         out := Queue.pop q :: !out;
         t.depth <- t.depth - 1;
         incr n;
-        if not (Queue.is_empty q) then Queue.add client t.rotation
+        (* Drop the bucket once empty: client ids are untrusted and
+           unbounded, so empty queues must not accumulate. *)
+        if Queue.is_empty q then Hashtbl.remove t.queues client
+        else Queue.add client t.rotation
       done;
       List.rev !out)
 
@@ -89,6 +92,7 @@ let close t =
       Condition.broadcast t.nonempty)
 
 let depth t = with_lock t (fun () -> t.depth)
+let client_buckets t = with_lock t (fun () -> Hashtbl.length t.queues)
 let in_flight t ~client = with_lock t (fun () -> inflight_of t client)
 let capacity t = t.capacity
 let client_cap t = t.client_cap

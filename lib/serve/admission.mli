@@ -35,6 +35,12 @@ val close : 'a t -> unit
     returning queued jobs until the backlog drains. *)
 
 val depth : 'a t -> int
+
+val client_buckets : 'a t -> int
+(** Number of client ids currently holding a queue bucket.  Buckets
+    are pruned as they empty, so arbitrary client ids cannot grow the
+    table without bound. *)
+
 val in_flight : 'a t -> client:string -> int
 val capacity : 'a t -> int
 val client_cap : 'a t -> int

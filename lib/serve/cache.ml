@@ -130,7 +130,12 @@ type t = {
 let checksum = Bitgen.Crc32.hex_digest
 
 let entry_filename key =
-  Printf.sprintf "%s-%d.entry" (checksum key) (String.length key)
+  (* CRC32 collides at the 2^16 birthday bound, which would let one
+     entry silently overwrite another on disk; a 128-bit digest makes
+     distinct keys share a path only with negligible probability.  The
+     CRC32 sidecar still guards content integrity. *)
+  Printf.sprintf "%s-%d.entry" (Digest.to_hex (Digest.string key))
+    (String.length key)
 
 let entry_path dir key = Filename.concat dir (entry_filename key)
 

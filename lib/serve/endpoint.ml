@@ -14,7 +14,15 @@ type t = {
   mutable closed : bool;
 }
 
+let ignore_sigpipe () =
+  (* A peer that disconnects before reading its reply must surface as
+     EPIPE from [Unix.write], not as a process-fatal SIGPIPE.  Guarded:
+     [Sys.sigpipe] is not settable on every platform. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let listen ?(backlog = 64) address =
+  ignore_sigpipe ();
   (match address with
    | Unix_path p when Sys.file_exists p -> ( try Unix.unlink p with _ -> ())
    | _ -> ());
@@ -69,11 +77,28 @@ let handle_connection ?max_line_bytes server fd =
        | Error () -> ()
        | Ok () -> if reply <> Protocol.render_bye then loop ())
   in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with _ -> ())
-    loop
+  loop ()
 
 let serve_loop ?(poll_interval = 0.2) ?max_line_bytes t server =
+  (* Live connection fds, so a drain can unblock reader threads parked
+     in [Unix.read] on idle connections.  An fd is closed only under
+     the registry lock, after removal, so the drain-time [shutdown]
+     below can never touch a recycled descriptor. *)
+  let conns_mutex = Mutex.create () in
+  let conns = Hashtbl.create 16 in
+  let track fd =
+    Mutex.lock conns_mutex;
+    Hashtbl.replace conns fd ();
+    Mutex.unlock conns_mutex
+  in
+  let release fd =
+    Mutex.lock conns_mutex;
+    if Hashtbl.mem conns fd then begin
+      Hashtbl.remove conns fd;
+      try Unix.close fd with _ -> ()
+    end;
+    Mutex.unlock conns_mutex
+  in
   let threads = ref [] in
   let rec loop () =
     if Server.draining server || t.closed then ()
@@ -83,8 +108,14 @@ let serve_loop ?(poll_interval = 0.2) ?max_line_bytes t server =
        | _ :: _, _, _ -> (
          match Unix.accept t.fd with
          | fd, _ ->
+           track fd;
            threads :=
-             Thread.create (handle_connection ?max_line_bytes server) fd
+             Thread.create
+               (fun () ->
+                 Fun.protect
+                   ~finally:(fun () -> release fd)
+                   (fun () -> handle_connection ?max_line_bytes server fd))
+               ()
              :: !threads
          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ())
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -92,6 +123,13 @@ let serve_loop ?(poll_interval = 0.2) ?max_line_bytes t server =
     end
   in
   loop ();
+  Mutex.lock conns_mutex;
+  Hashtbl.iter
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+    conns;
+  Mutex.unlock conns_mutex;
   List.iter Thread.join !threads
 
 (* ------------------------------------------------------------- clients *)
@@ -108,6 +146,7 @@ let connect ?max_line_bytes address =
   in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   try
+    ignore_sigpipe ();
     Unix.connect fd (sockaddr_of address);
     Ok { cfd = fd; creader = Reader.of_fd ?max_line_bytes fd; cclosed = false }
   with Unix.Unix_error (e, _, _) ->

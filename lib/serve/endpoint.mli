@@ -5,9 +5,12 @@
     bounded {!Reader} and writes one reply line per request.  The loop
     polls the server's draining flag (a [select] timeout, so a signal
     handler calling [Server.request_shutdown] stops acceptance within
-    [poll_interval]) and exits once draining; connection threads are
-    joined before {!serve_loop} returns, then the caller runs
-    [Server.drain]. *)
+    [poll_interval]) and exits once draining; open connections are then
+    shut down (so reader threads parked in [Unix.read] on idle clients
+    wake with EOF) and joined before {!serve_loop} returns, then the
+    caller runs [Server.drain].  {!listen} and {!connect} ignore
+    SIGPIPE: a peer that hangs up before reading its reply must
+    surface as a caught [EPIPE], never kill the daemon. *)
 
 type address = Unix_path of string | Tcp of int
 (** [Tcp port] binds 127.0.0.1 only: the protocol has no

@@ -130,20 +130,27 @@ type job_result =
   | Unsolvable of string  (** Typed engine error (infeasible target). *)
   | Crashed of string  (** The job raised; isolated to this reply. *)
 
+(* Runs on a pool domain; the start/finish timestamps are taken here,
+   per job, so a batch-mate's slow solve cannot inflate this job's
+   latency, solve-time, or deadline-miss accounting. *)
 let solve_job t job =
-  try
-    let spec, ladder = budget_for_level t.config job.level in
-    let budget =
-      if Budget.is_unlimited spec then None
-      else Some (Budget.of_spec ~clock:t.config.clock spec)
-    in
-    match
-      Engine.solve ~options:t.config.options ~telemetry:t.config.telemetry
-        ?budget ?ladder ~jobs:1 ~target:t.config.target job.design
-    with
-    | Ok outcome -> Solved outcome
-    | Error msg -> Unsolvable msg
-  with e -> Crashed (Printexc.to_string e)
+  let started = t.config.clock () in
+  let result =
+    try
+      let spec, ladder = budget_for_level t.config job.level in
+      let budget =
+        if Budget.is_unlimited spec then None
+        else Some (Budget.of_spec ~clock:t.config.clock spec)
+      in
+      match
+        Engine.solve ~options:t.config.options ~telemetry:t.config.telemetry
+          ?budget ?ladder ~jobs:1 ~target:t.config.target job.design
+      with
+      | Ok outcome -> Solved outcome
+      | Error msg -> Unsolvable msg
+    with e -> Crashed (Printexc.to_string e)
+  in
+  (result, started, t.config.clock ())
 
 let scheme_regions (scheme : Prcore.Scheme.t) =
   scheme.Prcore.Scheme.region_count
@@ -193,22 +200,16 @@ let await job =
   r
 
 let dispatch_batch t batch =
-  let now = t.config.clock () in
-  List.iter
-    (fun job ->
-      let wait_ms = Float.max 0. ((now -. job.submitted) *. 1000.) in
-      Prtelemetry.Histogram.observe t.queue_wait_h wait_ms;
-      update_ewma t wait_ms)
-    batch;
   let jobs = Array.of_list batch in
   let results = Par.Pool.map_array t.pool (solve_job t) jobs in
   Array.iteri
-    (fun i result ->
+    (fun i (result, started, finished) ->
       let job = jobs.(i) in
-      let finished = t.config.clock () in
-      let latency_ms = (finished -. job.submitted) *. 1000. in
-      let queue_wait_ms = Float.max 0. ((now -. job.submitted) *. 1000.) in
-      let elapsed_ms = (finished -. now) *. 1000. in
+      let latency_ms = Float.max 0. ((finished -. job.submitted) *. 1000.) in
+      let queue_wait_ms = Float.max 0. ((started -. job.submitted) *. 1000.) in
+      let elapsed_ms = Float.max 0. ((finished -. started) *. 1000.) in
+      Prtelemetry.Histogram.observe t.queue_wait_h queue_wait_ms;
+      update_ewma t queue_wait_ms;
       Prtelemetry.Histogram.observe t.latency_h latency_ms;
       Prtelemetry.Histogram.observe t.solve_h elapsed_ms;
       let spec, _ = budget_for_level t.config job.level in

@@ -329,6 +329,55 @@ let cache_tests =
           Alcotest.(check bool) "quarantine dir populated" true
             (Sys.file_exists (Filename.concat dir ".quarantine")
              && Sys.readdir (Filename.concat dir ".quarantine") <> [||]));
+    Alcotest.test_case "CRC32-colliding keys persist to distinct files" `Quick
+      (fun () ->
+        (* Find two distinct equal-length keys with equal CRC32 (the
+           32-bit birthday bound makes this cheap).  Under the old
+           crc32-based filenames they shared a path: one entry silently
+           overwrote the other, and evicting one deleted the
+           survivor's file. *)
+        let k1, k2 =
+          let seen = Hashtbl.create 65536 in
+          let rec go i =
+            let k = Printf.sprintf "key-%010d" i in
+            let h = Bitgen.Crc32.hex_digest k in
+            match Hashtbl.find_opt seen h with
+            | Some k' -> (k', k)
+            | None ->
+              Hashtbl.add seen h k;
+              go (i + 1)
+          in
+          go 0
+        in
+        Alcotest.(check bool) "distinct keys" true (k1 <> k2);
+        Alcotest.(check string) "colliding crc32"
+          (Bitgen.Crc32.hex_digest k1) (Bitgen.Crc32.hex_digest k2);
+        Alcotest.(check int) "equal length" (String.length k1)
+          (String.length k2);
+        let dir = temp_dir "prserve-cache" in
+        let entry_files () =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".entry")
+        in
+        (match Cache.create ~dir () with
+         | Error m -> Alcotest.fail m
+         | Ok t ->
+           Cache.add t { (sample_entry ()) with Cache.key = k1 };
+           Cache.add t
+             { (sample_entry ()) with Cache.key = k2; total_frames = 777 };
+           Alcotest.(check int) "two entry files" 2
+             (List.length (entry_files ())));
+        (* Both survive a restart, each with its own payload. *)
+        match Cache.create ~dir () with
+        | Error m -> Alcotest.fail m
+        | Ok t2 ->
+          Alcotest.(check int) "both warmed" 2 (Cache.length t2);
+          (match Cache.find t2 ~key:k1 with
+           | Some e -> Alcotest.(check int) "k1 payload" 1234 e.Cache.total_frames
+           | None -> Alcotest.fail "k1 lost");
+          match Cache.find t2 ~key:k2 with
+          | Some e -> Alcotest.(check int) "k2 payload" 777 e.Cache.total_frames
+          | None -> Alcotest.fail "k2 lost");
     Alcotest.test_case "undecodable-but-CRC-valid entry is quarantined" `Quick
       (fun () ->
         (* CRC intact but contents not in the entry format: a format
@@ -388,6 +437,34 @@ let admission_tests =
         let batch = Admission.take q ~max:6 in
         Alcotest.(check (list int)) "round-robin order"
           [ 1; 10; 20; 2; 11; 3 ] batch);
+    Alcotest.test_case "empty client buckets are pruned" `Quick (fun () ->
+        (* Client ids are untrusted: a drained client must not leave a
+           bucket behind, or arbitrary ids grow the table forever. *)
+        let q = Admission.create ~capacity:64 ~client_cap:4 () in
+        for i = 1 to 20 do
+          match Admission.submit q ~client:(Printf.sprintf "c%d" i) i with
+          | Ok () -> ()
+          | _ -> Alcotest.fail "submit"
+        done;
+        Alcotest.(check int) "buckets while queued" 20
+          (Admission.client_buckets q);
+        Alcotest.(check int) "partial take" 10
+          (List.length (Admission.take q ~max:10));
+        Alcotest.(check int) "non-empty buckets kept" 10
+          (Admission.client_buckets q);
+        Alcotest.(check int) "rest taken" 10
+          (List.length (Admission.take q ~max:64));
+        Alcotest.(check int) "all buckets pruned" 0
+          (Admission.client_buckets q);
+        (* The in-flight budget outlives the bucket... *)
+        Alcotest.(check int) "still in flight" 1
+          (Admission.in_flight q ~client:"c1");
+        (* ...and a pruned client can come back. *)
+        (match Admission.submit q ~client:"c1" 99 with
+         | Ok () -> ()
+         | _ -> Alcotest.fail "resubmit");
+        Alcotest.(check int) "bucket recreated" 1
+          (Admission.client_buckets q));
     Alcotest.test_case "close rejects new work and drains the backlog" `Quick
       (fun () ->
         let q = Admission.create () in
@@ -560,6 +637,48 @@ let server_tests =
             (* Shed results must not poison the clean cache. *)
             Alcotest.(check int) "nothing cached" 0
               (Cache.length (Server.cache server))));
+    Alcotest.test_case "metrics exposition is valid after a round trip" `Quick
+      (fun () ->
+        (* The `--metrics` page the daemon writes at drain must be
+           structurally valid Prometheus text and carry the serve
+           counters and histograms. *)
+        let tele = Prtelemetry.create Prtelemetry.Sink.null in
+        let server = create_server (deterministic_config ~telemetry:tele ()) in
+        let _ = Server.handle_line server "SOLVE running-example" in
+        let _ = Server.handle_line server "SOLVE running-example" in
+        let _ = Server.handle_line server "STATUS" in
+        Alcotest.(check string) "bye" "BYE"
+          (Server.handle_line server "SHUTDOWN");
+        Server.drain server;
+        let page = Prtelemetry.exposition tele in
+        (match Prtelemetry.Scope.check_exposition page with
+         | Ok () -> ()
+         | Error m -> Alcotest.failf "metrics page invalid: %s" m);
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool)
+              (Printf.sprintf "page contains %s" needle)
+              true (contains page needle))
+          [ "prpart_serve_requests"; "prpart_serve_cache_hits";
+            "prpart_serve_queue_wait_ms"; "prpart_serve_latency_ms" ]);
+    Alcotest.test_case "per-job timings come from the injectable clock" `Quick
+      (fun () ->
+        (* A deterministic clock ticking 1 s per call.  For a single
+           request the causally ordered calls are: create (0), request
+           arrival (1), job start on the worker domain (2), job finish
+           (3) — so queue wait and solve time are exactly 1000 ms each,
+           measured per job, not at the batch barrier. *)
+        let ticks = Atomic.make 0 in
+        let clock () = float_of_int (Atomic.fetch_and_add ticks 1) in
+        let cfg = { (deterministic_config ~jobs:1 ()) with Server.clock } in
+        let server = create_server cfg in
+        Fun.protect ~finally:(fun () -> Server.drain server) (fun () ->
+            let r = Server.handle_line server "SOLVE running-example" in
+            Alcotest.(check bool) "ok" true (starts_with "OK {" r);
+            Alcotest.(check (option string)) "queue wait" (Some "1000.000")
+              (field_of r "queue_wait_ms");
+            Alcotest.(check (option string)) "solve elapsed" (Some "1000.000")
+              (field_of r "elapsed_ms")));
     Alcotest.test_case "queue_full reject under a zero-capacity queue" `Quick
       (fun () ->
         (* Capacity 1 with a held dispatcher is racy; instead drive the
@@ -717,6 +836,95 @@ let endpoint_tests =
         Thread.join loop;
         Endpoint.close endpoint;
         Endpoint.close_client client2;
+        Server.drain server);
+    Alcotest.test_case "client hanging up before its replies is not fatal"
+      `Quick (fun () ->
+        (* Pipeline requests and close without reading: the daemon's
+           reply writes hit a dead peer.  Without SIGPIPE ignored this
+           kills the whole process (this test runner included). *)
+        let dir = temp_dir "prserve-sock" in
+        let path = Filename.concat dir "s.sock" in
+        let address = Endpoint.Unix_path path in
+        let server = create_server (deterministic_config ()) in
+        let endpoint =
+          match Endpoint.listen address with
+          | Ok e -> e
+          | Error m -> Alcotest.fail m
+        in
+        let loop =
+          Thread.create
+            (fun () -> Endpoint.serve_loop ~poll_interval:0.05 endpoint server)
+            ()
+        in
+        for _ = 1 to 2 do
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          let payload =
+            String.concat ""
+              ("SOLVE running-example\n"
+               :: List.init 64 (fun _ -> "STATUS\n"))
+          in
+          ignore (Unix.write_substring fd payload 0 (String.length payload));
+          Unix.close fd
+        done;
+        (* The daemon is still alive and serving. *)
+        let client =
+          match Endpoint.connect address with
+          | Ok c -> c
+          | Error m -> Alcotest.fail m
+        in
+        (match Endpoint.request client "HEALTH" with
+         | Ok r -> Alcotest.(check string) "alive" "HEALTH ok" r
+         | Error m -> Alcotest.fail m);
+        (match Endpoint.request client "SHUTDOWN" with
+         | Ok r -> Alcotest.(check string) "bye" "BYE" r
+         | Error m -> Alcotest.fail m);
+        Thread.join loop;
+        Endpoint.close endpoint;
+        Endpoint.close_client client;
+        Server.drain server);
+    Alcotest.test_case "drain does not hang on an idle connection" `Quick
+      (fun () ->
+        (* An idle client parks the connection thread in [Unix.read];
+           the drain must shut that fd down so the join terminates. *)
+        let dir = temp_dir "prserve-sock" in
+        let address = Endpoint.Unix_path (Filename.concat dir "s.sock") in
+        let server = create_server (deterministic_config ()) in
+        let endpoint =
+          match Endpoint.listen address with
+          | Ok e -> e
+          | Error m -> Alcotest.fail m
+        in
+        let loop =
+          Thread.create
+            (fun () -> Endpoint.serve_loop ~poll_interval:0.05 endpoint server)
+            ()
+        in
+        let idle =
+          match Endpoint.connect address with
+          | Ok c -> c
+          | Error m -> Alcotest.fail m
+        in
+        (* Make sure the idle connection is accepted before draining. *)
+        let active =
+          match Endpoint.connect address with
+          | Ok c -> c
+          | Error m -> Alcotest.fail m
+        in
+        (match Endpoint.request active "HEALTH" with
+         | Ok r -> Alcotest.(check string) "alive" "HEALTH ok" r
+         | Error m -> Alcotest.fail m);
+        (match Endpoint.request active "SHUTDOWN" with
+         | Ok r -> Alcotest.(check string) "bye" "BYE" r
+         | Error m -> Alcotest.fail m);
+        (* Before the drain fix this join hung forever on [idle]. *)
+        Thread.join loop;
+        (match Endpoint.request idle "HEALTH" with
+         | Error _ -> ()
+         | Ok r -> Alcotest.fail ("idle connection answered: " ^ r));
+        Endpoint.close endpoint;
+        Endpoint.close_client idle;
+        Endpoint.close_client active;
         Server.drain server) ]
 
 (* ------------------------------------------------------- QCheck soak *)
