@@ -1,7 +1,7 @@
 # Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
 # `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
 
-.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf perf-compare faults guard serve soak clean
+.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf perf-compare faults guard multilevel serve soak clean
 
 all: build
 
@@ -90,6 +90,14 @@ faults:
 guard: build
 	dune exec test/test_guard.exe
 	dune exec bench/main.exe -- guard
+
+# Prscale suite: the multilevel unit/property tests, then the scaling
+# experiment — exact and anneal expire a 2 s deadline on the seeded
+# 200-module huge design while the multilevel backend solves it
+# near-interactively, feasible and oracle-clean. See DESIGN.md §12.
+multilevel: build
+	dune exec test/test_multilevel.exe
+	dune exec bench/main.exe -- multilevel
 
 # Partitioning daemon on a local Unix socket with a persistent result
 # cache (talk to it with `nc -U prserve.sock`; Ctrl-C drains). See

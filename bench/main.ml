@@ -559,6 +559,218 @@ let guard () =
   Printf.printf "\ntorn-artefact recovery round trip: %s\n"
     (if guard_recovery_roundtrip () then "ok" else "FAILED")
 
+(* ------------------------------------------------------------------ *)
+(* Prscale: the multilevel backend on huge designs (DESIGN.md §12).
+   Shared by the [multilevel] experiment, the bench-json "multilevel"
+   section and the --quick smoke. *)
+
+(* A feasible-but-tight resource budget for a synthetic design,
+   anchored on the one-module-per-region reference: that is the usage
+   floor of mode-granular partitioning (each region sized for its
+   module's largest mode), so [headroom] times it is satisfiable by a
+   well-packed scheme while still forcing real partitioning
+   decisions. *)
+let huge_budget ?(headroom = 1.3) design =
+  let used =
+    (Prcore.Cost.evaluate (Prcore.Scheme.one_module_per_region design))
+      .Prcore.Cost.used
+  in
+  let scale v = int_of_float (Float.ceil (headroom *. float_of_int v)) in
+  Fpga.Resource.make
+    ~bram:(scale used.Fpga.Resource.bram)
+    ~dsp:(scale used.Fpga.Resource.dsp)
+    (scale used.Fpga.Resource.clb)
+
+let huge_seed = 2013
+let huge_modules = 200
+
+let huge_design =
+  lazy (Synth.Generator.huge ~seed:huge_seed ~modules:huge_modules ())
+
+type ml_report = {
+  mr_ms : float;  (* end-to-end Engine.solve wall time *)
+  mr_total : int;
+  mr_feasible : bool;
+  mr_oracle_clean : bool;
+  mr_stats : Prcore.Multilevel.stats;
+}
+
+(* The headline Prscale run: the seeded 200-module huge design solved
+   end-to-end through the engine with [strategy = Multilevel], checked
+   feasible and oracle-clean, plus one direct [allocate_stats] pass for
+   the V-cycle statistics (deterministic, so both runs see the same
+   search). *)
+let multilevel_huge_run () =
+  let design = Lazy.force huge_design in
+  let budget = huge_budget design in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match
+      Prcore.Engine.solve ~strategy:Prcore.Strategy.Multilevel
+        ~target:(Prcore.Engine.Budget budget) design
+    with
+    | Ok o -> o
+    | Error m ->
+      Printf.printf "BENCH FAILED: multilevel huge solve: %s\n" m;
+      exit 1
+  in
+  let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+  let feasible =
+    Prcore.Cost.fits outcome.Prcore.Engine.evaluation
+      ~budget:outcome.Prcore.Engine.budget
+  in
+  let oracle_clean =
+    Prverify.Checker.ok (Prverify.Checker.check_outcome outcome)
+  in
+  let _, stats =
+    Prcore.Multilevel.allocate_stats ~budget design
+      (Prcore.Multilevel.nodes design)
+  in
+  { mr_ms = ms;
+    mr_total = outcome.Prcore.Engine.evaluation.Prcore.Cost.total_frames;
+    mr_feasible = feasible;
+    mr_oracle_clean = oracle_clean;
+    mr_stats = stats }
+
+(* Quality gap of the multilevel scheme against an eval-capped anneal
+   on a small huge-class design — the largest size where the default
+   pipeline's clustering front-end still terminates un-deadlined, so
+   the comparison is apples-to-apples and the eval cap keeps it
+   deterministic. Positive = multilevel is worse. *)
+let multilevel_gap_vs_anneal () =
+  let design = Synth.Generator.huge ~seed:huge_seed ~modules:14 () in
+  let target = Prcore.Engine.Budget (huge_budget design) in
+  let solve strategy budget =
+    match Prcore.Engine.solve ~strategy ?budget ~target design with
+    | Ok o -> Some o.Prcore.Engine.evaluation.Prcore.Cost.total_frames
+    | Error _ -> None
+  in
+  let ml = solve Prcore.Strategy.Multilevel None in
+  let anneal =
+    solve Prcore.Strategy.Anneal
+      (Some (Prguard.Budget.make ~max_evals:50_000 ()))
+  in
+  match (ml, anneal) with
+  | Some ml, Some anneal when anneal > 0 ->
+    Some (100. *. float_of_int (ml - anneal) /. float_of_int anneal)
+  | _ -> None
+
+(* The [multilevel] experiment: the scaling story in one table — on the
+   200-module design, exact and anneal expire a 2 s deadline while the
+   multilevel backend finishes well inside the 10 s acceptance bound,
+   feasible and oracle-clean. *)
+let multilevel_experiment () =
+  section "Prscale: multilevel backend on 50-500-module designs";
+  let design = Lazy.force huge_design in
+  let budget = huge_budget design in
+  let target = Prcore.Engine.Budget budget in
+  Printf.printf "design: %s (%d modules, %d configurations)\n"
+    design.Prdesign.Design.name
+    (Prdesign.Design.module_count design)
+    (Prdesign.Design.configuration_count design);
+  let timed_solve label strategy guard =
+    let t0 = Unix.gettimeofday () in
+    let result = Prcore.Engine.solve ~strategy ?budget:guard ~target design in
+    let ms = 1000. *. (Unix.gettimeofday () -. t0) in
+    (match result with
+     | Ok o ->
+       Printf.printf "%-24s %8.0f ms  %7d frames  %s\n" label ms
+         o.Prcore.Engine.evaluation.Prcore.Cost.total_frames
+         (Prguard.Budget.render_verdict o.Prcore.Engine.degraded)
+     | Error m ->
+       Printf.printf "%-24s %8.0f ms  no feasible scheme (%s)\n" label ms
+         (String.concat " " (String.split_on_char '\n' m)));
+    result
+  in
+  let deadline () = Prguard.Budget.make ~deadline_ms:2000. () in
+  ignore (timed_solve "exact (2s deadline)" Prcore.Strategy.Exact
+            (Some (deadline ())));
+  ignore (timed_solve "anneal (2s deadline)" Prcore.Strategy.Anneal
+            (Some (deadline ())));
+  let r = multilevel_huge_run () in
+  Printf.printf "%-24s %8.0f ms  %7d frames  feasible=%b oracle=%s\n"
+    "multilevel (unguarded)" r.mr_ms r.mr_total r.mr_feasible
+    (if r.mr_oracle_clean then "clean" else "VIOLATED");
+  Printf.printf
+    "v-cycle: %d levels, %d merges, %d refinement passes, %d moves \
+     (%d trials)\n"
+    r.mr_stats.Prcore.Multilevel.levels r.mr_stats.Prcore.Multilevel.merges
+    r.mr_stats.Prcore.Multilevel.passes r.mr_stats.Prcore.Multilevel.moves
+    r.mr_stats.Prcore.Multilevel.trials;
+  (match
+     ( r.mr_stats.Prcore.Multilevel.first_feasible_total,
+       r.mr_stats.Prcore.Multilevel.final_total )
+   with
+   | Some first, Some final ->
+     Printf.printf "refinement: %d -> %d frames (monotone: %b)\n" first final
+       (final <= first)
+   | _ -> ());
+  (match multilevel_gap_vs_anneal () with
+   | Some gap ->
+     Printf.printf "gap vs eval-capped anneal (14 modules): %+.1f%%\n" gap
+   | None -> Printf.printf "gap vs anneal: not comparable\n");
+  if not (r.mr_feasible && r.mr_oracle_clean) then begin
+    Printf.printf "BENCH FAILED: multilevel huge solve invariants violated\n";
+    exit 1
+  end
+
+(* Prscale smoke (runs under --quick, so `dune runtest` gates on it): a
+   tiny huge-class design must be solved by every strategy, each
+   outcome oracle-clean, and the multilevel backend bit-identical
+   across jobs 1/2/4. Exits 1 on violation. *)
+let multilevel_smoke () =
+  section "Prscale smoke: every strategy on a tiny huge-class design";
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "PRSCALE SMOKE FAILED: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let design = Synth.Generator.huge ~seed:7 ~modules:12 () in
+  let target = Prcore.Engine.Budget (huge_budget design) in
+  (* Eval-capped so the exhaustive backends truncate deterministically
+     instead of dominating the smoke's wall clock. *)
+  let capped () = Prguard.Budget.make ~max_evals:50_000 () in
+  let outcomes =
+    List.map
+      (fun strategy ->
+        match Prcore.Engine.solve ~strategy ~budget:(capped ()) ~target design with
+        | Ok o -> (strategy, o)
+        | Error m ->
+          fail "%s strategy failed on the tiny huge-class design: %s"
+            (Prcore.Strategy.to_string strategy) m)
+      Prcore.Strategy.all
+  in
+  List.iter
+    (fun (strategy, o) ->
+      let report = Prverify.Checker.check_outcome o in
+      if not (Prverify.Checker.ok report) then
+        fail "%s outcome violates the oracle:\n%s"
+          (Prcore.Strategy.to_string strategy)
+          (Prverify.Checker.render_report report))
+    outcomes;
+  let ml_eval jobs =
+    match
+      Prcore.Engine.solve ~strategy:Prcore.Strategy.Multilevel
+        ~budget:(capped ()) ~jobs ~target design
+    with
+    | Ok o -> o.Prcore.Engine.evaluation
+    | Error m -> fail "multilevel jobs=%d: %s" jobs m
+  in
+  let e1 = ml_eval 1 in
+  List.iter
+    (fun jobs ->
+      if not (Prcore.Cost.equal_evaluation e1 (ml_eval jobs)) then
+        fail "multilevel diverges between jobs=1 and jobs=%d" jobs)
+    [ 2; 4 ];
+  Printf.printf
+    "prscale smoke OK (%d strategies solved %s, oracle-clean, multilevel \
+     bit-identical across jobs 1/2/4)\n"
+    (List.length outcomes)
+    (let d = Synth.Generator.huge ~seed:7 ~modules:12 () in
+     d.Prdesign.Design.name)
+
 (* Prserve load generation: an in-process daemon driven by concurrent
    client threads over a duplicate-heavy request mix.  Shared by the
    [serve] soak experiment, the bench-json "serve" section and the
@@ -871,6 +1083,14 @@ let bench_json () =
   in
   let guard_verdict = g1.Prcore.Engine.degraded in
   let recovery_ok = guard_recovery_roundtrip () in
+  (* Prscale: the huge-design multilevel solve (latency, V-cycle
+     statistics and quality gap are regression-tracked). *)
+  let ml = multilevel_huge_run () in
+  if not (ml.mr_feasible && ml.mr_oracle_clean) then begin
+    Printf.printf "BENCH FAILED: multilevel huge solve invariants violated\n";
+    exit 1
+  end;
+  let ml_gap = multilevel_gap_vs_anneal () in
   (* Prserve daemon throughput under a duplicate-heavy concurrent
      load; hit rate and p99 latency are regression-tracked. *)
   let serve_stats =
@@ -945,6 +1165,23 @@ let bench_json () =
                 ( "total_frames",
                   Int g1.Prcore.Engine.evaluation.Prcore.Cost.total_frames );
                 ("recovery_roundtrip", Bool recovery_ok) ] );
+          ( "multilevel",
+            Obj
+              [ ( "design",
+                  String
+                    (Printf.sprintf "synth huge class (%d modules, seed %d)"
+                       huge_modules huge_seed) );
+                ("modules", Int huge_modules);
+                ("ms_per_run", Float ml.mr_ms);
+                ("total_frames", Int ml.mr_total);
+                ("feasible", Bool ml.mr_feasible);
+                ("oracle_clean", Bool ml.mr_oracle_clean);
+                ("levels", Int ml.mr_stats.Prcore.Multilevel.levels);
+                ("merges", Int ml.mr_stats.Prcore.Multilevel.merges);
+                ("refine_passes", Int ml.mr_stats.Prcore.Multilevel.passes);
+                ("refine_moves", Int ml.mr_stats.Prcore.Multilevel.moves);
+                ( "gap_vs_anneal_pct",
+                  match ml_gap with Some g -> Float g | None -> Null ) ] );
           ( "serve",
             Obj
               [ ("requests", Int serve_stats.sl_requests);
@@ -992,6 +1229,13 @@ let bench_json () =
     Printf.printf "BENCH FAILED: serve load produced ERR replies\n";
     exit 1
   end;
+  Printf.printf
+    "multilevel: %d modules in %.0f ms (%d frames, %d passes, %d moves%s)\n"
+    huge_modules ml.mr_ms ml.mr_total ml.mr_stats.Prcore.Multilevel.passes
+    ml.mr_stats.Prcore.Multilevel.moves
+    (match ml_gap with
+     | Some g -> Printf.sprintf ", gap vs anneal %+.1f%%" g
+     | None -> "");
   Printf.printf "wrote %s\n" path;
   (* Regression history: every bench-json run appends its metrics, and
      bench-compare diffs the two most recent entries. *)
@@ -1266,6 +1510,7 @@ let experiments =
     ("faults", faults);
     ("verify", verify);
     ("guard", guard);
+    ("multilevel", multilevel_experiment);
     ("telemetry", fun () -> telemetry ());
     ("serve", serve_soak);
     ("perf", perf);
@@ -1282,6 +1527,7 @@ let () =
     prspeed_smoke ();
     verify_smoke ();
     guard_smoke ();
+    multilevel_smoke ();
     scope_smoke ();
     serve_smoke ();
     telemetry ~quick:true ();

@@ -121,11 +121,28 @@ let ladder_arg =
      $(b,default) (exact, then anneal, then greedy, then single-region) \
      or a comma-separated list of rungs \
      $(i,KIND)[:$(i,EVALS)[:$(i,DEADLINE_MS)]] with kinds $(b,exact), \
-     $(b,anneal), $(b,greedy), $(b,single-region). Each rung runs under \
-     its own budget; the first rung that completes wins, and exhausting \
-     the whole ladder still yields the best feasible scheme seen."
+     $(b,anneal), $(b,greedy), $(b,multilevel), $(b,single-region). Each \
+     rung runs under its own budget; the first rung that completes wins, \
+     and exhausting the whole ladder still yields the best feasible \
+     scheme seen."
   in
   Arg.(value & opt (some string) None & info [ "ladder" ] ~docv:"SPEC" ~doc)
+
+let strategy_arg =
+  let doc =
+    "Search backend for the partition engine: $(b,greedy) (the default \
+     agglomerative + greedy pipeline), $(b,exact) (branch-and-bound), \
+     $(b,anneal) (simulated annealing), or $(b,multilevel) (the \
+     coarsen/partition/refine backend that scales to 50-500-module \
+     designs, DESIGN.md section 12). Unknown names are rejected with \
+     the valid set listed."
+  in
+  Arg.(value & opt string "greedy" & info [ "strategy" ] ~docv:"NAME" ~doc)
+
+let strategy_spec s =
+  match Prcore.Strategy.validate s with
+  | Ok strategy -> Ok strategy
+  | Error message -> Error ("--strategy: " ^ message)
 
 (* Validate and combine the budget flags into a [Prguard.Budget.spec]
    (and the ladder string into a [Prguard.Ladder.t]). *)
@@ -256,8 +273,9 @@ let run_floorplan ~telemetry scheme device =
       "  -> floorplanning feedback: pick a larger device or re-partition@."
 
 let partition_cmd =
-  let run spec budget device freq_rule no_promote max_sets restarts jobs
-      deadline_ms max_evals ladder verify floorplan save_scheme trace stats =
+  let run spec budget device freq_rule no_promote max_sets restarts strategy
+      jobs deadline_ms max_evals ladder verify floorplan save_scheme trace
+      stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -267,12 +285,15 @@ let partition_cmd =
          match guard_specs ~deadline_ms ~max_evals ~ladder with
          | Error message -> `Error (false, message)
          | Ok (budget_spec, ladder) ->
+         match strategy_spec strategy with
+         | Error message -> `Error (false, message)
+         | Ok strategy ->
          let options = options ~freq_rule ~no_promote ~max_sets ~restarts in
          let telemetry = telemetry_handle ~trace ~stats in
          let guard = Option.map Prguard.Budget.of_spec budget_spec in
          (match
-            Prcore.Engine.solve ~options ~telemetry ~jobs ~verify ?budget:guard
-              ?ladder ~target design
+            Prcore.Engine.solve ~options ~telemetry ~strategy ~jobs ~verify
+              ?budget:guard ?ladder ~target design
           with
           | Error message -> `Error (false, message)
           | Ok outcome ->
@@ -345,8 +366,8 @@ let partition_cmd =
     Term.(
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ freq_rule_arg
-         $ no_promote_arg $ max_sets_arg $ restarts_arg $ jobs_arg
-         $ deadline_arg $ max_evals_arg $ ladder_arg
+         $ no_promote_arg $ max_sets_arg $ restarts_arg $ strategy_arg
+         $ jobs_arg $ deadline_arg $ max_evals_arg $ ladder_arg
          $ verify_arg $ floorplan_arg $ save_scheme_arg $ trace_arg
          $ stats_arg))
 
@@ -729,8 +750,8 @@ let flow_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
            ~doc:"Write wrappers, bitstreams and the report into DIR.")
   in
-  let run spec budget device jobs deadline_ms max_evals ladder verify out
-      trace stats =
+  let run spec budget device strategy jobs deadline_ms max_evals ladder
+      verify out trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -740,9 +761,13 @@ let flow_cmd =
          match guard_specs ~deadline_ms ~max_evals ~ladder with
          | Error message -> `Error (false, message)
          | Ok (budget_spec, ladder) ->
+         match strategy_spec strategy with
+         | Error message -> `Error (false, message)
+         | Ok strategy ->
          let telemetry = telemetry_handle ~trace ~stats in
          let options =
            { Flow.Tool_flow.default_options with
+             strategy;
              telemetry;
              jobs;
              verify;
@@ -788,8 +813,8 @@ let flow_cmd =
     (Cmd.info "flow" ~doc)
     Term.(
       ret
-        (const run $ design_arg $ budget_arg $ device_arg $ jobs_arg
-         $ deadline_arg $ max_evals_arg $ ladder_arg
+        (const run $ design_arg $ budget_arg $ device_arg $ strategy_arg
+         $ jobs_arg $ deadline_arg $ max_evals_arg $ ladder_arg
          $ verify_arg $ out_arg $ trace_arg $ stats_arg))
 
 (* Minimal JSON string escaping for the batch results stream. *)
@@ -869,8 +894,8 @@ let batch_cmd =
            ~doc:"Also write the JSON Lines results stream to FILE \
                  (atomically, at the end of the run).")
   in
-  let run manifest budget device jobs deadline_ms max_evals ladder out jsonl
-      =
+  let run manifest budget device strategy jobs deadline_ms max_evals ladder
+      out jsonl =
     if not (Sys.file_exists manifest) then
       `Error (false, Printf.sprintf "manifest %s does not exist" manifest)
     else
@@ -880,6 +905,9 @@ let batch_cmd =
         match guard_specs ~deadline_ms ~max_evals ~ladder with
         | Error message -> `Error (false, message)
         | Ok (budget_spec, ladder) -> (
+          match strategy_spec strategy with
+          | Error message -> `Error (false, message)
+          | Ok strategy -> (
           begin
             let manifest_dir = Filename.dirname manifest in
             let resolve spec =
@@ -910,6 +938,7 @@ let batch_cmd =
                   | Ok design -> (
                     let options =
                       { Flow.Tool_flow.default_options with
+                        strategy;
                         jobs;
                         budget = budget_spec;
                         ladder }
@@ -1005,7 +1034,7 @@ let batch_cmd =
                     (* A partially failed batch exits non-zero but only
                        after every design had its turn. *)
                     `Error (false, summary))
-          end))
+          end)))
   in
   let doc =
     "Partition a manifest of designs through the full tool flow, one \
@@ -1017,8 +1046,9 @@ let batch_cmd =
     (Cmd.info "batch" ~doc)
     Term.(
       ret
-        (const run $ manifest_arg $ budget_arg $ device_arg $ jobs_arg
-         $ deadline_arg $ max_evals_arg $ ladder_arg $ out_arg $ jsonl_arg))
+        (const run $ manifest_arg $ budget_arg $ device_arg $ strategy_arg
+         $ jobs_arg $ deadline_arg $ max_evals_arg $ ladder_arg $ out_arg
+         $ jsonl_arg))
 
 let recover_cmd =
   let dir_arg =
@@ -1251,11 +1281,14 @@ let serve_cmd =
         Error "--shed-thresholds: thresholds must be non-decreasing"
       else Ok (Array.of_list values)
   in
-  let run budget device jobs deadline_ms no_deadline ladder socket port
-      cache_dir cache_capacity queue client_cap shed metrics stats =
+  let run budget device strategy jobs deadline_ms no_deadline ladder socket
+      port cache_dir cache_capacity queue client_cap shed metrics stats =
     match target ~budget ~device with
     | Error message -> `Error (false, message)
     | Ok target -> (
+      match strategy_spec strategy with
+      | Error message -> `Error (false, message)
+      | Ok strategy -> (
       match ladder_spec ladder with
       | Error message -> `Error (false, message)
       | Ok ladder -> (
@@ -1274,6 +1307,7 @@ let serve_cmd =
             let config =
               { (Prserve.Server.default_config ~telemetry ()) with
                 target;
+                strategy;
                 ladder;
                 deadline_ms;
                 jobs;
@@ -1325,7 +1359,7 @@ let serve_cmd =
                  | Ok () ->
                    Format.printf "prserve: drained after %d requests@."
                      (Prserve.Server.requests server);
-                   `Ok ()))))))
+                   `Ok ())))))))
   in
   let doc =
     "Run the partitioning daemon: a line-delimited SOLVE/STATUS/HEALTH/\
@@ -1338,10 +1372,10 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       ret
-        (const run $ budget_arg $ device_arg $ jobs_arg $ deadline_arg
-         $ no_deadline_arg $ ladder_arg $ socket_arg $ port_arg
-         $ cache_dir_arg $ cache_capacity_arg $ queue_arg $ client_cap_arg
-         $ shed_arg $ metrics_arg $ stats_arg))
+        (const run $ budget_arg $ device_arg $ strategy_arg $ jobs_arg
+         $ deadline_arg $ no_deadline_arg $ ladder_arg $ socket_arg
+         $ port_arg $ cache_dir_arg $ cache_capacity_arg $ queue_arg
+         $ client_cap_arg $ shed_arg $ metrics_arg $ stats_arg))
 
 let () =
   let doc = "automated partitioning for partial reconfiguration designs" in

@@ -11,8 +11,13 @@ let graph_of_matrix matrix =
     ~weight:(fun i j -> Conn_matrix.edge_weight matrix i j)
 
 (* Run the clustering loop and feed every discovered (link, cliques) pair
-   to [emit]. Shared by [run] and [trace]. *)
-let iterate ~freq_rule ~clique_limit design emit =
+   to [emit]. Shared by [run] and [trace]. [stop] is polled before each
+   link: once it fires, the remaining (lower-weight) links are skipped —
+   the partitions found so far, plus the unconditional singletons, are
+   still a valid covering base. *)
+exception Stopped
+
+let iterate ~freq_rule ~clique_limit ~stop design emit =
   let matrix = Conn_matrix.make design in
   let graph = graph_of_matrix matrix in
   let keep =
@@ -25,19 +30,23 @@ let iterate ~freq_rule ~clique_limit design emit =
     | Support -> Conn_matrix.support matrix modes
     | Min_edge -> Wgraph.min_internal_weight graph modes
   in
-  List.iter
-    (fun (i, j, w) ->
-      Wgraph.link graph i j;
-      let cliques =
-        Clique.new_cliques_after_link ~keep ~limit:clique_limit graph i j
-      in
-      let partitions =
-        List.map
-          (fun modes -> Base_partition.make design ~modes ~freq:(freq_of modes))
-          cliques
-      in
-      emit (i, j, w) partitions)
-    (Wgraph.positive_pairs_desc graph);
+  (try
+     List.iter
+       (fun (i, j, w) ->
+         if stop () then raise Stopped;
+         Wgraph.link graph i j;
+         let cliques =
+           Clique.new_cliques_after_link ~keep ~limit:clique_limit graph i j
+         in
+         let partitions =
+           List.map
+             (fun modes ->
+               Base_partition.make design ~modes ~freq:(freq_of modes))
+             cliques
+         in
+         emit (i, j, w) partitions)
+       (Wgraph.positive_pairs_desc graph)
+   with Stopped -> ());
   matrix
 
 let singletons matrix design =
@@ -48,7 +57,7 @@ let singletons matrix design =
     (Conn_matrix.active_modes matrix)
 
 let run ?(freq_rule = Support) ?(clique_limit = 100_000)
-    ?(telemetry = Prtelemetry.null) design =
+    ?(stop = fun () -> false) ?(telemetry = Prtelemetry.null) design =
   Prtelemetry.with_span telemetry "cluster.agglomerate"
     ~attrs:[ ("design", Prtelemetry.Json.String design.Design.name) ]
     (fun () ->
@@ -56,7 +65,7 @@ let run ?(freq_rule = Support) ?(clique_limit = 100_000)
       let cliques = Prtelemetry.counter telemetry "cluster.cliques" in
       let acc = ref [] in
       let matrix =
-        iterate ~freq_rule ~clique_limit design (fun (i, j, w) partitions ->
+        iterate ~freq_rule ~clique_limit ~stop design (fun (i, j, w) partitions ->
             Prtelemetry.Counter.incr links;
             let found = List.length partitions in
             Prtelemetry.Counter.incr cliques ~by:found;
@@ -76,7 +85,8 @@ let run ?(freq_rule = Support) ?(clique_limit = 100_000)
 let trace ?(freq_rule = Support) ?(clique_limit = 100_000) design =
   let acc = ref [] in
   let (_ : Conn_matrix.t) =
-    iterate ~freq_rule ~clique_limit design (fun link partitions ->
+    iterate ~freq_rule ~clique_limit ~stop:(fun () -> false) design
+      (fun link partitions ->
         acc := (link, partitions) :: !acc)
   in
   List.rev !acc

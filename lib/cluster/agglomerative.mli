@@ -18,6 +18,7 @@ type freq_rule = Support | Min_edge
 val run :
   ?freq_rule:freq_rule ->
   ?clique_limit:int ->
+  ?stop:(unit -> bool) ->
   ?telemetry:Prtelemetry.t ->
   Prdesign.Design.t ->
   Base_partition.t list
@@ -26,7 +27,16 @@ val run :
     Singletons cover every mode used by at least one configuration; modes
     used by no configuration (paper's "mode 0") are excluded.
     [clique_limit] bounds enumeration per added link (default 100_000,
-    only reachable under [Min_edge]).
+    reachable under [Min_edge] and on dense huge-class co-occurrence
+    graphs).
+
+    [stop] (default [fun () -> false]) is polled before each link; once
+    it returns [true] the remaining (lower-weight) links are skipped and
+    the partitions discovered so far are returned — the singletons are
+    unconditional, so a truncated result still covers the design. The
+    engine threads its budget-guard deadline/cancellation poll here,
+    making clustering anytime on designs whose clique structure explodes
+    (the 50-500-module huge class, DESIGN.md §12).
 
     [telemetry] (default {!Prtelemetry.null}, free): a
     ["cluster.agglomerate"] span, ["cluster.links"]/["cluster.cliques"]

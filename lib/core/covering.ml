@@ -28,13 +28,13 @@ let cover design partitions =
   List.iter consider partitions;
   if !remaining = 0 then Some (List.rev !selected) else None
 
-let candidate_sets ?(max_sets = 32) ?(telemetry = Prtelemetry.null) design
-    partitions =
+let candidate_sets ?(max_sets = 32) ?(stop = fun () -> false)
+    ?(telemetry = Prtelemetry.null) design partitions =
   Prtelemetry.with_span telemetry "cover.candidate_sets" (fun () ->
       let sets = Prtelemetry.counter telemetry "cover.sets" in
       let duplicates = Prtelemetry.counter telemetry "cover.duplicates" in
       let rec loop remaining_list seen acc count =
-        if count >= max_sets then List.rev acc
+        if count >= max_sets || stop () then List.rev acc
         else
           match cover design remaining_list with
           | None -> List.rev acc

@@ -117,8 +117,8 @@ type budget_solution = {
 
 (* Solve for a fixed budget. The single-region scheme is the universal
    fallback: the feasibility precondition guarantees it fits. *)
-let solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder
-    ~budget design =
+let solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress ?guard
+    ?ladder ~budget design =
   Prtelemetry.with_span tele "engine.solve_budget"
     ~attrs:[ ("budget", Prtelemetry.Json.String (Resource.to_string budget)) ]
   @@ fun () ->
@@ -154,13 +154,39 @@ let solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder
     | Error message -> Error message
     | Ok pair_weight ->
       let objective = options.objective in
-      let partitions =
-        Agglomerative.run ~freq_rule:options.freq_rule
-          ~clique_limit:options.clique_limit ~telemetry:tele design
-      in
-      let sets =
-        Covering.candidate_sets ~max_sets:options.max_candidate_sets
-          ~telemetry:tele design partitions
+      (* The multilevel node set (one singleton partition per mode) is
+         shared between the [Multilevel] strategy and the [Multilevel]
+         ladder rung; lazy so the other strategies never pay for it. *)
+      let multilevel_nodes = lazy (Multilevel.nodes design) in
+      let partitions, sets =
+        match (strategy : Strategy.t) with
+        | Strategy.Multilevel ->
+          (* Coarsening replaces the clustering + covering passes — the
+             scalability wall at hundreds of modes — so the multilevel
+             backend runs once over the full mode-level node set. *)
+          let nodes = Lazy.force multilevel_nodes in
+          (nodes, [ nodes ])
+        | Strategy.Greedy | Strategy.Exact | Strategy.Anneal ->
+          (* Clustering and covering poll the guard's deadline: on huge
+             designs the clique structure explodes long before any
+             allocator runs, and an un-guarded front-end would render
+             the deadline meaningless. Eval caps are deliberately not
+             consulted ({!Prguard.Budget.interrupted}), so capped runs
+             stay deterministic. *)
+          let stop =
+            match guard with
+            | None -> fun () -> false
+            | Some g -> fun () -> Prguard.Budget.interrupted g
+          in
+          let partitions =
+            Agglomerative.run ~freq_rule:options.freq_rule
+              ~clique_limit:options.clique_limit ~stop ~telemetry:tele design
+          in
+          let sets =
+            Covering.candidate_sets ~max_sets:options.max_candidate_sets
+              ~stop ~telemetry:tele design partitions
+          in
+          (partitions, sets)
       in
       (* Second textbook fallback: when everything fits statically, zero
          reconfiguration time is trivially optimal (paper §IV-A). *)
@@ -209,9 +235,35 @@ let solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder
          | None -> ());
         initial
       in
+      (* Per-set backend dispatch: the strategy selects which allocator
+         runs inside the candidate-set fan-out. Only the greedy
+         allocator searches under the weighted pair objective; the
+         other backends optimise total frames and rely on the final
+         objective-aware ranking (matching the ladder rungs). *)
+      let promote_static = options.allocator.Allocator.promote_static in
       let allocate_set ~telemetry ~memo ?guard set =
-        Allocator.allocate ~options:options.allocator ~pair_weight ~telemetry
-          ~memo ?guard ~budget design set
+        match (strategy : Strategy.t) with
+        | Strategy.Greedy ->
+          Allocator.allocate ~options:options.allocator ~pair_weight
+            ~telemetry ~memo ?guard ~budget design set
+        | Strategy.Exact ->
+          let r =
+            Exact.allocate ~promote_static ~telemetry ~memo ?guard ~budget
+              design set
+          in
+          r.Exact.scheme
+        | Strategy.Anneal ->
+          let aopts =
+            { Anneal.default_options with Anneal.promote_static }
+          in
+          Anneal.allocate ~options:aopts ~telemetry ?guard ~budget design set
+        | Strategy.Multilevel ->
+          let mopts =
+            { Multilevel.default_options with
+              Multilevel.promote_static }
+          in
+          Multilevel.allocate ~options:mopts ~telemetry ~memo ?guard ~budget
+            design set
       in
       let solution ?rung ?(fell_back = false) ?reason best =
         match best with
@@ -275,7 +327,10 @@ let solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder
             Par.map_list ?cancel ?fallback ~telemetry:tele ~jobs
               (fun set ->
                 let worker = Prtelemetry.ensure Prtelemetry.null in
-                let worker_memo = Memo.create ~telemetry:worker () in
+                let worker_memo =
+                  Memo.create ~telemetry:worker
+                    ~tag:(Strategy.to_string strategy) ()
+                in
                 let scheme =
                   allocate_set ~telemetry:worker ~memo:worker_memo ?guard set
                 in
@@ -423,6 +478,20 @@ let solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder
                        offer name
                          (Anneal.allocate ~options:aopts ~telemetry:tele
                             ~guard:rb ~budget design set))
+                 | Prguard.Ladder.Multilevel ->
+                   (* One V-cycle over the mode-level node set — the rung
+                      ignores the candidate sets entirely (coarsening is
+                      its own clustering), so a ladder can degrade into
+                      multilevel at a cost independent of the set
+                      fan-out. *)
+                   let mopts =
+                     { Multilevel.default_options with
+                       Multilevel.promote_static }
+                   in
+                   offer name
+                     (Multilevel.allocate ~options:mopts ~telemetry:tele
+                        ~memo ~guard:rb ~budget design
+                        (Lazy.force multilevel_nodes))
                  | Prguard.Ladder.Exact ->
                    (* The state budget derives from the rung's eval cap:
                       leaf evaluations never exceed expanded states, so
@@ -520,8 +589,15 @@ let verify_outcome ~tele o =
          Cost.pp_evaluation fresh)
   end
 
+(* Fixed ceiling on the stored progress-curve samples: when the curve
+   fills up, every other chronological sample is dropped and the
+   sampling stride doubles, so arbitrarily long searches keep a bounded,
+   deterministic, evenly-thinned curve. *)
+let progress_sample_cap = 256
+
 let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
-    ?(jobs = 1) ?(verify = false) ?budget:time_budget ?ladder ~target design =
+    ?(strategy = Strategy.default) ?(jobs = 1) ?(verify = false)
+    ?budget:time_budget ?ladder ~target design =
   if jobs < 1 then
     Error
       (Printf.sprintf
@@ -555,7 +631,12 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
     (* One evaluation cache per solve: canonical signatures are stable
        across candidate sets and budgets, so [Auto]-mode escalations
        re-use evaluations from earlier attempts too. *)
-    let memo = Memo.create ~telemetry:tele () in
+    (* Tagged with the strategy so evaluations produced under one
+       backend can never satisfy a lookup made under another — the
+       cache cannot alias multilevel and exact results. *)
+    let memo =
+      Memo.create ~telemetry:tele ~tag:(Strategy.to_string strategy) ()
+    in
     let evaluations_before = cost_evaluation_counters tele in
     (* Baselines for the search-introspection deltas, mirroring
        [evaluations_before]: a caller-supplied handle can span several
@@ -567,14 +648,37 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
     let exact_states_before = Prtelemetry.counter_value tele "exact.states" in
     let exact_pruned_before = Prtelemetry.counter_value tele "exact.pruned" in
     (* Best-cost-over-evaluations progress curve, appended at each new
-       incumbent; only when the caller traces. *)
+       incumbent; only when the caller traces. Capped at
+       [progress_sample_cap] stored samples: on overflow the curve is
+       thinned to every other chronological sample and the stride
+       doubles — deterministic, and bounded however long the search
+       runs. *)
     let progress = ref [] in
+    let progress_len = ref 0 in
+    let progress_stride = ref 1 in
+    let progress_seen = ref 0 in
     let note_progress =
       if Prtelemetry.tracing tele then (fun (e : Cost.evaluation) ->
-        progress :=
-          ( cost_evaluation_counters tele - evaluations_before,
-            e.Cost.total_frames )
-          :: !progress)
+        let keep = !progress_seen mod !progress_stride = 0 in
+        incr progress_seen;
+        if keep then begin
+          progress :=
+            ( cost_evaluation_counters tele - evaluations_before,
+              e.Cost.total_frames )
+            :: !progress;
+          incr progress_len;
+          if !progress_len >= progress_sample_cap then begin
+            (* The list is newest-first: keeping even {e chronological}
+               indices keeps the samples whose [progress_seen] stamp is
+               a multiple of the doubled stride, so future keeps stay
+               aligned with the survivors. *)
+            let n = !progress_len in
+            progress :=
+              List.filteri (fun i _ -> (n - 1 - i) mod 2 = 0) !progress;
+            progress_len := List.length !progress;
+            progress_stride := !progress_stride * 2
+          end
+        end)
       else fun _ -> ()
     in
     let result =
@@ -587,14 +691,14 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
       | Budget budget ->
         Result.map
           (outcome ~design ~device:None ~budget ~escalations:0)
-          (solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder ~budget
-             design)
+          (solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress
+             ?guard ?ladder ~budget design)
       | Fixed device ->
         let budget = Fpga.Device.resources device in
         Result.map
           (outcome ~design ~device:(Some device) ~budget ~escalations:0)
-          (solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder ~budget
-             design)
+          (solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress
+             ?guard ?ladder ~budget design)
       | Auto ->
         (* Smallest device fitting the single-region lower bound, then
            escalate while the partitioner cannot beat a single region. *)
@@ -619,8 +723,8 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
                      [ ( "device",
                          Prtelemetry.Json.String device.Fpga.Device.short ) ]
                    (fun () ->
-                     solve_budget ~options ~tele ~jobs ~memo ~note_progress ?guard ?ladder
-                       ~budget design)
+                     solve_budget ~options ~strategy ~tele ~jobs ~memo
+                       ~note_progress ?guard ?ladder ~budget design)
                with
                | Error _ -> best
                | Ok result ->

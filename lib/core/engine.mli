@@ -50,7 +50,11 @@ type search_stats = {
       (** Best-cost-over-evaluations curve: (cumulative cost
           evaluations, best total frames) at each new incumbent, in
           acceptance order. Only collected when the caller's telemetry
-          handle is {e tracing}; [[]] otherwise. *)
+          handle is {e tracing}; [[]] otherwise. Capped at a fixed
+          sample count (256): when the curve fills up it is thinned to
+          every other chronological sample and the sampling stride
+          doubles, so arbitrarily long searches keep a bounded,
+          deterministic, evenly-spread curve. *)
 }
 (** Search introspection: counter deltas over one solve (always
     populated, like [cost_evaluations]) plus the tracing-gated
@@ -86,6 +90,7 @@ type outcome = {
 val solve :
   ?options:options ->
   ?telemetry:Prtelemetry.t ->
+  ?strategy:Strategy.t ->
   ?jobs:int ->
   ?verify:bool ->
   ?budget:Prguard.Budget.t ->
@@ -96,6 +101,22 @@ val solve :
 (** Errors are infeasibility reports (the design cannot fit the target,
     even as a single region). The returned scheme always fits the
     budget: in the worst case it is the single-region scheme.
+
+    [strategy] (default {!Strategy.default}, i.e. [Greedy] — the
+    historical pipeline, bit-for-bit) selects the search backend that
+    runs inside the candidate-set fan-out: [Greedy] the agglomerative +
+    greedy allocator, [Exact] branch-and-bound, [Anneal] simulated
+    annealing, [Multilevel] the coarsen→partition→refine backend
+    ({!Multilevel}) that scales to 50–500-module designs. Under
+    [Multilevel] the clustering/covering passes are skipped entirely:
+    the backend runs once over the mode-level node set
+    ({!Multilevel.nodes}). All strategies share the feasibility
+    precondition, baseline incumbents, worst-case limit, objective-aware
+    ranking, guard/ladder composition and verification; only the greedy
+    allocator {e searches} under a [Weighted] objective (the others
+    optimise total frames and rely on the final ranking, exactly like
+    the ladder rungs). The per-solve evaluation cache is tagged with the
+    strategy name, so results from different backends can never alias.
 
     [jobs < 1] is rejected with a descriptive [Error] (never undefined
     [Par] behaviour).
@@ -118,7 +139,10 @@ val solve :
     single-region]) instead of the plain candidate-set search: rungs are
     attempted in order under per-rung child budgets and the first rung
     that completes cleanly with an admissible incumbent supplies the
-    answer; every rung's best-so-far result is kept as a fallback.
+    answer; every rung's best-so-far result is kept as a fallback. A
+    [multilevel] rung runs one {!Multilevel} V-cycle over the mode-level
+    node set (independent of the candidate sets), so a ladder can
+    degrade {e into} multilevel instead of straight to the baseline.
     Recorded as ["guard.rungs_attempted"] / ["guard.rungs_completed"] /
     ["guard.degradations"] / ["guard.sets_skipped"] counters and in
     [outcome.degraded.rung]. Ladder runs force [jobs = 1] (rung eval

@@ -13,9 +13,15 @@ type 'v t = {
      above stay the only cost on the default counting path. *)
   depth_counters : (int, Prtelemetry.Counter.t * Prtelemetry.Counter.t) Hashtbl.t;
   depth_enabled : bool;
+  tag : string option;
+  (* Precomputed ["<tag>!"] key prefix ([""] untagged): every lookup and
+     insertion key is namespaced by the tag, so tables tagged with
+     different search strategies can never alias entries — even after
+     [absorb], which copies raw (already-prefixed) keys. *)
+  prefix : string;
 }
 
-let create ?(telemetry = Prtelemetry.null) ?(capacity = 65536) () =
+let create ?(telemetry = Prtelemetry.null) ?(capacity = 65536) ?tag () =
   { table = Hashtbl.create 256;
     capacity = max 1 capacity;
     hits = 0;
@@ -24,7 +30,13 @@ let create ?(telemetry = Prtelemetry.null) ?(capacity = 65536) () =
     miss_counter = Prtelemetry.counter telemetry "perf.cache_misses";
     telemetry;
     depth_counters = Hashtbl.create 4;
-    depth_enabled = Prtelemetry.tracing telemetry }
+    depth_enabled = Prtelemetry.tracing telemetry;
+    tag;
+    prefix = (match tag with None -> "" | Some t -> t ^ "!") }
+
+let tag t = t.tag
+
+let keyed t key = if t.prefix = "" then key else t.prefix ^ key
 
 let depth_slot t d =
   match Hashtbl.find_opt t.depth_counters d with
@@ -39,7 +51,7 @@ let depth_slot t d =
     slot
 
 let find ?depth t key =
-  match Hashtbl.find_opt t.table key with
+  match Hashtbl.find_opt t.table (keyed t key) with
   | Some _ as v ->
     t.hits <- t.hits + 1;
     Prtelemetry.Counter.incr t.hit_counter;
@@ -57,12 +69,15 @@ let find ?depth t key =
        | None -> ());
     None
 
-let add t key value =
-  (* Bounded by generational clearing: cheaper than per-entry eviction
-     and good enough for search workloads where the working set turns
-     over wholesale between solves. *)
+(* Raw insertion (key already namespaced), shared by [add] and
+   [absorb]. Bounded by generational clearing: cheaper than per-entry
+   eviction and good enough for search workloads where the working set
+   turns over wholesale between solves. *)
+let add_raw t key value =
   if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
   Hashtbl.replace t.table key value
+
+let add t key value = add_raw t (keyed t key) value
 
 let find_or_add ?depth t key compute =
   match find ?depth t key with
@@ -78,7 +93,7 @@ let length t = Hashtbl.length t.table
 
 let iter f t = Hashtbl.iter f t.table
 
-let absorb ~into t = iter (fun k v -> add into k v) t
+let absorb ~into t = iter (fun k v -> add_raw into k v) t
 
 (* Signatures.
 

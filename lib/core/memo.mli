@@ -27,9 +27,21 @@
 
 type 'v t
 
-val create : ?telemetry:Prtelemetry.t -> ?capacity:int -> unit -> 'v t
+val create :
+  ?telemetry:Prtelemetry.t -> ?capacity:int -> ?tag:string -> unit -> 'v t
 (** [capacity] defaults to 65536 entries. [telemetry] defaults to
-    {!Prtelemetry.null} (counting disabled, table still functional). *)
+    {!Prtelemetry.null} (counting disabled, table still functional).
+
+    [tag] (default: none) namespaces every key under ["<tag>!"]: the
+    engine tags its evaluation caches with the search strategy, so a
+    scheme evaluated under one strategy can never satisfy a lookup made
+    under another — multilevel and exact results cannot alias even when
+    their canonical signatures coincide. {!absorb} copies raw
+    (already-namespaced) keys, so folding a worker table into a shared
+    one preserves the origin tags. *)
+
+val tag : 'v t -> string option
+(** The namespace tag supplied at {!create}, if any. *)
 
 val find : ?depth:int -> 'v t -> string -> 'v option
 (** Counts one hit or one miss. With [depth] (the engine passes the

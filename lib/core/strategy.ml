@@ -1,0 +1,28 @@
+type t = Greedy | Exact | Anneal | Multilevel
+
+let all = [ Greedy; Exact; Anneal; Multilevel ]
+
+let to_string = function
+  | Greedy -> "greedy"
+  | Exact -> "exact"
+  | Anneal -> "anneal"
+  | Multilevel -> "multilevel"
+
+let names = List.map to_string all
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "greedy" -> Ok Greedy
+  | "exact" -> Ok Exact
+  | "anneal" -> Ok Anneal
+  | "multilevel" | "multi-level" | "ml" -> Ok Multilevel
+  | other ->
+    Error
+      (Printf.sprintf "unknown strategy %S (expected one of %s)" other
+         (String.concat ", " names))
+
+let validate = of_string
+
+let default = Greedy
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

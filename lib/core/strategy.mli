@@ -1,0 +1,41 @@
+(** First-class search-backend selector for the engine.
+
+    A strategy names the region-allocation backend {!Engine.solve} runs
+    over the candidate partition sets: the paper's greedy descent (the
+    default), exact branch-and-bound, simulated annealing, or the
+    multilevel coarsen→partition→refine backend for huge designs
+    ({!Multilevel}). Strategies compose with both the {!Prguard.Ladder}
+    graceful-degradation policy (a ladder rung names a strategy plus a
+    budget) and [Auto] device escalation, and are threaded through
+    [Tool_flow], [prpart --strategy] and the [prpart serve] shed
+    levels. *)
+
+type t =
+  | Greedy  (** Agglomerative clustering + greedy allocator (default). *)
+  | Exact  (** Branch-and-bound ({!Exact}); exponential, small sets only. *)
+  | Anneal  (** Simulated annealing ({!Anneal}). *)
+  | Multilevel
+      (** Coarsen→initial-partition→uncoarsen+refine over singleton
+          mode nodes ({!Multilevel}); near-interactive on 50–500-module
+          designs where exact/anneal blow their budgets. *)
+
+val all : t list
+
+val names : string list
+(** The valid names, in {!all} order — listed by the {!of_string}
+    rejection message. *)
+
+val default : t
+(** {!Greedy}, the engine's historical behaviour. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Case-insensitive; unknown names are rejected descriptively with the
+    valid set listed (mirroring {!Prguard.Ladder.of_string}). *)
+
+val validate : string -> (t, string) result
+(** Alias of {!of_string} — the CLI-facing validation entry point,
+    mirroring {!Prguard.Ladder.validate}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -27,7 +27,16 @@ let default_rules =
     { pattern = "p99_ms"; direction = Lower_better; tolerance_pct = 50. };
     { pattern = "p50_ms"; direction = Lower_better; tolerance_pct = 50. };
     { pattern = "qps"; direction = Higher_better; tolerance_pct = 40. };
-    { pattern = "seconds"; direction = Lower_better; tolerance_pct = 40. } ]
+    { pattern = "seconds"; direction = Lower_better; tolerance_pct = 40. };
+    (* Prscale: the huge-design V-cycle. More refinement passes means
+       refinement stopped converging; a growing gap against the
+       eval-capped anneal means multilevel quality slipped. Both are
+       deterministic, so the tolerance only absorbs intentional
+       tuning. *)
+    { pattern = "refine_passes"; direction = Lower_better;
+      tolerance_pct = 50. };
+    { pattern = "gap_vs_anneal_pct"; direction = Lower_better;
+      tolerance_pct = 50. } ]
 
 (* Flatten a JSON document to dotted-key numeric leaves, in document
    order: {"sweep":{"speedup":1.2}} -> [("sweep.speedup", 1.2)].

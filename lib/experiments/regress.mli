@@ -19,9 +19,10 @@ type rule = {
 
 val default_rules : rule list
 (** Throughput up ([moves_per_sec]), latency down ([ms_per_run],
-    [ns_per_run], [seconds]), [speedup] and [hit_rate] up — with
-    generous tolerances (10–40 %) because bench hosts are noisy; the
-    target is step changes, not jitter. *)
+    [ns_per_run], [seconds]), [speedup] and [hit_rate] up, multilevel
+    convergence ([refine_passes]) and quality ([gap_vs_anneal_pct])
+    down — with generous tolerances (10–50 %) because bench hosts are
+    noisy; the target is step changes, not jitter. *)
 
 val flatten : Prtelemetry.Json.t -> (string * float) list
 (** Numeric leaves as dotted keys in document order; booleans, strings

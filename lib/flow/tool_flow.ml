@@ -20,6 +20,7 @@ let default_resilience =
 
 type options = {
   engine : Engine.options;
+  strategy : Prcore.Strategy.t;
   icap : Fpga.Icap.t;
   floorplan_feedback : bool;
   telemetry : Prtelemetry.t;
@@ -32,6 +33,7 @@ type options = {
 
 let default_options =
   { engine = Engine.default_options;
+    strategy = Prcore.Strategy.default;
     icap = Fpga.Icap.default;
     floorplan_feedback = true;
     telemetry = Prtelemetry.null;
@@ -92,9 +94,9 @@ let trace_escalate ~telemetry ~reason device next =
 let rec implement ~(options : options) ?guard ~target ~escalations design =
   let telemetry = options.telemetry in
   match
-    Engine.solve ~options:options.engine ~telemetry ~jobs:options.jobs
-      ~verify:options.verify ?budget:guard ?ladder:options.ladder ~target
-      design
+    Engine.solve ~options:options.engine ~telemetry
+      ~strategy:options.strategy ~jobs:options.jobs ~verify:options.verify
+      ?budget:guard ?ladder:options.ladder ~target design
   with
   | Error message -> Error message
   | Ok outcome ->

@@ -28,6 +28,10 @@ val default_resilience : resilience
 
 type options = {
   engine : Prcore.Engine.options;
+  strategy : Prcore.Strategy.t;
+      (** Search backend for the partitioning engine (default
+          {!Prcore.Strategy.default}, the historical greedy pipeline;
+          see {!Prcore.Engine.solve}'s [strategy]). *)
   icap : Fpga.Icap.t;
   floorplan_feedback : bool;
       (** Escalate and re-partition when placement fails (default

@@ -1,4 +1,4 @@
-type rung_kind = Exact | Anneal | Greedy | Single_region
+type rung_kind = Exact | Anneal | Greedy | Multilevel | Single_region
 
 type rung = { kind : rung_kind; budget : Budget.spec }
 
@@ -8,12 +8,14 @@ let rung_name = function
   | Exact -> "exact"
   | Anneal -> "anneal"
   | Greedy -> "greedy"
+  | Multilevel -> "multilevel"
   | Single_region -> "single-region"
 
 let rung_kind_of_string = function
   | "exact" -> Some Exact
   | "anneal" -> Some Anneal
   | "greedy" -> Some Greedy
+  | "multilevel" | "multi-level" | "ml" -> Some Multilevel
   | "single-region" | "single_region" | "single" -> Some Single_region
   | _ -> None
 
@@ -43,7 +45,8 @@ let parse_rung s =
       | None ->
           Error
             (Printf.sprintf
-               "unknown rung %S (expected exact, anneal, greedy or single-region)" name)
+               "unknown rung %S (expected exact, anneal, greedy, multilevel \
+                or single-region)" name)
       | Some kind -> (
           match limits with
           | [] -> Ok { kind; budget = Budget.unlimited }

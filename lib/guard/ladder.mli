@@ -11,6 +11,10 @@ type rung_kind =
   | Exact  (** Branch-and-bound exact allocator. *)
   | Anneal  (** Simulated annealing. *)
   | Greedy  (** Agglomerative + greedy allocator (the default engine path). *)
+  | Multilevel
+      (** Multilevel coarsen→partition→refine backend — a ladder can
+          degrade {e into} multilevel (cheap at scale) instead of only
+          down to the single-region baseline. *)
   | Single_region  (** Baseline: one region hosting every module. *)
 
 type rung = { kind : rung_kind; budget : Budget.spec }
@@ -26,9 +30,10 @@ val default : t
     unlimited [greedy], then the [single-region] baseline. *)
 
 val of_string : string -> (t, string) result
-(** Parse a ladder description like ["exact:150000,anneal:40000,greedy"].
-    Each comma-separated rung is [kind] or [kind:max_evals] or
-    [kind:max_evals:deadline_ms]; an empty limit slot means unlimited. *)
+(** Parse a ladder description like ["exact:150000,anneal:40000,greedy"]
+    or ["multilevel,single-region"]. Each comma-separated rung is
+    [kind] or [kind:max_evals] or [kind:max_evals:deadline_ms]; an
+    empty limit slot means unlimited. *)
 
 val to_string : t -> string
 

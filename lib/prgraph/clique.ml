@@ -6,15 +6,17 @@ let new_cliques_after_link ?(keep = fun _ -> true) ?(limit = 100_000) g u v =
   let results = ref [] in
   let count = ref 0 in
   let add clique =
-    if !count < limit then begin
-      results := List.sort Int.compare clique :: !results;
-      incr count
-    end
+    results := List.sort Int.compare clique :: !results;
+    incr count
   in
   (* Extend [clique] (sorted) with candidates drawn in ascending order so
-     each clique is produced exactly once. *)
+     each clique is produced exactly once. Exploration stops outright at
+     [limit]: past it nothing more would be recorded, and on dense
+     co-occurrence graphs (hundreds of mutually linked modes) the
+     enumeration tree is exponentially larger than the recorded prefix. *)
   let rec extend clique = function
     | [] -> ()
+    | _ when !count >= limit -> ()
     | c :: rest ->
       if
         List.for_all (fun x -> Wgraph.linked g x c) clique
@@ -28,7 +30,7 @@ let new_cliques_after_link ?(keep = fun _ -> true) ?(limit = 100_000) g u v =
   in
   if keep base then begin
     add base;
-    extend base candidates
+    if !count < limit then extend base candidates
   end;
   List.rev !results
 

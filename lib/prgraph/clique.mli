@@ -18,8 +18,10 @@ val new_cliques_after_link :
     [u, v ∈ s] such that [s] is a clique of [g] and [keep s] holds (for
     [s] and, transitively, all explored subsets). Call immediately {e
     after} [Wgraph.link g u v]. Sets are sorted ascending; the result
-    contains no duplicates. [limit] (default [100_000]) bounds the number
-    of cliques returned as a safety valve for the unfiltered variant.
+    contains no duplicates. [limit] (default [100_000]) bounds both the
+    number of cliques returned and the enumeration itself — on dense
+    graphs the unexplored remainder is exponentially larger than the
+    recorded prefix, so the cut-off keeps a single link's cost bounded.
     @raise Invalid_argument if [u] and [v] are not linked. *)
 
 val maximal_cliques : Wgraph.t -> int list list

@@ -5,6 +5,7 @@ module Engine = Prcore.Engine
 type config = {
   target : Engine.target;
   options : Engine.options;
+  strategy : Prcore.Strategy.t;
   ladder : Ladder.t option;
   deadline_ms : float option;
   jobs : int;
@@ -21,6 +22,7 @@ type config = {
 let default_config ?(telemetry = Prtelemetry.null) () =
   { target = Engine.Auto;
     options = Engine.default_options;
+    strategy = Prcore.Strategy.default;
     ladder = None;
     deadline_ms = Some 2000.;
     jobs = Par.recommended_jobs ();
@@ -39,9 +41,11 @@ let level_for_wait ~thresholds wait_ms =
   Array.fold_left (fun n th -> if wait_ms > th then n + 1 else n) 0 thresholds
 
 (* Precompiled degraded ladders; the strings are static so parsing
-   cannot fail. *)
-let greedy_ladder =
-  match Ladder.of_string "greedy,single-region" with
+   cannot fail. Level 2 degrades into multilevel first: one V-cycle is
+   near-interactive even on huge designs and usually far better than
+   jumping straight to the greedy fan-out. *)
+let multilevel_ladder =
+  match Ladder.of_string "multilevel,greedy,single-region" with
   | Ok l -> l
   | Error m -> failwith m
 
@@ -58,7 +62,8 @@ let budget_for_level cfg level =
   if level <= 0 then
     (Budget.spec ?deadline_ms:cfg.deadline_ms (), cfg.ladder)
   else if level = 1 then (Budget.spec ~deadline_ms:scaled (), cfg.ladder)
-  else if level = 2 then (Budget.spec ~deadline_ms:scaled (), Some greedy_ladder)
+  else if level = 2 then
+    (Budget.spec ~deadline_ms:scaled (), Some multilevel_ladder)
   else (Budget.spec ~deadline_ms:scaled (), Some single_region_ladder)
 
 let target_id = function
@@ -71,8 +76,10 @@ let target_id = function
 let config_fingerprint cfg =
   (* Options are pure data (variants, records, float arrays), so the
      marshalled bytes are a stable identity; CRC keeps the key short. *)
-  Printf.sprintf "prserve-key-v1 target=%s deadline=%s ladder=%s options=%s"
+  Printf.sprintf
+    "prserve-key-v1 target=%s strategy=%s deadline=%s ladder=%s options=%s"
     (target_id cfg.target)
+    (Prcore.Strategy.to_string cfg.strategy)
     (match cfg.deadline_ms with
      | None -> "none"
      | Some d -> Printf.sprintf "%.3fms" d)
@@ -144,7 +151,8 @@ let solve_job t job =
       in
       match
         Engine.solve ~options:t.config.options ~telemetry:t.config.telemetry
-          ?budget ?ladder ~jobs:1 ~target:t.config.target job.design
+          ~strategy:t.config.strategy ?budget ?ladder ~jobs:1
+          ~target:t.config.target job.design
       with
       | Ok outcome -> Solved outcome
       | Error msg -> Unsolvable msg

@@ -21,6 +21,10 @@
 type config = {
   target : Prcore.Engine.target;
   options : Prcore.Engine.options;
+  strategy : Prcore.Strategy.t;
+      (** Search backend for every solve (default
+          {!Prcore.Strategy.default}); part of the cache fingerprint, so
+          results solved under different strategies never alias. *)
   ladder : Prguard.Ladder.t option;  (** Level-0 ladder (none = plain). *)
   deadline_ms : float option;  (** Level-0 deadline, default 2000 ms. *)
   jobs : int;  (** Domain-pool width. *)
@@ -51,15 +55,16 @@ val level_for_wait : thresholds:float array -> float -> int
 val budget_for_level :
   config -> int -> Prguard.Budget.spec * Prguard.Ladder.t option
 (** Level 0: the configured deadline and ladder.  Deeper levels halve
-    the deadline per level and force cheaper ladders ([greedy,
-    single-region], then [single-region]).  With no configured deadline
-    the shed levels impose one (1000 ms base) so overload always
-    bounds latency. *)
+    the deadline per level and force cheaper ladders ([multilevel,
+    greedy, single-region], then [single-region]) — level 2 degrades
+    {e into} the multilevel backend, which stays near-interactive even
+    on huge designs.  With no configured deadline the shed levels
+    impose one (1000 ms base) so overload always bounds latency. *)
 
 val config_fingerprint : config -> string
-(** The solve-identity part of the cache key: target, options,
-    level-0 budget/ladder.  Two servers with equal fingerprints may
-    share a cache directory. *)
+(** The solve-identity part of the cache key: target, strategy,
+    options, level-0 budget/ladder.  Two servers with equal
+    fingerprints may share a cache directory. *)
 
 (** {1 Lifecycle} *)
 

@@ -31,6 +31,55 @@ let default_spec =
     absence_probability = 0.15;
     extra_configs = (1, 4) }
 
+(* The huge class (DESIGN.md §12): 50–500 modules with few modes and
+   modest per-mode areas, the population the multilevel backend is built
+   for. Higher absence keeps configurations sparse, as real many-module
+   adaptive systems are. *)
+let huge_spec =
+  { modules = (50, 500);
+    modes = (2, 3);
+    clb = (25, 400);
+    absence_probability = 0.25;
+    extra_configs = (2, 6) }
+
+(* Out-of-range parameters are rejected up front with a description —
+   the generator must never spin (or crash deep inside [Rng.range]) on
+   a bad spec. *)
+let validate_spec spec =
+  let range_ok (lo, hi) = lo >= 1 && hi >= lo in
+  if not (range_ok spec.modules) then
+    Error
+      (Printf.sprintf "modules range (%d, %d) invalid: need 1 <= lo <= hi"
+         (fst spec.modules) (snd spec.modules))
+  else if not (range_ok spec.modes) then
+    Error
+      (Printf.sprintf "modes range (%d, %d) invalid: need 1 <= lo <= hi"
+         (fst spec.modes) (snd spec.modes))
+  else if not (range_ok spec.clb) then
+    Error
+      (Printf.sprintf "clb range (%d, %d) invalid: need 1 <= lo <= hi"
+         (fst spec.clb) (snd spec.clb))
+  else if
+    not
+      (Float.is_finite spec.absence_probability
+      && spec.absence_probability >= 0.
+      && spec.absence_probability < 1.)
+  then
+    Error
+      (Printf.sprintf
+         "absence_probability %g invalid: need 0 <= p < 1 (p = 1 would \
+          make every random configuration empty)"
+         spec.absence_probability)
+  else if
+    not (fst spec.extra_configs >= 0
+        && snd spec.extra_configs >= fst spec.extra_configs)
+  then
+    Error
+      (Printf.sprintf
+         "extra_configs range (%d, %d) invalid: need 0 <= lo <= hi"
+         (fst spec.extra_configs) (snd spec.extra_configs))
+  else Ok spec
+
 (* BRAM/DSP ranges as a function of the mode's CLB count and the circuit
    class. Divisors are chosen so that even a six-module design of maximal
    modes stays within the largest catalogued device (see DESIGN.md). *)
@@ -49,7 +98,16 @@ let static_overhead = Resource.make ~bram:8 90
 
 let module_names = [| "A"; "B"; "C"; "D"; "E"; "F" |]
 
+(* The first six modules keep their historical letter names (old seeds
+   stay stable); beyond that the huge class switches to "M7", "M8", … *)
+let module_name m =
+  if m < Array.length module_names then module_names.(m)
+  else Printf.sprintf "M%d" (m + 1)
+
 let generate ?(spec = default_spec) rng cls ~index =
+  (match validate_spec spec with
+   | Ok _ -> ()
+   | Error message -> invalid_arg ("Synth.Generator.generate: " ^ message));
   let n_modules = Rng.range rng (fst spec.modules) (snd spec.modules) in
   let modules =
     List.init n_modules (fun m ->
@@ -59,10 +117,10 @@ let generate ?(spec = default_spec) rng cls ~index =
               let clb = Rng.range rng (fst spec.clb) (snd spec.clb) in
               let bram, dsp = secondary_resources rng cls clb in
               Prdesign.Mode.make
-                (Printf.sprintf "%s%d" module_names.(m) (k + 1))
+                (Printf.sprintf "%s%d" (module_name m) (k + 1))
                 (Resource.make ~bram ~dsp clb))
         in
-        Prdesign.Pmodule.make module_names.(m) modes)
+        Prdesign.Pmodule.make (module_name m) modes)
   in
   let marr = Array.of_list modules in
   let mode_counts = Array.map Prdesign.Pmodule.mode_count marr in
@@ -140,3 +198,10 @@ let batch ?spec ~seed ~count () =
   List.init count (fun i ->
       let cls = classes.(i mod Array.length classes) in
       (cls, generate ?spec (Rng.split rng) cls ~index:i))
+
+let huge ?(cls = Logic_intensive) ~seed ~modules () =
+  let spec = { huge_spec with modules = (modules, modules) } in
+  (match validate_spec spec with
+   | Ok _ -> ()
+   | Error message -> invalid_arg ("Synth.Generator.huge: " ^ message));
+  generate ~spec (Rng.make seed) cls ~index:modules

@@ -28,15 +28,39 @@ type spec = {
 
 val default_spec : spec
 
+val huge_spec : spec
+(** The huge class: 50–500 modules of 2–3 modes each, 25–400 CLBs per
+    mode, absence 0.25, 2–6 extra configurations — the population the
+    multilevel backend targets (DESIGN.md §12). Module names beyond the
+    sixth are ["M7"], ["M8"], … so small-design seeds stay stable. *)
+
+val validate_spec : spec -> (spec, string) result
+(** Reject out-of-range spec parameters with a description of the
+    offending field (empty or inverted ranges, counts below 1,
+    [absence_probability] outside [0, 1)). {!generate}, {!batch} and
+    {!huge} raise [Invalid_argument] with the same message instead of
+    looping or failing deep inside the generator. *)
+
 val generate :
   ?spec:spec -> Rng.t -> circuit_class -> index:int -> Prdesign.Design.t
 (** One synthetic design named after the class and index. Every mode is
     used by at least one configuration; configuration contents are
-    pairwise distinct. *)
+    pairwise distinct.
+
+    @raise Invalid_argument when [spec] fails {!validate_spec}. *)
 
 val batch :
   ?spec:spec -> seed:int -> count:int -> unit ->
   (circuit_class * Prdesign.Design.t) list
 (** [count] designs with the classes interleaved in equal proportion
     (the paper's 1000-design population uses [count = 1000], i.e. 250 per
-    class). Deterministic in [seed]. *)
+    class). Deterministic in [seed].
+
+    @raise Invalid_argument when [spec] fails {!validate_spec}. *)
+
+val huge :
+  ?cls:circuit_class -> seed:int -> modules:int -> unit -> Prdesign.Design.t
+(** One {!huge_spec} design pinned to exactly [modules] modules
+    (default class [Logic_intensive]). Deterministic in [seed].
+
+    @raise Invalid_argument when [modules < 1]. *)

@@ -102,7 +102,55 @@ let run ?(count = 200) ?(seed = 2013) ?(jobs = 2) () =
         if not (Diagnostic.ok report) then
           fail
             (Printf.sprintf "check-after-solve found violations:\n%s"
-               (Diagnostic.render_report report))
+               (Diagnostic.render_report report));
+        (* 7. The multilevel backend: sequential vs parallel must be
+           bit-identical (the backend is deterministic by construction)
+           and its scheme must survive the independent oracle
+           re-derivation. A multilevel miss on a design the default
+           pipeline solved is legal (different search space), so an
+           infeasibility error is not a failure. *)
+        (match
+           Engine.solve ~strategy:Prcore.Strategy.Multilevel
+             ~target:Engine.Auto design
+         with
+         | Error message ->
+           if is_verification_failure message then
+             fail ("multilevel: " ^ message)
+         | Ok ml ->
+           (match
+              Engine.solve ~strategy:Prcore.Strategy.Multilevel ~jobs
+                ~target:Engine.Auto design
+            with
+            | Error message ->
+              fail
+                (Printf.sprintf
+                   "multilevel parallel solve (jobs=%d) failed where \
+                    sequential succeeded: %s"
+                   jobs message)
+            | Ok par ->
+              if
+                not
+                  (Cost.equal_evaluation ml.Engine.evaluation
+                     par.Engine.evaluation)
+                || Scheme.describe ml.Engine.scheme
+                   <> Scheme.describe par.Engine.scheme
+              then
+                fail
+                  (Printf.sprintf
+                     "multilevel jobs=1 and jobs=%d diverge: %s vs %s" jobs
+                     (Format.asprintf "%a" Cost.pp_evaluation
+                        ml.Engine.evaluation)
+                     (Format.asprintf "%a" Cost.pp_evaluation
+                        par.Engine.evaluation)));
+           let derived = Oracle.derive_evaluation ml.Engine.scheme in
+           if not (Cost.equal_evaluation derived ml.Engine.evaluation) then
+             fail
+               (Printf.sprintf
+                  "multilevel evaluation diverges from the independent \
+                   oracle derivation: %s vs %s"
+                  (Format.asprintf "%a" Cost.pp_evaluation
+                     ml.Engine.evaluation)
+                  (Format.asprintf "%a" Cost.pp_evaluation derived)))
     end
   done;
   { designs = count;

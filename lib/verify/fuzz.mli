@@ -7,8 +7,11 @@
     sequential and parallel engines ([jobs = 1] vs [jobs > 1] must be
     bit-identical), compares the reported evaluation against both a
     direct {!Prcore.Cost.evaluate} and the independent
-    {!Oracle.derive_evaluation}, and runs the full
-    {!Checker.check_outcome} oracle suite (check-after-solve).
+    {!Oracle.derive_evaluation}, runs the full
+    {!Checker.check_outcome} oracle suite (check-after-solve), and
+    repeats the seq-vs-par differential for the multilevel backend
+    ([strategy = Multilevel]) with its evaluation re-derived by the
+    oracle.
 
     {!mutation_kills} is the harness's proof that no oracle is dead
     code: each corruption class seeds exactly one violation into

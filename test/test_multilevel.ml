@@ -1,0 +1,341 @@
+(* Prscale tests: the multilevel coarsen->partition->refine backend and
+   the Strategy plumbing around it (DESIGN.md §12).
+
+   The QCheck properties pin the backend's contracts: any scheme a
+   V-cycle produces is feasible and oracle-clean (the coarsen->uncoarsen
+   round trip never fabricates an invalid placement), refinement never
+   increases the exactly evaluated cost once feasibility is reached, and
+   the engine's multilevel path is bit-identical for any [jobs]. The
+   unit tests cover the Strategy name surface, the Memo strategy tag,
+   the generator's spec validation, and the optimality gap against the
+   exact backend on every library design. *)
+
+module Design = Prdesign.Design
+module Design_library = Prdesign.Design_library
+module Scheme = Prcore.Scheme
+module Cost = Prcore.Cost
+module Engine = Prcore.Engine
+module Strategy = Prcore.Strategy
+module Multilevel = Prcore.Multilevel
+module Memo = Prcore.Memo
+module Resource = Fpga.Resource
+module Generator = Synth.Generator
+module Oracle = Prverify.Oracle
+module Diagnostic = Prverify.Diagnostic
+
+(* ------------------------------------------------------------------ *)
+(* Helpers.                                                            *)
+
+let is_infix ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = affix || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* The bench's huge-class budget rule: [headroom] times the
+   one-module-per-region usage — the usage floor of mode-granular
+   partitioning, so a feasible packing exists while the budget still
+   forces real decisions. *)
+let huge_budget ?(headroom = 1.3) design =
+  let used =
+    (Cost.evaluate (Scheme.one_module_per_region design)).Cost.used
+  in
+  let scale v = int_of_float (Float.ceil (headroom *. float_of_int v)) in
+  Resource.make ~bram:(scale used.Resource.bram)
+    ~dsp:(scale used.Resource.dsp)
+    (scale used.Resource.clb)
+
+let gen_default_design =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let classes = Array.of_list Generator.all_classes in
+        Generator.generate
+          (Synth.Rng.make seed)
+          classes.(seed mod Array.length classes)
+          ~index:seed)
+      (0 -- 20_000))
+
+(* Small huge-class designs: the population the backend targets, at a
+   size where properties run in milliseconds. *)
+let gen_huge_design =
+  QCheck2.Gen.(
+    map
+      (fun (seed, modules) -> Generator.huge ~seed ~modules ())
+      (pair (0 -- 10_000) (6 -- 16)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties.                                                         *)
+
+(* Coarsen -> uncoarsen round trip: whatever scheme a V-cycle returns is
+   genuinely feasible for the budget it was given and clean under the
+   independent oracle — covering, conflict-freedom and the reported
+   region structure all survive the re-derivation. *)
+let prop_roundtrip_feasible =
+  QCheck2.Test.make ~name:"multilevel scheme is feasible and oracle-clean"
+    ~count:60 gen_huge_design (fun design ->
+      let budget = huge_budget design in
+      match
+        Multilevel.allocate ~budget design (Multilevel.nodes design)
+      with
+      | None -> QCheck2.assume_fail ()
+      | Some scheme ->
+        let evaluation = Cost.evaluate scheme in
+        Cost.fits evaluation ~budget
+        && Diagnostic.ok (Oracle.check_scheme scheme)
+        && Diagnostic.ok (Oracle.check_budget scheme ~budget))
+
+(* Refinement monotonicity: once the V-cycle reaches feasibility, the
+   exactly evaluated total of the returned scheme never exceeds the
+   total at first feasibility — every accepted move strictly improved
+   the (deficit, total) order. *)
+let prop_refinement_monotone =
+  QCheck2.Test.make ~name:"refinement never increases the evaluated cost"
+    ~count:60 gen_huge_design (fun design ->
+      let budget = huge_budget design in
+      let scheme, stats =
+        Multilevel.allocate_stats ~budget design (Multilevel.nodes design)
+      in
+      match (stats.Multilevel.first_feasible_total,
+             stats.Multilevel.final_total) with
+      | Some first, Some final ->
+        (* The final total must also be the real evaluated cost. *)
+        let evaluated =
+          match scheme with
+          | Some s -> (Cost.evaluate s).Cost.total_frames
+          | None -> -1
+        in
+        final <= first && evaluated = final
+      | None, None -> QCheck2.assume_fail ()
+      | Some _, None | None, Some _ -> false)
+
+(* Engine-level determinism: the multilevel strategy is bit-identical
+   for any [jobs] (the backend is sequential and runs once). *)
+let prop_jobs_bit_identical =
+  QCheck2.Test.make ~name:"multilevel solve is bit-identical across jobs"
+    ~count:40 gen_default_design (fun design ->
+      let solve jobs =
+        match
+          Engine.solve ~strategy:Strategy.Multilevel ~jobs
+            ~target:Engine.Auto design
+        with
+        | Ok o -> Some o
+        | Error _ -> None
+      in
+      match solve 1 with
+      | None -> QCheck2.assume_fail ()
+      | Some seq ->
+        List.for_all
+          (fun jobs ->
+            match solve jobs with
+            | None -> false
+            | Some par ->
+              Cost.equal_evaluation seq.Engine.evaluation
+                par.Engine.evaluation
+              && Scheme.describe seq.Engine.scheme
+                 = Scheme.describe par.Engine.scheme)
+          [ 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* Optimality gap vs the exact backend.                                *)
+
+(* On every small library design the multilevel scheme must land within
+   10 % of the exact backend's total (measured gap is <= 2.2 %; the
+   bound leaves room for future tuning without masking a step change). *)
+let test_gap_vs_exact () =
+  List.iter
+    (fun (name, design) ->
+      let solve strategy =
+        match Engine.solve ~strategy ~target:Engine.Auto design with
+        | Ok o -> Some o.Engine.evaluation.Cost.total_frames
+        | Error _ -> None
+      in
+      match (solve Strategy.Exact, solve Strategy.Multilevel) with
+      | Some exact, Some ml ->
+        let gap =
+          100. *. float_of_int (ml - exact) /. float_of_int (max 1 exact)
+        in
+        if gap > 10. then
+          Alcotest.failf "%s: multilevel %d vs exact %d (gap %+.1f%% > 10%%)"
+            name ml exact gap
+      | exact, ml ->
+        Alcotest.failf "%s: exact=%s multilevel=%s (both must solve)" name
+          (match exact with Some v -> string_of_int v | None -> "-")
+          (match ml with Some v -> string_of_int v | None -> "-"))
+    Design_library.all
+
+(* ------------------------------------------------------------------ *)
+(* Strategy name surface.                                              *)
+
+let test_strategy_names () =
+  List.iter
+    (fun strategy ->
+      match Strategy.of_string (Strategy.to_string strategy) with
+      | Ok s -> Alcotest.(check bool) "round-trip" true (s = strategy)
+      | Error m -> Alcotest.failf "round-trip failed: %s" m)
+    Strategy.all;
+  (match Strategy.of_string "ml" with
+   | Ok Strategy.Multilevel -> ()
+   | Ok _ | Error _ -> Alcotest.fail "\"ml\" must parse as Multilevel");
+  (match Strategy.of_string "multi-level" with
+   | Ok Strategy.Multilevel -> ()
+   | Ok _ | Error _ ->
+     Alcotest.fail "\"multi-level\" must parse as Multilevel");
+  match Strategy.validate "simulated-annealing-2" with
+  | Ok _ -> Alcotest.fail "unknown strategy accepted"
+  | Error m ->
+    List.iter
+      (fun name ->
+        if not (is_infix ~affix:name m) then
+          Alcotest.failf "error %S does not list %S" m name)
+      Strategy.names
+
+(* ------------------------------------------------------------------ *)
+(* Memo strategy tag.                                                  *)
+
+let test_memo_tag_no_alias () =
+  let exact = Memo.create ~tag:"exact" () in
+  let ml = Memo.create ~tag:"multilevel" () in
+  let untagged = Memo.create () in
+  let key = "scheme-key" in
+  Memo.add exact key 1;
+  Memo.add ml key 2;
+  Memo.add untagged key 3;
+  Alcotest.(check (option int)) "exact finds its own" (Some 1)
+    (Memo.find exact key);
+  Alcotest.(check (option int)) "multilevel finds its own" (Some 2)
+    (Memo.find ml key);
+  Alcotest.(check (option int)) "untagged finds its own" (Some 3)
+    (Memo.find untagged key);
+  (* Absorbing differently-tagged tables into one store must keep the
+     namespaces apart: each donor's entry stays reachable only under
+     its own tag. *)
+  let merged = Memo.create ~tag:"multilevel" () in
+  Memo.absorb ~into:merged exact;
+  Memo.absorb ~into:merged ml;
+  Alcotest.(check (option int)) "merged resolves under its own tag"
+    (Some 2) (Memo.find merged key);
+  Alcotest.(check int) "merged holds both donors" 2 (Memo.length merged);
+  Alcotest.(check (option string)) "tag accessor" (Some "multilevel")
+    (Memo.tag ml);
+  Alcotest.(check (option string)) "untagged accessor" None
+    (Memo.tag untagged)
+
+(* ------------------------------------------------------------------ *)
+(* Generator hardening and the huge class.                             *)
+
+let expect_spec_error label spec fragment =
+  match Generator.validate_spec spec with
+  | Ok _ -> Alcotest.failf "%s: invalid spec accepted" label
+  | Error m ->
+    if not (is_infix ~affix:fragment m) then
+      Alcotest.failf "%s: error %S does not mention %S" label m fragment
+
+let test_generator_validation () =
+  let ok = Generator.default_spec in
+  (match Generator.validate_spec ok with
+   | Ok _ -> ()
+   | Error m -> Alcotest.failf "default spec rejected: %s" m);
+  expect_spec_error "inverted modules"
+    { ok with Generator.modules = (5, 2) } "modules";
+  expect_spec_error "zero modules"
+    { ok with Generator.modules = (0, 3) } "modules";
+  expect_spec_error "zero modes" { ok with Generator.modes = (0, 2) } "modes";
+  expect_spec_error "inverted clb" { ok with Generator.clb = (400, 25) } "clb";
+  expect_spec_error "absence one"
+    { ok with Generator.absence_probability = 1.0 } "absence";
+  expect_spec_error "absence nan"
+    { ok with Generator.absence_probability = Float.nan } "absence";
+  expect_spec_error "negative extras"
+    { ok with Generator.extra_configs = (-1, 2) } "extra_configs";
+  (try
+     ignore
+       (Generator.generate
+          ~spec:{ ok with Generator.modules = (0, 0) }
+          (Synth.Rng.make 1) Generator.Logic_intensive ~index:0);
+     Alcotest.fail "generate accepted an invalid spec"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Generator.huge ~seed:1 ~modules:0 ());
+    Alcotest.fail "huge accepted modules=0"
+  with Invalid_argument _ -> ()
+
+let test_huge_class () =
+  let d = Generator.huge ~seed:11 ~modules:30 () in
+  Alcotest.(check int) "pinned module count" 30 (Design.module_count d);
+  let d' = Generator.huge ~seed:11 ~modules:30 () in
+  Alcotest.(check string) "deterministic in seed" (Scheme.describe
+    (Scheme.one_module_per_region d))
+    (Scheme.describe (Scheme.one_module_per_region d'));
+  (* Module names beyond the historical six letters switch to "Mn". *)
+  let names =
+    Array.to_list
+      (Array.map (fun m -> m.Prdesign.Pmodule.name) d.Design.modules)
+  in
+  Alcotest.(check bool) "letter names survive" true
+    (List.mem "A" names && List.mem "F" names);
+  Alcotest.(check bool) "numbered names appear" true (List.mem "M7" names)
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration.                                                 *)
+
+let test_progress_capped () =
+  (* The search progress curve is bounded by the fixed sample cap no
+     matter how many incumbents the solve records — the curve is only
+     collected under a tracing telemetry handle. *)
+  let telemetry = Prtelemetry.create (Prtelemetry.Sink.memory ()) in
+  match
+    Engine.solve ~telemetry ~strategy:Strategy.Anneal
+      ~target:(Engine.Budget Design_library.case_study_budget)
+      Design_library.video_receiver
+  with
+  | Error m -> Alcotest.failf "case-study solve failed: %s" m
+  | Ok o ->
+    let n = List.length o.Engine.search.Engine.progress in
+    if n = 0 then Alcotest.fail "tracing solve collected no progress curve";
+    if n > 256 then Alcotest.failf "progress curve has %d samples (cap 256)" n
+
+let test_multilevel_rung_ladder () =
+  (* A ladder that degrades into multilevel must still solve, and the
+     winning rung is reported. *)
+  let ladder =
+    match Prguard.Ladder.of_string "multilevel,single-region" with
+    | Ok l -> l
+    | Error m -> Alcotest.failf "ladder parse: %s" m
+  in
+  let design = Generator.huge ~seed:3 ~modules:10 () in
+  match
+    Engine.solve ~ladder
+      ~budget:(Prguard.Budget.make ~max_evals:10_000 ())
+      ~target:(Engine.Budget (huge_budget design))
+      design
+  with
+  | Error m -> Alcotest.failf "ladder solve failed: %s" m
+  | Ok o ->
+    let evaluation = Cost.evaluate o.Engine.scheme in
+    Alcotest.(check bool) "ladder outcome feasible" true
+      (Cost.fits evaluation ~budget:o.Engine.budget)
+
+let () =
+  Alcotest.run "multilevel"
+    [ ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip_feasible;
+            prop_refinement_monotone;
+            prop_jobs_bit_identical ] );
+      ( "gap",
+        [ Alcotest.test_case "within 10% of exact on the library" `Slow
+            test_gap_vs_exact ] );
+      ( "strategy",
+        [ Alcotest.test_case "name surface" `Quick test_strategy_names ] );
+      ( "memo",
+        [ Alcotest.test_case "strategy tags never alias" `Quick
+            test_memo_tag_no_alias ] );
+      ( "generator",
+        [ Alcotest.test_case "spec validation" `Quick
+            test_generator_validation;
+          Alcotest.test_case "huge class" `Quick test_huge_class ] );
+      ( "engine",
+        [ Alcotest.test_case "progress curve capped" `Quick
+            test_progress_capped;
+          Alcotest.test_case "multilevel ladder rung" `Quick
+            test_multilevel_rung_ladder ] ) ]

@@ -506,7 +506,7 @@ let shed_tests =
         let _, l3 = Server.budget_for_level cfg 3 in
         (match l2 with
          | Some l ->
-           Alcotest.(check string) "l2 ladder" "greedy,single-region"
+           Alcotest.(check string) "l2 ladder" "multilevel,greedy,single-region"
              (Prguard.Ladder.to_string l)
          | None -> Alcotest.fail "l2 needs a ladder");
         match l3 with
