@@ -1,7 +1,7 @@
 # Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
 # `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
 
-.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf perf-compare faults guard multilevel serve soak clean
+.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf perf-compare faults guard multilevel floorplan serve soak clean
 
 all: build
 
@@ -98,6 +98,14 @@ guard: build
 multilevel: build
 	dune exec test/test_multilevel.exe
 	dune exec bench/main.exe -- multilevel
+
+# Placement-aware suite: the floorplan unit/property tests (placer,
+# estimator, verify-oracle re-derivation), then the experiment pitting
+# the placement-aware search against the post-hoc feedback loop on the
+# fragmentation stress design. See DESIGN.md §13.
+floorplan: build
+	dune exec test/test_floorplan.exe
+	dune exec bench/main.exe -- floorplan
 
 # Partitioning daemon on a local Unix socket with a persistent result
 # cache (talk to it with `nc -U prserve.sock`; Ctrl-C drains). See

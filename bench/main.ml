@@ -962,6 +962,123 @@ let serve_soak () =
     fail "cache hit rate %.2f <= 0.4" stats.sl_hit_rate;
   Printf.printf "prserve soak OK\n"
 
+(* Placement-aware partitioning vs the post-hoc feedback loop, on the
+   fragmentation stress design: the unaware flow picks the
+   cheapest-by-frames scheme, fails to floorplan it and escalates
+   devices; the aware flow pays the placeability penalty up front and
+   lands oracle-clean on the smaller part. Everything here is
+   deterministic, so the comparison doubles as an invariant check. *)
+type floorplan_result = {
+  fl_unaware_device : string;
+  fl_aware_device : string;
+  fl_unaware_escalations : int;
+  fl_aware_escalations : int;
+  fl_penalty_evals : int;
+  fl_aware_penalty : int;
+  fl_ms : float;
+  fl_oracle_clean : bool;
+  fl_identical : bool;
+}
+
+let floorplan_run () =
+  let design = Prdesign.Design_library.fragmented_filter in
+  let device = Fpga.Device.find_exn "LX30" in
+  let target = Prcore.Engine.Fixed device in
+  let run ~aware ~jobs () =
+    let tele = Prtelemetry.create Prtelemetry.Sink.null in
+    let options =
+      { Flow.Tool_flow.default_options with
+        placement_aware = aware;
+        verify = true;
+        telemetry = tele;
+        jobs }
+    in
+    match Flow.Tool_flow.run ~options ~target design with
+    | Ok r -> (r, tele)
+    | Error m ->
+      Printf.printf "BENCH FAILED: floorplan flow (%s): %s\n"
+        (if aware then "aware" else "unaware")
+        m;
+      exit 1
+  in
+  let unaware, _ = run ~aware:false ~jobs:1 () in
+  let reps = 5 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps - 1 do
+    ignore (run ~aware:true ~jobs:1 ())
+  done;
+  let aware, tele = run ~aware:true ~jobs:1 () in
+  let fl_ms = (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps in
+  let key (r : Flow.Tool_flow.report) =
+    (Prcore.Scheme.describe r.outcome.Prcore.Engine.scheme,
+     r.outcome.Prcore.Engine.placement_penalty,
+     r.device.Fpga.Device.name,
+     r.floorplan_escalations)
+  in
+  let fl_identical =
+    List.for_all
+      (fun jobs -> key (fst (run ~aware:true ~jobs ())) = key aware)
+      [ 2; 4 ]
+  in
+  let fl_oracle_clean =
+    match aware.Flow.Tool_flow.diagnostics with
+    | Some diags -> Prverify.Diagnostic.ok diags
+    | None -> false
+  in
+  { fl_unaware_device = unaware.Flow.Tool_flow.device.Fpga.Device.name;
+    fl_aware_device = aware.Flow.Tool_flow.device.Fpga.Device.name;
+    fl_unaware_escalations = unaware.Flow.Tool_flow.floorplan_escalations;
+    fl_aware_escalations = aware.Flow.Tool_flow.floorplan_escalations;
+    fl_penalty_evals = Prtelemetry.counter_value tele "core.placement_evals";
+    fl_aware_penalty =
+      Option.value ~default:(-1)
+        aware.Flow.Tool_flow.outcome.Prcore.Engine.placement_penalty;
+    fl_ms;
+    fl_oracle_clean;
+    fl_identical }
+
+let floorplan_check r =
+  let won =
+    r.fl_aware_escalations < r.fl_unaware_escalations
+    || Fpga.Device.compare_capacity
+         (Fpga.Device.find_exn r.fl_aware_device)
+         (Fpga.Device.find_exn r.fl_unaware_device)
+       < 0
+  in
+  if not (won && r.fl_oracle_clean && r.fl_identical) then begin
+    Printf.printf
+      "BENCH FAILED: placement-aware flow (won=%b, oracle=%b, identical=%b)\n"
+      won r.fl_oracle_clean r.fl_identical;
+    exit 1
+  end
+
+let floorplan_experiment () =
+  section "Placement-aware search vs post-hoc floorplan feedback";
+  let r = floorplan_run () in
+  Printf.printf "design: fragmented-filter, requested device XC5VLX30\n";
+  Printf.printf "unaware: %s after %d escalation(s)\n" r.fl_unaware_device
+    r.fl_unaware_escalations;
+  Printf.printf
+    "aware:   %s after %d escalation(s), penalty %d, %d penalty evals\n"
+    r.fl_aware_device r.fl_aware_escalations r.fl_aware_penalty
+    r.fl_penalty_evals;
+  Printf.printf "aware solve: %.1f ms/run, oracle_clean=%b, jobs 1/2/4 \
+                 identical=%b\n"
+    r.fl_ms r.fl_oracle_clean r.fl_identical;
+  floorplan_check r
+
+(* Floorplan smoke (runs under --quick, so `dune runtest` gates on it):
+   the aware flow must beat the post-hoc loop on the stress design,
+   stay oracle-clean and stay bit-identical across worker counts. *)
+let floorplan_smoke () =
+  section "Floorplan smoke: placement-aware beats post-hoc feedback";
+  let r = floorplan_run () in
+  floorplan_check r;
+  Printf.printf
+    "aware %s (%d escalations) vs unaware %s (%d escalations) [OK]\n"
+    r.fl_aware_device r.fl_aware_escalations r.fl_unaware_device
+    r.fl_unaware_escalations
+
 (* Machine-readable performance artefact (BENCH_core.json): allocator
    move throughput, engine solve latency (Bechamel OLS), sweep
    throughput sequential vs parallel, and the evaluation-cache hit
@@ -1091,6 +1208,10 @@ let bench_json () =
     exit 1
   end;
   let ml_gap = multilevel_gap_vs_anneal () in
+  (* Placement-aware flow vs post-hoc feedback: escalations avoided and
+     the aware solve latency are regression-tracked. *)
+  let fl = floorplan_run () in
+  floorplan_check fl;
   (* Prserve daemon throughput under a duplicate-heavy concurrent
      load; hit rate and p99 latency are regression-tracked. *)
   let serve_stats =
@@ -1182,6 +1303,20 @@ let bench_json () =
                 ("refine_moves", Int ml.mr_stats.Prcore.Multilevel.moves);
                 ( "gap_vs_anneal_pct",
                   match ml_gap with Some g -> Float g | None -> Null ) ] );
+          ( "floorplan",
+            Obj
+              [ ("design", String "fragmented-filter on XC5VLX30");
+                ("unaware_device", String fl.fl_unaware_device);
+                ("aware_device", String fl.fl_aware_device);
+                ("unaware_escalations", Int fl.fl_unaware_escalations);
+                ("aware_escalations", Int fl.fl_aware_escalations);
+                ( "escalations_avoided",
+                  Int (fl.fl_unaware_escalations - fl.fl_aware_escalations) );
+                ("placement_penalty", Int fl.fl_aware_penalty);
+                ("placement_penalty_evals", Int fl.fl_penalty_evals);
+                ("ms_per_run", Float fl.fl_ms);
+                ("oracle_clean", Bool fl.fl_oracle_clean);
+                ("bit_identical", Bool fl.fl_identical) ] );
           ( "serve",
             Obj
               [ ("requests", Int serve_stats.sl_requests);
@@ -1236,6 +1371,11 @@ let bench_json () =
     (match ml_gap with
      | Some g -> Printf.sprintf ", gap vs anneal %+.1f%%" g
      | None -> "");
+  Printf.printf
+    "floorplan: aware %s (%d escalations) vs unaware %s (%d), %.1f ms/run, \
+     %d penalty evals\n"
+    fl.fl_aware_device fl.fl_aware_escalations fl.fl_unaware_device
+    fl.fl_unaware_escalations fl.fl_ms fl.fl_penalty_evals;
   Printf.printf "wrote %s\n" path;
   (* Regression history: every bench-json run appends its metrics, and
      bench-compare diffs the two most recent entries. *)
@@ -1511,6 +1651,7 @@ let experiments =
     ("verify", verify);
     ("guard", guard);
     ("multilevel", multilevel_experiment);
+    ("floorplan", floorplan_experiment);
     ("telemetry", fun () -> telemetry ());
     ("serve", serve_soak);
     ("perf", perf);
@@ -1528,6 +1669,7 @@ let () =
     verify_smoke ();
     guard_smoke ();
     multilevel_smoke ();
+    floorplan_smoke ();
     scope_smoke ();
     serve_smoke ();
     telemetry ~quick:true ();

@@ -171,6 +171,31 @@ let guard_specs ~deadline_ms ~max_evals ~ladder =
     | Error message -> Error message
     | Ok ladder -> Ok (budget, ladder))
 
+let placement_aware_arg =
+  let doc =
+    "Feed floorplan feasibility into the partition search: the target \
+     device's column layout becomes an integer placeability penalty on \
+     every explored scheme, steering the search away from allocations \
+     the floorplanner cannot realise. Uses the named --device, or the \
+     smallest catalogued device fitting --budget; with neither (auto \
+     targeting) the first attempt runs unaware. Off by default — \
+     without the flag every output is bit-identical to previous \
+     releases."
+  in
+  Arg.(value & flag & info [ "placement-aware" ] ~doc)
+
+(* The placement hook for the resolved CLI target: what the flow layer
+   installs, rebuilt here so `partition` (which calls the engine
+   directly) agrees with `flow` on the modelled device. *)
+let placement_for_target ~placement_aware target =
+  if not placement_aware then None
+  else
+    match (target : Prcore.Engine.target) with
+    | Prcore.Engine.Fixed d -> Some (Flow.Tool_flow.placement_hook d)
+    | Prcore.Engine.Budget b ->
+      Option.map Flow.Tool_flow.placement_hook (Fpga.Device.smallest_fitting b)
+    | Prcore.Engine.Auto -> None
+
 let verify_arg =
   let doc =
     "Re-check the result with the independent oracle suite: the engine's \
@@ -274,8 +299,8 @@ let run_floorplan ~telemetry scheme device =
 
 let partition_cmd =
   let run spec budget device freq_rule no_promote max_sets restarts strategy
-      jobs deadline_ms max_evals ladder verify floorplan save_scheme trace
-      stats =
+      jobs deadline_ms max_evals ladder placement_aware verify floorplan
+      save_scheme trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -291,9 +316,10 @@ let partition_cmd =
          let options = options ~freq_rule ~no_promote ~max_sets ~restarts in
          let telemetry = telemetry_handle ~trace ~stats in
          let guard = Option.map Prguard.Budget.of_spec budget_spec in
+         let placement = placement_for_target ~placement_aware target in
          (match
             Prcore.Engine.solve ~options ~telemetry ~strategy ~jobs ~verify
-              ?budget:guard ?ladder ~target design
+              ?budget:guard ?ladder ?placement ~target design
           with
           | Error message -> `Error (false, message)
           | Ok outcome ->
@@ -312,6 +338,12 @@ let partition_cmd =
             if outcome.degraded.Prguard.Budget.guarded then
               Format.printf "guard: %s@."
                 (Prguard.Budget.render_verdict outcome.degraded);
+            (match outcome.placement_penalty with
+             | Some penalty ->
+               Format.printf "placement penalty: %d%s@." penalty
+                 (if penalty = 0 then " (estimator: placeable, no waste)"
+                  else "")
+             | None -> ());
             if stats then
               Format.printf "cost evaluations: %d@." outcome.cost_evaluations;
             let verified =
@@ -368,8 +400,8 @@ let partition_cmd =
         (const run $ design_arg $ budget_arg $ device_arg $ freq_rule_arg
          $ no_promote_arg $ max_sets_arg $ restarts_arg $ strategy_arg
          $ jobs_arg $ deadline_arg $ max_evals_arg $ ladder_arg
-         $ verify_arg $ floorplan_arg $ save_scheme_arg $ trace_arg
-         $ stats_arg))
+         $ placement_aware_arg $ verify_arg $ floorplan_arg
+         $ save_scheme_arg $ trace_arg $ stats_arg))
 
 let metrics_arg =
   let doc =
@@ -751,7 +783,7 @@ let flow_cmd =
            ~doc:"Write wrappers, bitstreams and the report into DIR.")
   in
   let run spec budget device strategy jobs deadline_ms max_evals ladder
-      verify out trace stats =
+      placement_aware verify out trace stats =
     match load_design spec with
     | Error message -> `Error (false, message)
     | Ok design ->
@@ -771,6 +803,7 @@ let flow_cmd =
              telemetry;
              jobs;
              verify;
+             placement_aware;
              budget = budget_spec;
              ladder }
          in
@@ -815,7 +848,8 @@ let flow_cmd =
       ret
         (const run $ design_arg $ budget_arg $ device_arg $ strategy_arg
          $ jobs_arg $ deadline_arg $ max_evals_arg $ ladder_arg
-         $ verify_arg $ out_arg $ trace_arg $ stats_arg))
+         $ placement_aware_arg $ verify_arg $ out_arg $ trace_arg
+         $ stats_arg))
 
 (* Minimal JSON string escaping for the batch results stream. *)
 let json_escape s =

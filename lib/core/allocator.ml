@@ -203,6 +203,37 @@ let merged_active a b =
 
 type move = Merge of int * int | Promote of int
 
+(* Placement-awareness: the demand array of a state under the
+   {!Cost.placement} convention (region slots in index order — dead
+   slots contribute zero, which penalty hooks ignore — then the static
+   side last), and the same array after a candidate move. *)
+let state_demands state =
+  let n = Array.length state.regions in
+  Array.init (n + 1) (fun k ->
+      if k = n then static_resources state
+      else if state.regions.(k).alive then state.regions.(k).quantized
+      else Resource.zero)
+
+let moved_demands state move =
+  let d = state_demands state in
+  let n = Array.length state.regions in
+  (match move with
+   | Merge (i, j) ->
+     d.(i) <-
+       Tile.quantize
+         (Resource.max state.regions.(i).resources state.regions.(j).resources);
+     d.(j) <- Resource.zero
+   | Promote i ->
+     let raw =
+       List.fold_left
+         (fun acc p ->
+           Resource.add acc state.partitions.(p).Base_partition.resources)
+         Resource.zero state.regions.(i).members
+     in
+     d.(i) <- Resource.zero;
+     d.(n) <- Resource.add d.(n) raw);
+  d
+
 (* Evaluate a move against the current state: the reconfiguration-time
    delta and the resulting resource usage. Delta evaluation — no column
    is rebuilt and no O(configs^2) rescan happens. *)
@@ -388,7 +419,8 @@ let better_scheme a b =
     if key va ea <= key vb eb then Some a' else Some b'
 
 let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
-    ?(telemetry = Prtelemetry.null) ?memo ?guard ~budget design partitions =
+    ?(telemetry = Prtelemetry.null) ?memo ?guard ?placement ~budget design
+    partitions =
   match partitions with
   | [] -> None
   | _ ->
@@ -409,6 +441,11 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
            unless the handle traces, so the default counting path pays a
            single branch per move. *)
         let move_delta = Prtelemetry.histogram telemetry "alloc.move_delta" in
+        let pen_of demands =
+          match placement with
+          | None -> 0
+          | Some p -> p.Cost.placement_cost demands
+        in
         let evaluate_move state used move =
           Prtelemetry.Counter.incr moves_evaluated;
           (match guard with
@@ -417,9 +454,21 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
           (match move with
            | Merge _ -> Prtelemetry.Counter.incr delta_evals
            | Promote _ -> ());
-          let (dtime, _) as result = evaluate_move state used move in
+          let dtime, new_used = evaluate_move state used move in
+          (* The placeability-penalty delta joins the time delta like
+             extra frames, so both the descent ranking and the strict
+             [dtime < 0] promotion filter see floorplan cost. *)
+          let dtime =
+            match placement with
+            | None -> dtime
+            | Some _ ->
+              dtime
+              +. float_of_int
+                   (pen_of (moved_demands state move)
+                   - pen_of (state_demands state))
+          in
           Prtelemetry.Histogram.observe move_delta dtime;
-          result
+          (dtime, new_used)
         in
         let apply_move state move =
           (match move with
@@ -457,6 +506,10 @@ let allocate ?(options = default_options) ?(pair_weight = fun _ _ -> 1.)
                              acc +. (float_of_int r.frames *. r.conflicts)
                            else acc)
                          0. state.regions
+                       (* Restart outcomes also rank placement-first:
+                          a realisable allocation beats a cheaper one
+                          the floorplan estimator rejects. *)
+                       +. float_of_int (pen_of (state_demands state))
                      in
                      let scheme = scheme_of_state state in
                      Prtelemetry.Counter.incr cost_evaluations;

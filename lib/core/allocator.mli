@@ -33,6 +33,7 @@ val allocate :
   ?telemetry:Prtelemetry.t ->
   ?memo:Cost.evaluation Memo.t ->
   ?guard:Prguard.Budget.t ->
+  ?placement:Cost.placement ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
@@ -41,6 +42,13 @@ val allocate :
     order preserved), or [None] when no explored allocation fits the
     budget. Schemes are compared by total reconfiguration frames, then
     worst-case frames, then area.
+
+    [placement] (default: none) makes the descent placement-aware: the
+    integer placeability penalty delta of every candidate move joins its
+    time delta, and restart outcomes rank on the penalised objective, so
+    allocations the floorplanner cannot realise lose to realisable ones.
+    Omitted, the search is bit-identical to the placement-unaware
+    implementation.
 
     [guard] (default: none) bounds the search: each move evaluation is
     charged against the budget, and on deadline expiry or cancellation

@@ -96,6 +96,7 @@ module Energy = struct
     p_used : Resource.t;
     p_total : int;
     p_invalid : int;
+    p_pen : int;
     p_triple : float * bool * int;
   }
 
@@ -106,10 +107,14 @@ module Energy = struct
     activity : bool array array;  (* partition -> config -> active *)
     placement : int array;  (* committed state; -1 = static *)
     regions : snapshot array;  (* indexed by region id, 0 .. n-1 *)
+    penalty_fn : (Resource.t array -> int) option;
+        (* placement-awareness hook: integer placeability penalty of
+           the per-region demand array (regions then static last) *)
     mutable static_res : Resource.t;
     mutable used : Resource.t;
     mutable total : int;
     mutable invalid : int;  (* regions with a collision *)
+    mutable pen : int;  (* committed placeability penalty *)
     mutable pending : pending option;
   }
 
@@ -154,14 +159,37 @@ module Energy = struct
         collided = !collided }
     end
 
-  let triple_of ~budget ~used ~total ~invalid =
+  (* The placeability penalty joins the objective exactly like extra
+     frames: the energy and the comparison total both carry
+     [total + penalty], so every consumer (anneal best-tracking,
+     multilevel refinement) ranks penalised schemes lower without any
+     further plumbing. With no penalty hook the triple is bit-identical
+     to the pre-placement-aware implementation. *)
+  let triple_of ~budget ~used ~total ~invalid ~penalty =
     if invalid > 0 then (infinity, false, max_int)
     else begin
       let d = deficit ~budget used in
-      (float_of_int total +. (200. *. d), d = 0., total)
+      let objective = total + penalty in
+      (float_of_int objective +. (200. *. d), d = 0., objective)
     end
 
-  let create ~budget ~static_overhead ~resources ~activity placement =
+  (* Demand array of a (possibly overridden) region state: one entry
+     per region id in order, then the static side last — the
+     {!Cost.placement} calling convention. [snapshot_of] lets [propose]
+     substitute the source/destination snapshots without committing. *)
+  let penalty_of t ~snapshot_of ~static_res =
+    match t.penalty_fn with
+    | None -> 0
+    | Some f ->
+      let n = Array.length t.regions in
+      f
+        (Array.init (n + 1) (fun i ->
+             if i < n then (snapshot_of i).quantized else static_res))
+
+  let committed_penalty t =
+    penalty_of t ~snapshot_of:(fun r -> t.regions.(r)) ~static_res:t.static_res
+
+  let create ?penalty ~budget ~static_overhead ~resources ~activity placement =
     let n = Array.length placement in
     let configs = if n = 0 then 0 else Array.length activity.(0) in
     let t =
@@ -171,10 +199,12 @@ module Energy = struct
         activity;
         placement = Array.copy placement;
         regions = Array.make n empty_snapshot;
+        penalty_fn = penalty;
         static_res = static_overhead;
         used = Resource.zero;
         total = 0;
         invalid = 0;
+        pen = 0;
         pending = None }
     in
     Array.iteri
@@ -191,10 +221,12 @@ module Energy = struct
       Array.fold_left
         (fun acc s -> Resource.add acc s.quantized)
         t.static_res t.regions;
+    t.pen <- committed_penalty t;
     t
 
   let current t =
     triple_of ~budget:t.budget ~used:t.used ~total:t.total ~invalid:t.invalid
+      ~penalty:t.pen
 
   let placement t = Array.copy t.placement
 
@@ -240,7 +272,17 @@ module Energy = struct
           + if fresh.collided then 1 else 0
       in
       let invalid = swap_invalid (swap_invalid t.invalid old src) target dst in
-      let triple = triple_of ~budget:t.budget ~used ~total ~invalid in
+      let pen =
+        penalty_of t
+          ~snapshot_of:(fun r ->
+            if r = old then src
+            else if r = target then dst
+            else t.regions.(r))
+          ~static_res
+      in
+      let triple =
+        triple_of ~budget:t.budget ~used ~total ~invalid ~penalty:pen
+      in
       t.pending <-
         Some
           { p_part = part;
@@ -251,6 +293,7 @@ module Energy = struct
             p_used = used;
             p_total = total;
             p_invalid = invalid;
+            p_pen = pen;
             p_triple = triple };
       triple
     end
@@ -273,6 +316,7 @@ module Energy = struct
       t.used <- pending.p_used;
       t.total <- pending.p_total;
       t.invalid <- pending.p_invalid;
+      t.pen <- pending.p_pen;
       t.placement.(part) <- target
     end;
     t.pending <- None
@@ -289,8 +333,10 @@ module Energy = struct
     let used = ref !static_res in
     let total = ref 0 in
     let invalid = ref 0 in
+    let snapshots = Array.make n empty_snapshot in
     for r = 0 to n - 1 do
       let s = eval_region t r ~part:(-1) ~target:(-1) in
+      snapshots.(r) <- s;
       used := Resource.add !used s.quantized;
       total := !total + s.contribution;
       if s.collided then incr invalid
@@ -302,7 +348,13 @@ module Energy = struct
     let member_static = !static_res in
     let overhead = Resource.sub t.static_res member_static in
     let used = Resource.add !used overhead in
+    let pen =
+      penalty_of t
+        ~snapshot_of:(fun r -> snapshots.(r))
+        ~static_res:t.static_res
+    in
     triple_of ~budget:t.budget ~used ~total:!total ~invalid:!invalid
+      ~penalty:pen
 end
 
 let scheme_of_placement design parts placement =
@@ -331,7 +383,8 @@ let scheme_of_placement design parts placement =
     (List.mapi (fun p bp -> (bp, resolved.(p))) (Array.to_list parts))
 
 let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
-    ?guard ~budget design partitions =
+    ?guard ?placement ~budget design partitions =
+  let penalty_hook = Option.map (fun p -> p.Cost.placement_cost) placement in
   match partitions with
   | [] -> None
   | _ ->
@@ -363,7 +416,7 @@ let allocate ?(options = default_options) ?(telemetry = Prtelemetry.null)
           (* Start all-separate: region id = partition index. *)
           let placement = Array.init n Fun.id in
           let energy_state =
-            Energy.create ~budget
+            Energy.create ?penalty:penalty_hook ~budget
               ~static_overhead:design.Design.static_overhead ~resources
               ~activity placement
           in

@@ -21,6 +21,7 @@ val allocate :
   ?options:options ->
   ?telemetry:Prtelemetry.t ->
   ?guard:Prguard.Budget.t ->
+  ?placement:Cost.placement ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
@@ -28,6 +29,11 @@ val allocate :
 (** Best {e feasible} scheme encountered during the anneal (infeasible
     states are explored via an area-deficit penalty but never returned),
     or [None] when none was found. Deterministic in [options.seed].
+
+    [placement] (default: none) adds the placeability penalty to every
+    energy as if it were extra frames, steering the walk towards
+    schemes the floorplanner can realise; omitted, the walk is
+    bit-identical to the placement-unaware implementation.
 
     [guard] (default: none) bounds the walk: every Metropolis step is
     charged against the budget, and on deadline expiry or cancellation
@@ -62,6 +68,7 @@ module Energy : sig
   type t
 
   val create :
+    ?penalty:(Fpga.Resource.t array -> int) ->
     budget:Fpga.Resource.t ->
     static_overhead:Fpga.Resource.t ->
     resources:Fpga.Resource.t array ->
@@ -71,12 +78,20 @@ module Energy : sig
   (** [create ~budget ~static_overhead ~resources ~activity placement]
       builds the engine over [placement] (region id per partition, [-1]
       for static; region ids are partition indices). [activity.(p).(c)]
-      states whether partition [p] is active in configuration [c]. *)
+      states whether partition [p] is active in configuration [c].
+
+      [penalty] (default: none) is the placement-awareness hook: called
+      with one demand per region id in order plus the static side last
+      (the {!Cost.placement} convention; empty regions contribute
+      {!Fpga.Resource.zero}), its integer result joins the energy and
+      the comparison total exactly like extra frames. *)
 
   val current : t -> float * bool * int
-  (** Energy, feasibility and total frames of the committed placement.
-      Invalid placements (two members of one region active in the same
-      configuration) evaluate to [(infinity, false, max_int)]. *)
+  (** Energy, feasibility and objective total (frames plus placeability
+      penalty; just frames when no [penalty] hook is installed) of the
+      committed placement. Invalid placements (two members of one
+      region active in the same configuration) evaluate to
+      [(infinity, false, max_int)]. *)
 
   val propose : t -> part:int -> target:int -> float * bool * int
   (** Candidate evaluation of reassigning [part] to [target] without

@@ -136,6 +136,24 @@ let weighted_total (s : Scheme.t) ~weights =
       if w <> 0. then acc +. (w *. float_of_int c) else acc)
     0.
 
+(* Placement-awareness hook. The floorplan estimator lives above this
+   library in the dependency order, so the penalty arrives as a closure
+   over per-region demands; [Prcore] only fixes the calling convention
+   (regions 0..n-1 in index order, then the static side last). The
+   closure must be pure and deterministic — it is re-evaluated freely,
+   including from parallel worker domains. *)
+type placement = {
+  placement_label : string;
+  placement_cost : Fpga.Resource.t array -> int;
+}
+
+let placement_demands (s : Scheme.t) =
+  Array.init (s.region_count + 1) (fun i ->
+      if i < s.region_count then Scheme.region_resources s i
+      else Scheme.static_resources s)
+
+let placement_penalty p s = p.placement_cost (placement_demands s)
+
 let equal_evaluation (a : evaluation) (b : evaluation) =
   a.total_frames = b.total_frames
   && a.worst_frames = b.worst_frames

@@ -41,6 +41,27 @@ val weighted_total : Scheme.t -> weights:float array array -> float
     Invalid_argument when the matrix does not match the configuration
     count. *)
 
+type placement = {
+  placement_label : string;  (** Target layout, for traces/diagnostics. *)
+  placement_cost : Fpga.Resource.t array -> int;
+      (** Integer placeability penalty of one demand per region. Must be
+          pure, deterministic and order-insensitive — it is evaluated
+          from search inner loops and parallel worker domains. 0 means
+          "realisable at no floorplan cost". *)
+}
+(** Placement-awareness hook threaded through {!Engine.solve} and the
+    allocation back-ends. The floorplan estimator sits above [Prcore]
+    in the library order, so the penalty arrives as a closure; this
+    module fixes only the calling convention: element [i < region_count]
+    is region [i]'s requirement, the last element is the static side. *)
+
+val placement_demands : Scheme.t -> Fpga.Resource.t array
+(** The demand array a {!placement} closure is called with: one entry
+    per region in index order, then the static requirement last. *)
+
+val placement_penalty : placement -> Scheme.t -> int
+(** [p.placement_cost (placement_demands s)]. *)
+
 val equal_evaluation : evaluation -> evaluation -> bool
 (** Bit-for-bit structural equality of two evaluations — what
     {!Engine.solve}'s [?verify] mode and the Prverify oracles use to

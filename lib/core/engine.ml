@@ -58,6 +58,7 @@ type outcome = {
   candidate_sets : int;
   escalations : int;
   cost_evaluations : int;
+  placement_penalty : int option;
   search : search_stats;
   degraded : Prguard.Budget.verdict;
 }
@@ -66,21 +67,31 @@ let is_single_region_like (s : Scheme.t) =
   s.Scheme.region_count = 1 && Scheme.static_members s = []
 
 (* Scheme ranking under the selected objective: objective value first,
-   then the paper's worst case, then area. *)
-let scheme_key ~objective scheme (e : Cost.evaluation) =
+   then the paper's worst case, then area. With a placement hook the
+   integer placeability penalty joins the objective value, so schemes
+   the floorplanner cannot realise lose the final ranking too — not
+   just the allocator-internal searches. *)
+let scheme_key ?placement ~objective scheme (e : Cost.evaluation) =
   let value =
     match objective with
     | Total_frames -> float_of_int e.Cost.total_frames
     | Weighted weights -> Cost.weighted_total scheme ~weights
   in
+  let value =
+    match placement with
+    | None -> value
+    | Some p -> value +. float_of_int (Cost.placement_penalty p scheme)
+  in
   (value, e.Cost.worst_frames, Fpga.Tile.frames_of_resources e.Cost.used)
 
-let better ~objective a b =
+let better ?placement ~objective a b =
   match (a, b) with
   | None, x | x, None -> x
   | Some (sa, ea), Some (sb, eb) ->
-    if scheme_key ~objective sa ea <= scheme_key ~objective sb eb then
-      Some (sa, ea)
+    if
+      scheme_key ?placement ~objective sa ea
+      <= scheme_key ?placement ~objective sb eb
+    then Some (sa, ea)
     else Some (sb, eb)
 
 let pair_weight_of_objective ~configs = function
@@ -118,11 +129,28 @@ type budget_solution = {
 (* Solve for a fixed budget. The single-region scheme is the universal
    fallback: the feasibility precondition guarantees it fits. *)
 let solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress ?guard
-    ?ladder ~budget design =
+    ?ladder ?placement ~budget design =
   Prtelemetry.with_span tele "engine.solve_budget"
     ~attrs:[ ("budget", Prtelemetry.Json.String (Resource.to_string budget)) ]
   @@ fun () ->
   let evals = Prtelemetry.counter tele "core.cost_evaluations" in
+  (* Count every placeability-penalty evaluation on the handle that the
+     evaluating code runs against: the shared handle sequentially, the
+     worker's private handle inside the parallel fan-out (handles are
+     not domain-safe; workers merge in input order, so the total stays
+     deterministic for any [jobs]). *)
+  let counted_placement telemetry =
+    Option.map
+      (fun (p : Cost.placement) ->
+        let c = Prtelemetry.counter telemetry "core.placement_evals" in
+        { p with
+          Cost.placement_cost =
+            (fun demands ->
+              Prtelemetry.Counter.incr c;
+              p.Cost.placement_cost demands) })
+      placement
+  in
+  let placement_tele = counted_placement tele in
   (* Every evaluation goes through the shared transposition table keyed
      by canonical content signature: re-scoring the scheme an allocator
      run already evaluated — or a scheme another candidate set converged
@@ -223,7 +251,7 @@ let solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress ?guard
          — the fully static one, filtered by the worst-case limit. *)
       let initial_candidate () =
         let initial =
-          better ~objective
+          better ?placement:placement_tele ~objective
             (admissible (Some (single, single_eval)))
             (admissible static_candidate)
         in
@@ -241,11 +269,17 @@ let solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress ?guard
          other backends optimise total frames and rely on the final
          objective-aware ranking (matching the ladder rungs). *)
       let promote_static = options.allocator.Allocator.promote_static in
+      (* [Exact] is deliberately not placement-aware inside its search
+         (branch-and-bound lower bounds would no longer be admissible
+         against a penalised objective); its returned scheme still
+         competes under the penalised final ranking like everyone
+         else. *)
       let allocate_set ~telemetry ~memo ?guard set =
+        let placement = counted_placement telemetry in
         match (strategy : Strategy.t) with
         | Strategy.Greedy ->
           Allocator.allocate ~options:options.allocator ~pair_weight
-            ~telemetry ~memo ?guard ~budget design set
+            ~telemetry ~memo ?guard ?placement ~budget design set
         | Strategy.Exact ->
           let r =
             Exact.allocate ~promote_static ~telemetry ~memo ?guard ~budget
@@ -256,14 +290,15 @@ let solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress ?guard
           let aopts =
             { Anneal.default_options with Anneal.promote_static }
           in
-          Anneal.allocate ~options:aopts ~telemetry ?guard ~budget design set
+          Anneal.allocate ~options:aopts ~telemetry ?guard ?placement ~budget
+            design set
         | Strategy.Multilevel ->
           let mopts =
             { Multilevel.default_options with
               Multilevel.promote_static }
           in
-          Multilevel.allocate ~options:mopts ~telemetry ~memo ?guard ~budget
-            design set
+          Multilevel.allocate ~options:mopts ~telemetry ~memo ?guard
+            ?placement ~budget design set
       in
       let solution ?rung ?(fell_back = false) ?reason best =
         match best with
@@ -370,7 +405,8 @@ let solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress ?guard
                   end
                   else begin
                     let merged =
-                      better ~objective best (Some (scheme, evaluation))
+                      better ?placement:placement_tele ~objective best
+                        (Some (scheme, evaluation))
                     in
                     (match merged with
                      | Some (winner, e) when winner == scheme ->
@@ -406,7 +442,10 @@ let solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress ?guard
           | Some scheme ->
             let evaluation = evaluate scheme in
             if meets_worst_limit ~options evaluation then begin
-              let merged = better ~objective !best (Some (scheme, evaluation)) in
+              let merged =
+                better ?placement:placement_tele ~objective !best
+                  (Some (scheme, evaluation))
+              in
               (match merged with
                | Some (winner, e) when winner == scheme ->
                  best_rung := Some name;
@@ -477,7 +516,8 @@ let solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress ?guard
                    each_set (fun set ->
                        offer name
                          (Anneal.allocate ~options:aopts ~telemetry:tele
-                            ~guard:rb ~budget design set))
+                            ~guard:rb ?placement:placement_tele ~budget design
+                            set))
                  | Prguard.Ladder.Multilevel ->
                    (* One V-cycle over the mode-level node set — the rung
                       ignores the candidate sets entirely (coarsening is
@@ -490,8 +530,8 @@ let solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress ?guard
                    in
                    offer name
                      (Multilevel.allocate ~options:mopts ~telemetry:tele
-                        ~memo ~guard:rb ~budget design
-                        (Lazy.force multilevel_nodes))
+                        ~memo ~guard:rb ?placement:placement_tele ~budget
+                        design (Lazy.force multilevel_nodes))
                  | Prguard.Ladder.Exact ->
                    (* The state budget derives from the rung's eval cap:
                       leaf evaluations never exceed expanded states, so
@@ -555,6 +595,7 @@ let outcome ~design ~device ~budget ~escalations bs =
     candidate_sets = bs.bs_sets;
     escalations;
     cost_evaluations = 0;
+    placement_penalty = None;
     search = no_search_stats;
     degraded =
       { Prguard.Budget.no_budget with
@@ -597,7 +638,7 @@ let progress_sample_cap = 256
 
 let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
     ?(strategy = Strategy.default) ?(jobs = 1) ?(verify = false)
-    ?budget:time_budget ?ladder ~target design =
+    ?budget:time_budget ?ladder ?placement ~target design =
   if jobs < 1 then
     Error
       (Printf.sprintf
@@ -692,13 +733,13 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
         Result.map
           (outcome ~design ~device:None ~budget ~escalations:0)
           (solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress
-             ?guard ?ladder ~budget design)
+             ?guard ?ladder ?placement ~budget design)
       | Fixed device ->
         let budget = Fpga.Device.resources device in
         Result.map
           (outcome ~design ~device:(Some device) ~budget ~escalations:0)
           (solve_budget ~options ~strategy ~tele ~jobs ~memo ~note_progress
-             ?guard ?ladder ~budget design)
+             ?guard ?ladder ?placement ~budget design)
       | Auto ->
         (* Smallest device fitting the single-region lower bound, then
            escalate while the partitioner cannot beat a single region. *)
@@ -724,7 +765,7 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
                          Prtelemetry.Json.String device.Fpga.Device.short ) ]
                    (fun () ->
                      solve_budget ~options ~strategy ~tele ~jobs ~memo
-                       ~note_progress ?guard ?ladder ~budget design)
+                       ~note_progress ?guard ?ladder ?placement ~budget design)
                with
                | Error _ -> best
                | Ok result ->
@@ -793,6 +834,10 @@ let solve ?(options = default_options) ?(telemetry = Prtelemetry.null)
           in
           { o with
             cost_evaluations = cost_evaluation_counters tele - evaluations_before;
+            placement_penalty =
+              Option.map
+                (fun p -> Cost.placement_penalty p o.scheme)
+                placement;
             search =
               { memo_hits =
                   Prtelemetry.counter_value tele "perf.cache_hits"

@@ -74,6 +74,11 @@ type outcome = {
           {!Cost.evaluate} runs plus the allocator's incremental move
           evaluations. Always populated, even when the caller passed no
           telemetry handle (the engine counts on an internal one). *)
+  placement_penalty : int option;
+      (** Integer placeability penalty of the winning scheme under the
+          caller's [?placement] hook; [None] when the solve was not
+          placement-aware. [Some 0] means the estimator proved the
+          scheme placeable with zero weighted waste. *)
   search : search_stats;
   degraded : Prguard.Budget.verdict;
       (** How the guard shaped the answer. Equal to
@@ -95,12 +100,30 @@ val solve :
   ?verify:bool ->
   ?budget:Prguard.Budget.t ->
   ?ladder:Prguard.Ladder.t ->
+  ?placement:Cost.placement ->
   target:target ->
   Prdesign.Design.t ->
   (outcome, string) result
 (** Errors are infeasibility reports (the design cannot fit the target,
     even as a single region). The returned scheme always fits the
     budget: in the worst case it is the single-region scheme.
+
+    [placement] (default: none) makes the whole solve placement-aware:
+    the hook's integer placeability penalty joins the objective inside
+    the [Greedy]/[Anneal]/[Multilevel] searches (and their ladder
+    rungs) {e and} the engine's final candidate ranking, so schemes the
+    floorplanner cannot realise lose to realisable ones of comparable
+    cost. [Exact] keeps its admissible frame-only bounds internally but
+    still competes under the penalised final ranking. The hook must be
+    pure and deterministic — it is called from parallel worker domains
+    — and is typically {!Prfloorplan}'s estimator for the target
+    device. Penalty evaluations are counted on the
+    ["core.placement_evals"] telemetry counter, and the winning
+    scheme's penalty is reported in [outcome.placement_penalty].
+    Omitted, every output is bit-identical to the placement-unaware
+    engine. Under [Auto] the caller's single hook is used unchanged for
+    every attempted device, which is rarely meaningful — resolve the
+    device first (the flow layer does).
 
     [strategy] (default {!Strategy.default}, i.e. [Greedy] — the
     historical pipeline, bit-for-bit) selects the search backend that

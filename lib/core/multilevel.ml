@@ -154,7 +154,11 @@ let epsilon ~budget ~(demand : Resource.t) =
 exception Interrupted
 
 let allocate_stats ?(options = default_options)
-    ?(telemetry = Prtelemetry.null) ?memo ?guard ~budget design partitions =
+    ?(telemetry = Prtelemetry.null) ?memo ?guard ?placement ~budget design
+    partitions =
+  (* [placement] is shadowed below by the region-assignment array; keep
+     the placement-awareness hook under its own name. *)
+  let placement_hook = placement in
   match partitions with
   | [] -> (None, no_stats)
   | _ ->
@@ -294,8 +298,10 @@ let allocate_stats ?(options = default_options)
           end)
         cnodes;
       let energy =
-        Energy.create ~budget ~static_overhead:design.Design.static_overhead
-          ~resources ~activity placement
+        Energy.create
+          ?penalty:(Option.map (fun p -> p.Cost.placement_cost) placement_hook)
+          ~budget ~static_overhead:design.Design.static_overhead ~resources
+          ~activity placement
       in
       Prtelemetry.Counter.incr cost_evaluations;
       (* Mirror of the committed placement plus a per-region occupancy
@@ -536,6 +542,8 @@ let allocate_stats ?(options = default_options)
       end
     end
 
-let allocate ?options ?telemetry ?memo ?guard ~budget design partitions =
+let allocate ?options ?telemetry ?memo ?guard ?placement ~budget design
+    partitions =
   fst
-    (allocate_stats ?options ?telemetry ?memo ?guard ~budget design partitions)
+    (allocate_stats ?options ?telemetry ?memo ?guard ?placement ~budget design
+       partitions)

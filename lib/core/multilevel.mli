@@ -71,6 +71,7 @@ val allocate :
   ?telemetry:Prtelemetry.t ->
   ?memo:Cost.evaluation Memo.t ->
   ?guard:Prguard.Budget.t ->
+  ?placement:Cost.placement ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->
@@ -79,6 +80,11 @@ val allocate :
     set (typically {!nodes}), or [None] when no feasible placement was
     reached. Deterministic — bit-identical for any [?jobs] at the
     engine level, since the backend is sequential and runs once.
+
+    [placement] (default: none) threads the placeability penalty into
+    every refinement energy (via {!Anneal.Energy}), so refinement
+    trades frames against floorplan realisability; omitted, the search
+    is bit-identical to the placement-unaware implementation.
 
     [guard] (default: none): every move trial is charged; deadline
     expiry or cancellation ({!Prguard.Budget.interrupted}, polled every
@@ -101,6 +107,7 @@ val allocate_stats :
   ?telemetry:Prtelemetry.t ->
   ?memo:Cost.evaluation Memo.t ->
   ?guard:Prguard.Budget.t ->
+  ?placement:Cost.placement ->
   budget:Fpga.Resource.t ->
   Prdesign.Design.t ->
   Cluster.Base_partition.t list ->

@@ -108,10 +108,33 @@ let montone_example =
    6700 CLBs / 60 BRAMs / 144 DSPs instead; see DESIGN.md. *)
 let case_study_budget = res 6900 ~bram:62 ~dsp:150
 
+(* A fragmentation stress shape for the placement-aware search: three
+   single-mode modules that never co-run, one huge (X), one mid-sized
+   needing a scarce BRAM column (Y), one small (W). Resource-count
+   partitioning happily merges Y and W (smallest time delta), but on
+   column-striped small fabrics the X | YW split leaves no window
+   covering YW's BRAM beside X's bulk — the floorplanner fails and the
+   post-hoc feedback loop must escalate devices. A placement-aware
+   search pays the extra frames for XY | W instead, which strip-packs
+   on the smaller device. *)
+let fragmented_filter =
+  let single name r = Pmodule.make name [ mode name r ] in
+  Design.create_exn ~name:"fragmented-filter"
+    ~modules:
+      [ single "X" (res 4000);
+        single "Y" (res 600 ~bram:1);
+        single "W" (res 400) ]
+    ~configurations:
+      [ Configuration.make "cx" [ (0, 0) ];
+        Configuration.make "cy" [ (1, 0) ];
+        Configuration.make "cw" [ (2, 0) ] ]
+    ()
+
 let all =
   [ ("running-example", running_example);
     ("video-receiver", video_receiver);
     ("video-receiver-alt", video_receiver_alt);
-    ("montone-example", montone_example) ]
+    ("montone-example", montone_example);
+    ("fragmented-filter", fragmented_filter) ]
 
 let find name = List.assoc_opt name all

@@ -23,6 +23,14 @@ val montone_example : Design.t
     configurations with no mode relations. Areas are plausible
     placeholders; the paper gives none. *)
 
+val fragmented_filter : Design.t
+(** A fragmentation stress shape for the placement-aware search: three
+    single-mode modules that never co-run — X (4000 CLBs), Y (600 CLBs
+    + 1 BRAM) and W (400 CLBs). Pure resource counting merges Y and W;
+    on small column-striped fabrics that split cannot be floorplanned
+    and the post-hoc feedback loop escalates devices, while a
+    placement-aware search lands XY | W on the smaller part. *)
+
 val case_study_budget : Fpga.Resource.t
 (** The FPGA resources the paper reserves for the PR design in the case
     study: 6800 CLBs, 50 BRAMs, 150 DSP slices. *)

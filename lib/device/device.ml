@@ -1,4 +1,4 @@
-type family = Lx | Lxt | Sxt | Fxt
+type family = Lx | Lxt | Sxt | Fxt | Artix | Kintex
 
 type t = {
   name : string;
@@ -15,6 +15,8 @@ let family_name = function
   | Lxt -> "LXT"
   | Sxt -> "SXT"
   | Fxt -> "FXT"
+  | Artix -> "Artix-7"
+  | Kintex -> "Kintex-7"
 
 let resources d =
   let per kind cols = d.rows * cols * Tile.primitives_per_tile kind in
@@ -32,8 +34,8 @@ let total_frames d =
 let pp ppf d =
   Format.fprintf ppf "%s(%a)" d.short Resource.pp (resources d)
 
-let device short family rows clb_cols bram_cols dsp_cols =
-  { name = "XC5V" ^ short; short; family; rows; clb_cols; bram_cols; dsp_cols }
+let device ?(prefix = "XC5V") short family rows clb_cols bram_cols dsp_cols =
+  { name = prefix ^ short; short; family; rows; clb_cols; bram_cols; dsp_cols }
 
 (* Capacities are tile-consistent approximations of DS100; see DESIGN.md. *)
 let lx20t = device "LX20T" Lxt 3 52 2 1
@@ -60,9 +62,35 @@ let catalogue =
   List.sort compare_capacity
     [ lx20t; lx30; fx30t; sx35t; fx50t; sx70t; fx70t; fx95t; fx130t; fx200t ]
 
+(* A 7-series-style family beside the Virtex-5 catalogue: taller fabric
+   (more configuration rows per device class) and a markedly richer
+   BRAM/DSP column mix, so the same logical demand meets a genuinely
+   different column geometry. Tile-consistent approximations in the
+   spirit of DS180/DS181 — like the Virtex-5 constants, they set
+   feasibility thresholds only. The paper's sweep ({!sweep}) and the
+   default catalogue stay Virtex-5 so every historical output is
+   unchanged; these devices are reachable by name ({!find}) and through
+   {!families}. *)
+let series7_device = device ~prefix:"XC7"
+
+let a15t = series7_device "A15T" Artix 2 40 3 2
+let a35t = series7_device "A35T" Artix 4 50 4 3
+let a50t = series7_device "A50T" Artix 4 62 5 4
+let a100t = series7_device "A100T" Artix 6 78 6 5
+let k70t = series7_device "K70T" Kintex 6 66 7 6
+let k160t = series7_device "K160T" Kintex 8 84 8 7
+let k325t = series7_device "K325T" Kintex 10 112 10 9
+
+let series7 =
+  List.sort compare_capacity [ a15t; a35t; a50t; a100t; k70t; k160t; k325t ]
+
+let families = [ ("virtex5", catalogue); ("series7", series7) ]
+
 let find key =
   let key = String.uppercase_ascii key in
-  List.find_opt (fun d -> d.short = key || d.name = key) catalogue
+  List.find_opt
+    (fun d -> d.short = key || d.name = key)
+    (catalogue @ series7)
 
 let find_exn key =
   match find key with

@@ -1,4 +1,6 @@
-(** Xilinx Virtex-5 device catalogue.
+(** Xilinx device catalogue: the paper's Virtex-5 parts plus a
+    7-series-style family ({!series7}) with a different column
+    geometry.
 
     Devices are modelled at the granularity the partitioner and floorplanner
     need: a number of configuration rows, and per-row column counts for each
@@ -8,10 +10,10 @@
     behaviour (see DESIGN.md). The paper counts "CLBs" interchangeably with
     slices, and so do we. *)
 
-type family = Lx | Lxt | Sxt | Fxt
+type family = Lx | Lxt | Sxt | Fxt | Artix | Kintex
 
 type t = private {
-  name : string;  (** e.g. ["XC5VFX70T"]. *)
+  name : string;  (** e.g. ["XC5VFX70T"] or ["XC7A35T"]. *)
   short : string;  (** e.g. ["FX70T"], as used on the paper's figure axes. *)
   family : family;
   rows : int;  (** Configuration rows; a frame spans one row. *)
@@ -31,7 +33,21 @@ val total_frames : t -> int
 (** Full-device configuration size in frames (CLB/BRAM/DSP tiles only). *)
 
 val catalogue : t list
-(** All modelled devices in ascending capacity order. *)
+(** All modelled {e Virtex-5} devices in ascending capacity order — the
+    historical catalogue, deliberately unchanged by the 7-series
+    additions so every output derived from it stays bit-identical. *)
+
+val series7 : t list
+(** The 7-series-style family (Artix/Kintex class parts, ["XC7"] name
+    prefix) in ascending capacity order: taller fabric and a richer
+    BRAM/DSP column mix than the Virtex-5 parts, so floorplan
+    feasibility genuinely differs between families for the same
+    demand. Tile-consistent approximations in the spirit of
+    DS180/DS181; not part of {!catalogue} or {!sweep}. *)
+
+val families : (string * t list) list
+(** The modelled families by name: [("virtex5", catalogue);
+    ("series7", series7)]. *)
 
 val sweep : t list
 (** The nine devices appearing on the axes of the paper's Figs. 7–8, in the
@@ -39,7 +55,8 @@ val sweep : t list
     FX200T. *)
 
 val find : string -> t option
-(** Lookup by [short] or full [name], case-insensitive. *)
+(** Lookup by [short] or full [name], case-insensitive, across every
+    family ({!catalogue} then {!series7}). *)
 
 val find_exn : string -> t
 (** @raise Not_found when the device is not in the catalogue. *)

@@ -36,6 +36,15 @@ let default_rules =
     { pattern = "refine_passes"; direction = Lower_better;
       tolerance_pct = 50. };
     { pattern = "gap_vs_anneal_pct"; direction = Lower_better;
+      tolerance_pct = 50. };
+    (* Placement-aware flow: losing an avoided escalation means the
+       aware search stopped beating the post-hoc feedback loop
+       (deterministic, so zero tolerance); penalty evaluations are the
+       estimator's share of the search cost. The aware solve latency is
+       already covered by the ms_per_run rule above. *)
+    { pattern = "escalations_avoided"; direction = Higher_better;
+      tolerance_pct = 0. };
+    { pattern = "placement_penalty_evals"; direction = Lower_better;
       tolerance_pct = 50. } ]
 
 (* Flatten a JSON document to dotted-key numeric leaves, in document

@@ -1,0 +1,63 @@
+(** Cheap deterministic placeability estimate for a set of region
+    demands on a device layout — the search-side half of the paper's
+    partitioning/floorplanning feedback loop.
+
+    A full {!Placer.place} run scans every rectangle origin and is far
+    too slow to sit inside the allocation inner loop. This estimator
+    answers in (near) linear time with two checks over column prefix
+    sums:
+
+    - {b capacity}: per-kind tile totals against the whole fabric, and
+      each demand against the widest possible full-height window —
+      violations no placement can fix;
+    - {b strip packing}: the demands, in a canonical order (decreasing
+      tile volume, then per-kind counts — independent of input order),
+      are packed left to right into minimal full-height windows. A
+      successful packing is itself a valid placement, so [Placeable] is
+      a constructive proof, never a guess; the converse does not hold —
+      schemes the strip rejects may still place, and score [Crowded].
+
+    The penalty is all-integer so the verify oracle can re-derive it
+    bit-exactly: [Placeable] schemes pay only their scarce-column waste
+    (BRAM/DSP columns covered but unused, weighted 8x like the placer's
+    own tie-break), [Crowded] adds a band constant plus 16 per
+    unpackable tile, [Infeasible] a larger band constant plus 16 per
+    deficit tile and 64 per impossible demand. Band constants dominate
+    any frame total on catalogue-sized devices, so the search prefers
+    any realisable scheme over any unrealisable one but can still rank
+    within a band. *)
+
+type t
+(** Prefix-sum tables for one {!Layout.t}; cheap to build, immutable and
+    safe to share across domains. *)
+
+val create : Layout.t -> t
+val layout : t -> Layout.t
+
+type verdict =
+  | Placeable  (** The strip packing realised every demand. *)
+  | Crowded
+      (** Capacity suffices but the strip packing could not realise
+          every demand; a full placer run may still succeed. *)
+  | Infeasible
+      (** Per-kind tile capacity or a single demand's best possible
+          window is exceeded; no placement exists. *)
+
+type result = {
+  verdict : verdict;
+  penalty : int;
+      (** 0 or small scarce-column waste when [Placeable]; banded as
+          described above otherwise. *)
+  fragmentation : float;
+      (** Fraction of the fabric's BRAM/DSP tiles covered by windows
+          that did not need them, in [0, 1] — how badly the packing
+          strands scarce columns. *)
+}
+
+val assess : t -> Fpga.Resource.t array -> result
+(** Estimate for one demand set (one resource requirement per region,
+    zero-volume entries ignored). Deterministic and order-insensitive:
+    permuting the array never changes the result. *)
+
+val penalty : t -> Fpga.Resource.t array -> int
+(** [(assess t demands).penalty]. *)

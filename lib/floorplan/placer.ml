@@ -7,6 +7,13 @@ let demand_of_resources r =
   let clb_tiles, bram_tiles, dsp_tiles = Tile.tiles_of_resources r in
   { clb_tiles; bram_tiles; dsp_tiles }
 
+(* The one canonical representation of a zero-volume demand's placement.
+   Every consumer ([pp_rect], [render_map], the verify oracle) goes
+   through [is_empty] instead of interpreting the fields ad hoc, so an
+   empty placement can never be mistaken for a claim on cell (0,0). *)
+let empty_rect = { row = 0; height = 0; col = 0; width = 0 }
+let is_empty r = r.height <= 0 || r.width <= 0
+
 type outcome = {
   placements : rect option array;
   failed : int list;
@@ -92,6 +99,47 @@ let find_spot layout occupied d =
   done;
   Option.map fst !best
 
+(* Full-height strip fallback: the greedy smallest-area search can paint
+   itself into a corner (an early region blocking every window a later
+   one needs) that a plain left-to-right strip of full-height windows
+   avoids — the constructive proof behind [Estimate]'s [Placeable]
+   verdict. Demands take minimal full-height windows from a running
+   cursor, in the estimator's canonical order (decreasing volume, then
+   per-kind counts), so whenever the estimator proves a packing exists
+   this fallback reproduces it and [place] stays at least as strong as
+   the estimate. *)
+let strip_pack layout demands =
+  let rows = Layout.rows layout and total_width = Layout.width layout in
+  let order =
+    List.sort
+      (fun i j ->
+        let key i =
+          let d = demands.(i) in
+          (volume d, d.clb_tiles, d.bram_tiles, d.dsp_tiles)
+        in
+        compare (key j) (key i))
+      (List.init (Array.length demands) Fun.id)
+  in
+  let placements = Array.make (Array.length demands) None in
+  let rec min_window ~first width d =
+    if first + width > total_width then None
+    else if satisfies layout ~height:rows ~col:first ~width d then Some width
+    else min_window ~first (width + 1) d
+  in
+  let cursor = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun i ->
+      if volume demands.(i) = 0 then placements.(i) <- Some empty_rect
+      else if !ok then
+        match min_window ~first:!cursor 1 demands.(i) with
+        | Some width ->
+          placements.(i) <- Some { row = 0; height = rows; col = !cursor; width };
+          cursor := !cursor + width
+        | None -> ok := false)
+    order;
+  if !ok then Some placements else None
+
 let place ?(telemetry = Prtelemetry.null) layout demands =
   Prtelemetry.with_span telemetry "floorplan.place"
     ~attrs:[ ("demands", Prtelemetry.Json.Int (Array.length demands)) ]
@@ -124,16 +172,13 @@ let place ?(telemetry = Prtelemetry.null) layout demands =
   let failed = ref [] in
   List.iter
     (fun i ->
-      if volume demands.(i) = 0 then
-        placements.(i) <- Some { row = 0; height = 0; col = 0; width = 0 }
+      if volume demands.(i) = 0 then placements.(i) <- Some empty_rect
       else
         match find_spot layout occupied demands.(i) with
         | None ->
-          Prtelemetry.Counter.incr failed_counter;
           trace_spot i None;
           failed := i :: !failed
         | Some rect ->
-          Prtelemetry.Counter.incr placed_counter;
           trace_spot i (Some rect);
           placements.(i) <- Some rect;
           for r = rect.row to rect.row + rect.height - 1 do
@@ -142,11 +187,34 @@ let place ?(telemetry = Prtelemetry.null) layout demands =
             done
           done)
     order;
-  let covered = ref 0 in
-  Array.iter (Array.iter (fun b -> if b then incr covered)) occupied;
-  let utilisation = float_of_int !covered /. float_of_int (rows * width) in
+  let placements, failed =
+    if !failed = [] then (placements, [])
+    else
+      match strip_pack layout demands with
+      | Some strip ->
+        Prtelemetry.incr telemetry "floorplan.strip_rescues";
+        (strip, [])
+      | None -> (placements, List.sort Int.compare !failed)
+  in
+  Array.iteri
+    (fun i rect ->
+      if volume demands.(i) > 0 then
+        if rect <> None then Prtelemetry.Counter.incr placed_counter
+        else Prtelemetry.Counter.incr failed_counter)
+    placements;
+  (* The rectangles are pairwise disjoint on both paths, so the covered
+     cell count is just the summed areas. *)
+  let covered =
+    Array.fold_left
+      (fun acc rect ->
+        match rect with
+        | Some r -> acc + (r.height * r.width)
+        | None -> acc)
+      0 placements
+  in
+  let utilisation = float_of_int covered /. float_of_int (rows * width) in
   Prtelemetry.set_gauge telemetry "floorplan.utilisation" utilisation;
-  { placements; failed = List.sort Int.compare !failed; utilisation }
+  { placements; failed; utilisation }
 
 let fits layout demands = (place layout demands).failed = []
 
@@ -160,6 +228,19 @@ let fit_on_sweep ?(within = Fpga.Device.sweep) demands =
   in
   attempt sorted
 
+(* 59 distinct glyphs ('1'-'9', 'a'-'z', then the uppercase letters
+   minus 'B' and 'D'), then a constant '+' "many regions" marker.
+   Neither the alphabet nor the fallback ever collides with the '#'
+   overlap marker or the '.'/'B'/'D' free-cell glyphs, so every map
+   character stays unambiguous however many regions are rendered. *)
+let glyph_alphabet =
+  "123456789abcdefghijklmnopqrstuvwxyzACEFGHIJKLMNOPQRSTUVWXYZ"
+
+let glyph i =
+  if i < 0 then invalid_arg "Placer.glyph"
+  else if i < String.length glyph_alphabet then glyph_alphabet.[i]
+  else '+'
+
 let render_map layout placements =
   let rows = Layout.rows layout and width = Layout.width layout in
   let grid =
@@ -170,14 +251,10 @@ let render_map layout placements =
             | Tile.Bram -> 'B'
             | Tile.Dsp -> 'D'))
   in
-  let glyph i =
-    if i < 9 then Char.chr (Char.code '1' + i)
-    else Char.chr (Char.code 'a' + ((i - 9) mod 26))
-  in
   Array.iteri
     (fun i rect ->
       match rect with
-      | Some r when r.height > 0 ->
+      | Some r when not (is_empty r) ->
         for row = r.row to r.row + r.height - 1 do
           for col = r.col to r.col + r.width - 1 do
             let current = Bytes.get grid.(row) col in
@@ -191,7 +268,9 @@ let render_map layout placements =
   String.concat "\n" (Array.to_list (Array.map Bytes.to_string grid)) ^ "\n"
 
 let pp_rect ppf r =
-  Format.fprintf ppf "rows %d-%d, cols %d-%d" r.row
-    (r.row + r.height - 1)
-    r.col
-    (r.col + r.width - 1)
+  if is_empty r then Format.fprintf ppf "empty"
+  else
+    Format.fprintf ppf "rows %d-%d, cols %d-%d" r.row
+      (r.row + r.height - 1)
+      r.col
+      (r.col + r.width - 1)

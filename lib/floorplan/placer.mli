@@ -13,9 +13,22 @@ type demand = { clb_tiles : int; bram_tiles : int; dsp_tiles : int }
 val demand_of_resources : Fpga.Resource.t -> demand
 (** Tile demand of a region with the given resource requirement. *)
 
+val volume : demand -> int
+(** Total tiles demanded, all kinds. *)
+
+val empty_rect : rect
+(** The canonical placement of a zero-volume demand: a degenerate
+    rectangle claiming no cells. All consumers must test {!is_empty}
+    rather than interpret the coordinate fields (which are all zero and
+    would otherwise read as cell (0,0)'s origin). *)
+
+val is_empty : rect -> bool
+(** The rectangle covers no cells (zero height or width). *)
+
 type outcome = {
   placements : rect option array;
-      (** One per demand, in input order; [None] only on failure. *)
+      (** One per demand, in input order; [None] only on failure.
+          Zero-volume demands place as [Some empty_rect]. *)
   failed : int list;  (** Indices of unplaceable demands. *)
   utilisation : float;  (** Fraction of device tiles covered by regions. *)
 }
@@ -24,12 +37,16 @@ val place : ?telemetry:Prtelemetry.t -> Layout.t -> demand array -> outcome
 (** Big-rocks-first first-fit: demands are placed in decreasing tile
     volume; each is given the smallest-area free rectangle (scanning
     heights from one row up, columns left to right) satisfying its tile
-    counts.
+    counts. If the greedy pass strands a demand, the whole set is
+    retried as a left-to-right strip of minimal full-height windows in
+    {!Estimate}'s canonical order — so whenever the estimator's
+    [Placeable] verdict proves a packing exists, [place] finds one.
 
     [telemetry] (default {!Prtelemetry.null}, free): a
     ["floorplan.place"] span, ["floorplan.placed"] / ["floorplan.failed"]
-    counters, a ["floorplan.utilisation"] gauge, and a
-    ["floorplan.spot"] trace event per nonempty demand (when
+    counters, a ["floorplan.strip_rescues"] counter (greedy failures
+    rescued by the strip fallback), a ["floorplan.utilisation"] gauge,
+    and a ["floorplan.spot"] trace event per nonempty demand (when
     tracing). *)
 
 val fits : Layout.t -> demand array -> bool
@@ -46,9 +63,19 @@ val fit_on_sweep :
     larger device is tried. *)
 
 val pp_rect : Format.formatter -> rect -> unit
+(** ["rows a-b, cols c-d"], or ["empty"] for an {!is_empty} rectangle. *)
+
+val glyph : int -> char
+(** Map glyph of region [i]: ['1'..'9'] for 0-8, ['a'..'z'] for 9-34,
+    then the uppercase letters minus ['B'] and ['D'] for 35-58 — 59
+    distinct glyphs — and the constant ['+'] "many regions" fallback
+    beyond. Neither alphabet nor fallback ever collides with the ['#']
+    overlap marker or the ['.']/['B']/['D'] free-cell glyphs.
+    @raise Invalid_argument on a negative index. *)
 
 val render_map : Layout.t -> rect option array -> string
 (** ASCII floorplan: one character cell per (row, column). Region [i] is
-    drawn with the digit [(i+1) mod 10] (or letters beyond 9); free CLB
-    columns print ['.'], free BRAM columns ['B'], free DSP columns ['D'].
-    Overlapping rectangles (which {!place} never produces) render ['#']. *)
+    drawn with {!glyph}[ i]; free CLB columns print ['.'], free BRAM
+    columns ['B'], free DSP columns ['D']. Overlapping rectangles (which
+    {!place} never produces) render ['#']; {!is_empty} rectangles draw
+    nothing. *)

@@ -23,6 +23,7 @@ type options = {
   strategy : Prcore.Strategy.t;
   icap : Fpga.Icap.t;
   floorplan_feedback : bool;
+  placement_aware : bool;
   telemetry : Prtelemetry.t;
   resilience : resilience option;
   jobs : int;
@@ -36,6 +37,7 @@ let default_options =
     strategy = Prcore.Strategy.default;
     icap = Fpga.Icap.default;
     floorplan_feedback = true;
+    placement_aware = false;
     telemetry = Prtelemetry.null;
     resilience = None;
     jobs = 1;
@@ -79,27 +81,63 @@ let try_place ~telemetry device scheme =
   if placement.Floorplan.Placer.failed = [] then Some (layout, placement)
   else None
 
-let trace_escalate ~telemetry ~reason device next =
+(* The single escalation choke point: every floorplan-driven device
+   escalation — whichever target route takes it — goes through here, so
+   the ["flow.floorplan_escalations"] counter and the
+   [floorplan_escalations] report field are incremented in lockstep and
+   can never drift. Returns the updated count; callers must thread it. *)
+let escalate ~telemetry ~reason ~escalations device next =
   Prtelemetry.incr telemetry "flow.floorplan_escalations";
   if Prtelemetry.tracing telemetry then
     Prtelemetry.point telemetry "flow.escalate"
       ~attrs:
         [ ("reason", Prtelemetry.Json.String reason);
           ("from", Prtelemetry.Json.String device.Fpga.Device.short);
-          ("to", Prtelemetry.Json.String next.Fpga.Device.short) ]
+          ("to", Prtelemetry.Json.String next.Fpga.Device.short) ];
+  escalations + 1
+
+(* Placement-awareness hook for one concrete device: the floorplan
+   estimator's integer penalty over that device's column layout, in the
+   {!Prcore.Cost.placement} calling convention. *)
+let placement_hook device =
+  let estimate = Floorplan.Estimate.create (Floorplan.Layout.make device) in
+  { Prcore.Cost.placement_label = device.Fpga.Device.short;
+    placement_cost = Floorplan.Estimate.penalty estimate }
+
+(* Which device the placement hook should model for a given target:
+   [Fixed] names it; a [Budget] is approximated by the smallest device
+   fitting it (the same choice [device_for_budget] will make for a
+   budget-saturating scheme); [Auto]'s device is unknown before the
+   solve, so the first attempt runs unaware and every feedback
+   re-partition (which comes back as [Fixed]) is aware. *)
+let placement_for ~(options : options) target =
+  if not options.placement_aware then None
+  else
+    match (target : Engine.target) with
+    | Engine.Fixed device -> Some (placement_hook device)
+    | Engine.Budget budget ->
+      Option.map placement_hook (Fpga.Device.smallest_fitting budget)
+    | Engine.Auto -> None
 
 (* Partition, then floorplan with the feedback loop: on placement failure
    pick the next larger device and (for device-driven targets) re-run the
    partitioner against it. *)
 let rec implement ~(options : options) ?guard ~target ~escalations design =
   let telemetry = options.telemetry in
+  let placement = placement_for ~options target in
   match
     Engine.solve ~options:options.engine ~telemetry
       ~strategy:options.strategy ~jobs:options.jobs ~verify:options.verify
-      ?budget:guard ?ladder:options.ladder ~target design
+      ?budget:guard ?ladder:options.ladder ?placement ~target design
   with
   | Error message -> Error message
   | Ok outcome ->
+    (match outcome.Engine.placement_penalty with
+     | Some penalty ->
+       Prtelemetry.incr telemetry "flow.placement_aware_runs";
+       Prtelemetry.set_gauge telemetry "flow.placement_penalty"
+         (float_of_int penalty)
+     | None -> ());
     let device_result =
       match outcome.Engine.device with
       | Some device -> Ok device
@@ -130,18 +168,21 @@ let rec implement ~(options : options) ?guard ~target ~escalations design =
               (match target with
                | Engine.Budget _ ->
                  (* The budget stays authoritative: keep the scheme, just
-                    look for a device whose fabric can host it. *)
-                 trace_escalate ~telemetry ~reason:"floorplan" device next;
-                 let rec escalate_device device escalations =
-                   match try_place ~telemetry device outcome.Engine.scheme with
+                    look for a device whose fabric can host it. Each step
+                    counts through [escalate] before the placement
+                    attempt, so the returned count and the telemetry
+                    counter advance together. *)
+                 let rec escalate_device device next escalations =
+                   let escalations =
+                     escalate ~telemetry ~reason:"floorplan" ~escalations
+                       device next
+                   in
+                   match try_place ~telemetry next outcome.Engine.scheme with
                    | Some (layout, placement) ->
-                     Ok (outcome, device, layout, placement, escalations)
+                     Ok (outcome, next, layout, placement, escalations)
                    | None ->
-                     (match Fpga.Device.next_larger device with
-                      | Some next ->
-                        trace_escalate ~telemetry ~reason:"floorplan" device
-                          next;
-                        escalate_device next (escalations + 1)
+                     (match Fpga.Device.next_larger next with
+                      | Some larger -> escalate_device next larger escalations
                       | None ->
                         Error
                           (Printf.sprintf
@@ -149,11 +190,14 @@ let rec implement ~(options : options) ?guard ~target ~escalations design =
                               catalogued device"
                              design.Design.name))
                  in
-                 escalate_device next (escalations + 1)
+                 escalate_device device next escalations
                | Engine.Fixed _ | Engine.Auto ->
-                 trace_escalate ~telemetry ~reason:"repartition" device next;
+                 let escalations =
+                   escalate ~telemetry ~reason:"repartition" ~escalations
+                     device next
+                 in
                  implement ~options ?guard ~target:(Engine.Fixed next)
-                   ~escalations:(escalations + 1) design)
+                   ~escalations design)
           end))
 
 let run ?(options = default_options) ~target design =

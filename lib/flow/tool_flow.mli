@@ -36,6 +36,20 @@ type options = {
   floorplan_feedback : bool;
       (** Escalate and re-partition when placement fails (default
           [true]). With [false] a placement failure is an error. *)
+  placement_aware : bool;
+      (** Feed floorplan feasibility into the partition search itself
+          (default [false], bit-identical to the placement-unaware
+          flow): the target device's column layout is handed to the
+          engine as a {!Prcore.Cost.placement} penalty hook built on
+          {!Floorplan.Estimate}, so the search avoids schemes the
+          floorplanner cannot realise {e before} the post-hoc feedback
+          loop has to escalate devices. [Fixed] targets use the named
+          device; a [Budget] uses the smallest catalogued device
+          fitting it; [Auto]'s first attempt runs unaware (its device
+          is unknown) and every feedback re-partition is aware. Counted
+          under ["flow.placement_aware_runs"], with the winning
+          scheme's penalty in the ["flow.placement_penalty"] gauge and
+          [outcome.placement_penalty]. *)
   telemetry : Prtelemetry.t;
       (** Telemetry handle threaded through every stage (default
           {!Prtelemetry.null}, free). A live handle collects a
@@ -74,6 +88,13 @@ type options = {
 }
 
 val default_options : options
+
+val placement_hook : Fpga.Device.t -> Prcore.Cost.placement
+(** The {!Floorplan.Estimate} placeability penalty over [device]'s
+    column layout, packaged in the engine's {!Prcore.Cost.placement}
+    convention — what the flow installs when [placement_aware] is set,
+    exposed so the CLI's [partition] command (and tests) can build the
+    same hook for a resolved target device. *)
 
 type report = {
   design : Prdesign.Design.t;

@@ -22,6 +22,17 @@ let outcome_oracles (outcome : Engine.outcome) =
     Oracle.check_cost outcome.Engine.scheme outcome.Engine.evaluation;
     Oracle.check_budget outcome.Engine.scheme ~budget:outcome.Engine.budget;
     Oracle.check_transitions outcome.Engine.scheme ]
+  (* Placement-aware solves report the winning scheme's penalty; when
+     the target device is known its layout is reproducible, so the
+     oracle re-derives the penalty independently. Budget targets leave
+     [device = None] (the hook modelled the smallest fitting device,
+     which the outcome does not record) and are skipped. *)
+  @
+  match (outcome.Engine.placement_penalty, outcome.Engine.device) with
+  | Some reported, Some device ->
+    [ Oracle.check_placement_penalty outcome.Engine.scheme
+        ~layout:(Floorplan.Layout.make device) ~reported ]
+  | _ -> []
 
 let check_outcome ?(telemetry = Prtelemetry.null) outcome =
   Prtelemetry.with_span telemetry "verify.check"

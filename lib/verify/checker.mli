@@ -16,7 +16,10 @@ val check_outcome :
 (** Everything derivable from a solve alone: design well-formedness,
     covering/conflict-freedom of the winning scheme, from-scratch cost
     re-derivation against the reported evaluation, budget satisfaction,
-    and transition-matrix cross-checks (no repository yet). *)
+    and transition-matrix cross-checks (no repository yet). A
+    placement-aware solve on a known device additionally gets its
+    reported placement penalty re-derived independently
+    ({!Oracle.check_placement_penalty}). *)
 
 val check_implementation :
   ?telemetry:Prtelemetry.t ->

@@ -481,7 +481,20 @@ let check_floorplan ~layout ~demands placements =
              demands.(i).Floorplan.Placer.bram_tiles
              demands.(i).Floorplan.Placer.dsp_tiles)
     | Some (rect : Floorplan.Placer.rect) ->
-      if demand_volume demands.(i) = 0 then ()
+      if demand_volume demands.(i) = 0 then begin
+        (* A zero-volume demand must carry the degenerate empty rect:
+           a real rectangle would consume fabric (and participate in
+           overlap checks) for nothing. *)
+        if rect.Floorplan.Placer.height > 0 && rect.Floorplan.Placer.width > 0
+        then
+          emit
+            (D.error ~code:"V-FLP-005" ~stage:stage_floorplan
+               "%s demands no tiles but was placed on a non-empty \
+                rectangle (%a)"
+               (label i)
+               (fun () r -> Format.asprintf "%a" Floorplan.Placer.pp_rect r)
+               rect)
+      end
       else if
         rect.Floorplan.Placer.row < 0 || rect.Floorplan.Placer.col < 0
         || rect.Floorplan.Placer.height <= 0
@@ -536,6 +549,94 @@ let check_floorplan ~layout ~demands placements =
     done
   done;
   List.rev !out
+
+(* Independent re-derivation of {!Floorplan.Estimate}'s integer
+   placeability penalty, from the layout and the scheme's re-derived
+   demands alone: canonical order (decreasing volume, then per-kind
+   counts), per-kind capacity deficits, per-demand possibility on the
+   empty fabric, and the left-to-right full-height strip packing with
+   8x-weighted BRAM/DSP waste. Deliberately written against direct
+   [Layout] column scans — no prefix sums, no shared code with the
+   estimator — so any drift in either implementation surfaces as a
+   V-FLP-006 mismatch. *)
+let derive_placement_penalty ~layout (s : Scheme.t) =
+  let rows = Floorplan.Layout.rows layout in
+  let fabric_width = Floorplan.Layout.width layout in
+  let count kind ~first ~w =
+    Floorplan.Layout.count_in_window layout ~first ~width:w kind
+  in
+  let ds =
+    derive_demands s |> Array.to_list
+    |> List.filter (fun d -> demand_volume d > 0)
+    |> List.sort (fun (a : Floorplan.Placer.demand) b ->
+           compare
+             ( demand_volume b,
+               b.Floorplan.Placer.clb_tiles,
+               b.Floorplan.Placer.bram_tiles,
+               b.Floorplan.Placer.dsp_tiles )
+             ( demand_volume a,
+               a.Floorplan.Placer.clb_tiles,
+               a.Floorplan.Placer.bram_tiles,
+               a.Floorplan.Placer.dsp_tiles ))
+  in
+  let capacity kind = rows * count kind ~first:0 ~w:fabric_width in
+  let cols_needed tiles = (tiles + rows - 1) / rows in
+  let min_window ~first (d : Floorplan.Placer.demand) =
+    let nc = cols_needed d.Floorplan.Placer.clb_tiles
+    and nb = cols_needed d.Floorplan.Placer.bram_tiles
+    and nd = cols_needed d.Floorplan.Placer.dsp_tiles in
+    let satisfies w =
+      count Tile.Clb ~first ~w >= nc
+      && count Tile.Bram ~first ~w >= nb
+      && count Tile.Dsp ~first ~w >= nd
+    in
+    let rec go w =
+      if first + w > fabric_width then None
+      else if satisfies w then Some w
+      else go (w + 1)
+    in
+    go (max 1 (nc + nb + nd))
+  in
+  let need sel = List.fold_left (fun acc d -> acc + sel d) 0 ds in
+  let deficit kind sel = max 0 (need sel - capacity kind) in
+  let deficit_tiles =
+    deficit Tile.Clb (fun (d : Floorplan.Placer.demand) ->
+        d.Floorplan.Placer.clb_tiles)
+    + deficit Tile.Bram (fun d -> d.Floorplan.Placer.bram_tiles)
+    + deficit Tile.Dsp (fun d -> d.Floorplan.Placer.dsp_tiles)
+  in
+  let impossible =
+    List.length (List.filter (fun d -> min_window ~first:0 d = None) ds)
+  in
+  let cursor = ref 0 in
+  let waste = ref 0 in
+  let overflow_tiles = ref 0 in
+  List.iter
+    (fun (d : Floorplan.Placer.demand) ->
+      match min_window ~first:!cursor d with
+      | Some w ->
+        let covered kind = rows * count kind ~first:!cursor ~w in
+        waste :=
+          !waste
+          + (covered Tile.Clb - d.Floorplan.Placer.clb_tiles)
+          + (8 * (covered Tile.Bram - d.Floorplan.Placer.bram_tiles))
+          + (8 * (covered Tile.Dsp - d.Floorplan.Placer.dsp_tiles));
+        cursor := !cursor + w
+      | None -> overflow_tiles := !overflow_tiles + demand_volume d)
+    ds;
+  if deficit_tiles > 0 || impossible > 0 then
+    (1 lsl 26) + (16 * deficit_tiles) + (64 * impossible)
+  else if !overflow_tiles > 0 then (1 lsl 22) + (16 * !overflow_tiles) + !waste
+  else !waste
+
+let check_placement_penalty (s : Scheme.t) ~layout ~reported =
+  let derived = derive_placement_penalty ~layout s in
+  if derived = reported then []
+  else
+    [ D.error ~code:"V-FLP-006" ~stage:stage_floorplan
+        "reported placement penalty %d does not match the independent \
+         re-derivation %d"
+        reported derived ]
 
 let check_placement (s : Scheme.t) ~layout
     (outcome : Floorplan.Placer.outcome) =

@@ -89,7 +89,8 @@ val check_floorplan :
 (** [V-FLP-001] two placements overlap; [V-FLP-002] a placement exceeds
     the fabric bounds; [V-FLP-003] a placement's window covers fewer
     tiles of some kind than its demand; [V-FLP-004] a non-empty demand
-    left unplaced. *)
+    left unplaced; [V-FLP-005] a zero-volume demand carries a non-empty
+    rectangle (it must get {!Floorplan.Placer.empty_rect}). *)
 
 val check_placement :
   Prcore.Scheme.t ->
@@ -98,6 +99,22 @@ val check_placement :
   Diagnostic.t list
 (** {!check_floorplan} over {!derive_demands}, plus [V-FLP-004] for
     every index the placer itself reported as failed. *)
+
+val derive_placement_penalty :
+  layout:Floorplan.Layout.t -> Prcore.Scheme.t -> int
+(** Independent re-derivation of {!Floorplan.Estimate}'s integer
+    placeability penalty for the scheme's re-derived demands on
+    [layout] — direct column scans, no code shared with the
+    estimator. *)
+
+val check_placement_penalty :
+  Prcore.Scheme.t ->
+  layout:Floorplan.Layout.t ->
+  reported:int ->
+  Diagnostic.t list
+(** [V-FLP-006] the placement penalty a placement-aware solve reported
+    ({!Prcore.Engine.outcome}[.placement_penalty]) does not equal
+    {!derive_placement_penalty}'s value. *)
 
 (** {1 Bitstream repository} ([V-BIT-00x], stage ["bitstream"]) *)
 

@@ -286,6 +286,274 @@ let spot_oracle_tests =
           Alcotest.(check int) "no bram columns" 0 (covered Tile.Bram);
           Alcotest.(check int) "no dsp columns" 0 (covered Tile.Dsp)) ]
 
+(* ------------------------------------------------------------------ *)
+(* Map glyphs: regression for the aliasing beyond 35 regions, and the
+   empty-rect normalisation of zero-volume demands. *)
+
+let map_tests =
+  [ Alcotest.test_case "glyphs are distinct below the fallback" `Quick
+      (fun () ->
+        let glyphs = List.init 59 Placer.glyph in
+        let distinct = List.sort_uniq Char.compare glyphs in
+        Alcotest.(check int) "59 distinct glyphs" 59 (List.length distinct);
+        List.iteri
+          (fun i g ->
+            Alcotest.(check bool)
+              (Printf.sprintf "glyph %d avoids map markers" i)
+              false
+              (List.mem g [ '#'; '.'; 'B'; 'D'; '+' ]))
+          glyphs;
+        Alcotest.(check char) "fallback" '+' (Placer.glyph 59);
+        Alcotest.(check char) "fallback is constant" '+' (Placer.glyph 4096);
+        match Placer.glyph (-1) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "40-region map stays unambiguous" `Quick (fun () ->
+        (* Regression: beyond 35 regions the old alphabet ran out and
+           aliased region glyphs with the '#' overlap marker. *)
+        let layout = layout_of "FX130T" in
+        let demands = Array.init 40 (fun _ -> demand 1 0 0) in
+        let outcome = Placer.place layout demands in
+        Alcotest.(check (list int)) "all placed" [] outcome.failed;
+        let map = Placer.render_map layout outcome.placements in
+        Alcotest.(check bool) "no overlap marker" false
+          (String.contains map '#');
+        Array.iteri
+          (fun i rect ->
+            match rect with
+            | Some (r : Placer.rect) when not (Placer.is_empty r) ->
+              let g = Placer.glyph i in
+              Alcotest.(check bool)
+                (Printf.sprintf "glyph %c of region %d is on the map" g i)
+                true (String.contains map g)
+            | Some _ | None -> ())
+          outcome.placements);
+    Alcotest.test_case "many-region fallback never collides" `Quick
+      (fun () ->
+        let layout = layout_of "FX200T" in
+        let demands = Array.init 62 (fun _ -> demand 1 0 0) in
+        let outcome = Placer.place layout demands in
+        Alcotest.(check (list int)) "all placed" [] outcome.failed;
+        let map = Placer.render_map layout outcome.placements in
+        Alcotest.(check bool) "fallback rendered" true
+          (String.contains map '+');
+        Alcotest.(check bool) "no overlap marker" false
+          (String.contains map '#'));
+    Alcotest.test_case "zero demand normalises to the empty rect" `Quick
+      (fun () ->
+        let layout = layout_of "LX20T" in
+        let demands = [| demand 0 0 0; demand 100 0 0 |] in
+        let outcome = Placer.place layout demands in
+        Alcotest.(check (list int)) "no failures" [] outcome.failed;
+        (match outcome.placements.(0) with
+         | Some r ->
+           Alcotest.(check bool) "is_empty" true (Placer.is_empty r);
+           Alcotest.(check bool) "the canonical empty rect" true
+             (r = Placer.empty_rect);
+           Alcotest.(check string) "pp_rect" "empty"
+             (Format.asprintf "%a" Placer.pp_rect r)
+         | None -> Alcotest.fail "zero demand should trivially place");
+        (* The empty region paints no cells: its glyph never appears. *)
+        let map = Placer.render_map layout outcome.placements in
+        Alcotest.(check bool) "glyph absent" false
+          (String.contains map (Placer.glyph 0));
+        Alcotest.(check bool) "real region present" true
+          (String.contains map (Placer.glyph 1)));
+    Alcotest.test_case "oracle: zero demand with a real rect is V-FLP-005"
+      `Quick (fun () ->
+        let layout = layout_of "LX20T" in
+        let demands = [| demand 0 0 0; demand 100 0 0 |] in
+        let outcome = Placer.place layout demands in
+        let clean =
+          Prverify.Oracle.check_floorplan ~layout ~demands outcome.placements
+        in
+        Alcotest.(check bool) "normalised placement is clean" true
+          (Prverify.Diagnostic.ok clean);
+        (* Hand the zero-volume demand a real rectangle: the oracle must
+           reject it even though it covers its (empty) demand. *)
+        let tampered = Array.copy outcome.placements in
+        tampered.(0) <- Some { Placer.row = 0; height = 1; col = 0; width = 1 };
+        let diags =
+          Prverify.Oracle.check_floorplan ~layout ~demands tampered
+        in
+        Alcotest.(check bool) "V-FLP-005 raised" true
+          (List.exists
+             (fun (d : Prverify.Diagnostic.t) ->
+               d.Prverify.Diagnostic.code = "V-FLP-005")
+             (Prverify.Diagnostic.errors diags))) ]
+
+(* ------------------------------------------------------------------ *)
+(* The placeability estimator. *)
+
+module Estimate = Floorplan.Estimate
+
+let est_res ?bram ?dsp clb = Resource.make ?bram ?dsp clb
+
+let estimate_tests =
+  [ Alcotest.test_case "small demand is placeable with bounded waste"
+      `Quick (fun () ->
+        let est = Estimate.create (layout_of "LX30") in
+        let r = Estimate.assess est [| est_res 100 |] in
+        Alcotest.(check bool) "placeable" true
+          (r.Estimate.verdict = Estimate.Placeable);
+        Alcotest.(check bool) "waste-band penalty" true
+          (r.Estimate.penalty >= 0 && r.Estimate.penalty < 1 lsl 22));
+    Alcotest.test_case "capacity deficit is infeasible" `Quick (fun () ->
+        let est = Estimate.create (layout_of "LX20T") in
+        let r = Estimate.assess est [| est_res 100_000 |] in
+        Alcotest.(check bool) "infeasible" true
+          (r.Estimate.verdict = Estimate.Infeasible);
+        Alcotest.(check bool) "infeasible band" true
+          (r.Estimate.penalty >= 1 lsl 26));
+    Alcotest.test_case "scarce fragmentation is crowded" `Quick (fun () ->
+        (* LX30 has two BRAM columns: three demands each needing their
+           own BRAM column cannot strip-pack, though each fits alone and
+           total capacity suffices. *)
+        let est = Estimate.create (layout_of "LX30") in
+        let d = est_res 20 ~bram:1 in
+        let r = Estimate.assess est [| d; d; d |] in
+        Alcotest.(check bool) "crowded" true
+          (r.Estimate.verdict = Estimate.Crowded);
+        Alcotest.(check bool) "crowded band" true
+          (r.Estimate.penalty >= 1 lsl 22 && r.Estimate.penalty < 1 lsl 26);
+        Alcotest.(check bool) "fragmentation reported" true
+          (r.Estimate.fragmentation > 0.));
+    Alcotest.test_case "penalty is order-insensitive" `Quick (fun () ->
+        let est = Estimate.create (layout_of "SX35T") in
+        let a = est_res 400 ~bram:2
+        and b = est_res 90 ~dsp:8
+        and c = est_res 1200 in
+        Alcotest.(check int) "permutation"
+          (Estimate.penalty est [| a; b; c |])
+          (Estimate.penalty est [| c; a; b |]));
+    Alcotest.test_case "zero demands are ignored" `Quick (fun () ->
+        let est = Estimate.create (layout_of "SX35T") in
+        let a = est_res 400 ~bram:2 in
+        Alcotest.(check int) "padding with zeros"
+          (Estimate.penalty est [| a |])
+          (Estimate.penalty est [| Resource.zero; a; Resource.zero |])) ]
+
+(* The verify oracle re-derives the estimator's penalty with direct
+   column scans (no shared code): both must agree bit-exactly on every
+   library design, and a tampered report must raise V-FLP-006. *)
+let oracle_penalty_tests =
+  [ Alcotest.test_case "oracle re-derivation matches the estimator" `Quick
+      (fun () ->
+        List.iter
+          (fun (dname, design) ->
+            let scheme = Prcore.Scheme.one_module_per_region design in
+            List.iter
+              (fun device ->
+                let layout = layout_of device in
+                let expected =
+                  Floorplan.Estimate.penalty
+                    (Floorplan.Estimate.create layout)
+                    (Prcore.Cost.placement_demands scheme)
+                in
+                Alcotest.(check int)
+                  (Printf.sprintf "%s on %s" dname device)
+                  expected
+                  (Prverify.Oracle.derive_placement_penalty ~layout scheme))
+              [ "LX30"; "SX35T"; "FX70T" ])
+          Prdesign.Design_library.all);
+    Alcotest.test_case "correct report passes, tampered is V-FLP-006"
+      `Quick (fun () ->
+        let scheme =
+          Prcore.Scheme.one_module_per_region
+            Prdesign.Design_library.fragmented_filter
+        in
+        let layout = layout_of "LX30" in
+        let good = Prverify.Oracle.derive_placement_penalty ~layout scheme in
+        Alcotest.(check bool) "clean" true
+          (Prverify.Diagnostic.ok
+             (Prverify.Oracle.check_placement_penalty scheme ~layout
+                ~reported:good));
+        let diags =
+          Prverify.Oracle.check_placement_penalty scheme ~layout
+            ~reported:(good + 1)
+        in
+        Alcotest.(check bool) "V-FLP-006" true
+          (Prverify.Diagnostic.has_code "V-FLP-006" diags)) ]
+
+(* Differential one-sided soundness: whenever the estimator calls a
+   demand set [Placeable], the real placer must succeed on it. (The
+   converse may fail: [Crowded] sets can still place.) *)
+let prop_estimator_sound =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (oneofl [ "LX20T"; "LX30"; "SX35T"; "FX70T" ])
+        (list_size (1 -- 5) (triple (0 -- 2000) (0 -- 20) (0 -- 30))))
+  in
+  QCheck2.Test.make
+    ~name:"estimator Placeable implies the placer succeeds" ~count:120 gen
+    (fun (device, specs) ->
+      let layout = layout_of device in
+      let est = Estimate.create layout in
+      let resources =
+        Array.of_list
+          (List.map (fun (c, b, d) -> Resource.make ~bram:b ~dsp:d c) specs)
+      in
+      let r = Estimate.assess est resources in
+      if r.Estimate.verdict <> Estimate.Placeable then true
+      else begin
+        let demands = Array.map Placer.demand_of_resources resources in
+        let outcome = Placer.place layout demands in
+        outcome.Placer.failed = []
+      end)
+
+(* Utilisation is exactly the covered cell fraction: the placements are
+   pairwise disjoint, so it must equal the summed rectangle areas over
+   the fabric area. *)
+let prop_utilisation_exact =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (oneofl [ "LX20T"; "LX30"; "SX35T" ])
+        (list_size (1 -- 5) (triple (0 -- 1500) (0 -- 12) (0 -- 16))))
+  in
+  QCheck2.Test.make ~name:"utilisation equals the covered cell fraction"
+    ~count:80 gen (fun (device, specs) ->
+      let layout = layout_of device in
+      let demands =
+        Array.of_list (List.map (fun (c, b, d) -> demand c b d) specs)
+      in
+      let outcome = Placer.place layout demands in
+      let covered =
+        Array.fold_left
+          (fun acc rect ->
+            match rect with
+            | Some (r : Placer.rect) when not (Placer.is_empty r) ->
+              acc + (r.height * r.width)
+            | Some _ | None -> acc)
+          0 outcome.placements
+      in
+      let cells = Layout.rows layout * Layout.width layout in
+      outcome.utilisation = float_of_int covered /. float_of_int cells)
+
+(* fit_on_sweep picks the capacity-smallest workable device: everything
+   strictly smaller in the sweep must fail to place the demands. *)
+let prop_fit_on_sweep_smallest =
+  let gen =
+    QCheck2.Gen.(list_size (1 -- 4) (triple (0 -- 3000) (0 -- 16) (0 -- 24)))
+  in
+  QCheck2.Test.make
+    ~name:"fit_on_sweep returns the capacity-smallest fitting device"
+    ~count:30 gen (fun specs ->
+      let demands =
+        Array.of_list (List.map (fun (c, b, d) -> demand c b d) specs)
+      in
+      match Placer.fit_on_sweep demands with
+      | None -> true
+      | Some (device, outcome) ->
+        outcome.Placer.failed = []
+        && List.for_all
+             (fun d ->
+               if Device.compare_capacity d device < 0 then
+                 (Placer.place (Layout.make d) demands).Placer.failed <> []
+               else true)
+             Device.sweep)
+
 (* Property: on an empty layout the placer matches the brute-force
    (waste, area) optimum for any single demand. *)
 let prop_spot_optimal =
@@ -321,7 +589,14 @@ let () =
   Alcotest.run "floorplan"
     [ ("layout", layout_tests);
       ("placer", placer_tests);
+      ("map", map_tests);
+      ("estimate", estimate_tests);
+      ("oracle-penalty", oracle_penalty_tests);
       ("spot-oracle", spot_oracle_tests);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
-         [ prop_spot_optimal; prop_placements_valid ]) ]
+         [ prop_spot_optimal;
+           prop_placements_valid;
+           prop_estimator_sound;
+           prop_utilisation_exact;
+           prop_fit_on_sweep_smallest ]) ]

@@ -202,4 +202,110 @@ let flow_tests =
                 Alcotest.(check bool) "trace.jsonl" true (wrote "trace.jsonl")))
   ]
 
-let () = Alcotest.run "flow" [ ("tool-flow", flow_tests) ]
+(* ------------------------------------------------------------------ *)
+(* Device escalation: the report field and the telemetry counter must
+   come from the same choke point, for every target kind. (They used to
+   be maintained separately and could drift.) *)
+
+let escalations_with ~target () =
+  let telemetry = Prtelemetry.create (Prtelemetry.Sink.memory ()) in
+  let options = { Tool_flow.default_options with telemetry } in
+  match Tool_flow.run ~options ~target Design_library.fragmented_filter with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    (r.Tool_flow.floorplan_escalations,
+     Prtelemetry.counter_value telemetry "flow.floorplan_escalations")
+
+let parity_case name target ~expect_some =
+  Alcotest.test_case name `Quick (fun () ->
+      let reported, counted = escalations_with ~target () in
+      Alcotest.(check int) "report equals counter" counted reported;
+      if expect_some then
+        Alcotest.(check bool) "escalated at least once" true (reported > 0))
+
+let escalation_tests =
+  let lx30 = Fpga.Device.find_exn "LX30" in
+  [ parity_case "fixed target: report matches telemetry"
+      (Engine.Fixed lx30) ~expect_some:true;
+    parity_case "budget target: report matches telemetry"
+      (Engine.Budget (Fpga.Device.resources lx30)) ~expect_some:true;
+    parity_case "auto target: report matches telemetry" Engine.Auto
+      ~expect_some:false ]
+
+(* ------------------------------------------------------------------ *)
+(* Placement-aware search: on the fragmentation stress design the aware
+   flow lands on the device the unaware flow escalates away from, the
+   result is oracle-clean and bit-identical across worker counts. *)
+
+let aware_report ~jobs () =
+  let lx30 = Fpga.Device.find_exn "LX30" in
+  let telemetry = Prtelemetry.create (Prtelemetry.Sink.memory ()) in
+  let options =
+    { Tool_flow.default_options with
+      placement_aware = true;
+      verify = true;
+      telemetry;
+      jobs }
+  in
+  match
+    Tool_flow.run ~options ~target:(Engine.Fixed lx30)
+      Design_library.fragmented_filter
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r -> r
+
+let placement_aware_tests =
+  [ Alcotest.test_case "aware flow avoids the escalation" `Quick (fun () ->
+        let unaware, _ =
+          escalations_with ~target:(Engine.Fixed (Fpga.Device.find_exn "LX30")) ()
+        in
+        Alcotest.(check bool) "unaware escalates" true (unaware > 0);
+        let r = aware_report ~jobs:1 () in
+        Alcotest.(check string) "stays on the fixed device" "XC5VLX30"
+          r.Tool_flow.device.Fpga.Device.name;
+        Alcotest.(check int) "no escalations" 0 r.Tool_flow.floorplan_escalations;
+        Alcotest.(check (list int)) "fully placed" []
+          r.Tool_flow.placement.Floorplan.Placer.failed;
+        (match r.Tool_flow.diagnostics with
+         | Some diags ->
+           Alcotest.(check bool) "oracle-clean" true
+             (Prverify.Diagnostic.ok diags)
+         | None -> Alcotest.fail "verify was requested");
+        (match r.Tool_flow.outcome.Engine.placement_penalty with
+         | Some p -> Alcotest.(check bool) "penalty below crowded band" true
+                       (p >= 0 && p < 1 lsl 22)
+         | None -> Alcotest.fail "aware outcome must report a penalty");
+        Alcotest.(check bool) "aware runs counted" true
+          (Prtelemetry.counter_value r.Tool_flow.telemetry
+             "flow.placement_aware_runs"
+           > 0);
+        Alcotest.(check bool) "penalty evaluations counted" true
+          (Prtelemetry.counter_value r.Tool_flow.telemetry
+             "core.placement_evals"
+           > 0));
+    Alcotest.test_case "aware flow is identical across jobs" `Quick
+      (fun () ->
+        let runs = List.map (fun jobs -> aware_report ~jobs ()) [ 1; 2; 4 ] in
+        match runs with
+        | base :: rest ->
+          let describe (r : Tool_flow.report) =
+            (Scheme.describe r.outcome.Engine.scheme,
+             r.outcome.Engine.evaluation.Prcore.Cost.total_frames,
+             r.outcome.Engine.placement_penalty,
+             r.device.Fpga.Device.name,
+             r.floorplan_escalations)
+          in
+          List.iteri
+            (fun i r ->
+              Alcotest.(check bool)
+                (Printf.sprintf "jobs run %d matches" (i + 2))
+                true
+                (describe r = describe base))
+            rest
+        | [] -> assert false) ]
+
+let () =
+  Alcotest.run "flow"
+    [ ("tool-flow", flow_tests);
+      ("escalation-parity", escalation_tests);
+      ("placement-aware", placement_aware_tests) ]

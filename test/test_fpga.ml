@@ -162,6 +162,67 @@ let device_tests =
         Alcotest.(check int) "tiles" (4 * (60 + 2 + 1)) (Device.total_tiles d))
   ]
 
+let family_tests =
+  [ Alcotest.test_case "families expose both catalogues" `Quick (fun () ->
+        Alcotest.(check (list string)) "names" [ "virtex5"; "series7" ]
+          (List.map fst Device.families);
+        Alcotest.(check bool) "virtex5 is the catalogue" true
+          (List.assoc "virtex5" Device.families == Device.catalogue);
+        Alcotest.(check bool) "series7 is the 7-series list" true
+          (List.assoc "series7" Device.families == Device.series7));
+    Alcotest.test_case "series7 is sorted and disjoint from virtex5" `Quick
+      (fun () ->
+        let rec ascending = function
+          | a :: (b :: _ as rest) ->
+            Device.compare_capacity a b < 0 && ascending rest
+          | [ _ ] | [] -> true
+        in
+        Alcotest.(check bool) "ascending" true (ascending Device.series7);
+        List.iter
+          (fun (d : Device.t) ->
+            Alcotest.(check bool) (d.short ^ " prefixed XC7") true
+              (String.length d.name > 3 && String.sub d.name 0 3 = "XC7");
+            Alcotest.(check bool) (d.short ^ " not in catalogue") false
+              (List.exists
+                 (fun (c : Device.t) -> c.name = d.name)
+                 Device.catalogue))
+          Device.series7);
+    Alcotest.test_case "find resolves 7-series names" `Quick (fun () ->
+        (match Device.find "A35T" with
+         | Some d ->
+           Alcotest.(check string) "name" "XC7A35T" d.name;
+           Alcotest.(check string) "family" "Artix-7"
+             (Device.family_name d.family)
+         | None -> Alcotest.fail "A35T should resolve");
+        match Device.find "xc7k70t" with
+        | Some d ->
+          Alcotest.(check string) "family" "Kintex-7"
+            (Device.family_name d.family)
+        | None -> Alcotest.fail "XC7K70T should resolve");
+    Alcotest.test_case "sweep and catalogue stay Virtex-5-only" `Quick
+      (fun () ->
+        (* The paper's nine-device sweep must not grow new members when
+           families are added. *)
+        Alcotest.(check int) "sweep size" 9 (List.length Device.sweep);
+        Alcotest.(check int) "catalogue size" 10
+          (List.length Device.catalogue);
+        List.iter
+          (fun (d : Device.t) ->
+            Alcotest.(check bool) (d.short ^ " is XC5V") true
+              (String.sub d.name 0 4 = "XC5V"))
+          (Device.sweep @ Device.catalogue));
+    Alcotest.test_case "7-series devices floorplan like any other" `Quick
+      (fun () ->
+        (* The layout/placer stack is family-agnostic: a demand places on
+           an Artix part exactly as the columnar model prescribes. *)
+        let layout = Floorplan.Layout.make (Device.find_exn "A100T") in
+        let demands =
+          [| Floorplan.Placer.demand_of_resources (res 500 ~bram:2 ~dsp:4) |]
+        in
+        let outcome = Floorplan.Placer.place layout demands in
+        Alcotest.(check (list int)) "placed" []
+          outcome.Floorplan.Placer.failed) ]
+
 let icap_tests =
   [ Alcotest.test_case "default throughput 400 MB/s" `Quick (fun () ->
         Alcotest.(check (float 1.0)) "bytes/s" 400e6
@@ -289,6 +350,7 @@ let () =
       ("tile", tile_tests);
       ("frame", frame_tests);
       ("device", device_tests);
+      ("family", family_tests);
       ("icap", icap_tests);
       ("arch", arch_tests);
       ( "properties",

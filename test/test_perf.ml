@@ -274,6 +274,64 @@ let prop_energy_incremental =
         done;
         !ok)
 
+(* Same incremental-vs-from-scratch drive, but with a placement penalty
+   hook installed: the energy's cached penalty term must stay in step
+   with the from-scratch recomputation through commits and rejected
+   proposals alike. *)
+let prop_energy_incremental_with_penalty =
+  let estimate =
+    Floorplan.Estimate.create
+      (Floorplan.Layout.make (Fpga.Device.find_exn "SX35T"))
+  in
+  QCheck2.Test.make
+    ~name:"anneal energy incremental matches from-scratch under a penalty"
+    ~count:40
+    QCheck2.Gen.(pair gen_design (0 -- 1_000_000))
+    (fun (design, seed) ->
+      match covering_set design with
+      | [] -> QCheck2.assume_fail ()
+      | set ->
+        let parts = Array.of_list set in
+        let n = Array.length parts in
+        let analysis = Compatibility.analyse design parts in
+        let configs = Design.configuration_count design in
+        let activity =
+          Array.init n (fun p ->
+              Array.init configs (fun c ->
+                  Compatibility.active analysis ~bp:p ~config:c))
+        in
+        let resources =
+          Array.map (fun bp -> bp.Base_partition.resources) parts
+        in
+        let energy =
+          Anneal.Energy.create
+            ~budget:(res ~bram:50 ~dsp:150 6800)
+            ~penalty:(Floorplan.Estimate.penalty estimate)
+            ~static_overhead:design.Design.static_overhead ~resources
+            ~activity
+            (Array.init n Fun.id)
+        in
+        let rand = lcg seed in
+        let ok = ref true in
+        for i = 1 to 40 do
+          let part = rand n in
+          let target =
+            match rand (n + 2) with
+            | t when t = n -> -1
+            | t when t = n + 1 -> part
+            | t -> t
+          in
+          let before = Anneal.Energy.current energy in
+          let _candidate = Anneal.Energy.propose energy ~part ~target in
+          if i mod 3 = 0 then begin
+            if Anneal.Energy.current energy <> before then ok := false
+          end
+          else Anneal.Energy.commit energy ~part ~target;
+          if Anneal.Energy.current energy <> Anneal.Energy.from_scratch energy
+          then ok := false
+        done;
+        !ok)
+
 let prop_exact_matches_cost_model =
   QCheck2.Test.make
     ~name:"exact search scheme total agrees with Cost.evaluate" ~count:25
@@ -399,6 +457,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_allocator_delta;
             prop_energy_incremental;
+            prop_energy_incremental_with_penalty;
             prop_exact_matches_cost_model ]
         @ exact_reference_tests );
       ("transition", transition_tests);
