@@ -1,7 +1,7 @@
 # Convenience targets. Tier-1 is `make check` (= dune build && dune runtest);
 # `dune runtest` includes the bench smoke (`bench/main.exe --quick`).
 
-.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf perf-compare faults guard multilevel floorplan serve soak clean
+.PHONY: all build test check verify fuzz fmt fmt-check bench-smoke bench-json perf perf-compare faults guard multilevel floorplan serve soak chaos clean
 
 all: build
 
@@ -122,6 +122,18 @@ serve: build
 soak: build
 	dune exec test/test_serve.exe
 	dune exec bench/main.exe -- serve
+
+# Prfleet chaos acceptance: the fleet test suite, then >= 500 requests
+# through the fault-tolerant client against a supervised 3-replica
+# fleet sharing one cache directory while seeded chaos kills replicas
+# mid-solve and mid-cache-write, tears cache files, resets connections
+# and delays replies — zero lost replies, zero wrong replies, every
+# casualty restarted within budget, and a cold replica serving a
+# peer-written cache hit. Scale with PRPART_CHAOS_REQUESTS. See
+# DESIGN.md §14.
+chaos: build
+	dune exec test/test_fleet.exe
+	dune exec bench/main.exe -- chaos
 
 clean:
 	dune clean

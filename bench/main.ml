@@ -962,6 +962,372 @@ let serve_soak () =
     fail "cache hit rate %.2f <= 0.4" stats.sl_hit_rate;
   Printf.printf "prserve soak OK\n"
 
+(* Prfleet chaos harness: a supervised fleet of real `prpart serve`
+   processes sharing one on-disk cache, driven through the
+   fault-tolerant client while seeded chaos kills replicas mid-solve
+   and mid-cache-write, tears cache files, resets connections and
+   delays replies.  The gate is absolute: every request must come back
+   and every reply must carry the independently solved signature.
+   Shared by the [chaos] acceptance experiment, the bench-json "chaos"
+   section and the --quick smoke. *)
+
+let fleet_prpart =
+  lazy
+    (let candidates =
+       [ Filename.concat
+           (Filename.dirname Sys.executable_name)
+           (Filename.concat ".." (Filename.concat "bin" "prpart.exe"));
+         Filename.concat (Filename.concat ".." "bin") "prpart.exe";
+         Filename.concat
+           (Filename.concat (Filename.concat "_build" "default") "bin")
+           "prpart.exe" ]
+     in
+     match List.find_opt Sys.file_exists candidates with
+     | Some path -> path
+     | None -> List.hd candidates)
+
+let fleet_dir_seq = ref 0
+
+let fleet_temp_dir () =
+  incr fleet_dir_seq;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "prfleet-bench-%d-%d" (Unix.getpid ()) !fleet_dir_seq)
+  in
+  Unix.mkdir path 0o700;
+  path
+
+let rec fleet_rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun entry -> fleet_rm_rf (Filename.concat path entry))
+      (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* Incarnation 0 carries the kill schedule; respawns keep only benign
+   latency chaos, so kill loops are bounded by construction and the
+   restart budget is spent on scheduled faults, not a poisoned flag.
+   Replica 0 dies mid-solve, replica 1 dies mid-cache-write (leaving a
+   stale lockfile and a torn temp file for its peers to take over),
+   replica 2 tears a cache entry in place. *)
+let fleet_chaos_spec i ~incarnation =
+  if incarnation > 0 then
+    Printf.sprintf "seed=%d,slow-reply=0.05,slow-ms=10,max-faults=20"
+      (900 + i)
+  else
+    match i mod 3 with
+    | 0 ->
+      "seed=101,kill-solve@1,conn-reset=0.05,slow-reply=0.05,slow-ms=20,\
+       max-faults=40"
+    | 1 ->
+      "seed=202,kill-cache-write@0,conn-reset=0.05,slow-reply=0.05,\
+       slow-ms=20,max-faults=40"
+    | _ ->
+      "seed=303,torn-cache-write@1,conn-reset=0.08,slow-reply=0.08,\
+       slow-ms=20,max-faults=40"
+
+(* High shed thresholds: elevated shed levels solve under a tighter
+   budget, whose (correct but degraded) answer would not match the
+   full-effort oracle signature.  The chaos gate is about lost and
+   wrong replies, not overload policy — the shed ladder has its own
+   deterministic tests. *)
+let fleet_shed_thresholds = "5000,20000,60000"
+
+type chaos_stats = {
+  cs_requests : int;
+  cs_ok : int;
+  cs_cached : int;
+  cs_lost : int;
+  cs_wrong : int;
+  cs_retries : int;
+  cs_failovers : int;
+  cs_restarts : int;
+  cs_gave_up : bool;
+  cs_all_healthy : bool;
+  cs_shared_hit : bool;
+  cs_wall_s : float;
+  cs_qps : float;
+}
+
+let chaos_fleet_run ?(replicas = 3) ?(clients = 4) ~requests () =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "CHAOS FAILED: %s\n" m;
+        exit 1)
+      fmt
+  in
+  let prpart = Lazy.force fleet_prpart in
+  if not (Sys.file_exists prpart) then
+    fail "prpart binary not found (looked for %s)" prpart;
+  let dir = fleet_temp_dir () in
+  let cache_dir = Filename.concat dir "cache" in
+  let sock i = Filename.concat dir (Printf.sprintf "r%d.sock" i) in
+  (* The request mix must solve on the replicas' fixed device; the
+     fresh local solve doubles as the per-design reply oracle. *)
+  let target = Prcore.Engine.Fixed (Fpga.Device.find_exn "FX70T") in
+  let designs =
+    List.filter_map
+      (fun d ->
+        match Prcore.Engine.solve ~target d with
+        | Error _ -> None
+        | Ok o ->
+          Some
+            ( design_one_line d,
+              Bitgen.Crc32.hex_digest
+                (Prcore.Memo.scheme_signature o.Prcore.Engine.scheme) ))
+      (serve_designs ~count:12 ())
+  in
+  if List.length designs < 2 then fail "not enough FX70T-solvable designs";
+  let designs = Array.of_list designs in
+  let n = Array.length designs in
+  let replica_argv i ~incarnation =
+    [| prpart; "serve"; "--socket"; sock i; "--device"; "FX70T";
+       "--no-deadline"; "--jobs"; "2"; "--shed-thresholds";
+       fleet_shed_thresholds; "--shared-cache"; cache_dir; "--chaos";
+       fleet_chaos_spec i ~incarnation |]
+  in
+  let specs =
+    List.init replicas (fun i ->
+        { Prserve.Supervisor.name = Printf.sprintf "r%d" i;
+          address = Prserve.Endpoint.Unix_path (sock i);
+          argv = replica_argv i })
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let config =
+    { (Prserve.Supervisor.default_config
+         ~telemetry:(Prtelemetry.create Prtelemetry.Sink.null)
+         ())
+      with
+      Prserve.Supervisor.restart_limit = 8;
+      backoff_ms = 50.;
+      max_backoff_ms = 500.;
+      stdio = Some null }
+  in
+  let sup =
+    match Prserve.Supervisor.start ~config specs with
+    | Ok s -> s
+    | Error m -> fail "fleet start: %s" m
+  in
+  (match Prserve.Supervisor.await_healthy ~timeout_s:30. sup with
+   | Ok () -> ()
+   | Error m -> fail "fleet never became healthy: %s" m);
+  let endpoints =
+    List.init replicas (fun i -> Prserve.Endpoint.Unix_path (sock i))
+  in
+  let policy =
+    { Prserve.Client.default_policy with
+      Prserve.Client.deadline_ms = Some 60_000.;
+      retry =
+        { Prfault.Recovery.max_attempts = 10;
+          base_backoff_s = 0.02;
+          backoff_multiplier = 2.;
+          max_backoff_s = 0.4;
+          jitter = 0.25;
+          transition_budget_s = None };
+      breaker_cooldown_ms = 200. }
+  in
+  let per = max 1 (requests / clients) in
+  let total = clients * per in
+  let oks = Atomic.make 0
+  and cached = Atomic.make 0
+  and lost = Atomic.make 0
+  and wrong = Atomic.make 0
+  and retries = Atomic.make 0
+  and failovers = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker c =
+    (* Rotate the endpoint list per client so the sticky first choice
+       spreads load across the fleet instead of dog-piling replica 0,
+       and every kill schedule sees traffic. *)
+    let rotated =
+      List.init replicas (fun k -> List.nth endpoints ((c + k) mod replicas))
+    in
+    let client =
+      match
+        Prserve.Client.create ~policy ~seed:(1000 + c)
+          ~telemetry:(Prtelemetry.create Prtelemetry.Sink.null)
+          rotated
+      with
+      | Ok cl -> cl
+      | Error m -> fail "client %d: %s" c m
+    in
+    for i = 0 to per - 1 do
+      let xml, oracle = designs.(((c * (per / 2)) + (i / 2)) mod n) in
+      match
+        Prserve.Client.solve_inline client
+          ~client:(Printf.sprintf "chaos%d" c)
+          ~design_xml:xml ()
+      with
+      | Ok s ->
+        Atomic.incr oks;
+        if s.Prserve.Protocol.cached then Atomic.incr cached;
+        if s.Prserve.Protocol.signature <> oracle then Atomic.incr wrong
+      | Error _ -> Atomic.incr lost
+    done;
+    ignore (Atomic.fetch_and_add retries (Prserve.Client.retries client));
+    ignore (Atomic.fetch_and_add failovers (Prserve.Client.failovers client));
+    Prserve.Client.close client
+  in
+  let threads = List.init clients (fun c -> Thread.create worker c) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Both kill schedules are deterministic, so every run loses at least
+     one replica; give the monitor a bounded window to reap the exit
+     and respawn every casualty before reading the fleet state. *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let all_healthy () =
+    List.for_all
+      (fun s -> s.Prserve.Supervisor.s_phase = Prserve.Supervisor.Healthy)
+      (Prserve.Supervisor.statuses sup)
+  in
+  let rec settle () =
+    if Prserve.Supervisor.restarts sup >= 1 && all_healthy () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.05;
+      settle ()
+    end
+  in
+  let settled = settle () in
+  let restarts = Prserve.Supervisor.restarts sup in
+  let gave_up = Prserve.Supervisor.gave_up sup in
+  Prserve.Supervisor.stop sup;
+  (* Cold-replica coordination check: a fresh replica on the same cache
+     directory (no chaos) must serve a design its peers solved without
+     re-solving it, bit-identical to the oracle. *)
+  let cold_sock = Filename.concat dir "cold.sock" in
+  let cold_argv =
+    [| prpart; "serve"; "--socket"; cold_sock; "--device"; "FX70T";
+       "--no-deadline"; "--jobs"; "2"; "--shed-thresholds";
+       fleet_shed_thresholds; "--shared-cache"; cache_dir |]
+  in
+  let cold_pid =
+    Unix.create_process cold_argv.(0) cold_argv Unix.stdin null null
+  in
+  let startup_retry =
+    { Prfault.Recovery.max_attempts = 100;
+      base_backoff_s = 0.05;
+      backoff_multiplier = 1.;
+      max_backoff_s = 0.05;
+      jitter = 0.;
+      transition_budget_s = None }
+  in
+  let shared_hit =
+    match
+      Prserve.Endpoint.connect ~retry:startup_retry
+        (Prserve.Endpoint.Unix_path cold_sock)
+    with
+    | Error _ -> false
+    | Ok conn ->
+      let xml, oracle = designs.(0) in
+      let hit =
+        match
+          Prserve.Endpoint.request conn
+            (Printf.sprintf "SOLVE client=cold inline:%s" xml)
+        with
+        | Error _ -> false
+        | Ok reply -> (
+          match Prserve.Protocol.parse_reply reply with
+          | Ok (Prserve.Protocol.R_solved s) ->
+            s.Prserve.Protocol.cached
+            && s.Prserve.Protocol.signature = oracle
+          | _ -> false)
+      in
+      ignore (Prserve.Endpoint.request conn "SHUTDOWN");
+      Prserve.Endpoint.close_client conn;
+      hit
+  in
+  (try Unix.kill cold_pid Sys.sigterm with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] cold_pid) with Unix.Unix_error _ -> ());
+  Unix.close null;
+  fleet_rm_rf dir;
+  { cs_requests = total;
+    cs_ok = Atomic.get oks;
+    cs_cached = Atomic.get cached;
+    cs_lost = Atomic.get lost;
+    cs_wrong = Atomic.get wrong;
+    cs_retries = Atomic.get retries;
+    cs_failovers = Atomic.get failovers;
+    cs_restarts = restarts;
+    cs_gave_up = gave_up;
+    cs_all_healthy = settled;
+    cs_shared_hit = shared_hit;
+    cs_wall_s = wall;
+    cs_qps = (if wall > 0. then float_of_int total /. wall else 0.) }
+
+let chaos_report st =
+  Printf.printf
+    "chaos: %d requests, %d ok (%d cached), %d lost, %d wrong, %d \
+     retries, %d failovers\n"
+    st.cs_requests st.cs_ok st.cs_cached st.cs_lost st.cs_wrong
+    st.cs_retries st.cs_failovers;
+  Printf.printf
+    "chaos: %d replica restarts (gave_up=%b, all healthy=%b), shared \
+     cold hit=%b, %.1f req/s over %.1fs\n"
+    st.cs_restarts st.cs_gave_up st.cs_all_healthy st.cs_shared_hit
+    st.cs_qps st.cs_wall_s
+
+let chaos_check ~what st =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "%s FAILED: %s\n" what m;
+        exit 1)
+      fmt
+  in
+  if st.cs_lost > 0 then fail "%d lost replies" st.cs_lost;
+  if st.cs_wrong > 0 then
+    fail "%d replies with a wrong signature" st.cs_wrong;
+  if st.cs_ok <> st.cs_requests then
+    fail "replies do not account for every request (%d/%d)" st.cs_ok
+      st.cs_requests;
+  if st.cs_restarts < 1 then
+    fail "scheduled kills produced no supervisor restart";
+  if st.cs_gave_up then fail "a replica exhausted its restart budget";
+  if not st.cs_all_healthy then
+    fail "fleet not fully healthy after the soak";
+  if not st.cs_shared_hit then
+    fail "cold replica did not serve a peer-written cache entry"
+
+(* Prfleet chaos (the acceptance experiment): >= 500 requests against a
+   supervised 3-replica fleet under seeded kills (mid-solve and
+   mid-cache-write), torn cache writes, connection resets and slow
+   replies — zero lost replies, zero wrong replies, every casualty
+   restarted within budget, and a cold replica serving a peer-written
+   cache hit.  PRPART_CHAOS_REQUESTS scales the load. *)
+let chaos_experiment () =
+  section "Prfleet chaos: supervised replicas under seeded faults";
+  let requests =
+    match Sys.getenv_opt "PRPART_CHAOS_REQUESTS" with
+    | Some v ->
+      (match int_of_string_opt v with Some n when n > 0 -> n | _ -> 500)
+    | None -> 500
+  in
+  let st = chaos_fleet_run ~replicas:3 ~clients:4 ~requests () in
+  chaos_report st;
+  chaos_check ~what:"CHAOS" st;
+  if st.cs_requests < 500 then
+    Printf.printf
+      "note: %d requests is below the 500-request acceptance soak \
+       (PRPART_CHAOS_REQUESTS)\n"
+      st.cs_requests;
+  Printf.printf "prfleet chaos OK\n"
+
+(* Prfleet smoke (runs under --quick, so `dune runtest` gates on it):
+   a scaled-down chaos soak — two replicas, both with kill schedules,
+   same zero-loss gates. *)
+let chaos_smoke () =
+  section "Prfleet smoke: 2-replica chaos soak";
+  let st = chaos_fleet_run ~replicas:2 ~clients:2 ~requests:24 () in
+  chaos_report st;
+  chaos_check ~what:"PRFLEET SMOKE" st;
+  Printf.printf "prfleet smoke OK\n"
+
 (* Placement-aware partitioning vs the post-hoc feedback loop, on the
    fragmentation stress design: the unaware flow picks the
    cheapest-by-frames scheme, fails to floorplan it and escalates
@@ -1230,6 +1596,12 @@ let bench_json () =
     Prserve.Server.drain server;
     stats
   in
+  (* Prfleet chaos soak, scaled down from the acceptance experiment:
+     real replica processes, seeded kills, shared cache.  The tracked
+     metrics are the zero-tolerance correctness counters; throughput
+     under chaos is reported but not regression-gated (restart and
+     backoff timing dominate it). *)
+  let chaos_stats = chaos_fleet_run ~replicas:3 ~clients:3 ~requests:120 () in
   let json =
     Prtelemetry.Json.(
       Obj
@@ -1327,7 +1699,22 @@ let bench_json () =
                 ("hit_rate", Float serve_stats.sl_hit_rate);
                 ("cached_replies", Int serve_stats.sl_cached);
                 ("rejected", Int serve_stats.sl_rejected);
-                ("errors", Int serve_stats.sl_errors) ] ) ])
+                ("errors", Int serve_stats.sl_errors) ] );
+          ( "chaos",
+            Obj
+              [ ("replicas", Int 3);
+                ("requests", Int chaos_stats.cs_requests);
+                ("ok", Int chaos_stats.cs_ok);
+                ("cached_replies", Int chaos_stats.cs_cached);
+                ("lost_replies", Int chaos_stats.cs_lost);
+                ("wrong_replies", Int chaos_stats.cs_wrong);
+                ("retries", Int chaos_stats.cs_retries);
+                ("failovers", Int chaos_stats.cs_failovers);
+                ("replica_restarts", Int chaos_stats.cs_restarts);
+                ("gave_up", Bool chaos_stats.cs_gave_up);
+                ("shared_cache_hit", Bool chaos_stats.cs_shared_hit);
+                ("wall_s", Float chaos_stats.cs_wall_s);
+                ("req_per_s", Float chaos_stats.cs_qps) ] ) ])
   in
   let path = "BENCH_core.json" in
   let oc = open_out path in
@@ -1364,6 +1751,8 @@ let bench_json () =
     Printf.printf "BENCH FAILED: serve load produced ERR replies\n";
     exit 1
   end;
+  chaos_report chaos_stats;
+  chaos_check ~what:"BENCH" chaos_stats;
   Printf.printf
     "multilevel: %d modules in %.0f ms (%d frames, %d passes, %d moves%s)\n"
     huge_modules ml.mr_ms ml.mr_total ml.mr_stats.Prcore.Multilevel.passes
@@ -1654,6 +2043,7 @@ let experiments =
     ("floorplan", floorplan_experiment);
     ("telemetry", fun () -> telemetry ());
     ("serve", serve_soak);
+    ("chaos", chaos_experiment);
     ("perf", perf);
     ("bench-json", bench_json);
     ("bench-compare", bench_compare) ]
@@ -1672,6 +2062,7 @@ let () =
     floorplan_smoke ();
     scope_smoke ();
     serve_smoke ();
+    chaos_smoke ();
     telemetry ~quick:true ();
     exit 0
   end;

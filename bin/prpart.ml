@@ -1315,8 +1315,72 @@ let serve_cmd =
         Error "--shed-thresholds: thresholds must be non-decreasing"
       else Ok (Array.of_list values)
   in
+  let shared_cache_arg =
+    let doc =
+      "Share the persistent result cache in $(docv) with peer replicas \
+       (implies $(b,--cache-dir) $(docv)): scans and evictions \
+       coordinate through a heartbeat-stamped lockfile with stale-lock \
+       takeover, and a miss re-reads entries peers have written."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "shared-cache" ] ~docv:"DIR" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Seeded fault injection for the chaos harness, e.g. \
+       $(b,seed=42,kill-solve@0,conn-reset=0.05,slow-ms=120). Kinds: \
+       kill-solve, kill-cache-write, torn-cache-write, conn-reset, \
+       slow-reply; $(i,kind)@$(i,N) fires at the Nth operation of its \
+       point, $(i,kind)=$(i,P) fires with probability P; max-faults=N \
+       bounds the total. Never use in production."
+    in
+    Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc =
+      "Hang up connections whose peer stays silent for $(docv) seconds \
+       mid-line (slowloris defence); the peer gets a typed \
+       $(b,REJECT idle-timeout) first."
+    in
+    Arg.(
+      value & opt (some float) None
+      & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let quota_arg =
+    let doc =
+      "Per-client in-flight quota as $(i,CLIENT)=$(i,N), repeatable. \
+       The effective cap for a listed client is the minimum of its \
+       quota and $(b,--client-cap); refusals reject with code \
+       $(b,quota)."
+    in
+    Arg.(value & opt_all string [] & info [ "quota" ] ~docv:"CLIENT=N" ~doc)
+  in
+  let parse_quotas specs =
+    let parse spec =
+      match String.index_opt spec '=' with
+      | Some i when i > 0 -> (
+        let client = String.sub spec 0 i in
+        let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> Ok (client, n)
+        | Some _ | None ->
+          Error (Printf.sprintf "--quota %s: N must be a positive integer" spec))
+      | Some _ | None ->
+        Error (Printf.sprintf "--quota %s: expected CLIENT=N" spec)
+    in
+    List.fold_left
+      (fun acc spec ->
+        match (acc, parse spec) with
+        | Error _, _ -> acc
+        | Ok _, Error e -> Error e
+        | Ok qs, Ok q -> Ok (q :: qs))
+      (Ok []) specs
+    |> Result.map List.rev
+  in
   let run budget device strategy jobs deadline_ms no_deadline ladder socket
-      port cache_dir cache_capacity queue client_cap shed metrics stats =
+      port cache_dir cache_capacity queue client_cap shed shared_cache
+      chaos idle_timeout quota_specs metrics stats =
     match target ~budget ~device with
     | Error message -> `Error (false, message)
     | Ok target -> (
@@ -1333,6 +1397,29 @@ let serve_cmd =
           match parse_thresholds shed with
           | Error message -> `Error (false, message)
           | Ok shed_thresholds_ms -> (
+            match parse_quotas quota_specs with
+            | Error message -> `Error (false, message)
+            | Ok quotas -> (
+            match
+              match (cache_dir, shared_cache) with
+              | Some _, Some _ ->
+                Error "--cache-dir and --shared-cache are mutually exclusive"
+              | None, Some d -> Ok (Some d, true)
+              | dir, None -> Ok (dir, false)
+            with
+            | Error message -> `Error (false, message)
+            | Ok (cache_dir, cache_shared) -> (
+            match
+              match chaos with
+              | None -> Ok None
+              | Some spec -> Result.map Option.some (Prserve.Chaos.of_string spec)
+            with
+            | Error message -> `Error (false, "--chaos: " ^ message)
+            | Ok chaos -> (
+            match idle_timeout with
+            | Some s when s <= 0. || Float.is_nan s ->
+              `Error (false, "--idle-timeout must be a positive number of seconds")
+            | _ -> (
             let deadline_ms =
               if no_deadline then None
               else Some (Option.value ~default:2000. deadline_ms)
@@ -1347,9 +1434,12 @@ let serve_cmd =
                 jobs;
                 queue_capacity = queue;
                 client_cap;
+                quotas;
                 cache_capacity;
                 cache_dir;
-                shed_thresholds_ms }
+                cache_shared;
+                shed_thresholds_ms;
+                chaos }
             in
             match Prserve.Server.create config with
             | Error message -> `Error (false, message)
@@ -1375,7 +1465,8 @@ let serve_cmd =
                   (Prserve.Endpoint.address_to_string address)
                   (Unix.getpid ());
                 Format.print_flush ();
-                Prserve.Endpoint.serve_loop endpoint server;
+                Prserve.Endpoint.serve_loop ?idle_timeout_s:idle_timeout
+                  endpoint server;
                 Prserve.Endpoint.close endpoint;
                 Prserve.Server.drain server;
                 Prtelemetry.flush telemetry;
@@ -1393,7 +1484,7 @@ let serve_cmd =
                  | Ok () ->
                    Format.printf "prserve: drained after %d requests@."
                      (Prserve.Server.requests server);
-                   `Ok ())))))))
+                   `Ok ())))))))))))
   in
   let doc =
     "Run the partitioning daemon: a line-delimited SOLVE/STATUS/HEALTH/\
@@ -1409,7 +1500,155 @@ let serve_cmd =
         (const run $ budget_arg $ device_arg $ strategy_arg $ jobs_arg
          $ deadline_arg $ no_deadline_arg $ ladder_arg $ socket_arg
          $ port_arg $ cache_dir_arg $ cache_capacity_arg $ queue_arg
-         $ client_cap_arg $ shed_arg $ metrics_arg $ stats_arg))
+         $ client_cap_arg $ shed_arg $ shared_cache_arg $ chaos_arg
+         $ idle_timeout_arg $ quota_arg $ metrics_arg $ stats_arg))
+
+let fleet_cmd =
+  let replicas_arg =
+    let doc = "Number of replicas to supervise." in
+    Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"N" ~doc)
+  in
+  let socket_prefix_arg =
+    let doc =
+      "Unix-socket path prefix; replica $(i,i) listens on \
+       $(docv)-$(i,i).sock."
+    in
+    Arg.(
+      value & opt string "prserve"
+      & info [ "socket-prefix" ] ~docv:"PATH" ~doc)
+  in
+  let shared_cache_arg =
+    let doc =
+      "Shared persistent cache directory passed to every replica \
+       ($(b,serve --shared-cache)): one replica's solves warm the \
+       others."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "shared-cache" ] ~docv:"DIR" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Chaos spec forwarded to every replica's initial incarnation \
+       ($(b,serve --chaos)); restarted incarnations run clean, so kill \
+       schedules terminate by construction."
+    in
+    Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+  in
+  let restart_limit_arg =
+    let doc = "Restarts allowed per replica before giving up." in
+    Arg.(value & opt int 5 & info [ "restart-limit" ] ~docv:"N" ~doc)
+  in
+  let fleet_no_deadline_arg =
+    let doc = "Forward $(b,--no-deadline) to every replica." in
+    Arg.(value & flag & info [ "no-deadline" ] ~doc)
+  in
+  let idle_timeout_arg =
+    let doc = "Per-replica $(b,--idle-timeout) (seconds)." in
+    Arg.(
+      value & opt (some float) None
+      & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run device budget_opt strategy jobs no_deadline replicas socket_prefix
+      shared_cache chaos restart_limit idle_timeout =
+    if replicas < 1 then `Error (false, "--replicas must be >= 1")
+    else if restart_limit < 0 then `Error (false, "--restart-limit must be >= 0")
+    else
+      match
+        match chaos with
+        | None -> Ok ()
+        | Some spec ->
+          Result.map (fun (_ : Prserve.Chaos.t) -> ()) (Prserve.Chaos.of_string spec)
+      with
+      | Error message -> `Error (false, "--chaos: " ^ message)
+      | Ok () ->
+        let exe = Sys.executable_name in
+        let base_argv =
+          List.concat
+            [ [ exe; "serve"; "--jobs"; string_of_int jobs;
+                "--strategy"; strategy ];
+              (match device with
+               | Some d -> [ "--device"; d ]
+               | None -> []);
+              (match budget_opt with
+               | Some (r : Fpga.Resource.t) ->
+                 [ "--budget";
+                   Printf.sprintf "%d,%d,%d" r.clb r.bram r.dsp ]
+               | None -> []);
+              (if no_deadline then [ "--no-deadline" ] else []);
+              (match shared_cache with
+               | Some d -> [ "--shared-cache"; d ]
+               | None -> []);
+              (match idle_timeout with
+               | Some s -> [ "--idle-timeout"; string_of_float s ]
+               | None -> []) ]
+        in
+        let specs =
+          List.init replicas (fun i ->
+              let sock = Printf.sprintf "%s-%d.sock" socket_prefix i in
+              { Prserve.Supervisor.name = Printf.sprintf "replica-%d" i;
+                address = Prserve.Endpoint.Unix_path sock;
+                argv =
+                  (fun ~incarnation ->
+                    Array.of_list
+                      (base_argv
+                      @ [ "--socket"; sock ]
+                      @
+                      match chaos with
+                      | Some spec when incarnation = 0 -> [ "--chaos"; spec ]
+                      | Some _ | None -> [])) })
+        in
+        let telemetry = Prtelemetry.create Prtelemetry.Sink.null in
+        let config =
+          { (Prserve.Supervisor.default_config ~telemetry ()) with
+            restart_limit }
+        in
+        (match Prserve.Supervisor.start ~config specs with
+         | Error message -> `Error (false, message)
+         | Ok sup ->
+           let stopping = ref false in
+           let stop _ =
+             (* Quiesce the monitor right here: a process-group signal
+                (timeout(1), job-control kill) also hits the replicas,
+                and their exits must not be booked as restarts while
+                this loop wakes up to call [Supervisor.stop]. *)
+             Prserve.Supervisor.request_stop sup;
+             stopping := true
+           in
+           Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+           (match Prserve.Supervisor.await_healthy sup with
+            | Ok () ->
+              Format.printf "prfleet: %d replicas healthy (pid %d)@." replicas
+                (Unix.getpid ())
+            | Error message -> Format.printf "prfleet: %s@." message);
+           Format.print_flush ();
+           while not !stopping do
+             Thread.delay 0.1
+           done;
+           Prserve.Supervisor.stop sup;
+           Format.printf "prfleet: stopped (%d restarts%s)@."
+             (Prserve.Supervisor.restarts sup)
+             (if Prserve.Supervisor.gave_up sup then ", some replicas gave up"
+              else "");
+           `Ok ())
+  in
+  let doc =
+    "Run a supervised fleet of $(b,serve) replicas on per-replica Unix \
+     sockets: crashed replicas restart under an exponential-backoff \
+     budget, unresponsive ones are put down after failed HEALTH \
+     probes, and $(b,--shared-cache) lets all replicas serve each \
+     other's cached solves. SIGINT/SIGTERM stop the fleet. See \
+     DESIGN.md §14."
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc)
+    Term.(
+      ret
+        (const run $ device_arg $ budget_arg $ strategy_arg $ jobs_arg
+         $ fleet_no_deadline_arg $ replicas_arg $ socket_prefix_arg
+         $ shared_cache_arg $ chaos_arg $ restart_limit_arg
+         $ idle_timeout_arg))
 
 let () =
   let doc = "automated partitioning for partial reconfiguration designs" in
@@ -1418,5 +1657,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ partition_cmd; profile_cmd; baselines_cmd; simulate_cmd;
-            synth_cmd; flow_cmd; batch_cmd; serve_cmd; recover_cmd;
-            check_cmd; fuzz_cmd; lint_cmd; devices_cmd; designs_cmd ]))
+            synth_cmd; flow_cmd; batch_cmd; serve_cmd; fleet_cmd;
+            recover_cmd; check_cmd; fuzz_cmd; lint_cmd; devices_cmd;
+            designs_cmd ]))

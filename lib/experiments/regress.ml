@@ -45,7 +45,16 @@ let default_rules =
     { pattern = "escalations_avoided"; direction = Higher_better;
       tolerance_pct = 0. };
     { pattern = "placement_penalty_evals"; direction = Lower_better;
-      tolerance_pct = 50. } ]
+      tolerance_pct = 50. };
+    (* Chaos soak: correctness counters, not performance numbers.  A
+       lost or wrong reply under fault injection is a serving bug, so
+       the tolerance is zero — any non-zero latest value against the
+       all-zero baseline regresses (see the near-zero-baseline branch
+       in [compare]). *)
+    { pattern = "lost_replies"; direction = Lower_better;
+      tolerance_pct = 0. };
+    { pattern = "wrong_replies"; direction = Lower_better;
+      tolerance_pct = 0. } ]
 
 (* Flatten a JSON document to dotted-key numeric leaves, in document
    order: {"sweep":{"speedup":1.2}} -> [("sweep.speedup", 1.2)].
@@ -90,8 +99,12 @@ type finding = {
 
 (* Compare every baseline metric that a rule covers against the latest
    document. Metrics present only in the latest run are new — never a
-   regression. A near-zero baseline cannot express a percentage change
-   and is reported [Within]. *)
+   regression. A near-zero baseline cannot express a percentage change:
+   under a non-zero tolerance it is reported [Within] (the rule asks
+   for slack we cannot measure), but under a zero-tolerance rule any
+   movement in the worse direction is [Regressed] — that is exactly the
+   contract of counters like chaos.lost_replies whose baseline is 0 and
+   must stay 0. *)
 let compare ?(rules = default_rules) ~baseline ~latest () =
   let latest_metrics = flatten latest in
   List.filter_map
@@ -105,9 +118,19 @@ let compare ?(rules = default_rules) ~baseline ~latest () =
             { key; baseline = base; latest = Float.nan; change_pct = 0.;
               verdict = Missing }
           | Some now ->
-            if Float.abs base < 1e-12 then
+            if Float.abs base < 1e-12 then begin
+              let worse =
+                match rule.direction with
+                | Higher_better -> now < base -. 1e-12
+                | Lower_better -> now > base +. 1e-12
+              in
+              let verdict =
+                if worse && rule.tolerance_pct <= 0. then Regressed
+                else Within
+              in
               { key; baseline = base; latest = now; change_pct = 0.;
-                verdict = Within }
+                verdict }
+            end
             else begin
               let change = 100. *. (now -. base) /. Float.abs base in
               let verdict =

@@ -1,12 +1,15 @@
 (** Fault injection and recovery modelling for the reconfiguration
     runtime. See {!Injector} for the typed fault model and deterministic
     seeded injector, {!Recovery} for degradation policies and
-    retry/backoff parameters, and {!Reliability} for the report the
-    resilient runtime produces.
+    retry/backoff parameters, {!Reliability} for the report the
+    resilient runtime produces, and {!Service} for the serving-layer
+    chaos model (replica kills, torn cache writes, connection resets).
 
     The resilient simulation loop itself lives in [Runtime.Resilient]
-    (the runtime layer depends on this library, not the reverse). *)
+    (the runtime layer depends on this library, not the reverse), and
+    chaos actuation lives in [Prserve.Chaos]. *)
 
 module Injector = Injector
 module Recovery = Recovery
 module Reliability = Reliability
+module Service = Service

@@ -1,11 +1,16 @@
 type reject =
   | Queue_full of { depth : int; capacity : int }
   | Client_cap of { client : string; in_flight : int; cap : int }
+  | Quota of { client : string; in_flight : int; quota : int }
   | Closed
 
 type 'a t = {
   capacity : int;
   client_cap : int;
+  quotas : (string * int) list;
+      (** Per-client in-flight weights; clients not listed fall back to
+          [client_cap]. The table is configuration (small, fixed), so an
+          assoc list keeps it printable and order-stable. *)
   mutex : Mutex.t;
   nonempty : Condition.t;
   queues : (string, 'a Queue.t) Hashtbl.t;
@@ -15,9 +20,10 @@ type 'a t = {
   mutable closed : bool;
 }
 
-let create ?(capacity = 64) ?(client_cap = 16) () =
+let create ?(capacity = 64) ?(client_cap = 16) ?(quotas = []) () =
   { capacity = max 1 capacity;
     client_cap = max 1 client_cap;
+    quotas = List.map (fun (c, q) -> (c, max 1 q)) quotas;
     mutex = Mutex.create ();
     nonempty = Condition.create ();
     queues = Hashtbl.create 8;
@@ -33,6 +39,13 @@ let with_lock t f =
 let inflight_of t client =
   Option.value ~default:0 (Hashtbl.find_opt t.inflight client)
 
+let quota_of t client = List.assoc_opt client t.quotas
+
+let effective_cap t client =
+  match quota_of t client with
+  | Some q -> min q t.client_cap
+  | None -> t.client_cap
+
 let submit t ~client job =
   with_lock t (fun () ->
       if t.closed then Error Closed
@@ -40,8 +53,14 @@ let submit t ~client job =
         Error (Queue_full { depth = t.depth; capacity = t.capacity })
       else
         let in_flight = inflight_of t client in
-        if in_flight >= t.client_cap then
-          Error (Client_cap { client; in_flight; cap = t.client_cap })
+        let cap = effective_cap t client in
+        if in_flight >= cap then
+          Error
+            (match quota_of t client with
+             | Some quota when in_flight >= quota ->
+               Quota { client; in_flight; quota }
+             | Some _ | None ->
+               Client_cap { client; in_flight; cap = t.client_cap })
         else begin
           let q =
             match Hashtbl.find_opt t.queues client with
@@ -96,3 +115,4 @@ let client_buckets t = with_lock t (fun () -> Hashtbl.length t.queues)
 let in_flight t ~client = with_lock t (fun () -> inflight_of t client)
 let capacity t = t.capacity
 let client_cap t = t.client_cap
+let quota t ~client = effective_cap t client

@@ -13,12 +13,21 @@
 type reject =
   | Queue_full of { depth : int; capacity : int }
   | Client_cap of { client : string; in_flight : int; cap : int }
+  | Quota of { client : string; in_flight : int; quota : int }
+      (** The client's configured quota (not the default cap) refused
+          the submission — reported distinctly so tenants can tell
+          their own budget from daemon-wide pressure. *)
   | Closed  (** {!close} was called — the daemon is draining. *)
 
 type 'a t
 
-val create : ?capacity:int -> ?client_cap:int -> unit -> 'a t
-(** Defaults: capacity 64, client cap 16.  Both clamp to ≥ 1. *)
+val create :
+  ?capacity:int -> ?client_cap:int -> ?quotas:(string * int) list -> unit -> 'a t
+(** Defaults: capacity 64, client cap 16.  Both clamp to ≥ 1.
+    [quotas] is a per-client in-flight weight table: a listed client's
+    effective cap is [min quota client_cap] (clamped to ≥ 1); unlisted
+    clients use [client_cap].  Round-robin draining is unchanged —
+    quotas bound admission, not scheduling order. *)
 
 val submit : 'a t -> client:string -> 'a -> (unit, reject) result
 
@@ -44,3 +53,6 @@ val client_buckets : 'a t -> int
 val in_flight : 'a t -> client:string -> int
 val capacity : 'a t -> int
 val client_cap : 'a t -> int
+
+val quota : 'a t -> client:string -> int
+(** The effective in-flight cap for [client] (quota table or default). *)

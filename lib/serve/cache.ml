@@ -118,12 +118,16 @@ let decode_entry s =
 type t = {
   capacity : int;
   dir : string option;
+  shared : bool;
+  lock_ttl_s : float;
+  chaos : Chaos.t option;
   telemetry : Prtelemetry.t;
   mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;  (* keyed by full canonical key *)
   mutable order : string list;  (* oldest first; refreshed on hit *)
   mutable hits : int;
   mutable misses : int;
+  mutable shared_loads : int;
   recovery : Atomic_io.recovery option;
 }
 
@@ -143,6 +147,23 @@ let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Serialise multi-file mutations (persist + eviction, warm scans)
+   against peer replicas sharing the directory. Single-process caches
+   skip the lock entirely; a lock timeout degrades to running unlocked
+   rather than stalling the daemon — worst case two replicas race an
+   eviction, and rename-atomic writes keep every outcome readable. *)
+let with_dir_lock t f =
+  match t.dir with
+  | Some dir when t.shared -> (
+    match
+      Lockfile.with_lock ~ttl_s:t.lock_ttl_s ~timeout_s:t.lock_ttl_s ~dir f
+    with
+    | Ok v -> v
+    | Error _ ->
+      Prtelemetry.incr t.telemetry "serve.cache.lock_timeouts";
+      f ())
+  | Some _ | None -> f ()
+
 let extract key order =
   let rec scan acc = function
     | [] -> (false, order)
@@ -159,7 +180,7 @@ let remove_files t key =
     (try Sys.remove path with Sys_error _ -> ());
     (try Sys.remove (Atomic_io.sidecar path) with Sys_error _ -> ())
 
-(* Callers hold the lock. *)
+(* Callers hold the in-memory lock, and the directory lock when shared. *)
 let insert t e =
   (match Hashtbl.find_opt t.table e.key with
    | Some _ ->
@@ -214,18 +235,25 @@ let warm t dir =
             Prtelemetry.incr t.telemetry "serve.cache.quarantined"))
     files
 
-let create ?(capacity = 256) ?dir ?(telemetry = Prtelemetry.null) () =
+let create ?(capacity = 256) ?dir ?(shared = false) ?(lock_ttl_s = 10.)
+    ?chaos ?(telemetry = Prtelemetry.null) () =
   if capacity < 1 then Error "cache capacity must be at least 1"
+  else if shared && dir = None then
+    Error "a shared cache requires a directory"
   else
     let make recovery =
       { capacity;
         dir;
+        shared;
+        lock_ttl_s;
+        chaos;
         telemetry;
         mutex = Mutex.create ();
         table = Hashtbl.create (min capacity 1024);
         order = [];
         hits = 0;
         misses = 0;
+        shared_loads = 0;
         recovery }
     in
     match dir with
@@ -233,17 +261,53 @@ let create ?(capacity = 256) ?dir ?(telemetry = Prtelemetry.null) () =
     | Some dir -> (
       match Atomic_io.mkdir_p dir with
       | Error e -> Error e
-      | Ok () -> (
-        match Atomic_io.recover ~checksum ~dir () with
-        | Error e -> Error e
-        | Ok recovery ->
-          let t = make (Some recovery) in
-          Prtelemetry.incr t.telemetry "serve.cache.quarantined"
-            ~by:(List.length recovery.Atomic_io.quarantined);
-          warm t dir;
-          Ok t))
+      | Ok () ->
+        (* Recovery + warm scan the whole directory; under sharing they
+           must not observe a peer between its data and sidecar renames,
+           so they run under the directory lock. *)
+        let scan () =
+          match Atomic_io.recover ~checksum ~dir () with
+          | Error e -> Error e
+          | Ok recovery ->
+            let t = make (Some recovery) in
+            Prtelemetry.incr t.telemetry "serve.cache.quarantined"
+              ~by:(List.length recovery.Atomic_io.quarantined);
+            warm t dir;
+            Ok t
+        in
+        if shared then
+          match
+            Lockfile.with_lock ~ttl_s:lock_ttl_s ~timeout_s:lock_ttl_s ~dir
+              scan
+          with
+          | Ok r -> r
+          | Error e -> Error e
+        else scan ())
 
 let recovery t = t.recovery
+let shared t = t.shared
+
+(* Lock-free read of a peer-written entry. Entry files land by atomic
+   rename so a read sees a complete old or new file; the CRC sidecar is
+   checked when present (a peer killed between its data and sidecar
+   renames leaves a valid entry with a stale/absent sidecar — the
+   decode + key check below still guards correctness). Any mismatch is
+   simply a miss: quarantining is recovery's job, not the hot path's. *)
+let load_peer_entry dir ~key =
+  let path = entry_path dir key in
+  match Atomic_io.read path with
+  | Error _ -> None
+  | Ok bytes -> (
+    let sidecar_ok =
+      match Atomic_io.read (Atomic_io.sidecar path) with
+      | Error _ -> true  (* no sidecar yet: trust the decode *)
+      | Ok digest -> String.trim digest = checksum bytes
+    in
+    if not sidecar_ok then None
+    else
+      match decode_entry bytes with
+      | Ok e when e.key = key -> Some e
+      | Ok _ | Error _ -> None)
 
 let find t ~key =
   with_lock t (fun () ->
@@ -254,27 +318,80 @@ let find t ~key =
         let _, rest = extract key t.order in
         t.order <- rest @ [ key ];
         Some e
-      | None ->
-        t.misses <- t.misses + 1;
-        Prtelemetry.incr t.telemetry "serve.cache.misses";
-        None)
+      | None -> (
+        let peer =
+          match t.dir with
+          | Some dir when t.shared -> load_peer_entry dir ~key
+          | Some _ | None -> None
+        in
+        match peer with
+        | Some e ->
+          (* A peer replica solved this since our warm scan: adopt it.
+             Counted as a hit (the caller skipped a solve) and as a
+             shared load; insertion may evict, so take the dir lock. *)
+          with_dir_lock t (fun () -> insert t e);
+          t.hits <- t.hits + 1;
+          t.shared_loads <- t.shared_loads + 1;
+          Prtelemetry.incr t.telemetry "serve.cache.hits";
+          Prtelemetry.incr t.telemetry "serve.cache.shared_loads";
+          Some e
+        | None ->
+          t.misses <- t.misses + 1;
+          Prtelemetry.incr t.telemetry "serve.cache.misses";
+          None))
+
+(* Chaos tear: the state a non-atomic writer would leave after a
+   power cut — sidecar recorded for the full content, data truncated,
+   plus a stale temp file. Bypasses [Atomic_io] on purpose; recovery
+   on the next replica start must quarantine it. *)
+let torn_write t dir e =
+  let path = entry_path dir e.key in
+  let data = encode_entry e in
+  let keep = max 1 (String.length data / 2) in
+  let raw p content =
+    try
+      let oc = open_out_bin p in
+      output_string oc content;
+      close_out oc
+    with Sys_error _ -> ()
+  in
+  raw (Atomic_io.sidecar path) (checksum data ^ "\n");
+  raw path (String.sub data 0 keep);
+  raw (Filename.concat dir ".prguard.chaos-remnant.tmp") "torn";
+  Prtelemetry.incr t.telemetry "serve.cache.chaos_torn"
 
 let add t e =
   with_lock t (fun () ->
-      insert t e;
-      match t.dir with
-      | None -> ()
-      | Some dir -> (
-        match
-          Atomic_io.write ~checksum ~path:(entry_path dir e.key)
-            (encode_entry e)
-        with
-        | Ok () -> ()
-        | Error _ ->
-          (* Persistence is best-effort: the in-memory entry still
-             serves; the next clean write or restart re-solves. *)
-          Prtelemetry.incr t.telemetry "serve.cache.write_errors"))
+      with_dir_lock t (fun () ->
+          insert t e;
+          match t.dir with
+          | None -> ()
+          | Some dir -> (
+            let action =
+              match t.chaos with
+              | None -> Chaos.Clean_write
+              | Some c -> Chaos.at_cache_write c
+            in
+            match action with
+            | Chaos.Torn_write -> torn_write t dir e
+            | Chaos.Torn_write_then_kill ->
+              torn_write t dir e;
+              (* A SIGKILL'd replica runs no cleanup — and crucially
+                 releases no lockfile, which is what the stale-lock
+                 takeover exists for. *)
+              Unix._exit Chaos.kill_exit_code
+            | Chaos.Clean_write -> (
+              match
+                Atomic_io.write ~checksum ~path:(entry_path dir e.key)
+                  (encode_entry e)
+              with
+              | Ok () -> ()
+              | Error _ ->
+                (* Persistence is best-effort: the in-memory entry still
+                   serves; the next clean write or restart re-solves. *)
+                Prtelemetry.incr t.telemetry "serve.cache.write_errors"))))
 
 let length t = with_lock t (fun () -> Hashtbl.length t.table)
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)
+let shared_loads t = with_lock t (fun () -> t.shared_loads)

@@ -18,6 +18,16 @@
     from the surviving entries (an entry that fails to decode is
     quarantined too, never trusted).
 
+    {b Shared mode} ([~shared:true]): several replica processes point
+    at one directory. Multi-file mutations — the recovery + warm scan,
+    and persist + LRU eviction inside {!add} — serialise through
+    {!Lockfile} (pid/heartbeat-stamped, stale locks taken over), while
+    reads stay lock-free: entry files land by atomic rename and carry a
+    CRC sidecar, so a miss in memory falls through to a verified
+    {e reload} of whatever a peer has written ([serve.cache.shared_loads]).
+    One replica's solves thereby warm the others, and a reloaded reply
+    is byte-identical to the peer's fresh solve.
+
     All operations are safe to call from concurrent client threads. *)
 
 type entry = {
@@ -47,13 +57,21 @@ type t
 val create :
   ?capacity:int ->
   ?dir:string ->
+  ?shared:bool ->
+  ?lock_ttl_s:float ->
+  ?chaos:Chaos.t ->
   ?telemetry:Prtelemetry.t ->
   unit ->
   (t, string) result
 (** [capacity] (default 256) bounds the in-memory LRU; with [dir] the
     cache is persistent ({!create} runs recovery and warming there).
-    Counters [serve.cache.hits] / [serve.cache.misses] /
-    [serve.cache.evictions] / [serve.cache.quarantined] go to
+    [shared] (default false) enables cross-process coordination on
+    [dir] (required); [lock_ttl_s] (default 10) is both the lock
+    heartbeat TTL and the acquisition timeout. [chaos] injects torn
+    writes / mid-write kills into the persist path (chaos harness
+    only). Counters [serve.cache.hits] / [serve.cache.misses] /
+    [serve.cache.evictions] / [serve.cache.quarantined] /
+    [serve.cache.shared_loads] / [serve.cache.lock_timeouts] go to
     [telemetry]. *)
 
 val recovery : t -> Prguard.Atomic_io.recovery option
@@ -71,3 +89,8 @@ val add : t -> entry -> unit
 val length : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val shared : t -> bool
+
+val shared_loads : t -> int
+(** Misses answered by reloading a peer replica's on-disk entry. *)

@@ -1,0 +1,73 @@
+(* Chaos actuation for the serve layer.
+
+   [Prfault.Service] decides which operations fault; this module owns
+   the live injector state (mutex-wrapped: server worker domains,
+   dispatcher and connection threads all draw from one stream) and
+   translates decisions into typed instructions for the call sites.
+   The call sites act — [Server.solve_job] exits, [Cache] tears bytes,
+   [Endpoint] shuts sockets down — so this module stays free of any
+   irreversible side effect and the decision stream is testable. *)
+
+module Service = Prfault.Service
+
+type t = {
+  service : Service.t;
+  mutex : Mutex.t;
+  telemetry : Prtelemetry.t;
+}
+
+(* Replicas killed by chaos exit like a SIGKILL victim would be
+   observed by a supervisor: 128 + 9. *)
+let kill_exit_code = 137
+
+let create ?(telemetry = Prtelemetry.null) spec =
+  match Service.validate spec with
+  | Error _ as e -> e
+  | Ok () -> Ok { service = Service.start spec; mutex = Mutex.create (); telemetry }
+
+let of_string ?telemetry s =
+  match Service.spec_of_string s with
+  | Error _ as e -> e
+  | Ok spec -> create ?telemetry spec
+
+let spec t = Service.spec t.service
+
+let draw t point =
+  Mutex.lock t.mutex;
+  let fault = Service.draw t.service point in
+  Mutex.unlock t.mutex;
+  (match fault with
+   | Some kind ->
+     Prtelemetry.incr t.telemetry
+       ("serve.chaos." ^ Service.kind_name kind)
+   | None -> ());
+  fault
+
+let injected t =
+  Mutex.lock t.mutex;
+  let n = Service.faults_injected t.service in
+  Mutex.unlock t.mutex;
+  n
+
+type solve_action = Run | Kill_solve
+
+let at_solve t =
+  match draw t Service.Solve_point with
+  | Some Service.Crash_solve -> Kill_solve
+  | Some _ | None -> Run
+
+type cache_action = Clean_write | Torn_write | Torn_write_then_kill
+
+let at_cache_write t =
+  match draw t Service.Cache_write_point with
+  | Some Service.Torn_cache_write -> Torn_write
+  | Some Service.Crash_cache_write -> Torn_write_then_kill
+  | Some _ | None -> Clean_write
+
+type reply_action = Deliver | Reset | Delay of float
+
+let at_reply t =
+  match draw t Service.Reply_point with
+  | Some Service.Conn_reset -> Reset
+  | Some Service.Slow_reply -> Delay ((Service.spec t.service).slow_reply_ms /. 1000.)
+  | Some _ | None -> Deliver

@@ -1,0 +1,49 @@
+(** Chaos actuation for the serve layer.
+
+    Wraps a [Prfault.Service] injector in a mutex (worker domains,
+    the dispatcher and connection threads share one decision stream)
+    and translates its seeded decisions into typed instructions the
+    call sites execute:
+
+    - [Server.solve_job] consults {!at_solve} and exits with
+      {!kill_exit_code} on {!Kill_solve} — a replica dying mid-solve;
+    - [Cache.add] consults {!at_cache_write} and tears the persisted
+      entry (truncated data under a full-content CRC sidecar, plus a
+      stale temp), optionally dying right after — the kill -9
+      mid-cache-write scenario;
+    - [Endpoint] consults {!at_reply} before writing a solve reply and
+      resets the connection or delays the write.
+
+    Decisions are counted in telemetry as [serve.chaos.<kind>]. *)
+
+module Service = Prfault.Service
+
+type t
+
+val kill_exit_code : int
+(** 137, what a supervisor observes after SIGKILL. *)
+
+val create :
+  ?telemetry:Prtelemetry.t -> Service.spec -> (t, string) result
+
+val of_string : ?telemetry:Prtelemetry.t -> string -> (t, string) result
+(** Parse a {!Service.spec_of_string} flag value and create. *)
+
+val spec : t -> Service.spec
+val injected : t -> int
+
+val draw : t -> Service.point -> Service.kind option
+(** Raw decision draw (thread-safe). The [at_*] helpers below are the
+    call-site interface. *)
+
+type solve_action = Run | Kill_solve
+
+val at_solve : t -> solve_action
+
+type cache_action = Clean_write | Torn_write | Torn_write_then_kill
+
+val at_cache_write : t -> cache_action
+
+type reply_action = Deliver | Reset | Delay of float  (** seconds *)
+
+val at_reply : t -> reply_action

@@ -1,0 +1,343 @@
+module Recovery = Prfault.Recovery
+
+(* ------------------------------------------------------------- policy *)
+
+type policy = {
+  deadline_ms : float option;
+  retry : Recovery.retry;
+  connect_retry : Recovery.retry;
+  breaker_failures : int;
+  breaker_cooldown_ms : float;
+}
+
+let default_policy =
+  { deadline_ms = Some 30_000.;
+    (* Service-scale backoff, not the microsecond-scale simulation
+       defaults: start at 25 ms, double to a 1 s ceiling. *)
+    retry =
+      { Recovery.max_attempts = 6;
+        base_backoff_s = 0.025;
+        backoff_multiplier = 2.;
+        max_backoff_s = 1.;
+        jitter = 0.2;
+        transition_budget_s = None };
+    connect_retry =
+      { Recovery.max_attempts = 4;
+        base_backoff_s = 0.025;
+        backoff_multiplier = 2.;
+        max_backoff_s = 0.25;
+        jitter = 0.;
+        transition_budget_s = None };
+    breaker_failures = 3;
+    breaker_cooldown_ms = 500. }
+
+let validate_policy p =
+  match Recovery.validate_retry p.retry with
+  | Error e -> Error ("retry: " ^ e)
+  | Ok () -> (
+    match Recovery.validate_retry p.connect_retry with
+    | Error e -> Error ("connect_retry: " ^ e)
+    | Ok () ->
+      if p.breaker_failures < 1 then Error "breaker_failures must be >= 1"
+      else if p.breaker_cooldown_ms < 0. then
+        Error "breaker_cooldown_ms must be >= 0"
+      else
+        match p.deadline_ms with
+        | Some d when d <= 0. -> Error "deadline_ms must be positive"
+        | Some _ | None -> Ok ())
+
+(* -------------------------------------------------------------- errors *)
+
+type error =
+  | Rejected of { code : string; detail : string option }
+  | Server_error of string
+  | Unavailable of string
+
+let error_message = function
+  | Rejected { code; detail } -> (
+    match detail with
+    | Some d -> Printf.sprintf "rejected (%s): %s" code d
+    | None -> Printf.sprintf "rejected (%s)" code)
+  | Server_error m -> "server error: " ^ m
+  | Unavailable m -> "unavailable: " ^ m
+
+(* A reject the fleet can still answer: daemon-side pressure (another
+   replica may have room) or drain (another replica is not draining).
+   Malformed input, oversize designs and unknown names fail everywhere
+   identically — retrying them only burns the budget. *)
+let retryable_reject = function
+  | "queue-full" | "draining" | "client-cap" | "quota" -> true
+  | _ -> false
+
+(* ------------------------------------------------------ circuit breaker *)
+
+type breaker_state = Closed | Open | Half_open
+
+type breaker = {
+  mutable state : breaker_state;
+  mutable failures : int;  (* consecutive *)
+  mutable open_until : float;
+}
+
+(* ------------------------------------------------------------------ t *)
+
+type t = {
+  policy : policy;
+  endpoints : Endpoint.address array;
+  breakers : breaker array;
+  conns : Endpoint.client option array;
+  mutable sticky : int;  (* preferred endpoint index *)
+  jitter_rng : Synth.Rng.t;
+  clock : unit -> float;
+  telemetry : Prtelemetry.t;
+  mutex : Mutex.t;  (* one request at a time; callers serialise here *)
+  mutable closed : bool;
+}
+
+let create ?(policy = default_policy) ?(seed = 0)
+    ?(clock = (Prguard.Budget.monotonic : Prguard.Budget.clock))
+    ?(telemetry = Prtelemetry.null) endpoints =
+  match validate_policy policy with
+  | Error e -> Error ("client policy: " ^ e)
+  | Ok () ->
+    if endpoints = [] then Error "client: no endpoints"
+    else
+      let endpoints = Array.of_list endpoints in
+      Ok
+        { policy;
+          endpoints;
+          breakers =
+            Array.init (Array.length endpoints) (fun _ ->
+                { state = Closed; failures = 0; open_until = 0. });
+          conns = Array.make (Array.length endpoints) None;
+          sticky = 0;
+          jitter_rng = Synth.Rng.make seed;
+          clock;
+          telemetry;
+          mutex = Mutex.create ();
+          closed = false }
+
+let endpoints t = Array.to_list t.endpoints
+let incr t name = Prtelemetry.incr t.telemetry name
+
+let breaker_state t i =
+  if i < 0 || i >= Array.length t.breakers then invalid_arg "breaker_state"
+  else t.breakers.(i).state
+
+let drop_conn t i =
+  match t.conns.(i) with
+  | Some c ->
+    Endpoint.close_client c;
+    t.conns.(i) <- None
+  | None -> ()
+
+let close t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iteri (fun i _ -> drop_conn t i) t.conns
+  end;
+  Mutex.unlock t.mutex
+
+(* Breaker transitions. Failures only count transport-level trouble
+   (connect refused, reset, garbled reply) — a well-formed REJECT or
+   ERR proves the endpoint alive, so it resets the streak. *)
+let record_success t i =
+  let b = t.breakers.(i) in
+  b.failures <- 0;
+  if b.state <> Closed then begin
+    b.state <- Closed;
+    incr t "client.breaker_closes"
+  end
+
+let record_failure t i =
+  let b = t.breakers.(i) in
+  b.failures <- b.failures + 1;
+  let now = t.clock () in
+  let trip =
+    match b.state with
+    | Half_open -> true  (* the probe failed: straight back to open *)
+    | Closed | Open -> b.failures >= t.policy.breaker_failures
+  in
+  if trip then begin
+    if b.state <> Open then incr t "client.breaker_opens";
+    b.state <- Open;
+    b.open_until <- now +. (t.policy.breaker_cooldown_ms /. 1000.)
+  end
+
+(* First endpoint from [sticky] whose breaker admits a request. An open
+   breaker past its cooldown admits one probe (half-open). *)
+let pick_endpoint t =
+  let n = Array.length t.endpoints in
+  let now = t.clock () in
+  let rec scan k =
+    if k >= n then None
+    else begin
+      let i = (t.sticky + k) mod n in
+      let b = t.breakers.(i) in
+      match b.state with
+      | Closed | Half_open -> Some i
+      | Open ->
+        if now >= b.open_until then begin
+          b.state <- Half_open;
+          Some i
+        end
+        else scan (k + 1)
+    end
+  in
+  scan 0
+
+let conn t i =
+  match t.conns.(i) with
+  | Some c -> Ok c
+  | None -> (
+    match
+      Endpoint.connect ~retry:t.policy.connect_retry t.endpoints.(i)
+    with
+    | Ok c ->
+      incr t "client.connects";
+      t.conns.(i) <- Some c;
+      Ok c
+    | Error _ as e -> e)
+
+(* One wire exchange against endpoint [i]. [Error msg] is transport
+   level (retryable, counts against the breaker). *)
+let exchange t i line =
+  match conn t i with
+  | Error msg -> Error msg
+  | Ok c -> (
+    match Endpoint.request c line with
+    | Ok reply -> (
+      match Protocol.parse_reply reply with
+      | Ok parsed -> Ok parsed
+      | Error msg ->
+        (* A garbled reply means framing is gone; the connection is
+           not trustworthy for another request. *)
+        drop_conn t i;
+        Error msg)
+    | Error msg ->
+      drop_conn t i;
+      Error msg)
+
+type 'a outcome =
+  | Done of 'a
+  | Retry of error  (* best error so far, should another attempt fail *)
+  | Fail of error
+
+(* The retry/failover engine. [classify] maps a parsed reply to an
+   outcome; transport failures are always retried. Attempts share one
+   deadline — backoff sleeps are clamped to the time remaining. *)
+let run t ~label ~line ~classify =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if t.closed then Error (Unavailable "client closed")
+      else begin
+        incr t ("client.requests." ^ label);
+        let deadline =
+          Option.map (fun ms -> t.clock () +. (ms /. 1000.)) t.policy.deadline_ms
+        in
+        let remaining () =
+          match deadline with
+          | None -> infinity
+          | Some d -> d -. t.clock ()
+        in
+        let failover () =
+          let n = Array.length t.endpoints in
+          if n > 1 then begin
+            t.sticky <- (t.sticky + 1) mod n;
+            incr t "client.failovers"
+          end
+        in
+        let max_attempts = t.policy.retry.Recovery.max_attempts in
+        let rec attempt n best =
+          if remaining () <= 0. then
+            Error
+              (match best with
+               | Some e -> e
+               | None -> Unavailable (label ^ ": deadline exhausted"))
+          else begin
+            let result =
+              match pick_endpoint t with
+              | None -> Retry (Unavailable "all endpoint breakers open")
+              | Some i -> (
+                t.sticky <- i;
+                match exchange t i line with
+                | Error msg ->
+                  record_failure t i;
+                  failover ();
+                  Retry (Unavailable (msg ^ " at "
+                                      ^ Endpoint.address_to_string
+                                          t.endpoints.(i)))
+                | Ok reply ->
+                  record_success t i;
+                  classify ~failover reply)
+            in
+            match result with
+            | Done v -> Ok v
+            | Fail e -> Error e
+            | Retry e ->
+              let best = Some e in
+              if n >= max_attempts then Error e
+              else begin
+                incr t "client.retries";
+                let backoff =
+                  Recovery.backoff_seconds t.policy.retry ~attempt:n
+                    ~unit_jitter:(Synth.Rng.float t.jitter_rng)
+                in
+                let sleep = Float.min backoff (Float.max 0. (remaining ())) in
+                if sleep > 0. then Thread.delay sleep;
+                attempt (n + 1) best
+              end
+          end
+        in
+        attempt 1 None
+      end)
+
+(* ------------------------------------------------------------ requests *)
+
+let protocol_confusion ~failover reply_kind =
+  ignore reply_kind;
+  failover ();
+  Retry (Unavailable "unexpected reply kind")
+
+let classify_solve ~failover = function
+  | Protocol.R_solved s -> Done s
+  | Protocol.R_reject { code; detail } ->
+    if retryable_reject code then begin
+      (* This replica refused but answered; peers may have room. *)
+      failover ();
+      Retry (Rejected { code; detail })
+    end
+    else Fail (Rejected { code; detail })
+  | Protocol.R_err m ->
+    (* SOLVE is idempotent under the content-addressed fingerprint, so
+       retrying a failed solve elsewhere is always safe. *)
+    failover ();
+    Retry (Server_error m)
+  | (Protocol.R_status _ | Protocol.R_health _ | Protocol.R_bye) as r ->
+    protocol_confusion ~failover r
+
+let solve t ?(client = "anon") spec =
+  let line = Printf.sprintf "SOLVE client=%s %s" client spec in
+  run t ~label:"solve" ~line ~classify:classify_solve
+
+let solve_inline t ?client ~design_xml () =
+  solve t ?client ("inline:" ^ design_xml)
+
+let status t =
+  run t ~label:"status" ~line:"STATUS" ~classify:(fun ~failover -> function
+    | Protocol.R_status json -> Done json
+    | r -> protocol_confusion ~failover r)
+
+let health t =
+  run t ~label:"health" ~line:"HEALTH" ~classify:(fun ~failover -> function
+    | Protocol.R_health ok -> Done ok
+    | r -> protocol_confusion ~failover r)
+
+let retries t = Prtelemetry.counter_value t.telemetry "client.retries"
+let failovers t = Prtelemetry.counter_value t.telemetry "client.failovers"
+
+let breaker_opens t =
+  Prtelemetry.counter_value t.telemetry "client.breaker_opens"

@@ -1,0 +1,101 @@
+(** Fault-tolerant fleet client for the Prserve daemon.
+
+    One client speaks to a list of replica endpoints.  Requests stick
+    to one endpoint until it misbehaves, then fail over round-robin —
+    safe because SOLVE is idempotent under the content-addressed cache
+    fingerprint: any replica returns the same scheme for the same
+    design and configuration.  Transport failures (connect refused,
+    reset, garbled framing) feed a per-endpoint circuit breaker
+    (closed → open after [breaker_failures] consecutive failures →
+    half-open probe after [breaker_cooldown_ms]); a well-formed REJECT
+    or ERR proves the endpoint alive and resets its streak.  Retries
+    back off per {!Prfault.Recovery.backoff_seconds} with jitter drawn
+    from a seeded {!Synth.Rng}, so a given client seed replays the
+    same schedule; the whole request, sleeps included, is bounded by
+    the per-request [deadline_ms].
+
+    A client is mutex-serialised: one request at a time.  Run several
+    clients (cheap — one lazy connection per endpoint) for
+    concurrency. *)
+
+type policy = {
+  deadline_ms : float option;
+      (** Total per-request budget across all attempts and backoff
+          sleeps; [None] = unbounded. *)
+  retry : Prfault.Recovery.retry;
+      (** Attempt count and backoff shape for the request loop. *)
+  connect_retry : Prfault.Recovery.retry;
+      (** Passed to {!Endpoint.connect} for transient connect races. *)
+  breaker_failures : int;
+      (** Consecutive transport failures that open an endpoint's
+          breaker. *)
+  breaker_cooldown_ms : float;
+      (** Open duration before a half-open probe is admitted. *)
+}
+
+val default_policy : policy
+(** 30 s deadline; 6 attempts backing off 25 ms → 1 s with 0.2 jitter;
+    4 connect attempts; breaker opens after 3 failures for 500 ms. *)
+
+type error =
+  | Rejected of { code : string; detail : string option }
+      (** The daemon refused ([REJECT]).  Pressure codes (queue-full,
+          draining, client-cap, quota) are retried on other replicas
+          first; input-shaped codes (bad-request, too-large,
+          not-found, idle-timeout) fail immediately — they fail
+          identically everywhere. *)
+  | Server_error of string
+      (** [ERR] reply; retried elsewhere (solves are idempotent). *)
+  | Unavailable of string
+      (** Transport-level: no endpoint answered within the policy. *)
+
+val error_message : error -> string
+
+type breaker_state = Closed | Open | Half_open
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?seed:int ->
+  ?clock:Prguard.Budget.clock ->
+  ?telemetry:Prtelemetry.t ->
+  Endpoint.address list ->
+  (t, string) result
+(** [seed] drives backoff jitter (default 0 — deterministic); [clock]
+    is the deadline time source (default monotonic).  Connections are
+    opened lazily per endpoint and reused across requests.  Errors on
+    an invalid policy or an empty endpoint list. *)
+
+val solve :
+  t -> ?client:string -> string -> (Protocol.solved, error) result
+(** [solve t spec] sends [SOLVE client=<client> <spec>] where [spec]
+    is a design name, [path:FILE] or [inline:XML] per the protocol. *)
+
+val solve_inline :
+  t -> ?client:string -> design_xml:string -> unit ->
+  (Protocol.solved, error) result
+
+val status : t -> (string, error) result
+(** Raw STATUS JSON body from whichever replica answered. *)
+
+val health : t -> (bool, error) result
+(** [Ok true] = serving, [Ok false] = draining. *)
+
+val close : t -> unit
+(** Close all connections; further requests fail.  Idempotent. *)
+
+(** {1 Introspection (tests, the chaos bench)} *)
+
+val endpoints : t -> Endpoint.address list
+val breaker_state : t -> int -> breaker_state
+(** Breaker for the [i]th endpoint of {!endpoints}. *)
+
+val retries : t -> int
+(** [client.retries] counter. *)
+
+val failovers : t -> int
+(** [client.failovers] counter. *)
+
+val breaker_opens : t -> int
+(** [client.breaker_opens] counter. *)

@@ -61,25 +61,56 @@ let write_line fd line =
   in
   go 0
 
-let handle_connection ?max_line_bytes server fd =
-  let reader = Reader.of_fd ?max_line_bytes fd in
+(* Chaos only touches solve replies (OK/ERR/REJECT): resetting STATUS
+   or HEALTH would make the supervisor's probes indistinguishable from
+   a dead replica and churn restarts for no test value. *)
+let solve_reply reply =
+  let starts tag =
+    String.length reply >= String.length tag
+    && String.sub reply 0 (String.length tag) = tag
+  in
+  starts "OK " || starts "ERR " || starts "REJECT "
+
+let handle_connection ?max_line_bytes ?idle_timeout_s server fd =
+  let reader = Reader.of_fd ?max_line_bytes ?idle_timeout_s fd in
   let rec loop () =
     match Reader.next reader with
     | Ok None -> ()
+    | Error (Reader.Idle_timeout _) ->
+      (* Slowloris defence: a typed reject so a well-meaning slow
+         client learns why it was cut off, then hang up. *)
+      (try write_line fd (Server.reject server Protocol.Idle_timeout)
+       with Unix.Unix_error _ -> ())
     | Error e ->
       (* The stream has lost line framing; answer once and hang up. *)
       (try write_line fd (Protocol.render_err (Reader.error_message e))
        with Unix.Unix_error _ -> ())
     | Ok (Some line) ->
       let reply = Server.handle_line server line in
-      (match (try Ok (write_line fd reply) with Unix.Unix_error _ -> Error ())
-       with
-       | Error () -> ()
-       | Ok () -> if reply <> Protocol.render_bye then loop ())
+      let action =
+        match Server.chaos server with
+        | Some c when solve_reply reply -> Chaos.at_reply c
+        | Some _ | None -> Chaos.Deliver
+      in
+      (match action with
+       | Chaos.Reset ->
+         (* Drop the reply on the floor and slam the connection — the
+            client sees EOF/ECONNRESET after the request was admitted. *)
+         (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ | Invalid_argument _ -> ())
+       | Chaos.Deliver | Chaos.Delay _ ->
+         (match action with
+          | Chaos.Delay s -> Thread.delay s
+          | _ -> ());
+         (match
+            (try Ok (write_line fd reply) with Unix.Unix_error _ -> Error ())
+          with
+          | Error () -> ()
+          | Ok () -> if reply <> Protocol.render_bye then loop ()))
   in
   loop ()
 
-let serve_loop ?(poll_interval = 0.2) ?max_line_bytes t server =
+let serve_loop ?(poll_interval = 0.2) ?max_line_bytes ?idle_timeout_s t server =
   (* Live connection fds, so a drain can unblock reader threads parked
      in [Unix.read] on idle connections.  An fd is closed only under
      the registry lock, after removal, so the drain-time [shutdown]
@@ -114,7 +145,9 @@ let serve_loop ?(poll_interval = 0.2) ?max_line_bytes t server =
                (fun () ->
                  Fun.protect
                    ~finally:(fun () -> release fd)
-                   (fun () -> handle_connection ?max_line_bytes server fd))
+                   (fun () ->
+                     handle_connection ?max_line_bytes ?idle_timeout_s server
+                       fd))
                ()
              :: !threads
          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ())
@@ -140,7 +173,7 @@ type client = {
   mutable cclosed : bool;
 }
 
-let connect ?max_line_bytes address =
+let connect_once ?max_line_bytes address =
   let domain =
     match address with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
   in
@@ -151,9 +184,40 @@ let connect ?max_line_bytes address =
     Ok { cfd = fd; creader = Reader.of_fd ?max_line_bytes fd; cclosed = false }
   with Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with _ -> ());
-    Error
-      (Printf.sprintf "connect %s: %s" (address_to_string address)
-         (Unix.error_message e))
+    Error (e, Printf.sprintf "connect %s: %s" (address_to_string address)
+             (Unix.error_message e))
+
+(* Races against replica startup look like ENOENT (Unix socket path not
+   bound yet) or ECONNREFUSED (listener not up / backlog flushed after a
+   crash); both deserve a bounded retry. Anything else — EACCES, a
+   protocol mismatch — fails fast. *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EAGAIN -> true
+  | _ -> false
+
+let connect ?max_line_bytes ?retry address =
+  match retry with
+  | None -> (
+    match connect_once ?max_line_bytes address with
+    | Ok c -> Ok c
+    | Error (_, msg) -> Error msg)
+  | Some (r : Prfault.Recovery.retry) ->
+    let rec attempt n =
+      match connect_once ?max_line_bytes address with
+      | Ok c -> Ok c
+      | Error (e, msg) ->
+        if n >= r.Prfault.Recovery.max_attempts || not (transient e) then
+          Error msg
+        else begin
+          (* unit_jitter 0: connect retries must stay deterministic for
+             the chaos replays; the client library layers seeded jitter
+             on top where thundering herds matter. *)
+          Thread.delay
+            (Prfault.Recovery.backoff_seconds r ~attempt:n ~unit_jitter:0.);
+          attempt (n + 1)
+        end
+    in
+    attempt 1
 
 let request c line =
   if c.cclosed then Error "connection closed"

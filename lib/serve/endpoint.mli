@@ -25,10 +25,20 @@ val listen : ?backlog:int -> address -> (t, string) result
     unlinked first. *)
 
 val serve_loop :
-  ?poll_interval:float -> ?max_line_bytes:int -> t -> Server.t -> unit
+  ?poll_interval:float ->
+  ?max_line_bytes:int ->
+  ?idle_timeout_s:float ->
+  t ->
+  Server.t ->
+  unit
 (** Accept and serve until the server drains.  [poll_interval]
     (default 0.2 s) bounds shutdown latency; [max_line_bytes] is the
-    {!Reader} bound per request line. *)
+    {!Reader} bound per request line.  With [idle_timeout_s] a
+    connection whose peer stays silent past the deadline receives a
+    typed [REJECT idle-timeout] and is hung up (slowloris defence).
+    When the server carries a chaos injector, solve replies (only)
+    pass its reply point: they may be delayed or replaced by a
+    connection reset. *)
 
 val close : t -> unit
 (** Close the listening socket (and unlink a Unix path).  Idempotent. *)
@@ -37,7 +47,17 @@ val close : t -> unit
 
 type client
 
-val connect : ?max_line_bytes:int -> address -> (client, string) result
+val connect :
+  ?max_line_bytes:int ->
+  ?retry:Prfault.Recovery.retry ->
+  address ->
+  (client, string) result
+(** With [retry], transient connect failures (ECONNREFUSED, ENOENT —
+    the races a client loses against replica startup — plus
+    ECONNRESET/EAGAIN) back off deterministically per
+    [Recovery.backoff_seconds] (no jitter) and retry up to
+    [max_attempts] total attempts.  Other errors, and exhaustion, fail
+    with the last error message. *)
 
 val request : client -> string -> (string, string) result
 (** Write one request line, read one reply line.  [Error] on a closed

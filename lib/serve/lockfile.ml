@@ -1,0 +1,139 @@
+(* Cross-process advisory lock for a shared cache directory.
+
+   The lock is a file ([DIR/.prserve.lock]) created with O_EXCL and
+   stamped with the holder's pid and a wall-clock heartbeat. Waiters
+   poll; a lock whose holder is dead (kill 0 -> ESRCH) or whose stamp
+   is older than the TTL is {e stale} and taken over. Takeover renames
+   the stale file aside before removing it, so when several waiters
+   judge the same lock stale only the one whose rename succeeds clears
+   it — nobody ever unlinks a freshly created lock by mistake. *)
+
+let lock_name = ".prserve.lock"
+let path_in dir = Filename.concat dir lock_name
+
+type t = {
+  path : string;
+  pid : int;
+  mutable released : bool;
+}
+
+let render ~pid ~stamp = Printf.sprintf "pid %d\nstamp %.6f\n" pid stamp
+
+(* [Some (pid, stamp)] when both header lines parse; [None] marks the
+   content unparseable (treated as stale — nothing we can wait on). *)
+let parse content =
+  match String.split_on_char '\n' content with
+  | pid_line :: stamp_line :: _ -> (
+    let field prefix line =
+      let pl = String.length prefix in
+      if String.length line > pl && String.sub line 0 pl = prefix then
+        Some (String.sub line pl (String.length line - pl))
+      else None
+    in
+    match (field "pid " pid_line, field "stamp " stamp_line) with
+    | Some pid, Some stamp -> (
+      match (int_of_string_opt pid, float_of_string_opt stamp) with
+      | Some pid, Some stamp -> Some (pid, stamp)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let pid_alive pid =
+  if pid <= 0 then false
+  else
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception Unix.Unix_error (_, _, _) ->
+      (* EPERM and friends: the process exists but is not ours. *)
+      true
+
+let read_content path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content -> Some content
+  | exception Sys_error _ -> None
+
+let stale ~ttl_s ~now content =
+  match parse content with
+  | None -> true
+  | Some (pid, stamp) ->
+    (not (pid_alive pid)) || now -. stamp > ttl_s
+
+(* Move the stale lock aside with an atomic rename, then delete it.
+   Rename succeeds for exactly one contender; losers just re-poll. *)
+let takeover path =
+  let aside = Printf.sprintf "%s.stale.%d" path (Unix.getpid ()) in
+  match Unix.rename path aside with
+  | () ->
+    (try Sys.remove aside with Sys_error _ -> ());
+    true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+let try_create path ~pid =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+  | fd ->
+    let content = render ~pid ~stamp:(Unix.gettimeofday ()) in
+    let _ = Unix.write_substring fd content 0 (String.length content) in
+    Unix.close fd;
+    true
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+
+let acquire ?(ttl_s = 10.) ?(timeout_s = 10.) ?(poll_s = 0.01) ~dir () =
+  let path = path_in dir in
+  let pid = Unix.getpid () in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec attempt () =
+    if try_create path ~pid then Ok { path; pid; released = false }
+    else begin
+      let now = Unix.gettimeofday () in
+      let is_stale =
+        match read_content path with
+        | None -> false  (* gone already: retry immediately *)
+        | Some content -> stale ~ttl_s ~now content
+      in
+      if is_stale then begin
+        ignore (takeover path);
+        attempt ()
+      end
+      else if now > deadline then
+        Error
+          (Printf.sprintf "lockfile %s: timed out after %.1fs (held by %s)"
+             path timeout_s
+             (match read_content path with
+              | Some c -> (
+                match parse c with
+                | Some (pid, _) -> Printf.sprintf "pid %d" pid
+                | None -> "unknown")
+              | None -> "unknown"))
+      else begin
+        Thread.delay poll_s;
+        attempt ()
+      end
+    end
+  in
+  attempt ()
+
+let refresh t =
+  if not t.released then
+    (* In-place rewrite: only the holder touches the file, and the
+       content length is stable enough that a torn heartbeat merely
+       looks stale — the safe failure direction. *)
+    match Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 with
+    | fd ->
+      let content = render ~pid:t.pid ~stamp:(Unix.gettimeofday ()) in
+      let _ = Unix.write_substring fd content 0 (String.length content) in
+      Unix.close fd
+    | exception Unix.Unix_error (_, _, _) -> ()
+
+let release t =
+  if not t.released then begin
+    t.released <- true;
+    try Sys.remove t.path with Sys_error _ -> ()
+  end
+
+let with_lock ?ttl_s ?timeout_s ?poll_s ~dir f =
+  match acquire ?ttl_s ?timeout_s ?poll_s ~dir () with
+  | Error _ as e -> e
+  | Ok lock ->
+    let result = Fun.protect ~finally:(fun () -> release lock) f in
+    Ok result

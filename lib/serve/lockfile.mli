@@ -1,0 +1,55 @@
+(** Cross-process advisory lock for a shared cache directory.
+
+    Replicas sharing [--shared-cache DIR] serialise multi-file
+    mutations (warm scans, recovery, entry persist + LRU eviction)
+    through one lock file, [DIR/.prserve.lock], created with
+    [O_CREAT|O_EXCL] and stamped ["pid <pid>\nstamp <wall-clock>\n"].
+
+    Liveness: a waiter that finds the lock held checks the stamp. A
+    holder that is dead (signal-0 probe raises [ESRCH]) or whose stamp
+    is older than [ttl_s] is {e stale}; the waiter takes the lock over
+    by atomically renaming the stale file aside and retrying creation.
+    The rename is the arbitration point — of several waiters that judge
+    the same lock stale, exactly one wins the rename, so a freshly
+    created lock is never clobbered by a slow takeover racer.
+
+    Reads never take the lock: entry files are rename-atomic
+    ([Prguard.Atomic_io]) and CRC-verified on load, so lock-free
+    readers see either the old complete entry or the new one. *)
+
+type t
+
+val lock_name : string
+(** [".prserve.lock"] *)
+
+val path_in : string -> string
+(** [path_in dir] is the lock file path for [dir]. *)
+
+val acquire :
+  ?ttl_s:float ->
+  ?timeout_s:float ->
+  ?poll_s:float ->
+  dir:string ->
+  unit ->
+  (t, string) result
+(** Block (polling every [poll_s], default 10ms) until the lock is
+    acquired or [timeout_s] (default 10s) elapses. A held lock whose
+    stamp is older than [ttl_s] (default 10s) or whose pid is dead is
+    taken over immediately. *)
+
+val refresh : t -> unit
+(** Re-stamp the heartbeat; call from long-running holders so waiters
+    do not judge the lock stale. *)
+
+val release : t -> unit
+(** Remove the lock file. Idempotent. *)
+
+val with_lock :
+  ?ttl_s:float ->
+  ?timeout_s:float ->
+  ?poll_s:float ->
+  dir:string ->
+  (unit -> 'a) ->
+  ('a, string) result
+(** Acquire, run, release (also on exception). [Error] only when
+    acquisition itself timed out. *)

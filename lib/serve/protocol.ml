@@ -73,18 +73,22 @@ let parse line =
 type reject =
   | Queue_full of { depth : int; capacity : int }
   | Client_cap of { client : string; in_flight : int; cap : int }
+  | Quota of { client : string; in_flight : int; quota : int }
   | Draining
   | Bad_request of string
   | Too_large of string
   | Not_found of string
+  | Idle_timeout
 
 let reject_code = function
   | Queue_full _ -> "queue-full"
   | Client_cap _ -> "client-cap"
+  | Quota _ -> "quota"
   | Draining -> "draining"
   | Bad_request _ -> "bad-request"
   | Too_large _ -> "too-large"
   | Not_found _ -> "not-found"
+  | Idle_timeout -> "idle-timeout"
 
 type solved = {
   design : string;
@@ -139,7 +143,10 @@ let render_reject r =
     | Client_cap { client; in_flight; cap } ->
       Printf.sprintf ",\"client\":%s,\"in_flight\":%d,\"cap\":%d" (jstr client)
         in_flight cap
-    | Draining -> ""
+    | Quota { client; in_flight; quota } ->
+      Printf.sprintf ",\"client\":%s,\"in_flight\":%d,\"quota\":%d"
+        (jstr client) in_flight quota
+    | Draining | Idle_timeout -> ""
     | Bad_request m | Too_large m | Not_found m ->
       Printf.sprintf ",\"detail\":%s" (jstr m)
   in
@@ -149,3 +156,82 @@ let render_err msg = Printf.sprintf "ERR {\"error\":%s}" (jstr msg)
 let render_status json = "STATUS " ^ json
 let render_health ~ok = if ok then "HEALTH ok" else "HEALTH draining"
 let render_bye = "BYE"
+
+(* -------------------------------------------------------- reply parsing *)
+
+(* The client library's half of the grammar: the inverse of the
+   renderers above, kept beside them so the two evolve together. *)
+
+type reply =
+  | R_solved of solved
+  | R_reject of { code : string; detail : string option }
+  | R_err of string
+  | R_status of string
+  | R_health of bool
+  | R_bye
+
+module Json = Prtelemetry.Json
+
+let parse_solved json =
+  let str name = Option.bind (Json.member name json) Json.to_str in
+  let num name = Option.bind (Json.member name json) Json.to_int in
+  let fnum name = Option.bind (Json.member name json) Json.to_float in
+  let bool name =
+    match Json.member name json with
+    | Some (Json.Bool b) -> Some b
+    | _ -> None
+  in
+  match
+    ( str "design", num "regions", num "total_frames", num "worst_frames",
+      bool "cached", bool "degraded", str "reason", num "shed_level",
+      fnum "queue_wait_ms", fnum "elapsed_ms", str "signature" )
+  with
+  | ( Some design, Some regions, Some total_frames, Some worst_frames,
+      Some cached, Some degraded, Some reason, Some shed_level,
+      Some queue_wait_ms, Some elapsed_ms, Some signature ) ->
+    Ok
+      { design; regions; total_frames; worst_frames;
+        device = str "device";
+        cached; degraded; reason;
+        rung = str "rung";
+        shed_level; queue_wait_ms; elapsed_ms; signature }
+  | _ -> Error "OK reply is missing required fields"
+
+let parse_reply line =
+  let body tag =
+    String.sub line (String.length tag) (String.length line - String.length tag)
+  in
+  let starts tag =
+    String.length line >= String.length tag
+    && String.sub line 0 (String.length tag) = tag
+  in
+  if line = render_bye then Ok R_bye
+  else if line = "HEALTH ok" then Ok (R_health true)
+  else if line = "HEALTH draining" then Ok (R_health false)
+  else if starts "OK " then
+    match Json.of_string (body "OK ") with
+    | Error e -> Error ("OK reply: " ^ e)
+    | Ok json -> (
+      match parse_solved json with
+      | Ok s -> Ok (R_solved s)
+      | Error _ as e -> e)
+  else if starts "REJECT " then
+    match Json.of_string (body "REJECT ") with
+    | Error e -> Error ("REJECT reply: " ^ e)
+    | Ok json -> (
+      match Option.bind (Json.member "reason" json) Json.to_str with
+      | None -> Error "REJECT reply carries no reason"
+      | Some code ->
+        let detail =
+          Option.bind (Json.member "detail" json) Json.to_str
+        in
+        Ok (R_reject { code; detail }))
+  else if starts "ERR " then
+    match Json.of_string (body "ERR ") with
+    | Error e -> Error ("ERR reply: " ^ e)
+    | Ok json -> (
+      match Option.bind (Json.member "error" json) Json.to_str with
+      | None -> Error "ERR reply carries no error"
+      | Some msg -> Ok (R_err msg))
+  else if starts "STATUS " then Ok (R_status (body "STATUS "))
+  else Error (Printf.sprintf "unrecognised reply %S" (strip line))

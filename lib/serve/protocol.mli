@@ -49,14 +49,18 @@ val parse : string -> (request, string) result
 type reject =
   | Queue_full of { depth : int; capacity : int }
   | Client_cap of { client : string; in_flight : int; cap : int }
+  | Quota of { client : string; in_flight : int; quota : int }
+      (** Per-client quota from the admission weight table. *)
   | Draining  (** The daemon is shutting down. *)
   | Bad_request of string  (** Parse error, echoed back. *)
   | Too_large of string  (** [Design_xml.limits] ceiling hit. *)
   | Not_found of string  (** Unknown design name / unreadable path. *)
+  | Idle_timeout  (** Connection idle past the server's read deadline. *)
 
 val reject_code : reject -> string
 (** Stable machine-readable code: ["queue-full"], ["client-cap"],
-    ["draining"], ["bad-request"], ["too-large"], ["not-found"]. *)
+    ["quota"], ["draining"], ["bad-request"], ["too-large"],
+    ["not-found"], ["idle-timeout"]. *)
 
 type solved = {
   design : string;
@@ -87,3 +91,23 @@ val render_bye : string
 
 val json_escape : string -> string
 (** JSON string-literal escaping (shared with the status composer). *)
+
+(** {1 Reply parsing}
+
+    The client library's half of the grammar — the inverse of the
+    renderers, kept in this module so both sides evolve together. *)
+
+type reply =
+  | R_solved of solved
+  | R_reject of { code : string; detail : string option }
+      (** [code] is a {!reject_code} string; structured fields beyond
+          [detail] are not needed client-side. *)
+  | R_err of string
+  | R_status of string  (** The raw JSON body. *)
+  | R_health of bool  (** [true] = ok, [false] = draining. *)
+  | R_bye
+
+val parse_reply : string -> (reply, string) result
+(** Parse one reply line. [Error] marks a protocol violation (garbled
+    or truncated reply) — the client treats it like a transport
+    failure and retries elsewhere. *)

@@ -4,7 +4,13 @@
     {!Protocol} is the line grammar; {!Cache} the content-addressed,
     crash-safe result store; {!Admission} the bounded fair queue;
     {!Server} the transport-independent daemon core; {!Endpoint} the
-    Unix/TCP socket front-end.  See DESIGN.md §11. *)
+    Unix/TCP socket front-end.  See DESIGN.md §11.
+
+    The fleet layer (DESIGN.md §14): {!Lockfile} coordinates replicas
+    sharing one cache directory; {!Client} is the fault-tolerant
+    caller (retry/backoff, circuit breakers, failover); {!Supervisor}
+    spawns and restarts replica processes; {!Chaos} actuates the
+    seeded [Prfault.Service] fault model inside a replica. *)
 
 module Reader = Reader
 module Protocol = Protocol
@@ -12,3 +18,7 @@ module Cache = Cache
 module Admission = Admission
 module Server = Server
 module Endpoint = Endpoint
+module Lockfile = Lockfile
+module Chaos = Chaos
+module Client = Client
+module Supervisor = Supervisor

@@ -1,12 +1,17 @@
 type error =
   | Line_too_long of { line : int; limit : int }
   | Binary_input of { line : int }
+  | Idle_timeout of { line : int }
+
+exception Timeout
 
 let error_message = function
   | Line_too_long { line; limit } ->
     Printf.sprintf "line %d exceeds the %d-byte line limit" line limit
   | Binary_input { line } ->
     Printf.sprintf "binary input (NUL byte) on line %d" line
+  | Idle_timeout { line } ->
+    Printf.sprintf "idle timeout waiting for line %d" line
 
 type t = {
   refill : bytes -> int -> int;
@@ -14,6 +19,7 @@ type t = {
   mutable pos : int;  (** next unread byte in [buf] *)
   mutable len : int;  (** valid bytes in [buf] *)
   mutable eof : bool;
+  mutable timed_out : bool;
   mutable line : int;
   mutable poisoned : error option;
   max_line_bytes : int;
@@ -30,6 +36,7 @@ let of_refill ?(max_line_bytes = default_max_line_bytes) refill =
     pos = 0;
     len = 0;
     eof = false;
+    timed_out = false;
     line = 0;
     poisoned = None;
     max_line_bytes;
@@ -38,19 +45,37 @@ let of_refill ?(max_line_bytes = default_max_line_bytes) refill =
 let of_channel ?max_line_bytes ic =
   of_refill ?max_line_bytes (fun buf len -> input ic buf 0 len)
 
-let of_fd ?max_line_bytes fd =
+let of_fd ?max_line_bytes ?idle_timeout_s fd =
+  (match idle_timeout_s with
+   | Some s when s > 0. -> (
+     (* SO_RCVTIMEO turns a silent peer into EAGAIN on the blocking
+        read — the cheapest slowloris defence that needs no extra
+        watchdog thread. Non-socket fds reject the option; they keep
+        their blocking semantics. *)
+     try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+     with Unix.Unix_error (_, _, _) | Invalid_argument _ -> ())
+   | Some _ | None -> ());
+  let timed = idle_timeout_s <> None in
   of_refill ?max_line_bytes (fun buf len ->
       (* A remote peer resetting the connection mid-line is EOF, not a
          daemon-visible exception. *)
       try Unix.read fd buf 0 len with
-      | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0)
+      | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) when timed ->
+        raise Timeout)
 
 let line_number t = t.line
 
 let refill t =
   if t.eof then false
   else begin
-    let n = t.refill t.buf chunk in
+    let n =
+      match t.refill t.buf chunk with
+      | n -> n
+      | exception Timeout ->
+        t.timed_out <- true;
+        0
+    in
     if n <= 0 then begin
       t.eof <- true;
       false
@@ -81,6 +106,11 @@ let next t =
     let rec scan () =
       if t.pos >= t.len then
         if refill t then scan ()
+        else if t.timed_out then
+          (* A buffered partial line is dropped on purpose: the peer
+             went silent mid-line, so the framing is unfinished and
+             the connection is about to be torn down anyway. *)
+          poison t (Idle_timeout { line = t.line })
         else if Buffer.length t.acc > 0 then Ok (Some (finish_line t))
         else begin
           t.line <- t.line - 1;

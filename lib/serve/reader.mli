@@ -16,6 +16,14 @@ type error =
       (** Line [line] (1-based) exceeded [limit] bytes; reading stopped
           without buffering the rest. *)
   | Binary_input of { line : int }  (** NUL byte on line [line]. *)
+  | Idle_timeout of { line : int }
+      (** The peer went silent for longer than the idle deadline while
+          line [line] was awaited (slowloris defence; any buffered
+          partial line is discarded). *)
+
+exception Timeout
+(** Raised by a refill function to signal an idle deadline; {!next}
+    converts it into a poisoning {!Idle_timeout} error. *)
 
 val error_message : error -> string
 
@@ -29,7 +37,12 @@ val of_refill : ?max_line_bytes:int -> (bytes -> int -> int) -> t
     XML at 16 MiB separately). *)
 
 val of_channel : ?max_line_bytes:int -> in_channel -> t
-val of_fd : ?max_line_bytes:int -> Unix.file_descr -> t
+
+val of_fd : ?max_line_bytes:int -> ?idle_timeout_s:float -> Unix.file_descr -> t
+(** With [idle_timeout_s] the socket's receive timeout is set
+    ([SO_RCVTIMEO]) and a blocking read that expires poisons the
+    reader with {!Idle_timeout} — a client that connects and goes
+    silent cannot pin a connection thread forever. *)
 
 val next : t -> (string option, error) result
 (** The next line ([Ok None] at EOF).  After an [Error] the reader is

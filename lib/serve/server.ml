@@ -11,12 +11,15 @@ type config = {
   jobs : int;
   queue_capacity : int;
   client_cap : int;
+  quotas : (string * int) list;
   cache_capacity : int;
   cache_dir : string option;
+  cache_shared : bool;
   shed_thresholds_ms : float array;
   limits : Prdesign.Design_xml.limits;
   clock : Budget.clock;
   telemetry : Prtelemetry.t;
+  chaos : Chaos.t option;
 }
 
 let default_config ?(telemetry = Prtelemetry.null) () =
@@ -28,12 +31,15 @@ let default_config ?(telemetry = Prtelemetry.null) () =
     jobs = Par.recommended_jobs ();
     queue_capacity = 64;
     client_cap = 16;
+    quotas = [];
     cache_capacity = 256;
     cache_dir = None;
+    cache_shared = false;
     shed_thresholds_ms = [| 50.; 200.; 1000. |];
     limits = Prdesign.Design_xml.default_limits;
     clock = Budget.monotonic;
-    telemetry }
+    telemetry;
+    chaos = None }
 
 (* ------------------------------------------------------ shedding policy *)
 
@@ -141,6 +147,13 @@ type job_result =
    per job, so a batch-mate's slow solve cannot inflate this job's
    latency, solve-time, or deadline-miss accounting. *)
 let solve_job t job =
+  (* Chaos kill-point: a replica dying mid-solve. [_exit] so no
+     at_exit/finaliser cleanup runs — exactly what SIGKILL looks like
+     to the supervisor and to clients holding open connections. *)
+  (match t.config.chaos with
+   | Some c when Chaos.at_solve c = Chaos.Kill_solve ->
+     Unix._exit Chaos.kill_exit_code
+   | Some _ | None -> ());
   let started = t.config.clock () in
   let result =
     try
@@ -266,6 +279,7 @@ let create config =
   else
     match
       Cache.create ~capacity:config.cache_capacity ?dir:config.cache_dir
+        ~shared:config.cache_shared ?chaos:config.chaos
         ~telemetry:config.telemetry ()
     with
     | Error e -> Error ("serve: cache: " ^ e)
@@ -277,7 +291,7 @@ let create config =
           cache;
           admission =
             Admission.create ~capacity:config.queue_capacity
-              ~client_cap:config.client_cap ();
+              ~client_cap:config.client_cap ~quotas:config.quotas ();
           pool = Par.Pool.create ~telemetry:tele ~jobs:config.jobs ();
           started = config.clock ();
           stop = Atomic.make false;
@@ -295,12 +309,19 @@ let draining t = Atomic.get t.stop
 let request_shutdown t = Atomic.set t.stop true
 let cache t = t.cache
 let telemetry t = t.config.telemetry
+let chaos t = t.config.chaos
 let requests t = Prtelemetry.counter_value t.config.telemetry "serve.requests"
+let client_quota t client = Admission.quota t.admission ~client
 
 (* ------------------------------------------------------------- requests *)
 
 let reject t r =
   incr t ("serve.rejects." ^ Protocol.reject_code r);
+  (* Quota refusals get a dedicated headline counter beside the
+     per-code breakdown: tenants watch this one. *)
+  (match r with
+   | Protocol.Quota _ -> incr t "serve.quota_rejects"
+   | _ -> ());
   Protocol.render_reject r
 
 let load_named t spec =
@@ -394,6 +415,8 @@ let handle_solve t ~client spec =
           reject t (Protocol.Queue_full { depth; capacity })
         | Error (Admission.Client_cap { client; in_flight; cap }) ->
           reject t (Protocol.Client_cap { client; in_flight; cap })
+        | Error (Admission.Quota { client; in_flight; quota }) ->
+          reject t (Protocol.Quota { client; in_flight; quota })
         | Error Admission.Closed -> reject t Protocol.Draining
         | Ok () -> await job))
 
@@ -417,27 +440,32 @@ let status_json t =
   Printf.sprintf
     "{\"uptime_s\":%.3f,\"requests\":%d,\"solved\":%d,\"errors\":%d,\
      \"unsolvable\":%d,\"degraded\":%d,\"qps\":%.3f,\
-     \"cache\":{\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"entries\":%d},\
+     \"cache\":{\"hits\":%d,\"misses\":%d,\"hit_rate\":%.4f,\"entries\":%d,\
+     \"shared\":%b,\"shared_loads\":%d},\
      \"queue\":{\"depth\":%d,\"capacity\":%d,\"client_cap\":%d},\
      \"shed\":{\"level\":%d,\"ewma_wait_ms\":%.3f},\
-     \"rejects\":{\"queue_full\":%d,\"client_cap\":%d,\"draining\":%d,\
-     \"bad_request\":%d,\"too_large\":%d,\"not_found\":%d},\
+     \"rejects\":{\"queue_full\":%d,\"client_cap\":%d,\"quota\":%d,\
+     \"draining\":%d,\"bad_request\":%d,\"too_large\":%d,\"not_found\":%d,\
+     \"idle_timeout\":%d},\
      \"latency_ms\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f},\
      \"deadline_misses\":%d,\"par_utilisation\":%.4f,\"draining\":%b}"
     uptime requests (counter "serve.solved") (counter "serve.errors")
     (counter "serve.unsolvable") (counter "serve.degraded")
     (float_of_int requests /. uptime)
     hits misses hit_rate (Cache.length t.cache)
+    (Cache.shared t.cache) (Cache.shared_loads t.cache)
     (Admission.depth t.admission)
     (Admission.capacity t.admission)
     (Admission.client_cap t.admission)
     (shed_level t) (ewma t)
     (counter "serve.rejects.queue-full")
     (counter "serve.rejects.client-cap")
+    (counter "serve.rejects.quota")
     (counter "serve.rejects.draining")
     (counter "serve.rejects.bad-request")
     (counter "serve.rejects.too-large")
     (counter "serve.rejects.not-found")
+    (counter "serve.rejects.idle-timeout")
     (q 0.5) (q 0.9) (q 0.99)
     (counter "serve.deadline_misses")
     utilisation (draining t)

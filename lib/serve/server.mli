@@ -30,21 +30,32 @@ type config = {
   jobs : int;  (** Domain-pool width. *)
   queue_capacity : int;
   client_cap : int;
+  quotas : (string * int) list;
+      (** Per-client in-flight quotas beyond the flat [client_cap];
+          see {!Admission.create}. Refusals reject with code ["quota"]
+          and count in [serve.quota_rejects]. *)
   cache_capacity : int;
   cache_dir : string option;  (** None = memory-only cache. *)
+  cache_shared : bool;
+      (** Coordinate [cache_dir] with peer replicas ({!Cache},
+          shared mode). Requires [cache_dir]. *)
   shed_thresholds_ms : float array;
       (** Queue-wait EWMA thresholds for shed levels 1..n (must be
           non-decreasing); length 3 by default. *)
   limits : Prdesign.Design_xml.limits;
   clock : Prguard.Budget.clock;
   telemetry : Prtelemetry.t;
+  chaos : Chaos.t option;
+      (** Seeded fault injection (chaos harness only): kills mid-solve
+          and mid-cache-write, torn entry writes; {!Endpoint} also
+          consults it for connection resets / slow replies. *)
 }
 
 val default_config : ?telemetry:Prtelemetry.t -> unit -> config
 (** Auto device target, default options, no ladder, 2000 ms deadline,
-    [Par.recommended_jobs] width, queue 64, client cap 16, cache 256
-    (memory-only), thresholds [| 50.; 200.; 1000. |], default limits,
-    {!Prguard.Budget.monotonic} clock. *)
+    [Par.recommended_jobs] width, queue 64, client cap 16, no quotas,
+    cache 256 (memory-only, unshared), thresholds [| 50.; 200.; 1000. |],
+    default limits, {!Prguard.Budget.monotonic} clock, no chaos. *)
 
 (** {1 Shedding policy (pure, exposed for tests)} *)
 
@@ -100,3 +111,15 @@ val cache : t -> Cache.t
 val telemetry : t -> Prtelemetry.t
 val requests : t -> int
 val shed_level : t -> int
+
+val chaos : t -> Chaos.t option
+(** The configured chaos injector, for {!Endpoint}'s reply points. *)
+
+val client_quota : t -> string -> int
+(** Effective per-client in-flight cap after the quota table. *)
+
+val reject : t -> Protocol.reject -> string
+(** Render a reject reply and count it ([serve.rejects.<code>], plus
+    [serve.quota_rejects] for quota refusals). Exposed for transports
+    that reject at the connection level ({!Endpoint}'s idle timeout)
+    and for tests. *)

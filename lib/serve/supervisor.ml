@@ -1,0 +1,345 @@
+type replica_spec = {
+  name : string;
+  address : Endpoint.address;
+  argv : incarnation:int -> string array;
+}
+
+type config = {
+  restart_limit : int;
+  backoff_ms : float;
+  max_backoff_ms : float;
+  probe_interval_s : float;
+  probe_failures : int;
+  startup_grace_s : float;
+  tick_s : float;
+  stdio : Unix.file_descr option;
+  telemetry : Prtelemetry.t;
+  clock : Prguard.Budget.clock;
+}
+
+let default_config ?(telemetry = Prtelemetry.null) () =
+  { restart_limit = 5;
+    backoff_ms = 100.;
+    max_backoff_ms = 2_000.;
+    probe_interval_s = 0.25;
+    probe_failures = 3;
+    startup_grace_s = 5.;
+    tick_s = 0.05;
+    stdio = None;
+    telemetry;
+    clock = Prguard.Budget.monotonic }
+
+let validate_config c =
+  if c.restart_limit < 0 then Error "restart_limit must be >= 0"
+  else if c.backoff_ms <= 0. then Error "backoff_ms must be positive"
+  else if c.max_backoff_ms < c.backoff_ms then
+    Error "max_backoff_ms must be >= backoff_ms"
+  else if c.probe_interval_s <= 0. then Error "probe_interval_s must be positive"
+  else if c.probe_failures < 1 then Error "probe_failures must be >= 1"
+  else if c.tick_s <= 0. then Error "tick_s must be positive"
+  else Ok ()
+
+type phase =
+  | Starting  (** spawned, within the startup grace, not yet probed ok *)
+  | Healthy
+  | Backing_off of float  (** dead; restart scheduled at this clock time *)
+  | Gave_up  (** restart budget exhausted *)
+  | Stopped
+
+type replica = {
+  spec : replica_spec;
+  mutable pid : int;  (* -1 = not running *)
+  mutable phase : phase;
+  mutable incarnation : int;  (* 0 = initial launch *)
+  mutable restarts : int;
+  mutable started_at : float;
+  mutable last_probe_at : float;
+  mutable probe_misses : int;
+}
+
+type status = {
+  s_name : string;
+  s_address : Endpoint.address;
+  s_phase : phase;
+  s_pid : int option;
+  s_restarts : int;
+}
+
+type t = {
+  config : config;
+  replicas : replica array;
+  mutex : Mutex.t;
+  mutable monitor : Thread.t option;
+  mutable stopping : bool;
+  mutable quiesced : bool;
+    (* freeze the monitor without triggering [stop]'s kill/reap; set
+       from signal handlers, so written without the mutex *)
+}
+
+let phase_to_string = function
+  | Starting -> "starting"
+  | Healthy -> "healthy"
+  | Backing_off _ -> "backing-off"
+  | Gave_up -> "gave-up"
+  | Stopped -> "stopped"
+
+let incr t name = Prtelemetry.incr t.config.telemetry name
+
+let spawn t r =
+  let argv = r.spec.argv ~incarnation:r.incarnation in
+  if Array.length argv = 0 then
+    invalid_arg (Printf.sprintf "replica %s: empty argv" r.spec.name);
+  let io = Option.value t.config.stdio ~default:Unix.stdout in
+  let pid =
+    Unix.create_process argv.(0) argv Unix.stdin io io
+  in
+  r.pid <- pid;
+  r.phase <- Starting;
+  r.started_at <- t.config.clock ();
+  r.last_probe_at <- 0.;
+  r.probe_misses <- 0;
+  incr t "fleet.spawns"
+
+(* A single HEALTH exchange on a fresh connection.  No connect retry
+   here: the monitor tick is the retry loop, and a hung replica must
+   not stall probes of its peers for long. *)
+let probe address =
+  match Endpoint.connect address with
+  | Error _ -> false
+  | Ok c ->
+    let ok =
+      match Endpoint.request c "HEALTH" with
+      | Ok reply -> (
+        match Protocol.parse_reply reply with
+        | Ok (Protocol.R_health _) -> true  (* draining still counts as alive *)
+        | Ok _ | Error _ -> false)
+      | Error _ -> false
+    in
+    Endpoint.close_client c;
+    ok
+
+let backoff_delay_s t r =
+  let d =
+    t.config.backoff_ms *. (2. ** float_of_int (max 0 (r.restarts - 1)))
+  in
+  Float.min d t.config.max_backoff_ms /. 1000.
+
+let schedule_restart t r ~reason =
+  r.pid <- -1;
+  if r.restarts >= t.config.restart_limit then begin
+    r.phase <- Gave_up;
+    incr t "fleet.gave_up";
+    ignore reason
+  end
+  else begin
+    r.restarts <- r.restarts + 1;
+    r.incarnation <- r.incarnation + 1;
+    incr t "fleet.restarts";
+    r.phase <- Backing_off (t.config.clock () +. backoff_delay_s t r)
+  end
+
+let kill_pid pid signal = try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+(* One monitor pass over every replica: reap exits, fire due restarts,
+   probe health, and escalate persistent probe failures to SIGKILL (the
+   reap on a later tick then schedules the restart). *)
+let step t =
+  let now = t.config.clock () in
+  Array.iter
+    (fun r ->
+      match r.phase with
+      | Stopped | Gave_up -> ()
+      | Backing_off due ->
+        if (not t.stopping) && now >= due then spawn t r
+      | Starting | Healthy -> (
+        match Unix.waitpid [ Unix.WNOHANG ] r.pid with
+        | exception Unix.Unix_error _ ->
+          schedule_restart t r ~reason:"waitpid"
+        | 0, _ ->
+          (* Alive; probe once the grace period (for Starting) allows
+             and the probe interval has elapsed. *)
+          let due_probe =
+            now -. r.last_probe_at >= t.config.probe_interval_s
+          in
+          if due_probe then begin
+            r.last_probe_at <- now;
+            if probe r.spec.address then begin
+              r.probe_misses <- 0;
+              if r.phase = Starting then r.phase <- Healthy
+            end
+            else begin
+              let in_grace =
+                r.phase = Starting
+                && now -. r.started_at < t.config.startup_grace_s
+              in
+              if not in_grace then begin
+                r.probe_misses <- r.probe_misses + 1;
+                if r.probe_misses >= t.config.probe_failures then begin
+                  (* Unresponsive but not exited: put it down and let
+                     the reap path restart it under the budget. *)
+                  incr t "fleet.probe_kills";
+                  kill_pid r.pid Sys.sigkill
+                end
+              end
+            end
+          end
+        | _pid, _status -> schedule_restart t r ~reason:"exited"))
+    t.replicas
+
+let monitor_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let stop = t.stopping || t.quiesced in
+    if not stop then step t;
+    Mutex.unlock t.mutex;
+    if not stop then begin
+      Thread.delay t.config.tick_s;
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(config = default_config ()) specs =
+  match validate_config config with
+  | Error e -> Error ("supervisor config: " ^ e)
+  | Ok () ->
+    if specs = [] then Error "supervisor: no replicas"
+    else begin
+      let replicas =
+        Array.of_list
+          (List.map
+             (fun spec ->
+               { spec;
+                 pid = -1;
+                 phase = Stopped;
+                 incarnation = 0;
+                 restarts = 0;
+                 started_at = 0.;
+                 last_probe_at = 0.;
+                 probe_misses = 0 })
+             specs)
+      in
+      let t =
+        { config; replicas; mutex = Mutex.create (); monitor = None;
+          stopping = false; quiesced = false }
+      in
+      match
+        Array.iter
+          (fun r ->
+            r.incarnation <- 0;
+            spawn t r)
+          replicas
+      with
+      | exception e ->
+        (* Roll back whatever did spawn. *)
+        Array.iter (fun r -> if r.pid > 0 then kill_pid r.pid Sys.sigkill)
+          replicas;
+        Error ("supervisor spawn: " ^ Printexc.to_string e)
+      | () ->
+        t.monitor <- Some (Thread.create monitor_loop t);
+        Ok t
+    end
+
+let statuses t =
+  Mutex.lock t.mutex;
+  let out =
+    Array.to_list
+      (Array.map
+         (fun r ->
+           { s_name = r.spec.name;
+             s_address = r.spec.address;
+             s_phase = r.phase;
+             s_pid = (if r.pid > 0 then Some r.pid else None);
+             s_restarts = r.restarts })
+         t.replicas)
+  in
+  Mutex.unlock t.mutex;
+  out
+
+let restarts t =
+  List.fold_left (fun acc s -> acc + s.s_restarts) 0 (statuses t)
+
+let gave_up t =
+  List.exists (fun s -> s.s_phase = Gave_up) (statuses t)
+
+let await_healthy ?(timeout_s = 10.) t =
+  let deadline = t.config.clock () +. timeout_s in
+  let rec wait () =
+    let all =
+      List.for_all (fun s -> s.s_phase = Healthy) (statuses t)
+    in
+    if all then Ok ()
+    else if t.config.clock () >= deadline then
+      Error
+        (Printf.sprintf "fleet not healthy after %.1fs: %s" timeout_s
+           (String.concat ", "
+              (List.map
+                 (fun s -> s.s_name ^ "=" ^ phase_to_string s.s_phase)
+                 (statuses t))))
+    else begin
+      Thread.delay (Float.min 0.02 t.config.tick_s);
+      wait ()
+    end
+  in
+  wait ()
+
+(* Freeze the monitor ahead of [stop].  When an external signal (e.g. a
+   process-group SIGTERM) kills the replicas at the same moment the
+   owner is told to shut down, the monitor would otherwise reap those
+   exits before [stop] runs and book each one as a scheduled restart.
+   Deliberately lock-free: this is called from signal handlers, which
+   may run in a thread that already holds the mutex. *)
+let request_stop t = t.quiesced <- true
+
+let stop ?(grace_s = 2.) t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  let pids =
+    Array.to_list t.replicas
+    |> List.filter_map (fun r -> if r.pid > 0 then Some r else None)
+  in
+  if not already then
+    List.iter (fun r -> kill_pid r.pid Sys.sigterm) pids;
+  Mutex.unlock t.mutex;
+  (match t.monitor with
+   | Some th ->
+     Thread.join th;
+     t.monitor <- None
+   | None -> ());
+  if not already then begin
+    let deadline = t.config.clock () +. grace_s in
+    let rec reap remaining =
+      match remaining with
+      | [] -> []
+      | _ when t.config.clock () >= deadline -> remaining
+      | _ ->
+        let still =
+          List.filter
+            (fun r ->
+              match Unix.waitpid [ Unix.WNOHANG ] r.pid with
+              | 0, _ -> true
+              | _ -> false
+              | exception Unix.Unix_error _ -> false)
+            remaining
+        in
+        if still = [] then []
+        else begin
+          Thread.delay 0.02;
+          reap still
+        end
+    in
+    let stubborn = reap pids in
+    List.iter
+      (fun r ->
+        kill_pid r.pid Sys.sigkill;
+        try ignore (Unix.waitpid [] r.pid) with Unix.Unix_error _ -> ())
+      stubborn;
+    Mutex.lock t.mutex;
+    Array.iter
+      (fun r ->
+        r.pid <- -1;
+        r.phase <- Stopped)
+      t.replicas;
+    Mutex.unlock t.mutex
+  end

@@ -1,0 +1,96 @@
+(** Fleet supervisor: spawn N Prserve replicas as child processes,
+    health-probe them, and restart crashes under a budget.
+
+    Replicas are real processes ([Unix.create_process] — never fork:
+    OCaml 5 domains do not survive it), so a chaos kill takes exactly
+    one replica down.  A monitor thread ticks every [tick_s]: it reaps
+    exited children ([waitpid WNOHANG]), respawns them after an
+    exponential backoff ([backoff_ms] doubling per restart up to
+    [max_backoff_ms]) while the per-replica [restart_limit] lasts, and
+    probes each live replica with a HEALTH exchange every
+    [probe_interval_s].  A replica that misses [probe_failures]
+    consecutive probes after its [startup_grace_s] is SIGKILLed and
+    recycled through the same restart path.  A replica whose budget is
+    exhausted parks in [Gave_up] — the fleet degrades rather than
+    restart-looping a poisoned configuration.
+
+    Each respawn calls the spec's [argv ~incarnation] with an
+    incremented incarnation, so a fleet driver can hand later
+    incarnations tamer flags (the chaos bench launches incarnation 0
+    with kill schedules and later ones without, bounding kill loops by
+    construction). *)
+
+type replica_spec = {
+  name : string;
+  address : Endpoint.address;  (** Where HEALTH probes connect. *)
+  argv : incarnation:int -> string array;
+      (** Full argv including argv.(0) (the executable path). *)
+}
+
+type config = {
+  restart_limit : int;  (** Restarts allowed per replica (0 = none). *)
+  backoff_ms : float;
+  max_backoff_ms : float;
+  probe_interval_s : float;
+  probe_failures : int;
+  startup_grace_s : float;
+      (** Probe misses are forgiven this long after a (re)spawn. *)
+  tick_s : float;  (** Monitor loop period. *)
+  stdio : Unix.file_descr option;
+      (** Child stdout/stderr (default: inherit this process's
+          stdout). *)
+  telemetry : Prtelemetry.t;
+      (** Counters: [fleet.spawns], [fleet.restarts],
+          [fleet.probe_kills], [fleet.gave_up]. *)
+  clock : Prguard.Budget.clock;
+}
+
+val default_config : ?telemetry:Prtelemetry.t -> unit -> config
+(** 5 restarts, 100 ms → 2 s backoff, 250 ms probes, 3 misses,
+    5 s grace, 50 ms tick. *)
+
+type phase = Starting | Healthy | Backing_off of float | Gave_up | Stopped
+
+val phase_to_string : phase -> string
+
+type status = {
+  s_name : string;
+  s_address : Endpoint.address;
+  s_phase : phase;
+  s_pid : int option;
+  s_restarts : int;
+}
+
+type t
+
+val start :
+  ?config:config -> replica_spec list -> (t, string) result
+(** Spawn every replica and the monitor thread.  If any spawn raises
+    (bad executable path), already-spawned children are killed and the
+    error returned. *)
+
+val await_healthy : ?timeout_s:float -> t -> (unit, string) result
+(** Block until every replica has answered a HEALTH probe (default
+    timeout 10 s); on timeout the error lists each replica's phase. *)
+
+val statuses : t -> status list
+
+val restarts : t -> int
+(** Total restarts across the fleet. *)
+
+val gave_up : t -> bool
+(** True if any replica exhausted its budget. *)
+
+val request_stop : t -> unit
+(** Freeze the monitor immediately; [stop] must still follow to kill
+    and reap the replicas.  Call this from a SIGINT/SIGTERM handler
+    before returning control to the loop that will invoke [stop]:
+    when the signal also reached the replicas (process-group delivery,
+    e.g. under timeout(1) or a job-control kill), it stops the monitor
+    from booking those simultaneous exits as scheduled restarts during
+    the handoff.  Async-signal-safe (a single flag write, no lock). *)
+
+val stop : ?grace_s:float -> t -> unit
+(** SIGTERM every live replica, join the monitor, wait [grace_s]
+    (default 2 s) for clean exits, then SIGKILL and reap stragglers.
+    Idempotent. *)

@@ -1,0 +1,689 @@
+(* Prfleet: multi-replica serving (PR 10).
+
+   Covers the seeded service-fault engine ([Prfault.Service]), the
+   cross-process cache lockfile (stale-pid and stale-stamp takeover),
+   shared-cache coordination between cache instances and between real
+   replica processes (including a chaos kill -9 mid-cache-write), the
+   fault-tolerant client (failover, circuit breakers, non-retryable
+   rejects, deadlines) and the supervisor (restart after SIGKILL,
+   restart-budget exhaustion). *)
+
+module Service = Prfault.Service
+module Recovery = Prfault.Recovery
+module Lockfile = Prserve.Lockfile
+module Chaos = Prserve.Chaos
+module Cache = Prserve.Cache
+module Client = Prserve.Client
+module Server = Prserve.Server
+module Endpoint = Prserve.Endpoint
+module Protocol = Prserve.Protocol
+module Supervisor = Prserve.Supervisor
+module Engine = Prcore.Engine
+
+(* ------------------------------------------------------------- helpers *)
+
+let temp_dir prefix =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
+  in
+  (match Prguard.Atomic_io.mkdir_p path with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  path
+
+let write_raw path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let fx70t = Fpga.Device.find_exn "FX70T"
+
+let deterministic_config ?(telemetry = Prtelemetry.null) ?chaos ?cache_dir
+    ?(cache_shared = false) () =
+  { (Server.default_config ~telemetry ()) with
+    Server.target = Engine.Fixed fx70t;
+    deadline_ms = None;
+    jobs = 2;
+    cache_dir;
+    cache_shared;
+    shed_thresholds_ms = [| 1e9; 1e9; 1e9 |];
+    chaos }
+
+let create_server config =
+  match Server.create config with
+  | Ok s -> s
+  | Error m -> Alcotest.fail m
+
+(* An in-process daemon on a Unix socket; returns a stopper. *)
+let start_daemon ?telemetry ?chaos ?cache_dir ?cache_shared path =
+  let server =
+    create_server (deterministic_config ?telemetry ?chaos ?cache_dir
+                     ?cache_shared ())
+  in
+  let endpoint =
+    match Endpoint.listen (Endpoint.Unix_path path) with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  let loop =
+    Thread.create
+      (fun () -> Endpoint.serve_loop ~poll_interval:0.05 endpoint server)
+      ()
+  in
+  let stop () =
+    Server.request_shutdown server;
+    Thread.join loop;
+    Endpoint.close endpoint;
+    Server.drain server
+  in
+  (server, stop)
+
+let fresh_signature design =
+  match Engine.solve ~target:(Engine.Fixed fx70t) design with
+  | Error m -> Alcotest.fail m
+  | Ok o -> Bitgen.Crc32.hex_digest (Prcore.Memo.scheme_signature o.Engine.scheme)
+
+let quick_policy =
+  { Client.deadline_ms = Some 10_000.;
+    retry =
+      { Recovery.max_attempts = 5;
+        base_backoff_s = 0.005;
+        backoff_multiplier = 2.;
+        max_backoff_s = 0.05;
+        jitter = 0.2;
+        transition_budget_s = None };
+    connect_retry =
+      { Recovery.max_attempts = 1;
+        base_backoff_s = 0.005;
+        backoff_multiplier = 1.;
+        max_backoff_s = 0.005;
+        jitter = 0.;
+        transition_budget_s = None };
+    breaker_failures = 1;
+    breaker_cooldown_ms = 10_000. }
+
+let create_client ?(policy = quick_policy) ?telemetry endpoints =
+  match Client.create ~policy ?telemetry ~seed:7 endpoints with
+  | Ok c -> c
+  | Error m -> Alcotest.fail m
+
+let prpart =
+  let candidates =
+    [ Filename.concat (Filename.concat ".." "bin") "prpart.exe";
+      Filename.concat
+        (Filename.concat (Filename.concat "_build" "default") "bin")
+        "prpart.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+(* Spawn a real `prpart serve` replica; stdout/stderr to /dev/null. *)
+let spawn_serve ?chaos ~shared_cache ~sock () =
+  let argv =
+    [ prpart; "serve"; "--socket"; sock; "--device"; "FX70T";
+      "--no-deadline"; "--jobs"; "2"; "--shared-cache"; shared_cache ]
+    @ (match chaos with Some s -> [ "--chaos"; s ] | None -> [])
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process (List.hd argv) (Array.of_list argv) Unix.stdin null
+      null
+  in
+  Unix.close null;
+  pid
+
+let startup_retry =
+  { Recovery.max_attempts = 60;
+    base_backoff_s = 0.05;
+    backoff_multiplier = 1.;
+    max_backoff_s = 0.05;
+    jitter = 0.;
+    transition_budget_s = None }
+
+(* ------------------------------------------------------ service engine *)
+
+let parse_spec s =
+  match Service.spec_of_string s with
+  | Ok spec -> spec
+  | Error m -> Alcotest.fail m
+
+let service_tests =
+  [ Alcotest.test_case "spec grammar round-trips" `Quick (fun () ->
+        let spec =
+          parse_spec "seed=42,kill-solve@0,conn-reset=0.05,slow-ms=120,max-faults=3"
+        in
+        Alcotest.(check int) "seed" 42 spec.Service.seed;
+        Alcotest.(check bool) "schedule" true
+          (spec.Service.schedule = [ (0, Service.Crash_solve) ]);
+        Alcotest.(check bool) "rate" true
+          (List.mem_assoc Service.Conn_reset spec.Service.rates);
+        Alcotest.(check (float 1e-9)) "slow" 120. spec.Service.slow_reply_ms;
+        Alcotest.(check (option int)) "budget" (Some 3) spec.Service.max_faults;
+        let reparsed = parse_spec (Service.spec_to_string spec) in
+        Alcotest.(check bool) "round trip" true (reparsed = spec);
+        (match Service.spec_of_string "seed=1,bogus-kind@0" with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "bogus kind accepted");
+        match Service.spec_of_string "seed=1,conn-reset=1.5" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "rate out of range accepted");
+    Alcotest.test_case "fault stream is deterministic under a seed" `Quick
+      (fun () ->
+        let spec = parse_spec "seed=9,conn-reset=0.3,slow-reply=0.2" in
+        let run () =
+          let t = Service.start spec in
+          List.init 60 (fun i ->
+              let point =
+                match i mod 3 with
+                | 0 -> Service.Solve_point
+                | 1 -> Service.Cache_write_point
+                | _ -> Service.Reply_point
+              in
+              Service.draw t point)
+        in
+        Alcotest.(check bool) "replay" true (run () = run ()));
+    Alcotest.test_case "schedule fires at its exact operation index" `Quick
+      (fun () ->
+        let t = Service.start (parse_spec "seed=0,kill-solve@2") in
+        (* Interleave other points: they must not consume solve indices. *)
+        Alcotest.(check bool) "reply 0" true
+          (Service.draw t Service.Reply_point = None);
+        Alcotest.(check bool) "solve 0" true
+          (Service.draw t Service.Solve_point = None);
+        Alcotest.(check bool) "solve 1" true
+          (Service.draw t Service.Solve_point = None);
+        Alcotest.(check bool) "cache 0" true
+          (Service.draw t Service.Cache_write_point = None);
+        Alcotest.(check bool) "solve 2 fires" true
+          (Service.draw t Service.Solve_point = Some Service.Crash_solve);
+        Alcotest.(check int) "one fault" 1 (Service.faults_injected t));
+    Alcotest.test_case "max-faults bounds the injection budget" `Quick
+      (fun () ->
+        let t = Service.start (parse_spec "seed=3,conn-reset=1,max-faults=2") in
+        let fired = ref 0 in
+        for _ = 1 to 20 do
+          if Service.draw t Service.Reply_point <> None then incr fired
+        done;
+        Alcotest.(check int) "exactly budget" 2 !fired;
+        Alcotest.(check int) "accounted" 2 (Service.faults_injected t);
+        Alcotest.(check int) "operations" 20
+          (Service.operations t Service.Reply_point)) ]
+
+(* ----------------------------------------------------------- lockfile *)
+
+let lockfile_tests =
+  [ Alcotest.test_case "acquire, contend, release" `Quick (fun () ->
+        let dir = temp_dir "prfleet-lock" in
+        let lock =
+          match Lockfile.acquire ~dir () with
+          | Ok l -> l
+          | Error m -> Alcotest.fail m
+        in
+        Alcotest.(check bool) "on disk" true
+          (Sys.file_exists (Lockfile.path_in dir));
+        (* A live, fresh lock blocks a second acquirer until timeout. *)
+        (match Lockfile.acquire ~timeout_s:0.1 ~dir () with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "double acquire");
+        Lockfile.release lock;
+        Alcotest.(check bool) "released" false
+          (Sys.file_exists (Lockfile.path_in dir));
+        (match Lockfile.acquire ~timeout_s:1. ~dir () with
+         | Ok l2 -> Lockfile.release l2
+         | Error m -> Alcotest.fail m));
+    Alcotest.test_case "dead-pid lock is taken over" `Quick (fun () ->
+        let dir = temp_dir "prfleet-lock" in
+        (* A pid far above pid_max: certainly not running. *)
+        write_raw (Lockfile.path_in dir)
+          (Printf.sprintf "pid %d\nstamp %.6f\n" 99_999_999
+             (Unix.gettimeofday ()));
+        let t0 = Unix.gettimeofday () in
+        (match Lockfile.acquire ~timeout_s:2. ~dir () with
+         | Ok l ->
+           Alcotest.(check bool) "fast takeover" true
+             (Unix.gettimeofday () -. t0 < 1.);
+           Lockfile.release l
+         | Error m -> Alcotest.fail m);
+        (* Takeover leaves no stale-aside debris behind. *)
+        let leftovers = Sys.readdir dir in
+        Alcotest.(check int) "dir clean" 0 (Array.length leftovers));
+    Alcotest.test_case "expired heartbeat is taken over" `Quick (fun () ->
+        let dir = temp_dir "prfleet-lock" in
+        (* Our own (live) pid but a stamp far past the TTL: the holder
+           is considered wedged. *)
+        write_raw (Lockfile.path_in dir)
+          (Printf.sprintf "pid %d\nstamp %.6f\n" (Unix.getpid ())
+             (Unix.gettimeofday () -. 100.));
+        (match Lockfile.acquire ~ttl_s:0.5 ~timeout_s:2. ~dir () with
+         | Ok l -> Lockfile.release l
+         | Error m -> Alcotest.fail m));
+    Alcotest.test_case "garbage lock content is stale" `Quick (fun () ->
+        let dir = temp_dir "prfleet-lock" in
+        write_raw (Lockfile.path_in dir) "not a lock file";
+        match Lockfile.acquire ~timeout_s:2. ~dir () with
+        | Ok l -> Lockfile.release l
+        | Error m -> Alcotest.fail m) ]
+
+(* -------------------------------------------------------- shared cache *)
+
+let entry_for key design =
+  { Cache.key;
+    design;
+    scheme_xml = "<scheme name=\"" ^ design ^ "\"/>";
+    regions = 2;
+    total_frames = 100;
+    worst_frames = 50;
+    device = Some "FX70T";
+    signature = "cafef00d" }
+
+let shared_cache_tests =
+  [ Alcotest.test_case "a replica's write warms its peers on miss" `Quick
+      (fun () ->
+        let dir = temp_dir "prfleet-cache" in
+        let telemetry_b = Prtelemetry.create Prtelemetry.Sink.null in
+        let make telemetry =
+          match Cache.create ~dir ~shared:true ~telemetry () with
+          | Ok c -> c
+          | Error m -> Alcotest.fail m
+        in
+        let a = make Prtelemetry.null in
+        let b = make telemetry_b in
+        Alcotest.(check bool) "shared" true (Cache.shared b);
+        let key = Cache.key ~config:"cfg" ~design_text:"<design/>" in
+        Cache.add a (entry_for key "peer-design");
+        (* b was created before the write, so this is a disk reload. *)
+        (match Cache.find b ~key with
+         | Some e ->
+           Alcotest.(check string) "bytes" "<scheme name=\"peer-design\"/>"
+             e.Cache.scheme_xml
+         | None -> Alcotest.fail "peer entry not visible");
+        Alcotest.(check int) "shared_loads" 1 (Cache.shared_loads b);
+        Alcotest.(check int) "counter" 1
+          (Prtelemetry.counter_value telemetry_b "serve.cache.shared_loads");
+        (* Second hit is served from memory, not re-read. *)
+        (match Cache.find b ~key with
+         | Some _ -> ()
+         | None -> Alcotest.fail "lost after adoption");
+        Alcotest.(check int) "no re-read" 1 (Cache.shared_loads b));
+    Alcotest.test_case "shared mode requires a directory" `Quick (fun () ->
+        match Cache.create ~shared:true () with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "directory-less shared cache accepted");
+    Alcotest.test_case "torn peer entry is a miss, not a wrong answer"
+      `Quick (fun () ->
+        let dir = temp_dir "prfleet-cache" in
+        let make () =
+          match Cache.create ~dir ~shared:true () with
+          | Ok c -> c
+          | Error m -> Alcotest.fail m
+        in
+        let a = make () in
+        let b = make () in
+        let key = Cache.key ~config:"cfg" ~design_text:"<d/>" in
+        Cache.add a (entry_for key "x");
+        (* Tear the entry file under b's nose (sidecar left full). *)
+        Array.iter
+          (fun f ->
+            let path = Filename.concat dir f in
+            if
+              (not (Filename.check_suffix f ".crc"))
+              && f <> Lockfile.lock_name
+              && Sys.is_regular_file path
+            then begin
+              let data =
+                let ic = open_in_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              write_raw path (String.sub data 0 (String.length data / 2))
+            end)
+          (Sys.readdir dir);
+        (match Cache.find b ~key with
+         | None -> ()
+         | Some _ -> Alcotest.fail "torn entry served");
+        Alcotest.(check int) "no shared load" 0 (Cache.shared_loads b)) ]
+
+(* ------------------------------------------- cross-process chaos kill *)
+
+let process_tests =
+  [ Alcotest.test_case "kill -9 mid-cache-write: peers recover the dir"
+      `Quick (fun () ->
+        let dir = temp_dir "prfleet-proc" in
+        let cache_dir = Filename.concat dir "cache" in
+        (match Prguard.Atomic_io.mkdir_p cache_dir with
+         | Ok () -> ()
+         | Error m -> Alcotest.fail m);
+        let sock1 = Filename.concat dir "r1.sock" in
+        (* Replica 1 dies mid-cache-write on its first solve, holding
+           the cache lockfile and leaving a torn entry + temp file. *)
+        let pid1 =
+          spawn_serve ~chaos:"seed=1,kill-cache-write@0"
+            ~shared_cache:cache_dir ~sock:sock1 ()
+        in
+        let c1 =
+          match
+            Endpoint.connect ~retry:startup_retry (Endpoint.Unix_path sock1)
+          with
+          | Ok c -> c
+          | Error m -> Alcotest.fail ("connect replica 1: " ^ m)
+        in
+        (match Endpoint.request c1 "SOLVE running-example" with
+         | Error _ -> ()  (* EOF: the replica died before replying *)
+         | Ok r -> Alcotest.fail ("reply from killed replica: " ^ r));
+        Endpoint.close_client c1;
+        let _, status = Unix.waitpid [] pid1 in
+        (match status with
+         | Unix.WEXITED 137 -> ()
+         | Unix.WEXITED n ->
+           Alcotest.fail (Printf.sprintf "exit %d, wanted 137" n)
+         | _ -> Alcotest.fail "replica not killed by chaos");
+        Alcotest.(check bool) "died holding the lock" true
+          (Sys.file_exists (Lockfile.path_in cache_dir));
+        (* A clean replica on the same directory must take the stale
+           lock over, quarantine the torn entry and serve fresh. *)
+        let sock2 = Filename.concat dir "r2.sock" in
+        let pid2 = spawn_serve ~shared_cache:cache_dir ~sock:sock2 () in
+        let c2 =
+          match
+            Endpoint.connect ~retry:startup_retry (Endpoint.Unix_path sock2)
+          with
+          | Ok c -> c
+          | Error m -> Alcotest.fail ("connect replica 2: " ^ m)
+        in
+        let expected =
+          fresh_signature (Prdesign.Design_library.running_example)
+        in
+        (match Endpoint.request c2 "SOLVE running-example" with
+         | Error m -> Alcotest.fail ("replica 2 solve: " ^ m)
+         | Ok reply -> (
+           match Protocol.parse_reply reply with
+           | Ok (Protocol.R_solved s) ->
+             Alcotest.(check bool) "not from the torn cache" false
+               s.Protocol.cached;
+             Alcotest.(check string) "right answer" expected
+               s.Protocol.signature
+           | _ -> Alcotest.fail ("unparseable reply: " ^ reply)));
+        (* And the re-solve was cached cleanly this time. *)
+        (match Endpoint.request c2 "SOLVE running-example" with
+         | Error m -> Alcotest.fail m
+         | Ok reply -> (
+           match Protocol.parse_reply reply with
+           | Ok (Protocol.R_solved s) ->
+             Alcotest.(check bool) "cached now" true s.Protocol.cached
+           | _ -> Alcotest.fail "second reply unparseable"));
+        (match Endpoint.request c2 "SHUTDOWN" with
+         | Ok "BYE" -> ()
+         | Ok r -> Alcotest.fail ("shutdown: " ^ r)
+         | Error m -> Alcotest.fail m);
+        Endpoint.close_client c2;
+        ignore (Unix.waitpid [] pid2)) ]
+
+(* -------------------------------------------------------------- client *)
+
+let client_tests =
+  [ Alcotest.test_case "failover past a dead endpoint, breaker opens"
+      `Quick (fun () ->
+        let dir = temp_dir "prfleet-client" in
+        let dead = Endpoint.Unix_path (Filename.concat dir "dead.sock") in
+        let live_path = Filename.concat dir "live.sock" in
+        let _, stop = start_daemon live_path in
+        Fun.protect ~finally:stop (fun () ->
+            let telemetry = Prtelemetry.create Prtelemetry.Sink.null in
+            let client =
+              create_client ~telemetry
+                [ dead; Endpoint.Unix_path live_path ]
+            in
+            let expected =
+              fresh_signature
+                (Prdesign.Design_library.running_example)
+            in
+            (match Client.solve client "running-example" with
+             | Ok s ->
+               Alcotest.(check string) "right answer" expected
+                 s.Protocol.signature
+             | Error e -> Alcotest.fail (Client.error_message e));
+            Alcotest.(check bool) "failed over" true
+              (Client.failovers client >= 1);
+            Alcotest.(check bool) "retried" true (Client.retries client >= 1);
+            Alcotest.(check bool) "dead breaker open" true
+              (Client.breaker_state client 0 = Client.Open);
+            Alcotest.(check int) "breaker accounted" 1
+              (Client.breaker_opens client);
+            (* The client is now sticky on the live endpoint: no new
+               retries for subsequent requests. *)
+            let before = Client.retries client in
+            (match Client.solve client "running-example" with
+             | Ok s -> Alcotest.(check bool) "cached" true s.Protocol.cached
+             | Error e -> Alcotest.fail (Client.error_message e));
+            Alcotest.(check int) "no extra retries" before
+              (Client.retries client);
+            Client.close client));
+    Alcotest.test_case "non-retryable reject fails without retries" `Quick
+      (fun () ->
+        let dir = temp_dir "prfleet-client" in
+        let live_path = Filename.concat dir "live.sock" in
+        let _, stop = start_daemon live_path in
+        Fun.protect ~finally:stop (fun () ->
+            let client = create_client [ Endpoint.Unix_path live_path ] in
+            (match Client.solve client "no-such-design-anywhere" with
+             | Error (Client.Rejected { code; _ }) ->
+               Alcotest.(check string) "code" "not-found" code
+             | Error e ->
+               Alcotest.fail ("wrong error: " ^ Client.error_message e)
+             | Ok _ -> Alcotest.fail "unknown design solved");
+            Alcotest.(check int) "no retries" 0 (Client.retries client);
+            Client.close client));
+    Alcotest.test_case "half-open probe closes the breaker on recovery"
+      `Quick (fun () ->
+        let dir = temp_dir "prfleet-client" in
+        let path = Filename.concat dir "flaky.sock" in
+        let policy =
+          { quick_policy with
+            Client.breaker_cooldown_ms = 50.;
+            retry =
+              { quick_policy.Client.retry with Recovery.max_attempts = 2 } }
+        in
+        let client = create_client ~policy [ Endpoint.Unix_path path ] in
+        (* Nothing listening: the lone endpoint's breaker opens. *)
+        (match Client.solve client "running-example" with
+         | Error (Client.Unavailable _) -> ()
+         | Error e -> Alcotest.fail ("wrong error: " ^ Client.error_message e)
+         | Ok _ -> Alcotest.fail "solved against nothing");
+        Alcotest.(check bool) "open" true
+          (Client.breaker_state client 0 = Client.Open);
+        (* Bring the endpoint up, let the cooldown lapse: the next
+           request is the half-open probe and must close the breaker. *)
+        let _, stop = start_daemon path in
+        Fun.protect ~finally:stop (fun () ->
+            Thread.delay 0.08;
+            (match Client.health client with
+             | Ok true -> ()
+             | Ok false -> Alcotest.fail "draining?"
+             | Error e -> Alcotest.fail (Client.error_message e));
+            Alcotest.(check bool) "closed again" true
+              (Client.breaker_state client 0 = Client.Closed);
+            Client.close client));
+    Alcotest.test_case "deadline bounds the whole retry loop" `Quick
+      (fun () ->
+        let dir = temp_dir "prfleet-client" in
+        let dead = Endpoint.Unix_path (Filename.concat dir "dead.sock") in
+        let policy =
+          { quick_policy with
+            Client.deadline_ms = Some 150.;
+            breaker_cooldown_ms = 1.;
+            retry =
+              { Recovery.max_attempts = 1000;
+                base_backoff_s = 0.01;
+                backoff_multiplier = 1.;
+                max_backoff_s = 0.01;
+                jitter = 0.;
+                transition_budget_s = None } }
+        in
+        let client = create_client ~policy [ dead ] in
+        let t0 = Unix.gettimeofday () in
+        (match Client.solve client "running-example" with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "solved against nothing");
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "bounded (%.3fs)" elapsed)
+          true (elapsed < 2.);
+        Client.close client) ]
+
+(* ---------------------------------------------------------- supervisor *)
+
+let supervisor_config ~restart_limit =
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  ( { (Supervisor.default_config ()) with
+      Supervisor.restart_limit;
+      backoff_ms = 30.;
+      max_backoff_ms = 200.;
+      probe_interval_s = 0.1;
+      probe_failures = 5;
+      startup_grace_s = 10.;
+      tick_s = 0.02;
+      stdio = Some null },
+    fun () -> Unix.close null )
+
+let wait_for ?(timeout_s = 15.) what pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () >= deadline then
+      Alcotest.fail ("timed out waiting for " ^ what)
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let supervisor_tests =
+  [ Alcotest.test_case "SIGKILLed replica restarts under the budget"
+      `Quick (fun () ->
+        let dir = temp_dir "prfleet-sup" in
+        let sock = Filename.concat dir "r.sock" in
+        let config, cleanup = supervisor_config ~restart_limit:3 in
+        let spec =
+          { Supervisor.name = "r0";
+            address = Endpoint.Unix_path sock;
+            argv =
+              (fun ~incarnation:_ ->
+                [| prpart; "serve"; "--socket"; sock; "--device"; "FX70T";
+                   "--no-deadline"; "--jobs"; "2" |]) }
+        in
+        let sup =
+          match Supervisor.start ~config [ spec ] with
+          | Ok s -> s
+          | Error m -> Alcotest.fail m
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Supervisor.stop sup;
+            cleanup ())
+          (fun () ->
+            (match Supervisor.await_healthy ~timeout_s:20. sup with
+             | Ok () -> ()
+             | Error m -> Alcotest.fail m);
+            let pid =
+              match Supervisor.statuses sup with
+              | [ { Supervisor.s_pid = Some pid; _ } ] -> pid
+              | _ -> Alcotest.fail "no pid for healthy replica"
+            in
+            Unix.kill pid Sys.sigkill;
+            wait_for "restart" (fun () -> Supervisor.restarts sup >= 1);
+            wait_for "healthy again" (fun () ->
+                List.for_all
+                  (fun s -> s.Supervisor.s_phase = Supervisor.Healthy)
+                  (Supervisor.statuses sup));
+            (match Supervisor.statuses sup with
+             | [ { Supervisor.s_pid = Some pid2; s_restarts; _ } ] ->
+               Alcotest.(check bool) "new process" true (pid2 <> pid);
+               Alcotest.(check int) "one restart" 1 s_restarts
+             | _ -> Alcotest.fail "replica lost");
+            Alcotest.(check bool) "budget intact" false
+              (Supervisor.gave_up sup)));
+    Alcotest.test_case "exhausted restart budget parks the replica" `Quick
+      (fun () ->
+        let config, cleanup = supervisor_config ~restart_limit:2 in
+        let config =
+          { config with Supervisor.startup_grace_s = 0.2 }
+        in
+        let spec =
+          { Supervisor.name = "doomed";
+            address =
+              Endpoint.Unix_path
+                (Filename.concat (temp_dir "prfleet-sup") "never.sock");
+            argv =
+              (fun ~incarnation:_ -> [| "/bin/sh"; "-c"; "exit 0" |]) }
+        in
+        let sup =
+          match Supervisor.start ~config [ spec ] with
+          | Ok s -> s
+          | Error m -> Alcotest.fail m
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Supervisor.stop sup;
+            cleanup ())
+          (fun () ->
+            wait_for "gave up" (fun () -> Supervisor.gave_up sup);
+            Alcotest.(check int) "budget spent" 2 (Supervisor.restarts sup)));
+    Alcotest.test_case
+      "request_stop keeps shutdown-window exits out of the restart count"
+      `Quick (fun () ->
+        (* A process-group SIGTERM (timeout(1), job-control kill) hits
+           the replicas at the same instant the fleet owner is told to
+           stop.  After [request_stop] the monitor must not book those
+           exits as scheduled restarts while the owner wakes up to call
+           [stop]. *)
+        let config, cleanup = supervisor_config ~restart_limit:3 in
+        let spec =
+          { Supervisor.name = "r0";
+            address =
+              Endpoint.Unix_path
+                (Filename.concat (temp_dir "prfleet-sup") "quiet.sock");
+            argv =
+              (fun ~incarnation:_ -> [| "/bin/sh"; "-c"; "exec sleep 30" |])
+          }
+        in
+        let sup =
+          match Supervisor.start ~config [ spec ] with
+          | Ok s -> s
+          | Error m -> Alcotest.fail m
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Supervisor.stop sup;
+            cleanup ())
+          (fun () ->
+            let pid =
+              match Supervisor.statuses sup with
+              | [ { Supervisor.s_pid = Some pid; _ } ] -> pid
+              | _ -> Alcotest.fail "replica did not spawn"
+            in
+            Supervisor.request_stop sup;
+            (* The replica dies as if the group-wide signal reached it
+               directly; give the (now frozen) monitor many ticks to
+               mis-handle it if it were still stepping. *)
+            Unix.kill pid Sys.sigterm;
+            Thread.delay 0.3;
+            Alcotest.(check int) "no restart booked" 0
+              (Supervisor.restarts sup))) ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "fleet"
+    [ ("service", service_tests);
+      ("lockfile", lockfile_tests);
+      ("shared-cache", shared_cache_tests);
+      ("process", process_tests);
+      ("client", client_tests);
+      ("supervisor", supervisor_tests) ]

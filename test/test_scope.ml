@@ -431,6 +431,45 @@ let regress_tests =
              (fun f ->
                f.Experiments.Regress.verdict = Experiments.Regress.Improved)
              findings));
+    Alcotest.test_case "zero-tolerance counters regress from a zero baseline"
+      `Quick (fun () ->
+        (* chaos.lost_replies / chaos.wrong_replies: baseline 0, any
+           worse movement must regress despite the unexpressible
+           percentage; a zero latest stays within; and a zero baseline
+           under a non-zero tolerance rule stays lenient. *)
+        let chaos_doc ~lost ~wrong =
+          obj
+            [ ( "chaos",
+                obj
+                  [ ("lost_replies", Json.Int lost);
+                    ("wrong_replies", Json.Int wrong) ] ) ]
+        in
+        let clean = chaos_doc ~lost:0 ~wrong:0 in
+        let findings =
+          Experiments.Regress.compare ~baseline:clean
+            ~latest:(chaos_doc ~lost:1 ~wrong:0) ()
+        in
+        (match Experiments.Regress.regressed findings with
+         | [ f ] ->
+           Alcotest.(check string) "key" "chaos.lost_replies"
+             f.Experiments.Regress.key
+         | fs ->
+           Alcotest.failf "expected 1 regression, got %d" (List.length fs));
+        Alcotest.(check int) "all-zero latest is clean" 0
+          (List.length
+             (Experiments.Regress.regressed
+                (Experiments.Regress.compare ~baseline:clean ~latest:clean ())));
+        let lenient =
+          obj [ ("serve", obj [ ("qps", Json.Float 0.) ]) ]
+        in
+        let worse =
+          obj [ ("serve", obj [ ("qps", Json.Float (-1.) ) ]) ]
+        in
+        Alcotest.(check int) "non-zero tolerance stays lenient at zero base" 0
+          (List.length
+             (Experiments.Regress.regressed
+                (Experiments.Regress.compare ~baseline:lenient ~latest:worse
+                   ()))));
     Alcotest.test_case "missing metric is a regression" `Quick (fun () ->
         let baseline = bench_doc ~moves:2.0e6 ~speedup:1.0 ~hit_rate:0.9 in
         let latest = obj [ ("sweep", obj [ ("speedup", Json.Float 1.0) ]) ] in

@@ -927,6 +927,253 @@ let endpoint_tests =
         Endpoint.close_client active;
         Server.drain server) ]
 
+(* ------------------------------------- fleet satellites (PR 10) *)
+
+(* Server-side idle-read deadline, connect retry, per-client quotas and
+   the reply-side protocol grammar the fleet client builds on. *)
+
+let fast_retry =
+  { Prfault.Recovery.max_attempts = 40;
+    base_backoff_s = 0.02;
+    backoff_multiplier = 1.;
+    max_backoff_s = 0.02;
+    jitter = 0.;
+    transition_budget_s = None }
+
+let satellite_tests =
+  [ Alcotest.test_case "idle connection gets a typed reject and hang-up"
+      `Quick (fun () ->
+        let dir = temp_dir "prserve-idle" in
+        let path = Filename.concat dir "s.sock" in
+        let telemetry = Prtelemetry.create Prtelemetry.Sink.null in
+        let server = create_server (deterministic_config ~telemetry ()) in
+        let endpoint =
+          match Endpoint.listen (Endpoint.Unix_path path) with
+          | Ok e -> e
+          | Error m -> Alcotest.fail m
+        in
+        let loop =
+          Thread.create
+            (fun () ->
+              Endpoint.serve_loop ~poll_interval:0.05 ~idle_timeout_s:0.25
+                endpoint server)
+            ()
+        in
+        (* A slowloris client: half a request line, then silence. *)
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        ignore (Unix.write_substring fd "SOLVE run" 0 9);
+        let buf = Bytes.create 512 in
+        let n = Unix.read fd buf 0 512 in
+        let reply = Bytes.sub_string buf 0 (max 0 n) in
+        Alcotest.(check bool) "typed reject" true (starts_with "REJECT {" reply);
+        Alcotest.(check bool) "idle-timeout code" true
+          (contains reply "idle-timeout");
+        (* After the reject the server hangs up: EOF, not a hang. *)
+        Alcotest.(check int) "hung up" 0 (Unix.read fd buf 0 512);
+        Unix.close fd;
+        Alcotest.(check bool) "counted" true
+          (Prtelemetry.counter_value telemetry "serve.rejects.idle-timeout" >= 1);
+        (* Well-behaved clients are unaffected. *)
+        let client =
+          match Endpoint.connect (Endpoint.Unix_path path) with
+          | Ok c -> c
+          | Error m -> Alcotest.fail m
+        in
+        (match Endpoint.request client "HEALTH" with
+         | Ok r -> Alcotest.(check string) "alive" "HEALTH ok" r
+         | Error m -> Alcotest.fail m);
+        (match Endpoint.request client "SHUTDOWN" with
+         | Ok r -> Alcotest.(check string) "bye" "BYE" r
+         | Error m -> Alcotest.fail m);
+        Thread.join loop;
+        Endpoint.close endpoint;
+        Endpoint.close_client client;
+        Server.drain server);
+    Alcotest.test_case "connect retries through a startup race" `Quick
+      (fun () ->
+        let dir = temp_dir "prserve-race" in
+        let path = Filename.concat dir "late.sock" in
+        let address = Endpoint.Unix_path path in
+        (* Without retry the unbound socket path fails fast. *)
+        (match Endpoint.connect address with
+         | Ok _ -> Alcotest.fail "connected to nothing"
+         | Error m -> Alcotest.(check bool) "typed error" true (m <> ""));
+        let server = create_server (deterministic_config ()) in
+        let endpoint_slot = ref None in
+        let loop =
+          Thread.create
+            (fun () ->
+              (* Bind late: the client must win the race via retry. *)
+              Thread.delay 0.2;
+              match Endpoint.listen address with
+              | Error m -> Alcotest.fail m
+              | Ok e ->
+                endpoint_slot := Some e;
+                Endpoint.serve_loop ~poll_interval:0.05 e server)
+            ()
+        in
+        let client =
+          match Endpoint.connect ~retry:fast_retry address with
+          | Ok c -> c
+          | Error m -> Alcotest.fail ("retry connect: " ^ m)
+        in
+        (match Endpoint.request client "HEALTH" with
+         | Ok r -> Alcotest.(check string) "alive" "HEALTH ok" r
+         | Error m -> Alcotest.fail m);
+        (match Endpoint.request client "SHUTDOWN" with
+         | Ok r -> Alcotest.(check string) "bye" "BYE" r
+         | Error m -> Alcotest.fail m);
+        Thread.join loop;
+        (match !endpoint_slot with
+         | Some e -> Endpoint.close e
+         | None -> ());
+        Endpoint.close_client client;
+        Server.drain server);
+    Alcotest.test_case "per-client quota refuses before the flat cap" `Quick
+      (fun () ->
+        let q = Admission.create ~client_cap:4 ~quotas:[ ("bulk", 2) ] () in
+        Alcotest.(check int) "bulk quota" 2 (Admission.quota q ~client:"bulk");
+        Alcotest.(check int) "default" 4 (Admission.quota q ~client:"other");
+        (match Admission.submit q ~client:"bulk" 1 with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "first bulk refused");
+        (match Admission.submit q ~client:"bulk" 2 with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "second bulk refused");
+        (match Admission.submit q ~client:"bulk" 3 with
+         | Error (Admission.Quota { client; in_flight; quota }) ->
+           Alcotest.(check string) "client" "bulk" client;
+           Alcotest.(check int) "in flight" 2 in_flight;
+           Alcotest.(check int) "quota" 2 quota
+         | Ok () -> Alcotest.fail "third bulk admitted past quota"
+         | Error _ -> Alcotest.fail "wrong reject kind");
+        (* Unlisted clients still use the flat cap. *)
+        for i = 1 to 4 do
+          match Admission.submit q ~client:"other" (10 + i) with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail "other refused under cap"
+        done;
+        (match Admission.submit q ~client:"other" 15 with
+         | Error (Admission.Client_cap _) -> ()
+         | _ -> Alcotest.fail "flat cap not enforced");
+        (* Finishing a job releases quota budget. *)
+        Admission.finish q ~client:"bulk";
+        (match Admission.submit q ~client:"bulk" 4 with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "bulk refused after finish"));
+    Alcotest.test_case "quota above the flat cap clamps to the cap" `Quick
+      (fun () ->
+        let q = Admission.create ~client_cap:2 ~quotas:[ ("big", 10) ] () in
+        Alcotest.(check int) "clamped" 2 (Admission.quota q ~client:"big");
+        (match Admission.submit q ~client:"big" 1 with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "refused");
+        (match Admission.submit q ~client:"big" 2 with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "refused");
+        (match Admission.submit q ~client:"big" 3 with
+         | Error (Admission.Client_cap _) -> ()
+         | _ -> Alcotest.fail "expected the flat cap, not the quota"));
+    Alcotest.test_case "quota and idle-timeout rejects render and parse"
+      `Quick (fun () ->
+        let quota =
+          Protocol.Quota { client = "bulk"; in_flight = 2; quota = 2 }
+        in
+        Alcotest.(check string) "code" "quota" (Protocol.reject_code quota);
+        let rendered = Protocol.render_reject quota in
+        Alcotest.(check bool) "reason" true
+          (contains rendered "\"reason\":\"quota\"");
+        Alcotest.(check bool) "fields" true (contains rendered "\"quota\":2");
+        Alcotest.(check string) "idle code" "idle-timeout"
+          (Protocol.reject_code Protocol.Idle_timeout);
+        Alcotest.(check string) "idle render"
+          "REJECT {\"reason\":\"idle-timeout\"}"
+          (Protocol.render_reject Protocol.Idle_timeout);
+        match Protocol.parse_reply (Protocol.render_reject quota) with
+        | Ok (Protocol.R_reject { code; detail = None }) ->
+          Alcotest.(check string) "parsed code" "quota" code
+        | _ -> Alcotest.fail "quota reject did not parse");
+    Alcotest.test_case "reply parser inverts the renderers" `Quick (fun () ->
+        let solved =
+          { Protocol.design = "running-example";
+            regions = 3;
+            total_frames = 120;
+            worst_frames = 60;
+            device = Some "FX70T";
+            cached = true;
+            degraded = false;
+            reason = "completed";
+            rung = None;
+            shed_level = 0;
+            queue_wait_ms = 1.25;
+            elapsed_ms = 12.5;
+            signature = "deadbeef" }
+        in
+        (match Protocol.parse_reply (Protocol.render_ok solved) with
+         | Ok (Protocol.R_solved s) ->
+           Alcotest.(check string) "design" solved.Protocol.design
+             s.Protocol.design;
+           Alcotest.(check int) "regions" 3 s.Protocol.regions;
+           Alcotest.(check (option string)) "device" (Some "FX70T")
+             s.Protocol.device;
+           Alcotest.(check bool) "cached" true s.Protocol.cached;
+           Alcotest.(check (option string)) "rung" None s.Protocol.rung;
+           Alcotest.(check string) "signature" "deadbeef" s.Protocol.signature
+         | _ -> Alcotest.fail "OK did not parse");
+        (match Protocol.parse_reply (Protocol.render_err "boom \"quoted\"") with
+         | Ok (Protocol.R_err m) ->
+           Alcotest.(check string) "err" "boom \"quoted\"" m
+         | _ -> Alcotest.fail "ERR did not parse");
+        (match Protocol.parse_reply
+                 (Protocol.render_reject (Protocol.Not_found "nope")) with
+         | Ok (Protocol.R_reject { code; detail }) ->
+           Alcotest.(check string) "code" "not-found" code;
+           Alcotest.(check (option string)) "detail" (Some "nope") detail
+         | _ -> Alcotest.fail "REJECT did not parse");
+        (match Protocol.parse_reply "STATUS {\"x\":1}" with
+         | Ok (Protocol.R_status "{\"x\":1}") -> ()
+         | _ -> Alcotest.fail "STATUS did not parse");
+        (match Protocol.parse_reply "HEALTH ok" with
+         | Ok (Protocol.R_health true) -> ()
+         | _ -> Alcotest.fail "HEALTH ok did not parse");
+        (match Protocol.parse_reply "HEALTH draining" with
+         | Ok (Protocol.R_health false) -> ()
+         | _ -> Alcotest.fail "HEALTH draining did not parse");
+        (match Protocol.parse_reply "BYE" with
+         | Ok Protocol.R_bye -> ()
+         | _ -> Alcotest.fail "BYE did not parse");
+        (match Protocol.parse_reply "OK {\"design\":\"x\"}" with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "truncated OK accepted");
+        match Protocol.parse_reply "GARBAGE" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "garbage accepted");
+    Alcotest.test_case "server counts quota rejects distinctly" `Quick
+      (fun () ->
+        let telemetry = Prtelemetry.create Prtelemetry.Sink.null in
+        let config =
+          { (deterministic_config ~telemetry ()) with
+            Server.quotas = [ ("bulk", 1) ] }
+        in
+        let server = create_server config in
+        Alcotest.(check int) "quota table" 1
+          (Server.client_quota server "bulk");
+        Alcotest.(check int) "default cap" 16
+          (Server.client_quota server "anon");
+        let reply =
+          Server.reject server
+            (Protocol.Quota { client = "bulk"; in_flight = 1; quota = 1 })
+        in
+        Alcotest.(check bool) "typed" true (starts_with "REJECT {" reply);
+        Alcotest.(check int) "serve.quota_rejects" 1
+          (Prtelemetry.counter_value telemetry "serve.quota_rejects");
+        Alcotest.(check int) "serve.rejects.quota" 1
+          (Prtelemetry.counter_value telemetry "serve.rejects.quota");
+        Alcotest.(check bool) "status reports quota rejects" true
+          (contains (Server.status_json server) "\"quota\":1");
+        Server.drain server) ]
+
 (* ------------------------------------------------------- QCheck soak *)
 
 (* Concurrent in-process clients over a shared daemon, replies
@@ -1005,4 +1252,5 @@ let () =
       ("server", server_tests);
       ("crash", crash_tests);
       ("endpoint", endpoint_tests);
+      ("satellites", satellite_tests);
       ("soak", soak_tests) ]
